@@ -1,0 +1,273 @@
+// Benchmarks regenerating the paper's evaluation, one testing.B target per
+// table (and per Table 1 row group / Table 2 column), plus the DESIGN.md
+// ablations. Each benchmark iteration is one scaled-down but structurally
+// complete run of the corresponding experiment; custom metrics report
+// solution quality next to the timing so `go test -bench=.` reproduces both
+// axes of the paper's tables. cmd/mkpbench runs the same experiments at
+// paper scale.
+package pts_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/mkp"
+	"repro/internal/tabu"
+)
+
+// ---- Table 1: one benchmark per size group ------------------------------
+
+// table1Group runs CTS2 on the first problem of a GK size group and reports
+// the deviation from the LP bound as a custom metric.
+func table1Group(b *testing.B, label string) {
+	b.Helper()
+	suite := gen.GKSuite(42)
+	groups := gen.GKGroups()
+	idx := 0
+	for _, g := range groups {
+		if g.Label == label {
+			break
+		}
+		idx += g.Count
+	}
+	ins := suite[idx]
+	ref, err := bench.ComputeReference(ins, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dev float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Solve(ins, core.CTS2, core.Options{
+			P: 8, Seed: uint64(i + 1), Rounds: 5,
+			RoundMoves: int64(200 + 10*ins.N),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev = ref.Deviation(res.Best.Value)
+	}
+	b.ReportMetric(dev, "dev%")
+}
+
+func BenchmarkTable1_GK_3x10(b *testing.B)   { table1Group(b, "1to4") }
+func BenchmarkTable1_GK_5x25(b *testing.B)   { table1Group(b, "5to8") }
+func BenchmarkTable1_GK_10x50(b *testing.B)  { table1Group(b, "9to14") }
+func BenchmarkTable1_GK_15x100(b *testing.B) { table1Group(b, "15to17") }
+func BenchmarkTable1_GK_25x100(b *testing.B) { table1Group(b, "18to22") }
+func BenchmarkTable1_GK_10x250(b *testing.B) { table1Group(b, "23") }
+func BenchmarkTable1_GK_25x250(b *testing.B) { table1Group(b, "24") }
+func BenchmarkTable1_GK_25x500(b *testing.B) { table1Group(b, "25") }
+
+// ---- Table 2: one benchmark per algorithm column ------------------------
+
+// table2Column runs one Table 2 column (algorithm) on MK1 and reports the
+// best value found as a custom metric.
+func table2Column(b *testing.B, algo core.Algorithm) {
+	b.Helper()
+	ins := gen.MKSuite(42)[0] // MK1, 10*100
+	var value float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Solve(ins, algo, core.Options{
+			P: 8, Seed: uint64(i + 1), Rounds: 5, RoundMoves: 600,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		value = res.Best.Value
+	}
+	b.ReportMetric(value, "value")
+}
+
+func BenchmarkTable2_SEQ(b *testing.B)  { table2Column(b, core.SEQ) }
+func BenchmarkTable2_ITS(b *testing.B)  { table2Column(b, core.ITS) }
+func BenchmarkTable2_CTS1(b *testing.B) { table2Column(b, core.CTS1) }
+func BenchmarkTable2_CTS2(b *testing.B) { table2Column(b, core.CTS2) }
+
+// ---- §5 FP claim ---------------------------------------------------------
+
+// BenchmarkFPSuite runs CTS2 with early stop at the certified optimum over
+// the first problems of the FP suite and reports the hit rate.
+func BenchmarkFPSuite(b *testing.B) {
+	var hits, proven int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := bench.FPReport(bench.FPConfig{
+			Seed: 42, P: 4, Rounds: 10, RoundMoves: 400,
+			ExactNodeLimit: 2_000_000, Limit: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits, proven = sum.Hits, sum.Proven
+	}
+	b.ReportMetric(float64(hits), "hits")
+	b.ReportMetric(float64(proven), "proven")
+}
+
+// ---- Ablations -----------------------------------------------------------
+
+func quickAblation() bench.AblationConfig {
+	return bench.AblationConfig{Seed: 42, P: 4, Rounds: 3, RoundMoves: 300, Seeds: 1}
+}
+
+// BenchmarkAblationAlpha sweeps the ISP threshold (experiment A).
+func BenchmarkAblationAlpha(b *testing.B) {
+	var rows []bench.AlphaRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationAlpha(quickAblation())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].MeanValue, "value@a=0.99")
+}
+
+// BenchmarkAblationTuning compares CTS1 vs CTS2 (experiment B).
+func BenchmarkAblationTuning(b *testing.B) {
+	var rows []bench.TuningRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationTuning(quickAblation())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].CTS2-rows[0].CTS1, "cts2-cts1")
+}
+
+// BenchmarkAblationScaling sweeps the slave count (experiment C).
+func BenchmarkAblationScaling(b *testing.B) {
+	var rows []bench.ScalingRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationScaling(quickAblation())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].MeanValue-rows[0].MeanValue, "p16-p1")
+}
+
+// BenchmarkAblationStrategy sweeps tenure x NbDrop (experiment D).
+func BenchmarkAblationStrategy(b *testing.B) {
+	var rows []bench.StrategyRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationStrategy(quickAblation())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := 0.0
+	for _, r := range rows {
+		if r.MeanValue > best {
+			best = r.MeanValue
+		}
+	}
+	b.ReportMetric(best, "bestvalue")
+}
+
+// BenchmarkAblationPolicies compares the tabu-list management schemes
+// (experiment E: static recency vs reactive vs REM).
+func BenchmarkAblationPolicies(b *testing.B) {
+	var rows []bench.PolicyRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationPolicies(quickAblation())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].MeanValue, "static")
+	b.ReportMetric(rows[2].MeanValue, "rem")
+}
+
+// BenchmarkAblationGrain compares coarse-grained vs low-level parallelism
+// (experiment F).
+func BenchmarkAblationGrain(b *testing.B) {
+	var rows []bench.GrainRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationGrain(quickAblation())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[1].Barriers), "lowlevel-barriers")
+}
+
+// BenchmarkAblationSpeedup measures time-to-SEQ-quality vs P (experiment G).
+func BenchmarkAblationSpeedup(b *testing.B) {
+	var rows []bench.SpeedupRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationSpeedup(quickAblation())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rows[4].Hits > 0 {
+		b.ReportMetric(rows[4].Rounds.Mean, "rounds@p16")
+	}
+}
+
+// BenchmarkAblationKernel compares the paper kernel against critical-event
+// TS (experiment H).
+func BenchmarkAblationKernel(b *testing.B) {
+	var rows []bench.KernelRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationKernel(quickAblation())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Value.Mean-rows[1].Value.Mean, "paper-cets")
+}
+
+// BenchmarkAblationReduction measures LP variable fixing by family
+// (experiment I).
+func BenchmarkAblationReduction(b *testing.B) {
+	var rows []bench.ReduceRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationReduction(quickAblation())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Rate.Mean, "uncorr-rate")
+	b.ReportMetric(rows[3].Rate.Mean, "fp-rate")
+}
+
+// ---- micro benchmarks of the hot kernels at paper scale ------------------
+
+// BenchmarkKernelMove25x500 measures one compound Drop/Add move on the
+// largest Table 1 size.
+func BenchmarkKernelMove25x500(b *testing.B) {
+	ins := gen.GK("kernel", 500, 25, 0.25, 1)
+	s, err := tabu.NewSearcher(ins, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := mkp.Greedy(ins)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := s.Run(start, tabu.DefaultParams(ins.N), int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package pts_test
+
+// End-to-end tests of the command-line tools: build the real binaries once,
+// then drive the generate -> solve -> verify -> benchmark pipeline the way a
+// user would.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	cliDirOnce sync.Once
+	cliDir     string
+	cliErr     error
+)
+
+// buildCLIs compiles every cmd/ binary into a shared temp dir once.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	cliDirOnce.Do(func() {
+		cliDir, cliErr = os.MkdirTemp("", "ptscli")
+		if cliErr != nil {
+			return
+		}
+		for _, tool := range []string{"mkpgen", "mkpsolve", "mkpexact", "mkpverify", "mkpbench"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				cliErr = err
+				cliDir = string(out)
+				return
+			}
+		}
+	})
+	if cliErr != nil {
+		t.Fatalf("building CLIs: %v (%s)", cliErr, cliDir)
+	}
+	return cliDir
+}
+
+func runCLI(t *testing.T, dir, tool string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIGenerateSolveVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	bin := buildCLIs(t)
+	work := t.TempDir()
+	insFile := filepath.Join(work, "ins.txt")
+	solFile := filepath.Join(work, "best.sol")
+
+	if out, err := runCLI(t, bin, "mkpgen", "-family", "gk", "-n", "30", "-m", "4", "-seed", "5", "-o", insFile); err != nil {
+		t.Fatalf("mkpgen: %v\n%s", err, out)
+	}
+	out, err := runCLI(t, bin, "mkpsolve", "-p", "2", "-rounds", "3", "-moves", "200", "-sol", solFile, insFile)
+	if err != nil {
+		t.Fatalf("mkpsolve: %v\n%s", err, out)
+	}
+	for _, want := range []string{"best value", "LP bound", "sim time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mkpsolve output missing %q:\n%s", want, out)
+		}
+	}
+	if out, err := runCLI(t, bin, "mkpverify", insFile, solFile); err != nil || !strings.Contains(out, "OK") {
+		t.Fatalf("mkpverify: %v\n%s", err, out)
+	}
+
+	// Corrupt the solution: verification must fail with nonzero exit.
+	data, err := os.ReadFile(solFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(data), "value ", "value 9", 1)
+	if err := os.WriteFile(solFile, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := runCLI(t, bin, "mkpverify", insFile, solFile); err == nil {
+		t.Fatalf("mkpverify accepted a corrupted solution:\n%s", out)
+	}
+}
+
+func TestCLIExactAgreesWithSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	bin := buildCLIs(t)
+	work := t.TempDir()
+	insFile := filepath.Join(work, "small.txt")
+	if out, err := runCLI(t, bin, "mkpgen", "-family", "gk", "-n", "20", "-m", "3", "-seed", "6", "-o", insFile); err != nil {
+		t.Fatalf("mkpgen: %v\n%s", err, out)
+	}
+	out, err := runCLI(t, bin, "mkpexact", insFile)
+	if err != nil {
+		t.Fatalf("mkpexact: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "proven") {
+		t.Fatalf("mkpexact did not prove optimality:\n%s", out)
+	}
+	par, err := runCLI(t, bin, "mkpexact", "-workers", "3", insFile)
+	if err != nil {
+		t.Fatalf("mkpexact -workers: %v\n%s", err, par)
+	}
+	// Both outputs carry "optimum   <v> (proven)": the values must agree.
+	pick := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "optimum") {
+				return line
+			}
+		}
+		return ""
+	}
+	if pick(out) == "" || pick(out) != pick(par) {
+		t.Fatalf("sequential and parallel optimum lines differ:\n%q\n%q", pick(out), pick(par))
+	}
+}
+
+func TestCLIBenchFormatsAndBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	bin := buildCLIs(t)
+	work := t.TempDir()
+
+	csvOut, err := runCLI(t, bin, "mkpbench", "-ablation", "strategy", "-quick")
+	if err != nil {
+		t.Fatalf("mkpbench text: %v\n%s", err, csvOut)
+	}
+	csvOut, err = runCLI(t, bin, "mkpbench", "-ablation", "strategy", "-quick", "-format", "csv")
+	if err != nil {
+		t.Fatalf("mkpbench csv: %v\n%s", err, csvOut)
+	}
+	if !strings.HasPrefix(csvOut, "lt_length,") {
+		t.Fatalf("csv output malformed:\n%s", csvOut)
+	}
+	jsonOut, err := runCLI(t, bin, "mkpbench", "-ablation", "strategy", "-quick", "-format", "json")
+	if err != nil {
+		t.Fatalf("mkpbench json: %v\n%s", err, jsonOut)
+	}
+	base := filepath.Join(work, "base.json")
+	if err := os.WriteFile(base, []byte(jsonOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic rerun against its own baseline: no differences, exit 0.
+	chk, err := runCLI(t, bin, "mkpbench", "-ablation", "strategy", "-quick", "-check", base)
+	if err != nil {
+		t.Fatalf("baseline check failed: %v\n%s", err, chk)
+	}
+	if !strings.Contains(chk, "no differences") {
+		t.Fatalf("baseline check reported diffs:\n%s", chk)
+	}
+	// A different seed must trip the gate with exit 1.
+	chk, err = runCLI(t, bin, "mkpbench", "-ablation", "strategy", "-quick", "-seed", "777", "-check", base)
+	if err == nil {
+		t.Fatalf("regression gate did not trip:\n%s", chk)
+	}
+}
+
+func TestCLISolveMultiProblemFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	bin := buildCLIs(t)
+	work := t.TempDir()
+	a := filepath.Join(work, "a.txt")
+	b := filepath.Join(work, "b.txt")
+	multi := filepath.Join(work, "multi.txt")
+	if out, err := runCLI(t, bin, "mkpgen", "-family", "gk", "-n", "15", "-m", "2", "-seed", "1", "-o", a); err != nil {
+		t.Fatalf("mkpgen a: %v\n%s", err, out)
+	}
+	if out, err := runCLI(t, bin, "mkpgen", "-family", "gk", "-n", "15", "-m", "2", "-seed", "2", "-o", b); err != nil {
+		t.Fatalf("mkpgen b: %v\n%s", err, out)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if err := os.WriteFile(multi, []byte("2\n"+string(da)+string(db)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	one, err := runCLI(t, bin, "mkpsolve", "-p", "2", "-rounds", "2", "-moves", "100", "-q", "-index", "1", multi)
+	if err != nil {
+		t.Fatalf("mkpsolve index 1: %v\n%s", err, one)
+	}
+	two, err := runCLI(t, bin, "mkpsolve", "-p", "2", "-rounds", "2", "-moves", "100", "-q", "-index", "2", multi)
+	if err != nil {
+		t.Fatalf("mkpsolve index 2: %v\n%s", err, two)
+	}
+	if strings.TrimSpace(one) == "" || one == two {
+		t.Fatalf("multi-file selection broken: %q vs %q", one, two)
+	}
+	if out, err := runCLI(t, bin, "mkpsolve", "-index", "3", multi); err == nil {
+		t.Fatalf("out-of-range index accepted:\n%s", out)
+	}
+}

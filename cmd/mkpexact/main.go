@@ -1,0 +1,84 @@
+// Command mkpexact solves an instance exactly by branch and bound, printing
+// the certified optimum (or the best incumbent when the node budget runs
+// out) and the LP-relaxation bound.
+//
+//	mkpexact -nodes 50000000 instance.txt
+//	mkpexact -gen 40x5 -seed 3
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/mkp"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int64("nodes", 50_000_000, "branch-and-bound node limit")
+		seed     = flag.Uint64("seed", 1, "seed for -gen")
+		genSize  = flag.String("gen", "", "generate a GK instance NxM instead of reading a file")
+		workers  = flag.Int("workers", 1, "parallel search goroutines (1 = sequential)")
+		presolve = flag.Bool("presolve", false, "apply LP reduced-cost variable fixing first")
+	)
+	flag.Parse()
+
+	var ins *mkp.Instance
+	var err error
+	if *genSize != "" {
+		var n, m int
+		if _, serr := fmt.Sscanf(*genSize, "%dx%d", &n, &m); serr != nil || n < 1 || m < 1 {
+			fatal(fmt.Errorf("bad -gen size %q, want NxM like 40x5", *genSize))
+		}
+		ins = gen.GK(fmt.Sprintf("gen_%dx%d", m, n), n, m, 0.25, *seed)
+	} else {
+		if flag.NArg() != 1 {
+			fatal(errors.New("expected exactly one instance file (or -gen NxM)"))
+		}
+		f, ferr := os.Open(flag.Arg(0))
+		if ferr != nil {
+			fatal(ferr)
+		}
+		ins, err = mkp.ReadORLib(f, flag.Arg(0))
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	base := exact.Options{NodeLimit: *nodes, Epsilon: 0.999}
+	var res *exact.Result
+	switch {
+	case *workers > 1:
+		res, err = exact.ParallelBranchAndBound(ins, exact.ParallelOptions{Options: base, Workers: *workers})
+	case *presolve:
+		res, err = exact.BranchAndBoundReduced(ins, base)
+	default:
+		res, err = exact.BranchAndBound(ins, base)
+	}
+	elapsed := time.Since(start)
+	if err != nil && !errors.Is(err, exact.ErrNodeLimit) {
+		fatal(err)
+	}
+
+	fmt.Printf("instance  %s (%s)\n", ins.Name, ins.Size())
+	fmt.Printf("LP bound  %.3f\n", res.RootLP)
+	if res.Optimal {
+		fmt.Printf("optimum   %.0f (proven)\n", res.Solution.Value)
+	} else {
+		fmt.Printf("incumbent %.0f (node limit %d reached, NOT proven)\n", res.Solution.Value, *nodes)
+	}
+	fmt.Printf("nodes     %d in %v\n", res.Nodes, elapsed.Round(time.Millisecond))
+	fmt.Printf("items     %d of %d packed\n", res.Solution.X.Count(), ins.N)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkpexact:", err)
+	os.Exit(1)
+}

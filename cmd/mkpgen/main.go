@@ -1,0 +1,129 @@
+// Command mkpgen generates 0-1 MKP instances in the OR-Library text layout.
+//
+// Single instance to stdout (or -o file):
+//
+//	mkpgen -family gk -n 100 -m 10 -tightness 0.25 -seed 1
+//
+// A whole benchmark suite into a directory:
+//
+//	mkpgen -suite gk -dir ./instances -seed 42
+//
+// Families: gk (Glover–Kochenberger-style), fp (Fréville–Plateau-style),
+// uncorrelated, weak, strong. Suites: gk (25 problems, Table 1), fp (57
+// problems), mk (MK1..MK5, Table 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gen"
+	"repro/internal/mkp"
+)
+
+func main() {
+	var (
+		family    = flag.String("family", "gk", "instance family: gk, fp, uncorrelated, weak, strong")
+		n         = flag.Int("n", 100, "number of items")
+		m         = flag.Int("m", 10, "number of constraints")
+		tightness = flag.Float64("tightness", 0.25, "capacity tightness (ignored by fp)")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		name      = flag.String("name", "", "instance name (default derived from family and size)")
+		out       = flag.String("o", "", "output file (default stdout)")
+		suite     = flag.String("suite", "", "generate a whole suite instead: gk, fp, mk")
+		dir       = flag.String("dir", ".", "output directory for -suite")
+		describe  = flag.Bool("describe", false, "print a structural summary to stderr (size, tightness, profit-weight correlation)")
+		lpFormat  = flag.Bool("lp", false, "emit CPLEX LP format instead of the OR-Library layout")
+	)
+	flag.Parse()
+
+	if *suite != "" {
+		if err := writeSuite(*suite, *dir, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	label := *name
+	if label == "" {
+		label = fmt.Sprintf("%s_%dx%d_s%d", *family, *m, *n, *seed)
+	}
+	var ins *mkp.Instance
+	switch *family {
+	case "gk":
+		ins = gen.GK(label, *n, *m, *tightness, *seed)
+	case "fp":
+		ins = gen.FP(label, *n, *m, *seed)
+	case "uncorrelated":
+		ins = gen.Uncorrelated(label, *n, *m, *tightness, *seed)
+	case "weak":
+		ins = gen.WeaklyCorrelated(label, *n, *m, *tightness, *seed)
+	case "strong":
+		ins = gen.StronglyCorrelated(label, *n, *m, *tightness, *seed)
+	default:
+		fatal(fmt.Errorf("unknown family %q", *family))
+	}
+
+	if *describe {
+		fmt.Fprintln(os.Stderr, mkp.Describe(ins))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *lpFormat {
+		if err := mkp.WriteLPFormat(w, ins); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := mkp.WriteORLib(w, ins); err != nil {
+		fatal(err)
+	}
+}
+
+func writeSuite(suite, dir string, seed uint64) error {
+	var instances []*mkp.Instance
+	switch suite {
+	case "gk":
+		instances = gen.GKSuite(seed)
+	case "fp":
+		instances = gen.FPSuite(seed)
+	case "mk":
+		instances = gen.MKSuite(seed)
+	default:
+		return fmt.Errorf("unknown suite %q (want gk, fp or mk)", suite)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, ins := range instances {
+		path := filepath.Join(dir, ins.Name+".txt")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := mkp.WriteORLib(f, ins); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println(path)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkpgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,193 @@
+// Command mkpsolve runs the parallel cooperative tabu search on an instance
+// file in the OR-Library layout (or on a freshly generated instance).
+//
+//	mkpsolve -algo CTS2 -p 8 -rounds 20 -moves 2000 instance.txt
+//	mkpsolve -gen 250x15 -algo CTS2            # generate instead of reading
+//	mkpsolve -async -p 8 -total 100000 instance.txt
+//
+// It prints the best value, the deviation from the LP bound, the quality
+// trajectory and the cooperation statistics.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bound"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/mkp"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "CTS2", "algorithm: SEQ, ITS, CTS1, CTS2")
+		p        = flag.Int("p", 8, "number of slave threads")
+		rounds   = flag.Int("rounds", 20, "master iterations")
+		moves    = flag.Int64("moves", 2000, "per-slave per-round move budget")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		alpha    = flag.Float64("alpha", 0.99, "ISP replacement threshold")
+		timeLim  = flag.Duration("time", 0, "wall-clock limit (0 = none)")
+		simLim   = flag.Duration("simtime", 0, "SIMULATED execution-time budget on the paper's Alpha-farm model (deterministic; 0 = none)")
+		genSize  = flag.String("gen", "", "generate a GK instance NxM (e.g. 250x15) instead of reading a file")
+		index    = flag.Int("index", 0, "1-based problem index inside an OR-Library multi-problem file (0 = first)")
+		async    = flag.Bool("async", false, "use the decentralized asynchronous scheme")
+		total    = flag.Int64("total", 40000, "async: per-peer total move budget")
+		chunk    = flag.Int64("chunk", 1000, "async: moves between communication points")
+		ring     = flag.Bool("ring", false, "async: ring topology instead of full broadcast")
+		quiet    = flag.Bool("q", false, "print only the best value")
+		doTrace  = flag.Bool("trace", false, "stream search events (improvements, tuning actions) to stderr")
+		solOut   = flag.String("sol", "", "write the best solution to this file (verify with mkpverify)")
+		ckptOut  = flag.String("checkpoint", "", "write the latest cooperative state to this file after every round")
+		resume   = flag.String("resume", "", "resume the cooperative state from a checkpoint file")
+	)
+	flag.Parse()
+
+	ins, err := loadInstance(*genSize, *seed, *index, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *async {
+		res, err := core.SolveAsync(ins, core.AsyncOptions{
+			P: *p, Seed: *seed, TotalMoves: *total, ChunkMoves: *chunk, Alpha: *alpha, Ring: *ring,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		report(ins, "ASYNC", res, *quiet)
+		writeSolution(*solOut, ins, res.Best)
+		return
+	}
+
+	algo, err := core.ParseAlgorithm(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{
+		P: *p, Seed: *seed, Rounds: *rounds, RoundMoves: *moves,
+		Alpha: *alpha, TimeLimit: *timeLim, SimBudget: *simLim,
+	}
+	if *simLim > 0 {
+		opts.Rounds = 0 // let the simulated clock govern
+	}
+	if *doTrace {
+		opts.Tracer = trace.NewWriter(os.Stderr)
+	}
+	if *ckptOut != "" {
+		opts.OnCheckpoint = func(c *core.Checkpoint) {
+			f, err := os.Create(*ckptOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mkpsolve: checkpoint:", err)
+				return
+			}
+			defer f.Close()
+			if err := core.SaveCheckpoint(f, c); err != nil {
+				fmt.Fprintln(os.Stderr, "mkpsolve: checkpoint:", err)
+			}
+		}
+	}
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		cp, err := core.LoadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		opts.Resume = cp
+	}
+	res, err := core.Solve(ins, algo, opts)
+	if err != nil {
+		fatal(err)
+	}
+	report(ins, algo.String(), res, *quiet)
+	writeSolution(*solOut, ins, res.Best)
+}
+
+func loadInstance(genSize string, seed uint64, index int, args []string) (*mkp.Instance, error) {
+	if genSize != "" {
+		var n, m int
+		if _, err := fmt.Sscanf(genSize, "%dx%d", &n, &m); err != nil || n < 1 || m < 1 {
+			return nil, fmt.Errorf("bad -gen size %q, want NxM like 250x15", genSize)
+		}
+		return gen.GK(fmt.Sprintf("gen_%dx%d", m, n), n, m, 0.25, seed), nil
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("expected exactly one instance file (or -gen NxM)")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	// Try the official multi-problem layout first, then the single layout.
+	if instances, err := mkp.ReadORLibMulti(bytes.NewReader(data), args[0]); err == nil {
+		k := index
+		if k <= 0 {
+			k = 1
+		}
+		if k > len(instances) {
+			return nil, fmt.Errorf("file has %d problems, -index %d out of range", len(instances), k)
+		}
+		return instances[k-1], nil
+	}
+	return mkp.ReadORLib(bytes.NewReader(data), args[0])
+}
+
+func report(ins *mkp.Instance, algo string, res *core.Result, quiet bool) {
+	if quiet {
+		fmt.Printf("%.0f\n", res.Best.Value)
+		return
+	}
+	fmt.Printf("instance   %s (%s)\n", ins.Name, ins.Size())
+	fmt.Printf("algorithm  %s with P=%d\n", algo, res.Stats.P)
+	fmt.Printf("best value %.0f\n", res.Best.Value)
+	if ub, err := bound.LP(ins); err == nil && ub > 0 {
+		fmt.Printf("LP bound   %.1f (deviation %.3f%%)\n", ub, 100*(ub-res.Best.Value)/ub)
+	}
+	fmt.Printf("items      %d of %d packed\n", res.Best.X.Count(), ins.N)
+	fmt.Printf("moves      %d over %d rounds in %v\n",
+		res.Stats.TotalMoves, res.Stats.Rounds, res.Stats.Elapsed.Round(time.Millisecond))
+	if res.Stats.SimElapsed > 0 {
+		fmt.Printf("sim time   %v on the paper's 500-MIPS Alpha farm model\n",
+			res.Stats.SimElapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("comm       %d messages, %d bytes\n", res.Stats.Messages, res.Stats.BytesSent)
+	fmt.Printf("tuning     %d replacements, %d restarts, %d strategy resets\n",
+		res.Stats.Replacements, res.Stats.RandomRestarts, res.Stats.StrategyResets)
+	if len(res.Stats.BestByRound) > 1 {
+		fmt.Printf("trajectory")
+		for _, v := range res.Stats.BestByRound {
+			fmt.Printf(" %.0f", v)
+		}
+		fmt.Println()
+	}
+	for i, st := range res.Strategies {
+		fmt.Printf("slave %-2d   Lt=%d NbDrop=%d NbLocal=%d\n", i, st.LtLength, st.NbDrop, st.NbLocal)
+	}
+}
+
+func writeSolution(path string, ins *mkp.Instance, sol mkp.Solution) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := mkp.WriteSolution(f, ins.Name, sol); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkpsolve:", err)
+	os.Exit(1)
+}

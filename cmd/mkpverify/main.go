@@ -1,0 +1,58 @@
+// Command mkpverify checks a solution file against its instance: assignment
+// length, every constraint, and the declared objective value. Exit status 0
+// means the solution is valid; 1 means it is not (with a reason on stderr).
+//
+//	mkpsolve -sol best.sol instance.txt
+//	mkpverify instance.txt best.sol
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/mkp"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: mkpverify <instance-file> <solution-file>")
+		os.Exit(2)
+	}
+	insFile, solFile := os.Args[1], os.Args[2]
+
+	fi, err := os.Open(insFile)
+	if err != nil {
+		fatal(err)
+	}
+	ins, err := mkp.ReadORLib(fi, insFile)
+	fi.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	fs, err := os.Open(solFile)
+	if err != nil {
+		fatal(err)
+	}
+	name, sol, err := ReadSolutionFile(fs)
+	fs.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	if err := mkp.CheckSolution(ins, sol); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("OK: %s (recorded for %q) is feasible with value %.0f on %s (%s)\n",
+		solFile, name, sol.Value, ins.Name, ins.Size())
+}
+
+// ReadSolutionFile wraps mkp.ReadSolution for clarity at the call site.
+func ReadSolutionFile(f *os.File) (string, mkp.Solution, error) {
+	return mkp.ReadSolution(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkpverify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+package pts_test
+
+import (
+	"fmt"
+
+	pts "repro"
+)
+
+// ExampleSolve runs the full cooperative parallel tabu search (CTS2) on a
+// generated instance and checks the result against the LP relaxation bound.
+func ExampleSolve() {
+	ins := pts.GenerateGK("example", 60, 5, 0.25, 1)
+	res, err := pts.Solve(ins, pts.CTS2, pts.Options{P: 4, Seed: 7, Rounds: 5, RoundMoves: 500})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ub, _ := pts.LPBound(ins)
+	fmt.Println("found a solution:", res.Best.Value > 0)
+	fmt.Println("within LP bound:", res.Best.Value <= ub)
+	fmt.Println("at least as good as greedy:", res.Best.Value >= pts.Greedy(ins).Value)
+	// Output:
+	// found a solution: true
+	// within LP bound: true
+	// at least as good as greedy: true
+}
+
+// ExampleSolveExact certifies an optimum with branch and bound.
+func ExampleSolveExact() {
+	ins := pts.GenerateFP("small", 15, 3, 2)
+	res, err := pts.SolveExact(ins, pts.ExactOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("proven optimal:", res.Optimal)
+	fmt.Println("bounded by root LP:", res.Solution.Value <= res.RootLP)
+	// Output:
+	// proven optimal: true
+	// bounded by root LP: true
+}
+
+// ExampleSearchSequential runs one sequential tabu-search kernel — what each
+// slave executes inside the parallel organizations.
+func ExampleSearchSequential() {
+	ins := pts.GenerateGK("kernel", 40, 4, 0.25, 3)
+	res, err := pts.SearchSequential(ins, pts.DefaultParams(ins.N), 1000, 5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("moves executed:", res.Moves)
+	fmt.Println("pool is non-empty:", len(res.Pool) > 0)
+	// Output:
+	// moves executed: 1000
+	// pool is non-empty: true
+}

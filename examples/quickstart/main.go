@@ -1,0 +1,45 @@
+// Quickstart: generate a benchmark-style instance, solve it with the full
+// cooperative parallel tabu search (CTS2), and sanity-check the result
+// against the greedy heuristic and the LP upper bound.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pts "repro"
+)
+
+func main() {
+	// A Glover–Kochenberger-style instance: 100 items, 10 constraints,
+	// capacities at 25% of total demand (the standard hard setting).
+	ins := pts.GenerateGK("quickstart", 100, 10, 0.25, 7)
+	fmt.Printf("instance %s: %d items, %d constraints\n", ins.Name, ins.N, ins.M)
+
+	greedy := pts.Greedy(ins)
+	fmt.Printf("greedy baseline: %.0f\n", greedy.Value)
+
+	res, err := pts.Solve(ins, pts.CTS2, pts.Options{
+		P:          8,    // slave search threads
+		Seed:       42,   // full run is reproducible for a fixed seed
+		Rounds:     15,   // master rendezvous iterations
+		RoundMoves: 2000, // per-slave moves per round
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parallel tabu search: %.0f (%d moves in %v)\n",
+		res.Best.Value, res.Stats.TotalMoves, res.Stats.Elapsed)
+
+	ub, err := pts.LPBound(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LP upper bound: %.1f  (deviation %.3f%%)\n",
+		ub, 100*(ub-res.Best.Value)/ub)
+
+	fmt.Printf("improvement over greedy: +%.0f\n", res.Best.Value-greedy.Value)
+	fmt.Printf("packed %d of %d items\n", res.Best.X.Count(), ins.N)
+}

@@ -1,0 +1,75 @@
+// Warm-started long-running optimization — the operational pattern for big
+// instances: run in bounded sessions, checkpoint the cooperative state after
+// every round, resume later, and keep an independently verifiable record of
+// the best solution so far.
+//
+// The example simulates three sessions on one 25x350 instance. Each session
+// resumes the previous checkpoint, runs a few rounds, writes the new
+// checkpoint and the best-solution file, and verifies the solution from
+// scratch before trusting it.
+//
+//	go run ./examples/warmstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	pts "repro"
+	"repro/internal/mkp"
+)
+
+func main() {
+	ins := pts.GenerateGK("warmstart-demo", 350, 25, 0.25, 11)
+	fmt.Printf("instance %s: %d items, %d constraints\n\n", ins.Name, ins.N, ins.M)
+
+	var checkpoint *pts.Checkpoint // stands in for a file between sessions
+	var bestRecord bytes.Buffer    // the solution file of the best so far
+
+	for session := 1; session <= 3; session++ {
+		var latest *pts.Checkpoint
+		opts := pts.Options{
+			P:          6,
+			Seed:       uint64(100 * session), // each session may run anywhere
+			Rounds:     4,
+			RoundMoves: 1500,
+			Resume:     checkpoint,
+			OnCheckpoint: func(c *pts.Checkpoint) {
+				latest = c // a real deployment writes this to disk each round
+			},
+		}
+		res, err := pts.Solve(ins, pts.CTS2, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		checkpoint = latest
+
+		// Persist and *independently verify* the best solution: a record
+		// that outlives the process must never be trusted unchecked.
+		bestRecord.Reset()
+		if err := mkp.WriteSolution(&bestRecord, ins.Name, res.Best); err != nil {
+			log.Fatal(err)
+		}
+		name, sol, err := mkp.ReadSolution(bytes.NewReader(bestRecord.Bytes()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mkp.CheckSolution(ins, sol); err != nil {
+			log.Fatalf("session %d produced an unverifiable record: %v", session, err)
+		}
+
+		fmt.Printf("session %d: best=%.0f (verified record for %q, %d moves, sim %v)\n",
+			session, sol.Value, name, res.Stats.TotalMoves, res.Stats.SimElapsed.Round(1000000))
+	}
+
+	ub, err := pts.LPBound(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, final, _ := mkp.ReadSolution(bytes.NewReader(bestRecord.Bytes()))
+	fmt.Printf("\nafter 3 sessions: %.0f (gap to LP bound %.3f%%)\n",
+		final.Value, 100*(ub-final.Value)/ub)
+	fmt.Println("the checkpoint carries strategies, scores, alpha and the slave pool across sessions;")
+	fmt.Println("only the slaves' long-term frequency memory restarts (see core.Checkpoint docs).")
+}

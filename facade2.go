@@ -1,0 +1,80 @@
+package pts
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/tabu"
+	"repro/internal/trace"
+)
+
+// TabuPolicy selects how the sequential kernel manages its tabu list.
+type TabuPolicy = tabu.TabuPolicy
+
+// Tabu-list management schemes: the paper's static recency list (the
+// default), plus the two §4.1 alternatives implemented as baselines.
+const (
+	PolicyStatic   = tabu.PolicyStatic
+	PolicyReactive = tabu.PolicyReactive
+	PolicyREM      = tabu.PolicyREM
+)
+
+// TraceEvent is one recorded search event.
+type TraceEvent = trace.Event
+
+// TraceRecorder receives search events; implementations must be safe for
+// concurrent use because slave kernels emit from their own goroutines.
+type TraceRecorder = trace.Recorder
+
+// TraceKind classifies a trace event.
+type TraceKind = trace.Kind
+
+// Trace event kinds.
+const (
+	TraceImprovement   = trace.KindImprovement
+	TraceIntensify     = trace.KindIntensify
+	TraceDiversify     = trace.KindDiversify
+	TraceEscape        = trace.KindEscape
+	TraceRoundStart    = trace.KindRoundStart
+	TraceReplacement   = trace.KindReplacement
+	TraceRestart       = trace.KindRestart
+	TraceStrategyReset = trace.KindStrategyReset
+)
+
+// NewTraceLog returns a bounded in-memory event recorder (oldest events are
+// evicted past the capacity).
+func NewTraceLog(capacity int) *trace.Log { return trace.NewLog(capacity) }
+
+// NewTraceWriter returns a recorder that streams each event as one text line.
+func NewTraceWriter(w io.Writer) *trace.Writer { return trace.NewWriter(w) }
+
+// LowLevelOptions configures the low-level parallel baseline (§2's
+// neighborhood-evaluation parallelism).
+type LowLevelOptions = core.LowLevelOptions
+
+// LowLevelResult reports a low-level parallel run.
+type LowLevelResult = core.LowLevelResult
+
+// SolveLowLevel runs a single tabu-search thread whose neighborhood
+// evaluation is fanned out over worker goroutines with a barrier per add
+// step — the fine-grained parallelization the paper rejects in favor of
+// cooperative search threads. Exposed so the trade-off can be measured.
+func SolveLowLevel(ins *Instance, opts LowLevelOptions) (*LowLevelResult, error) {
+	return core.SolveLowLevel(ins, opts)
+}
+
+// RandomStrategy draws a kernel strategy uniformly from the full plausible
+// range for an instance with n items, using the given seed.
+func RandomStrategy(n int, seed uint64) Strategy {
+	return tabu.RandomStrategy(n, rngFor(seed))
+}
+
+// Checkpoint is a snapshot of the cooperative search state at a rendezvous
+// boundary; see Options.OnCheckpoint and Options.Resume.
+type Checkpoint = core.Checkpoint
+
+// SaveCheckpoint writes a checkpoint as JSON.
+func SaveCheckpoint(w io.Writer, c *Checkpoint) error { return core.SaveCheckpoint(w, c) }
+
+// LoadCheckpoint parses a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) { return core.LoadCheckpoint(r) }

@@ -1,0 +1,65 @@
+package pts_test
+
+import (
+	"strings"
+	"testing"
+
+	pts "repro"
+)
+
+func TestFacadePolicies(t *testing.T) {
+	ins := pts.GenerateGK("pol", 30, 4, 0.3, 8)
+	for _, pol := range []pts.TabuPolicy{pts.PolicyStatic, pts.PolicyReactive, pts.PolicyREM} {
+		p := pts.DefaultParams(ins.N)
+		p.Policy = pol
+		res, err := pts.SearchSequential(ins, p, 400, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if res.Best.Value <= 0 {
+			t.Fatalf("%v found nothing", pol)
+		}
+	}
+}
+
+func TestFacadeTrace(t *testing.T) {
+	ins := pts.GenerateGK("tr", 30, 4, 0.3, 9)
+	log := pts.NewTraceLog(1000)
+	_, err := pts.Solve(ins, pts.CTS2, pts.Options{P: 2, Seed: 3, Rounds: 3, RoundMoves: 150, Tracer: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.CountKind(pts.TraceRoundStart) != 3 {
+		t.Fatalf("round events = %d, want 3", log.CountKind(pts.TraceRoundStart))
+	}
+	var sb strings.Builder
+	w := pts.NewTraceWriter(&sb)
+	for _, e := range log.Events() {
+		w.Record(e)
+	}
+	if !strings.Contains(sb.String(), "round") {
+		t.Fatal("writer rendering broken")
+	}
+}
+
+func TestFacadeLowLevel(t *testing.T) {
+	ins := pts.GenerateGK("ll", 30, 4, 0.3, 10)
+	res, err := pts.SolveLowLevel(ins, pts.LowLevelOptions{Workers: 2, Moves: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value < pts.Greedy(ins).Value {
+		t.Fatalf("low-level %v below greedy", res.Best.Value)
+	}
+}
+
+func TestFacadeRandomStrategy(t *testing.T) {
+	a := pts.RandomStrategy(100, 5)
+	b := pts.RandomStrategy(100, 5)
+	if a != b {
+		t.Fatal("RandomStrategy not deterministic per seed")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

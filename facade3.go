@@ -1,0 +1,72 @@
+package pts
+
+import (
+	"repro/internal/cets"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/reduce"
+)
+
+// Fixing records the outcome of an LP reduced-cost variable-fixing pass.
+type Fixing = reduce.Fixing
+
+// FixVariables runs reduced-cost fixing against the incumbent value: every
+// flagged variable provably takes the flagged value in any solution strictly
+// better than the incumbent. gap is the minimum improvement a strictly
+// better solution must achieve (1 for integral profits).
+func FixVariables(ins *Instance, incumbent, gap float64) (*Fixing, error) {
+	return reduce.Fix(ins, incumbent, gap)
+}
+
+// ApplyFixing builds the reduced core problem from a fixing: the surviving
+// free variables, capacities net of the locked items, the mapping from
+// reduced to original indices, and the locked profit. ok=false means every
+// variable was fixed.
+func ApplyFixing(ins *Instance, fix *Fixing) (reduced *Instance, mapping []int, lockedProfit float64, ok bool) {
+	return reduce.Apply(ins, fix)
+}
+
+// SolveExactReduced is SolveExact with a reduced-cost presolve: it fixes
+// variables against the greedy incumbent and branches only on the surviving
+// core. Identical optimum, often far fewer nodes on weakly structured
+// instances.
+func SolveExactReduced(ins *Instance, opts ExactOptions) (*ExactResult, error) {
+	return exact.BranchAndBoundReduced(ins, opts)
+}
+
+// ParallelExactOptions configures the parallel branch and bound.
+type ParallelExactOptions = exact.ParallelOptions
+
+// SolveExactParallel explores the branch-and-bound tree with a worker pool
+// over a statically split frontier, sharing the incumbent atomically. The
+// certified optimum equals SolveExact's; node counts vary with scheduling.
+func SolveExactParallel(ins *Instance, opts ParallelExactOptions) (*ExactResult, error) {
+	return exact.ParallelBranchAndBound(ins, opts)
+}
+
+// CETSOptions configures the critical-event tabu search baseline.
+type CETSOptions = cets.Options
+
+// CETSResult reports a critical-event tabu search run.
+type CETSResult = cets.Result
+
+// SolveCETS runs the critical-event tabu search of Glover & Kochenberger —
+// the comparator method of the paper's §5 — as a standalone sequential
+// solver.
+func SolveCETS(ins *Instance, opts CETSOptions) (*CETSResult, error) {
+	return cets.Search(ins, opts)
+}
+
+// DecomposeOptions configures the problem-decomposition parallel baseline
+// (§2's third source of parallelism).
+type DecomposeOptions = core.DecomposeOptions
+
+// DecomposeResult reports a decomposition-parallel run.
+type DecomposeResult = core.DecomposeResult
+
+// SolveDecomposed splits the problem into parts solved in parallel, merges
+// the (feasible-by-construction) union, and polishes it — the decomposition
+// parallelism the paper sets aside in favor of cooperative search threads.
+func SolveDecomposed(ins *Instance, opts DecomposeOptions) (*DecomposeResult, error) {
+	return core.SolveDecomposed(ins, opts)
+}

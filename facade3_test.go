@@ -1,0 +1,116 @@
+package pts_test
+
+import (
+	"testing"
+
+	pts "repro"
+)
+
+func TestFacadeReduction(t *testing.T) {
+	ins := pts.GenerateUncorrelated("red", 40, 3, 0.5, 3)
+	inc := pts.Greedy(ins)
+	fix, err := pts.FixVariables(ins, inc.Value, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix.Remaining() > ins.N {
+		t.Fatalf("Remaining %d > N %d", fix.Remaining(), ins.N)
+	}
+	red, mapping, locked, ok := pts.ApplyFixing(ins, fix)
+	if ok {
+		if red.N != fix.Remaining() || len(mapping) != red.N {
+			t.Fatalf("reduced shape wrong: N=%d mapping=%d remaining=%d", red.N, len(mapping), fix.Remaining())
+		}
+		if locked < 0 {
+			t.Fatalf("negative locked profit %v", locked)
+		}
+	}
+}
+
+func TestFacadeExactReducedMatchesExact(t *testing.T) {
+	ins := pts.GenerateGK("redx", 25, 3, 0.25, 4)
+	plain, err := pts.SolveExact(ins, pts.ExactOptions{Epsilon: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := pts.SolveExactReduced(ins, pts.ExactOptions{Epsilon: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Solution.Value != red.Solution.Value {
+		t.Fatalf("reduced %v != plain %v", red.Solution.Value, plain.Solution.Value)
+	}
+}
+
+func TestFacadeCETS(t *testing.T) {
+	ins := pts.GenerateGK("cets", 40, 4, 0.25, 5)
+	res, err := pts.SolveCETS(ins, pts.CETSOptions{Seed: 1, Budget: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value < pts.Greedy(ins).Value {
+		t.Fatalf("CETS %v below greedy", res.Best.Value)
+	}
+	ub, err := pts.LPBound(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value > ub {
+		t.Fatalf("CETS %v above LP bound %v", res.Best.Value, ub)
+	}
+}
+
+func TestFacadeParallelExact(t *testing.T) {
+	ins := pts.GenerateGK("pex", 30, 3, 0.25, 7)
+	seq, err := pts.SolveExact(ins, pts.ExactOptions{Epsilon: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pts.SolveExactParallel(ins, pts.ParallelExactOptions{
+		Options: pts.ExactOptions{Epsilon: 0.999}, Workers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Solution.Value != seq.Solution.Value {
+		t.Fatalf("parallel %v != sequential %v", par.Solution.Value, seq.Solution.Value)
+	}
+}
+
+func TestFacadeDecomposed(t *testing.T) {
+	ins := pts.GenerateGK("dec", 40, 4, 0.25, 8)
+	res, err := pts.SolveDecomposed(ins, pts.DecomposeOptions{Parts: 3, Seed: 1, MovesPerPart: 300, PolishMoves: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := pts.LPBound(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value <= 0 || res.Best.Value > ub {
+		t.Fatalf("decomposed value %v outside (0, %v]", res.Best.Value, ub)
+	}
+}
+
+func TestFacadeCheckpointRoundTrip(t *testing.T) {
+	ins := pts.GenerateGK("ck", 30, 3, 0.25, 6)
+	var cp *pts.Checkpoint
+	if _, err := pts.Solve(ins, pts.CTS2, pts.Options{
+		P: 2, Seed: 1, Rounds: 2, RoundMoves: 100,
+		OnCheckpoint: func(c *pts.Checkpoint) { cp = c },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint delivered")
+	}
+	res, err := pts.Solve(ins, pts.CTS2, pts.Options{
+		P: 2, Seed: 2, Rounds: 2, RoundMoves: 100, Resume: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value < cp.Best.Value {
+		t.Fatalf("resume lost ground: %v < %v", res.Best.Value, cp.Best.Value)
+	}
+}

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/mkp"
+	"repro/internal/tabu"
+)
+
+// AblationConfig sizes the ablation studies (DESIGN.md experiments A–D).
+type AblationConfig struct {
+	Seed       uint64
+	P          int
+	Rounds     int
+	RoundMoves int64
+	Seeds      int // independent repetitions where the ablation averages
+	Progress   io.Writer
+}
+
+func (c AblationConfig) withDefaults() AblationConfig {
+	if c.P <= 0 {
+		c.P = 8
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.RoundMoves <= 0 {
+		c.RoundMoves = 1000
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 3
+	}
+	return c
+}
+
+// ablationInstance is the shared workload: MK1 (10*100), large enough that
+// cooperation matters and small enough to sweep.
+func ablationInstance(seed uint64) *mkp.Instance {
+	return gen.MKSuite(seed)[0]
+}
+
+// AlphaRow reports one α setting of ISP's replacement threshold.
+type AlphaRow struct {
+	Alpha        float64
+	MeanValue    float64
+	Replacements int // summed over repetitions
+	Restarts     int
+}
+
+// AblationAlpha sweeps the ISP threshold α (§4.2: "by changing dynamically
+// the value of the parameter α it is possible to force or to forbid threads
+// to realize search in the same region").
+func AblationAlpha(cfg AblationConfig) ([]AlphaRow, error) {
+	cfg = cfg.withDefaults()
+	ins := ablationInstance(cfg.Seed)
+	alphas := []float64{0.80, 0.85, 0.90, 0.95, 0.99}
+	rows := make([]AlphaRow, 0, len(alphas))
+	for _, a := range alphas {
+		row := AlphaRow{Alpha: a}
+		for s := 0; s < cfg.Seeds; s++ {
+			res, err := core.Solve(ins, core.CTS2, core.Options{
+				P: cfg.P, Seed: cfg.Seed + uint64(s)*7919, Rounds: cfg.Rounds,
+				RoundMoves: cfg.RoundMoves, Alpha: a,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.MeanValue += res.Best.Value
+			row.Replacements += res.Stats.Replacements
+			row.Restarts += res.Stats.RandomRestarts
+		}
+		row.MeanValue /= float64(cfg.Seeds)
+		rows = append(rows, row)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "alpha=%.2f mean=%.1f repl=%d rest=%d\n",
+				row.Alpha, row.MeanValue, row.Replacements, row.Restarts)
+		}
+	}
+	return rows, nil
+}
+
+// RenderAlpha prints the α sweep.
+func RenderAlpha(rows []AlphaRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation A: ISP threshold alpha (CTS2, MK1)")
+	fmt.Fprintf(&b, "%-8s %-12s %-14s %s\n", "alpha", "mean value", "replacements", "restarts")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8.2f %-12.1f %-14d %d\n", r.Alpha, r.MeanValue, r.Replacements, r.Restarts)
+	}
+	return b.String()
+}
+
+// TuningRow compares CTS1 and CTS2 under one seed.
+type TuningRow struct {
+	Seed   uint64
+	CTS1   float64
+	CTS2   float64
+	Resets int // strategy regenerations CTS2 performed
+}
+
+// AblationTuning isolates the paper's headline mechanism: identical runs
+// with and without dynamic strategy setting (experiment B).
+func AblationTuning(cfg AblationConfig) ([]TuningRow, error) {
+	cfg = cfg.withDefaults()
+	ins := ablationInstance(cfg.Seed)
+	rows := make([]TuningRow, 0, cfg.Seeds)
+	for s := 0; s < cfg.Seeds; s++ {
+		seed := cfg.Seed + uint64(s)*6151
+		opts := core.Options{P: cfg.P, Seed: seed, Rounds: cfg.Rounds, RoundMoves: cfg.RoundMoves, InitialScore: 2}
+		r1, err := core.Solve(ins, core.CTS1, opts)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := core.Solve(ins, core.CTS2, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TuningRow{Seed: seed, CTS1: r1.Best.Value, CTS2: r2.Best.Value, Resets: r2.Stats.StrategyResets})
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "tuning seed=%d cts1=%.0f cts2=%.0f resets=%d\n",
+				seed, r1.Best.Value, r2.Best.Value, r2.Stats.StrategyResets)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTuning prints the CTS1-vs-CTS2 comparison.
+func RenderTuning(rows []TuningRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation B: dynamic strategy tuning (CTS1 vs CTS2, MK1)")
+	fmt.Fprintf(&b, "%-12s %10s %10s %8s\n", "seed", "CTS1", "CTS2", "resets")
+	wins, ties := 0, 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12d %10.0f %10.0f %8d\n", r.Seed, r.CTS1, r.CTS2, r.Resets)
+		switch {
+		case r.CTS2 > r.CTS1:
+			wins++
+		case r.CTS2 == r.CTS1:
+			ties++
+		}
+	}
+	fmt.Fprintf(&b, "CTS2 wins %d, ties %d, losses %d of %d seeds\n", wins, ties, len(rows)-wins-ties, len(rows))
+	return b.String()
+}
+
+// ScalingRow reports one processor count.
+type ScalingRow struct {
+	P          int
+	MeanValue  float64
+	MeanTime   time.Duration
+	TotalMoves int64
+}
+
+// AblationScaling sweeps the slave count P for CTS2 under the
+// fixed-wall-clock protocol (each slave keeps the same per-round budget), the
+// paper's argument that more processors buy better solutions in the same
+// time (experiment C).
+func AblationScaling(cfg AblationConfig) ([]ScalingRow, error) {
+	cfg = cfg.withDefaults()
+	ins := ablationInstance(cfg.Seed)
+	rows := []ScalingRow{}
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		row := ScalingRow{P: p}
+		var elapsed time.Duration
+		for s := 0; s < cfg.Seeds; s++ {
+			res, err := core.Solve(ins, core.CTS2, core.Options{
+				P: p, Seed: cfg.Seed + uint64(s)*3571, Rounds: cfg.Rounds, RoundMoves: cfg.RoundMoves,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.MeanValue += res.Best.Value
+			row.TotalMoves += res.Stats.TotalMoves
+			elapsed += res.Stats.Elapsed
+		}
+		row.MeanValue /= float64(cfg.Seeds)
+		row.MeanTime = elapsed / time.Duration(cfg.Seeds)
+		rows = append(rows, row)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "scaling P=%-2d mean=%.1f moves=%d time=%v\n",
+				p, row.MeanValue, row.TotalMoves, row.MeanTime.Round(time.Millisecond))
+		}
+	}
+	return rows, nil
+}
+
+// RenderScaling prints the P sweep.
+func RenderScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation C: processor scaling (CTS2, MK1, fixed per-slave budget)")
+	fmt.Fprintf(&b, "%-4s %-12s %-12s %s\n", "P", "mean value", "total moves", "mean time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4d %-12.1f %-12d %v\n", r.P, r.MeanValue, r.TotalMoves, r.MeanTime.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// StrategyRow reports one fixed strategy of the sequential kernel.
+type StrategyRow struct {
+	LtLength  int
+	NbDrop    int
+	MeanValue float64
+}
+
+// AblationStrategy sweeps NbDrop and the tabu tenure for a single sequential
+// searcher with everything else fixed, grounding the §4.1 claims that small
+// NbDrop keeps the trajectory local while large tenures force it outward
+// (experiment D).
+func AblationStrategy(cfg AblationConfig) ([]StrategyRow, error) {
+	cfg = cfg.withDefaults()
+	ins := ablationInstance(cfg.Seed)
+	budget := cfg.RoundMoves * int64(cfg.Rounds)
+	tenures := []int{ins.N / 20, ins.N / 10, ins.N / 4, ins.N / 2}
+	rows := []StrategyRow{}
+	for _, lt := range tenures {
+		for drop := 1; drop <= 6; drop++ {
+			row := StrategyRow{LtLength: lt, NbDrop: drop}
+			for s := 0; s < cfg.Seeds; s++ {
+				p := tabu.DefaultParams(ins.N)
+				p.Strategy = tabu.Strategy{LtLength: lt, NbDrop: drop, NbLocal: 25}
+				res, err := tabu.Search(ins, p, budget, cfg.Seed+uint64(s)*2713)
+				if err != nil {
+					return nil, err
+				}
+				row.MeanValue += res.Best.Value
+			}
+			row.MeanValue /= float64(cfg.Seeds)
+			rows = append(rows, row)
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "strategy lt=%-3d drop=%d mean=%.1f\n", lt, drop, row.MeanValue)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderStrategy prints the strategy sweep as a tenure x NbDrop grid.
+func RenderStrategy(rows []StrategyRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation D: fixed-strategy sweep (sequential TS, MK1)")
+	fmt.Fprintf(&b, "%-10s %-7s %s\n", "LtLength", "NbDrop", "mean value")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %-7d %.1f\n", r.LtLength, r.NbDrop, r.MeanValue)
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tabu"
+)
+
+// PolicyRow reports one tabu-list management scheme at a fixed budget.
+type PolicyRow struct {
+	Policy    tabu.TabuPolicy
+	MeanValue float64
+	MeanTime  time.Duration
+}
+
+// AblationPolicies compares the paper's static recency list against the two
+// §4.1 alternatives it rejects — reactive tabu search and the reverse
+// elimination method — at the same move budget on the same sequential
+// searcher (experiment E). The interesting output is the time column: the
+// paper's objection to both methods is their overhead.
+func AblationPolicies(cfg AblationConfig) ([]PolicyRow, error) {
+	cfg = cfg.withDefaults()
+	ins := ablationInstance(cfg.Seed)
+	budget := cfg.RoundMoves * int64(cfg.Rounds)
+	rows := []PolicyRow{}
+	for _, pol := range []tabu.TabuPolicy{tabu.PolicyStatic, tabu.PolicyReactive, tabu.PolicyREM} {
+		row := PolicyRow{Policy: pol}
+		var elapsed time.Duration
+		for s := 0; s < cfg.Seeds; s++ {
+			p := tabu.DefaultParams(ins.N)
+			p.Policy = pol
+			start := time.Now()
+			res, err := tabu.Search(ins, p, budget, cfg.Seed+uint64(s)*4231)
+			if err != nil {
+				return nil, err
+			}
+			elapsed += time.Since(start)
+			row.MeanValue += res.Best.Value
+		}
+		row.MeanValue /= float64(cfg.Seeds)
+		row.MeanTime = elapsed / time.Duration(cfg.Seeds)
+		rows = append(rows, row)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "policy %-9v mean=%.1f time=%v\n",
+				pol, row.MeanValue, row.MeanTime.Round(time.Millisecond))
+		}
+	}
+	return rows, nil
+}
+
+// RenderPolicies prints the tabu-list-management comparison.
+func RenderPolicies(rows []PolicyRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation E: tabu-list management (sequential TS, MK1, same move budget)")
+	fmt.Fprintf(&b, "%-10s %-12s %s\n", "policy", "mean value", "mean time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10v %-12.1f %v\n", r.Policy, r.MeanValue, r.MeanTime.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// GrainRow reports one parallelization grain at a fixed total move budget.
+type GrainRow struct {
+	Scheme     string
+	Value      float64
+	Moves      int64
+	Barriers   int64 // synchronization points (0 for the coarse scheme's slaves)
+	Elapsed    time.Duration
+	MovesPerMS float64
+}
+
+// AblationGrain compares all of §2's parallelism sources at the same TOTAL
+// move budget and worker count (experiment F): the paper's coarse-grained
+// cooperative threads (CTS2, source 4), the low-level parallel neighborhood
+// evaluation (sources 1–2), and problem decomposition (source 3, Taillard's
+// approach). The coarse scheme synchronizes once per round; the low-level
+// scheme at every add step; decomposition only at the merge — but it severs
+// item coupling, which costs quality instead of time.
+func AblationGrain(cfg AblationConfig) ([]GrainRow, error) {
+	cfg = cfg.withDefaults()
+	ins := ablationInstance(cfg.Seed)
+
+	coarse, err := core.Solve(ins, core.CTS2, core.Options{
+		P: cfg.P, Seed: cfg.Seed, Rounds: cfg.Rounds, RoundMoves: cfg.RoundMoves,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Give the other schemes exactly the moves the coarse run consumed
+	// (load balancing makes the coarse total depend on the drawn strategies).
+	low, err := core.SolveLowLevel(ins, core.LowLevelOptions{
+		Workers: cfg.P, Seed: cfg.Seed, Moves: coarse.Stats.TotalMoves,
+	})
+	if err != nil {
+		return nil, err
+	}
+	perPart := coarse.Stats.TotalMoves / int64(cfg.P+1)
+	dec, err := core.SolveDecomposed(ins, core.DecomposeOptions{
+		Parts: cfg.P, Seed: cfg.Seed, MovesPerPart: perPart, PolishMoves: perPart,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := []GrainRow{
+		{
+			Scheme:   "coarse (CTS2)",
+			Value:    coarse.Best.Value,
+			Moves:    coarse.Stats.TotalMoves,
+			Barriers: int64(coarse.Stats.Rounds),
+			Elapsed:  coarse.Stats.Elapsed,
+		},
+		{
+			Scheme:   "low-level",
+			Value:    low.Best.Value,
+			Moves:    low.Moves,
+			Barriers: low.Barriers,
+			Elapsed:  low.Elapsed,
+		},
+		{
+			Scheme:   "decomposition",
+			Value:    dec.Best.Value,
+			Moves:    dec.Moves,
+			Barriers: 1, // the single merge
+			Elapsed:  dec.Elapsed,
+		},
+	}
+	for i := range rows {
+		if ms := float64(rows[i].Elapsed.Milliseconds()); ms > 0 {
+			rows[i].MovesPerMS = float64(rows[i].Moves) / ms
+		}
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "grain %-14s value=%.0f moves=%d barriers=%d time=%v\n",
+				rows[i].Scheme, rows[i].Value, rows[i].Moves, rows[i].Barriers,
+				rows[i].Elapsed.Round(time.Millisecond))
+		}
+	}
+	return rows, nil
+}
+
+// RenderGrain prints the parallel-grain comparison.
+func RenderGrain(rows []GrainRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation F: parallelization grain (MK1, same total move budget and workers)")
+	fmt.Fprintf(&b, "%-15s %10s %10s %10s %12s %10s\n", "scheme", "value", "moves", "barriers", "time", "moves/ms")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %10.0f %10d %10d %12v %10.1f\n",
+			r.Scheme, r.Value, r.Moves, r.Barriers, r.Elapsed.Round(time.Millisecond), r.MovesPerMS)
+	}
+	return b.String()
+}

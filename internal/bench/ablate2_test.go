@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tabu"
+)
+
+func TestAblationPoliciesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := AblationPolicies(AblationConfig{Seed: 7, Rounds: 2, RoundMoves: 150, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d policy rows, want 3", len(rows))
+	}
+	wantOrder := []tabu.TabuPolicy{tabu.PolicyStatic, tabu.PolicyReactive, tabu.PolicyREM}
+	for i, r := range rows {
+		if r.Policy != wantOrder[i] {
+			t.Fatalf("row %d policy %v, want %v", i, r.Policy, wantOrder[i])
+		}
+		if r.MeanValue <= 0 {
+			t.Fatalf("policy %v found nothing", r.Policy)
+		}
+	}
+	if out := RenderPolicies(rows); !strings.Contains(out, "static") || !strings.Contains(out, "rem") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}
+
+func TestAblationGrainShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := AblationGrain(AblationConfig{Seed: 8, P: 2, Rounds: 2, RoundMoves: 100, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d grain rows, want 3", len(rows))
+	}
+	coarse, low, dec := rows[0], rows[1], rows[2]
+	if coarse.Scheme != "coarse (CTS2)" || low.Scheme != "low-level" || dec.Scheme != "decomposition" {
+		t.Fatalf("unexpected schemes: %q %q %q", coarse.Scheme, low.Scheme, dec.Scheme)
+	}
+	if low.Moves != coarse.Moves {
+		t.Fatalf("budgets differ: low %d vs coarse %d", low.Moves, coarse.Moves)
+	}
+	if dec.Value <= 0 || dec.Barriers != 1 {
+		t.Fatalf("decomposition row wrong: %+v", dec)
+	}
+	// The low-level scheme synchronizes once per add step: orders of
+	// magnitude more barriers than the per-round rendezvous of CTS2.
+	if low.Barriers <= coarse.Barriers*10 {
+		t.Fatalf("low-level barriers %d not far above coarse %d", low.Barriers, coarse.Barriers)
+	}
+	if out := RenderGrain(rows); !strings.Contains(out, "barriers") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}

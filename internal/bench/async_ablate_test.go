@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationAsyncShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := AblationAsync(AblationConfig{Seed: 17, P: 3, Rounds: 2, RoundMoves: 150, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	names := []string{"sync (CTS2)", "async full", "async ring"}
+	for i, r := range rows {
+		if r.Scheme != names[i] {
+			t.Fatalf("row %d scheme %q, want %q", i, r.Scheme, names[i])
+		}
+		if r.Value.Mean <= 0 || r.Value.N != 2 {
+			t.Fatalf("row %q summary %+v", r.Scheme, r.Value)
+		}
+	}
+	// The ring must not send more messages than the full broadcast on average.
+	if rows[2].Messages.Mean > rows[1].Messages.Mean {
+		t.Fatalf("ring messages %v above full %v", rows[2].Messages.Mean, rows[1].Messages.Mean)
+	}
+	out := RenderAsync(rows)
+	if !strings.Contains(out, "async ring") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+	if ex := ExportAsync(rows); len(ex.Rows) != 3 {
+		t.Fatal("export broken")
+	}
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diff is one deviation between a baseline export and a fresh run.
+type Diff struct {
+	Export string // export name
+	Row    string // key (first column) of the row
+	Column string
+	Old    string
+	New    string
+	// RelChange is |new−old| / max(|old|, 1) for numeric cells, 1 for
+	// non-numeric mismatches.
+	RelChange float64
+}
+
+func (d Diff) String() string {
+	return fmt.Sprintf("%s[%s].%s: %s -> %s (%.2f%%)", d.Export, d.Row, d.Column, d.Old, d.New, 100*d.RelChange)
+}
+
+// CompareExports diffs a fresh export against a baseline of the same
+// experiment. Columns are matched by name (JSON round trips lose order),
+// rows by the current export's first column; numeric cells within tolerance
+// (relative) are equal; added or removed rows are reported as diffs on the
+// key column. The harness uses it as a regression gate: deterministic
+// experiments should produce zero diffs at tolerance 0.
+func CompareExports(baseline, current Export, tolerance float64) ([]Diff, error) {
+	if baseline.Name != current.Name {
+		return nil, fmt.Errorf("bench: comparing %q against %q", current.Name, baseline.Name)
+	}
+	aligned, err := alignColumns(baseline, current.Header)
+	if err != nil {
+		return nil, err
+	}
+	baseline = aligned
+
+	index := func(e Export) map[string][]string {
+		m := make(map[string][]string, len(e.Rows))
+		for _, row := range e.Rows {
+			if len(row) > 0 {
+				m[row[0]] = row
+			}
+		}
+		return m
+	}
+	oldRows := index(baseline)
+	newRows := index(current)
+
+	var diffs []Diff
+	for key, oldRow := range oldRows {
+		newRow, ok := newRows[key]
+		if !ok {
+			diffs = append(diffs, Diff{Export: baseline.Name, Row: key, Column: baseline.Header[0], Old: key, New: "(removed)", RelChange: 1})
+			continue
+		}
+		for c := 1; c < len(oldRow) && c < len(newRow); c++ {
+			if oldRow[c] == newRow[c] {
+				continue
+			}
+			d := Diff{Export: baseline.Name, Row: key, Column: baseline.Header[c], Old: oldRow[c], New: newRow[c], RelChange: 1}
+			ov, oerr := strconv.ParseFloat(oldRow[c], 64)
+			nv, nerr := strconv.ParseFloat(newRow[c], 64)
+			if oerr == nil && nerr == nil {
+				d.RelChange = math.Abs(nv-ov) / math.Max(math.Abs(ov), 1)
+				if d.RelChange <= tolerance {
+					continue
+				}
+			}
+			diffs = append(diffs, d)
+		}
+	}
+	for key := range newRows {
+		if _, ok := oldRows[key]; !ok {
+			diffs = append(diffs, Diff{Export: current.Name, Row: key, Column: current.Header[0], Old: "(absent)", New: key, RelChange: 1})
+		}
+	}
+	return diffs, nil
+}
+
+// alignColumns reorders e's columns to match the given header, matching by
+// column name. It errors when the column sets differ.
+func alignColumns(e Export, header []string) (Export, error) {
+	if len(e.Header) != len(header) {
+		return Export{}, fmt.Errorf("bench: export %q has %d columns, want %d", e.Name, len(e.Header), len(header))
+	}
+	perm := make([]int, len(header))
+	for i, want := range header {
+		found := -1
+		for j, have := range e.Header {
+			if have == want {
+				found = j
+				break
+			}
+		}
+		if found == -1 {
+			return Export{}, fmt.Errorf("bench: export %q missing column %q", e.Name, want)
+		}
+		perm[i] = found
+	}
+	out := Export{Name: e.Name, Header: append([]string(nil), header...)}
+	for _, row := range e.Rows {
+		if len(row) != len(perm) {
+			return Export{}, fmt.Errorf("bench: export %q has a ragged row", e.Name)
+		}
+		aligned := make([]string, len(perm))
+		for i, j := range perm {
+			aligned[i] = row[j]
+		}
+		out.Rows = append(out.Rows, aligned)
+	}
+	return out, nil
+}
+
+// LoadExport parses an Export previously written by Export.WriteJSON. The
+// JSON object form loses column order, so the loaded header is sorted;
+// CompareExports re-aligns columns by name.
+func LoadExport(r io.Reader) (Export, error) {
+	var doc struct {
+		Name string              `json:"name"`
+		Rows []map[string]string `json:"rows"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return Export{}, fmt.Errorf("bench: parsing export: %w", err)
+	}
+	if doc.Name == "" {
+		return Export{}, fmt.Errorf("bench: export has no name")
+	}
+	e := Export{Name: doc.Name}
+	if len(doc.Rows) == 0 {
+		return e, nil
+	}
+	for k := range doc.Rows[0] {
+		e.Header = append(e.Header, k)
+	}
+	sort.Strings(e.Header)
+	for _, obj := range doc.Rows {
+		row := make([]string, len(e.Header))
+		for i, h := range e.Header {
+			row[i] = obj[h]
+		}
+		e.Rows = append(e.Rows, row)
+	}
+	return e, nil
+}
+
+// RenderDiffs prints the regression report.
+func RenderDiffs(diffs []Diff) string {
+	if len(diffs) == 0 {
+		return "baseline check: no differences\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline check: %d difference(s)\n", len(diffs))
+	for _, d := range diffs {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

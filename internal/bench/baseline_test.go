@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleExport() Export {
+	return Export{
+		Name:   "demo",
+		Header: []string{"key", "value", "note"},
+		Rows: [][]string{
+			{"a", "100", "x"},
+			{"b", "200", "y"},
+		},
+	}
+}
+
+func TestCompareExportsIdentical(t *testing.T) {
+	diffs, err := CompareExports(sampleExport(), sampleExport(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("identical exports diff: %v", diffs)
+	}
+	if out := RenderDiffs(diffs); !strings.Contains(out, "no differences") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestCompareExportsNumericTolerance(t *testing.T) {
+	cur := sampleExport()
+	cur.Rows[0][1] = "104" // +4%
+	diffs, err := CompareExports(sampleExport(), cur, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("4%% change flagged at 5%% tolerance: %v", diffs)
+	}
+	diffs, err = CompareExports(sampleExport(), cur, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || diffs[0].Column != "value" || diffs[0].Row != "a" {
+		t.Fatalf("expected one value diff, got %v", diffs)
+	}
+}
+
+func TestCompareExportsNonNumeric(t *testing.T) {
+	cur := sampleExport()
+	cur.Rows[1][2] = "z"
+	diffs, err := CompareExports(sampleExport(), cur, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || diffs[0].RelChange != 1 {
+		t.Fatalf("non-numeric mismatch not flagged: %v", diffs)
+	}
+}
+
+func TestCompareExportsRowChurn(t *testing.T) {
+	cur := sampleExport()
+	cur.Rows = [][]string{cur.Rows[0], {"c", "1", "new"}}
+	diffs, err := CompareExports(sampleExport(), cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b removed, c added.
+	if len(diffs) != 2 {
+		t.Fatalf("expected 2 churn diffs, got %v", diffs)
+	}
+}
+
+func TestCompareExportsErrors(t *testing.T) {
+	other := sampleExport()
+	other.Name = "other"
+	if _, err := CompareExports(sampleExport(), other, 0); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+	wide := sampleExport()
+	wide.Header = append(wide.Header, "extra")
+	if _, err := CompareExports(wide, sampleExport(), 0); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	renamed := sampleExport()
+	renamed.Header[2] = "different"
+	if _, err := CompareExports(renamed, sampleExport(), 0); err == nil {
+		t.Fatal("renamed column accepted")
+	}
+}
+
+func TestLoadExportRoundTripThroughJSON(t *testing.T) {
+	orig := sampleExport()
+	var sb strings.Builder
+	if err := orig.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadExport(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "demo" || len(loaded.Rows) != 2 {
+		t.Fatalf("loaded export: %+v", loaded)
+	}
+	// Column order is lost through JSON; comparison must still be clean.
+	diffs, err := CompareExports(loaded, orig, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("round-tripped baseline diffs: %v", diffs)
+	}
+}
+
+func TestLoadExportRejectsGarbage(t *testing.T) {
+	if _, err := LoadExport(strings.NewReader("{oops")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadExport(strings.NewReader(`{"rows":[]}`)); err == nil {
+		t.Fatal("nameless export accepted")
+	}
+}

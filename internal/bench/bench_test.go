@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestReferenceSmallExact(t *testing.T) {
+	ins := gen.GK("ref", 12, 3, 0.25, 5)
+	ref, err := ComputeReference(ins, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Optimal {
+		t.Fatal("12-item instance not solved exactly")
+	}
+	if ref.LPBound < ref.Optimum-1e-9 {
+		t.Fatalf("LP bound %v below optimum %v", ref.LPBound, ref.Optimum)
+	}
+	if d := ref.Deviation(ref.Optimum); d != 0 {
+		t.Fatalf("deviation at optimum = %v", d)
+	}
+	if d := ref.Deviation(ref.Optimum / 2); d <= 0 {
+		t.Fatalf("deviation of half-optimum = %v", d)
+	}
+	if d := ref.Deviation(ref.Optimum * 2); d != 0 {
+		t.Fatalf("deviation clamps at 0, got %v", d)
+	}
+}
+
+func TestReferenceNodeLimitFallsBack(t *testing.T) {
+	ins := gen.GK("hard", 80, 10, 0.25, 6)
+	ref, err := ComputeReference(ins, 10) // absurdly small budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Optimal {
+		t.Fatal("claimed optimality under a 10-node budget")
+	}
+	if ref.BestKnown() != ref.LPBound {
+		t.Fatal("fallback reference is not the LP bound")
+	}
+}
+
+func TestReferenceDisabledExact(t *testing.T) {
+	ins := gen.GK("noexact", 20, 3, 0.25, 7)
+	ref, err := ComputeReference(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Optimal || ref.LPBound <= 0 {
+		t.Fatalf("unexpected reference %+v", ref)
+	}
+}
+
+// smallTable1 returns a fast Table 1 config for tests.
+func TestTable1SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 run in -short mode")
+	}
+	rows, err := Table1(Table1Config{
+		Seed: 1, P: 2, Rounds: 2, RoundMoves: 150, ExactNodeLimit: 200_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := gen.GKGroups()
+	if len(rows) != len(groups) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(groups))
+	}
+	for i, r := range rows {
+		if r.Label != groups[i].Label || r.Problems != groups[i].Count {
+			t.Fatalf("row %d mismatch: %+v vs %+v", i, r, groups[i])
+		}
+		if r.AvgDev < 0 || r.MaxDev < r.AvgDev {
+			t.Fatalf("row %d has inconsistent deviations: %+v", i, r)
+		}
+		if r.MaxTime <= 0 {
+			t.Fatalf("row %d has zero time", i)
+		}
+	}
+	// The smallest group must be solved to proven optimality.
+	if rows[0].Proven != rows[0].Problems {
+		t.Fatalf("3*10 group has %d/%d proven optima", rows[0].Proven, rows[0].Problems)
+	}
+	if rows[0].Optima == 0 {
+		t.Fatal("CTS2 hit no optima on the 3*10 group")
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "1to4") || !strings.Contains(out, "25*500") {
+		t.Fatalf("rendered table missing rows:\n%s", out)
+	}
+}
+
+func TestTable2SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 2 run in -short mode")
+	}
+	rows, err := Table2(Table2Config{Seed: 2, P: 2, Rounds: 2, RoundMoves: 120, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		for _, a := range Algorithms {
+			if r.Value[a].Mean <= 0 || r.Value[a].N != 2 {
+				t.Fatalf("%s/%v has summary %+v", r.Problem, a, r.Value[a])
+			}
+			if len(r.Samples[a]) != 2 {
+				t.Fatalf("%s/%v has %d samples", r.Problem, a, len(r.Samples[a]))
+			}
+		}
+		// Parallel variants run P slaves; SEQ runs one: total moves must reflect it.
+		if r.Moves[core.ITS] <= r.Moves[core.SEQ] {
+			t.Fatalf("%s: ITS moves %d not above SEQ moves %d", r.Problem, r.Moves[core.ITS], r.Moves[core.SEQ])
+		}
+	}
+	out := RenderTable2(rows)
+	for _, want := range []string{"MK1", "MK5", "SEQ", "CTS2", "Winner"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFPReportSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("FP run in -short mode")
+	}
+	sum, err := FPReport(FPConfig{
+		Seed: 42, P: 2, Rounds: 8, RoundMoves: 400,
+		ExactNodeLimit: 2_000_000, Limit: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(sum.Rows))
+	}
+	if sum.Proven == 0 {
+		t.Fatal("no certified optima among the 8 smallest FP problems")
+	}
+	if sum.Hits < sum.Proven-1 {
+		t.Fatalf("too many misses: %d hits of %d proven", sum.Hits, sum.Proven)
+	}
+	out := RenderFP(sum)
+	if !strings.Contains(out, "problems") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}
+
+func TestAblationAlphaShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := AblationAlpha(AblationConfig{Seed: 3, P: 2, Rounds: 2, RoundMoves: 100, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d alpha rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Alpha <= rows[i-1].Alpha {
+			t.Fatal("alpha sweep not increasing")
+		}
+	}
+	if out := RenderAlpha(rows); !strings.Contains(out, "alpha") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestAblationTuningShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := AblationTuning(AblationConfig{Seed: 4, P: 2, Rounds: 3, RoundMoves: 100, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d tuning rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.CTS1 <= 0 || r.CTS2 <= 0 {
+			t.Fatalf("zero values in %+v", r)
+		}
+	}
+	if out := RenderTuning(rows); !strings.Contains(out, "CTS2 wins") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestAblationScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := AblationScaling(AblationConfig{Seed: 5, Rounds: 2, RoundMoves: 80, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0].P != 1 || rows[4].P != 16 {
+		t.Fatalf("unexpected P ladder: %+v", rows)
+	}
+	// More processors must consume more total moves under the
+	// fixed-wall-clock protocol.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TotalMoves <= rows[i-1].TotalMoves {
+			t.Fatalf("moves did not grow with P: %+v", rows)
+		}
+	}
+	if out := RenderScaling(rows); !strings.Contains(out, "P") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestAblationStrategyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := AblationStrategy(AblationConfig{Seed: 6, Rounds: 2, RoundMoves: 100, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*6 {
+		t.Fatalf("got %d strategy rows, want 24", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanValue <= 0 {
+			t.Fatalf("zero value for %+v", r)
+		}
+	}
+	if out := RenderStrategy(rows); !strings.Contains(out, "NbDrop") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cets"
+	"repro/internal/stats"
+	"repro/internal/tabu"
+)
+
+// KernelRow compares one sequential search kernel at a fixed work budget.
+type KernelRow struct {
+	Kernel string
+	Value  stats.Summary
+	Time   stats.Summary // host milliseconds per run
+}
+
+// flipsPerMove approximates how many item flips one compound Drop/Add move
+// of the paper's kernel performs (NbDrop drops plus a handful of adds), used
+// to grant the flip-based CETS baseline an equivalent budget.
+const flipsPerMove = 8
+
+// AblationKernel compares the paper's drop/add tabu kernel against the
+// critical-event tabu search of Glover & Kochenberger — the method §5
+// compares running times with — at an equivalent work budget on MK1
+// (experiment H).
+func AblationKernel(cfg AblationConfig) ([]KernelRow, error) {
+	cfg = cfg.withDefaults()
+	ins := ablationInstance(cfg.Seed)
+	moves := cfg.RoundMoves * int64(cfg.Rounds)
+
+	var paperVals, paperMS, cetsVals, cetsMS []float64
+	for s := 0; s < cfg.Seeds; s++ {
+		seed := cfg.Seed + uint64(s)*7127
+
+		start := time.Now()
+		pRes, err := tabu.Search(ins, tabu.DefaultParams(ins.N), moves, seed)
+		if err != nil {
+			return nil, err
+		}
+		paperMS = append(paperMS, float64(time.Since(start).Microseconds())/1000)
+		paperVals = append(paperVals, pRes.Best.Value)
+
+		start = time.Now()
+		cRes, err := cets.Search(ins, cets.Options{Seed: seed, Budget: moves * flipsPerMove})
+		if err != nil {
+			return nil, err
+		}
+		cetsMS = append(cetsMS, float64(time.Since(start).Microseconds())/1000)
+		cetsVals = append(cetsVals, cRes.Best.Value)
+
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "kernel seed=%d paper=%.0f cets=%.0f\n",
+				seed, pRes.Best.Value, cRes.Best.Value)
+		}
+	}
+	return []KernelRow{
+		{Kernel: "paper drop/add TS", Value: stats.Summarize(paperVals), Time: stats.Summarize(paperMS)},
+		{Kernel: "critical-event TS", Value: stats.Summarize(cetsVals), Time: stats.Summarize(cetsMS)},
+	}, nil
+}
+
+// RenderKernel prints the kernel comparison.
+func RenderKernel(rows []KernelRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation H: sequential kernel vs critical-event TS (MK1, equivalent work)")
+	fmt.Fprintf(&b, "%-20s %-16s %s\n", "kernel", "value", "host ms")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %-16s %s\n", r.Kernel, r.Value.String(), r.Time.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationKernelShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := AblationKernel(AblationConfig{Seed: 11, Rounds: 2, RoundMoves: 200, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Value.Mean <= 0 {
+			t.Fatalf("kernel %q found nothing", r.Kernel)
+		}
+		if r.Value.N != 2 {
+			t.Fatalf("kernel %q summarized %d seeds", r.Kernel, r.Value.N)
+		}
+	}
+	out := RenderKernel(rows)
+	if !strings.Contains(out, "critical-event") || !strings.Contains(out, "drop/add") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}

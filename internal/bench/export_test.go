@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/tabu"
+)
+
+func sampleTable1() []Table1Row {
+	return []Table1Row{{
+		Label: "1to4", Size: "3*10", Problems: 4,
+		MaxSimTime: 120 * time.Millisecond, MaxTime: 80 * time.Millisecond,
+		AvgDev: 0.5, MaxDev: 1.25, Optima: 4, Proven: 4,
+	}}
+}
+
+func TestExportCSVRoundTrip(t *testing.T) {
+	e := ExportTable1(sampleTable1())
+	var sb strings.Builder
+	if err := e.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want header + 1 row", len(records))
+	}
+	if records[0][0] != "label" || records[1][0] != "1to4" {
+		t.Fatalf("unexpected CSV: %v", records)
+	}
+	if records[1][3] != "120" {
+		t.Fatalf("sim ms cell = %q, want 120", records[1][3])
+	}
+}
+
+func TestExportJSONWellFormed(t *testing.T) {
+	e := ExportTable1(sampleTable1())
+	var sb strings.Builder
+	if err := e.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name string              `json:"name"`
+		Rows []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "table1" || len(doc.Rows) != 1 {
+		t.Fatalf("unexpected JSON doc: %+v", doc)
+	}
+	if doc.Rows[0]["avg_dev_pct"] != "0.5" {
+		t.Fatalf("avg_dev_pct = %q", doc.Rows[0]["avg_dev_pct"])
+	}
+}
+
+func TestExportRowWidthMismatchRejected(t *testing.T) {
+	e := Export{Name: "broken", Header: []string{"a", "b"}, Rows: [][]string{{"only-one"}}}
+	if err := e.WriteCSV(&strings.Builder{}); err == nil {
+		t.Fatal("CSV accepted ragged row")
+	}
+	if err := e.WriteJSON(&strings.Builder{}); err == nil {
+		t.Fatal("JSON accepted ragged row")
+	}
+}
+
+func TestAllExportersProduceAlignedRows(t *testing.T) {
+	sum := stats.Summarize([]float64{1, 2})
+	exports := []Export{
+		ExportTable1(sampleTable1()),
+		ExportTable2([]Table2Row{{
+			Problem: "MK1", Size: "10*100",
+			Value: map[core.Algorithm]stats.Summary{
+				core.SEQ: sum, core.ITS: sum, core.CTS1: sum, core.CTS2: sum,
+			},
+			Samples: map[core.Algorithm][]float64{},
+			SimTime: time.Second,
+		}}),
+		ExportFP(&FPSummary{Rows: []FPRow{{Name: "FP01", Size: "2*6", Optimum: 10, Proven: true, Value: 10, Hit: true, Rounds: 1}}}),
+		ExportAlpha([]AlphaRow{{Alpha: 0.9, MeanValue: 1}}),
+		ExportTuning([]TuningRow{{Seed: 1, CTS1: 1, CTS2: 2}}),
+		ExportScaling([]ScalingRow{{P: 2, MeanValue: 1}}),
+		ExportStrategy([]StrategyRow{{LtLength: 5, NbDrop: 2, MeanValue: 1}}),
+		ExportPolicies([]PolicyRow{{Policy: tabu.PolicyREM, MeanValue: 1}}),
+		ExportGrain([]GrainRow{{Scheme: "x", Value: 1}}),
+		ExportSpeedup([]SpeedupRow{{P: 4, Hits: 0}, {P: 8, Hits: 2, Rounds: sum, PerSlave: sum}}),
+		ExportKernel([]KernelRow{{Kernel: "k", Value: sum, Time: sum}}),
+	}
+	for _, e := range exports {
+		if e.Name == "" || len(e.Header) == 0 {
+			t.Fatalf("export %+v missing name or header", e)
+		}
+		for _, row := range e.Rows {
+			if len(row) != len(e.Header) {
+				t.Fatalf("export %q: row %v does not match header %v", e.Name, row, e.Header)
+			}
+		}
+		var sb strings.Builder
+		if err := e.WriteCSV(&sb); err != nil {
+			t.Fatalf("export %q CSV: %v", e.Name, err)
+		}
+		sb.Reset()
+		if err := e.WriteJSON(&sb); err != nil {
+			t.Fatalf("export %q JSON: %v", e.Name, err)
+		}
+	}
+}

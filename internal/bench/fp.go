@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// FPConfig sizes the Fréville–Plateau experiment: the paper reports that
+// "the optimal solution is reached for all these [57] problems" (§5).
+type FPConfig struct {
+	Seed       uint64
+	P          int
+	Rounds     int   // maximum master iterations before giving up
+	RoundMoves int64 // per-slave per-round budget
+	// ExactNodeLimit caps the per-problem reference solve. The generated
+	// suite needs ~1e8 nodes for its single hardest problem; the default
+	// (150M) certifies all 57.
+	ExactNodeLimit int64
+	// Limit truncates the suite to its first Limit problems (0 = all 57);
+	// tests use it to stay fast.
+	Limit    int
+	Progress io.Writer
+}
+
+func (c FPConfig) withDefaults() FPConfig {
+	if c.P <= 0 {
+		c.P = 12
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 100
+	}
+	if c.RoundMoves <= 0 {
+		c.RoundMoves = 1500
+	}
+	if c.ExactNodeLimit <= 0 {
+		c.ExactNodeLimit = 150_000_000
+	}
+	return c
+}
+
+// FPRow records one FP problem: whether the parallel TS matched the
+// certified optimum and how fast.
+type FPRow struct {
+	Name    string
+	Size    string
+	Optimum float64
+	Proven  bool
+	Value   float64
+	Hit     bool
+	Rounds  int // master rounds consumed (early-stopped on the optimum)
+	Time    time.Duration
+}
+
+// FPSummary aggregates the suite.
+type FPSummary struct {
+	Rows    []FPRow
+	Proven  int // problems with certified optima
+	Hits    int // problems where CTS2 matched the certified optimum
+	MaxTime time.Duration
+}
+
+// FPReport runs CTS2 with early stop at the certified optimum over the FP
+// suite, reproducing the §5 claim.
+func FPReport(cfg FPConfig) (*FPSummary, error) {
+	cfg = cfg.withDefaults()
+	suite := gen.FPSuite(cfg.Seed)
+	if cfg.Limit > 0 && cfg.Limit < len(suite) {
+		suite = suite[:cfg.Limit]
+	}
+	sum := &FPSummary{}
+	for i, ins := range suite {
+		ref, err := ComputeReference(ins, cfg.ExactNodeLimit)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{
+			P:          cfg.P,
+			Seed:       cfg.Seed + uint64(i)*131,
+			Rounds:     cfg.Rounds,
+			RoundMoves: cfg.RoundMoves,
+		}
+		if ref.Optimal {
+			opts.Target = ref.Optimum
+		}
+		res, err := core.Solve(ins, core.CTS2, opts)
+		if err != nil {
+			return nil, err
+		}
+		row := FPRow{
+			Name:    ins.Name,
+			Size:    ins.Size(),
+			Optimum: ref.Optimum,
+			Proven:  ref.Optimal,
+			Value:   res.Best.Value,
+			Rounds:  res.Stats.Rounds,
+			Time:    res.Stats.Elapsed,
+		}
+		if ref.Optimal && res.Best.Value >= ref.Optimum-1e-9 {
+			row.Hit = true
+			sum.Hits++
+		}
+		if ref.Optimal {
+			sum.Proven++
+		}
+		if res.Stats.Elapsed > sum.MaxTime {
+			sum.MaxTime = res.Stats.Elapsed
+		}
+		sum.Rows = append(sum.Rows, row)
+		if cfg.Progress != nil {
+			status := "MISS"
+			if row.Hit {
+				status = "hit"
+			} else if !row.Proven {
+				status = "unproven"
+			}
+			fmt.Fprintf(cfg.Progress, "fp %-14s opt=%.0f got=%.0f rounds=%d %s\n",
+				row.Name, row.Optimum, row.Value, row.Rounds, status)
+		}
+	}
+	return sum, nil
+}
+
+// RenderFP prints the summary in the style of the §5 narrative.
+func RenderFP(s *FPSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Freville-Plateau-style suite: %d problems, %d with certified optima\n",
+		len(s.Rows), s.Proven)
+	fmt.Fprintf(&b, "Optimum reached on %d/%d certified problems (max time %v)\n",
+		s.Hits, s.Proven, s.MaxTime.Round(time.Millisecond))
+	misses := 0
+	for _, r := range s.Rows {
+		if r.Proven && !r.Hit {
+			fmt.Fprintf(&b, "  missed %-14s opt=%.0f got=%.0f (gap %.3f%%)\n",
+				r.Name, r.Optimum, r.Value, 100*(r.Optimum-r.Value)/r.Optimum)
+			misses++
+		}
+	}
+	if misses == 0 && s.Proven > 0 {
+		fmt.Fprintf(&b, "  (matches the paper: the optimal solution is reached for all problems)\n")
+	}
+	return b.String()
+}

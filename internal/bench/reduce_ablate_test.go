@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationReductionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := AblationReduction(AblationConfig{Seed: 13, Rounds: 2, RoundMoves: 300, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d family rows, want 5", len(rows))
+	}
+	byName := map[string]ReduceRow{}
+	for _, r := range rows {
+		byName[r.Family] = r
+		if r.Rate.Mean < 0 || r.Rate.Mean > 1 {
+			t.Fatalf("family %q rate %v out of [0,1]", r.Family, r.Rate.Mean)
+		}
+	}
+	// The robust shape: strong correlation (constant surplus) resists
+	// reduction at least as well as the uncorrelated family, and something
+	// reduces at all. Finer orderings are budget- and seed-sensitive, so the
+	// full-scale run in EXPERIMENTS.md reports them instead.
+	if byName["uncorrelated"].Rate.Mean < byName["strongly-corr"].Rate.Mean {
+		t.Fatalf("uncorrelated rate %v below strongly-corr %v",
+			byName["uncorrelated"].Rate.Mean, byName["strongly-corr"].Rate.Mean)
+	}
+	total := 0.0
+	for _, r := range rows {
+		total += r.Rate.Mean
+	}
+	if total == 0 {
+		t.Fatal("no family reduced at all")
+	}
+	out := RenderReduction(rows)
+	if !strings.Contains(out, "fp-style") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+	ex := ExportReduction(rows)
+	if len(ex.Rows) != 5 {
+		t.Fatal("export broken")
+	}
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// SpeedupRow reports, for one slave count, how quickly CTS2 reached the
+// sequential baseline's quality. RoundsToTarget is in master rounds; since
+// every slave runs the same per-round budget, rounds are the wall-clock proxy
+// on a real P-processor machine.
+type SpeedupRow struct {
+	P        int
+	Hits     int           // seeds where the target was reached within the round cap
+	Rounds   stats.Summary // rounds to target, over hitting seeds
+	PerSlave stats.Summary // per-slave moves to target (wall-clock proxy), over hitting seeds
+}
+
+// AblationSpeedup quantifies the paper's first claim — "parallel processing
+// can reduce the execution time" (§1) — as time-to-target: per seed, a full
+// SEQ run fixes the target value, then CTS2 with P ∈ {1,2,4,8,16} runs until
+// it matches that value. More processors should need fewer rounds
+// (experiment G).
+func AblationSpeedup(cfg AblationConfig) ([]SpeedupRow, error) {
+	cfg = cfg.withDefaults()
+	ins := ablationInstance(cfg.Seed)
+	roundCap := 4 * cfg.Rounds // generous cap so slow configurations still register
+
+	// Per-seed targets from the sequential baseline.
+	targets := make([]float64, cfg.Seeds)
+	for s := 0; s < cfg.Seeds; s++ {
+		res, err := core.Solve(ins, core.SEQ, core.Options{
+			P: 1, Seed: cfg.Seed + uint64(s)*911, Rounds: cfg.Rounds, RoundMoves: cfg.RoundMoves,
+		})
+		if err != nil {
+			return nil, err
+		}
+		targets[s] = res.Best.Value
+	}
+
+	rows := []SpeedupRow{}
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		row := SpeedupRow{P: p}
+		var rounds, perSlave []float64
+		for s := 0; s < cfg.Seeds; s++ {
+			res, err := core.Solve(ins, core.CTS2, core.Options{
+				P: p, Seed: cfg.Seed + uint64(s)*911, Rounds: roundCap,
+				RoundMoves: cfg.RoundMoves, Target: targets[s],
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.Best.Value >= targets[s]-1e-9 {
+				row.Hits++
+				rounds = append(rounds, float64(res.Stats.Rounds))
+				perSlave = append(perSlave, float64(res.Stats.TotalMoves)/float64(p))
+			}
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "speedup P=%-2d seed=%d target=%.0f got=%.0f rounds=%d\n",
+					p, s, targets[s], res.Best.Value, res.Stats.Rounds)
+			}
+		}
+		if len(rounds) > 0 {
+			row.Rounds = stats.Summarize(rounds)
+			row.PerSlave = stats.Summarize(perSlave)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSpeedup prints the time-to-target ladder.
+func RenderSpeedup(rows []SpeedupRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation G: time to SEQ-quality target vs processors (CTS2, MK1)")
+	fmt.Fprintf(&b, "%-4s %-6s %-16s %s\n", "P", "hits", "rounds to target", "per-slave moves to target")
+	for _, r := range rows {
+		if r.Hits == 0 {
+			fmt.Fprintf(&b, "%-4d %-6d %-16s %s\n", r.P, r.Hits, "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-4d %-6d %-16s %s\n", r.P, r.Hits, r.Rounds.String(), r.PerSlave.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationSpeedupShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := AblationSpeedup(AblationConfig{Seed: 9, Rounds: 3, RoundMoves: 200, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0].P != 1 || rows[4].P != 16 {
+		t.Fatalf("unexpected ladder: %+v", rows)
+	}
+	// P >= 1 with a 4x round cap must reach the SEQ target on most seeds; at
+	// the very least, SOME configuration must hit it.
+	totalHits := 0
+	for _, r := range rows {
+		if r.Hits < 0 || r.Hits > 2 {
+			t.Fatalf("row %+v has impossible hit count", r)
+		}
+		totalHits += r.Hits
+	}
+	if totalHits == 0 {
+		t.Fatal("no configuration ever reached the sequential target")
+	}
+	out := RenderSpeedup(rows)
+	if !strings.Contains(out, "rounds to target") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}

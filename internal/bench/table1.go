@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// Table1Config sizes the Table 1 experiment (deviation of the parallel TS on
+// the Glover–Kochenberger size ladder).
+type Table1Config struct {
+	Seed       uint64
+	P          int   // slaves; the paper's farm has 16 processors
+	Rounds     int   // master iterations per problem
+	RoundMoves int64 // per-slave per-round budget at n = 100 (scaled with n)
+	// ExactNodeLimit caps the per-problem exact reference solve; problems the
+	// B&B cannot finish fall back to the LP bound. 0 disables exact
+	// references entirely.
+	ExactNodeLimit int64
+	// Progress, when non-nil, receives one line per solved problem.
+	Progress io.Writer
+}
+
+func (c Table1Config) withDefaults() Table1Config {
+	if c.P <= 0 {
+		c.P = 16
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.RoundMoves <= 0 {
+		c.RoundMoves = 1500
+	}
+	return c
+}
+
+// Table1Row is one row of the paper's Table 1: a size group of GK problems
+// with its worst execution time and its deviation from the reference values.
+type Table1Row struct {
+	Label      string // problem-number range, e.g. "1to4"
+	Size       string // "m*n"
+	Problems   int
+	MaxTime    time.Duration // max wall-clock over the group on the host
+	MaxSimTime time.Duration // max SIMULATED time on the paper's Alpha farm (paper: Max.Exec.Time)
+	AvgDev     float64       // mean deviation % over the group (paper: Dev. in %)
+	MaxDev     float64
+	Optima     int // problems where the proven optimum was matched
+	Proven     int // problems with a proven optimum available
+}
+
+// Table1 runs CTS2 over the generated GK suite and aggregates per size
+// group. The per-slave budget scales linearly with n so larger problems get
+// proportionally more work, mirroring the paper's growing execution times.
+func Table1(cfg Table1Config) ([]Table1Row, error) {
+	cfg = cfg.withDefaults()
+	suite := gen.GKSuite(cfg.Seed)
+	groups := gen.GKGroups()
+
+	rows := make([]Table1Row, 0, len(groups))
+	idx := 0
+	for _, g := range groups {
+		row := Table1Row{Label: g.Label, Size: fmt.Sprintf("%d*%d", g.M, g.N), Problems: g.Count}
+		for k := 0; k < g.Count; k++ {
+			ins := suite[idx]
+			idx++
+			ref, err := ComputeReference(ins, cfg.ExactNodeLimit)
+			if err != nil {
+				return nil, err
+			}
+			moves := cfg.RoundMoves * int64(ins.N) / 100
+			if moves < 200 {
+				moves = 200
+			}
+			opts := core.Options{
+				P:          cfg.P,
+				Seed:       cfg.Seed + uint64(idx),
+				Rounds:     cfg.Rounds,
+				RoundMoves: moves,
+			}
+			if ref.Optimal {
+				opts.Target = ref.Optimum // stop at the proven optimum, like the paper's runs
+			}
+			res, err := core.Solve(ins, core.CTS2, opts)
+			if err != nil {
+				return nil, err
+			}
+			dev := ref.Deviation(res.Best.Value)
+			row.AvgDev += dev
+			if dev > row.MaxDev {
+				row.MaxDev = dev
+			}
+			if res.Stats.Elapsed > row.MaxTime {
+				row.MaxTime = res.Stats.Elapsed
+			}
+			if res.Stats.SimElapsed > row.MaxSimTime {
+				row.MaxSimTime = res.Stats.SimElapsed
+			}
+			if ref.Optimal {
+				row.Proven++
+				if res.Best.Value >= ref.Optimum-1e-9 {
+					row.Optima++
+				}
+			}
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "table1 %-16s value=%.0f dev=%.3f%% time=%v\n",
+					ins.Name, res.Best.Value, dev, res.Stats.Elapsed.Round(time.Millisecond))
+			}
+		}
+		row.AvgDev /= float64(g.Count)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints the rows in the paper's Table 1 layout. The
+// Max.Exec.Time column is the simulated time on the paper's 500-MIPS Alpha
+// farm (comparable across hosts); the host wall clock is shown alongside.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Computational results for Glover-Kochenberger-style problems\n")
+	fmt.Fprintf(&b, "%-8s %-8s %-16s %-12s %-12s %-12s %s\n",
+		"Prob nbr", "m*n", "Max.Exec.Time*", "(host time)", "AvgDev in %", "MaxDev in %", "Optima")
+	for _, r := range rows {
+		opt := "-"
+		if r.Proven > 0 {
+			opt = fmt.Sprintf("%d/%d", r.Optima, r.Proven)
+		}
+		fmt.Fprintf(&b, "%-8s %-8s %-16s %-12s %-12.3f %-12.3f %s\n",
+			r.Label, r.Size,
+			r.MaxSimTime.Round(time.Millisecond), r.MaxTime.Round(time.Millisecond),
+			r.AvgDev, r.MaxDev, opt)
+	}
+	fmt.Fprintf(&b, "* simulated on the paper's platform model (500-MIPS Alphas, 200 Mb/s crossbar)\n")
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/mkp"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// Algorithms lists the four Table 2 columns in the paper's order.
+var Algorithms = []core.Algorithm{core.SEQ, core.ITS, core.CTS1, core.CTS2}
+
+// Table2Config sizes the Table 2 experiment: best cost found by the four
+// approaches within the same execution budget on the large MK problems.
+type Table2Config struct {
+	Seed       uint64
+	P          int   // slaves for the parallel variants
+	Rounds     int   // master iterations
+	RoundMoves int64 // per-slave per-round budget
+	Seeds      int   // independent repetitions averaged per cell (default 3)
+	Progress   io.Writer
+}
+
+func (c Table2Config) withDefaults() Table2Config {
+	if c.P <= 0 {
+		c.P = 8
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 12
+	}
+	if c.RoundMoves <= 0 {
+		c.RoundMoves = 1500
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 3
+	}
+	return c
+}
+
+// Table2Row is one row of the paper's Table 2: one MK problem, the best cost
+// per algorithm summarized over the repetitions, and the fixed execution
+// time every algorithm was granted (simulated on the paper's Alpha model).
+type Table2Row struct {
+	Problem string
+	Size    string
+	Value   map[core.Algorithm]stats.Summary // over Seeds repetitions
+	Samples map[core.Algorithm][]float64     // raw per-seed values (paired across algorithms)
+	Moves   map[core.Algorithm]int64         // total moves summed over repetitions
+	SimTime time.Duration                    // the per-problem simulated execution budget (Exec Time column)
+	Time    time.Duration                    // max HOST wall clock of any single run
+}
+
+// Winner returns the algorithm with the highest mean cost in the row (ties
+// go to the later entrant in SEQ<ITS<CTS1<CTS2 order, matching the paper's
+// expectation that cooperation never hurts).
+func (r Table2Row) Winner() core.Algorithm {
+	best := core.SEQ
+	for _, a := range Algorithms {
+		if r.Value[a].Mean >= r.Value[best].Mean {
+			best = a
+		}
+	}
+	return best
+}
+
+// Table2 runs SEQ, ITS, CTS1 and CTS2 on the five MK problems under the
+// paper's fixed-execution-time protocol, enforced on the simulated Alpha
+// clock: every algorithm gets the same per-problem simulated budget
+// (Rounds·RoundMoves moves' worth), so the parallel variants spend P times
+// the total work of SEQ in the same execution time — exactly the comparison
+// of §5, and deterministic because the clock is simulated. Each cell is
+// averaged over Seeds paired repetitions.
+func Table2(cfg Table2Config) ([]Table2Row, error) {
+	cfg = cfg.withDefaults()
+	suite := gen.MKSuite(cfg.Seed)
+	rows := make([]Table2Row, 0, len(suite))
+	for i, ins := range suite {
+		row, err := CompareInstance(ins, gen.MKSizes()[i].Label, uint64(i)*97, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// CompareInstance runs the four algorithms on one instance under the
+// fixed-simulated-execution-time protocol and returns the Table 2 row.
+// seedOffset decorrelates problems within a suite.
+func CompareInstance(ins *mkp.Instance, label string, seedOffset uint64, cfg Table2Config) (*Table2Row, error) {
+	cfg = cfg.withDefaults()
+	clock := vtime.Alpha()
+	simBudget := time.Duration(cfg.Rounds) * time.Duration(cfg.RoundMoves) * clock.MoveDuration(ins.N, ins.M)
+	row := &Table2Row{
+		Problem: label,
+		Size:    ins.Size(),
+		Value:   make(map[core.Algorithm]stats.Summary, len(Algorithms)),
+		Samples: make(map[core.Algorithm][]float64, len(Algorithms)),
+		Moves:   make(map[core.Algorithm]int64, len(Algorithms)),
+		SimTime: simBudget,
+	}
+	for _, algo := range Algorithms {
+		values := make([]float64, 0, cfg.Seeds)
+		for s := 0; s < cfg.Seeds; s++ {
+			res, err := core.Solve(ins, algo, core.Options{
+				P:          cfg.P,
+				Seed:       cfg.Seed + seedOffset + uint64(s)*104729,
+				RoundMoves: cfg.RoundMoves,
+				SimBudget:  simBudget,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: compare %s/%v: %w", ins.Name, algo, err)
+			}
+			values = append(values, res.Best.Value)
+			row.Moves[algo] += res.Stats.TotalMoves
+			if res.Stats.Elapsed > row.Time {
+				row.Time = res.Stats.Elapsed
+			}
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "compare %-12s %-4v seed=%d value=%.0f moves=%d time=%v\n",
+					ins.Name, algo, s, res.Best.Value, res.Stats.TotalMoves,
+					res.Stats.Elapsed.Round(time.Millisecond))
+			}
+		}
+		row.Samples[algo] = values
+		row.Value[algo] = stats.Summarize(values)
+	}
+	return row, nil
+}
+
+// RenderTable2 prints the rows in the paper's Table 2 layout, with mean ±
+// 95% half-width per cell and a paired win/loss/tie line for the headline
+// CTS2-vs-ITS comparison.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Comparison of the four approaches\n")
+	fmt.Fprintf(&b, "%-6s %-8s %16s %16s %16s %16s  %-10s %s\n",
+		"Prob", "m*n", "SEQ", "ITS", "CTS1", "CTS2", "Exec Time", "Winner")
+	var wins, losses, ties int
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %-8s %16s %16s %16s %16s  %-10s %v\n",
+			r.Problem, r.Size,
+			r.Value[core.SEQ], r.Value[core.ITS], r.Value[core.CTS1], r.Value[core.CTS2],
+			r.SimTime.Round(time.Millisecond), r.Winner())
+		w, l, t := stats.WinLossTie(r.Samples[core.CTS2], r.Samples[core.ITS])
+		wins += w
+		losses += l
+		ties += t
+	}
+	fmt.Fprintf(&b, "paired CTS2 vs ITS across all cells: %d wins, %d ties, %d losses\n", wins, ties, losses)
+	fmt.Fprintf(&b, "Exec Time is the fixed simulated budget per problem on the paper's Alpha-farm model\n")
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TrajectoryConfig sizes the convergence-trajectory experiment.
+type TrajectoryConfig struct {
+	Seed       uint64
+	P          int
+	Rounds     int
+	RoundMoves int64
+	Problem    int // MK problem index 0..4 (default 0 = MK1)
+	Progress   io.Writer
+}
+
+func (c TrajectoryConfig) withDefaults() TrajectoryConfig {
+	if c.P <= 0 {
+		c.P = 8
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 15
+	}
+	if c.RoundMoves <= 0 {
+		c.RoundMoves = 1500
+	}
+	if c.Problem < 0 || c.Problem > 4 {
+		c.Problem = 0
+	}
+	return c
+}
+
+// TrajectorySeries is one algorithm's global-best-after-each-round curve.
+type TrajectorySeries struct {
+	Algorithm core.Algorithm
+	Values    []float64
+}
+
+// Trajectories runs the four Table 2 algorithms on one MK problem from the
+// same seed and returns their round-by-round quality curves — the
+// convergence picture behind Table 2's single end-of-run numbers.
+func Trajectories(cfg TrajectoryConfig) ([]TrajectorySeries, error) {
+	cfg = cfg.withDefaults()
+	ins := gen.MKSuite(cfg.Seed)[cfg.Problem]
+	out := make([]TrajectorySeries, 0, len(Algorithms))
+	for _, algo := range Algorithms {
+		res, err := core.Solve(ins, algo, core.Options{
+			P: cfg.P, Seed: cfg.Seed, Rounds: cfg.Rounds, RoundMoves: cfg.RoundMoves,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: trajectory %v: %w", algo, err)
+		}
+		out = append(out, TrajectorySeries{Algorithm: algo, Values: res.Stats.BestByRound})
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "trajectory %-4v final=%.0f\n", algo, res.Best.Value)
+		}
+	}
+	return out, nil
+}
+
+// RenderTrajectories prints the curves as a round-by-round table.
+func RenderTrajectories(series []TrajectorySeries) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Convergence: global best after each round (MK problem, same seed)")
+	fmt.Fprintf(&b, "%-6s", "round")
+	rounds := 0
+	for _, s := range series {
+		fmt.Fprintf(&b, " %10v", s.Algorithm)
+		if len(s.Values) > rounds {
+			rounds = len(s.Values)
+		}
+	}
+	fmt.Fprintln(&b)
+	for r := 0; r < rounds; r++ {
+		fmt.Fprintf(&b, "%-6d", r+1)
+		for _, s := range series {
+			if r < len(s.Values) {
+				fmt.Fprintf(&b, " %10.0f", s.Values[r])
+			} else {
+				fmt.Fprintf(&b, " %10s", "-")
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// ExportTrajectories converts the curves to long-format records
+// (round, algorithm, value), the shape plotting tools want.
+func ExportTrajectories(series []TrajectorySeries) Export {
+	e := Export{Name: "trajectories", Header: []string{"round", "algorithm", "value"}}
+	for _, s := range series {
+		for r, v := range s.Values {
+			e.Rows = append(e.Rows, []string{fint(r + 1), s.Algorithm.String(), fnum(v)})
+		}
+	}
+	return e
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTrajectoriesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trajectory run in -short mode")
+	}
+	series, err := Trajectories(TrajectoryConfig{Seed: 21, P: 2, Rounds: 3, RoundMoves: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("got %d series, want 4", len(series))
+	}
+	for _, s := range series {
+		if len(s.Values) != 3 {
+			t.Fatalf("%v has %d points, want 3", s.Algorithm, len(s.Values))
+		}
+		for i := 1; i < len(s.Values); i++ {
+			if s.Values[i] < s.Values[i-1] {
+				t.Fatalf("%v trajectory decreased", s.Algorithm)
+			}
+		}
+	}
+	if series[0].Algorithm != core.SEQ || series[3].Algorithm != core.CTS2 {
+		t.Fatalf("series order wrong: %v ... %v", series[0].Algorithm, series[3].Algorithm)
+	}
+	out := RenderTrajectories(series)
+	if !strings.Contains(out, "round") || !strings.Contains(out, "CTS2") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+	ex := ExportTrajectories(series)
+	if len(ex.Rows) != 4*3 {
+		t.Fatalf("export has %d rows, want 12", len(ex.Rows))
+	}
+}
+
+func TestTrajectoryConfigDefaults(t *testing.T) {
+	c := TrajectoryConfig{Problem: 9}.withDefaults()
+	if c.P != 8 || c.Rounds != 15 || c.RoundMoves != 1500 || c.Problem != 0 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}

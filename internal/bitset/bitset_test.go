@@ -1,0 +1,322 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1000} {
+		s := New(n)
+		if s.Len() != n {
+			t.Fatalf("Len() = %d, want %d", s.Len(), n)
+		}
+		if s.Count() != 0 {
+			t.Fatalf("new set of %d bits has Count %d, want 0", n, s.Count())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Get(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		s.Clear(i)
+		if s.Get(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestSetToAndFlip(t *testing.T) {
+	s := New(70)
+	s.SetTo(69, true)
+	if !s.Get(69) {
+		t.Fatal("SetTo(69,true) did not set")
+	}
+	s.SetTo(69, false)
+	if s.Get(69) {
+		t.Fatal("SetTo(69,false) did not clear")
+	}
+	if v := s.Flip(69); !v || !s.Get(69) {
+		t.Fatal("Flip did not set the bit")
+	}
+	if v := s.Flip(69); v || s.Get(69) {
+		t.Fatal("second Flip did not clear the bit")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for name, fn := range map[string]func(){
+		"Get(-1)":  func() { s.Get(-1) },
+		"Get(10)":  func() { s.Get(10) },
+		"Set(10)":  func() { s.Set(10) },
+		"Clear(-)": func() { s.Clear(-5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := New(200)
+	want := 0
+	for i := 0; i < 200; i += 3 {
+		s.Set(i)
+		want++
+	}
+	if got := s.Count(); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestFillRespectsLength(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100} {
+		s := New(n)
+		s.Fill()
+		if got := s.Count(); got != n {
+			t.Fatalf("Fill on %d bits: Count = %d", n, got)
+		}
+	}
+}
+
+func TestResetClearsAll(t *testing.T) {
+	s := New(100)
+	s.Fill()
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(80)
+	s.Set(5)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Set(6)
+	if s.Get(6) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := New(90), New(90)
+	a.Set(3)
+	a.Set(77)
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom did not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom length mismatch did not panic")
+		}
+	}()
+	New(10).CopyFrom(New(11))
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	if New(10).Equal(New(11)) {
+		t.Fatal("sets of different lengths reported Equal")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(1)
+	a.Set(70)
+	b.Set(1)
+	b.Set(71)
+	if d := Distance(a, b); d != 2 {
+		t.Fatalf("Distance = %d, want 2", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Distance length mismatch did not panic")
+		}
+	}()
+	Distance(New(10), New(11))
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	s := FromIndices(150, []int{3, 64, 65, 149})
+	var got []int
+	s.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	want := []int{3, 64, 65, 149}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+	count := 0
+	s.ForEach(func(i int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d bits, want 2", count)
+	}
+}
+
+func TestIndicesReuse(t *testing.T) {
+	s := FromIndices(64, []int{0, 63})
+	buf := make([]int, 0, 4)
+	got := s.Indices(buf)
+	if len(got) != 2 || got[0] != 0 || got[1] != 63 {
+		t.Fatalf("Indices = %v", got)
+	}
+}
+
+func TestStringAndKey(t *testing.T) {
+	s := FromIndices(4, []int{0, 2})
+	if s.String() != "1010" {
+		t.Fatalf("String = %q, want 1010", s.String())
+	}
+	o := FromIndices(4, []int{0, 2})
+	if s.Key() != o.Key() {
+		t.Fatal("equal sets have different keys")
+	}
+	o.Set(1)
+	if s.Key() == o.Key() {
+		t.Fatal("different sets share a key")
+	}
+}
+
+// randomSet builds a set of n bits with each bit set with probability 1/2.
+func randomSet(r *rand.Rand, n int) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+func TestQuickCountMatchesNaive(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn)%300 + 1
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, n)
+		naive := 0
+		for i := 0; i < n; i++ {
+			if s.Get(i) {
+				naive++
+			}
+		}
+		return s.Count() == naive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDistanceMetricAxioms(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn)%200 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomSet(r, n), randomSet(r, n), randomSet(r, n)
+		dab, dba := Distance(a, b), Distance(b, a)
+		if dab != dba { // symmetry
+			return false
+		}
+		if Distance(a, a) != 0 { // identity
+			return false
+		}
+		if dab == 0 && !a.Equal(b) { // identity of indiscernibles
+			return false
+		}
+		// triangle inequality
+		return Distance(a, c) <= dab+Distance(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFlipInvolution(t *testing.T) {
+	f := func(seed int64, nn uint8, ii uint16) bool {
+		n := int(nn)%200 + 1
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, n)
+		i := int(ii) % n
+		before := s.Get(i)
+		c := s.Clone()
+		s.Flip(i)
+		s.Flip(i)
+		return s.Get(i) == before && s.Equal(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDistanceEqualsXorCount(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn)%200 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r, n), randomSet(r, n)
+		naive := 0
+		for i := 0; i < n; i++ {
+			if a.Get(i) != b.Get(i) {
+				naive++
+			}
+		}
+		return Distance(a, b) == naive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	s := New(500)
+	for i := 0; i < 500; i += 2 {
+		s.Set(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Count()
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := randomSet(r, 500), randomSet(r, 500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Distance(x, y)
+	}
+}

@@ -1,0 +1,157 @@
+// Package bound computes upper bounds on the 0-1 MKP optimum. The experiment
+// harness uses the LP relaxation bound as the reference value for the paper's
+// "Dev. in %" column, and the exact branch-and-bound drives its pruning with
+// the surrogate (dual-weighted) Dantzig bound derived here.
+package bound
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/lp"
+	"repro/internal/mkp"
+)
+
+// LP returns the linear-relaxation upper bound of the instance.
+func LP(ins *mkp.Instance) (float64, error) {
+	res, err := lp.Solve(ins.Profit, ins.Weight, ins.Capacity)
+	if err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}
+
+// Dantzig returns the continuous single-constraint bound for constraint i,
+// ignoring all other constraints: pack items by decreasing c_j/a_ij until b_i
+// is exhausted, taking the last item fractionally. Items with a_ij = 0 are
+// free under this constraint and counted fully.
+func Dantzig(ins *mkp.Instance, i int) float64 {
+	type item struct {
+		c, a float64
+	}
+	items := make([]item, 0, ins.N)
+	value := 0.0
+	for j := 0; j < ins.N; j++ {
+		a := ins.Weight[i][j]
+		if a == 0 {
+			value += ins.Profit[j]
+			continue
+		}
+		items = append(items, item{ins.Profit[j], a})
+	}
+	sort.Slice(items, func(x, y int) bool {
+		return items[x].c*items[y].a > items[y].c*items[x].a // c/a desc without division
+	})
+	cap := ins.Capacity[i]
+	for _, it := range items {
+		if it.a <= cap {
+			value += it.c
+			cap -= it.a
+			continue
+		}
+		value += it.c * cap / it.a
+		break
+	}
+	return value
+}
+
+// SurrogateMin returns min_i Dantzig(ins, i): each single-constraint bound is
+// valid, so the minimum is too. It is the cheap bound used before the LP is
+// available.
+func SurrogateMin(ins *mkp.Instance) float64 {
+	best := math.Inf(1)
+	for i := 0; i < ins.M; i++ {
+		if d := Dantzig(ins, i); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Surrogate is a single aggregated knapsack constraint w·x <= W built from
+// nonnegative multipliers (typically the LP duals): any x feasible for the
+// MKP satisfies it, so its continuous knapsack bound dominates the optimum.
+type Surrogate struct {
+	W       []float64 // aggregated item weights, length n
+	Cap     float64   // aggregated capacity
+	order   []int     // items by decreasing c_j / w_j (w=0 first)
+	profits []float64
+}
+
+// NewSurrogate aggregates the instance's constraints with the given
+// nonnegative multipliers y (length m). If every multiplier is zero it falls
+// back to uniform multipliers so the bound stays meaningful.
+func NewSurrogate(ins *mkp.Instance, y []float64) *Surrogate {
+	allZero := true
+	for _, v := range y {
+		if v > 0 {
+			allZero = false
+			break
+		}
+	}
+	s := &Surrogate{
+		W:       make([]float64, ins.N),
+		profits: ins.Profit,
+	}
+	for i := 0; i < ins.M; i++ {
+		mult := y[i]
+		if allZero {
+			mult = 1
+		}
+		s.Cap += mult * ins.Capacity[i]
+		for j := 0; j < ins.N; j++ {
+			s.W[j] += mult * ins.Weight[i][j]
+		}
+	}
+	s.order = make([]int, ins.N)
+	for j := range s.order {
+		s.order[j] = j
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		ja, jb := s.order[a], s.order[b]
+		wa, wb := s.W[ja], s.W[jb]
+		switch {
+		case wa == 0 && wb == 0:
+			return ins.Profit[ja] > ins.Profit[jb]
+		case wa == 0:
+			return true
+		case wb == 0:
+			return false
+		default:
+			return ins.Profit[ja]*wb > ins.Profit[jb]*wa
+		}
+	})
+	return s
+}
+
+// Order returns the items sorted by decreasing surrogate efficiency; the
+// branch-and-bound branches in this order.
+func (s *Surrogate) Order() []int { return s.order }
+
+// Bound returns the continuous knapsack bound over the free items given the
+// residual surrogate capacity. free[j] must report whether item j is still
+// undecided; fixedValue is the profit already locked in.
+func (s *Surrogate) Bound(fixedValue, residualCap float64, free func(j int) bool) float64 {
+	v := fixedValue
+	cap := residualCap
+	for _, j := range s.order {
+		if !free(j) {
+			continue
+		}
+		w := s.W[j]
+		if w == 0 {
+			v += s.profits[j]
+			continue
+		}
+		if w <= cap {
+			v += s.profits[j]
+			cap -= w
+			continue
+		}
+		if cap > 0 {
+			v += s.profits[j] * cap / w
+		}
+		break
+	}
+	return v
+}

@@ -1,0 +1,212 @@
+package bound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+func tiny() *mkp.Instance {
+	return &mkp.Instance{
+		Name:   "tiny",
+		N:      4,
+		M:      2,
+		Profit: []float64{10, 6, 4, 7},
+		Weight: [][]float64{
+			{3, 2, 1, 4},
+			{2, 3, 3, 1},
+		},
+		Capacity: []float64{6, 5},
+	}
+}
+
+func randomInstance(r *rng.Rand, n, m int) *mkp.Instance {
+	ins := &mkp.Instance{
+		Name:     "prop",
+		N:        n,
+		M:        m,
+		Profit:   make([]float64, n),
+		Weight:   make([][]float64, m),
+		Capacity: make([]float64, m),
+	}
+	for j := 0; j < n; j++ {
+		ins.Profit[j] = float64(r.IntRange(1, 100))
+	}
+	for i := 0; i < m; i++ {
+		ins.Weight[i] = make([]float64, n)
+		total := 0.0
+		for j := 0; j < n; j++ {
+			ins.Weight[i][j] = float64(r.IntRange(1, 50))
+			total += ins.Weight[i][j]
+		}
+		ins.Capacity[i] = math.Max(1, 0.4*total)
+	}
+	return ins
+}
+
+// bruteBest enumerates the true optimum for small n.
+func bruteBest(ins *mkp.Instance) float64 {
+	best := 0.0
+	for mask := 0; mask < 1<<uint(ins.N); mask++ {
+		ok := true
+		for i := 0; i < ins.M && ok; i++ {
+			load := 0.0
+			for j := 0; j < ins.N; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					load += ins.Weight[i][j]
+				}
+			}
+			if load > ins.Capacity[i] {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		v := 0.0
+		for j := 0; j < ins.N; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				v += ins.Profit[j]
+			}
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestLPBoundDominatesOptimum(t *testing.T) {
+	ins := tiny()
+	ub, err := LP(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt := bruteBest(ins); ub < opt-1e-9 {
+		t.Fatalf("LP bound %v below optimum %v", ub, opt)
+	}
+}
+
+func TestDantzigKnownValue(t *testing.T) {
+	// Constraint 0 of tiny: weights (3,2,1,4), cap 6, profits (10,6,4,7).
+	// Ratios: 10/3, 6/2=3, 4/1=4, 7/4=1.75 → order: 2 (4), 0 (3.33), 1 (3), 3.
+	// Pack item 2 (w1, cap 5 left), item 0 (w3, cap 2), item 1 (w2, cap 0),
+	// item 3 fractional 0 → value 4+10+6 = 20.
+	got := Dantzig(tiny(), 0)
+	if math.Abs(got-20) > 1e-9 {
+		t.Fatalf("Dantzig(0) = %v, want 20", got)
+	}
+}
+
+func TestDantzigFreeItems(t *testing.T) {
+	ins := tiny()
+	ins.Weight[0][2] = 0 // item 2 free under constraint 0
+	got := Dantzig(ins, 0)
+	// item 2 counted fully (4); then ratios 10/3, 3, 1.75 on cap 6:
+	// item 0 (cap 3), item 1 (cap 1), item 3 fraction 1/4 → 4+10+6+7/4.
+	want := 4 + 10 + 6 + 7.0/4.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Dantzig with free item = %v, want %v", got, want)
+	}
+}
+
+func TestSurrogateMinDominates(t *testing.T) {
+	ins := tiny()
+	if sm := SurrogateMin(ins); sm < bruteBest(ins)-1e-9 {
+		t.Fatalf("SurrogateMin %v below optimum", sm)
+	}
+}
+
+func TestSurrogateZeroMultipliersFallback(t *testing.T) {
+	ins := tiny()
+	s := NewSurrogate(ins, []float64{0, 0})
+	// Uniform fallback: Cap = 6+5, weights = column sums.
+	if s.Cap != 11 {
+		t.Fatalf("fallback Cap = %v, want 11", s.Cap)
+	}
+	if s.W[0] != 5 {
+		t.Fatalf("fallback W[0] = %v, want 5", s.W[0])
+	}
+}
+
+func TestSurrogateBoundDominates(t *testing.T) {
+	ins := tiny()
+	opt := bruteBest(ins)
+	for _, y := range [][]float64{{1, 1}, {2, 0.5}, {0, 1}, {0, 0}} {
+		s := NewSurrogate(ins, y)
+		ub := s.Bound(0, s.Cap, func(j int) bool { return true })
+		if ub < opt-1e-9 {
+			t.Fatalf("surrogate bound %v with y=%v below optimum %v", ub, y, opt)
+		}
+	}
+}
+
+func TestSurrogateOrderPermutation(t *testing.T) {
+	ins := tiny()
+	s := NewSurrogate(ins, []float64{1, 1})
+	seen := make([]bool, ins.N)
+	for _, j := range s.Order() {
+		if j < 0 || j >= ins.N || seen[j] {
+			t.Fatalf("Order not a permutation: %v", s.Order())
+		}
+		seen[j] = true
+	}
+}
+
+func TestQuickBoundsDominateOptimum(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(1, 12), r.IntRange(1, 4))
+		opt := bruteBest(ins)
+		ub, err := LP(ins)
+		if err != nil || ub < opt-1e-6 {
+			return false
+		}
+		if SurrogateMin(ins) < opt-1e-6 {
+			return false
+		}
+		y := make([]float64, ins.M)
+		for i := range y {
+			y[i] = r.Float64() * 3
+		}
+		s := NewSurrogate(ins, y)
+		return s.Bound(0, s.Cap, func(int) bool { return true }) >= opt-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLPTighterThanSurrogateMin(t *testing.T) {
+	// Each Dantzig bound relaxes all constraints but one, so the LP (which
+	// keeps them all) satisfies LP <= Dantzig(i) for every i, hence
+	// LP <= SurrogateMin.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(1, 20), r.IntRange(1, 5))
+		ub, err := LP(ins)
+		if err != nil {
+			return false
+		}
+		return ub <= SurrogateMin(ins)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPErrorPropagates(t *testing.T) {
+	// A structurally valid instance cannot make the LP fail, so drive the
+	// error path with a direct malformed call through the package under
+	// test: zero items is rejected by Validate upstream, so corrupt the
+	// instance after construction.
+	ins := tiny()
+	ins.N = 0
+	ins.Profit = nil
+	if _, err := LP(ins); err == nil {
+		t.Fatal("LP accepted an empty problem")
+	}
+}

@@ -1,0 +1,211 @@
+// Package cets implements a critical-event tabu search for the 0-1 MKP in
+// the style of Glover & Kochenberger (Meta-Heuristics: Theory and
+// Applications, 1996) — reference [6] of the paper, the method whose
+// benchmark problems Table 1 sweeps and whose running times §5 compares
+// against. The paper also borrows its strategic oscillation for one of the
+// two intensification procedures (§3.2).
+//
+// The search oscillates around the feasibility boundary: a constructive
+// phase adds items until the solution is `amplitude` items beyond the first
+// infeasibility, a destructive phase drops items until it is `amplitude`
+// items inside feasibility. The feasible solutions crossed on the way — the
+// *critical events* — are the candidates; recency tabu restrictions prevent
+// immediate re-flips, and the oscillation amplitude adapts: it deepens while
+// the search stalls and snaps back to 1 on improvement.
+package cets
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+// Options configures the search.
+type Options struct {
+	// Seed drives tie-breaking noise.
+	Seed uint64
+	// Budget is the total number of item flips (adds + drops). Default 50000.
+	Budget int64
+	// Tenure is the recency tabu tenure in flips. 0 means n/8 (min 4).
+	Tenure int
+	// MaxAmplitude caps the oscillation depth. 0 means 1 + n/50.
+	MaxAmplitude int
+	// StallOscillations is how many non-improving full oscillations are
+	// tolerated before the amplitude deepens. Default 4.
+	StallOscillations int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Budget <= 0 {
+		o.Budget = 50000
+	}
+	if o.Tenure <= 0 {
+		o.Tenure = n / 8
+		if o.Tenure < 4 {
+			o.Tenure = 4
+		}
+	}
+	if o.MaxAmplitude <= 0 {
+		o.MaxAmplitude = 1 + n/50
+	}
+	if o.StallOscillations <= 0 {
+		o.StallOscillations = 4
+	}
+	return o
+}
+
+// Result reports the search outcome.
+type Result struct {
+	Best           mkp.Solution
+	Flips          int64 // item flips executed
+	CriticalEvents int64 // feasibility-boundary crossings examined
+	MaxAmplitude   int   // deepest oscillation actually used
+}
+
+// Search runs the critical-event tabu search until the flip budget is
+// exhausted. The run is deterministic for a fixed seed.
+func Search(ins *mkp.Instance, opts Options) (*Result, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(ins.N)
+	r := rng.New(opts.Seed)
+
+	st := mkp.NewState(ins)
+	st.Load(mkp.Greedy(ins).X)
+	best := st.Snapshot()
+
+	// Static orders: constructive by decreasing pseudo-utility, destructive
+	// by decreasing burden.
+	addOrder := mkp.RankByUtility(ins)
+	dropOrder := make([]int, ins.N)
+	copy(dropOrder, addOrder)
+	sort.SliceStable(dropOrder, func(a, b int) bool {
+		return ins.BurdenRatio(dropOrder[a]) > ins.BurdenRatio(dropOrder[b])
+	})
+
+	tabuUntil := make([]int64, ins.N) // flip counter before which j may not flip again
+
+	res := &Result{MaxAmplitude: 1}
+	amplitude := 1
+	stall := 0
+
+	var flips int64
+	flip := func(j int, pack bool) {
+		if pack {
+			st.Add(j)
+		} else {
+			st.Drop(j)
+		}
+		tabuUntil[j] = flips + int64(opts.Tenure)
+		flips++
+	}
+
+	// pick returns one of the first three non-tabu candidates in order
+	// satisfying keep (weights 0.8 / 0.13 / 0.07 — enough noise to break the
+	// cycles a purely deterministic oscillation falls into on small
+	// instances); when everything is tabu the first tabu candidate is used,
+	// so the search never deadlocks.
+	cands := make([]int, 0, 3)
+	pick := func(order []int, keep func(j int) bool) int {
+		cands = cands[:0]
+		tabuPick := -1
+		for _, j := range order {
+			if !keep(j) {
+				continue
+			}
+			if tabuUntil[j] > flips {
+				if tabuPick == -1 {
+					tabuPick = j
+				}
+				continue
+			}
+			cands = append(cands, j)
+			if len(cands) == 3 {
+				break
+			}
+		}
+		if len(cands) == 0 {
+			return tabuPick
+		}
+		u := r.Float64()
+		switch {
+		case len(cands) > 2 && u < 0.07:
+			return cands[2]
+		case len(cands) > 1 && u < 0.20:
+			return cands[1]
+		default:
+			return cands[0]
+		}
+	}
+
+	recordCritical := func() {
+		res.CriticalEvents++
+		if st.Feasible() && st.Value > best.Value {
+			best = st.Snapshot()
+			amplitude = 1
+			stall = 0
+		}
+	}
+
+	for flips < opts.Budget {
+		// Constructive phase: add until `amplitude` items beyond the first
+		// infeasibility (critical event recorded at the last feasible point).
+		beyond := 0
+		for beyond < amplitude && flips < opts.Budget {
+			j := pick(addOrder, func(j int) bool { return !st.X.Get(j) })
+			if j < 0 {
+				break // everything packed
+			}
+			wasFeasible := st.Feasible()
+			flip(j, true)
+			if wasFeasible && !st.Feasible() {
+				beyond++
+			} else if st.Feasible() {
+				recordCritical()
+			} else {
+				beyond++
+			}
+		}
+		// Destructive phase: drop until feasible again, then `amplitude`
+		// items further inside.
+		inside := 0
+		for (!st.Feasible() || inside < amplitude) && flips < opts.Budget && st.X.Count() > 0 {
+			j := pick(dropOrder, func(j int) bool { return st.X.Get(j) })
+			if j < 0 {
+				break
+			}
+			wasInfeasible := !st.Feasible()
+			flip(j, false)
+			if st.Feasible() {
+				if wasInfeasible {
+					recordCritical() // first feasible point: the critical event
+				} else {
+					inside++
+				}
+			}
+		}
+		// A full oscillation without improvement deepens the excursion.
+		stall++
+		if stall >= opts.StallOscillations {
+			stall = 0
+			if amplitude < opts.MaxAmplitude {
+				amplitude++
+				if amplitude > res.MaxAmplitude {
+					res.MaxAmplitude = amplitude
+				}
+			}
+		}
+	}
+
+	// The final state may be infeasible mid-oscillation; the best recorded
+	// critical event is the answer.
+	if !mkp.IsFeasibleAssignment(ins, best.X) {
+		return nil, fmt.Errorf("cets: internal error: best solution infeasible")
+	}
+	res.Best = best
+	res.Flips = flips
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package cets
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+func randomInstance(r *rng.Rand, n, m int, tightness float64) *mkp.Instance {
+	ins := &mkp.Instance{
+		Name:     "rand",
+		N:        n,
+		M:        m,
+		Profit:   make([]float64, n),
+		Weight:   make([][]float64, m),
+		Capacity: make([]float64, m),
+	}
+	for j := 0; j < n; j++ {
+		ins.Profit[j] = float64(r.IntRange(1, 100))
+	}
+	for i := 0; i < m; i++ {
+		ins.Weight[i] = make([]float64, n)
+		total := 0.0
+		for j := 0; j < n; j++ {
+			ins.Weight[i][j] = float64(r.IntRange(1, 50))
+			total += ins.Weight[i][j]
+		}
+		ins.Capacity[i] = math.Max(1, tightness*total)
+	}
+	return ins
+}
+
+func TestSearchFeasibleAndSane(t *testing.T) {
+	ins := randomInstance(rng.New(1), 60, 5, 0.3)
+	res, err := Search(ins, Options{Seed: 2, Budget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+		t.Fatal("infeasible best")
+	}
+	if res.Best.Value < mkp.Greedy(ins).Value {
+		t.Fatalf("CETS %v below its greedy start", res.Best.Value)
+	}
+	if res.Flips < 4999 {
+		t.Fatalf("budget underused: %d flips", res.Flips)
+	}
+	if res.CriticalEvents == 0 {
+		t.Fatal("no critical events recorded")
+	}
+}
+
+func TestSearchReachesOptimumSmall(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 10; trial++ {
+		ins := randomInstance(r, r.IntRange(6, 13), r.IntRange(1, 3), 0.4)
+		opt, err := exact.Enumerate(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Search(ins, Options{Seed: uint64(trial), Budget: 20000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best.Value < opt.Value {
+			t.Errorf("trial %d: CETS %v < optimum %v", trial, res.Best.Value, opt.Value)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	ins := randomInstance(rng.New(4), 50, 4, 0.3)
+	a, err := Search(ins, Options{Seed: 9, Budget: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(ins, Options{Seed: 9, Budget: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Value != b.Best.Value || !a.Best.X.Equal(b.Best.X) {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestSearchAmplitudeAdapts(t *testing.T) {
+	// A long run on a hard instance must deepen the oscillation at least once.
+	ins := randomInstance(rng.New(5), 80, 8, 0.25)
+	res, err := Search(ins, Options{Seed: 1, Budget: 20000, StallOscillations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAmplitude < 2 {
+		t.Fatalf("amplitude never deepened: %d", res.MaxAmplitude)
+	}
+}
+
+func TestSearchRejectsInvalidInstance(t *testing.T) {
+	ins := randomInstance(rng.New(6), 10, 2, 0.4)
+	ins.Capacity[0] = -1
+	if _, err := Search(ins, Options{}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults(400)
+	if o.Budget != 50000 || o.Tenure != 50 || o.MaxAmplitude != 9 || o.StallOscillations != 4 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	small := Options{}.withDefaults(10)
+	if small.Tenure != 4 || small.MaxAmplitude != 1 {
+		t.Fatalf("small-n defaults: %+v", small)
+	}
+}
+
+func TestQuickAlwaysFeasibleWithinBudget(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(5, 40), r.IntRange(1, 6), 0.25+0.4*r.Float64())
+		res, err := Search(ins, Options{Seed: seed, Budget: 800})
+		if err != nil {
+			return false
+		}
+		return mkp.IsFeasibleAssignment(ins, res.Best.X) && res.Flips <= 800+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCETS100x10(b *testing.B) {
+	ins := randomInstance(rng.New(7), 100, 10, 0.25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Search(ins, Options{Seed: 1, Budget: int64(b.N)}); err != nil {
+		b.Fatal(err)
+	}
+}

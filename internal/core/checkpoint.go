@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bitset"
+	"repro/internal/mkp"
+	"repro/internal/tabu"
+)
+
+// Checkpoint captures the master's cooperative state at a rendezvous
+// boundary: everything needed to continue the search after a restart. Slave
+// long-term memory (frequency history, tabu state) is process-local and not
+// captured; a resumed run re-grows it, which costs some intensification
+// quality on the first rounds but preserves the pool, the strategies, the
+// scores, and the global best exactly.
+type Checkpoint struct {
+	Version    int              `json:"version"`
+	Algorithm  string           `json:"algorithm"`
+	N          int              `json:"n"`
+	P          int              `json:"p"`
+	Round      int              `json:"round"`
+	Alpha      float64          `json:"alpha"`
+	Best       SolutionRecord   `json:"best"`
+	Starts     []SolutionRecord `json:"starts"`
+	Strategies []tabu.Strategy  `json:"strategies"`
+	Scores     []int            `json:"scores"`
+	Stagnation []int            `json:"stagnation"`
+}
+
+// SolutionRecord is the serialized form of a solution: the assignment as a
+// 0/1 string (item 0 first) plus the objective value.
+type SolutionRecord struct {
+	Bits  string  `json:"bits"`
+	Value float64 `json:"value"`
+}
+
+// recordOf serializes a solution.
+func recordOf(sol mkp.Solution) SolutionRecord {
+	return SolutionRecord{Bits: sol.X.String(), Value: sol.Value}
+}
+
+// solutionOf deserializes a record, validating length and bit characters.
+func solutionOf(rec SolutionRecord, n int) (mkp.Solution, error) {
+	if len(rec.Bits) != n {
+		return mkp.Solution{}, fmt.Errorf("core: checkpoint solution has %d bits, instance has %d", len(rec.Bits), n)
+	}
+	x := bitset.New(n)
+	for j, c := range rec.Bits {
+		switch c {
+		case '1':
+			x.Set(j)
+		case '0':
+		default:
+			return mkp.Solution{}, fmt.Errorf("core: checkpoint bit %q at %d", c, j)
+		}
+	}
+	return mkp.Solution{X: x, Value: rec.Value}, nil
+}
+
+// checkpoint snapshots the master's current state.
+func (m *master) checkpoint() *Checkpoint {
+	c := &Checkpoint{
+		Version:    1,
+		Algorithm:  m.algo.String(),
+		N:          m.ins.N,
+		P:          m.opts.P,
+		Round:      m.stats.Rounds,
+		Alpha:      m.alpha,
+		Best:       recordOf(m.best),
+		Strategies: append([]tabu.Strategy(nil), m.strategies...),
+		Scores:     append([]int(nil), m.scores...),
+		Stagnation: append([]int(nil), m.stagnation...),
+	}
+	for _, s := range m.starts {
+		c.Starts = append(c.Starts, recordOf(s))
+	}
+	return c
+}
+
+// restore loads a checkpoint into a freshly constructed master. It rejects
+// mismatched dimensions and algorithms.
+func (m *master) restore(c *Checkpoint) error {
+	if c.Version != 1 {
+		return fmt.Errorf("core: unsupported checkpoint version %d", c.Version)
+	}
+	if c.Algorithm != m.algo.String() {
+		return fmt.Errorf("core: checkpoint is for %s, run is %s", c.Algorithm, m.algo)
+	}
+	if c.N != m.ins.N {
+		return fmt.Errorf("core: checkpoint for n=%d, instance has n=%d", c.N, m.ins.N)
+	}
+	if c.P != m.opts.P {
+		return fmt.Errorf("core: checkpoint for P=%d, run has P=%d", c.P, m.opts.P)
+	}
+	if len(c.Starts) != c.P || len(c.Strategies) != c.P || len(c.Scores) != c.P || len(c.Stagnation) != c.P {
+		return fmt.Errorf("core: checkpoint slave arrays inconsistent with P=%d", c.P)
+	}
+	best, err := solutionOf(c.Best, m.ins.N)
+	if err != nil {
+		return err
+	}
+	for i, st := range c.Strategies {
+		if err := st.Validate(); err != nil {
+			return fmt.Errorf("core: checkpoint strategy %d: %w", i, err)
+		}
+	}
+	m.best = best
+	m.alpha = c.Alpha
+	copy(m.strategies, c.Strategies)
+	copy(m.scores, c.Scores)
+	copy(m.stagnation, c.Stagnation)
+	for i, rec := range c.Starts {
+		sol, err := solutionOf(rec, m.ins.N)
+		if err != nil {
+			return fmt.Errorf("core: checkpoint start %d: %w", i, err)
+		}
+		m.starts[i] = sol
+	}
+	return nil
+}
+
+// SaveCheckpoint writes a checkpoint as indented JSON.
+func SaveCheckpoint(w io.Writer, c *Checkpoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// LoadCheckpoint parses a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("core: parsing checkpoint: %w", err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTripJSON(t *testing.T) {
+	ins := testInstance(30, 3, 61)
+	var last *Checkpoint
+	_, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 2, Rounds: 4, RoundMoves: 150,
+		OnCheckpoint: func(c *Checkpoint) { last = c },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint delivered")
+	}
+	if last.Round != 4 || last.P != 3 || last.N != 30 || last.Algorithm != "CTS2" {
+		t.Fatalf("checkpoint header wrong: %+v", last)
+	}
+	var sb strings.Builder
+	if err := SaveCheckpoint(&sb, last); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Round != last.Round || back.Best.Value != last.Best.Value || back.Alpha != last.Alpha {
+		t.Fatalf("round trip changed checkpoint: %+v vs %+v", back, last)
+	}
+	if len(back.Starts) != 3 || len(back.Strategies) != 3 {
+		t.Fatalf("slave arrays lost: %+v", back)
+	}
+}
+
+func TestResumeContinuesFromCheckpoint(t *testing.T) {
+	ins := testInstance(40, 4, 62)
+	var cp *Checkpoint
+	first, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 5, Rounds: 5, RoundMoves: 200,
+		OnCheckpoint: func(c *Checkpoint) { cp = c },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 99, Rounds: 3, RoundMoves: 200, Resume: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resumed run starts from the checkpointed best: it can never end
+	// below it.
+	if resumed.Best.Value < first.Best.Value {
+		t.Fatalf("resumed run lost ground: %v < %v", resumed.Best.Value, first.Best.Value)
+	}
+	// And the resumed run keeps the tuned strategies (at least initially):
+	// the first round uses exactly the checkpointed ones, which are valid.
+	for i, st := range resumed.Strategies {
+		if err := st.Validate(); err != nil {
+			t.Fatalf("resumed strategy %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestResumeRejectsMismatches(t *testing.T) {
+	ins := testInstance(30, 3, 63)
+	var cp *Checkpoint
+	if _, err := Solve(ins, CTS2, Options{
+		P: 2, Seed: 1, Rounds: 2, RoundMoves: 100,
+		OnCheckpoint: func(c *Checkpoint) { cp = c },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong P.
+	if _, err := Solve(ins, CTS2, Options{P: 4, Seed: 1, Rounds: 1, RoundMoves: 100, Resume: cp}); err == nil {
+		t.Fatal("P mismatch accepted")
+	}
+	// Wrong algorithm.
+	if _, err := Solve(ins, CTS1, Options{P: 2, Seed: 1, Rounds: 1, RoundMoves: 100, Resume: cp}); err == nil {
+		t.Fatal("algorithm mismatch accepted")
+	}
+	// Wrong instance size.
+	other := testInstance(31, 3, 64)
+	if _, err := Solve(other, CTS2, Options{P: 2, Seed: 1, Rounds: 1, RoundMoves: 100, Resume: cp}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	// Corrupted bits.
+	bad := *cp
+	bad.Best.Bits = strings.Repeat("2", 30)
+	if _, err := Solve(ins, CTS2, Options{P: 2, Seed: 1, Rounds: 1, RoundMoves: 100, Resume: &bad}); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+	// Bad version.
+	badV := *cp
+	badV.Version = 9
+	if _, err := Solve(ins, CTS2, Options{P: 2, Seed: 1, Rounds: 1, RoundMoves: 100, Resume: &badV}); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// Inconsistent slave arrays.
+	badS := *cp
+	badS.Scores = badS.Scores[:1]
+	if _, err := Solve(ins, CTS2, Options{P: 2, Seed: 1, Rounds: 1, RoundMoves: 100, Resume: &badS}); err == nil {
+		t.Fatal("truncated arrays accepted")
+	}
+}
+
+func TestLoadCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := LoadCheckpoint(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

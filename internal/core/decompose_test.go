@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/mkp"
+)
+
+func TestDecomposedFeasibleAndSane(t *testing.T) {
+	ins := testInstance(60, 5, 81)
+	res, err := SolveDecomposed(ins, DecomposeOptions{Parts: 4, Seed: 1, MovesPerPart: 500, PolishMoves: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+		t.Fatal("decomposed best infeasible")
+	}
+	if res.Best.Value < res.MergedValue {
+		t.Fatalf("polish lost value: %v < merged %v", res.Best.Value, res.MergedValue)
+	}
+	if res.Moves <= 0 {
+		t.Fatal("no moves accounted")
+	}
+}
+
+func TestDecomposedRespectsOptimum(t *testing.T) {
+	ins := testInstance(14, 3, 82)
+	opt, err := exact.Enumerate(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveDecomposed(ins, DecomposeOptions{Parts: 3, Seed: 2, MovesPerPart: 800, PolishMoves: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value > opt.Value {
+		t.Fatalf("decomposed %v beats optimum %v", res.Best.Value, opt.Value)
+	}
+}
+
+func TestDecomposedLosesToCooperativeSearch(t *testing.T) {
+	// The point of the baseline: severing item coupling costs quality at
+	// comparable work. Per-seed outcomes fluctuate, so compare means over a
+	// few seeds and allow CTS2 a whisker of tolerance.
+	ins := testInstance(80, 6, 83)
+	var decMean, ctsMean float64
+	const seeds = 3
+	for s := uint64(0); s < seeds; s++ {
+		dec, err := SolveDecomposed(ins, DecomposeOptions{Parts: 4, Seed: 3 + s, MovesPerPart: 1000, PolishMoves: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts, err := Solve(ins, CTS2, Options{P: 4, Seed: 3 + s, Rounds: 5, RoundMoves: 250})
+		if err != nil {
+			t.Fatal(err)
+		}
+		decMean += dec.Best.Value / seeds
+		ctsMean += cts.Best.Value / seeds
+	}
+	if ctsMean < decMean*0.995 {
+		t.Fatalf("CTS2 mean %v far below decomposition mean %v", ctsMean, decMean)
+	}
+}
+
+func TestDecomposedPartsClamped(t *testing.T) {
+	ins := testInstance(5, 2, 84)
+	res, err := SolveDecomposed(ins, DecomposeOptions{Parts: 20, Seed: 1, MovesPerPart: 100, PolishMoves: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+		t.Fatal("clamped-parts run infeasible")
+	}
+}
+
+func TestDecomposedRejectsInvalid(t *testing.T) {
+	ins := testInstance(10, 2, 85)
+	ins.Profit[0] = -1
+	if _, err := SolveDecomposed(ins, DecomposeOptions{}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mkp"
+	"repro/internal/tabu"
+)
+
+func TestExtendedTuningRunsAndRetunesModes(t *testing.T) {
+	ins := testInstance(50, 5, 91)
+	res, err := Solve(ins, CTS2, Options{
+		P: 4, Seed: 6, Rounds: 20, RoundMoves: 150,
+		InitialScore: 1, ExtendedTuning: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+		t.Fatal("extended-tuning best infeasible")
+	}
+	if res.Stats.StrategyResets == 0 {
+		t.Fatal("no resets fired; the premise of the test is broken")
+	}
+}
+
+func TestExtendedTuningDeterministic(t *testing.T) {
+	ins := testInstance(40, 4, 92)
+	opts := Options{P: 3, Seed: 8, Rounds: 6, RoundMoves: 150, InitialScore: 1, ExtendedTuning: true}
+	a, err := Solve(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Value != b.Best.Value || !a.Best.X.Equal(b.Best.X) {
+		t.Fatal("extended tuning nondeterministic")
+	}
+}
+
+func TestExtendedTuningOffByDefault(t *testing.T) {
+	// Without the flag, a reset must NOT consume master RNG draws for modes,
+	// so the plain run stays bit-identical to the paper's algorithm: verify
+	// by checking the sgp path directly.
+	ins := testInstance(30, 3, 93)
+	m := bareMaster(ins, 1, Options{InitialScore: 1, Seed: 4})
+	pool := []mkp.Solution{solOf(ins, []int{0}), solOf(ins, []int{1})}
+	m.sgp([]*tabu.Result{{Improved: false, Pool: pool}})
+	if m.opts.ExtendedTuning {
+		t.Fatal("flag leaked")
+	}
+	if m.modes != nil && len(m.modes) > 0 && m.modes[0] != 0 {
+		t.Fatal("mode mutated without ExtendedTuning")
+	}
+}

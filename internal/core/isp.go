@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mkp"
+	"repro/internal/tabu"
+	"repro/internal/trace"
+)
+
+// isp is the Initial Solution generation Procedure (§4.2): the next start for
+// slave i is its own best solution, substituted by
+//
+//  1. the global best when its cost falls below the fraction Alpha of the
+//     best cost found by all processors — eliminating weak starts from the
+//     pool (macro intensification when Alpha is high), and
+//  2. a fresh random solution when the start has not changed for
+//     StagnationLimit consecutive rounds (macro diversification).
+func (m *master) isp(results []*tabu.Result) {
+	for i, res := range results {
+		next := res.Best
+
+		// Rule 1: weak starts are replaced by the global best.
+		if next.Value < m.alpha*m.best.Value {
+			if m.opts.Tracer != nil {
+				m.opts.Tracer.Record(trace.Event{
+					Kind: trace.KindReplacement, Actor: -1, Round: m.stats.Rounds - 1,
+					Value:  next.Value,
+					Detail: fmt.Sprintf("slave=%d below alpha share of %.0f", i, m.best.Value),
+				})
+			}
+			next = m.best
+			m.stats.Replacements++
+		}
+
+		// Rule 2: stagnant starts are replaced by a random solution.
+		if m.prevStart[i].X != nil && next.X.Equal(m.prevStart[i].X) {
+			m.stagnation[i]++
+		} else {
+			m.stagnation[i] = 0
+		}
+		// Elite protection: the thread sitting on the global best defines the
+		// search frontier; §2's restart remarks target threads circling in
+		// regions that stopped paying off or that others already cover, so
+		// the leader is never randomized away.
+		elite := next.Value >= m.best.Value-1e-9
+		if !elite && m.stagnation[i] >= m.opts.StagnationLimit {
+			// "It will be substituted by a new randomly generated solution."
+			// A restricted-candidate greedy draw keeps the restart diverse
+			// without discarding a whole round climbing back from a weak
+			// random point.
+			next = mkp.RandomizedGreedy(m.ins, m.r, 4)
+			m.stats.RandomRestarts++
+			m.stagnation[i] = 0
+			if m.opts.Tracer != nil {
+				m.opts.Tracer.Record(trace.Event{
+					Kind: trace.KindRestart, Actor: -1, Round: m.stats.Rounds - 1,
+					Value: next.Value, Detail: fmt.Sprintf("slave=%d", i),
+				})
+			}
+		}
+
+		m.starts[i] = next
+		m.prevStart[i] = next
+	}
+}

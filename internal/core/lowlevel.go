@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/mkp"
+	"repro/internal/rng"
+	"repro/internal/tabu"
+)
+
+// LowLevelOptions configures the low-level parallel tabu search: ONE search
+// thread whose neighborhood evaluation is spread over worker goroutines with
+// a barrier per add step. This is the first/second source of parallelism in
+// §2 ("parallelism in cost function evaluation / neighborhood examination"),
+// which the paper sets aside in favor of coarse-grained search threads; the
+// implementation exists to measure the synchronization overhead that
+// motivates that choice (ablation F).
+type LowLevelOptions struct {
+	// Workers is the number of evaluation goroutines. Default 8.
+	Workers int
+	// Seed drives the (deterministic) run.
+	Seed uint64
+	// Moves is the total compound-move budget. Default 20000.
+	Moves int64
+	// Strategy supplies tenure and drop depth; zero value means
+	// tabu.DefaultParams defaults for the instance.
+	Strategy tabu.Strategy
+}
+
+func (o LowLevelOptions) withDefaults(n int) LowLevelOptions {
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Moves <= 0 {
+		o.Moves = 20000
+	}
+	if o.Strategy == (tabu.Strategy{}) {
+		o.Strategy = tabu.DefaultParams(n).Strategy
+	}
+	return o
+}
+
+// LowLevelResult reports a low-level parallel run.
+type LowLevelResult struct {
+	Best     mkp.Solution
+	Moves    int64
+	Barriers int64 // synchronization barriers executed (one per add step)
+	Elapsed  time.Duration
+}
+
+// SolveLowLevel runs the low-level parallel tabu search. The trajectory is
+// deterministic for a fixed seed regardless of Workers (workers only
+// partition a reduction whose result is order-independent).
+func SolveLowLevel(ins *mkp.Instance, opts LowLevelOptions) (*LowLevelResult, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(ins.N)
+	if err := opts.Strategy.Validate(); err != nil {
+		return nil, fmt.Errorf("core: lowlevel strategy: %w", err)
+	}
+	start := time.Now()
+
+	st := mkp.NewState(ins)
+	st.Load(mkp.Greedy(ins).X)
+	best := st.Snapshot()
+	rank := mkp.RankByUtility(ins)
+	rankPos := make([]int, ins.N) // item -> position in rank order
+	for pos, j := range rank {
+		rankPos[j] = pos
+	}
+	tabuAdd := make([]int64, ins.N)
+	tabuDrop := make([]int64, ins.N)
+	_ = rng.New(opts.Seed) // reserved for future randomized variants
+
+	// Worker pool: each barrier, workers scan disjoint chunks of the rank
+	// list for the best-ranked addable candidate and report it.
+	type task struct {
+		lo, hi    int
+		bestValue float64
+		moveNum   int64
+	}
+	tasks := make([]chan task, opts.Workers)
+	results := make(chan int, opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		tasks[w] = make(chan task)
+		wg.Add(1)
+		go func(in <-chan task) {
+			defer wg.Done()
+			for t := range in {
+				found := -1
+				for pos := t.lo; pos < t.hi; pos++ {
+					j := rank[pos]
+					if st.X.Get(j) || !st.Fits(j) {
+						continue
+					}
+					if tabuAdd[j] > t.moveNum && st.Value+ins.Profit[j] <= t.bestValue {
+						continue
+					}
+					found = pos
+					break
+				}
+				results <- found
+			}
+		}(tasks[w])
+	}
+	defer func() {
+		for _, ch := range tasks {
+			close(ch)
+		}
+		wg.Wait()
+	}()
+
+	var barriers int64
+	chunk := (ins.N + opts.Workers - 1) / opts.Workers
+
+	var moves int64
+	for moves = 0; moves < opts.Moves; moves++ {
+		// Drop phase (sequential: it is O(NbDrop·n), not the bottleneck).
+		for d := 0; d < opts.Strategy.NbDrop && st.X.Count() > 0; d++ {
+			i := st.MostSaturated()
+			pick, pickTabu := -1, -1
+			var score, scoreTabu float64
+			row := ins.Weight[i]
+			st.X.ForEach(func(j int) bool {
+				sc := row[j] / ins.Profit[j]
+				if tabuDrop[j] <= moves {
+					if pick == -1 || sc > score {
+						pick, score = j, sc
+					}
+				} else if pickTabu == -1 || sc > scoreTabu {
+					pickTabu, scoreTabu = j, sc
+				}
+				return true
+			})
+			if pick < 0 {
+				pick = pickTabu
+			}
+			if pick < 0 {
+				break
+			}
+			st.Drop(pick)
+			tabuAdd[pick] = moves + int64(opts.Strategy.LtLength)
+		}
+		// Add phase: one barrier per added item. Workers race over chunks;
+		// the master reduces to the minimum rank position, which makes the
+		// result independent of worker scheduling.
+		for {
+			for w := 0; w < opts.Workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if hi > ins.N {
+					hi = ins.N
+				}
+				tasks[w] <- task{lo: lo, hi: hi, bestValue: best.Value, moveNum: moves}
+			}
+			winner := -1
+			for w := 0; w < opts.Workers; w++ {
+				if pos := <-results; pos >= 0 && (winner == -1 || pos < winner) {
+					winner = pos
+				}
+			}
+			barriers++
+			if winner == -1 {
+				break
+			}
+			j := rank[winner]
+			st.Add(j)
+			tabuDrop[j] = moves + int64(opts.Strategy.LtLength)
+		}
+		if st.Value > best.Value {
+			best = st.Snapshot()
+		}
+	}
+
+	return &LowLevelResult{
+		Best:     best,
+		Moves:    moves,
+		Barriers: barriers,
+		Elapsed:  time.Since(start),
+	}, nil
+}

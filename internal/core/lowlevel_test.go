@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/mkp"
+	"repro/internal/tabu"
+)
+
+func TestLowLevelFeasibleAndSane(t *testing.T) {
+	ins := testInstance(40, 4, 21)
+	res, err := SolveLowLevel(ins, LowLevelOptions{Workers: 3, Seed: 1, Moves: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+		t.Fatal("low-level best infeasible")
+	}
+	if res.Moves != 500 {
+		t.Fatalf("Moves = %d, want 500", res.Moves)
+	}
+	if res.Barriers < res.Moves {
+		t.Fatalf("Barriers = %d, expected at least one per move", res.Barriers)
+	}
+	if res.Best.Value < mkp.Greedy(ins).Value {
+		t.Fatalf("low-level %v below greedy", res.Best.Value)
+	}
+}
+
+func TestLowLevelWorkerCountInvariant(t *testing.T) {
+	// The reduction picks the minimum rank position, so the trajectory must
+	// not depend on how many workers partition the scan.
+	ins := testInstance(50, 5, 22)
+	var first *LowLevelResult
+	for _, w := range []int{1, 2, 4, 7} {
+		res, err := SolveLowLevel(ins, LowLevelOptions{Workers: w, Seed: 3, Moves: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.Best.Value != first.Best.Value || !res.Best.X.Equal(first.Best.X) {
+			t.Fatalf("workers=%d changed the trajectory: %v vs %v", w, res.Best.Value, first.Best.Value)
+		}
+	}
+}
+
+func TestLowLevelReachesOptimumSmall(t *testing.T) {
+	ins := testInstance(12, 3, 23)
+	opt, err := exact.Enumerate(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveLowLevel(ins, LowLevelOptions{Workers: 2, Seed: 1, Moves: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value < opt.Value {
+		t.Fatalf("low-level %v below optimum %v", res.Best.Value, opt.Value)
+	}
+}
+
+func TestLowLevelValidation(t *testing.T) {
+	bad := testInstance(10, 2, 24)
+	bad.Profit[0] = -1
+	if _, err := SolveLowLevel(bad, LowLevelOptions{}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+	good := testInstance(10, 2, 24)
+	if _, err := SolveLowLevel(good, LowLevelOptions{Strategy: tabu.Strategy{LtLength: -1, NbDrop: 1, NbLocal: 1}}); err == nil {
+		t.Fatal("invalid strategy accepted")
+	}
+}
+
+func TestLowLevelDefaults(t *testing.T) {
+	o := LowLevelOptions{}.withDefaults(100)
+	if o.Workers != 8 || o.Moves != 20000 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if err := o.Strategy.Validate(); err != nil {
+		t.Fatalf("default strategy invalid: %v", err)
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/mkp"
+	"repro/internal/rng"
+	"repro/internal/tabu"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Message tags exchanged between master (node 0) and slaves (nodes 1..P).
+const (
+	tagStart  = "start"  // master -> slave: startMsg
+	tagResult = "result" // slave -> master: resultMsg
+	tagStop   = "stop"   // master -> slave: terminate
+)
+
+// startMsg is what the master sends a slave at each rendezvous: an initial
+// solution, a full parameter set (strategy included) and a move budget
+// (Fig. 2: "Send Initial solutions and strategies to slaves").
+type startMsg struct {
+	Start  mkp.Solution
+	Params tabu.Params
+	Budget int64
+}
+
+// resultMsg is the slave's report: its round result or the error that ended
+// it.
+type resultMsg struct {
+	Slave int
+	Res   *tabu.Result
+	Err   error
+}
+
+// Solve runs the selected algorithm on the instance. The run is
+// deterministic for a fixed (algorithm, Options.Seed, Options.P): slave
+// streams are split from the seed and the master's decisions depend only on
+// per-slave results, never on message arrival order.
+func Solve(ins *mkp.Instance, algo Algorithm, opts Options) (*Result, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if algo < SEQ || algo > CTS2 {
+		return nil, fmt.Errorf("core: unknown algorithm %d", int(algo))
+	}
+	opts = opts.withDefaults(ins.N)
+	if algo == SEQ {
+		opts.P = 1
+	}
+	if err := opts.Base.Validate(); err != nil {
+		return nil, fmt.Errorf("core: base params: %w", err)
+	}
+
+	start := time.Now()
+	m := newMaster(ins, algo, opts)
+	defer m.shutdown()
+	if opts.Resume != nil {
+		if err := m.restore(opts.Resume); err != nil {
+			return nil, err
+		}
+	}
+	res, err := m.run()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// master owns the per-slave bookkeeping array of Fig. 2 (strategy, initial
+// solution, B best pool, score) and the rendezvous loop.
+type master struct {
+	ins  *mkp.Instance
+	algo Algorithm
+	opts Options
+	net  *farm.Farm
+	r    *rng.Rand // master's private stream (ISP restarts, SGP redraws)
+
+	// Per-slave entries (index 0..P-1 for slave node i+1).
+	strategies []tabu.Strategy
+	starts     []mkp.Solution
+	scores     []int
+	stagnation []int
+	prevStart  []mkp.Solution
+
+	// Extended-tuning state (used only when opts.ExtendedTuning).
+	modes  []tabu.IntensifyMode
+	noises []float64
+	widths []int
+
+	best  mkp.Solution
+	alpha float64 // current ISP threshold; fixed unless AdaptiveAlpha
+	stats Stats
+}
+
+func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
+	root := rng.New(opts.Seed)
+	m := &master{
+		ins:        ins,
+		algo:       algo,
+		opts:       opts,
+		net:        farm.New(opts.P+1, farm.WithLatency(opts.Latency)),
+		r:          root.Split(),
+		strategies: make([]tabu.Strategy, opts.P),
+		starts:     make([]mkp.Solution, opts.P),
+		scores:     make([]int, opts.P),
+		stagnation: make([]int, opts.P),
+		prevStart:  make([]mkp.Solution, opts.P),
+		modes:      make([]tabu.IntensifyMode, opts.P),
+		noises:     make([]float64, opts.P),
+		widths:     make([]int, opts.P),
+	}
+	m.stats.Algorithm = algo
+	m.stats.P = opts.P
+	m.alpha = opts.Alpha
+
+	// Initial strategies and starting solutions: "chosen randomly" for every
+	// variant (§5), so SEQ really is the paper's baseline of one random
+	// sequential search and the parallel variants win by breadth, exchange
+	// and tuning rather than by a seeded constructive start.
+	for i := 0; i < opts.P; i++ {
+		m.strategies[i] = tabu.RandomStrategy(ins.N, m.r)
+		m.starts[i] = mkp.RandomFeasible(ins, m.r)
+		m.scores[i] = opts.InitialScore
+		m.modes[i] = opts.Base.Intensify
+		m.noises[i] = opts.Base.AddNoise
+		m.widths[i] = opts.Base.CandWidth
+	}
+	m.best = m.starts[0].Clone()
+	for i := 1; i < opts.P; i++ {
+		if m.starts[i].Value > m.best.Value {
+			m.best = m.starts[i].Clone()
+		}
+	}
+
+	// Launch the slaves ("Read and send to slaves problem data", Fig. 2 —
+	// the instance pointer is shared read-only here).
+	for i := 0; i < opts.P; i++ {
+		go slave(m.net, i+1, ins, root.Split())
+	}
+	return m
+}
+
+// slave is the process each worker node runs: wait for a start order,
+// execute one tabu-search round, report the result, repeat until stopped.
+func slave(net *farm.Farm, node int, ins *mkp.Instance, r *rng.Rand) {
+	searcher, err := tabu.NewSearcher(ins, r.Uint64())
+	if err != nil {
+		// The master validated the instance; this is unreachable in normal
+		// operation but reported rather than swallowed.
+		net.Send(node, 0, tagResult, resultMsg{Slave: node - 1, Err: err}, 0)
+		return
+	}
+	for {
+		msg := net.Recv(node)
+		switch msg.Tag {
+		case tagStop:
+			return
+		case tagStart:
+			req := msg.Payload.(startMsg)
+			res, err := searcher.Run(req.Start, req.Params, req.Budget)
+			size := 0
+			if res != nil {
+				size = farm.SizeOfSolution(ins.N) * (1 + len(res.Pool))
+			}
+			net.Send(node, 0, tagResult, resultMsg{Slave: node - 1, Res: res, Err: err}, size)
+		}
+	}
+}
+
+// budgetFor applies the paper's load-balancing rule: the per-round iteration
+// count is inversely proportional to NbDrop so slaves with deeper (more
+// expensive) moves finish at roughly the same time (§4.2).
+func (m *master) budgetFor(s tabu.Strategy) int64 {
+	b := m.opts.RoundMoves * int64(m.opts.RefDrop) / int64(s.NbDrop)
+	if m.opts.EqualWork {
+		b /= int64(m.opts.P)
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// run executes the master's iterative program (Fig. 2).
+func (m *master) run() (*Result, error) {
+	deadline := time.Time{}
+	if m.opts.TimeLimit > 0 {
+		deadline = time.Now().Add(m.opts.TimeLimit)
+	}
+	clock := vtime.Alpha()
+	budgets := make([]int64, m.opts.P)
+
+	results := make([]*tabu.Result, m.opts.P)
+	for round := 0; round < m.opts.Rounds; round++ {
+		if m.opts.Tracer != nil {
+			m.opts.Tracer.Record(trace.Event{
+				Kind: trace.KindRoundStart, Actor: -1, Round: round, Value: m.best.Value,
+			})
+		}
+		// Dispatch: every slave gets its start, its strategy and its budget.
+		for i := 0; i < m.opts.P; i++ {
+			params := m.opts.Base
+			params.Strategy = m.strategies[i]
+			params.Tracer = m.opts.Tracer
+			params.TraceID = i
+			if m.opts.ExtendedTuning {
+				params.Intensify = m.modes[i]
+				params.AddNoise = m.noises[i]
+				params.CandWidth = m.widths[i]
+			}
+			budgets[i] = m.budgetFor(m.strategies[i])
+			req := startMsg{Start: m.starts[i], Params: params, Budget: budgets[i]}
+			size := farm.SizeOfSolution(m.ins.N) + farm.SizeOfStrategy()
+			if err := m.net.Send(0, i+1, tagStart, req, size); err != nil {
+				return nil, err
+			}
+		}
+		// Rendezvous: wait for all P results (synchronous centralized
+		// scheme, §4.2).
+		for recvd := 0; recvd < m.opts.P; recvd++ {
+			msg := m.net.Recv(0)
+			rep := msg.Payload.(resultMsg)
+			if rep.Err != nil {
+				return nil, fmt.Errorf("core: slave %d: %w", rep.Slave, rep.Err)
+			}
+			results[rep.Slave] = rep.Res
+		}
+
+		// Bookkeeping.
+		prevBest := m.best.Value
+		for _, res := range results {
+			m.stats.TotalMoves += res.Moves
+			if res.Best.Value > m.best.Value {
+				m.best = res.Best.Clone()
+			}
+		}
+		m.stats.Rounds = round + 1
+		m.stats.BestByRound = append(m.stats.BestByRound, m.best.Value)
+		m.stats.SimElapsed += clock.RoundDuration(m.ins.N, m.ins.M, budgets,
+			farm.SizeOfSolution(m.ins.N), farm.SizeOfStrategy())
+		if m.opts.AdaptiveAlpha {
+			m.adaptAlpha(m.best.Value > prevBest)
+		}
+
+		// Next-round starting solutions.
+		switch m.algo {
+		case SEQ, ITS:
+			// Independent threads simply continue from their own best.
+			for i, res := range results {
+				m.starts[i] = res.Best
+			}
+		case CTS1, CTS2:
+			m.isp(results)
+		}
+		// Dynamic strategy setting (CTS2 only).
+		if m.algo == CTS2 {
+			m.sgp(results)
+		}
+		// The snapshot is taken after ISP/SGP so a resumed run starts the
+		// next round with exactly the state this run would have used.
+		if m.opts.OnCheckpoint != nil {
+			m.opts.OnCheckpoint(m.checkpoint())
+		}
+
+		if m.opts.Target > 0 && m.best.Value >= m.opts.Target-1e-9 {
+			break
+		}
+		if m.opts.SimBudget > 0 && m.stats.SimElapsed >= m.opts.SimBudget {
+			break
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+	}
+
+	fs := m.net.Stats()
+	m.stats.Messages = fs.Messages
+	m.stats.BytesSent = fs.Bytes
+	m.stats.FinalAlpha = m.alpha
+	return &Result{
+		Best:       m.best,
+		Stats:      m.stats,
+		Strategies: append([]tabu.Strategy(nil), m.strategies...),
+	}, nil
+}
+
+// adaptAlpha implements §4.2's dynamic control of the ISP threshold: rounds
+// that improve the global best pull the threshold up (macro intensification);
+// stagnant rounds push it down (macro diversification). The bounds keep the
+// mechanism from either disabling cooperation or collapsing every thread
+// onto the leader.
+func (m *master) adaptAlpha(improved bool) {
+	const (
+		alphaMin = 0.85
+		alphaMax = 0.995
+	)
+	if improved {
+		m.alpha += 0.01
+		if m.alpha > alphaMax {
+			m.alpha = alphaMax
+		}
+	} else {
+		m.alpha -= 0.03
+		if m.alpha < alphaMin {
+			m.alpha = alphaMin
+		}
+	}
+}
+
+// shutdown stops all slave goroutines.
+func (m *master) shutdown() {
+	for i := 0; i < m.opts.P; i++ {
+		m.net.Send(0, i+1, tagStop, nil, 0)
+	}
+}

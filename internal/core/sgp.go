@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/mkp"
+	"repro/internal/tabu"
+	"repro/internal/trace"
+)
+
+// sgp is the Strategy Generation Procedure (§4.2). Each strategy carries a
+// score starting at InitialScore (the paper uses 4): it gains a point when
+// the slave's round improved on its starting solution and loses one
+// otherwise. When the score reaches zero the strategy is discarded and a new
+// one is derived from the geometry of the slave's B-best pool:
+//
+//   - a *clustered* pool (small Hamming diameter) means the slave circled one
+//     area, so the new strategy diversifies — longer tabu list, deeper drops,
+//     shorter local loops;
+//   - a *scattered* pool means the slave sprayed solutions far apart, so the
+//     new strategy intensifies — shorter tabu list, shallower drops, longer
+//     local loops around the good region;
+//   - anything in between draws a fresh random strategy.
+func (m *master) sgp(results []*tabu.Result) {
+	n := m.ins.N
+	clustered := n / 10 // Hamming diameter at or below which the pool is "close"
+	scattered := n / 4  // diameter at or above which it is "very far"
+	if clustered < 1 {
+		clustered = 1
+	}
+	if scattered <= clustered {
+		scattered = clustered + 1
+	}
+
+	for i, res := range results {
+		if res.Improved {
+			m.scores[i]++
+		} else {
+			m.scores[i]--
+		}
+		if m.scores[i] > 0 {
+			continue
+		}
+
+		d := poolDiameter(res.Pool)
+		st := m.strategies[i]
+		switch {
+		case d <= clustered:
+			st = diversifyStrategy(st, n)
+		case d >= scattered:
+			st = intensifyStrategy(st)
+		default:
+			st = tabu.RandomStrategy(n, m.r)
+		}
+		m.strategies[i] = st
+		m.scores[i] = m.opts.InitialScore
+		m.stats.StrategyResets++
+		if m.opts.ExtendedTuning {
+			// Widen the reset to the structural knobs: a fresh
+			// intensification mode, add-phase noise level, and candidate
+			// width (§2's "number of neighbor solutions evaluated").
+			m.modes[i] = tabu.IntensifyMode(m.r.Intn(3))
+			m.noises[i] = 0.15 * m.r.Float64()
+			m.widths[i] = []int{0, 0, 5, 10, 20}[m.r.Intn(5)]
+		}
+		if m.opts.Tracer != nil {
+			m.opts.Tracer.Record(trace.Event{
+				Kind: trace.KindStrategyReset, Actor: -1, Round: m.stats.Rounds - 1,
+				Value: res.Best.Value,
+				Detail: fmt.Sprintf("slave=%d diameter=%d new=Lt%d/Drop%d/Local%d",
+					i, d, st.LtLength, st.NbDrop, st.NbLocal),
+			})
+		}
+	}
+}
+
+// poolDiameter returns the maximum pairwise Hamming distance in a slave's
+// reported pool.
+func poolDiameter(pool []mkp.Solution) int {
+	max := 0
+	for a := 0; a < len(pool); a++ {
+		for b := a + 1; b < len(pool); b++ {
+			if d := bitset.Distance(pool[a].X, pool[b].X); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// diversifyStrategy implements "increment lt_size and nb_drop and reduce the
+// nb_it parameter" for slaves stuck in one area.
+func diversifyStrategy(st tabu.Strategy, n int) tabu.Strategy {
+	st.LtLength = st.LtLength*3/2 + 1
+	if maxT := n / 2; st.LtLength > maxT {
+		st.LtLength = maxT
+	}
+	if st.NbDrop < 6 {
+		st.NbDrop++
+	}
+	st.NbLocal /= 2
+	if st.NbLocal < 5 {
+		st.NbLocal = 5
+	}
+	return st
+}
+
+// intensifyStrategy implements "reducing the values of the lt_size and
+// nb_drop parameters and incrementing the value of nb_it" for slaves whose
+// best solutions are far apart.
+func intensifyStrategy(st tabu.Strategy) tabu.Strategy {
+	st.LtLength = st.LtLength * 2 / 3
+	if st.LtLength < 2 {
+		st.LtLength = 2
+	}
+	if st.NbDrop > 1 {
+		st.NbDrop--
+	}
+	st.NbLocal = st.NbLocal*3/2 + 1
+	if st.NbLocal > 200 {
+		st.NbLocal = 200
+	}
+	return st
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+func TestSimElapsedAlwaysReported(t *testing.T) {
+	ins := testInstance(40, 4, 51)
+	res, err := Solve(ins, CTS2, Options{P: 2, Seed: 1, Rounds: 3, RoundMoves: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SimElapsed <= 0 {
+		t.Fatal("no simulated time accumulated")
+	}
+	// Rough cross-check: per-round simulated time must be at least the
+	// slowest slave's compute at the model's move cost.
+	perMove := vtime.Alpha().MoveDuration(ins.N, ins.M)
+	if res.Stats.SimElapsed < 3*200*perMove {
+		t.Fatalf("SimElapsed %v below pure compute floor %v", res.Stats.SimElapsed, 3*200*perMove)
+	}
+}
+
+func TestSimBudgetStopsRun(t *testing.T) {
+	ins := testInstance(50, 5, 52)
+	perMove := vtime.Alpha().MoveDuration(ins.N, ins.M)
+	budget := 5 * 100 * perMove // ~5 rounds' worth of 100-move rounds
+	res, err := Solve(ins, CTS2, Options{P: 2, Seed: 1, RoundMoves: 100, SimBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds >= 1<<29 {
+		t.Fatal("round cap did not apply")
+	}
+	if res.Stats.Rounds > 10 {
+		t.Fatalf("simulated budget did not stop the run: %d rounds", res.Stats.Rounds)
+	}
+	if res.Stats.SimElapsed < budget {
+		t.Fatalf("stopped before exhausting the budget: %v < %v", res.Stats.SimElapsed, budget)
+	}
+}
+
+func TestSimBudgetDeterministic(t *testing.T) {
+	ins := testInstance(40, 4, 53)
+	opts := Options{P: 3, Seed: 8, RoundMoves: 150, SimBudget: 50 * time.Millisecond}
+	a, err := Solve(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Rounds != b.Stats.Rounds || a.Stats.SimElapsed != b.Stats.SimElapsed {
+		t.Fatalf("simulated-time runs diverged: %d/%v vs %d/%v",
+			a.Stats.Rounds, a.Stats.SimElapsed, b.Stats.Rounds, b.Stats.SimElapsed)
+	}
+	if a.Best.Value != b.Best.Value {
+		t.Fatal("simulated-time runs found different bests")
+	}
+}
+
+func TestSimElapsedGrowsWithInstanceSize(t *testing.T) {
+	small := testInstance(30, 3, 54)
+	large := testInstance(120, 12, 54)
+	rs, err := Solve(small, ITS, Options{P: 2, Seed: 1, Rounds: 2, RoundMoves: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Solve(large, ITS, Options{P: 2, Seed: 1, Rounds: 2, RoundMoves: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Stats.SimElapsed <= rs.Stats.SimElapsed {
+		t.Fatalf("larger instance simulated faster: %v <= %v", rl.Stats.SimElapsed, rs.Stats.SimElapsed)
+	}
+}

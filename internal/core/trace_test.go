@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSolveEmitsTrace(t *testing.T) {
+	ins := testInstance(40, 4, 31)
+	log := trace.NewLog(10000)
+	res, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 4, Rounds: 6, RoundMoves: 300, InitialScore: 1, Tracer: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.CountKind(trace.KindRoundStart) != res.Stats.Rounds {
+		t.Fatalf("round events %d != rounds %d", log.CountKind(trace.KindRoundStart), res.Stats.Rounds)
+	}
+	if log.CountKind(trace.KindImprovement) == 0 {
+		t.Fatal("no improvement events from slave kernels")
+	}
+	if log.CountKind(trace.KindStrategyReset) != res.Stats.StrategyResets {
+		t.Fatalf("reset events %d != stats %d", log.CountKind(trace.KindStrategyReset), res.Stats.StrategyResets)
+	}
+	if log.CountKind(trace.KindRestart) != res.Stats.RandomRestarts {
+		t.Fatalf("restart events %d != stats %d", log.CountKind(trace.KindRestart), res.Stats.RandomRestarts)
+	}
+	if log.CountKind(trace.KindReplacement) != res.Stats.Replacements {
+		t.Fatalf("replacement events %d != stats %d", log.CountKind(trace.KindReplacement), res.Stats.Replacements)
+	}
+}
+
+func TestSolveNoTracerNoPanic(t *testing.T) {
+	ins := testInstance(20, 3, 32)
+	if _, err := Solve(ins, CTS2, Options{P: 2, Seed: 1, Rounds: 2, RoundMoves: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceActorsAreStamped(t *testing.T) {
+	ins := testInstance(30, 3, 33)
+	log := trace.NewLog(10000)
+	if _, err := Solve(ins, CTS2, Options{P: 2, Seed: 9, Rounds: 3, RoundMoves: 200, Tracer: log}); err != nil {
+		t.Fatal(err)
+	}
+	slaveSeen := map[int]bool{}
+	for _, e := range log.Events() {
+		switch e.Kind {
+		case trace.KindImprovement, trace.KindIntensify, trace.KindDiversify, trace.KindEscape:
+			if e.Actor < 0 || e.Actor >= 2 {
+				t.Fatalf("kernel event with bad actor: %+v", e)
+			}
+			slaveSeen[e.Actor] = true
+		case trace.KindRoundStart, trace.KindReplacement, trace.KindRestart, trace.KindStrategyReset:
+			if e.Actor != -1 {
+				t.Fatalf("master event with actor %d: %+v", e.Actor, e)
+			}
+		}
+	}
+	if len(slaveSeen) == 0 {
+		t.Fatal("no kernel events at all")
+	}
+}

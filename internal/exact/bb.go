@@ -1,0 +1,227 @@
+// Package exact provides exact 0-1 MKP solvers used as reference baselines:
+// a depth-first branch-and-bound with an LP-dual surrogate bound, a dynamic
+// program for the single-constraint case, and exhaustive enumeration for
+// tiny instances. The paper reports that its parallel tabu search reaches the
+// optimum on the 57 Fréville–Plateau problems; these solvers supply the
+// certified optima that make that claim checkable here.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/bound"
+	"repro/internal/lp"
+	"repro/internal/mkp"
+)
+
+// ErrNodeLimit is returned by BranchAndBound when the node budget runs out
+// before optimality is proven. The Result still carries the best incumbent.
+var ErrNodeLimit = errors.New("exact: node limit exceeded")
+
+// Options controls BranchAndBound.
+type Options struct {
+	// NodeLimit caps the number of explored nodes; 0 means 50 million.
+	NodeLimit int64
+	// Epsilon is the pruning tolerance; bounds within Epsilon of the
+	// incumbent are pruned. 0 means 1e-6. For instances with integral
+	// profits a value just below 1 (e.g. 0.999) prunes much harder while
+	// remaining exact.
+	Epsilon float64
+}
+
+// Result is the outcome of an exact solve.
+type Result struct {
+	Solution mkp.Solution // best feasible solution found
+	Optimal  bool         // true iff optimality was proven
+	Nodes    int64        // nodes explored
+	RootLP   float64      // LP relaxation value at the root
+}
+
+// BranchAndBound maximizes the instance exactly with depth-first search.
+// Branching order and pruning both come from a surrogate constraint weighted
+// by the root LP duals — the classic aggregation that reduces each node's
+// bound to a one-dimensional continuous knapsack.
+func BranchAndBound(ins *mkp.Instance, opts Options) (*Result, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.NodeLimit <= 0 {
+		opts.NodeLimit = 50_000_000
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1e-6
+	}
+
+	root, err := lp.Solve(ins.Profit, ins.Weight, ins.Capacity)
+	if err != nil {
+		return nil, fmt.Errorf("exact: root relaxation: %w", err)
+	}
+	sur := bound.NewSurrogate(ins, root.Duals)
+	order := sur.Order()
+
+	// Incumbent from the greedy constructor.
+	incumbent := mkp.Greedy(ins)
+
+	res := &Result{RootLP: root.Value}
+	st := mkp.NewState(ins)
+	inPath := bitset.New(ins.N) // items fixed to 1 on the current path
+	// free reports whether order position >= k (computed per node from depth).
+	depthOf := make([]int, ins.N) // item -> position in branching order
+	for k, j := range order {
+		depthOf[j] = k
+	}
+
+	surRes := sur.Cap // residual surrogate capacity along the path
+	var nodes int64
+	limitHit := false
+
+	var dfs func(k int)
+	dfs = func(k int) {
+		if limitHit {
+			return
+		}
+		nodes++
+		if nodes > opts.NodeLimit {
+			limitHit = true
+			return
+		}
+		if k == len(order) {
+			if st.Value > incumbent.Value {
+				incumbent = st.Snapshot()
+			}
+			return
+		}
+		// Bound over free items (positions >= k).
+		ub := sur.Bound(st.Value, surRes, func(j int) bool { return depthOf[j] >= k })
+		if ub <= incumbent.Value+opts.Epsilon {
+			return
+		}
+		j := order[k]
+		// Branch x_j = 1 first (the bound ordering makes it the promising arm).
+		if st.Fits(j) {
+			st.Add(j)
+			inPath.Set(j)
+			saved := surRes
+			surRes -= sur.W[j]
+			if st.Value > incumbent.Value {
+				incumbent = st.Snapshot()
+			}
+			dfs(k + 1)
+			surRes = saved
+			inPath.Clear(j)
+			st.Drop(j)
+		}
+		// Branch x_j = 0.
+		dfs(k + 1)
+	}
+	dfs(0)
+
+	res.Solution = incumbent
+	res.Nodes = nodes
+	res.Optimal = !limitHit
+	if limitHit {
+		return res, ErrNodeLimit
+	}
+	return res, nil
+}
+
+// Enumerate exhaustively scans all 2^n assignments. It is the ground truth
+// for tests and refuses n > 24.
+func Enumerate(ins *mkp.Instance) (mkp.Solution, error) {
+	if err := ins.Validate(); err != nil {
+		return mkp.Solution{}, err
+	}
+	if ins.N > 24 {
+		return mkp.Solution{}, fmt.Errorf("exact: Enumerate limited to n <= 24, got %d", ins.N)
+	}
+	bestMask := 0
+	bestValue := 0.0
+	for mask := 0; mask < 1<<uint(ins.N); mask++ {
+		value := 0.0
+		feasible := true
+		for i := 0; i < ins.M && feasible; i++ {
+			load := 0.0
+			for j := 0; j < ins.N; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					load += ins.Weight[i][j]
+				}
+			}
+			if load > ins.Capacity[i] {
+				feasible = false
+			}
+		}
+		if !feasible {
+			continue
+		}
+		for j := 0; j < ins.N; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				value += ins.Profit[j]
+			}
+		}
+		if value > bestValue {
+			bestValue, bestMask = value, mask
+		}
+	}
+	x := bitset.New(ins.N)
+	for j := 0; j < ins.N; j++ {
+		if bestMask&(1<<uint(j)) != 0 {
+			x.Set(j)
+		}
+	}
+	return mkp.Solution{X: x, Value: bestValue}, nil
+}
+
+// DP solves a single-constraint (m = 1) instance with integral weights and
+// capacity by the classic O(n·W) dynamic program. It errs on m != 1,
+// non-integral data, or capacities above the given limit (default 10^7 when
+// maxCap <= 0).
+func DP(ins *mkp.Instance, maxCap int) (mkp.Solution, error) {
+	if err := ins.Validate(); err != nil {
+		return mkp.Solution{}, err
+	}
+	if ins.M != 1 {
+		return mkp.Solution{}, fmt.Errorf("exact: DP requires m=1, got %d", ins.M)
+	}
+	if maxCap <= 0 {
+		maxCap = 10_000_000
+	}
+	capF := ins.Capacity[0]
+	// Integral weights are required; a fractional capacity is safely floored.
+	capInt := int(math.Floor(capF))
+	if capInt > maxCap {
+		return mkp.Solution{}, fmt.Errorf("exact: DP capacity %d exceeds limit %d", capInt, maxCap)
+	}
+	w := make([]int, ins.N)
+	for j := 0; j < ins.N; j++ {
+		wf := ins.Weight[0][j]
+		if wf != math.Trunc(wf) {
+			return mkp.Solution{}, fmt.Errorf("exact: DP requires integral weights, got %v", wf)
+		}
+		w[j] = int(wf)
+	}
+
+	// best[c] = max value using capacity exactly <= c; choice bits for reconstruction.
+	best := make([]float64, capInt+1)
+	take := make([][]bool, ins.N)
+	for j := 0; j < ins.N; j++ {
+		take[j] = make([]bool, capInt+1)
+		for c := capInt; c >= w[j]; c-- {
+			if cand := best[c-w[j]] + ins.Profit[j]; cand > best[c] {
+				best[c] = cand
+				take[j][c] = true
+			}
+		}
+	}
+	x := bitset.New(ins.N)
+	c := capInt
+	for j := ins.N - 1; j >= 0; j-- {
+		if take[j][c] {
+			x.Set(j)
+			c -= w[j]
+		}
+	}
+	return mkp.Solution{X: x, Value: best[capInt]}, nil
+}

@@ -1,0 +1,247 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+func tiny() *mkp.Instance {
+	return &mkp.Instance{
+		Name:   "tiny",
+		N:      4,
+		M:      2,
+		Profit: []float64{10, 6, 4, 7},
+		Weight: [][]float64{
+			{3, 2, 1, 4},
+			{2, 3, 3, 1},
+		},
+		Capacity: []float64{6, 5},
+	}
+}
+
+func randomInstance(r *rng.Rand, n, m int, tightness float64) *mkp.Instance {
+	ins := &mkp.Instance{
+		Name:     "prop",
+		N:        n,
+		M:        m,
+		Profit:   make([]float64, n),
+		Weight:   make([][]float64, m),
+		Capacity: make([]float64, m),
+	}
+	for j := 0; j < n; j++ {
+		ins.Profit[j] = float64(r.IntRange(1, 100))
+	}
+	for i := 0; i < m; i++ {
+		ins.Weight[i] = make([]float64, n)
+		total := 0.0
+		for j := 0; j < n; j++ {
+			ins.Weight[i][j] = float64(r.IntRange(1, 50))
+			total += ins.Weight[i][j]
+		}
+		ins.Capacity[i] = math.Max(1, tightness*total)
+	}
+	return ins
+}
+
+func TestEnumerateTiny(t *testing.T) {
+	sol, err := Enumerate(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 16 {
+		t.Fatalf("Enumerate = %v, want 16 (items {0,1})", sol.Value)
+	}
+	if !sol.X.Get(0) || !sol.X.Get(1) || sol.X.Get(2) || sol.X.Get(3) {
+		t.Fatalf("Enumerate solution = %v", sol.X)
+	}
+}
+
+func TestEnumerateRejectsLarge(t *testing.T) {
+	ins := randomInstance(rng.New(1), 25, 2, 0.5)
+	if _, err := Enumerate(ins); err == nil {
+		t.Fatal("Enumerate accepted n=25")
+	}
+}
+
+func TestBranchAndBoundTiny(t *testing.T) {
+	res, err := BranchAndBound(tiny(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("B&B did not prove optimality on a 4-item instance")
+	}
+	if res.Solution.Value != 16 {
+		t.Fatalf("B&B value = %v, want 16", res.Solution.Value)
+	}
+	if res.RootLP < 16 {
+		t.Fatalf("root LP %v below optimum", res.RootLP)
+	}
+}
+
+func TestBranchAndBoundMatchesEnumerate(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 30; trial++ {
+		ins := randomInstance(r, r.IntRange(4, 14), r.IntRange(1, 4), 0.3+0.4*r.Float64())
+		want, err := Enumerate(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := BranchAndBound(ins, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Solution.Value-want.Value) > 1e-6 {
+			t.Fatalf("trial %d: B&B %v != enumerate %v", trial, got.Solution.Value, want.Value)
+		}
+		if !mkp.IsFeasibleAssignment(ins, got.Solution.X) {
+			t.Fatalf("trial %d: B&B solution infeasible", trial)
+		}
+	}
+}
+
+func TestBranchAndBoundNodeLimit(t *testing.T) {
+	ins := randomInstance(rng.New(7), 60, 5, 0.5)
+	res, err := BranchAndBound(ins, Options{NodeLimit: 5})
+	if !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+	if res == nil || res.Optimal {
+		t.Fatal("node-limited run claimed optimality")
+	}
+	if res.Solution.X == nil || !mkp.IsFeasibleAssignment(ins, res.Solution.X) {
+		t.Fatal("node-limited run returned no feasible incumbent")
+	}
+}
+
+func TestBranchAndBoundInvalidInstance(t *testing.T) {
+	ins := tiny()
+	ins.Profit[0] = -1
+	if _, err := BranchAndBound(ins, Options{}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestBranchAndBoundEpsilonIntegral(t *testing.T) {
+	// With integral profits, Epsilon 0.999 must not change the optimum.
+	r := rng.New(5)
+	for trial := 0; trial < 10; trial++ {
+		ins := randomInstance(r, 12, 3, 0.5)
+		a, err := BranchAndBound(ins, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BranchAndBound(ins, Options{Epsilon: 0.999})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Solution.Value != b.Solution.Value {
+			t.Fatalf("epsilon pruning changed optimum: %v vs %v", a.Solution.Value, b.Solution.Value)
+		}
+		if b.Nodes > a.Nodes {
+			t.Fatalf("looser epsilon explored more nodes (%d > %d)", b.Nodes, a.Nodes)
+		}
+	}
+}
+
+func TestDPSingleConstraint(t *testing.T) {
+	ins := &mkp.Instance{
+		Name:     "dp",
+		N:        5,
+		M:        1,
+		Profit:   []float64{6, 10, 12, 7, 3},
+		Weight:   [][]float64{{1, 2, 3, 2, 1}},
+		Capacity: []float64{5},
+	}
+	sol, err := DP(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Enumerate(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != want.Value {
+		t.Fatalf("DP = %v, enumerate = %v", sol.Value, want.Value)
+	}
+	if !mkp.IsFeasibleAssignment(ins, sol.X) {
+		t.Fatal("DP solution infeasible")
+	}
+	if mkp.ValueOf(ins, sol.X) != sol.Value {
+		t.Fatal("DP reconstruction inconsistent with value")
+	}
+}
+
+func TestDPRejects(t *testing.T) {
+	if _, err := DP(tiny(), 0); err == nil {
+		t.Fatal("DP accepted m=2")
+	}
+	frac := &mkp.Instance{
+		N: 1, M: 1, Profit: []float64{1},
+		Weight: [][]float64{{1.5}}, Capacity: []float64{3},
+	}
+	if _, err := DP(frac, 0); err == nil {
+		t.Fatal("DP accepted fractional weight")
+	}
+	big := &mkp.Instance{
+		N: 1, M: 1, Profit: []float64{1},
+		Weight: [][]float64{{1}}, Capacity: []float64{100},
+	}
+	if _, err := DP(big, 10); err == nil {
+		t.Fatal("DP accepted capacity above limit")
+	}
+}
+
+func TestQuickBBEqualsEnumerate(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(3, 12), r.IntRange(1, 3), 0.3+0.4*r.Float64())
+		want, err := Enumerate(ins)
+		if err != nil {
+			return false
+		}
+		got, err := BranchAndBound(ins, Options{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.Solution.Value-want.Value) < 1e-6 && got.Optimal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDPEqualsBB(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(3, 16), 1, 0.3+0.4*r.Float64())
+		dp, err := DP(ins, 0)
+		if err != nil {
+			return false
+		}
+		bb, err := BranchAndBound(ins, Options{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(dp.Value-bb.Solution.Value) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBranchAndBound30x5(b *testing.B) {
+	ins := randomInstance(rng.New(3), 30, 5, 0.4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BranchAndBound(ins, Options{Epsilon: 0.999}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

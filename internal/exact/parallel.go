@@ -1,0 +1,211 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bound"
+	"repro/internal/lp"
+	"repro/internal/mkp"
+)
+
+// ParallelOptions configures the parallel branch and bound.
+type ParallelOptions struct {
+	Options
+	// Workers is the number of search goroutines. Default 4.
+	Workers int
+	// SplitDepth is how many branching levels are unrolled into independent
+	// subtree tasks. 0 picks a depth giving roughly 16 tasks per worker.
+	SplitDepth int
+}
+
+// ParallelBranchAndBound explores the branch-and-bound tree with a pool of
+// workers over a statically split frontier: the first SplitDepth branching
+// decisions are unrolled into independent subtree tasks, workers drain the
+// task queue depth-first, and the incumbent is shared through an atomic so a
+// better solution found in one subtree immediately tightens the pruning in
+// all others. The certified optimum equals the sequential solver's; node
+// counts differ run to run (pruning depends on incumbent timing), so the
+// node limit is approximate.
+func ParallelBranchAndBound(ins *mkp.Instance, opts ParallelOptions) (*Result, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.NodeLimit <= 0 {
+		opts.NodeLimit = 50_000_000
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1e-6
+	}
+	if opts.SplitDepth <= 0 {
+		opts.SplitDepth = 4
+		for 1<<uint(opts.SplitDepth) < 16*opts.Workers && opts.SplitDepth < ins.N-1 {
+			opts.SplitDepth++
+		}
+	}
+	if opts.SplitDepth > ins.N {
+		opts.SplitDepth = ins.N
+	}
+
+	root, err := lp.Solve(ins.Profit, ins.Weight, ins.Capacity)
+	if err != nil {
+		return nil, fmt.Errorf("exact: root relaxation: %w", err)
+	}
+	sur := bound.NewSurrogate(ins, root.Duals)
+	order := sur.Order()
+	depthOf := make([]int, ins.N)
+	for k, j := range order {
+		depthOf[j] = k
+	}
+
+	// Shared incumbent: the value travels through an atomic for cheap reads
+	// on the hot path; the assignment is updated under a mutex.
+	var incMu sync.Mutex
+	incumbent := mkp.Greedy(ins)
+	incBits := atomic.Uint64{}
+	incBits.Store(math.Float64bits(incumbent.Value))
+	better := func(sol mkp.Solution) {
+		incMu.Lock()
+		if sol.Value > incumbent.Value {
+			incumbent = sol.Clone()
+			incBits.Store(math.Float64bits(sol.Value))
+		}
+		incMu.Unlock()
+	}
+
+	var nodes atomic.Int64
+	limitHit := atomic.Bool{}
+
+	// Frontier: enumerate the first SplitDepth decisions, pruning infeasible
+	// and bound-dominated prefixes as we go. Each surviving prefix is one
+	// task: the set of order positions fixed to 1 (all other positions < d
+	// are fixed to 0).
+	type task struct {
+		ones []int // order positions fixed to 1
+	}
+	var tasks []task
+	{
+		st := mkp.NewState(ins)
+		surRes := sur.Cap
+		var prefix []int
+		var build func(k int)
+		build = func(k int) {
+			nodes.Add(1)
+			if k == opts.SplitDepth {
+				tasks = append(tasks, task{ones: append([]int(nil), prefix...)})
+				return
+			}
+			inc := math.Float64frombits(incBits.Load())
+			ub := sur.Bound(st.Value, surRes, func(j int) bool { return depthOf[j] >= k })
+			if ub <= inc+opts.Epsilon {
+				return
+			}
+			j := order[k]
+			if st.Fits(j) {
+				st.Add(j)
+				saved := surRes
+				surRes -= sur.W[j]
+				if st.Value > inc {
+					better(st.Snapshot())
+				}
+				prefix = append(prefix, k)
+				build(k + 1)
+				prefix = prefix[:len(prefix)-1]
+				surRes = saved
+				st.Drop(j)
+			}
+			build(k + 1)
+		}
+		build(0)
+	}
+
+	// Workers drain the frontier; each subtree is an ordinary sequential DFS
+	// from depth SplitDepth with the prefix pre-applied.
+	perWorkerLimit := opts.NodeLimit // global budget enforced via the shared counter
+	taskCh := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := mkp.NewState(ins)
+			for t := range taskCh {
+				// Apply the prefix.
+				st.Reset()
+				surRes := sur.Cap
+				feasible := true
+				for _, pos := range t.ones {
+					j := order[pos]
+					if !st.Fits(j) {
+						feasible = false
+						break
+					}
+					st.Add(j)
+					surRes -= sur.W[j]
+				}
+				if !feasible {
+					continue // stale task: pruning raced with generation; cannot happen, but guard
+				}
+				if st.Value > math.Float64frombits(incBits.Load()) {
+					better(st.Snapshot())
+				}
+				var dfs func(k int)
+				dfs = func(k int) {
+					if limitHit.Load() {
+						return
+					}
+					if nodes.Add(1) > perWorkerLimit {
+						limitHit.Store(true)
+						return
+					}
+					inc := math.Float64frombits(incBits.Load())
+					if k == len(order) {
+						if st.Value > inc {
+							better(st.Snapshot())
+						}
+						return
+					}
+					ub := sur.Bound(st.Value, surRes, func(j int) bool { return depthOf[j] >= k })
+					if ub <= inc+opts.Epsilon {
+						return
+					}
+					j := order[k]
+					if st.Fits(j) {
+						st.Add(j)
+						saved := surRes
+						surRes -= sur.W[j]
+						if st.Value > inc {
+							better(st.Snapshot())
+						}
+						dfs(k + 1)
+						surRes = saved
+						st.Drop(j)
+					}
+					dfs(k + 1)
+				}
+				dfs(opts.SplitDepth)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		taskCh <- t
+	}
+	close(taskCh)
+	wg.Wait()
+
+	res := &Result{
+		Solution: incumbent,
+		Nodes:    nodes.Load(),
+		RootLP:   root.Value,
+		Optimal:  !limitHit.Load(),
+	}
+	if limitHit.Load() {
+		return res, ErrNodeLimit
+	}
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+func TestParallelBBMatchesSequential(t *testing.T) {
+	r := rng.New(91)
+	for trial := 0; trial < 15; trial++ {
+		ins := randomInstance(r, r.IntRange(6, 20), r.IntRange(1, 4), 0.3+0.3*r.Float64())
+		seq, err := BranchAndBound(ins, Options{Epsilon: 0.999})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ParallelBranchAndBound(ins, ParallelOptions{
+			Options: Options{Epsilon: 0.999}, Workers: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !par.Optimal {
+			t.Fatalf("trial %d: parallel run not optimal", trial)
+		}
+		if math.Abs(par.Solution.Value-seq.Solution.Value) > 1e-9 {
+			t.Fatalf("trial %d: parallel %v != sequential %v", trial, par.Solution.Value, seq.Solution.Value)
+		}
+		if !mkp.IsFeasibleAssignment(ins, par.Solution.X) {
+			t.Fatalf("trial %d: parallel solution infeasible", trial)
+		}
+	}
+}
+
+func TestParallelBBWorkerCounts(t *testing.T) {
+	ins := gen.GK("pw", 35, 4, 0.25, 7)
+	want := -1.0
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, err := ParallelBranchAndBound(ins, ParallelOptions{
+			Options: Options{Epsilon: 0.999}, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want < 0 {
+			want = res.Solution.Value
+		} else if res.Solution.Value != want {
+			t.Fatalf("workers=%d found %v, others found %v", workers, res.Solution.Value, want)
+		}
+	}
+}
+
+func TestParallelBBSplitDepthExtremes(t *testing.T) {
+	ins := gen.GK("ps", 12, 3, 0.3, 8)
+	seq, err := BranchAndBound(ins, Options{Epsilon: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []int{1, 6, 12, 40} { // 40 clamps to N
+		res, err := ParallelBranchAndBound(ins, ParallelOptions{
+			Options: Options{Epsilon: 0.999}, Workers: 2, SplitDepth: depth,
+		})
+		if err != nil {
+			t.Fatalf("depth=%d: %v", depth, err)
+		}
+		if res.Solution.Value != seq.Solution.Value {
+			t.Fatalf("depth=%d found %v, want %v", depth, res.Solution.Value, seq.Solution.Value)
+		}
+	}
+}
+
+func TestParallelBBNodeLimit(t *testing.T) {
+	ins := randomInstance(rng.New(17), 70, 6, 0.5)
+	res, err := ParallelBranchAndBound(ins, ParallelOptions{
+		Options: Options{NodeLimit: 500, Epsilon: 0.999}, Workers: 3,
+	})
+	if !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+	if res == nil || res.Optimal {
+		t.Fatal("limited run claimed optimality")
+	}
+	if !mkp.IsFeasibleAssignment(ins, res.Solution.X) {
+		t.Fatal("limited run lost its incumbent")
+	}
+}
+
+func TestParallelBBRejectsInvalid(t *testing.T) {
+	ins := randomInstance(rng.New(1), 5, 2, 0.4)
+	ins.Profit[0] = -1
+	if _, err := ParallelBranchAndBound(ins, ParallelOptions{}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestQuickParallelEqualsSequential(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(4, 14), r.IntRange(1, 3), 0.3+0.4*r.Float64())
+		seq, err := BranchAndBound(ins, Options{Epsilon: 0.999})
+		if err != nil {
+			return false
+		}
+		par, err := ParallelBranchAndBound(ins, ParallelOptions{
+			Options: Options{Epsilon: 0.999}, Workers: 1 + int(seed%4),
+		})
+		if err != nil {
+			return false
+		}
+		return math.Abs(par.Solution.Value-seq.Solution.Value) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactInvariantUnderPermutation(t *testing.T) {
+	// Relabeling items cannot change the optimum: a strong differential
+	// check on the whole bound/branching stack.
+	r := rng.New(23)
+	for trial := 0; trial < 10; trial++ {
+		ins := randomInstance(r, r.IntRange(6, 18), r.IntRange(1, 4), 0.3+0.3*r.Float64())
+		perm := make([]int, ins.N)
+		r.Perm(perm)
+		permuted, err := mkp.PermuteItems(ins, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := BranchAndBound(ins, Options{Epsilon: 0.999})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BranchAndBound(permuted, Options{Epsilon: 0.999})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Solution.Value-b.Solution.Value) > 1e-9 {
+			t.Fatalf("trial %d: optimum changed under permutation: %v vs %v",
+				trial, a.Solution.Value, b.Solution.Value)
+		}
+		// The permuted optimum maps back to a feasible original assignment
+		// of the same value.
+		back, err := mkp.PermuteSolution(b.Solution, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mkp.IsFeasibleAssignment(ins, back.X) {
+			t.Fatalf("trial %d: mapped optimum infeasible", trial)
+		}
+	}
+}
+
+func BenchmarkParallelBB30x5(b *testing.B) {
+	ins := randomInstance(rng.New(3), 30, 5, 0.4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelBranchAndBound(ins, ParallelOptions{
+			Options: Options{Epsilon: 0.999}, Workers: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+// looseInstance returns an instance where everything fits: the LP optimum is
+// integral (all x_j = 1), every reduced cost pins its variable, and the
+// presolve fixes the entire problem.
+func looseInstance() *mkp.Instance {
+	return &mkp.Instance{
+		Name:     "loose",
+		N:        5,
+		M:        2,
+		Profit:   []float64{5, 6, 7, 8, 9},
+		Weight:   [][]float64{{1, 1, 1, 1, 1}, {2, 2, 2, 2, 2}},
+		Capacity: []float64{100, 100},
+	}
+}
+
+func TestBranchAndBoundReducedFullyFixed(t *testing.T) {
+	res, err := BranchAndBoundReduced(looseInstance(), Options{Epsilon: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("fully-fixed case not proven optimal")
+	}
+	if res.Solution.Value != 35 {
+		t.Fatalf("value %v, want 35 (all items)", res.Solution.Value)
+	}
+	if res.Solution.X.Count() != 5 {
+		t.Fatalf("packed %d of 5", res.Solution.X.Count())
+	}
+}
+
+func TestBranchAndBoundReducedFractionalProfits(t *testing.T) {
+	ins := randomInstance(rng.New(31), 12, 3, 0.4)
+	ins.Profit[0] += 0.5 // forces the epsilon gap path
+	plain, err := BranchAndBound(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := BranchAndBoundReduced(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Solution.Value-red.Solution.Value) > 1e-9 {
+		t.Fatalf("fractional-profit reduced %v != plain %v", red.Solution.Value, plain.Solution.Value)
+	}
+}
+
+func TestBranchAndBoundReducedNodeLimit(t *testing.T) {
+	ins := randomInstance(rng.New(33), 60, 5, 0.5)
+	res, err := BranchAndBoundReduced(ins, Options{NodeLimit: 3, Epsilon: 0.999})
+	if err == nil {
+		// The presolve may fix enough that 3 nodes suffice; accept either a
+		// clean optimum or the limit error, but never a silent bad result.
+		if !res.Optimal {
+			t.Fatal("no error but not optimal")
+		}
+		return
+	}
+	if !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+	if res == nil || !mkp.IsFeasibleAssignment(ins, res.Solution.X) {
+		t.Fatal("limited presolved run lost its incumbent")
+	}
+}
+
+func TestIntegralProfits(t *testing.T) {
+	ins := looseInstance()
+	if !integralProfits(ins) {
+		t.Fatal("integral profits misclassified")
+	}
+	ins.Profit[2] = 7.25
+	if integralProfits(ins) {
+		t.Fatal("fractional profit missed")
+	}
+}

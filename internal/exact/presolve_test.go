@@ -1,0 +1,85 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+func TestBranchAndBoundReducedMatchesPlain(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 20; trial++ {
+		ins := randomInstance(r, r.IntRange(5, 18), r.IntRange(1, 4), 0.3+0.3*r.Float64())
+		plain, err := BranchAndBound(ins, Options{Epsilon: 0.999})
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BranchAndBoundReduced(ins, Options{Epsilon: 0.999})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !red.Optimal {
+			t.Fatalf("trial %d: reduced solve not optimal", trial)
+		}
+		if math.Abs(plain.Solution.Value-red.Solution.Value) > 1e-9 {
+			t.Fatalf("trial %d: reduced %v != plain %v", trial, red.Solution.Value, plain.Solution.Value)
+		}
+		if !mkp.IsFeasibleAssignment(ins, red.Solution.X) {
+			t.Fatalf("trial %d: reduced solution infeasible", trial)
+		}
+		if got := mkp.ValueOf(ins, red.Solution.X); math.Abs(got-red.Solution.Value) > 1e-9 {
+			t.Fatalf("trial %d: lifted value inconsistent: %v vs %v", trial, red.Solution.Value, got)
+		}
+	}
+}
+
+func TestBranchAndBoundReducedOnFamilies(t *testing.T) {
+	for _, ins := range []*mkp.Instance{
+		gen.Uncorrelated("u", 50, 4, 0.4, 5),
+		gen.FP("fp", 50, 4, 5),
+		gen.GK("gk", 50, 4, 0.25, 5),
+	} {
+		plain, err := BranchAndBound(ins, Options{Epsilon: 0.999})
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BranchAndBoundReduced(ins, Options{Epsilon: 0.999})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Solution.Value != red.Solution.Value {
+			t.Fatalf("%s: reduced %v != plain %v", ins.Name, red.Solution.Value, plain.Solution.Value)
+		}
+	}
+}
+
+func TestBranchAndBoundReducedRejectsInvalid(t *testing.T) {
+	ins := randomInstance(rng.New(1), 5, 2, 0.4)
+	ins.Capacity[0] = -1
+	if _, err := BranchAndBoundReduced(ins, Options{}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestQuickReducedEqualsPlain(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(4, 14), r.IntRange(1, 3), 0.3+0.4*r.Float64())
+		plain, err := BranchAndBound(ins, Options{Epsilon: 0.999})
+		if err != nil {
+			return false
+		}
+		red, err := BranchAndBoundReduced(ins, Options{Epsilon: 0.999})
+		if err != nil {
+			return false
+		}
+		return math.Abs(plain.Solution.Value-red.Solution.Value) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package farm is the in-process stand-in for the paper's execution
+// environment: a farm of 16 Alpha processors exchanging PVM messages over a
+// 16×16 crossbar (§5). Nodes are goroutines, links are buffered channels, and
+// every send is accounted (message and byte counters per directed link) so
+// the experiment harness can report the communication volume the cooperative
+// scheme generates. An optional injected per-message latency models a slower
+// interconnect for ablations.
+//
+// The paper's master–slave scheme is synchronous and centralized; the
+// decentralized asynchronous extension polls with TryRecv. Both are supported.
+package farm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Message is one typed datagram between nodes.
+type Message struct {
+	From, To int
+	Tag      string
+	Payload  any
+	Size     int // accounted payload size in bytes
+}
+
+// Farm connects n nodes (0..n-1) with a full crossbar of buffered links.
+type Farm struct {
+	n       int
+	latency time.Duration
+	boxes   []chan Message
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+
+	mu       sync.Mutex
+	linkMsgs map[[2]int]int64
+}
+
+// Option configures a Farm.
+type Option func(*Farm)
+
+// WithLatency makes every Send sleep for d before delivery, modeling link
+// latency. The default is zero (in-process speed).
+func WithLatency(d time.Duration) Option {
+	return func(f *Farm) { f.latency = d }
+}
+
+// WithMailboxSize sets each node's mailbox capacity (default 1024).
+func WithMailboxSize(size int) Option {
+	return func(f *Farm) {
+		for i := range f.boxes {
+			f.boxes[i] = make(chan Message, size)
+		}
+	}
+}
+
+// New creates a farm of n nodes. It panics if n < 1.
+func New(n int, opts ...Option) *Farm {
+	if n < 1 {
+		panic(fmt.Sprintf("farm: need at least one node, got %d", n))
+	}
+	f := &Farm{
+		n:        n,
+		boxes:    make([]chan Message, n),
+		linkMsgs: make(map[[2]int]int64),
+	}
+	for i := range f.boxes {
+		f.boxes[i] = make(chan Message, 1024)
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// Nodes returns the number of nodes.
+func (f *Farm) Nodes() int { return f.n }
+
+// Send delivers a message from node `from` to node `to`. size is the
+// accounted payload size in bytes (use SizeOfSolution and friends). Send
+// blocks only when the destination mailbox is full.
+func (f *Farm) Send(from, to int, tag string, payload any, size int) error {
+	if from < 0 || from >= f.n || to < 0 || to >= f.n {
+		return fmt.Errorf("farm: bad endpoints %d -> %d (n=%d)", from, to, f.n)
+	}
+	if f.latency > 0 {
+		time.Sleep(f.latency)
+	}
+	f.msgs.Add(1)
+	f.bytes.Add(int64(size))
+	f.mu.Lock()
+	f.linkMsgs[[2]int{from, to}]++
+	f.mu.Unlock()
+	f.boxes[to] <- Message{From: from, To: to, Tag: tag, Payload: payload, Size: size}
+	return nil
+}
+
+// Recv blocks until a message for node arrives.
+func (f *Farm) Recv(node int) Message {
+	return <-f.boxes[node]
+}
+
+// TryRecv returns a pending message for node, or ok=false when the mailbox is
+// empty. The asynchronous scheme polls with it between moves.
+func (f *Farm) TryRecv(node int) (Message, bool) {
+	select {
+	case m := <-f.boxes[node]:
+		return m, true
+	default:
+		return Message{}, false
+	}
+}
+
+// Drain discards all pending messages for node and returns how many there
+// were.
+func (f *Farm) Drain(node int) int {
+	count := 0
+	for {
+		select {
+		case <-f.boxes[node]:
+			count++
+		default:
+			return count
+		}
+	}
+}
+
+// Stats is a snapshot of the accounting counters.
+type Stats struct {
+	Messages  int64
+	Bytes     int64
+	LinkMsgs  map[[2]int]int64 // directed link -> message count
+	BusiestIn int              // node receiving the most messages
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (f *Farm) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	links := make(map[[2]int]int64, len(f.linkMsgs))
+	in := make(map[int]int64)
+	for k, v := range f.linkMsgs {
+		links[k] = v
+		in[k[1]] += v
+	}
+	busiest, most := 0, int64(-1)
+	for node, c := range in {
+		if c > most || (c == most && node < busiest) {
+			busiest, most = node, c
+		}
+	}
+	return Stats{
+		Messages:  f.msgs.Load(),
+		Bytes:     f.bytes.Load(),
+		LinkMsgs:  links,
+		BusiestIn: busiest,
+	}
+}
+
+// SizeOfSolution returns the accounted wire size of an n-item 0-1 solution
+// plus its objective value: packed bits plus one float64.
+func SizeOfSolution(n int) int { return (n+7)/8 + 8 }
+
+// SizeOfStrategy returns the accounted wire size of a strategy message: the
+// paper's three integer parameters (§4.2).
+func SizeOfStrategy() int { return 3 * 8 }

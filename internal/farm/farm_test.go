@@ -1,0 +1,175 @@
+package farm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendRecv(t *testing.T) {
+	f := New(3)
+	if err := f.Send(0, 2, "hello", 42, 8); err != nil {
+		t.Fatal(err)
+	}
+	m := f.Recv(2)
+	if m.From != 0 || m.To != 2 || m.Tag != "hello" || m.Payload.(int) != 42 || m.Size != 8 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestSendBadEndpoints(t *testing.T) {
+	f := New(2)
+	for _, pair := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		if err := f.Send(pair[0], pair[1], "x", nil, 0); err == nil {
+			t.Fatalf("Send(%d,%d) accepted", pair[0], pair[1])
+		}
+	}
+}
+
+func TestNewPanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestTryRecv(t *testing.T) {
+	f := New(2)
+	if _, ok := f.TryRecv(1); ok {
+		t.Fatal("TryRecv returned a message from an empty mailbox")
+	}
+	if err := f.Send(0, 1, "t", nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := f.TryRecv(1)
+	if !ok || m.Tag != "t" {
+		t.Fatalf("TryRecv = %+v, %v", m, ok)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	f := New(2)
+	for i := 0; i < 5; i++ {
+		if err := f.Send(0, 1, "d", i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := f.Drain(1); n != 5 {
+		t.Fatalf("Drain = %d, want 5", n)
+	}
+	if _, ok := f.TryRecv(1); ok {
+		t.Fatal("mailbox not empty after Drain")
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	f := New(2)
+	for i := 0; i < 10; i++ {
+		if err := f.Send(0, 1, "seq", i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if got := f.Recv(1).Payload.(int); got != i {
+			t.Fatalf("message %d arrived as %d", i, got)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	f := New(3)
+	f.Send(0, 1, "a", nil, 10)
+	f.Send(0, 1, "b", nil, 20)
+	f.Send(2, 1, "c", nil, 5)
+	f.Send(1, 0, "d", nil, 1)
+	s := f.Stats()
+	if s.Messages != 4 {
+		t.Fatalf("Messages = %d, want 4", s.Messages)
+	}
+	if s.Bytes != 36 {
+		t.Fatalf("Bytes = %d, want 36", s.Bytes)
+	}
+	if s.LinkMsgs[[2]int{0, 1}] != 2 {
+		t.Fatalf("link 0->1 = %d, want 2", s.LinkMsgs[[2]int{0, 1}])
+	}
+	if s.BusiestIn != 1 {
+		t.Fatalf("BusiestIn = %d, want 1", s.BusiestIn)
+	}
+}
+
+func TestConcurrentSendersAllDelivered(t *testing.T) {
+	f := New(5)
+	const perSender = 200
+	var wg sync.WaitGroup
+	for from := 1; from < 5; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := f.Send(from, 0, "w", i, 4); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(from)
+	}
+	received := 0
+	for received < 4*perSender {
+		f.Recv(0)
+		received++
+	}
+	wg.Wait()
+	if s := f.Stats(); s.Messages != 4*perSender {
+		t.Fatalf("Messages = %d, want %d", s.Messages, 4*perSender)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	f := New(2, WithLatency(5*time.Millisecond))
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if err := f.Send(0, 1, "slow", nil, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("4 sends with 5ms latency took only %v", elapsed)
+	}
+}
+
+func TestMailboxSizeOption(t *testing.T) {
+	f := New(2, WithMailboxSize(1))
+	if err := f.Send(0, 1, "a", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		f.Send(0, 1, "b", nil, 1) // blocks until the first is consumed
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("second send did not block on a full size-1 mailbox")
+	case <-time.After(20 * time.Millisecond):
+	}
+	f.Recv(1)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("send never unblocked")
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	if got := SizeOfSolution(100); got != 13+8 {
+		t.Fatalf("SizeOfSolution(100) = %d, want 21", got)
+	}
+	if got := SizeOfSolution(8); got != 1+8 {
+		t.Fatalf("SizeOfSolution(8) = %d, want 9", got)
+	}
+	if got := SizeOfStrategy(); got != 24 {
+		t.Fatalf("SizeOfStrategy = %d, want 24", got)
+	}
+}

@@ -1,0 +1,19 @@
+package gen
+
+import "testing"
+
+// BenchmarkGK500x25 measures generating the largest Table 1 instance.
+func BenchmarkGK500x25(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = GK("bench", 500, 25, 0.25, uint64(i))
+	}
+}
+
+// BenchmarkFPSuite57 measures generating the whole FP bed.
+func BenchmarkFPSuite57(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = FPSuite(uint64(i))
+	}
+}

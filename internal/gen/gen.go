@@ -1,0 +1,181 @@
+// Package gen generates 0-1 MKP instances. The published benchmark files the
+// paper used (Fréville–Plateau 1994 and Glover–Kochenberger 1996) are not
+// redistributable offline, so this package reproduces their *construction
+// families* with fixed seeds: same size ranges, same correlation structure,
+// same capacity-tightness rule. DESIGN.md §2 documents the substitution.
+//
+// All generated data are integral (stored in float64), matching the
+// published files, and every instance passes mkp.Validate.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+// GK builds a Glover–Kochenberger-style instance: weights uniform on
+// [1,1000], capacities a fixed fraction (tightness) of each row sum, and
+// profits correlated with the items' average weight plus uniform noise
+// (the classic construction, also used by Chu & Beasley):
+//
+//	c_j = round( Σ_i a_ij / m + 500·u_j ),  u_j ~ U[0,1)
+func GK(name string, n, m int, tightness float64, seed uint64) *mkp.Instance {
+	if tightness <= 0 || tightness >= 1 {
+		panic(fmt.Sprintf("gen: GK tightness %v outside (0,1)", tightness))
+	}
+	r := rng.New(seed)
+	ins := newShell(name, n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			ins.Weight[i][j] = float64(r.IntRange(1, 1000))
+		}
+	}
+	for i := 0; i < m; i++ {
+		ins.Capacity[i] = math.Floor(tightness * ins.TotalWeight(i))
+		if ins.Capacity[i] < 1 {
+			ins.Capacity[i] = 1
+		}
+	}
+	for j := 0; j < n; j++ {
+		avg := 0.0
+		for i := 0; i < m; i++ {
+			avg += ins.Weight[i][j]
+		}
+		avg /= float64(m)
+		ins.Profit[j] = math.Floor(avg + 500*r.Float64())
+		if ins.Profit[j] < 1 {
+			ins.Profit[j] = 1
+		}
+	}
+	mustValid(ins)
+	return ins
+}
+
+// FP builds a Fréville–Plateau-style instance: small and strongly
+// correlated — the structure that defeats size-reduction methods. Weights
+// are uniform on [1,100], profits equal the item's average weight plus a
+// modest uniform surplus (kept wide enough that the exact solver can certify
+// every optimum in seconds), and each constraint gets its own tightness
+// drawn from [0.25, 0.75].
+func FP(name string, n, m int, seed uint64) *mkp.Instance {
+	r := rng.New(seed)
+	ins := newShell(name, n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			ins.Weight[i][j] = float64(r.IntRange(1, 100))
+		}
+	}
+	for i := 0; i < m; i++ {
+		t := 0.25 + 0.5*r.Float64()
+		ins.Capacity[i] = math.Floor(t * ins.TotalWeight(i))
+		if ins.Capacity[i] < 1 {
+			ins.Capacity[i] = 1
+		}
+	}
+	for j := 0; j < n; j++ {
+		avg := 0.0
+		for i := 0; i < m; i++ {
+			avg += ins.Weight[i][j]
+		}
+		avg /= float64(m)
+		ins.Profit[j] = math.Floor(avg) + float64(r.IntRange(1, 50))
+	}
+	mustValid(ins)
+	return ins
+}
+
+// Uncorrelated builds an instance with independent uniform profits and
+// weights — the easiest correlation class, used by ablations.
+func Uncorrelated(name string, n, m int, tightness float64, seed uint64) *mkp.Instance {
+	r := rng.New(seed)
+	ins := newShell(name, n, m)
+	for j := 0; j < n; j++ {
+		ins.Profit[j] = float64(r.IntRange(1, 1000))
+	}
+	fillWeightsAndCaps(ins, r, tightness)
+	mustValid(ins)
+	return ins
+}
+
+// WeaklyCorrelated draws each profit within ±100 of the item's average
+// weight (clamped positive).
+func WeaklyCorrelated(name string, n, m int, tightness float64, seed uint64) *mkp.Instance {
+	r := rng.New(seed)
+	ins := newShell(name, n, m)
+	fillWeightsAndCaps(ins, r, tightness)
+	for j := 0; j < n; j++ {
+		avg := 0.0
+		for i := 0; i < m; i++ {
+			avg += ins.Weight[i][j]
+		}
+		avg /= float64(m)
+		p := math.Floor(avg) + float64(r.IntRange(-100, 100))
+		if p < 1 {
+			p = 1
+		}
+		ins.Profit[j] = p
+	}
+	mustValid(ins)
+	return ins
+}
+
+// StronglyCorrelated sets each profit to the item's average weight plus a
+// constant surplus of 100 — the hardest classic correlation class.
+func StronglyCorrelated(name string, n, m int, tightness float64, seed uint64) *mkp.Instance {
+	r := rng.New(seed)
+	ins := newShell(name, n, m)
+	fillWeightsAndCaps(ins, r, tightness)
+	for j := 0; j < n; j++ {
+		avg := 0.0
+		for i := 0; i < m; i++ {
+			avg += ins.Weight[i][j]
+		}
+		ins.Profit[j] = math.Floor(avg/float64(m)) + 100
+	}
+	mustValid(ins)
+	return ins
+}
+
+func newShell(name string, n, m int) *mkp.Instance {
+	if n < 1 || m < 1 {
+		panic(fmt.Sprintf("gen: bad dimensions n=%d m=%d", n, m))
+	}
+	ins := &mkp.Instance{
+		Name:     name,
+		N:        n,
+		M:        m,
+		Profit:   make([]float64, n),
+		Weight:   make([][]float64, m),
+		Capacity: make([]float64, m),
+	}
+	for i := 0; i < m; i++ {
+		ins.Weight[i] = make([]float64, n)
+	}
+	return ins
+}
+
+func fillWeightsAndCaps(ins *mkp.Instance, r *rng.Rand, tightness float64) {
+	if tightness <= 0 || tightness >= 1 {
+		panic(fmt.Sprintf("gen: tightness %v outside (0,1)", tightness))
+	}
+	for i := 0; i < ins.M; i++ {
+		for j := 0; j < ins.N; j++ {
+			ins.Weight[i][j] = float64(r.IntRange(1, 1000))
+		}
+	}
+	for i := 0; i < ins.M; i++ {
+		ins.Capacity[i] = math.Floor(tightness * ins.TotalWeight(i))
+		if ins.Capacity[i] < 1 {
+			ins.Capacity[i] = 1
+		}
+	}
+}
+
+func mustValid(ins *mkp.Instance) {
+	if err := ins.Validate(); err != nil {
+		panic("gen: generated invalid instance: " + err.Error())
+	}
+}

@@ -1,0 +1,229 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mkp"
+)
+
+func TestGKProperties(t *testing.T) {
+	ins := GK("gk", 50, 5, 0.25, 1)
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ins.N != 50 || ins.M != 5 {
+		t.Fatalf("dimensions %dx%d", ins.M, ins.N)
+	}
+	for i := 0; i < ins.M; i++ {
+		tight := ins.Tightness(i)
+		if tight < 0.2 || tight > 0.3 {
+			t.Fatalf("constraint %d tightness %v, want ~0.25", i, tight)
+		}
+		for j := 0; j < ins.N; j++ {
+			w := ins.Weight[i][j]
+			if w < 1 || w > 1000 || w != float64(int(w)) {
+				t.Fatalf("weight[%d][%d] = %v", i, j, w)
+			}
+		}
+	}
+	for j, c := range ins.Profit {
+		if c < 1 || c != float64(int(c)) {
+			t.Fatalf("profit[%d] = %v", j, c)
+		}
+	}
+}
+
+func TestGKDeterministicAndSeedSensitive(t *testing.T) {
+	a := GK("a", 30, 3, 0.25, 7)
+	b := GK("a", 30, 3, 0.25, 7)
+	c := GK("a", 30, 3, 0.25, 8)
+	for j := range a.Profit {
+		if a.Profit[j] != b.Profit[j] {
+			t.Fatal("same seed produced different instances")
+		}
+	}
+	diff := false
+	for j := range a.Profit {
+		if a.Profit[j] != c.Profit[j] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical profits")
+	}
+}
+
+func TestGKPanicsOnBadTightness(t *testing.T) {
+	for _, tt := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("tightness %v accepted", tt)
+				}
+			}()
+			GK("x", 5, 2, tt, 1)
+		}()
+	}
+}
+
+func TestFPProperties(t *testing.T) {
+	ins := FP("fp", 40, 10, 3)
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ins.M; i++ {
+		tight := ins.Tightness(i)
+		if tight < 0.2 || tight > 0.8 {
+			t.Fatalf("FP tightness %v outside [0.25,0.75] band", tight)
+		}
+	}
+	// Strong correlation: profit within [avg, avg+50] of average weight.
+	for j := 0; j < ins.N; j++ {
+		avg := 0.0
+		for i := 0; i < ins.M; i++ {
+			avg += ins.Weight[i][j]
+		}
+		avg /= float64(ins.M)
+		d := ins.Profit[j] - avg
+		if d < -1 || d > 51 {
+			t.Fatalf("FP profit %v far from avg weight %v", ins.Profit[j], avg)
+		}
+	}
+}
+
+func TestCorrelationFamilies(t *testing.T) {
+	u := Uncorrelated("u", 60, 5, 0.5, 1)
+	w := WeaklyCorrelated("w", 60, 5, 0.5, 1)
+	s := StronglyCorrelated("s", 60, 5, 0.5, 1)
+	for _, ins := range []*mkp.Instance{u, w, s} {
+		if err := ins.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Strong correlation: constant surplus of exactly 100.
+	for j := 0; j < s.N; j++ {
+		avg := 0.0
+		for i := 0; i < s.M; i++ {
+			avg += s.Weight[i][j]
+		}
+		avg /= float64(s.M)
+		if d := s.Profit[j] - avg; d < 99 || d > 101 {
+			t.Fatalf("strongly correlated surplus %v, want ~100", d)
+		}
+	}
+}
+
+func TestGKSuiteMatchesGroups(t *testing.T) {
+	suite := GKSuite(42)
+	groups := GKGroups()
+	total := 0
+	for _, g := range groups {
+		total += g.Count
+	}
+	if len(suite) != total {
+		t.Fatalf("suite has %d instances, groups say %d", len(suite), total)
+	}
+	if total != 25 {
+		t.Fatalf("GK suite should have 25 problems, has %d", total)
+	}
+	idx := 0
+	for _, g := range groups {
+		for k := 0; k < g.Count; k++ {
+			ins := suite[idx]
+			if ins.M != g.M || ins.N != g.N {
+				t.Fatalf("problem %d is %dx%d, group %q says %dx%d", idx+1, ins.M, ins.N, g.Label, g.M, g.N)
+			}
+			idx++
+		}
+	}
+	if suite[0].Size() != "3*10" {
+		t.Fatalf("first problem size %s, want 3*10", suite[0].Size())
+	}
+	if last := suite[len(suite)-1]; last.Size() != "25*500" {
+		t.Fatalf("last problem size %s, want 25*500", last.Size())
+	}
+}
+
+func TestFPSuiteShape(t *testing.T) {
+	suite := FPSuite(42)
+	if len(suite) != 57 {
+		t.Fatalf("FP suite has %d problems, want 57", len(suite))
+	}
+	minN, maxN, maxM := 1<<30, 0, 0
+	for _, ins := range suite {
+		if err := ins.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if ins.N < minN {
+			minN = ins.N
+		}
+		if ins.N > maxN {
+			maxN = ins.N
+		}
+		if ins.M > maxM {
+			maxM = ins.M
+		}
+	}
+	if minN != 6 || maxN != 105 {
+		t.Fatalf("n spans [%d,%d], want [6,105]", minN, maxN)
+	}
+	if maxM != 30 {
+		t.Fatalf("max m = %d, want 30", maxM)
+	}
+}
+
+func TestMKSuite(t *testing.T) {
+	suite := MKSuite(42)
+	if len(suite) != 5 {
+		t.Fatalf("MK suite has %d problems, want 5", len(suite))
+	}
+	sizes := MKSizes()
+	for i, ins := range suite {
+		if err := ins.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if ins.M != sizes[i].M || ins.N != sizes[i].N {
+			t.Fatalf("MK%d is %s, want %d*%d", i+1, ins.Size(), sizes[i].M, sizes[i].N)
+		}
+	}
+	if suite[4].Size() != "25*500" {
+		t.Fatalf("MK5 size %s, want 25*500", suite[4].Size())
+	}
+}
+
+func TestSuitesDeterministic(t *testing.T) {
+	a := GKSuite(1)
+	b := GKSuite(1)
+	for i := range a {
+		for j := range a[i].Profit {
+			if a[i].Profit[j] != b[i].Profit[j] {
+				t.Fatal("GKSuite not deterministic")
+			}
+		}
+	}
+}
+
+func TestQuickGeneratorsAlwaysValid(t *testing.T) {
+	f := func(seed uint64, nn, mm uint8, tRaw uint8) bool {
+		n := int(nn)%80 + 1
+		m := int(mm)%15 + 1
+		tight := 0.1 + 0.8*float64(tRaw)/255
+		for _, ins := range []*mkp.Instance{
+			GK("q", n, m, tight, seed),
+			FP("q", n, m, seed),
+			Uncorrelated("q", n, m, tight, seed),
+			WeaklyCorrelated("q", n, m, tight, seed),
+			StronglyCorrelated("q", n, m, tight, seed),
+		} {
+			if ins.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

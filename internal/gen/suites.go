@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/mkp"
+)
+
+// Group describes one row of the paper's Table 1: a set of consecutive
+// problems sharing a size.
+type Group struct {
+	Label string // the paper's problem-number range, e.g. "1to4"
+	M, N  int
+	Count int
+}
+
+// GKGroups returns the size ladder of the Glover–Kochenberger test bed as
+// swept by Table 1: "MKP of size ranging from 3*10 up to 25*500" (§5), in
+// eight rows. Counts follow the paper's row labels (1to4, 5to8, 9to14,
+// 15to17, 18to22, then three single large problems).
+func GKGroups() []Group {
+	return []Group{
+		{Label: "1to4", M: 3, N: 10, Count: 4},
+		{Label: "5to8", M: 5, N: 25, Count: 4},
+		{Label: "9to14", M: 10, N: 50, Count: 6},
+		{Label: "15to17", M: 15, N: 100, Count: 3},
+		{Label: "18to22", M: 25, N: 100, Count: 5},
+		{Label: "23", M: 10, N: 250, Count: 1},
+		{Label: "24", M: 25, N: 250, Count: 1},
+		{Label: "25", M: 25, N: 500, Count: 1},
+	}
+}
+
+// GKSuite generates the Table 1 test bed: one GK-style instance per problem
+// number, tightness 0.25 (the standard hard setting), deterministically
+// derived from seed.
+func GKSuite(seed uint64) []*mkp.Instance {
+	var out []*mkp.Instance
+	prob := 1
+	for _, g := range GKGroups() {
+		for k := 0; k < g.Count; k++ {
+			name := fmt.Sprintf("GK%02d_%dx%d", prob, g.M, g.N)
+			out = append(out, GK(name, g.N, g.M, 0.25, seed+uint64(prob)*1000))
+			prob++
+		}
+	}
+	return out
+}
+
+// FPSuite generates the 57-problem Fréville–Plateau-style bed: n from 6 to
+// 105 and m from 2 to 30, the ranges reported in §5. Sizes cycle through the
+// m ladder while n grows, so the suite covers the full rectangle.
+func FPSuite(seed uint64) []*mkp.Instance {
+	ms := []int{2, 4, 5, 10, 20, 30}
+	out := make([]*mkp.Instance, 0, 57)
+	for k := 0; k < 57; k++ {
+		// n advances from 6 to 105 in (almost) even steps across the suite.
+		n := 6 + k*99/56
+		m := ms[k%len(ms)]
+		name := fmt.Sprintf("FP%02d_%dx%d", k+1, m, n)
+		out = append(out, FP(name, n, m, seed+uint64(k)*977))
+	}
+	return out
+}
+
+// MKSizes lists the five large problems MK1..MK5 compared in Table 2,
+// spanning the upper end of the GK ladder.
+func MKSizes() []Group {
+	return []Group{
+		{Label: "MK1", M: 10, N: 100, Count: 1},
+		{Label: "MK2", M: 15, N: 180, Count: 1},
+		{Label: "MK3", M: 20, N: 250, Count: 1},
+		{Label: "MK4", M: 25, N: 350, Count: 1},
+		{Label: "MK5", M: 25, N: 500, Count: 1},
+	}
+}
+
+// MKSuite generates MK1..MK5 (GK family, tightness 0.25) from seed.
+func MKSuite(seed uint64) []*mkp.Instance {
+	sizes := MKSizes()
+	out := make([]*mkp.Instance, len(sizes))
+	for i, g := range sizes {
+		name := fmt.Sprintf("%s_%dx%d", g.Label, g.M, g.N)
+		out[i] = GK(name, g.N, g.M, 0.25, seed+uint64(i)*31337)
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package lp
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func benchSolve(b *testing.B, n, m int) {
+	b.Helper()
+	c, a, bb := randomLP(rng.New(1), n, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(c, a, bb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve250x15(b *testing.B) { benchSolve(b, 250, 15) }
+func BenchmarkSolve500x25(b *testing.B) { benchSolve(b, 500, 25) }

@@ -1,0 +1,82 @@
+package mkp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Description summarizes the structural properties that determine an MKP
+// instance's hardness: size, capacity tightness, and the profit–weight
+// correlation (the knob the benchmark families differ on).
+type Description struct {
+	Name          string
+	N, M          int
+	TightnessMin  float64
+	TightnessMean float64
+	TightnessMax  float64
+	// Correlation is the Pearson correlation between each item's profit and
+	// its average weight: ~0 for uncorrelated instances, near 1 for the
+	// strongly correlated families that defeat size reduction.
+	Correlation float64
+	// ProfitMean and WeightMean characterize the value scale.
+	ProfitMean float64
+	WeightMean float64
+}
+
+// Describe computes the instance summary.
+func Describe(ins *Instance) Description {
+	d := Description{
+		Name:         ins.Name,
+		N:            ins.N,
+		M:            ins.M,
+		TightnessMin: math.Inf(1),
+	}
+	tight := 0.0
+	for i := 0; i < ins.M; i++ {
+		t := ins.Tightness(i)
+		tight += t
+		if t < d.TightnessMin {
+			d.TightnessMin = t
+		}
+		if t > d.TightnessMax {
+			d.TightnessMax = t
+		}
+	}
+	d.TightnessMean = tight / float64(ins.M)
+
+	avgW := make([]float64, ins.N)
+	for j := 0; j < ins.N; j++ {
+		for i := 0; i < ins.M; i++ {
+			avgW[j] += ins.Weight[i][j]
+		}
+		avgW[j] /= float64(ins.M)
+		d.ProfitMean += ins.Profit[j]
+		d.WeightMean += avgW[j]
+	}
+	d.ProfitMean /= float64(ins.N)
+	d.WeightMean /= float64(ins.N)
+
+	var cov, varP, varW float64
+	for j := 0; j < ins.N; j++ {
+		dp := ins.Profit[j] - d.ProfitMean
+		dw := avgW[j] - d.WeightMean
+		cov += dp * dw
+		varP += dp * dp
+		varW += dw * dw
+	}
+	if varP > 0 && varW > 0 {
+		d.Correlation = cov / math.Sqrt(varP*varW)
+	}
+	return d
+}
+
+// String renders the description as a short multi-line report.
+func (d Description) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instance %s: %d items x %d constraints\n", d.Name, d.N, d.M)
+	fmt.Fprintf(&b, "tightness: %.3f mean (%.3f..%.3f)\n", d.TightnessMean, d.TightnessMin, d.TightnessMax)
+	fmt.Fprintf(&b, "profit-weight correlation: %.3f\n", d.Correlation)
+	fmt.Fprintf(&b, "means: profit %.1f, weight %.1f", d.ProfitMean, d.WeightMean)
+	return b.String()
+}

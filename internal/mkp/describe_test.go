@@ -1,0 +1,57 @@
+package mkp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDescribeTiny(t *testing.T) {
+	d := Describe(tiny())
+	if d.N != 4 || d.M != 2 || d.Name != "tiny" {
+		t.Fatalf("header wrong: %+v", d)
+	}
+	// Constraint tightness: 6/10 = 0.6 and 5/9 ≈ 0.556.
+	if math.Abs(d.TightnessMean-(0.6+5.0/9.0)/2) > 1e-9 {
+		t.Fatalf("TightnessMean = %v", d.TightnessMean)
+	}
+	if d.TightnessMin > d.TightnessMean || d.TightnessMean > d.TightnessMax {
+		t.Fatalf("tightness ordering broken: %+v", d)
+	}
+	if d.Correlation < -1 || d.Correlation > 1 {
+		t.Fatalf("Correlation = %v", d.Correlation)
+	}
+	s := d.String()
+	for _, want := range []string{"tiny", "4 items", "correlation"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDescribePerfectCorrelation(t *testing.T) {
+	// Profit exactly equals average weight: correlation 1.
+	ins := &Instance{
+		Name: "corr", N: 4, M: 1,
+		Profit:   []float64{10, 20, 30, 40},
+		Weight:   [][]float64{{10, 20, 30, 40}},
+		Capacity: []float64{50},
+	}
+	d := Describe(ins)
+	if math.Abs(d.Correlation-1) > 1e-9 {
+		t.Fatalf("Correlation = %v, want 1", d.Correlation)
+	}
+}
+
+func TestDescribeConstantProfitNoNaN(t *testing.T) {
+	ins := &Instance{
+		Name: "const", N: 3, M: 1,
+		Profit:   []float64{5, 5, 5},
+		Weight:   [][]float64{{1, 2, 3}},
+		Capacity: []float64{4},
+	}
+	d := Describe(ins)
+	if d.Correlation != 0 || math.IsNaN(d.Correlation) {
+		t.Fatalf("degenerate correlation = %v, want 0", d.Correlation)
+	}
+}

@@ -1,0 +1,96 @@
+package mkp
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// nothingFits returns an instance where no single item can be packed.
+func nothingFits() *Instance {
+	return &Instance{
+		Name:     "nothing-fits",
+		N:        3,
+		M:        2,
+		Profit:   []float64{10, 20, 30},
+		Weight:   [][]float64{{5, 6, 7}, {9, 9, 9}},
+		Capacity: []float64{4, 8},
+	}
+}
+
+func TestGreedyOnNothingFits(t *testing.T) {
+	sol := Greedy(nothingFits())
+	if sol.Value != 0 || sol.X.Count() != 0 {
+		t.Fatalf("greedy packed something impossible: %+v", sol)
+	}
+}
+
+func TestRandomFeasibleOnNothingFits(t *testing.T) {
+	sol := RandomFeasible(nothingFits(), rng.New(1))
+	if sol.X.Count() != 0 {
+		t.Fatal("random feasible packed an impossible item")
+	}
+}
+
+func TestStateOnSingleItem(t *testing.T) {
+	ins := &Instance{
+		Name: "one", N: 1, M: 1,
+		Profit: []float64{7}, Weight: [][]float64{{3}}, Capacity: []float64{3},
+	}
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(ins)
+	if !st.Fits(0) {
+		t.Fatal("exact-fit item rejected")
+	}
+	st.Add(0)
+	if st.Slack[0] != 0 || !st.Feasible() {
+		t.Fatalf("exact fit leaves slack %v feasible %v", st.Slack[0], st.Feasible())
+	}
+	if st.Fits(0) {
+		// Fits on an already-packed item is not meaningful but must not
+		// report true capacity-wise; slack is 0 and weight 3.
+		t.Fatal("Fits(0) true with zero slack")
+	}
+}
+
+func TestGreedyAllItemsFit(t *testing.T) {
+	ins := &Instance{
+		Name: "loose", N: 4, M: 1,
+		Profit:   []float64{1, 2, 3, 4},
+		Weight:   [][]float64{{1, 1, 1, 1}},
+		Capacity: []float64{100},
+	}
+	sol := Greedy(ins)
+	if sol.X.Count() != 4 || sol.Value != 10 {
+		t.Fatalf("greedy missed free items: %+v", sol)
+	}
+}
+
+func TestRepairOnEmptyState(t *testing.T) {
+	st := NewState(nothingFits())
+	Repair(st) // no-op on feasible empty state
+	if !st.Feasible() || st.X.Count() != 0 {
+		t.Fatal("repair broke an empty state")
+	}
+}
+
+func TestZeroWeightItemAlwaysPacked(t *testing.T) {
+	ins := &Instance{
+		Name: "free-item", N: 2, M: 1,
+		Profit:   []float64{5, 9},
+		Weight:   [][]float64{{0, 10}},
+		Capacity: []float64{3},
+	}
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sol := Greedy(ins)
+	if !sol.X.Get(0) {
+		t.Fatal("zero-weight item not packed")
+	}
+	if sol.X.Get(1) {
+		t.Fatal("oversized item packed")
+	}
+}

@@ -1,0 +1,123 @@
+package mkp
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/rng"
+)
+
+// RankByUtility returns item indices sorted by decreasing pseudo-utility
+// c_j / Σ_i (a_ij / b_i). Ties break to the lower index for determinism.
+func RankByUtility(ins *Instance) []int {
+	util := make([]float64, ins.N)
+	for j := 0; j < ins.N; j++ {
+		util[j] = ins.PseudoUtility(j)
+	}
+	order := make([]int, ins.N)
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool { return util[order[a]] > util[order[b]] })
+	return order
+}
+
+// Greedy builds a feasible solution by packing items in decreasing
+// pseudo-utility order, skipping anything that no longer fits. This is the
+// deterministic baseline constructor.
+func Greedy(ins *Instance) Solution {
+	st := NewState(ins)
+	for _, j := range RankByUtility(ins) {
+		if st.Fits(j) {
+			st.Add(j)
+		}
+	}
+	return st.Snapshot()
+}
+
+// RandomizedGreedy builds a feasible solution by repeatedly picking uniformly
+// among the rcl best-utility items that still fit (a GRASP-style restricted
+// candidate list). rcl <= 1 degenerates to Greedy with random tie-breaking.
+// The master uses it to inject fresh random starting solutions (ISP rule 2).
+func RandomizedGreedy(ins *Instance, r *rng.Rand, rcl int) Solution {
+	if rcl < 1 {
+		rcl = 1
+	}
+	st := NewState(ins)
+	order := RankByUtility(ins)
+	remaining := append([]int(nil), order...)
+	for len(remaining) > 0 {
+		// Collect up to rcl fitting candidates in utility order.
+		cands := make([]int, 0, rcl)
+		next := remaining[:0]
+		for _, j := range remaining {
+			if st.Fits(j) {
+				if len(cands) < rcl {
+					cands = append(cands, j)
+				}
+				next = append(next, j)
+			}
+		}
+		remaining = next
+		if len(cands) == 0 {
+			break
+		}
+		pick := cands[r.Intn(len(cands))]
+		st.Add(pick)
+		// Remove the packed item from the remaining pool.
+		for k, j := range remaining {
+			if j == pick {
+				remaining = append(remaining[:k], remaining[k+1:]...)
+				break
+			}
+		}
+	}
+	return st.Snapshot()
+}
+
+// RandomFeasible draws a uniformly random 0-1 vector and repairs it into the
+// feasible domain, then greedily tops it up. The paper's ISP substitutes such
+// "new randomly generated solutions" for stagnant starts (§4.2).
+func RandomFeasible(ins *Instance, r *rng.Rand) Solution {
+	x := bitset.New(ins.N)
+	for j := 0; j < ins.N; j++ {
+		if r.Bool(0.5) {
+			x.Set(j)
+		}
+	}
+	st := NewState(ins)
+	st.Load(x)
+	Repair(st)
+	FillGreedy(st)
+	return st.Snapshot()
+}
+
+// Repair projects an infeasible state onto the feasible domain by dropping
+// packed items in decreasing burden ratio Σ_i a_ij/c_j — "excluding from the
+// knapsack the less interesting objects" (§3.2) — until all constraints hold.
+// A feasible state is returned unchanged.
+func Repair(st *State) {
+	if st.Feasible() {
+		return
+	}
+	packed := st.X.Indices(nil)
+	sort.SliceStable(packed, func(a, b int) bool {
+		return st.Ins.BurdenRatio(packed[a]) > st.Ins.BurdenRatio(packed[b])
+	})
+	for _, j := range packed {
+		if st.Feasible() {
+			return
+		}
+		st.Drop(j)
+	}
+}
+
+// FillGreedy packs any still-fitting items in decreasing pseudo-utility
+// order. It requires a feasible state and keeps it feasible.
+func FillGreedy(st *State) {
+	for _, j := range RankByUtility(st.Ins) {
+		if !st.X.Get(j) && st.Fits(j) {
+			st.Add(j)
+		}
+	}
+}

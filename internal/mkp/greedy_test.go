@@ -1,0 +1,172 @@
+package mkp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/rng"
+)
+
+func TestRankByUtilityOrder(t *testing.T) {
+	ins := tiny()
+	order := RankByUtility(ins)
+	if len(order) != ins.N {
+		t.Fatalf("order has %d entries, want %d", len(order), ins.N)
+	}
+	for k := 1; k < len(order); k++ {
+		if ins.PseudoUtility(order[k-1]) < ins.PseudoUtility(order[k]) {
+			t.Fatalf("order not decreasing at %d: %v", k, order)
+		}
+	}
+}
+
+func TestGreedyFeasibleAndSane(t *testing.T) {
+	ins := tiny()
+	sol := Greedy(ins)
+	if !IsFeasibleAssignment(ins, sol.X) {
+		t.Fatal("Greedy produced infeasible solution")
+	}
+	if sol.Value != ValueOf(ins, sol.X) {
+		t.Fatal("Greedy value inconsistent with assignment")
+	}
+	if sol.Value <= 0 {
+		t.Fatal("Greedy packed nothing on a packable instance")
+	}
+}
+
+func TestGreedyIsMaximal(t *testing.T) {
+	ins := tiny()
+	sol := Greedy(ins)
+	st := NewState(ins)
+	st.Load(sol.X)
+	for j := 0; j < ins.N; j++ {
+		if !st.X.Get(j) && st.Fits(j) {
+			t.Fatalf("Greedy left fitting item %d unpacked", j)
+		}
+	}
+}
+
+func TestRandomizedGreedyFeasible(t *testing.T) {
+	ins := tiny()
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		sol := RandomizedGreedy(ins, r, 3)
+		if !IsFeasibleAssignment(ins, sol.X) {
+			t.Fatal("RandomizedGreedy produced infeasible solution")
+		}
+	}
+}
+
+func TestRandomizedGreedyRCLOne(t *testing.T) {
+	ins := tiny()
+	want := Greedy(ins)
+	got := RandomizedGreedy(ins, rng.New(1), 1)
+	if got.Value != want.Value {
+		t.Fatalf("rcl=1 value %v != greedy value %v", got.Value, want.Value)
+	}
+	// rcl < 1 is clamped.
+	got = RandomizedGreedy(ins, rng.New(1), 0)
+	if got.Value != want.Value {
+		t.Fatal("rcl=0 not clamped to 1")
+	}
+}
+
+func TestRandomFeasibleAlwaysFeasible(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 30; trial++ {
+		ins := randomInstance(r, r.IntRange(1, 50), r.IntRange(1, 8))
+		sol := RandomFeasible(ins, r)
+		if !IsFeasibleAssignment(ins, sol.X) {
+			t.Fatalf("trial %d: RandomFeasible infeasible", trial)
+		}
+	}
+}
+
+func TestRepairReachesFeasibility(t *testing.T) {
+	ins := tiny()
+	st := NewState(ins)
+	full := bitset.New(ins.N)
+	full.Fill()
+	st.Load(full)
+	if st.Feasible() {
+		t.Fatal("test premise broken: full pack should be infeasible")
+	}
+	Repair(st)
+	if !st.Feasible() {
+		t.Fatal("Repair left state infeasible")
+	}
+}
+
+func TestRepairNoopOnFeasible(t *testing.T) {
+	ins := tiny()
+	st := NewState(ins)
+	st.Add(0)
+	before := st.Snapshot()
+	Repair(st)
+	if !st.X.Equal(before.X) {
+		t.Fatal("Repair modified a feasible state")
+	}
+}
+
+func TestFillGreedyTopsUp(t *testing.T) {
+	ins := tiny()
+	st := NewState(ins)
+	FillGreedy(st)
+	for j := 0; j < ins.N; j++ {
+		if !st.X.Get(j) && st.Fits(j) {
+			t.Fatalf("FillGreedy left fitting item %d", j)
+		}
+	}
+}
+
+func TestQuickRepairAlwaysFeasible(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(1, 60), r.IntRange(1, 10))
+		st := NewState(ins)
+		x := bitset.New(ins.N)
+		for j := 0; j < ins.N; j++ {
+			if r.Bool(0.7) {
+				x.Set(j)
+			}
+		}
+		st.Load(x)
+		Repair(st)
+		return st.Feasible() && IsFeasibleAssignment(ins, st.X)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGreedyFeasibleMaximal(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(1, 60), r.IntRange(1, 10))
+		sol := Greedy(ins)
+		if !IsFeasibleAssignment(ins, sol.X) {
+			return false
+		}
+		st := NewState(ins)
+		st.Load(sol.X)
+		for j := 0; j < ins.N; j++ {
+			if !st.X.Get(j) && st.Fits(j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	ins := randomInstance(rng.New(1), 500, 25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Greedy(ins)
+	}
+}

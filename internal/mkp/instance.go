@@ -1,0 +1,148 @@
+// Package mkp models the 0-1 multidimensional knapsack problem:
+//
+//	max  Σ_j c_j x_j
+//	s.t. Σ_j a_ij x_j <= b_i   (i = 1..m)
+//	     x_j ∈ {0,1}           (j = 1..n)
+//
+// with all a_ij, b_i, c_j positive, exactly as defined in Niar & Fréville
+// (IPPS 1997, §1). The package provides the instance representation, an
+// incremental solution evaluator (the tabu-search hot path), greedy
+// construction and repair heuristics, and OR-Library-format I/O.
+package mkp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Instance is an immutable 0-1 MKP instance. Weight is indexed [constraint][item].
+// BestKnown, when positive, records a reference objective value (an optimum
+// from the exact solver or a best-known bound) used for deviation reporting;
+// zero means unknown.
+type Instance struct {
+	Name      string
+	N         int         // number of items (variables)
+	M         int         // number of constraints (dimensions)
+	Profit    []float64   // c_j, length N
+	Weight    [][]float64 // a_ij, M rows of length N
+	Capacity  []float64   // b_i, length M
+	BestKnown float64
+}
+
+// Validate checks structural consistency and the paper's positivity
+// assumptions. Every solver in this repository calls it once up front so the
+// hot paths can skip bounds and sign checks.
+func (ins *Instance) Validate() error {
+	if ins == nil {
+		return errors.New("mkp: nil instance")
+	}
+	if ins.N <= 0 {
+		return fmt.Errorf("mkp: instance %q has N=%d, want > 0", ins.Name, ins.N)
+	}
+	if ins.M <= 0 {
+		return fmt.Errorf("mkp: instance %q has M=%d, want > 0", ins.Name, ins.M)
+	}
+	if len(ins.Profit) != ins.N {
+		return fmt.Errorf("mkp: instance %q has %d profits, want %d", ins.Name, len(ins.Profit), ins.N)
+	}
+	if len(ins.Capacity) != ins.M {
+		return fmt.Errorf("mkp: instance %q has %d capacities, want %d", ins.Name, len(ins.Capacity), ins.M)
+	}
+	if len(ins.Weight) != ins.M {
+		return fmt.Errorf("mkp: instance %q has %d weight rows, want %d", ins.Name, len(ins.Weight), ins.M)
+	}
+	for j, c := range ins.Profit {
+		if !(c > 0) { // also rejects NaN
+			return fmt.Errorf("mkp: instance %q profit[%d]=%v, want > 0", ins.Name, j, c)
+		}
+	}
+	for i, row := range ins.Weight {
+		if len(row) != ins.N {
+			return fmt.Errorf("mkp: instance %q weight row %d has %d entries, want %d", ins.Name, i, len(row), ins.N)
+		}
+		for j, a := range row {
+			if a < 0 || a != a {
+				return fmt.Errorf("mkp: instance %q weight[%d][%d]=%v, want >= 0", ins.Name, i, j, a)
+			}
+		}
+	}
+	for i, b := range ins.Capacity {
+		if !(b > 0) {
+			return fmt.Errorf("mkp: instance %q capacity[%d]=%v, want > 0", ins.Name, i, b)
+		}
+	}
+	return nil
+}
+
+// Size returns the conventional "m*n" label used in the paper's tables.
+func (ins *Instance) Size() string {
+	return fmt.Sprintf("%d*%d", ins.M, ins.N)
+}
+
+// Clone returns a deep copy of the instance.
+func (ins *Instance) Clone() *Instance {
+	c := &Instance{
+		Name:      ins.Name,
+		N:         ins.N,
+		M:         ins.M,
+		Profit:    append([]float64(nil), ins.Profit...),
+		Capacity:  append([]float64(nil), ins.Capacity...),
+		Weight:    make([][]float64, ins.M),
+		BestKnown: ins.BestKnown,
+	}
+	for i, row := range ins.Weight {
+		c.Weight[i] = append([]float64(nil), row...)
+	}
+	return c
+}
+
+// TotalWeight returns Σ_j a_ij for constraint i: the row sum used by the
+// Glover–Kochenberger-style capacity rule b_i = tightness·Σ_j a_ij.
+func (ins *Instance) TotalWeight(i int) float64 {
+	s := 0.0
+	for _, a := range ins.Weight[i] {
+		s += a
+	}
+	return s
+}
+
+// Tightness returns b_i / Σ_j a_ij for constraint i, the standard hardness
+// knob for generated MKP instances.
+func (ins *Instance) Tightness(i int) float64 {
+	tw := ins.TotalWeight(i)
+	if tw == 0 {
+		return 1
+	}
+	return ins.Capacity[i] / tw
+}
+
+// PseudoUtility returns c_j divided by the capacity-normalized aggregate
+// weight of item j, the classic bang-for-buck score used by the greedy
+// constructor and the Add phase of the tabu move:
+//
+//	u_j = c_j / Σ_i (a_ij / b_i)
+//
+// Items that consume nothing (all a_ij = 0) get +Inf via a tiny denominator
+// guard, so they sort first and are always packed.
+func (ins *Instance) PseudoUtility(j int) float64 {
+	d := 0.0
+	for i := 0; i < ins.M; i++ {
+		d += ins.Weight[i][j] / ins.Capacity[i]
+	}
+	if d <= 0 {
+		d = 1e-300
+	}
+	return ins.Profit[j] / d
+}
+
+// BurdenRatio returns Σ_i a_ij / c_j for item j: the "less interesting
+// objects ... with large Σ_i a_ij/c_j ratio" score the paper's strategic
+// oscillation uses to project infeasible solutions back into the feasible
+// domain (§3.2).
+func (ins *Instance) BurdenRatio(j int) float64 {
+	s := 0.0
+	for i := 0; i < ins.M; i++ {
+		s += ins.Weight[i][j]
+	}
+	return s / ins.Profit[j]
+}

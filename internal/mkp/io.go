@@ -1,0 +1,161 @@
+package mkp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadORLibMulti parses a file in the official OR-Library multi-problem
+// layout used by mknap1/mknap2: the first token is the number K of problems,
+// followed by K instances each in the single-instance layout documented on
+// ReadORLib. Instance names are derived as name#k.
+func ReadORLibMulti(r io.Reader, name string) ([]*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	sc.Split(bufio.ScanWords)
+	k, err := nextIntToken(sc)
+	if err != nil {
+		return nil, fmt.Errorf("mkp: reading problem count: %w", err)
+	}
+	if k <= 0 || k > 1_000_000 {
+		return nil, fmt.Errorf("mkp: implausible problem count %d", k)
+	}
+	out := make([]*Instance, 0, k)
+	for p := 0; p < k; p++ {
+		ins, err := readOne(sc, fmt.Sprintf("%s#%d", name, p+1))
+		if err != nil {
+			return nil, fmt.Errorf("mkp: problem %d of %d: %w", p+1, k, err)
+		}
+		out = append(out, ins)
+	}
+	return out, nil
+}
+
+// ReadORLib parses one instance in the OR-Library "mknap" layout:
+//
+//	n m opt
+//	c_1 ... c_n
+//	a_11 ... a_1n
+//	...
+//	a_m1 ... a_mn
+//	b_1 ... b_m
+//
+// Whitespace (including newlines) separates tokens freely, as in the
+// published files. opt is stored as BestKnown; 0 means unknown.
+func ReadORLib(r io.Reader, name string) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	sc.Split(bufio.ScanWords)
+	return readOne(sc, name)
+}
+
+// nextToken returns the next whitespace-separated number.
+func nextToken(sc *bufio.Scanner) (float64, error) {
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return 0, err
+		}
+		return 0, io.ErrUnexpectedEOF
+	}
+	v, err := strconv.ParseFloat(sc.Text(), 64)
+	if err != nil {
+		return 0, fmt.Errorf("mkp: bad token %q: %v", sc.Text(), err)
+	}
+	return v, nil
+}
+
+// nextIntToken returns the next token, requiring it to be integral.
+func nextIntToken(sc *bufio.Scanner) (int, error) {
+	v, err := nextToken(sc)
+	if err != nil {
+		return 0, err
+	}
+	if v != float64(int(v)) {
+		return 0, fmt.Errorf("mkp: expected integer, got %v", v)
+	}
+	return int(v), nil
+}
+
+// readOne consumes one instance from the token stream.
+func readOne(sc *bufio.Scanner, name string) (*Instance, error) {
+	n, err := nextIntToken(sc)
+	if err != nil {
+		return nil, fmt.Errorf("mkp: reading n: %w", err)
+	}
+	m, err := nextIntToken(sc)
+	if err != nil {
+		return nil, fmt.Errorf("mkp: reading m: %w", err)
+	}
+	opt, err := nextToken(sc)
+	if err != nil {
+		return nil, fmt.Errorf("mkp: reading opt: %w", err)
+	}
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("mkp: invalid header n=%d m=%d", n, m)
+	}
+
+	ins := &Instance{
+		Name:      name,
+		N:         n,
+		M:         m,
+		Profit:    make([]float64, n),
+		Weight:    make([][]float64, m),
+		Capacity:  make([]float64, m),
+		BestKnown: opt,
+	}
+	for j := 0; j < n; j++ {
+		if ins.Profit[j], err = nextToken(sc); err != nil {
+			return nil, fmt.Errorf("mkp: reading profit %d: %w", j, err)
+		}
+	}
+	for i := 0; i < m; i++ {
+		ins.Weight[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if ins.Weight[i][j], err = nextToken(sc); err != nil {
+				return nil, fmt.Errorf("mkp: reading weight[%d][%d]: %w", i, j, err)
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if ins.Capacity[i], err = nextToken(sc); err != nil {
+			return nil, fmt.Errorf("mkp: reading capacity %d: %w", i, err)
+		}
+	}
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	return ins, nil
+}
+
+// WriteORLib writes the instance in the OR-Library layout read by ReadORLib.
+func WriteORLib(w io.Writer, ins *Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d %s\n", ins.N, ins.M, formatNum(ins.BestKnown))
+	writeRow(bw, ins.Profit)
+	for i := 0; i < ins.M; i++ {
+		writeRow(bw, ins.Weight[i])
+	}
+	writeRow(bw, ins.Capacity)
+	return bw.Flush()
+}
+
+func writeRow(w *bufio.Writer, row []float64) {
+	for j, v := range row {
+		if j > 0 {
+			w.WriteByte(' ')
+		}
+		w.WriteString(formatNum(v))
+	}
+	w.WriteByte('\n')
+}
+
+// formatNum prints integral values without a decimal point, matching the
+// published benchmark files, and everything else with full precision.
+func formatNum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

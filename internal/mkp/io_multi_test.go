@@ -1,0 +1,62 @@
+package mkp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadORLibMulti(t *testing.T) {
+	// Two instances in the official multi-problem layout.
+	var sb strings.Builder
+	sb.WriteString("2\n")
+	a := tiny()
+	if err := WriteORLib(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	b := tiny()
+	b.Profit[0] = 99
+	if err := WriteORLib(&sb, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadORLibMulti(strings.NewReader(sb.String()), "mknap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d instances, want 2", len(got))
+	}
+	if got[0].Name != "mknap1#1" || got[1].Name != "mknap1#2" {
+		t.Fatalf("names %q %q", got[0].Name, got[1].Name)
+	}
+	if got[0].Profit[0] != 10 || got[1].Profit[0] != 99 {
+		t.Fatalf("instances mixed up: %v %v", got[0].Profit[0], got[1].Profit[0])
+	}
+}
+
+func TestReadORLibMultiErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"zero count":       "0",
+		"negative count":   "-3",
+		"huge count":       "99999999",
+		"truncated body":   "2\n4 2 0 10 6 4 7",
+		"fractional count": "1.5",
+	}
+	for name, in := range cases {
+		if _, err := ReadORLibMulti(strings.NewReader(in), name); err == nil {
+			t.Errorf("%s: malformed file accepted", name)
+		}
+	}
+}
+
+func TestReadORLibMultiSingle(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("1 ")
+	if err := WriteORLib(&sb, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadORLibMulti(strings.NewReader(sb.String()), "one")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("single-problem multi file: %v, %d", err, len(got))
+	}
+}

@@ -1,0 +1,73 @@
+package mkp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteLPFormat writes the instance as a CPLEX LP-format model:
+//
+//	Maximize
+//	 obj: 10 x0 + 6 x1 + ...
+//	Subject To
+//	 c0: 3 x0 + 2 x1 + ... <= 6
+//	Binaries
+//	 x0 x1 ...
+//	End
+//
+// The format is read by CPLEX, Gurobi, SCIP, HiGHS, lp_solve and glpsol, so
+// any solution produced here can be cross-checked against an independent
+// solver (and vice versa).
+func WriteLPFormat(w io.Writer, ins *Instance) error {
+	if err := ins.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "\\ %s (%s) exported by pts\n", ins.Name, ins.Size())
+	fmt.Fprintln(bw, "Maximize")
+	bw.WriteString(" obj:")
+	writeTerms(bw, ins.Profit)
+	fmt.Fprintln(bw, "\nSubject To")
+	for i := 0; i < ins.M; i++ {
+		fmt.Fprintf(bw, " c%d:", i)
+		writeTerms(bw, ins.Weight[i])
+		fmt.Fprintf(bw, " <= %s\n", formatNum(ins.Capacity[i]))
+	}
+	fmt.Fprintln(bw, "Binaries")
+	line := 0
+	for j := 0; j < ins.N; j++ {
+		fmt.Fprintf(bw, " x%d", j)
+		line++
+		if line == 16 {
+			bw.WriteByte('\n')
+			line = 0
+		}
+	}
+	if line != 0 {
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintln(bw, "End")
+	return bw.Flush()
+}
+
+// writeTerms emits " + c_j xj" terms, skipping zero coefficients (LP format
+// forbids them in constraints).
+func writeTerms(bw *bufio.Writer, coeffs []float64) {
+	first := true
+	for j, c := range coeffs {
+		if c == 0 {
+			continue
+		}
+		if first {
+			fmt.Fprintf(bw, " %s x%d", formatNum(c), j)
+			first = false
+		} else {
+			fmt.Fprintf(bw, " + %s x%d", formatNum(c), j)
+		}
+	}
+	if first {
+		// An all-zero row still needs a syntactically valid expression.
+		bw.WriteString(" 0 x0")
+	}
+}

@@ -1,0 +1,79 @@
+package mkp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteLPFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteLPFormat(&sb, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Maximize",
+		"obj: 10 x0 + 6 x1 + 4 x2 + 7 x3",
+		"Subject To",
+		"c0: 3 x0 + 2 x1 + 1 x2 + 4 x3 <= 6",
+		"c1: 2 x0 + 3 x1 + 3 x2 + 1 x3 <= 5",
+		"Binaries",
+		" x0 x1 x2 x3",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("LP output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPFormatSkipsZeroCoefficients(t *testing.T) {
+	ins := tiny()
+	ins.Weight[0][1] = 0
+	var sb strings.Builder
+	if err := WriteLPFormat(&sb, ins); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "0 x1 +") || strings.Contains(sb.String(), "+ 0 x1") {
+		t.Fatalf("zero coefficient emitted:\n%s", sb.String())
+	}
+}
+
+func TestWriteLPFormatRejectsInvalid(t *testing.T) {
+	ins := tiny()
+	ins.Profit[0] = -1
+	var sb strings.Builder
+	if err := WriteLPFormat(&sb, ins); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestWriteLPFormatManyItemsWraps(t *testing.T) {
+	ins := &Instance{Name: "wide", N: 40, M: 1}
+	ins.Profit = make([]float64, 40)
+	ins.Weight = [][]float64{make([]float64, 40)}
+	for j := 0; j < 40; j++ {
+		ins.Profit[j] = 1
+		ins.Weight[0][j] = 1
+	}
+	ins.Capacity = []float64{10}
+	var sb strings.Builder
+	if err := WriteLPFormat(&sb, ins); err != nil {
+		t.Fatal(err)
+	}
+	// The Binaries section wraps every 16 variables.
+	lines := strings.Split(sb.String(), "\n")
+	inBin := false
+	for _, line := range lines {
+		if line == "Binaries" {
+			inBin = true
+			continue
+		}
+		if inBin && line != "End" && len(strings.Fields(line)) > 16 {
+			t.Fatalf("Binaries line too wide: %q", line)
+		}
+		if line == "End" {
+			break
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package mkp
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// PermuteItems returns a new instance whose item j is the input's item
+// perm[j], together with nothing else changed. The MKP is invariant under
+// item relabeling, so certified optima must agree across permutations —
+// the differential test suite uses this to cross-check the solvers.
+func PermuteItems(ins *Instance, perm []int) (*Instance, error) {
+	if len(perm) != ins.N {
+		return nil, fmt.Errorf("mkp: permutation has %d entries, instance has %d items", len(perm), ins.N)
+	}
+	seen := make([]bool, ins.N)
+	for _, j := range perm {
+		if j < 0 || j >= ins.N || seen[j] {
+			return nil, fmt.Errorf("mkp: invalid permutation (entry %d)", j)
+		}
+		seen[j] = true
+	}
+	out := &Instance{
+		Name:      ins.Name + "_perm",
+		N:         ins.N,
+		M:         ins.M,
+		Profit:    make([]float64, ins.N),
+		Weight:    make([][]float64, ins.M),
+		Capacity:  append([]float64(nil), ins.Capacity...),
+		BestKnown: ins.BestKnown,
+	}
+	for j, src := range perm {
+		out.Profit[j] = ins.Profit[src]
+	}
+	for i := 0; i < ins.M; i++ {
+		out.Weight[i] = make([]float64, ins.N)
+		for j, src := range perm {
+			out.Weight[i][j] = ins.Weight[i][src]
+		}
+	}
+	return out, nil
+}
+
+// PermuteSolution maps a solution of a PermuteItems instance back to the
+// original index space: bit j of the permuted solution corresponds to item
+// perm[j] of the original.
+func PermuteSolution(sol Solution, perm []int) (Solution, error) {
+	if sol.X == nil || sol.X.Len() != len(perm) {
+		return Solution{}, fmt.Errorf("mkp: solution/permutation length mismatch")
+	}
+	x := bitset.New(len(perm))
+	var err error
+	sol.X.ForEach(func(j int) bool {
+		if perm[j] < 0 || perm[j] >= len(perm) {
+			err = fmt.Errorf("mkp: invalid permutation entry %d", perm[j])
+			return false
+		}
+		x.Set(perm[j])
+		return true
+	})
+	if err != nil {
+		return Solution{}, err
+	}
+	return Solution{X: x, Value: sol.Value}, nil
+}

@@ -1,0 +1,79 @@
+package mkp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPermuteItemsValidation(t *testing.T) {
+	ins := tiny()
+	if _, err := PermuteItems(ins, []int{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := PermuteItems(ins, []int{0, 1, 2, 2}); err == nil {
+		t.Fatal("duplicate entry accepted")
+	}
+	if _, err := PermuteItems(ins, []int{0, 1, 2, 9}); err == nil {
+		t.Fatal("out-of-range entry accepted")
+	}
+}
+
+func TestPermuteItemsIdentity(t *testing.T) {
+	ins := tiny()
+	id := []int{0, 1, 2, 3}
+	out, err := PermuteItems(ins, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ins.Profit {
+		if out.Profit[j] != ins.Profit[j] {
+			t.Fatal("identity permutation changed profits")
+		}
+	}
+}
+
+func TestPermuteSolutionRoundTrip(t *testing.T) {
+	ins := tiny()
+	perm := []int{2, 0, 3, 1}
+	permuted, err := PermuteItems(ins, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve greedily on the permuted instance, map back, and re-evaluate on
+	// the original: the value must be preserved and the assignment feasible.
+	sol := Greedy(permuted)
+	back, err := PermuteSolution(sol, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ValueOf(ins, back.X); got != sol.Value {
+		t.Fatalf("mapped value %v != %v", got, sol.Value)
+	}
+	if !IsFeasibleAssignment(ins, back.X) {
+		t.Fatal("mapped solution infeasible on the original")
+	}
+}
+
+func TestQuickPermutationPreservesGreedyFeasibility(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(2, 40), r.IntRange(1, 6))
+		perm := make([]int, ins.N)
+		r.Perm(perm)
+		permuted, err := PermuteItems(ins, perm)
+		if err != nil || permuted.Validate() != nil {
+			return false
+		}
+		sol := Greedy(permuted)
+		back, err := PermuteSolution(sol, perm)
+		if err != nil {
+			return false
+		}
+		return IsFeasibleAssignment(ins, back.X) && ValueOf(ins, back.X) == sol.Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package mkp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitset"
+)
+
+// WriteSolution writes a solution in a small self-describing text layout:
+//
+//	solution <instance-name>
+//	value <v>
+//	items <n>
+//	x <0/1 string, item 0 first>
+//
+// The format round-trips through ReadSolution and is easy to diff and to
+// check by hand.
+func WriteSolution(w io.Writer, instanceName string, sol Solution) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "solution %s\n", instanceName)
+	fmt.Fprintf(bw, "value %s\n", formatNum(sol.Value))
+	fmt.Fprintf(bw, "items %d\n", sol.X.Len())
+	fmt.Fprintf(bw, "x %s\n", sol.X.String())
+	return bw.Flush()
+}
+
+// ReadSolution parses the layout written by WriteSolution, returning the
+// instance name recorded in the file and the solution.
+func ReadSolution(r io.Reader) (instanceName string, sol Solution, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	read := func(key string) (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, key+" ") && line != key {
+			return "", fmt.Errorf("mkp: expected %q line, got %q", key, line)
+		}
+		return strings.TrimSpace(strings.TrimPrefix(line, key)), nil
+	}
+
+	if instanceName, err = read("solution"); err != nil {
+		return "", Solution{}, err
+	}
+	valueStr, err := read("value")
+	if err != nil {
+		return "", Solution{}, err
+	}
+	value, err := strconv.ParseFloat(valueStr, 64)
+	if err != nil {
+		return "", Solution{}, fmt.Errorf("mkp: bad value %q: %v", valueStr, err)
+	}
+	nStr, err := read("items")
+	if err != nil {
+		return "", Solution{}, err
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n < 0 {
+		return "", Solution{}, fmt.Errorf("mkp: bad items count %q", nStr)
+	}
+	bits, err := read("x")
+	if err != nil {
+		return "", Solution{}, err
+	}
+	if len(bits) != n {
+		return "", Solution{}, fmt.Errorf("mkp: x has %d bits, items says %d", len(bits), n)
+	}
+	x := bitset.New(n)
+	for j, c := range bits {
+		switch c {
+		case '1':
+			x.Set(j)
+		case '0':
+		default:
+			return "", Solution{}, fmt.Errorf("mkp: bad bit %q at position %d", c, j)
+		}
+	}
+	return instanceName, Solution{X: x, Value: value}, nil
+}
+
+// CheckSolution verifies a solution against an instance: length match,
+// feasibility, and value consistency. It returns a descriptive error on the
+// first violation, nil when the solution is valid.
+func CheckSolution(ins *Instance, sol Solution) error {
+	if sol.X == nil {
+		return fmt.Errorf("mkp: solution has no assignment")
+	}
+	if sol.X.Len() != ins.N {
+		return fmt.Errorf("mkp: solution has %d items, instance %q has %d", sol.X.Len(), ins.Name, ins.N)
+	}
+	for i := 0; i < ins.M; i++ {
+		load := 0.0
+		sol.X.ForEach(func(j int) bool {
+			load += ins.Weight[i][j]
+			return true
+		})
+		if load > ins.Capacity[i]+1e-6 {
+			return fmt.Errorf("mkp: constraint %d violated: load %v > capacity %v", i, load, ins.Capacity[i])
+		}
+	}
+	if got := ValueOf(ins, sol.X); got != sol.Value {
+		// Exact comparison is intended: values are sums of the instance's own
+		// profit entries, so a matching assignment reproduces the value bit
+		// for bit.
+		return fmt.Errorf("mkp: declared value %v but assignment is worth %v", sol.Value, got)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package mkp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+)
+
+// Solution is an immutable snapshot of a 0-1 assignment and its objective
+// value. Snapshots are what solvers exchange and store in best pools; the
+// mutable working representation is State.
+type Solution struct {
+	X     *bitset.Set
+	Value float64
+}
+
+// Clone returns an independent copy of the solution.
+func (s Solution) Clone() Solution {
+	return Solution{X: s.X.Clone(), Value: s.Value}
+}
+
+// State is the mutable evaluator the tabu search mutates in place. It keeps
+// the objective value and per-constraint slack (b_i − Σ_j a_ij x_j)
+// incrementally, so Add/Drop cost O(m) and feasibility queries cost O(1)
+// amortized via the negative-slack counter.
+//
+// A State may hold an infeasible assignment (negative slacks); strategic
+// oscillation depends on that (§3.2). Feasible() distinguishes the two.
+type State struct {
+	Ins   *Instance
+	X     *bitset.Set
+	Value float64
+	Slack []float64 // slack[i] = b_i − Σ_j a_ij x_j; negative when violated
+
+	negative int // number of constraints with Slack < 0
+}
+
+// NewState returns an empty (all-zero, feasible) state for ins.
+func NewState(ins *Instance) *State {
+	s := &State{
+		Ins:   ins,
+		X:     bitset.New(ins.N),
+		Slack: append([]float64(nil), ins.Capacity...),
+	}
+	return s
+}
+
+// Reset empties the assignment and restores full slack.
+func (s *State) Reset() {
+	s.X.Reset()
+	s.Value = 0
+	copy(s.Slack, s.Ins.Capacity)
+	s.negative = 0
+}
+
+// Load overwrites the state with the given assignment, recomputing value and
+// slacks from scratch in O(n·m).
+func (s *State) Load(x *bitset.Set) {
+	s.Reset()
+	x.ForEach(func(j int) bool {
+		s.Add(j)
+		return true
+	})
+}
+
+// Snapshot returns an immutable copy of the current assignment and value.
+func (s *State) Snapshot() Solution {
+	return Solution{X: s.X.Clone(), Value: s.Value}
+}
+
+// Add packs item j (which must currently be out) updating value and slacks.
+func (s *State) Add(j int) {
+	if s.X.Get(j) {
+		panic(fmt.Sprintf("mkp: Add(%d) but item already packed", j))
+	}
+	s.X.Set(j)
+	s.Value += s.Ins.Profit[j]
+	for i := 0; i < s.Ins.M; i++ {
+		before := s.Slack[i]
+		s.Slack[i] -= s.Ins.Weight[i][j]
+		if before >= 0 && s.Slack[i] < 0 {
+			s.negative++
+		}
+	}
+}
+
+// Drop removes item j (which must currently be in) updating value and slacks.
+func (s *State) Drop(j int) {
+	if !s.X.Get(j) {
+		panic(fmt.Sprintf("mkp: Drop(%d) but item not packed", j))
+	}
+	s.X.Clear(j)
+	s.Value -= s.Ins.Profit[j]
+	for i := 0; i < s.Ins.M; i++ {
+		before := s.Slack[i]
+		s.Slack[i] += s.Ins.Weight[i][j]
+		if before < 0 && s.Slack[i] >= 0 {
+			s.negative--
+		}
+	}
+}
+
+// Fits reports whether item j (currently out) can be added without violating
+// any constraint.
+func (s *State) Fits(j int) bool {
+	for i := 0; i < s.Ins.M; i++ {
+		if s.Ins.Weight[i][j] > s.Slack[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Feasible reports whether every constraint is satisfied.
+func (s *State) Feasible() bool { return s.negative == 0 }
+
+// Violation returns Σ_i max(0, −slack_i): zero iff feasible. Oscillation uses
+// it to bound how deep the search wanders outside the feasible domain.
+func (s *State) Violation() float64 {
+	if s.negative == 0 {
+		return 0
+	}
+	v := 0.0
+	for _, sl := range s.Slack {
+		if sl < 0 {
+			v -= sl
+		}
+	}
+	return v
+}
+
+// MostSaturated returns the index of the constraint with minimum slack — the
+// paper's drop rule "i* = ArgMin (b_i − Σ_j a_ij x_j)" (§3.1). Ties break to
+// the lowest index.
+func (s *State) MostSaturated() int {
+	best, bestSlack := 0, math.Inf(1)
+	for i, sl := range s.Slack {
+		if sl < bestSlack {
+			best, bestSlack = i, sl
+		}
+	}
+	return best
+}
+
+// Recompute rebuilds value and slacks from the assignment in O(n·m) and
+// reports the maximum absolute drift that incremental updates had
+// accumulated. Tests use it to verify evaluator consistency.
+func (s *State) Recompute() float64 {
+	value := 0.0
+	slack := append([]float64(nil), s.Ins.Capacity...)
+	s.X.ForEach(func(j int) bool {
+		value += s.Ins.Profit[j]
+		for i := 0; i < s.Ins.M; i++ {
+			slack[i] -= s.Ins.Weight[i][j]
+		}
+		return true
+	})
+	drift := math.Abs(value - s.Value)
+	for i := range slack {
+		if d := math.Abs(slack[i] - s.Slack[i]); d > drift {
+			drift = d
+		}
+	}
+	s.Value = value
+	copy(s.Slack, slack)
+	s.negative = 0
+	for _, sl := range s.Slack {
+		if sl < 0 {
+			s.negative++
+		}
+	}
+	return drift
+}
+
+// IsFeasibleAssignment reports whether x satisfies every constraint of ins,
+// evaluated from scratch (no state needed).
+func IsFeasibleAssignment(ins *Instance, x *bitset.Set) bool {
+	for i := 0; i < ins.M; i++ {
+		load := 0.0
+		x.ForEach(func(j int) bool {
+			load += ins.Weight[i][j]
+			return true
+		})
+		if load > ins.Capacity[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ValueOf returns Σ_j c_j x_j evaluated from scratch.
+func ValueOf(ins *Instance, x *bitset.Set) float64 {
+	v := 0.0
+	x.ForEach(func(j int) bool {
+		v += ins.Profit[j]
+		return true
+	})
+	return v
+}

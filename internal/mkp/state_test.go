@@ -1,0 +1,249 @@
+package mkp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/rng"
+)
+
+func TestStateAddDrop(t *testing.T) {
+	st := NewState(tiny())
+	st.Add(0)
+	if st.Value != 10 {
+		t.Fatalf("Value = %v, want 10", st.Value)
+	}
+	if st.Slack[0] != 3 || st.Slack[1] != 3 {
+		t.Fatalf("Slack = %v, want [3 3]", st.Slack)
+	}
+	st.Add(1)
+	if st.Value != 16 || st.Slack[0] != 1 || st.Slack[1] != 0 {
+		t.Fatalf("after Add(1): value=%v slack=%v", st.Value, st.Slack)
+	}
+	if !st.Feasible() {
+		t.Fatal("feasible state reported infeasible")
+	}
+	st.Drop(0)
+	if st.Value != 6 || st.Slack[0] != 4 || st.Slack[1] != 2 {
+		t.Fatalf("after Drop(0): value=%v slack=%v", st.Value, st.Slack)
+	}
+}
+
+func TestStateDoubleAddPanics(t *testing.T) {
+	st := NewState(tiny())
+	st.Add(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Add did not panic")
+		}
+	}()
+	st.Add(0)
+}
+
+func TestStateDropMissingPanics(t *testing.T) {
+	st := NewState(tiny())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Drop of unpacked item did not panic")
+		}
+	}()
+	st.Drop(2)
+}
+
+func TestStateInfeasibleTracking(t *testing.T) {
+	st := NewState(tiny())
+	st.Add(0)
+	st.Add(3) // loads (7,3): constraint 0 violated
+	if st.Feasible() {
+		t.Fatal("violated state reported feasible")
+	}
+	if v := st.Violation(); v != 1 {
+		t.Fatalf("Violation = %v, want 1", v)
+	}
+	st.Drop(3)
+	if !st.Feasible() || st.Violation() != 0 {
+		t.Fatal("state did not recover feasibility after drop")
+	}
+}
+
+func TestFits(t *testing.T) {
+	st := NewState(tiny())
+	st.Add(0)
+	st.Add(1) // loads (5,5)
+	if st.Fits(2) {
+		t.Fatal("Fits(2) true but item 2 needs (1,3) with slack (1,0)")
+	}
+	st.Drop(1) // loads (3,2), slack (3,3)
+	if !st.Fits(2) {
+		t.Fatal("Fits(2) false with slack (3,3) and need (1,3)")
+	}
+}
+
+func TestMostSaturated(t *testing.T) {
+	st := NewState(tiny())
+	st.Add(1) // slack (4, 2)
+	if got := st.MostSaturated(); got != 1 {
+		t.Fatalf("MostSaturated = %d, want 1", got)
+	}
+	st.Reset()
+	st.Add(3) // slack (2, 4)
+	if got := st.MostSaturated(); got != 0 {
+		t.Fatalf("MostSaturated = %d, want 0", got)
+	}
+}
+
+func TestLoadAndSnapshot(t *testing.T) {
+	ins := tiny()
+	x := bitset.FromIndices(ins.N, []int{0, 2})
+	st := NewState(ins)
+	st.Load(x)
+	if st.Value != 14 {
+		t.Fatalf("Load value = %v, want 14", st.Value)
+	}
+	snap := st.Snapshot()
+	st.Drop(0)
+	if snap.Value != 14 || !snap.X.Get(0) {
+		t.Fatal("Snapshot not independent of later mutation")
+	}
+}
+
+func TestResetRestores(t *testing.T) {
+	st := NewState(tiny())
+	st.Add(0)
+	st.Add(3)
+	st.Reset()
+	if st.Value != 0 || !st.Feasible() || st.X.Count() != 0 {
+		t.Fatal("Reset did not restore empty state")
+	}
+	for i, sl := range st.Slack {
+		if sl != st.Ins.Capacity[i] {
+			t.Fatalf("slack %d = %v after Reset", i, sl)
+		}
+	}
+}
+
+func TestRecomputeNoDrift(t *testing.T) {
+	st := NewState(tiny())
+	st.Add(0)
+	st.Add(1)
+	st.Drop(0)
+	st.Add(2)
+	if drift := st.Recompute(); drift > 1e-9 {
+		t.Fatalf("incremental evaluator drifted by %v", drift)
+	}
+}
+
+func TestIsFeasibleAssignmentAndValueOf(t *testing.T) {
+	ins := tiny()
+	good := bitset.FromIndices(4, []int{0, 1})
+	bad := bitset.FromIndices(4, []int{0, 3})
+	if !IsFeasibleAssignment(ins, good) {
+		t.Fatal("feasible assignment rejected")
+	}
+	if IsFeasibleAssignment(ins, bad) {
+		t.Fatal("infeasible assignment accepted")
+	}
+	if v := ValueOf(ins, good); v != 16 {
+		t.Fatalf("ValueOf = %v, want 16", v)
+	}
+}
+
+// randomInstance builds a valid random instance for property tests.
+func randomInstance(r *rng.Rand, n, m int) *Instance {
+	ins := &Instance{
+		Name:     "prop",
+		N:        n,
+		M:        m,
+		Profit:   make([]float64, n),
+		Weight:   make([][]float64, m),
+		Capacity: make([]float64, m),
+	}
+	for j := 0; j < n; j++ {
+		ins.Profit[j] = float64(r.IntRange(1, 100))
+	}
+	for i := 0; i < m; i++ {
+		ins.Weight[i] = make([]float64, n)
+		total := 0.0
+		for j := 0; j < n; j++ {
+			ins.Weight[i][j] = float64(r.IntRange(1, 50))
+			total += ins.Weight[i][j]
+		}
+		ins.Capacity[i] = math.Max(1, 0.5*total)
+	}
+	return ins
+}
+
+func TestQuickIncrementalMatchesScratch(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(1, 40), r.IntRange(1, 8))
+		st := NewState(ins)
+		// Random walk of adds/drops.
+		for step := 0; step < 200; step++ {
+			j := r.Intn(ins.N)
+			if st.X.Get(j) {
+				st.Drop(j)
+			} else {
+				st.Add(j)
+			}
+		}
+		// Scratch evaluation must agree.
+		wantV := ValueOf(ins, st.X)
+		if math.Abs(wantV-st.Value) > 1e-6 {
+			return false
+		}
+		wantFeasible := IsFeasibleAssignment(ins, st.X)
+		if wantFeasible != st.Feasible() {
+			return false
+		}
+		cp := st.Value
+		if drift := st.Recompute(); drift > 1e-6 {
+			return false
+		}
+		return math.Abs(cp-st.Value) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickViolationZeroIffFeasible(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(1, 30), r.IntRange(1, 6))
+		st := NewState(ins)
+		for step := 0; step < 50; step++ {
+			j := r.Intn(ins.N)
+			if st.X.Get(j) {
+				st.Drop(j)
+			} else {
+				st.Add(j)
+			}
+			if (st.Violation() == 0) != st.Feasible() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStateAddDrop(b *testing.B) {
+	r := rng.New(1)
+	ins := randomInstance(r, 500, 25)
+	st := NewState(ins)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % ins.N
+		if st.X.Get(j) {
+			st.Drop(j)
+		} else {
+			st.Add(j)
+		}
+	}
+}

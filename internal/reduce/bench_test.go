@@ -1,0 +1,23 @@
+package reduce_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mkp"
+	"repro/internal/reduce"
+)
+
+// BenchmarkFix100x10 measures a reduced-cost fixing pass (dominated by the
+// LP solve) on a mid-size instance.
+func BenchmarkFix100x10(b *testing.B) {
+	ins := gen.Uncorrelated("bench", 100, 10, 0.4, 1)
+	inc := mkp.Greedy(ins).Value
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reduce.Fix(ins, inc, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

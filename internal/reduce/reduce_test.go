@@ -1,0 +1,204 @@
+package reduce_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/mkp"
+	"repro/internal/reduce"
+	"repro/internal/rng"
+)
+
+func randomInstance(r *rng.Rand, n, m int, tightness float64) *mkp.Instance {
+	ins := &mkp.Instance{
+		Name:     "rand",
+		N:        n,
+		M:        m,
+		Profit:   make([]float64, n),
+		Weight:   make([][]float64, m),
+		Capacity: make([]float64, m),
+	}
+	for j := 0; j < n; j++ {
+		ins.Profit[j] = float64(r.IntRange(1, 100))
+	}
+	for i := 0; i < m; i++ {
+		ins.Weight[i] = make([]float64, n)
+		total := 0.0
+		for j := 0; j < n; j++ {
+			ins.Weight[i][j] = float64(r.IntRange(1, 50))
+			total += ins.Weight[i][j]
+		}
+		ins.Capacity[i] = math.Max(1, tightness*total)
+	}
+	return ins
+}
+
+func TestFixSoundAgainstEnumeration(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 25; trial++ {
+		ins := randomInstance(r, r.IntRange(5, 14), r.IntRange(1, 4), 0.3+0.3*r.Float64())
+		opt, err := exact.Enumerate(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Incumbent strictly below the optimum: the optimum must survive.
+		incumbent := opt.Value - 1
+		fix, err := reduce.Fix(ins, incumbent, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < ins.N; j++ {
+			if fix.At0[j] && opt.X.Get(j) {
+				t.Fatalf("trial %d: fixed x_%d=0 but optimum packs it", trial, j)
+			}
+			if fix.At1[j] && !opt.X.Get(j) {
+				t.Fatalf("trial %d: fixed x_%d=1 but optimum omits it", trial, j)
+			}
+		}
+	}
+}
+
+func TestFixCountsConsistent(t *testing.T) {
+	ins := gen.Uncorrelated("u", 60, 3, 0.5, 7)
+	greedy := mkp.Greedy(ins)
+	fix, err := reduce.Fix(ins, greedy.Value, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := 0, 0
+	for j := 0; j < ins.N; j++ {
+		if fix.At0[j] {
+			c0++
+		}
+		if fix.At1[j] {
+			c1++
+		}
+		if fix.At0[j] && fix.At1[j] {
+			t.Fatalf("x_%d fixed both ways", j)
+		}
+	}
+	if c0 != fix.Fixed0 || c1 != fix.Fixed1 {
+		t.Fatalf("counts %d/%d vs flags %d/%d", fix.Fixed0, fix.Fixed1, c0, c1)
+	}
+	if fix.Remaining() != ins.N-c0-c1 {
+		t.Fatalf("Remaining = %d", fix.Remaining())
+	}
+	if rr := fix.ReductionRate(); rr < 0 || rr > 1 {
+		t.Fatalf("ReductionRate = %v", rr)
+	}
+}
+
+func TestUncorrelatedReducesMoreThanFP(t *testing.T) {
+	// The whole point of the FP bed: correlated instances resist reduction.
+	r := rng.New(3)
+	rateU, rateFP := 0.0, 0.0
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		seed := uint64(trial) * 101
+		u := gen.Uncorrelated("u", 80, 5, 0.4, seed)
+		fp := gen.FP("fp", 80, 5, seed)
+		for _, c := range []struct {
+			ins  *mkp.Instance
+			rate *float64
+		}{{u, &rateU}, {fp, &rateFP}} {
+			// A strong incumbent: the tabu-search result.
+			inc := mkp.Greedy(c.ins)
+			fix, err := reduce.Fix(c.ins, inc.Value, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			*c.rate += fix.ReductionRate() / trials
+		}
+	}
+	_ = r
+	if rateU <= rateFP {
+		t.Fatalf("uncorrelated rate %.3f not above FP-style rate %.3f", rateU, rateFP)
+	}
+}
+
+func TestFixValidation(t *testing.T) {
+	ins := randomInstance(rng.New(5), 10, 2, 0.4)
+	if _, err := reduce.Fix(ins, 10, 0); err == nil {
+		t.Fatal("non-positive gap accepted")
+	}
+	ins.Profit[0] = -1
+	if _, err := reduce.Fix(ins, 10, 1); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestApplyBuildsConsistentReduction(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 15; trial++ {
+		ins := randomInstance(r, r.IntRange(6, 14), r.IntRange(1, 3), 0.4)
+		opt, err := exact.Enumerate(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fix, err := reduce.Fix(ins, opt.Value-1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, mapping, locked, ok := reduce.Apply(ins, fix)
+		if !ok {
+			// Everything fixed: the locked profit plus nothing must reach the optimum.
+			continue
+		}
+		if err := red.Validate(); err != nil {
+			t.Fatalf("trial %d: reduced instance invalid: %v", trial, err)
+		}
+		if red.N != fix.Remaining() {
+			t.Fatalf("trial %d: reduced N %d != remaining %d", trial, red.N, fix.Remaining())
+		}
+		// Solving the reduction and adding locked profit recovers the optimum.
+		subOpt, err := exact.Enumerate(red)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := subOpt.Value + locked; math.Abs(got-opt.Value) > 1e-9 {
+			t.Fatalf("trial %d: reduced solve %v + locked %v != optimum %v", trial, subOpt.Value, locked, opt.Value)
+		}
+		for k, j := range mapping {
+			if red.Profit[k] != ins.Profit[j] {
+				t.Fatalf("trial %d: mapping broken at %d", trial, k)
+			}
+		}
+	}
+}
+
+func TestQuickFixNeverCutsOptimum(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(4, 12), r.IntRange(1, 3), 0.3+0.4*r.Float64())
+		opt, err := exact.Enumerate(ins)
+		if err != nil {
+			return false
+		}
+		fix, err := reduce.Fix(ins, opt.Value-1, 1)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < ins.N; j++ {
+			if fix.At0[j] && opt.X.Get(j) {
+				return false
+			}
+			if fix.At1[j] && !opt.X.Get(j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionRateEmpty(t *testing.T) {
+	var f reduce.Fixing
+	if got := f.ReductionRate(); got != 0 {
+		t.Fatalf("empty fixing rate = %v, want 0", got)
+	}
+}

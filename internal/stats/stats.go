@@ -1,0 +1,87 @@
+// Package stats provides the small set of summary statistics the experiment
+// harness reports: mean, standard deviation, min/max, median, and a normal
+// 95% confidence half-width. Multi-seed experiment rows use these so that
+// "CTS2 beats CTS1" claims come with dispersion, not just point values.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+	CI95   float64 // 1.96 * Std / sqrt(N); 0 for N < 2
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample — callers
+// own their experiment loops and an empty sample is a harness bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+		s.CI95 = 1.96 * s.Std / math.Sqrt(float64(s.N))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// String renders "mean ± ci95" compactly.
+func (s Summary) String() string {
+	if s.N < 2 {
+		return fmt.Sprintf("%.1f", s.Mean)
+	}
+	return fmt.Sprintf("%.1f±%.1f", s.Mean, s.CI95)
+}
+
+// WinLossTie compares paired samples a and b elementwise and counts how
+// often a[i] > b[i], a[i] < b[i], and ties. It panics on length mismatch.
+func WinLossTie(a, b []float64) (wins, losses, ties int) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: paired samples of different length %d vs %d", len(a), len(b)))
+	}
+	for i := range a {
+		switch {
+		case a[i] > b[i]:
+			wins++
+		case a[i] < b[i]:
+			losses++
+		default:
+			ties++
+		}
+	}
+	return wins, losses, ties
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !approx(s.Mean, 5) {
+		t.Fatalf("N=%d Mean=%v", s.N, s.Mean)
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if !approx(s.Std, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min=%v Max=%v", s.Min, s.Max)
+	}
+	if !approx(s.Median, 4.5) {
+		t.Fatalf("Median = %v", s.Median)
+	}
+	if s.CI95 <= 0 {
+		t.Fatalf("CI95 = %v", s.CI95)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Std != 0 || s.CI95 != 0 || s.Median != 3.5 {
+		t.Fatalf("%+v", s)
+	}
+	if s.String() != "3.5" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Fatalf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestStringWithCI(t *testing.T) {
+	s := Summarize([]float64{10, 12})
+	if got := s.String(); got == "" || got == "11.0" {
+		t.Fatalf("String = %q, want mean±ci", got)
+	}
+}
+
+func TestWinLossTie(t *testing.T) {
+	w, l, ties := WinLossTie([]float64{3, 1, 2, 5}, []float64{2, 4, 2, 1})
+	if w != 2 || l != 1 || ties != 1 {
+		t.Fatalf("w=%d l=%d t=%d", w, l, ties)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	WinLossTie([]float64{1}, []float64{1, 2})
+}
+
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean+1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		if s.Median < s.Min-1e-9 || s.Median > s.Max+1e-9 {
+			return false
+		}
+		return s.Std >= 0 && s.CI95 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSummarizeDoesNotMutate(t *testing.T) {
+	f := func(seedVals []float64) bool {
+		xs := make([]float64, 0, len(seedVals))
+		for _, v := range seedVals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		before := append([]float64(nil), xs...)
+		Summarize(xs)
+		for i := range xs {
+			if xs[i] != before[i] && !(math.IsNaN(xs[i]) && math.IsNaN(before[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

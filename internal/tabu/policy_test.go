@@ -1,0 +1,286 @@
+package tabu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+func TestTabuPolicyString(t *testing.T) {
+	if PolicyStatic.String() != "static" || PolicyReactive.String() != "reactive" || PolicyREM.String() != "rem" {
+		t.Fatal("policy labels wrong")
+	}
+	if TabuPolicy(9).String() == "" {
+		t.Fatal("unknown policy stringer empty")
+	}
+}
+
+func TestParamsValidatePolicy(t *testing.T) {
+	p := DefaultParams(50)
+	p.Policy = TabuPolicy(7)
+	if err := p.Validate(); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	p = DefaultParams(50)
+	p.REMDepth = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative REMDepth accepted")
+	}
+	for _, pol := range []TabuPolicy{PolicyStatic, PolicyReactive, PolicyREM} {
+		p := DefaultParams(50)
+		p.Policy = pol
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v rejected: %v", pol, err)
+		}
+	}
+}
+
+func TestAllPoliciesRunFeasibly(t *testing.T) {
+	ins := randomInstance(rng.New(77), 50, 5, 0.3)
+	for _, pol := range []TabuPolicy{PolicyStatic, PolicyReactive, PolicyREM} {
+		p := DefaultParams(ins.N)
+		p.Policy = pol
+		res, err := Search(ins, p, 1000, 5)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+			t.Fatalf("%v: infeasible best", pol)
+		}
+		if res.Moves != 1000 {
+			t.Fatalf("%v: executed %d of 1000 moves", pol, res.Moves)
+		}
+		if res.Best.Value < mkp.Greedy(ins).Value {
+			t.Fatalf("%v: %v below greedy", pol, res.Best.Value)
+		}
+	}
+}
+
+func TestPoliciesReachOptimumOnSmall(t *testing.T) {
+	r := rng.New(123)
+	for trial := 0; trial < 6; trial++ {
+		ins := randomInstance(r, r.IntRange(6, 12), r.IntRange(1, 3), 0.4)
+		opt, err := exact.Enumerate(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range []TabuPolicy{PolicyReactive, PolicyREM} {
+			p := DefaultParams(ins.N)
+			p.Policy = pol
+			res, err := Search(ins, p, 3000, uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Best.Value < opt.Value {
+				t.Errorf("trial %d %v: %v < optimum %v", trial, pol, res.Best.Value, opt.Value)
+			}
+		}
+	}
+}
+
+func TestPoliciesDeterministic(t *testing.T) {
+	ins := randomInstance(rng.New(55), 40, 4, 0.3)
+	for _, pol := range []TabuPolicy{PolicyReactive, PolicyREM} {
+		p := DefaultParams(ins.N)
+		p.Policy = pol
+		a, err := Search(ins, p, 600, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Search(ins, p, 600, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Best.Value != b.Best.Value || !a.Best.X.Equal(b.Best.X) {
+			t.Fatalf("%v nondeterministic", pol)
+		}
+	}
+}
+
+func TestReactiveTenureGrowsOnRepetition(t *testing.T) {
+	rs := newReactiveState(40, 5, rng.New(1))
+	ins := randomInstance(rng.New(2), 40, 3, 0.4)
+	s, err := NewSearcher(ins, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.st.Load(mkp.Greedy(ins).X)
+	t0 := rs.tenure
+	rs.observe(s) // first visit
+	if rs.tenure != t0 {
+		t.Fatalf("tenure changed on first visit: %v -> %v", t0, rs.tenure)
+	}
+	s.moves = 10
+	rs.observe(s) // same solution again: repetition
+	if rs.tenure <= t0 {
+		t.Fatalf("tenure did not grow on repetition: %v -> %v", t0, rs.tenure)
+	}
+}
+
+func TestReactiveEscapeAfterRepMax(t *testing.T) {
+	rs := newReactiveState(20, 5, rng.New(1))
+	ins := randomInstance(rng.New(2), 20, 2, 0.4)
+	s, err := NewSearcher(ins, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.st.Load(mkp.Greedy(ins).X)
+	for visit := 0; visit < reactRepMax+1; visit++ {
+		s.moves = int64(visit * 7)
+		rs.observe(s)
+	}
+	if !rs.takeEscape() {
+		t.Fatal("no escape after repeated revisits")
+	}
+	if rs.takeEscape() {
+		t.Fatal("takeEscape did not clear the flag")
+	}
+}
+
+func TestReactiveTenureDecaysWhenQuiet(t *testing.T) {
+	rs := newReactiveState(100, 30, rng.New(1))
+	ins := randomInstance(rng.New(2), 100, 2, 0.4)
+	s, err := NewSearcher(ins, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct solutions far apart in time: tenure should shrink.
+	st := mkp.NewState(ins)
+	start := rs.tenure
+	for step := 0; step < 20; step++ {
+		st.Reset()
+		for j := 0; j <= step; j++ {
+			st.X.Set(j) // structurally distinct assignments
+		}
+		s.st = st
+		s.moves = int64(step * 1000)
+		rs.observe(s)
+	}
+	if rs.tenure >= start {
+		t.Fatalf("tenure did not decay in a quiet phase: %v -> %v", start, rs.tenure)
+	}
+	if rs.tenure < rs.minTenure {
+		t.Fatalf("tenure fell below floor: %v", rs.tenure)
+	}
+}
+
+func TestREMDetectsSingleFlipRevisit(t *testing.T) {
+	rm := newREMState(8, 0)
+	// Trajectory: move A flips {1}, move B flips {2}. Undoing B (flip 2)
+	// recreates the solution after A, so attribute 2 must be tabu. Undoing
+	// B and A needs two flips, so 1 must not be tabu.
+	rm.record([]int{1})
+	rm.record([]int{2})
+	rm.computeTabu()
+	if !rm.tabu(2) {
+		t.Fatal("REM missed the single-flip revisit on attribute 2")
+	}
+	if rm.tabu(1) {
+		t.Fatal("REM wrongly forbade attribute 1")
+	}
+}
+
+func TestREMCancellation(t *testing.T) {
+	rm := newREMState(8, 0)
+	// Moves: {1,2}, {2}. RCS walking back: after undoing move 2: {2} ->
+	// tabu(2). After also undoing move 1: {1} (2 cancels) -> tabu(1).
+	rm.record([]int{1, 2})
+	rm.record([]int{2})
+	rm.computeTabu()
+	if !rm.tabu(2) || !rm.tabu(1) {
+		t.Fatalf("REM cancellation walk wrong: tabu(1)=%v tabu(2)=%v", rm.tabu(1), rm.tabu(2))
+	}
+}
+
+func TestREMNoFalsePositives(t *testing.T) {
+	rm := newREMState(8, 0)
+	// One move flipping two attributes: no single flip recreates the past.
+	rm.record([]int{3, 4})
+	rm.computeTabu()
+	for j := 0; j < 8; j++ {
+		if rm.tabu(j) {
+			t.Fatalf("attribute %d tabu after a 2-flip move", j)
+		}
+	}
+}
+
+func TestREMResetClears(t *testing.T) {
+	rm := newREMState(8, 0)
+	rm.record([]int{1})
+	rm.record([]int{2})
+	rm.computeTabu()
+	rm.reset()
+	rm.computeTabu()
+	for j := 0; j < 8; j++ {
+		if rm.tabu(j) {
+			t.Fatalf("attribute %d tabu after reset", j)
+		}
+	}
+}
+
+func TestREMTrimKeepsBoundariesAligned(t *testing.T) {
+	rm := newREMState(8, 6) // tiny cap: forces trims
+	for k := 0; k < 20; k++ {
+		rm.record([]int{k % 8, (k + 1) % 8})
+	}
+	if len(rm.flips) > 8 { // cap 6 plus the latest move's 2 flips
+		t.Fatalf("running list grew to %d flips", len(rm.flips))
+	}
+	if int(rm.moveEnds[len(rm.moveEnds)-1]) != len(rm.flips) {
+		t.Fatal("boundaries misaligned after trim")
+	}
+	rm.computeTabu() // must not panic or misindex
+}
+
+func TestQuickREMWalkMatchesBruteForce(t *testing.T) {
+	// Property: REM marks attribute a tabu iff the multiset of flips since
+	// some visited solution XORs to exactly {a}.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 10
+		rm := newREMState(n, 0)
+		var moves [][]int
+		for k := 0; k < 12; k++ {
+			size := r.IntRange(1, 3)
+			mv := make([]int, 0, size)
+			for len(mv) < size {
+				mv = append(mv, r.Intn(n))
+			}
+			moves = append(moves, mv)
+			rm.record(mv)
+		}
+		rm.computeTabu()
+		// Brute force: for each suffix of moves, XOR the flips.
+		want := make([]bool, n)
+		for s := range moves {
+			par := make([]int, n)
+			for _, mv := range moves[s:] {
+				for _, j := range mv {
+					par[j] ^= 1
+				}
+			}
+			count, single := 0, -1
+			for j, p := range par {
+				if p == 1 {
+					count++
+					single = j
+				}
+			}
+			if count == 1 {
+				want[single] = true
+			}
+		}
+		for j := 0; j < n; j++ {
+			if rm.tabu(j) != want[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

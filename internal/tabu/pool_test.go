@@ -1,0 +1,160 @@
+package tabu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+func sol(n int, idx []int, v float64) mkp.Solution {
+	return mkp.Solution{X: bitset.FromIndices(n, idx), Value: v}
+}
+
+func TestPoolKeepsBest(t *testing.T) {
+	p := NewPool(2)
+	p.Offer(sol(8, []int{0}, 10))
+	p.Offer(sol(8, []int{1}, 30))
+	p.Offer(sol(8, []int{2}, 20))
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	best, ok := p.Best()
+	if !ok || best.Value != 30 {
+		t.Fatalf("Best = %v, %v", best.Value, ok)
+	}
+	sols := p.Solutions()
+	if sols[0].Value != 30 || sols[1].Value != 20 {
+		t.Fatalf("Solutions = %v, %v", sols[0].Value, sols[1].Value)
+	}
+}
+
+func TestPoolRejectsDuplicates(t *testing.T) {
+	p := NewPool(4)
+	if !p.Offer(sol(8, []int{0, 1}, 10)) {
+		t.Fatal("first offer rejected")
+	}
+	if p.Offer(sol(8, []int{0, 1}, 10)) {
+		t.Fatal("duplicate accepted")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+}
+
+func TestPoolRejectsWorseWhenFull(t *testing.T) {
+	p := NewPool(1)
+	p.Offer(sol(8, []int{0}, 10))
+	if p.Offer(sol(8, []int{1}, 5)) {
+		t.Fatal("worse solution accepted into full pool")
+	}
+	if !p.Offer(sol(8, []int{2}, 15)) {
+		t.Fatal("better solution rejected")
+	}
+	best, _ := p.Best()
+	if best.Value != 15 {
+		t.Fatalf("Best = %v, want 15", best.Value)
+	}
+}
+
+func TestPoolEvictionFreesKey(t *testing.T) {
+	p := NewPool(1)
+	p.Offer(sol(8, []int{0}, 10))
+	p.Offer(sol(8, []int{1}, 20)) // evicts {0}
+	if !p.Offer(sol(8, []int{0}, 30)) {
+		t.Fatal("previously evicted assignment could not re-enter")
+	}
+}
+
+func TestPoolSnapshotsAreIndependent(t *testing.T) {
+	p := NewPool(2)
+	live := sol(8, []int{0}, 10)
+	p.Offer(live)
+	live.X.Set(5) // mutate the caller's copy
+	stored, _ := p.Best()
+	if stored.X.Get(5) {
+		t.Fatal("pool stored a live reference instead of a clone")
+	}
+}
+
+func TestPoolEmptyBest(t *testing.T) {
+	p := NewPool(3)
+	if _, ok := p.Best(); ok {
+		t.Fatal("empty pool returned a best")
+	}
+	if p.Diameter() != 0 {
+		t.Fatal("empty pool has nonzero diameter")
+	}
+}
+
+func TestPoolReset(t *testing.T) {
+	p := NewPool(3)
+	p.Offer(sol(8, []int{0}, 1))
+	p.Reset()
+	if p.Len() != 0 {
+		t.Fatal("Reset did not empty the pool")
+	}
+	if !p.Offer(sol(8, []int{0}, 1)) {
+		t.Fatal("Reset did not clear the key set")
+	}
+}
+
+func TestPoolDiameter(t *testing.T) {
+	p := NewPool(3)
+	p.Offer(sol(8, []int{0, 1}, 10))
+	p.Offer(sol(8, []int{0, 1, 2}, 9)) // distance 1 from first
+	if d := p.Diameter(); d != 1 {
+		t.Fatalf("Diameter = %d, want 1", d)
+	}
+	p.Offer(sol(8, []int{4, 5, 6}, 8)) // distance 5 and 6
+	if d := p.Diameter(); d != 6 {
+		t.Fatalf("Diameter = %d, want 6", d)
+	}
+}
+
+func TestPoolCapacityClamped(t *testing.T) {
+	p := NewPool(0)
+	p.Offer(sol(4, []int{0}, 1))
+	p.Offer(sol(4, []int{1}, 2))
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+}
+
+func TestQuickPoolSortedDistinctBounded(t *testing.T) {
+	f := func(seed uint64, capRaw uint8) bool {
+		r := rng.New(seed)
+		capacity := int(capRaw)%6 + 1
+		p := NewPool(capacity)
+		for trial := 0; trial < 60; trial++ {
+			idx := []int{}
+			for j := 0; j < 10; j++ {
+				if r.Bool(0.5) {
+					idx = append(idx, j)
+				}
+			}
+			p.Offer(sol(10, idx, float64(r.IntRange(1, 50))))
+		}
+		sols := p.Solutions()
+		if len(sols) > capacity {
+			return false
+		}
+		seen := map[string]bool{}
+		for i, s := range sols {
+			if i > 0 && sols[i-1].Value < s.Value {
+				return false
+			}
+			k := s.X.Key()
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

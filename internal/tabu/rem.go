@@ -1,0 +1,115 @@
+package tabu
+
+// remState implements Dammeyer & Voss's reverse elimination method (Annals
+// of OR 41, 1993), the second dynamic tabu-list scheme §4.1 discusses: a
+// running list records every attribute flip; before each move the list is
+// walked backwards maintaining the residual cancellation sequence (RCS) —
+// the symmetric difference between the current solution and each previously
+// visited one. Whenever the RCS shrinks to a single attribute, flipping that
+// attribute would exactly recreate a visited solution, so it is tabu for the
+// next move.
+//
+// The walk costs O(history) per move — the overhead "proportional to the
+// number of executed iterations" that made the paper reject the method. The
+// running list is capped at REMDepth flips to keep the baseline usable.
+type remState struct {
+	flips    []int32 // attribute flips, oldest first
+	moveEnds []int32 // flips length after each recorded move (solution boundaries)
+	maxFlips int
+
+	inRCS   []bool // scratch: membership of each attribute in the RCS
+	touched []int32
+	tabuNow []bool // result of the last computeTabu
+}
+
+func newREMState(n, maxFlips int) *remState {
+	if maxFlips <= 0 {
+		maxFlips = 2000
+	}
+	return &remState{
+		maxFlips: maxFlips,
+		inRCS:    make([]bool, n),
+		tabuNow:  make([]bool, n),
+	}
+}
+
+// reset forgets the history; called whenever the solution changes outside
+// the move mechanism (intensification, diversification, a new round), since
+// the running list no longer describes a contiguous trajectory.
+func (rm *remState) reset() {
+	rm.flips = rm.flips[:0]
+	rm.moveEnds = rm.moveEnds[:0]
+	for j := range rm.tabuNow {
+		rm.tabuNow[j] = false
+	}
+}
+
+// record appends one move's attribute flips and trims the list to maxFlips
+// (whole oldest moves are evicted so boundaries stay aligned).
+func (rm *remState) record(flipped []int) {
+	for _, j := range flipped {
+		rm.flips = append(rm.flips, int32(j))
+	}
+	rm.moveEnds = append(rm.moveEnds, int32(len(rm.flips)))
+	if len(rm.flips) > rm.maxFlips {
+		// Drop oldest moves until within budget.
+		drop := 0
+		for drop < len(rm.moveEnds) && len(rm.flips)-int(rm.moveEnds[drop]) > rm.maxFlips {
+			drop++
+		}
+		if drop == 0 {
+			drop = 1
+		}
+		cut := rm.moveEnds[drop-1]
+		rm.flips = append(rm.flips[:0], rm.flips[cut:]...)
+		ends := rm.moveEnds[drop:]
+		for i := range ends {
+			ends[i] -= cut
+		}
+		rm.moveEnds = append(rm.moveEnds[:0], ends...)
+	}
+}
+
+// computeTabu performs the reverse elimination walk and refreshes tabuNow.
+func (rm *remState) computeTabu() {
+	for _, j := range rm.touched {
+		rm.inRCS[j] = false
+	}
+	rm.touched = rm.touched[:0]
+	for j := range rm.tabuNow {
+		rm.tabuNow[j] = false
+	}
+	size := 0
+	// Walk moves newest -> oldest. After undoing move k (toggling its
+	// flips), the RCS equals currentSolution Δ solutionBefore(move k).
+	for k := len(rm.moveEnds) - 1; k >= 0; k-- {
+		startFlip := int32(0)
+		if k > 0 {
+			startFlip = rm.moveEnds[k-1]
+		}
+		for f := startFlip; f < rm.moveEnds[k]; f++ {
+			j := rm.flips[f]
+			if rm.inRCS[j] {
+				rm.inRCS[j] = false
+				size--
+			} else {
+				rm.inRCS[j] = true
+				size++
+				rm.touched = append(rm.touched, j)
+			}
+		}
+		if size == 1 {
+			// Exactly one attribute separates the current solution from a
+			// visited one: flipping it is forbidden.
+			for _, j := range rm.touched {
+				if rm.inRCS[j] {
+					rm.tabuNow[j] = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// tabu reports whether flipping attribute j is currently forbidden.
+func (rm *remState) tabu(j int) bool { return rm.tabuNow[j] }

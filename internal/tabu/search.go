@@ -1,0 +1,538 @@
+package tabu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/mkp"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Result is what one Run (one search round) reports back: exactly the data a
+// slave sends to the master at a rendezvous (§4.2).
+type Result struct {
+	Best     mkp.Solution   // best solution of the round
+	Pool     []mkp.Solution // B best distinct solutions, decreasing value
+	Moves    int64          // compound moves actually executed
+	Improved bool           // Best beats the round's starting value
+}
+
+// Searcher runs the sequential tabu search of Fig. 1 on one instance. It owns
+// the long-term structures that persist across rounds — the frequency memory
+// History and the move counter the tabu tenures are expressed in — so a slave
+// that is handed a new start and strategy every round still diversifies
+// against everything it has seen "since the beginning of the search" (§3.3).
+//
+// A Searcher is not safe for concurrent use; the parallel layer gives each
+// slave goroutine its own.
+type Searcher struct {
+	ins *mkp.Instance
+	r   *rng.Rand
+
+	st       *mkp.State
+	rank     []int   // items by decreasing pseudo-utility (static)
+	history  []int64 // history[j] = moves during which x_j was 1
+	tabuAdd  []int64 // move count until which j may not be re-added
+	tabuDrop []int64 // move count until which j may not be dropped
+	moves    int64   // lifetime move counter
+
+	// Alternative tabu-list managers (§4.1 baselines), created lazily when a
+	// Run requests the corresponding policy.
+	react *reactiveState
+	rem   *remState
+
+	// scratch buffers reused across calls
+	idxBuf  []int
+	flipBuf []int
+}
+
+// NewSearcher validates the instance and prepares a searcher seeded with seed.
+func NewSearcher(ins *mkp.Instance, seed uint64) (*Searcher, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	return &Searcher{
+		ins:      ins,
+		r:        rng.New(seed),
+		st:       mkp.NewState(ins),
+		rank:     mkp.RankByUtility(ins),
+		history:  make([]int64, ins.N),
+		tabuAdd:  make([]int64, ins.N),
+		tabuDrop: make([]int64, ins.N),
+	}, nil
+}
+
+// Instance returns the instance the searcher solves.
+func (s *Searcher) Instance() *mkp.Instance { return s.ins }
+
+// TotalMoves returns the lifetime number of compound moves executed.
+func (s *Searcher) TotalMoves() int64 { return s.moves }
+
+// History returns the long-term frequency memory (do not mutate).
+func (s *Searcher) History() []int64 { return s.history }
+
+// ResetMemory clears the long-term memory and tabu state, as if the searcher
+// were fresh. The master never does this mid-search; tests do.
+func (s *Searcher) ResetMemory() {
+	s.moves = 0
+	for j := range s.history {
+		s.history[j] = 0
+		s.tabuAdd[j] = 0
+		s.tabuDrop[j] = 0
+	}
+}
+
+// Run executes one search round: Fig. 1 driven by a move budget. The start
+// solution may be infeasible or non-maximal; it is repaired and topped up
+// first. Run returns after exactly `budget` compound moves (or earlier only
+// on parameter error).
+func (s *Searcher) Run(start mkp.Solution, p Params, budget int64) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		return nil, errors.New("tabu: non-positive move budget")
+	}
+	if start.X == nil || start.X.Len() != s.ins.N {
+		return nil, fmt.Errorf("tabu: start solution has wrong length")
+	}
+
+	switch p.Policy {
+	case PolicyReactive:
+		if s.react == nil {
+			s.react = newReactiveState(s.ins.N, float64(p.Strategy.LtLength), s.r)
+		}
+	case PolicyREM:
+		if s.rem == nil {
+			s.rem = newREMState(s.ins.N, p.REMDepth)
+		}
+		s.rem.reset()
+	}
+
+	s.st.Load(start.X)
+	if !s.st.Feasible() {
+		mkp.Repair(s.st)
+	}
+	mkp.FillGreedy(s.st)
+	startValue := s.st.Value
+
+	best := s.st.Snapshot()
+	pool := NewPool(p.BBest)
+	pool.Offer(best)
+
+	var executed int64
+	oscToggle := false
+
+	done := func() bool { return executed >= budget }
+
+outer:
+	for {
+		for div := 0; div < p.NbDiv; div++ {
+			for intl := 0; intl < p.NbInt; intl++ {
+				local := s.st.Snapshot()
+				noImp := 0
+				for noImp < p.Strategy.NbLocal {
+					if done() {
+						break outer
+					}
+					s.move(p, best.Value)
+					executed++
+					if p.Policy == PolicyReactive && s.react.takeEscape() {
+						// Reactive escape: too many repetitions of one
+						// solution; answer with a diversification jump.
+						if p.Tracer != nil {
+							p.Tracer.Record(trace.Event{
+								Kind: trace.KindEscape, Actor: p.TraceID,
+								Round: -1, Move: s.moves, Value: s.st.Value,
+							})
+						}
+						s.diversify(p, &best, pool)
+					}
+					switch {
+					case s.st.Value > best.Value:
+						best = s.st.Snapshot()
+						local = best
+						noImp = 0
+						if p.Tracer != nil {
+							p.Tracer.Record(trace.Event{
+								Kind: trace.KindImprovement, Actor: p.TraceID,
+								Round: -1, Move: s.moves, Value: best.Value,
+							})
+						}
+					case s.st.Value > local.Value:
+						local = s.st.Snapshot()
+						noImp++
+					default:
+						noImp++
+					}
+					s.offer(pool, p)
+				}
+				if done() {
+					break outer
+				}
+				s.intensify(p, local, &best, pool, &oscToggle)
+			}
+			if done() {
+				break outer
+			}
+			s.diversify(p, &best, pool)
+		}
+	}
+
+	return &Result{
+		Best:     best,
+		Pool:     pool.Solutions(),
+		Moves:    executed,
+		Improved: best.Value > startValue,
+	}, nil
+}
+
+// offer inserts the current state into the pool when it can qualify, keeping
+// the hot path free of needless clones.
+func (s *Searcher) offer(pool *Pool, p Params) {
+	if pool.Len() == p.BBest {
+		if worst := pool.sols[pool.Len()-1].Value; s.st.Value <= worst {
+			return
+		}
+	}
+	pool.Offer(mkp.Solution{X: s.st.X, Value: s.st.Value})
+}
+
+// move executes one compound Drop/Add move (Fig. 1 step 5, §3.1) and updates
+// the long-term memory. bestValue is the incumbent for the aspiration test.
+// Tabu status comes from the configured policy: the static recency arrays,
+// the reactive tenure, or the REM running-list walk.
+func (s *Searcher) move(p Params, bestValue float64) {
+	useREM := p.Policy == PolicyREM
+	if useREM {
+		s.rem.computeTabu()
+		s.flipBuf = s.flipBuf[:0]
+	}
+	tenure := int64(p.Strategy.LtLength)
+	if p.Policy == PolicyReactive {
+		tenure = int64(s.react.tenure)
+	}
+
+	// Drop phase: NbDrop times, pick the most saturated constraint and drop
+	// its worst packed item.
+	for d := 0; d < p.Strategy.NbDrop && s.st.X.Count() > 0; d++ {
+		i := s.st.MostSaturated()
+		j := s.pickDrop(i, useREM, p.DropNoise)
+		if j < 0 {
+			break
+		}
+		s.st.Drop(j)
+		if useREM {
+			s.flipBuf = append(s.flipBuf, j)
+		} else {
+			s.tabuAdd[j] = s.moves + tenure
+		}
+	}
+	// Add phase: greedy by pseudo-utility until nothing fits (or CandWidth
+	// insertions); a tabu item may enter only under aspiration (it would
+	// beat the incumbent). AddNoise occasionally skips a candidate for one
+	// pass, so ties on pseudo-utility break differently across slaves and
+	// rounds.
+	inserted := 0
+	for {
+		added := false
+		for _, j := range s.rank {
+			if p.CandWidth > 0 && inserted >= p.CandWidth {
+				break
+			}
+			if s.st.X.Get(j) || !s.st.Fits(j) {
+				continue
+			}
+			if p.AddNoise > 0 && s.r.Bool(p.AddNoise) {
+				continue
+			}
+			blocked := s.tabuAdd[j] > s.moves
+			if useREM && !blocked {
+				blocked = s.rem.tabu(j) || s.flippedThisMove(j)
+			}
+			if blocked && s.st.Value+s.ins.Profit[j] <= bestValue {
+				continue
+			}
+			s.st.Add(j)
+			inserted++
+			if useREM {
+				s.flipBuf = append(s.flipBuf, j)
+			} else {
+				s.tabuDrop[j] = s.moves + tenure
+			}
+			added = true
+		}
+		if !added || (p.CandWidth > 0 && inserted >= p.CandWidth) {
+			break
+		}
+	}
+	s.moves++
+	s.st.X.ForEach(func(j int) bool {
+		s.history[j]++
+		return true
+	})
+	if useREM {
+		s.rem.record(s.flipBuf)
+	}
+	if p.Policy == PolicyReactive {
+		s.react.observe(s)
+	}
+}
+
+// flippedThisMove reports whether item j was already dropped or added within
+// the current compound move (REM mode only; the static arrays cover it
+// otherwise). NbDrop is tiny, so a linear scan is fine.
+func (s *Searcher) flippedThisMove(j int) bool {
+	for _, f := range s.flipBuf {
+		if f == j {
+			return true
+		}
+	}
+	return false
+}
+
+// pickDrop returns the packed, non-tabu item maximizing a_ij/c_j for
+// constraint i — "the most saturated constraint's least efficient item"
+// (§3.1) — falling back to ignoring tabu status when every packed item is
+// locked, so the search can never deadlock. With probability noise the
+// runner-up is taken instead, decorrelating parallel trajectories.
+func (s *Searcher) pickDrop(i int, useREM bool, noise float64) int {
+	best, second, bestTabu := -1, -1, -1
+	var bestScore, secondScore, bestTabuScore float64
+	row := s.ins.Weight[i]
+	s.st.X.ForEach(func(j int) bool {
+		score := row[j] / s.ins.Profit[j]
+		blocked := s.tabuDrop[j] > s.moves
+		if useREM && !blocked {
+			blocked = s.rem.tabu(j) || s.flippedThisMove(j)
+		}
+		switch {
+		case blocked:
+			if bestTabu == -1 || score > bestTabuScore {
+				bestTabu, bestTabuScore = j, score
+			}
+		case best == -1 || score > bestScore:
+			second, secondScore = best, bestScore
+			best, bestScore = j, score
+		case second == -1 || score > secondScore:
+			second, secondScore = j, score
+		}
+		return true
+	})
+	if best == -1 {
+		return bestTabu
+	}
+	if second >= 0 && noise > 0 && s.r.Bool(noise) {
+		return second
+	}
+	return best
+}
+
+// intensify dispatches to the configured intensification procedure (§3.2).
+func (s *Searcher) intensify(p Params, local mkp.Solution, best *mkp.Solution, pool *Pool, oscToggle *bool) {
+	mode := p.Intensify
+	if mode == IntensifyBoth {
+		if *oscToggle {
+			mode = IntensifyOscillation
+		} else {
+			mode = IntensifySwap
+		}
+		*oscToggle = !*oscToggle
+	}
+	switch mode {
+	case IntensifySwap:
+		s.intensifySwap(local, best, pool)
+	case IntensifyOscillation:
+		s.intensifyOscillation(p, best, pool)
+	}
+	if p.Tracer != nil {
+		p.Tracer.Record(trace.Event{
+			Kind: trace.KindIntensify, Actor: p.TraceID,
+			Round: -1, Move: s.moves, Value: s.st.Value, Detail: mode.String(),
+		})
+	}
+}
+
+// intensifySwap restarts from the best solution of the last local loop and
+// exchanges packed items for more profitable unpacked ones while feasibility
+// holds ("intensification by swapping components", §3.2). The improved
+// solution becomes the new current point.
+func (s *Searcher) intensifySwap(local mkp.Solution, best *mkp.Solution, pool *Pool) {
+	s.st.Load(local.X)
+	improved := true
+	for improved {
+		improved = false
+		packed := s.st.X.Indices(s.idxBuf[:0])
+		for _, i := range packed {
+			ci := s.ins.Profit[i]
+			s.st.Drop(i)
+			swapped := false
+			for _, j := range s.rank {
+				if s.st.X.Get(j) || s.ins.Profit[j] <= ci {
+					continue
+				}
+				if s.st.Fits(j) {
+					s.st.Add(j)
+					swapped, improved = true, true
+					break
+				}
+			}
+			if !swapped {
+				s.st.Add(i) // undo
+			}
+		}
+		s.idxBuf = packed[:0]
+	}
+	s.refillSweep()
+	mkp.FillGreedy(s.st)
+	s.adopt(best, pool)
+}
+
+// refillSweep generalizes the 1-for-1 swap: for each packed item, try
+// dropping it and greedily refilling with any other fitting items; keep the
+// exchange only when the total value improves. One sweep catches the
+// 1-for-2 exchanges that separate near-optimal solutions on strongly
+// correlated instances.
+func (s *Searcher) refillSweep() {
+	packed := s.st.X.Indices(nil)
+	var added []int
+	for _, i := range packed {
+		if !s.st.X.Get(i) {
+			continue // removed by an earlier exchange in this sweep
+		}
+		before := s.st.Value
+		s.st.Drop(i)
+		added = added[:0]
+		for _, j := range s.rank {
+			if j == i || s.st.X.Get(j) || !s.st.Fits(j) {
+				continue
+			}
+			s.st.Add(j)
+			added = append(added, j)
+		}
+		if s.st.Value > before {
+			continue
+		}
+		for _, j := range added {
+			s.st.Drop(j)
+		}
+		s.st.Add(i)
+	}
+}
+
+// intensifyOscillation pushes the current solution across the feasibility
+// boundary by force-adding up to OscDepth best-utility items, then projects
+// back by dropping the largest-burden items and topping up greedily
+// ("strategic oscillation" with a bounded infeasible depth, §3.2).
+func (s *Searcher) intensifyOscillation(p Params, best *mkp.Solution, pool *Pool) {
+	for d := 0; d < p.OscDepth; d++ {
+		picked := -1
+		for _, j := range s.rank {
+			if !s.st.X.Get(j) {
+				picked = j
+				break
+			}
+		}
+		if picked == -1 {
+			break
+		}
+		s.st.Add(picked)
+	}
+	mkp.Repair(s.st)
+	mkp.FillGreedy(s.st)
+	s.adopt(best, pool)
+}
+
+// diversify forces the search into a neglected region using the long-term
+// frequency memory (§3.3): high-frequency components are evicted and locked
+// out, low-frequency components are forced in and locked in, then the state
+// is repaired (preferring to keep the forced items) and topped up.
+func (s *Searcher) diversify(p Params, best *mkp.Solution, pool *Pool) {
+	if s.moves == 0 {
+		return
+	}
+	total := float64(s.moves)
+	lock := s.moves + int64(p.DiverLock)
+	var forced []int
+	for j := 0; j < s.ins.N; j++ {
+		freq := float64(s.history[j]) / total
+		switch {
+		case freq > p.HighFreq && s.st.X.Get(j):
+			s.st.Drop(j)
+			s.tabuAdd[j] = lock
+		case freq < p.LowFreq && !s.st.X.Get(j):
+			s.st.Add(j) // may go infeasible; repaired below
+			s.tabuDrop[j] = lock
+			forced = append(forced, j)
+		}
+	}
+	s.repairKeeping(forced)
+	mkp.FillGreedy(s.st)
+	s.adopt(best, pool)
+	if p.Tracer != nil {
+		p.Tracer.Record(trace.Event{
+			Kind: trace.KindDiversify, Actor: p.TraceID,
+			Round: -1, Move: s.moves, Value: s.st.Value,
+			Detail: fmt.Sprintf("forced=%d", len(forced)),
+		})
+	}
+}
+
+// repairKeeping restores feasibility dropping unlocked items first (largest
+// burden ratio first), touching the locked `keep` items only as a last
+// resort.
+func (s *Searcher) repairKeeping(keep []int) {
+	if s.st.Feasible() {
+		return
+	}
+	locked := make(map[int]bool, len(keep))
+	for _, j := range keep {
+		locked[j] = true
+	}
+	packed := s.st.X.Indices(nil)
+	sort.SliceStable(packed, func(a, b int) bool {
+		return s.ins.BurdenRatio(packed[a]) > s.ins.BurdenRatio(packed[b])
+	})
+	for _, j := range packed {
+		if s.st.Feasible() {
+			return
+		}
+		if !locked[j] {
+			s.st.Drop(j)
+		}
+	}
+	for _, j := range packed {
+		if s.st.Feasible() {
+			return
+		}
+		if locked[j] && s.st.X.Get(j) {
+			s.st.Drop(j)
+		}
+	}
+}
+
+// adopt records the current (feasible) state into best and the pool. It is
+// called exactly after the solution jumps discontinuously (intensification,
+// diversification), so it also invalidates the REM running list, which only
+// describes contiguous move trajectories.
+func (s *Searcher) adopt(best *mkp.Solution, pool *Pool) {
+	if s.st.Value > best.Value {
+		*best = s.st.Snapshot()
+	}
+	pool.Offer(mkp.Solution{X: s.st.X, Value: s.st.Value})
+	if s.rem != nil {
+		s.rem.reset()
+	}
+}
+
+// Search is a convenience wrapper: build a fresh Searcher, run one round from
+// the greedy start, and return the result.
+func Search(ins *mkp.Instance, p Params, budget int64, seed uint64) (*Result, error) {
+	s, err := NewSearcher(ins, seed)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(mkp.Greedy(ins), p, budget)
+}

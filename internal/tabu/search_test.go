@@ -1,0 +1,372 @@
+package tabu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+func randomInstance(r *rng.Rand, n, m int, tightness float64) *mkp.Instance {
+	ins := &mkp.Instance{
+		Name:     "rand",
+		N:        n,
+		M:        m,
+		Profit:   make([]float64, n),
+		Weight:   make([][]float64, m),
+		Capacity: make([]float64, m),
+	}
+	for j := 0; j < n; j++ {
+		ins.Profit[j] = float64(r.IntRange(1, 100))
+	}
+	for i := 0; i < m; i++ {
+		ins.Weight[i] = make([]float64, n)
+		total := 0.0
+		for j := 0; j < n; j++ {
+			ins.Weight[i][j] = float64(r.IntRange(1, 50))
+			total += ins.Weight[i][j]
+		}
+		ins.Capacity[i] = math.Max(1, tightness*total)
+	}
+	return ins
+}
+
+func TestStrategyValidate(t *testing.T) {
+	good := Strategy{LtLength: 5, NbDrop: 2, NbLocal: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]Strategy{
+		"negative tenure": {LtLength: -1, NbDrop: 1, NbLocal: 1},
+		"zero drops":      {LtLength: 1, NbDrop: 0, NbLocal: 1},
+		"zero local":      {LtLength: 1, NbDrop: 1, NbLocal: 0},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams(100)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Params){
+		"zero NbInt":    func(p *Params) { p.NbInt = 0 },
+		"zero NbDiv":    func(p *Params) { p.NbDiv = 0 },
+		"zero BBest":    func(p *Params) { p.BBest = 0 },
+		"bad intensify": func(p *Params) { p.Intensify = IntensifyMode(9) },
+		"neg OscDepth":  func(p *Params) { p.OscDepth = -1 },
+		"HighFreq > 1":  func(p *Params) { p.HighFreq = 1.5 },
+		"LowFreq >= Hi": func(p *Params) { p.LowFreq = p.HighFreq },
+		"neg DiverLock": func(p *Params) { p.DiverLock = -1 },
+		"neg AddNoise":  func(p *Params) { p.AddNoise = -0.1 },
+		"AddNoise >= 1": func(p *Params) { p.AddNoise = 1 },
+		"neg DropNoise": func(p *Params) { p.DropNoise = -0.1 },
+		"DropNoise 1":   func(p *Params) { p.DropNoise = 1 },
+	}
+	for name, mutate := range mutations {
+		p := DefaultParams(100)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestRandomStrategyValid(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{6, 10, 100, 500} {
+		for trial := 0; trial < 20; trial++ {
+			if err := RandomStrategy(n, r).Validate(); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestIntensifyModeString(t *testing.T) {
+	if IntensifySwap.String() != "swap" ||
+		IntensifyOscillation.String() != "oscillation" ||
+		IntensifyBoth.String() != "both" {
+		t.Fatal("IntensifyMode String labels wrong")
+	}
+	if IntensifyMode(9).String() == "" {
+		t.Fatal("unknown mode produced empty string")
+	}
+}
+
+func TestSearchFindsOptimumOnSmall(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 15; trial++ {
+		ins := randomInstance(r, r.IntRange(6, 14), r.IntRange(1, 4), 0.4)
+		opt, err := exact.Enumerate(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Search(ins, DefaultParams(ins.N), 3000, uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+			t.Fatalf("trial %d: infeasible result", trial)
+		}
+		if res.Best.Value < opt.Value {
+			t.Errorf("trial %d: TS %v < optimum %v", trial, res.Best.Value, opt.Value)
+		}
+	}
+}
+
+func TestSearchResultConsistency(t *testing.T) {
+	ins := randomInstance(rng.New(3), 50, 5, 0.3)
+	res, err := Search(ins, DefaultParams(ins.N), 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves != 500 {
+		t.Fatalf("Moves = %d, want the full budget 500", res.Moves)
+	}
+	if got := mkp.ValueOf(ins, res.Best.X); math.Abs(got-res.Best.Value) > 1e-9 {
+		t.Fatalf("Best value %v inconsistent with assignment value %v", res.Best.Value, got)
+	}
+	if len(res.Pool) == 0 || len(res.Pool) > DefaultParams(ins.N).BBest {
+		t.Fatalf("pool size %d out of range", len(res.Pool))
+	}
+	for i, s := range res.Pool {
+		if !mkp.IsFeasibleAssignment(ins, s.X) {
+			t.Fatalf("pool[%d] infeasible", i)
+		}
+		if i > 0 && res.Pool[i-1].Value < s.Value {
+			t.Fatal("pool not sorted by decreasing value")
+		}
+	}
+	if res.Pool[0].Value != res.Best.Value {
+		t.Fatalf("pool head %v != best %v", res.Pool[0].Value, res.Best.Value)
+	}
+}
+
+func TestSearchDeterministicReplay(t *testing.T) {
+	ins := randomInstance(rng.New(11), 60, 5, 0.3)
+	p := DefaultParams(ins.N)
+	a, err := Search(ins, p, 800, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(ins, p, 800, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Value != b.Best.Value || !a.Best.X.Equal(b.Best.X) {
+		t.Fatal("same seed produced different trajectories")
+	}
+}
+
+func TestSearchBeatsGreedy(t *testing.T) {
+	// On a moderately large correlated instance the TS must improve on the
+	// greedy constructor it starts from.
+	r := rng.New(8)
+	improvedSomewhere := false
+	for trial := 0; trial < 5; trial++ {
+		ins := randomInstance(r, 100, 8, 0.35)
+		greedy := mkp.Greedy(ins)
+		res, err := Search(ins, DefaultParams(ins.N), 4000, uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best.Value < greedy.Value {
+			t.Fatalf("trial %d: TS %v below its greedy start %v", trial, res.Best.Value, greedy.Value)
+		}
+		if res.Best.Value > greedy.Value {
+			improvedSomewhere = true
+		}
+	}
+	if !improvedSomewhere {
+		t.Fatal("TS never improved on greedy across 5 instances")
+	}
+}
+
+func TestSearcherPersistentMemory(t *testing.T) {
+	ins := randomInstance(rng.New(21), 40, 4, 0.3)
+	s, err := NewSearcher(ins, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(ins.N)
+	if _, err := s.Run(mkp.Greedy(ins), p, 200); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalMoves() != 200 {
+		t.Fatalf("TotalMoves = %d, want 200", s.TotalMoves())
+	}
+	hist1 := append([]int64(nil), s.History()...)
+	sum1 := int64(0)
+	for _, h := range hist1 {
+		sum1 += h
+	}
+	if sum1 == 0 {
+		t.Fatal("history empty after a 200-move round")
+	}
+	if _, err := s.Run(mkp.Greedy(ins), p, 200); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalMoves() != 400 {
+		t.Fatalf("TotalMoves = %d after second round, want 400", s.TotalMoves())
+	}
+	sum2 := int64(0)
+	for _, h := range s.History() {
+		sum2 += h
+	}
+	if sum2 <= sum1 {
+		t.Fatal("history did not accumulate across rounds")
+	}
+	s.ResetMemory()
+	if s.TotalMoves() != 0 {
+		t.Fatal("ResetMemory did not clear the move counter")
+	}
+}
+
+func TestRunParameterErrors(t *testing.T) {
+	ins := randomInstance(rng.New(1), 20, 3, 0.4)
+	s, err := NewSearcher(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := mkp.Greedy(ins)
+	bad := DefaultParams(ins.N)
+	bad.NbInt = 0
+	if _, err := s.Run(start, bad, 100); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := s.Run(start, DefaultParams(ins.N), 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	wrong := mkp.Solution{X: mkp.Greedy(randomInstance(rng.New(2), 10, 2, 0.4)).X}
+	if _, err := s.Run(wrong, DefaultParams(ins.N), 100); err == nil {
+		t.Fatal("wrong-length start accepted")
+	}
+}
+
+func TestNewSearcherRejectsInvalidInstance(t *testing.T) {
+	ins := randomInstance(rng.New(1), 5, 2, 0.4)
+	ins.Profit[0] = -1
+	if _, err := NewSearcher(ins, 1); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestRunRepairsInfeasibleStart(t *testing.T) {
+	ins := randomInstance(rng.New(13), 30, 3, 0.3)
+	s, err := NewSearcher(ins, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := mkp.NewState(ins)
+	for j := 0; j < ins.N; j++ {
+		full.Add(j)
+	}
+	res, err := s.Run(full.Snapshot(), DefaultParams(ins.N), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+		t.Fatal("result infeasible from infeasible start")
+	}
+}
+
+func TestIntensifyModesAllRun(t *testing.T) {
+	ins := randomInstance(rng.New(17), 40, 4, 0.3)
+	for _, mode := range []IntensifyMode{IntensifySwap, IntensifyOscillation, IntensifyBoth} {
+		p := DefaultParams(ins.N)
+		p.Intensify = mode
+		p.Strategy.NbLocal = 5 // force frequent intensifications
+		res, err := Search(ins, p, 600, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+			t.Fatalf("%v: infeasible", mode)
+		}
+	}
+}
+
+func TestDiversificationActuallyMoves(t *testing.T) {
+	// With aggressive thresholds every round must still end feasible.
+	ins := randomInstance(rng.New(19), 50, 5, 0.3)
+	p := DefaultParams(ins.N)
+	p.NbInt = 1
+	p.Strategy.NbLocal = 5
+	p.HighFreq = 0.5
+	p.LowFreq = 0.3
+	res, err := Search(ins, p, 1000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+		t.Fatal("diversified search returned infeasible best")
+	}
+}
+
+func TestQuickSearchAlwaysFeasibleAndAboveGreedy(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(5, 40), r.IntRange(1, 6), 0.25+0.4*r.Float64())
+		res, err := Search(ins, DefaultParams(ins.N), 400, seed)
+		if err != nil {
+			return false
+		}
+		if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+			return false
+		}
+		return res.Best.Value >= mkp.Greedy(ins).Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPoolHeadEqualsBest(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ins := randomInstance(r, r.IntRange(5, 30), r.IntRange(1, 4), 0.35)
+		res, err := Search(ins, DefaultParams(ins.N), 300, seed)
+		if err != nil {
+			return false
+		}
+		return len(res.Pool) > 0 && res.Pool[0].Value == res.Best.Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMove100x10(b *testing.B) {
+	ins := randomInstance(rng.New(1), 100, 10, 0.3)
+	s, err := NewSearcher(ins, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultParams(ins.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := s.Run(mkp.Greedy(ins), p, int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkMove500x25(b *testing.B) {
+	ins := randomInstance(rng.New(1), 500, 25, 0.25)
+	s, err := NewSearcher(ins, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultParams(ins.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := s.Run(mkp.Greedy(ins), p, int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package tabu implements the sequential tabu-search kernel of Niar &
+// Fréville (IPPS 1997, §3, Fig. 1) that every slave processor executes: the
+// Drop/Add compound move, a recency tabu list with the aspiration criterion,
+// swap and strategic-oscillation intensification, and long-term-frequency
+// diversification. The parallel cooperative layer in internal/core drives
+// this kernel with per-round starting solutions and strategies.
+package tabu
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Strategy is the parameter set the paper calls a "search strategy" (§4.2):
+// the three values the master's SGP tunes dynamically per slave.
+type Strategy struct {
+	LtLength int // tabu list length (tenure, in moves)
+	NbDrop   int // number of consecutive Drop steps per move
+	NbLocal  int // non-improving moves tolerated before intensification
+}
+
+// Validate rejects strategies the kernel cannot execute.
+func (s Strategy) Validate() error {
+	if s.LtLength < 0 {
+		return fmt.Errorf("tabu: LtLength %d < 0", s.LtLength)
+	}
+	if s.NbDrop < 1 {
+		return fmt.Errorf("tabu: NbDrop %d < 1", s.NbDrop)
+	}
+	if s.NbLocal < 1 {
+		return fmt.Errorf("tabu: NbLocal %d < 1", s.NbLocal)
+	}
+	return nil
+}
+
+// RandomStrategy draws a strategy uniformly from the full plausible range:
+// tenure between 2 and n/2, one to six consecutive drops, and a local
+// patience between 5 and 100 moves. The range deliberately includes poor
+// settings — the paper's premise is that nobody knows the right values per
+// instance, and it is the master's job (SGP) to recover from bad draws.
+func RandomStrategy(n int, r *rng.Rand) Strategy {
+	hi := n / 2
+	if hi < 3 {
+		hi = 3
+	}
+	return Strategy{
+		LtLength: r.IntRange(2, hi),
+		NbDrop:   r.IntRange(1, 6),
+		NbLocal:  r.IntRange(5, 100),
+	}
+}
+
+// IntensifyMode selects which of the paper's two intensification procedures
+// runs at the end of each local-search loop (§3.2).
+type IntensifyMode int
+
+const (
+	// IntensifySwap exchanges packed/unpacked item pairs with c_add > c_drop.
+	IntensifySwap IntensifyMode = iota
+	// IntensifyOscillation crosses the feasibility boundary for a bounded
+	// depth, then projects back by burden ratio.
+	IntensifyOscillation
+	// IntensifyBoth alternates the two procedures.
+	IntensifyBoth
+)
+
+func (m IntensifyMode) String() string {
+	switch m {
+	case IntensifySwap:
+		return "swap"
+	case IntensifyOscillation:
+		return "oscillation"
+	case IntensifyBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("IntensifyMode(%d)", int(m))
+	}
+}
+
+// TabuPolicy selects how tabu status is managed. The paper's own scheme is a
+// fixed-length recency list (PolicyStatic); §4.1 discusses and rejects two
+// published alternatives for their overheads, both implemented here as
+// baselines so the rejection is measurable.
+type TabuPolicy int
+
+const (
+	// PolicyStatic is the paper's fixed-tenure recency list: an item moved at
+	// iteration t stays tabu until t + LtLength.
+	PolicyStatic TabuPolicy = iota
+	// PolicyReactive is Battiti & Tecchiolli's reactive tabu search: visited
+	// solutions are hashed, and the tenure grows when solutions repeat and
+	// decays when they do not. The paper's objection: "the using of hashing
+	// function for MKP of great size will produce a great number of
+	// collisions and this will lead to an important overhead."
+	PolicyReactive
+	// PolicyREM is Dammeyer & Voss's reverse elimination method: a running
+	// list of all attribute flips is walked backwards each iteration to find
+	// the flips that would exactly recreate a previously visited solution.
+	// The paper's objection: "a time overhead proportional to the number of
+	// executed iterations."
+	PolicyREM
+)
+
+func (p TabuPolicy) String() string {
+	switch p {
+	case PolicyStatic:
+		return "static"
+	case PolicyReactive:
+		return "reactive"
+	case PolicyREM:
+		return "rem"
+	default:
+		return fmt.Sprintf("TabuPolicy(%d)", int(p))
+	}
+}
+
+// Params bundles the strategy with the structural knobs of Fig. 1 that the
+// master does not retune per round.
+type Params struct {
+	Strategy Strategy
+
+	// Policy selects the tabu-list management scheme; the zero value is the
+	// paper's static recency list.
+	Policy TabuPolicy
+	// REMDepth caps how far back the reverse elimination walks (and how many
+	// flips the running list retains). 0 means 2000 flips.
+	REMDepth int
+
+	NbInt int // local-search loops per diversification round (Fig. 1 outer j loop)
+	NbDiv int // diversification rounds before the loop wraps (Fig. 1 outer i loop)
+	BBest int // size of the per-slave B-best pool reported to the master
+
+	Intensify IntensifyMode
+	OscDepth  int // max items added beyond feasibility during oscillation
+
+	// AddNoise is the probability that the Add phase skips a candidate on a
+	// given pass. Zero makes the greedy fill fully deterministic; a small
+	// value decorrelates the slaves' trajectories, which matters on strongly
+	// correlated instances where many items tie on pseudo-utility.
+	AddNoise float64
+	// DropNoise is the probability that the Drop step takes the second-worst
+	// packed item instead of the worst. It plays the same decorrelation role
+	// on the dismantling side of the move.
+	DropNoise float64
+
+	// CandWidth caps how many items the Add phase may insert per move —
+	// the paper's example strategy parameter "the number of neighbor
+	// solutions evaluated at each move" (§2). 0 means unbounded (pack until
+	// nothing fits); small values make moves cheaper and shallower.
+	CandWidth int
+
+	// Diversification thresholds on the long-term frequency memory: items
+	// packed more than HighFreq of all moves are forced out, items packed
+	// less than LowFreq are forced in (§3.3).
+	HighFreq  float64
+	LowFreq   float64
+	DiverLock int // moves the forced components stay tabu afterwards
+
+	// Tracer, when non-nil, receives kernel events (improvements,
+	// intensifications, diversifications, escapes). TraceID stamps the
+	// events' Actor field — the parallel layer sets it to the slave index.
+	Tracer  trace.Recorder
+	TraceID int
+}
+
+// DefaultParams returns the settings used throughout the experiments for an
+// instance with n items.
+func DefaultParams(n int) Params {
+	tenure := n / 10
+	if tenure < 5 {
+		tenure = 5
+	}
+	return Params{
+		Strategy:  Strategy{LtLength: tenure, NbDrop: 2, NbLocal: 25},
+		NbInt:     4,
+		NbDiv:     8,
+		BBest:     8,
+		Intensify: IntensifyBoth,
+		OscDepth:  3,
+		AddNoise:  0.05,
+		DropNoise: 0.10,
+		HighFreq:  0.85,
+		LowFreq:   0.10,
+		DiverLock: 2 * tenure,
+	}
+}
+
+// Validate rejects parameter sets the kernel cannot execute.
+func (p Params) Validate() error {
+	if err := p.Strategy.Validate(); err != nil {
+		return err
+	}
+	if p.NbInt < 1 {
+		return fmt.Errorf("tabu: NbInt %d < 1", p.NbInt)
+	}
+	if p.NbDiv < 1 {
+		return fmt.Errorf("tabu: NbDiv %d < 1", p.NbDiv)
+	}
+	if p.BBest < 1 {
+		return fmt.Errorf("tabu: BBest %d < 1", p.BBest)
+	}
+	if p.Intensify < IntensifySwap || p.Intensify > IntensifyBoth {
+		return fmt.Errorf("tabu: unknown intensify mode %d", p.Intensify)
+	}
+	if p.Policy < PolicyStatic || p.Policy > PolicyREM {
+		return fmt.Errorf("tabu: unknown tabu policy %d", p.Policy)
+	}
+	if p.REMDepth < 0 {
+		return fmt.Errorf("tabu: REMDepth %d < 0", p.REMDepth)
+	}
+	if p.OscDepth < 0 {
+		return fmt.Errorf("tabu: OscDepth %d < 0", p.OscDepth)
+	}
+	if p.AddNoise < 0 || p.AddNoise >= 1 {
+		return fmt.Errorf("tabu: AddNoise %v outside [0,1)", p.AddNoise)
+	}
+	if p.DropNoise < 0 || p.DropNoise >= 1 {
+		return fmt.Errorf("tabu: DropNoise %v outside [0,1)", p.DropNoise)
+	}
+	if p.CandWidth < 0 {
+		return fmt.Errorf("tabu: CandWidth %d < 0", p.CandWidth)
+	}
+	if p.HighFreq <= 0 || p.HighFreq > 1 {
+		return fmt.Errorf("tabu: HighFreq %v outside (0,1]", p.HighFreq)
+	}
+	if p.LowFreq < 0 || p.LowFreq >= p.HighFreq {
+		return fmt.Errorf("tabu: LowFreq %v outside [0,HighFreq)", p.LowFreq)
+	}
+	if p.DiverLock < 0 {
+		return fmt.Errorf("tabu: DiverLock %d < 0", p.DiverLock)
+	}
+	return nil
+}

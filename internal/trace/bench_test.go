@@ -1,0 +1,15 @@
+package trace
+
+import "testing"
+
+// BenchmarkLogRecord measures the hot-path cost of recording one event into
+// the bounded ring — what a slave pays per improvement when tracing is on.
+func BenchmarkLogRecord(b *testing.B) {
+	l := NewLog(4096)
+	e := Event{Kind: KindImprovement, Actor: 3, Move: 12345, Value: 23197}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Record(e)
+	}
+}

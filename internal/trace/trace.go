@@ -1,0 +1,187 @@
+// Package trace records search events: what each slave's tabu search did
+// (improvements, intensifications, diversifications, reactive escapes) and
+// what the master did to the slaves (round starts, ISP replacements and
+// restarts, SGP strategy resets). A production metaheuristic lives or dies
+// by this visibility — the paper's whole argument is about *when* the search
+// intensifies versus diversifies, and the trace makes that observable.
+//
+// Recorders must be safe for concurrent use: slaves emit from their own
+// goroutines. The built-in Log (bounded ring) and Writer (line stream) both
+// are.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// KindImprovement: a searcher found a new personal best.
+	KindImprovement Kind = iota
+	// KindIntensify: a searcher ran an intensification procedure.
+	KindIntensify
+	// KindDiversify: a searcher jumped via the long-term frequency memory.
+	KindDiversify
+	// KindEscape: reactive tabu search forced an escape.
+	KindEscape
+	// KindRoundStart: the master began a rendezvous round.
+	KindRoundStart
+	// KindReplacement: ISP substituted the global best for a weak start.
+	KindReplacement
+	// KindRestart: ISP substituted a random solution for a stagnant start.
+	KindRestart
+	// KindStrategyReset: SGP discarded and regenerated a slave's strategy.
+	KindStrategyReset
+)
+
+var kindNames = [...]string{
+	KindImprovement:   "improvement",
+	KindIntensify:     "intensify",
+	KindDiversify:     "diversify",
+	KindEscape:        "escape",
+	KindRoundStart:    "round",
+	KindReplacement:   "replacement",
+	KindRestart:       "restart",
+	KindStrategyReset: "strategy-reset",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	Kind   Kind
+	Actor  int     // slave index, or -1 for the master
+	Round  int     // master round, or -1 when not applicable
+	Move   int64   // kernel move counter, or 0 when not applicable
+	Value  float64 // objective value associated with the event
+	Detail string  // free-form context (strategy values, distances, ...)
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	who := "master"
+	if e.Actor >= 0 {
+		who = fmt.Sprintf("slave %d", e.Actor)
+	}
+	s := fmt.Sprintf("%-14s %-8s value=%.0f", e.Kind, who, e.Value)
+	if e.Round >= 0 {
+		s += fmt.Sprintf(" round=%d", e.Round)
+	}
+	if e.Move > 0 {
+		s += fmt.Sprintf(" move=%d", e.Move)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Recorder receives events. Implementations must be safe for concurrent use.
+type Recorder interface {
+	Record(Event)
+}
+
+// Log is a bounded in-memory recorder. When full it drops the OLDEST events
+// (ring semantics) and counts the drops, so the tail of a long run is always
+// retained.
+type Log struct {
+	mu      sync.Mutex
+	cap     int
+	events  []Event
+	start   int // ring head
+	dropped int64
+}
+
+// NewLog returns a Log keeping at most capacity events (min 1).
+func NewLog(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Log{cap: capacity}
+}
+
+// Record appends the event, evicting the oldest when at capacity.
+func (l *Log) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.events) < l.cap {
+		l.events = append(l.events, e)
+		return
+	}
+	l.events[l.start] = e
+	l.start = (l.start + 1) % l.cap
+	l.dropped++
+}
+
+// Events returns the retained events oldest-first.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.events))
+	for i := 0; i < len(l.events); i++ {
+		out = append(out, l.events[(l.start+i)%len(l.events)])
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Dropped returns how many events were evicted.
+func (l *Log) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// CountKind returns how many retained events have the given kind.
+func (l *Log) CountKind(k Kind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Writer streams each event as one line to w.
+type Writer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriter returns a line-streaming recorder.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Record writes the event line.
+func (t *Writer) Record(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintln(t.w, e.String())
+}
+
+// Multi fans one event out to several recorders.
+type Multi []Recorder
+
+// Record forwards to every recorder.
+func (m Multi) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := KindImprovement; k <= KindStrategyReset; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Fatalf("kind %d has no label", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "Kind(") {
+		t.Fatal("unknown kind not labeled")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: KindImprovement, Actor: 3, Round: 2, Move: 17, Value: 123, Detail: "x"}
+	s := e.String()
+	for _, want := range []string{"improvement", "slave 3", "value=123", "round=2", "move=17", "x"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+	m := Event{Kind: KindRoundStart, Actor: -1, Round: 0}
+	if !strings.Contains(m.String(), "master") {
+		t.Fatalf("master event string %q", m.String())
+	}
+}
+
+func TestLogBasics(t *testing.T) {
+	l := NewLog(10)
+	for i := 0; i < 5; i++ {
+		l.Record(Event{Kind: KindImprovement, Move: int64(i)})
+	}
+	if l.Len() != 5 || l.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d", l.Len(), l.Dropped())
+	}
+	ev := l.Events()
+	for i, e := range ev {
+		if e.Move != int64(i) {
+			t.Fatalf("events out of order: %+v", ev)
+		}
+	}
+	if l.CountKind(KindImprovement) != 5 || l.CountKind(KindRestart) != 0 {
+		t.Fatal("CountKind wrong")
+	}
+}
+
+func TestLogRingEvictsOldest(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 7; i++ {
+		l.Record(Event{Move: int64(i)})
+	}
+	if l.Dropped() != 4 {
+		t.Fatalf("Dropped = %d, want 4", l.Dropped())
+	}
+	ev := l.Events()
+	if len(ev) != 3 || ev[0].Move != 4 || ev[2].Move != 6 {
+		t.Fatalf("retained tail wrong: %+v", ev)
+	}
+}
+
+func TestLogCapacityClamp(t *testing.T) {
+	l := NewLog(0)
+	l.Record(Event{Move: 1})
+	l.Record(Event{Move: 2})
+	if l.Len() != 1 || l.Events()[0].Move != 2 {
+		t.Fatalf("clamped log broken: %+v", l.Events())
+	}
+}
+
+func TestLogConcurrentSafe(t *testing.T) {
+	l := NewLog(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(Event{Actor: w, Move: int64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", l.Len())
+	}
+}
+
+func TestWriterStreams(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Record(Event{Kind: KindDiversify, Actor: 1, Value: 9})
+	w.Record(Event{Kind: KindRestart, Actor: -1, Value: 3})
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "diversify") || !strings.Contains(lines[1], "restart") {
+		t.Fatalf("writer output:\n%s", sb.String())
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewLog(5), NewLog(5)
+	m := Multi{a, b}
+	m.Record(Event{Move: 1})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatal("Multi did not fan out")
+	}
+}

@@ -1,0 +1,103 @@
+package pts_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	pts "repro"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	ins := pts.GenerateGK("facade", 40, 5, 0.25, 1)
+	res, err := pts.Solve(ins, pts.CTS2, pts.Options{P: 2, Seed: 7, Rounds: 3, RoundMoves: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value <= 0 {
+		t.Fatal("no solution found")
+	}
+	greedy := pts.Greedy(ins)
+	if res.Best.Value < greedy.Value {
+		t.Fatalf("parallel TS %v below greedy %v", res.Best.Value, greedy.Value)
+	}
+	ub, err := pts.LPBound(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value > ub+1e-6 {
+		t.Fatalf("solution %v above LP bound %v", res.Best.Value, ub)
+	}
+}
+
+func TestFacadeSequentialAndExactAgree(t *testing.T) {
+	ins := pts.GenerateFP("small", 12, 3, 2)
+	ex, err := pts.SolveExact(ins, pts.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Optimal {
+		t.Fatal("12-item exact solve did not prove optimality")
+	}
+	sr, err := pts.SearchSequential(ins, pts.DefaultParams(ins.N), 3000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Best.Value > ex.Solution.Value {
+		t.Fatalf("heuristic %v beat the proven optimum %v", sr.Best.Value, ex.Solution.Value)
+	}
+}
+
+func TestFacadeExactNodeLimitError(t *testing.T) {
+	ins := pts.GenerateGK("big", 80, 10, 0.25, 3)
+	_, err := pts.SolveExact(ins, pts.ExactOptions{NodeLimit: 3})
+	if !errors.Is(err, pts.ErrNodeLimit) {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+}
+
+func TestFacadeInstanceIO(t *testing.T) {
+	ins := pts.GenerateUncorrelated("io", 15, 4, 0.5, 4)
+	var buf bytes.Buffer
+	if err := pts.WriteInstance(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	back, err := pts.ReadInstance(&buf, "io")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != ins.N || back.M != ins.M {
+		t.Fatalf("round trip changed dimensions: %dx%d", back.M, back.N)
+	}
+}
+
+func TestFacadeParseAlgorithm(t *testing.T) {
+	a, err := pts.ParseAlgorithm("CTS2")
+	if err != nil || a != pts.CTS2 {
+		t.Fatalf("ParseAlgorithm = %v, %v", a, err)
+	}
+}
+
+func TestFacadeAsync(t *testing.T) {
+	ins := pts.GenerateGK("async", 30, 4, 0.25, 5)
+	res, err := pts.SolveAsync(ins, pts.AsyncOptions{P: 2, Seed: 9, TotalMoves: 600, ChunkMoves: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value < pts.Greedy(ins).Value {
+		t.Fatalf("async %v below greedy", res.Best.Value)
+	}
+}
+
+func TestFacadeStateAndRandom(t *testing.T) {
+	ins := pts.GenerateGK("state", 20, 3, 0.3, 6)
+	st := pts.NewState(ins)
+	st.Add(0)
+	if st.Value != ins.Profit[0] {
+		t.Fatalf("state value %v", st.Value)
+	}
+	sol := pts.RandomFeasible(ins, 11)
+	if sol.X == nil || sol.Value <= 0 {
+		t.Fatal("RandomFeasible returned nothing")
+	}
+}
