@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build vet test race check bench kernel
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: compile everything, vet, race-test, then a short
+# kernel benchmark smoke so evaluator regressions fail loudly.
+check: build vet race bench
+
+# bench runs the kernel microbenchmarks a fixed small number of iterations —
+# a smoke that they still compile and run, not a timing-quality measurement.
+bench:
+	$(GO) test ./internal/bench -run '^$$' -bench 'BenchmarkState|BenchmarkFits|BenchmarkAddPhase' -benchtime 100x -benchmem
+
+# kernel regenerates the committed before/after baseline for the evaluator
+# hot path (optimized column-major kernel vs naive row-major reference).
+kernel:
+	$(GO) run ./cmd/mkpbench -kernelbench BENCH_kernel.json

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 	"repro/internal/mkp"
@@ -47,8 +49,38 @@ func main() {
 		compare  = flag.String("compare", "", "run the four-algorithm comparison on an instance file (single or OR-Library multi-problem)")
 		check    = flag.String("check", "", "compare the experiment against a JSON baseline (written with -format json) and exit 1 on regressions")
 		tol      = flag.Float64("tolerance", 0.02, "relative tolerance for -check numeric cells")
+
+		kernelOut  = flag.String("kernelbench", "", "run the kernel microbenchmark suite (optimized vs naive evaluator) and write the JSON report to this path (\"-\" for stdout only)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		exitOn(err)
+		exitOn(pprof.StartCPUProfile(f))
+		atExit = append(atExit, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		atExit = append(atExit, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mkpbench:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mkpbench:", err)
+			}
+			f.Close()
+		})
+	}
+	defer runAtExit()
 
 	var progress io.Writer
 	if *verbose {
@@ -61,6 +93,10 @@ func main() {
 	r := runner{seed: *seed, p: *p, quick: *quick, progress: progress, format: *format, check: *check, tolerance: *tol}
 
 	ran := false
+	if *kernelOut != "" {
+		r.kernelBench(*kernelOut)
+		ran = true
+	}
 	if *compare != "" {
 		r.compareFile(*compare)
 		ran = true
@@ -151,6 +187,7 @@ func (r runner) emit(text string, export bench.Export) {
 		exitOn(err)
 		fmt.Print(bench.RenderDiffs(diffs))
 		if len(diffs) > 0 {
+			runAtExit()
 			os.Exit(1)
 		}
 		return
@@ -304,9 +341,40 @@ func (r runner) async() {
 	r.emit(bench.RenderAsync(rows), bench.ExportAsync(rows))
 }
 
+// kernelBench runs the evaluator microbenchmark suite and writes the JSON
+// report to path ("-" prints the table only). This is how BENCH_kernel.json
+// at the repository root is produced.
+func (r runner) kernelBench(path string) {
+	rep := bench.RunKernelSuite(bench.DefaultKernelSpec())
+	fmt.Print(bench.RenderKernelReport(rep))
+	if path == "-" {
+		return
+	}
+	f, err := os.Create(path)
+	exitOn(err)
+	err = rep.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	exitOn(err)
+	fmt.Fprintln(os.Stderr, "mkpbench: kernel report written to", path)
+}
+
+// atExit holds profiler flushes that must run before the process exits, even
+// through the os.Exit in exitOn.
+var atExit []func()
+
+func runAtExit() {
+	for i := len(atExit) - 1; i >= 0; i-- {
+		atExit[i]()
+	}
+	atExit = nil
+}
+
 func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mkpbench:", err)
+		runAtExit()
 		os.Exit(1)
 	}
 }

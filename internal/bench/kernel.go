@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mkp"
+	"repro/internal/tabu"
+)
+
+// The kernel microbenchmark suite times the evaluator hot path — State.Add,
+// State.Drop, State.Fits, and the greedy add phase — on a GK-size instance,
+// in two builds: the optimized column-major kernel the solvers run, and the
+// retained row-major NaiveState reference (the repository's pre-optimization
+// layout). The pairing turns every run into a before/after measurement, and
+// the exported JSON (BENCH_kernel.json at the repo root) is the baseline the
+// CI smoke and future PRs compare against.
+
+// KernelSpec describes the instance the suite runs on. The default matches
+// the acceptance target for this kernel: the paper's largest GK shape,
+// m=25 constraints over n=500 items.
+type KernelSpec struct {
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	Tightness float64 `json:"tightness"`
+	Seed      uint64  `json:"seed"`
+}
+
+// DefaultKernelSpec is the m=25, n=500 GK instance the committed baseline
+// uses.
+func DefaultKernelSpec() KernelSpec {
+	return KernelSpec{N: 500, M: 25, Tightness: 0.25, Seed: 42}
+}
+
+// Instance materializes the spec.
+func (sp KernelSpec) Instance() *mkp.Instance {
+	return gen.GK(fmt.Sprintf("kernel-%dx%d", sp.M, sp.N), sp.N, sp.M, sp.Tightness, sp.Seed)
+}
+
+// KernelResult is one benchmark measurement.
+type KernelResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// KernelReport is the exported suite result: every measurement plus the
+// naive/optimized speedup for each paired benchmark.
+type KernelReport struct {
+	Spec     KernelSpec         `json:"spec"`
+	Results  []KernelResult     `json:"results"`
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// KernelStateAdd benchmarks one Add followed by the undoing Drop of a
+// mid-rank item, so the state returns to the same assignment every
+// iteration. naive selects the row-major reference kernel.
+func KernelStateAdd(b *testing.B, sp KernelSpec, naive bool) {
+	ins := sp.Instance()
+	j := pivotItem(ins)
+	b.ReportAllocs()
+	if naive {
+		st := mkp.NewNaiveState(ins)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Add(j)
+			st.Drop(j)
+		}
+		return
+	}
+	st := mkp.NewState(ins)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Add(j)
+		st.Drop(j)
+	}
+}
+
+// KernelStateDrop benchmarks one Drop followed by the undoing Add, starting
+// from the greedy solution so slacks are realistically tight.
+func KernelStateDrop(b *testing.B, sp KernelSpec, naive bool) {
+	ins := sp.Instance()
+	start := mkp.Greedy(ins)
+	j := start.X.NextSet(0)
+	b.ReportAllocs()
+	if naive {
+		st := mkp.NewNaiveState(ins)
+		st.Load(start.X)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Drop(j)
+			st.Add(j)
+		}
+		return
+	}
+	st := mkp.NewState(ins)
+	st.Load(start.X)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Drop(j)
+		st.Add(j)
+	}
+}
+
+// KernelFits benchmarks the feasibility probe over every unpacked item of the
+// greedy solution — the exact scan pattern of the tabu add phase.
+func KernelFits(b *testing.B, sp KernelSpec, naive bool) {
+	ins := sp.Instance()
+	start := mkp.Greedy(ins)
+	var probes []int
+	for j := 0; j < ins.N; j++ {
+		if !start.X.Get(j) {
+			probes = append(probes, j)
+		}
+	}
+	b.ReportAllocs()
+	if naive {
+		st := mkp.NewNaiveState(ins)
+		st.Load(start.X)
+		b.ResetTimer()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			for _, j := range probes {
+				if st.Fits(j) {
+					sink++
+				}
+			}
+		}
+		sinkHole = sink
+		return
+	}
+	st := mkp.NewState(ins)
+	st.Load(start.X)
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		for _, j := range probes {
+			if st.Fits(j) {
+				sink++
+			}
+		}
+	}
+	sinkHole = sink
+}
+
+// KernelAddPhase benchmarks one full greedy add phase from the empty
+// assignment: pruned FillGreedy on the optimized state versus the unpruned
+// reference fill on the naive state (which also re-derives the utility
+// ranking per call, exactly as the pre-optimization code did).
+func KernelAddPhase(b *testing.B, sp KernelSpec, naive bool) {
+	ins := sp.Instance()
+	b.ReportAllocs()
+	if naive {
+		st := mkp.NewNaiveState(ins)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Reset()
+			mkp.FillGreedyNaive(st)
+		}
+		return
+	}
+	st := mkp.NewState(ins)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		mkp.FillGreedy(st)
+	}
+}
+
+// KernelSearcherRun benchmarks one end-to-end tabu round (200 compound moves)
+// on the optimized kernel: the integrated number that Table 1/2 runtimes are
+// made of. There is no naive pairing — the solvers only run the optimized
+// state — so the committed baseline is the regression reference instead.
+func KernelSearcherRun(b *testing.B, sp KernelSpec) {
+	ins := sp.Instance()
+	start := mkp.Greedy(ins)
+	p := tabu.DefaultParams(ins.N)
+	s, err := tabu.NewSearcher(ins, sp.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(start, p, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sinkHole defeats dead-code elimination of benchmark loop bodies.
+var sinkHole int
+
+// pivotItem returns an item from the middle of the utility ranking: neither
+// a guaranteed pack nor a guaranteed reject.
+func pivotItem(ins *mkp.Instance) int {
+	rank := mkp.RankByUtility(ins)
+	return rank[len(rank)/2]
+}
+
+// RunKernelSuite executes the whole paired suite with testing.Benchmark and
+// returns the report. It is what `mkpbench -kernelbench` calls; the
+// Benchmark* functions in kernel_test.go expose the same bodies to
+// `go test -bench`.
+func RunKernelSuite(sp KernelSpec) KernelReport {
+	rep := KernelReport{Spec: sp, Speedups: map[string]float64{}}
+	type pair struct {
+		name  string
+		opt   func(*testing.B)
+		naive func(*testing.B) // nil for unpaired benchmarks
+	}
+	cases := []pair{
+		{"StateAdd", func(b *testing.B) { KernelStateAdd(b, sp, false) }, func(b *testing.B) { KernelStateAdd(b, sp, true) }},
+		{"StateDrop", func(b *testing.B) { KernelStateDrop(b, sp, false) }, func(b *testing.B) { KernelStateDrop(b, sp, true) }},
+		{"Fits", func(b *testing.B) { KernelFits(b, sp, false) }, func(b *testing.B) { KernelFits(b, sp, true) }},
+		{"AddPhase", func(b *testing.B) { KernelAddPhase(b, sp, false) }, func(b *testing.B) { KernelAddPhase(b, sp, true) }},
+		{"SearcherRun", func(b *testing.B) { KernelSearcherRun(b, sp) }, nil},
+	}
+	for _, c := range cases {
+		opt := measure(c.name, c.opt)
+		rep.Results = append(rep.Results, opt)
+		if c.naive == nil {
+			continue
+		}
+		ref := measure(c.name+"Naive", c.naive)
+		rep.Results = append(rep.Results, ref)
+		if opt.NsPerOp > 0 {
+			rep.Speedups[c.name] = ref.NsPerOp / opt.NsPerOp
+		}
+	}
+	return rep
+}
+
+func measure(name string, fn func(*testing.B)) KernelResult {
+	r := testing.Benchmark(fn)
+	return KernelResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// WriteJSON emits the report as indented JSON (the BENCH_kernel.json format).
+func (r KernelReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RenderKernelReport formats the report as an aligned text table.
+func RenderKernelReport(r KernelReport) string {
+	out := fmt.Sprintf("kernel microbenchmarks on %d*%d GK (tightness %.2f, seed %d)\n",
+		r.Spec.M, r.Spec.N, r.Spec.Tightness, r.Spec.Seed)
+	out += fmt.Sprintf("%-16s %14s %12s %12s\n", "benchmark", "ns/op", "allocs/op", "B/op")
+	for _, res := range r.Results {
+		out += fmt.Sprintf("%-16s %14.1f %12d %12d\n", res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+	for _, c := range []string{"StateAdd", "StateDrop", "Fits", "AddPhase"} {
+		if s, ok := r.Speedups[c]; ok {
+			out += fmt.Sprintf("speedup %-12s %6.2fx\n", c, s)
+		}
+	}
+	return out
+}

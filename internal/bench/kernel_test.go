@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The Benchmark* functions expose the kernel suite to `go test -bench` (the
+// Makefile's bench smoke runs them); RunKernelSuite reuses the same bodies
+// for the BENCH_kernel.json export. The *Naive variants time the retained
+// row-major reference kernel so every run is a before/after pair.
+
+func BenchmarkStateAdd(b *testing.B)       { KernelStateAdd(b, DefaultKernelSpec(), false) }
+func BenchmarkStateAddNaive(b *testing.B)  { KernelStateAdd(b, DefaultKernelSpec(), true) }
+func BenchmarkStateDrop(b *testing.B)      { KernelStateDrop(b, DefaultKernelSpec(), false) }
+func BenchmarkStateDropNaive(b *testing.B) { KernelStateDrop(b, DefaultKernelSpec(), true) }
+func BenchmarkFits(b *testing.B)           { KernelFits(b, DefaultKernelSpec(), false) }
+func BenchmarkFitsNaive(b *testing.B)      { KernelFits(b, DefaultKernelSpec(), true) }
+func BenchmarkAddPhase(b *testing.B)       { KernelAddPhase(b, DefaultKernelSpec(), false) }
+func BenchmarkAddPhaseNaive(b *testing.B)  { KernelAddPhase(b, DefaultKernelSpec(), true) }
+func BenchmarkSearcherRun(b *testing.B)    { KernelSearcherRun(b, DefaultKernelSpec()) }
+
+// TestRunKernelSuite smoke-runs the suite on a small shape and checks the
+// report and its JSON round-trip are well-formed. The committed baseline uses
+// the full m=25, n=500 spec; this keeps `go test` fast.
+func TestRunKernelSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel suite timing in -short mode")
+	}
+	sp := KernelSpec{N: 60, M: 5, Tightness: 0.25, Seed: 7}
+	rep := RunKernelSuite(sp)
+	if len(rep.Results) != 9 {
+		t.Fatalf("got %d results, want 9", len(rep.Results))
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		seen[r.Name] = true
+		if r.NsPerOp <= 0 {
+			t.Fatalf("%s: non-positive ns/op %v", r.Name, r.NsPerOp)
+		}
+	}
+	for _, want := range []string{"StateAdd", "StateAddNaive", "Fits", "FitsNaive", "AddPhase", "AddPhaseNaive", "SearcherRun"} {
+		if !seen[want] {
+			t.Fatalf("missing benchmark %q in report", want)
+		}
+	}
+	for _, c := range []string{"StateAdd", "StateDrop", "Fits", "AddPhase"} {
+		if rep.Speedups[c] <= 0 {
+			t.Fatalf("speedup for %s not recorded", c)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back KernelReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec != sp || len(back.Results) != len(rep.Results) {
+		t.Fatal("JSON round-trip lost data")
+	}
+	if txt := RenderKernelReport(rep); !strings.Contains(txt, "SearcherRun") {
+		t.Fatalf("render missing rows:\n%s", txt)
+	}
+}

@@ -156,13 +156,46 @@ func (s *Set) ForEach(fn func(i int) bool) {
 	}
 }
 
+// NextSet returns the index of the first set bit at or after position i, or
+// -1 when no such bit exists. i may be any non-negative value (i >= Len()
+// returns -1), so the canonical scan is:
+//
+//	for j := s.NextSet(0); j >= 0; j = s.NextSet(j + 1) { ... }
+//
+// Unlike ForEach this keeps the loop body inlinable at the call site — the
+// search inner loops use it to avoid closure-call overhead per set bit.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	wi := i / wordBits
+	if wi >= len(s.words) {
+		return -1
+	}
+	// Mask off bits below i in the first word, then scan word by word.
+	w := s.words[wi] &^ ((1 << uint(i%wordBits)) - 1)
+	for {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= len(s.words) {
+			return -1
+		}
+		w = s.words[wi]
+	}
+}
+
 // Indices appends the indices of all set bits to dst and returns the extended
 // slice. Pass a reusable buffer to avoid allocation.
 func (s *Set) Indices(dst []int) []int {
-	s.ForEach(func(i int) bool {
-		dst = append(dst, i)
-		return true
-	})
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
 	return dst
 }
 
@@ -180,16 +213,27 @@ func (s *Set) String() string {
 	return b.String()
 }
 
-// Key returns a compact comparable key for map deduplication of solutions.
-// Two sets of the same length have equal keys iff they are Equal.
-func (s *Set) Key() string {
-	buf := make([]byte, len(s.words)*8)
-	for i, w := range s.words {
-		for b := 0; b < 8; b++ {
-			buf[i*8+b] = byte(w >> uint(8*b))
-		}
+// AppendKey appends the set's comparable key bytes to dst and returns the
+// extended slice. The key is the little-endian concatenation of the words:
+// two sets of the same length have equal key bytes iff they are Equal (it is
+// an exact encoding, not a hash — no collisions). Callers on hot paths pass a
+// reused scratch buffer and look maps up via string(buf), which Go compiles
+// to an allocation-free map access; only inserting a new key materializes a
+// string.
+func (s *Set) AppendKey(dst []byte) []byte {
+	for _, w := range s.words {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 	}
-	return string(buf)
+	return dst
+}
+
+// Key returns a compact comparable key for map deduplication of solutions.
+// Two sets of the same length have equal keys iff they are Equal. Key
+// allocates its result; prefer AppendKey with a scratch buffer on hot paths.
+func (s *Set) Key() string {
+	return string(s.AppendKey(make([]byte, 0, len(s.words)*8)))
 }
 
 func (s *Set) check(i int) {

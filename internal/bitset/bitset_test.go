@@ -320,3 +320,123 @@ func BenchmarkDistance(b *testing.B) {
 		_ = Distance(x, y)
 	}
 }
+
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 1, 63, 64, 127, 130, 199} {
+		s.Set(i)
+	}
+	var got []int
+	for j := s.NextSet(0); j >= 0; j = s.NextSet(j + 1) {
+		got = append(got, j)
+	}
+	want := []int{0, 1, 63, 64, 127, 130, 199}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk = %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("NextSet walk = %v, want %v", got, want)
+		}
+	}
+	// Starting exactly on a set bit returns that bit.
+	if j := s.NextSet(64); j != 64 {
+		t.Fatalf("NextSet(64) = %d, want 64", j)
+	}
+	// Past the last set bit, and past the logical length.
+	if j := s.NextSet(200); j != -1 {
+		t.Fatalf("NextSet(200) = %d, want -1", j)
+	}
+	if j := s.NextSet(1 << 20); j != -1 {
+		t.Fatalf("NextSet(big) = %d, want -1", j)
+	}
+	if j := s.NextSet(-5); j != 0 {
+		t.Fatalf("NextSet(-5) = %d, want 0", j)
+	}
+	if j := New(0).NextSet(0); j != -1 {
+		t.Fatalf("empty NextSet(0) = %d, want -1", j)
+	}
+	if j := New(70).NextSet(0); j != -1 {
+		t.Fatalf("all-zero NextSet(0) = %d, want -1", j)
+	}
+}
+
+func TestQuickNextSetMatchesForEach(t *testing.T) {
+	f := func(bits []uint16) bool {
+		s := New(300)
+		for _, b := range bits {
+			s.Set(int(b) % 300)
+		}
+		var viaForEach []int
+		s.ForEach(func(i int) bool {
+			viaForEach = append(viaForEach, i)
+			return true
+		})
+		var viaNext []int
+		for j := s.NextSet(0); j >= 0; j = s.NextSet(j + 1) {
+			viaNext = append(viaNext, j)
+		}
+		if len(viaForEach) != len(viaNext) {
+			return false
+		}
+		for k := range viaNext {
+			if viaForEach[k] != viaNext[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendKeyMatchesKeyAndEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(150)
+		a, b := randomSet(r, n), randomSet(r, n)
+		if string(a.AppendKey(nil)) != a.Key() {
+			t.Fatal("AppendKey disagrees with Key")
+		}
+		sameKey := string(a.AppendKey(nil)) == string(b.AppendKey(nil))
+		if sameKey != a.Equal(b) {
+			t.Fatalf("n=%d: key equality %v but Equal %v", n, sameKey, a.Equal(b))
+		}
+	}
+	// Reuse: AppendKey must append, not overwrite.
+	s := New(64)
+	s.Set(3)
+	buf := []byte("prefix")
+	buf = s.AppendKey(buf)
+	if string(buf[:6]) != "prefix" || len(buf) != 6+8 {
+		t.Fatalf("AppendKey clobbered the prefix: %q", buf)
+	}
+}
+
+func BenchmarkNextSet(b *testing.B) {
+	s := New(500)
+	for i := 0; i < 500; i += 3 {
+		s.Set(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum := 0
+		for j := s.NextSet(0); j >= 0; j = s.NextSet(j + 1) {
+			sum += j
+		}
+		_ = sum
+	}
+}
+
+func BenchmarkAppendKey(b *testing.B) {
+	s := New(500)
+	for i := 0; i < 500; i += 2 {
+		s.Set(i)
+	}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = s.AppendKey(buf[:0])
+	}
+}

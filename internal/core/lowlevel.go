@@ -92,9 +92,13 @@ func SolveLowLevel(ins *mkp.Instance, opts LowLevelOptions) (*LowLevelResult, er
 			defer wg.Done()
 			for t := range in {
 				found := -1
+				// st is frozen for the duration of the barrier, so one
+				// MaxSlack read prices the quick reject for the whole chunk.
+				maxSlack := st.MaxSlack()
+				minW := ins.MinWeight
 				for pos := t.lo; pos < t.hi; pos++ {
 					j := rank[pos]
-					if st.X.Get(j) || !st.Fits(j) {
+					if minW[j] > maxSlack || st.X.Get(j) || !st.Fits(j) {
 						continue
 					}
 					if tabuAdd[j] > t.moveNum && st.Value+ins.Profit[j] <= t.bestValue {
@@ -125,7 +129,7 @@ func SolveLowLevel(ins *mkp.Instance, opts LowLevelOptions) (*LowLevelResult, er
 			pick, pickTabu := -1, -1
 			var score, scoreTabu float64
 			row := ins.Weight[i]
-			st.X.ForEach(func(j int) bool {
+			for j := st.X.NextSet(0); j >= 0; j = st.X.NextSet(j + 1) {
 				sc := row[j] / ins.Profit[j]
 				if tabuDrop[j] <= moves {
 					if pick == -1 || sc > score {
@@ -134,8 +138,7 @@ func SolveLowLevel(ins *mkp.Instance, opts LowLevelOptions) (*LowLevelResult, er
 				} else if pickTabu == -1 || sc > scoreTabu {
 					pickTabu, scoreTabu = j, sc
 				}
-				return true
-			})
+			}
 			if pick < 0 {
 				pick = pickTabu
 			}

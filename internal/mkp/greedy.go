@@ -9,7 +9,16 @@ import (
 
 // RankByUtility returns item indices sorted by decreasing pseudo-utility
 // c_j / Σ_i (a_ij / b_i). Ties break to the lower index for determinism.
+// The ranking is computed once per instance (in Finalize) and cached; this
+// returns an independent copy callers may reorder freely.
 func RankByUtility(ins *Instance) []int {
+	ins.Finalize()
+	return append([]int(nil), ins.utilRank...)
+}
+
+// rankByUtility computes the utility ordering from scratch. Finalize calls it
+// exactly once per instance; everyone else goes through the cache.
+func rankByUtility(ins *Instance) []int {
 	util := make([]float64, ins.N)
 	for j := 0; j < ins.N; j++ {
 		util[j] = ins.PseudoUtility(j)
@@ -27,9 +36,14 @@ func RankByUtility(ins *Instance) []int {
 // deterministic baseline constructor.
 func Greedy(ins *Instance) Solution {
 	st := NewState(ins)
-	for _, j := range RankByUtility(ins) {
+	maxSlack := st.MaxSlack()
+	for _, j := range ins.utilRank {
+		if ins.MinWeight[j] > maxSlack {
+			continue // cannot fit in any constraint; skip the O(m) probe
+		}
 		if st.Fits(j) {
 			st.Add(j)
+			maxSlack = st.MaxSlack()
 		}
 	}
 	return st.Snapshot()
@@ -50,7 +64,11 @@ func RandomizedGreedy(ins *Instance, r *rng.Rand, rcl int) Solution {
 		// Collect up to rcl fitting candidates in utility order.
 		cands := make([]int, 0, rcl)
 		next := remaining[:0]
+		maxSlack := st.MaxSlack()
 		for _, j := range remaining {
+			if ins.MinWeight[j] > maxSlack {
+				continue // certainly does not fit now or later: slack shrinks
+			}
 			if st.Fits(j) {
 				if len(cands) < rcl {
 					cands = append(cands, j)
@@ -113,11 +131,19 @@ func Repair(st *State) {
 }
 
 // FillGreedy packs any still-fitting items in decreasing pseudo-utility
-// order. It requires a feasible state and keeps it feasible.
+// order. It requires a feasible state and keeps it feasible. The MinWeight
+// quick reject skips the O(m) Fits probe for items that exceed even the
+// loosest constraint's remaining room.
 func FillGreedy(st *State) {
-	for _, j := range RankByUtility(st.Ins) {
-		if !st.X.Get(j) && st.Fits(j) {
+	ins := st.Ins
+	maxSlack := st.MaxSlack()
+	for _, j := range ins.utilRank {
+		if ins.MinWeight[j] > maxSlack || st.X.Get(j) {
+			continue
+		}
+		if st.Fits(j) {
 			st.Add(j)
+			maxSlack = st.MaxSlack()
 		}
 	}
 }

@@ -13,12 +13,21 @@ package mkp
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Instance is an immutable 0-1 MKP instance. Weight is indexed [constraint][item].
 // BestKnown, when positive, records a reference objective value (an optimum
 // from the exact solver or a best-known bound) used for deviation reporting;
 // zero means unknown.
+//
+// The evaluator hot path (State.Add/Drop/Fits) never reads the row-major
+// Weight matrix: Finalize derives a flattened column-major copy plus per-item
+// pruning bounds, so one item's M coefficients are a single contiguous cache
+// run instead of M strided slice lookups. Weight remains the canonical
+// representation for I/O, validation, and column-indexed readers (bounds,
+// reduction, drop scoring). An instance must not be mutated after Finalize
+// (equivalently, after its first Validate or its first use by a solver).
 type Instance struct {
 	Name      string
 	N         int         // number of items (variables)
@@ -27,6 +36,54 @@ type Instance struct {
 	Weight    [][]float64 // a_ij, M rows of length N
 	Capacity  []float64   // b_i, length M
 	BestKnown float64
+
+	// Derived, built once by Finalize (nil until then).
+	WeightCol  []float64 // column-major a_ij: item j's M weights at [j*M:(j+1)*M]
+	MinWeight  []float64 // min_i a_ij per item: quick-reject bound for Fits
+	HeaviestIn []int32   // argmax_i a_ij per item: the constraint most likely to reject j
+
+	utilRank []int // items by decreasing pseudo-utility (shared, read-only)
+	finalize sync.Once
+}
+
+// Finalize builds the derived column-major layout and pruning bounds. It is
+// idempotent and safe for concurrent callers (the first caller builds, the
+// rest wait), so every solver entry point can call it defensively. Validate
+// and NewState both invoke it; constructors that bypass Validate (tests,
+// generators) get finalized on first evaluator use.
+func (ins *Instance) Finalize() {
+	ins.finalize.Do(func() {
+		m, n := ins.M, ins.N
+		col := make([]float64, n*m)
+		minW := make([]float64, n)
+		heaviest := make([]int32, n)
+		for j := 0; j < n; j++ {
+			base := j * m
+			lo, hi, hiAt := 0.0, -1.0, int32(0)
+			for i := 0; i < m; i++ {
+				a := ins.Weight[i][j]
+				col[base+i] = a
+				if i == 0 || a < lo {
+					lo = a
+				}
+				if a > hi {
+					hi, hiAt = a, int32(i)
+				}
+			}
+			minW[j] = lo
+			heaviest[j] = hiAt
+		}
+		ins.WeightCol = col
+		ins.MinWeight = minW
+		ins.HeaviestIn = heaviest
+		ins.utilRank = rankByUtility(ins)
+	})
+}
+
+// ItemWeights returns item j's M coefficients as one contiguous slice of the
+// column-major layout (read-only). The instance must be finalized.
+func (ins *Instance) ItemWeights(j int) []float64 {
+	return ins.WeightCol[j*ins.M : (j+1)*ins.M : (j+1)*ins.M]
 }
 
 // Validate checks structural consistency and the paper's positivity
@@ -71,6 +128,7 @@ func (ins *Instance) Validate() error {
 			return fmt.Errorf("mkp: instance %q capacity[%d]=%v, want > 0", ins.Name, i, b)
 		}
 	}
+	ins.Finalize()
 	return nil
 }
 
@@ -92,6 +150,9 @@ func (ins *Instance) Clone() *Instance {
 	}
 	for i, row := range ins.Weight {
 		c.Weight[i] = append([]float64(nil), row...)
+	}
+	if ins.WeightCol != nil {
+		c.Finalize()
 	}
 	return c
 }

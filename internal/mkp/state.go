@@ -25,6 +25,11 @@ func (s Solution) Clone() Solution {
 // incrementally, so Add/Drop cost O(m) and feasibility queries cost O(1)
 // amortized via the negative-slack counter.
 //
+// Add/Drop/Fits walk the instance's contiguous column-major WeightCol slice
+// (one cache run per item) rather than striding across the M row slices of
+// Weight; the instance is finalized by NewState. NaiveState is the retained
+// row-major reference implementation the differential tests compare against.
+//
 // A State may hold an infeasible assignment (negative slacks); strategic
 // oscillation depends on that (§3.2). Feasible() distinguishes the two.
 type State struct {
@@ -36,8 +41,10 @@ type State struct {
 	negative int // number of constraints with Slack < 0
 }
 
-// NewState returns an empty (all-zero, feasible) state for ins.
+// NewState returns an empty (all-zero, feasible) state for ins, finalizing
+// the instance's column-major layout if it has not been built yet.
 func NewState(ins *Instance) *State {
+	ins.Finalize()
 	s := &State{
 		Ins:   ins,
 		X:     bitset.New(ins.N),
@@ -58,10 +65,9 @@ func (s *State) Reset() {
 // slacks from scratch in O(n·m).
 func (s *State) Load(x *bitset.Set) {
 	s.Reset()
-	x.ForEach(func(j int) bool {
+	for j := x.NextSet(0); j >= 0; j = x.NextSet(j + 1) {
 		s.Add(j)
-		return true
-	})
+	}
 }
 
 // Snapshot returns an immutable copy of the current assignment and value.
@@ -76,10 +82,14 @@ func (s *State) Add(j int) {
 	}
 	s.X.Set(j)
 	s.Value += s.Ins.Profit[j]
-	for i := 0; i < s.Ins.M; i++ {
-		before := s.Slack[i]
-		s.Slack[i] -= s.Ins.Weight[i][j]
-		if before >= 0 && s.Slack[i] < 0 {
+	m := s.Ins.M
+	col := s.Ins.WeightCol[j*m : (j+1)*m]
+	slack := s.Slack[:m] // reslice so the column walk is provably in bounds
+	for i, a := range col {
+		before := slack[i]
+		after := before - a
+		slack[i] = after
+		if before >= 0 && after < 0 {
 			s.negative++
 		}
 	}
@@ -92,24 +102,50 @@ func (s *State) Drop(j int) {
 	}
 	s.X.Clear(j)
 	s.Value -= s.Ins.Profit[j]
-	for i := 0; i < s.Ins.M; i++ {
-		before := s.Slack[i]
-		s.Slack[i] += s.Ins.Weight[i][j]
-		if before < 0 && s.Slack[i] >= 0 {
+	m := s.Ins.M
+	col := s.Ins.WeightCol[j*m : (j+1)*m]
+	slack := s.Slack[:m]
+	for i, a := range col {
+		before := slack[i]
+		after := before + a
+		slack[i] = after
+		if before < 0 && after >= 0 {
 			s.negative--
 		}
 	}
 }
 
 // Fits reports whether item j (currently out) can be added without violating
-// any constraint.
+// any constraint. It probes the item's heaviest constraint first — the one
+// most likely to reject it — then walks the contiguous column.
 func (s *State) Fits(j int) bool {
-	for i := 0; i < s.Ins.M; i++ {
-		if s.Ins.Weight[i][j] > s.Slack[i] {
+	m := s.Ins.M
+	col := s.Ins.WeightCol[j*m : (j+1)*m]
+	slack := s.Slack[:m]
+	if h := s.Ins.HeaviestIn[j]; col[h] > slack[h] {
+		return false
+	}
+	for i, a := range col {
+		if a > slack[i] {
 			return false
 		}
 	}
 	return true
+}
+
+// MaxSlack returns max_i slack_i. Combined with Instance.MinWeight it gives
+// the add-phase quick reject: when MinWeight[j] > MaxSlack(), item j exceeds
+// every constraint's remaining room, so Fits(j) is certainly false and the
+// O(m) column walk can be skipped after a single compare. The bound is
+// conservative in the other direction (passing it does not imply fitting).
+func (s *State) MaxSlack() float64 {
+	ms := math.Inf(-1)
+	for _, sl := range s.Slack {
+		if sl > ms {
+			ms = sl
+		}
+	}
+	return ms
 }
 
 // Feasible reports whether every constraint is satisfied.
@@ -149,13 +185,14 @@ func (s *State) MostSaturated() int {
 func (s *State) Recompute() float64 {
 	value := 0.0
 	slack := append([]float64(nil), s.Ins.Capacity...)
-	s.X.ForEach(func(j int) bool {
+	m := s.Ins.M
+	for j := s.X.NextSet(0); j >= 0; j = s.X.NextSet(j + 1) {
 		value += s.Ins.Profit[j]
-		for i := 0; i < s.Ins.M; i++ {
-			slack[i] -= s.Ins.Weight[i][j]
+		col := s.Ins.WeightCol[j*m : (j+1)*m]
+		for i, a := range col {
+			slack[i] -= a
 		}
-		return true
-	})
+	}
 	drift := math.Abs(value - s.Value)
 	for i := range slack {
 		if d := math.Abs(slack[i] - s.Slack[i]); d > drift {
@@ -178,10 +215,10 @@ func (s *State) Recompute() float64 {
 func IsFeasibleAssignment(ins *Instance, x *bitset.Set) bool {
 	for i := 0; i < ins.M; i++ {
 		load := 0.0
-		x.ForEach(func(j int) bool {
-			load += ins.Weight[i][j]
-			return true
-		})
+		row := ins.Weight[i]
+		for j := x.NextSet(0); j >= 0; j = x.NextSet(j + 1) {
+			load += row[j]
+		}
 		if load > ins.Capacity[i] {
 			return false
 		}
@@ -192,9 +229,8 @@ func IsFeasibleAssignment(ins *Instance, x *bitset.Set) bool {
 // ValueOf returns Σ_j c_j x_j evaluated from scratch.
 func ValueOf(ins *Instance, x *bitset.Set) float64 {
 	v := 0.0
-	x.ForEach(func(j int) bool {
+	for j := x.NextSet(0); j >= 0; j = x.NextSet(j + 1) {
 		v += ins.Profit[j]
-		return true
-	})
+	}
 	return v
 }

@@ -12,9 +12,10 @@ import (
 // SGP measures its Hamming diameter to decide whether a slave has been
 // exploring or circling (§4.2).
 type Pool struct {
-	cap  int
-	sols []mkp.Solution
-	keys map[string]bool
+	cap    int
+	sols   []mkp.Solution
+	keys   map[string]bool
+	keyBuf []byte // scratch for allocation-free duplicate lookups
 }
 
 // NewPool returns a pool holding at most capacity solutions. capacity < 1 is
@@ -28,20 +29,26 @@ func NewPool(capacity int) *Pool {
 
 // Offer inserts a snapshot of sol if it is distinct and good enough to rank
 // among the B best. It reports whether the pool changed.
+//
+// Offer sits on the search hot path (it is probed after every compound move),
+// so the duplicate check uses bitset.AppendKey into a reused scratch buffer:
+// the map[string] lookup via string(buf) compiles to an allocation-free
+// access, and a key string is only materialized for genuinely new entries.
 func (p *Pool) Offer(sol mkp.Solution) bool {
 	if len(p.sols) == p.cap && sol.Value <= p.sols[len(p.sols)-1].Value {
 		return false
 	}
-	key := sol.X.Key()
-	if p.keys[key] {
+	p.keyBuf = sol.X.AppendKey(p.keyBuf[:0])
+	if p.keys[string(p.keyBuf)] {
 		return false
 	}
-	p.keys[key] = true
+	p.keys[string(p.keyBuf)] = true
 	p.sols = append(p.sols, sol.Clone())
 	sort.SliceStable(p.sols, func(a, b int) bool { return p.sols[a].Value > p.sols[b].Value })
 	if len(p.sols) > p.cap {
 		evicted := p.sols[len(p.sols)-1]
-		delete(p.keys, evicted.X.Key())
+		p.keyBuf = evicted.X.AppendKey(p.keyBuf[:0])
+		delete(p.keys, string(p.keyBuf))
 		p.sols = p.sols[:len(p.sols)-1]
 	}
 	return true

@@ -234,15 +234,20 @@ func (s *Searcher) move(p Params, bestValue float64) {
 	// insertions); a tabu item may enter only under aspiration (it would
 	// beat the incumbent). AddNoise occasionally skips a candidate for one
 	// pass, so ties on pseudo-utility break differently across slaves and
-	// rounds.
+	// rounds. The MinWeight/MaxSlack quick reject prunes candidates that
+	// cannot fit under any constraint with one compare instead of an O(m)
+	// Fits probe; it only replaces Fits=false outcomes, so the RNG stream
+	// and the resulting trajectory are unchanged.
+	minW := s.ins.MinWeight
 	inserted := 0
 	for {
 		added := false
+		maxSlack := s.st.MaxSlack()
 		for _, j := range s.rank {
 			if p.CandWidth > 0 && inserted >= p.CandWidth {
 				break
 			}
-			if s.st.X.Get(j) || !s.st.Fits(j) {
+			if minW[j] > maxSlack || s.st.X.Get(j) || !s.st.Fits(j) {
 				continue
 			}
 			if p.AddNoise > 0 && s.r.Bool(p.AddNoise) {
@@ -257,6 +262,7 @@ func (s *Searcher) move(p Params, bestValue float64) {
 			}
 			s.st.Add(j)
 			inserted++
+			maxSlack = s.st.MaxSlack()
 			if useREM {
 				s.flipBuf = append(s.flipBuf, j)
 			} else {
@@ -269,10 +275,9 @@ func (s *Searcher) move(p Params, bestValue float64) {
 		}
 	}
 	s.moves++
-	s.st.X.ForEach(func(j int) bool {
+	for j := s.st.X.NextSet(0); j >= 0; j = s.st.X.NextSet(j + 1) {
 		s.history[j]++
-		return true
-	})
+	}
 	if useREM {
 		s.rem.record(s.flipBuf)
 	}
@@ -302,7 +307,7 @@ func (s *Searcher) pickDrop(i int, useREM bool, noise float64) int {
 	best, second, bestTabu := -1, -1, -1
 	var bestScore, secondScore, bestTabuScore float64
 	row := s.ins.Weight[i]
-	s.st.X.ForEach(func(j int) bool {
+	for j := s.st.X.NextSet(0); j >= 0; j = s.st.X.NextSet(j + 1) {
 		score := row[j] / s.ins.Profit[j]
 		blocked := s.tabuDrop[j] > s.moves
 		if useREM && !blocked {
@@ -319,8 +324,7 @@ func (s *Searcher) pickDrop(i int, useREM bool, noise float64) int {
 		case second == -1 || score > secondScore:
 			second, secondScore = j, score
 		}
-		return true
-	})
+	}
 	if best == -1 {
 		return bestTabu
 	}
@@ -365,12 +369,14 @@ func (s *Searcher) intensifySwap(local mkp.Solution, best *mkp.Solution, pool *P
 	for improved {
 		improved = false
 		packed := s.st.X.Indices(s.idxBuf[:0])
+		minW := s.ins.MinWeight
 		for _, i := range packed {
 			ci := s.ins.Profit[i]
 			s.st.Drop(i)
+			maxSlack := s.st.MaxSlack()
 			swapped := false
 			for _, j := range s.rank {
-				if s.st.X.Get(j) || s.ins.Profit[j] <= ci {
+				if minW[j] > maxSlack || s.st.X.Get(j) || s.ins.Profit[j] <= ci {
 					continue
 				}
 				if s.st.Fits(j) {
@@ -397,6 +403,7 @@ func (s *Searcher) intensifySwap(local mkp.Solution, best *mkp.Solution, pool *P
 // correlated instances.
 func (s *Searcher) refillSweep() {
 	packed := s.st.X.Indices(nil)
+	minW := s.ins.MinWeight
 	var added []int
 	for _, i := range packed {
 		if !s.st.X.Get(i) {
@@ -404,12 +411,14 @@ func (s *Searcher) refillSweep() {
 		}
 		before := s.st.Value
 		s.st.Drop(i)
+		maxSlack := s.st.MaxSlack()
 		added = added[:0]
 		for _, j := range s.rank {
-			if j == i || s.st.X.Get(j) || !s.st.Fits(j) {
+			if minW[j] > maxSlack || j == i || s.st.X.Get(j) || !s.st.Fits(j) {
 				continue
 			}
 			s.st.Add(j)
+			maxSlack = s.st.MaxSlack()
 			added = append(added, j)
 		}
 		if s.st.Value > before {
