@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench kernel
+.PHONY: build vet test race check bench kernel chaos
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ check: build vet race bench
 # a smoke that they still compile and run, not a timing-quality measurement.
 bench:
 	$(GO) test ./internal/bench -run '^$$' -bench 'BenchmarkState|BenchmarkFits|BenchmarkAddPhase' -benchtime 100x -benchmem
+
+# chaos runs the fault-injection suite under the race detector: message
+# loss, duplication, crashed slaves, mid-rendezvous errors and the solution
+# aliasing regression.
+chaos:
+	$(GO) test -race -run Fault ./...
 
 # kernel regenerates the committed before/after baseline for the evaluator
 # hot path (optimized column-major kernel vs naive row-major reference).

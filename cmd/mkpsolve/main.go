@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bound"
 	"repro/internal/core"
+	"repro/internal/farm"
 	"repro/internal/gen"
 	"repro/internal/mkp"
 	"repro/internal/trace"
@@ -44,6 +46,12 @@ func main() {
 		solOut   = flag.String("sol", "", "write the best solution to this file (verify with mkpverify)")
 		ckptOut  = flag.String("checkpoint", "", "write the latest cooperative state to this file after every round")
 		resume   = flag.String("resume", "", "resume the cooperative state from a checkpoint file")
+
+		faultSeed = flag.Uint64("faults", 0, "seed for deterministic fault injection (synchronous solver; armed when any fault flag is set)")
+		dropRate  = flag.Float64("droprate", 0, "fault injection: probability a message is silently dropped")
+		dupRate   = flag.Float64("duprate", 0, "fault injection: probability a message is delivered twice")
+		crash     = flag.String("crash", "", "fault injection: comma-separated NODE@K specs; node goes fail-silent after K sends (slaves are nodes 1..P)")
+		slaveTO   = flag.Duration("slavetimeout", 0, "upper bound on the per-round rendezvous deadline under faults (0 = default 5s)")
 	)
 	flag.Parse()
 
@@ -75,6 +83,12 @@ func main() {
 	if *simLim > 0 {
 		opts.Rounds = 0 // let the simulated clock govern
 	}
+	if plan, err := faultPlan(*faultSeed, *dropRate, *dupRate, *crash); err != nil {
+		fatal(err)
+	} else {
+		opts.Faults = plan
+	}
+	opts.SlaveTimeout = *slaveTO
 	if *doTrace {
 		opts.Tracer = trace.NewWriter(os.Stderr)
 	}
@@ -109,6 +123,30 @@ func main() {
 	}
 	report(ins, algo.String(), res, *quiet)
 	writeSolution(*solOut, ins, res.Best)
+}
+
+// faultPlan assembles a farm.FaultPlan from the fault flags, or nil when none
+// is set (keeping the fault-free solver bitwise reproducible).
+func faultPlan(seed uint64, dropRate, dupRate float64, crash string) (*farm.FaultPlan, error) {
+	if seed == 0 && dropRate == 0 && dupRate == 0 && crash == "" {
+		return nil, nil
+	}
+	plan := &farm.FaultPlan{Seed: seed, DropRate: dropRate, DupRate: dupRate}
+	if crash != "" {
+		plan.CrashAt = make(map[int]int64)
+		for _, spec := range strings.Split(crash, ",") {
+			var node int
+			var k int64
+			if _, err := fmt.Sscanf(strings.TrimSpace(spec), "%d@%d", &node, &k); err != nil {
+				return nil, fmt.Errorf("bad -crash spec %q, want NODE@K (e.g. 3@0)", spec)
+			}
+			plan.CrashAt[node] = k
+		}
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
 }
 
 func loadInstance(genSize string, seed uint64, index int, args []string) (*mkp.Instance, error) {
@@ -159,6 +197,10 @@ func report(ins *mkp.Instance, algo string, res *core.Result, quiet bool) {
 			res.Stats.SimElapsed.Round(time.Millisecond))
 	}
 	fmt.Printf("comm       %d messages, %d bytes\n", res.Stats.Messages, res.Stats.BytesSent)
+	if res.Stats.DroppedMessages > 0 || res.Stats.SlaveFailures > 0 || res.Stats.DeadSlaves > 0 {
+		fmt.Printf("faults     %d dropped msgs, %d lost rounds, %d redispatches, %d dead slaves\n",
+			res.Stats.DroppedMessages, res.Stats.SlaveFailures, res.Stats.Redispatches, res.Stats.DeadSlaves)
+	}
 	fmt.Printf("tuning     %d replacements, %d restarts, %d strategy resets\n",
 		res.Stats.Replacements, res.Stats.RandomRestarts, res.Stats.StrategyResets)
 	if len(res.Stats.BestByRound) > 1 {

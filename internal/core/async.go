@@ -189,25 +189,29 @@ func asyncPeer(net *farm.Farm, id int, ins *mkp.Instance, opts AsyncOptions, r *
 		moved += res.Moves
 
 		// Publish a strict improvement, asynchronously: to every other peer
-		// (full crossbar) or to the two ring neighbors.
+		// (full crossbar) or to the two ring neighbors. Each recipient gets
+		// its own clone: a shared bitset would alias this peer's working
+		// copy across goroutines, and a peer that forwards or adopts the
+		// message must be able to treat it as exclusively owned.
 		if res.Best.Value > best.Value {
 			best = res.Best
 			stagnant = 0
 			for _, other := range asyncTargets(id, net.Nodes(), opts.Ring) {
-				net.Send(id, other, tagBest, best, farm.SizeOfSolution(ins.N))
+				net.Send(id, other, tagBest, best.Clone(), farm.SizeOfSolution(ins.N))
 			}
 		} else {
 			stagnant++
 		}
 
-		// Fold in anything peers sent while we were searching.
+		// Fold in anything peers sent while we were searching, cloning at
+		// the store boundary so the adopted solution is owned by this peer.
 		for {
 			msg, ok := net.TryRecv(id)
 			if !ok {
 				break
 			}
 			if sol, ok := msg.Payload.(mkp.Solution); ok && sol.Value > best.Value {
-				best = sol
+				best = sol.Clone()
 				stagnant = 0
 			}
 		}

@@ -28,6 +28,15 @@ type Checkpoint struct {
 	Strategies []tabu.Strategy  `json:"strategies"`
 	Scores     []int            `json:"scores"`
 	Stagnation []int            `json:"stagnation"`
+	// BestByRound is the quality trajectory up to the snapshot, so a resumed
+	// run appends to it instead of restarting the round numbering.
+	BestByRound []float64 `json:"best_by_round,omitempty"`
+	// Extended-tuning state (meaningful under Options.ExtendedTuning; always
+	// captured so a checkpoint is complete either way). Absent in pre-PR2
+	// checkpoints, in which case a resumed run falls back to base defaults.
+	Modes  []int     `json:"modes,omitempty"`
+	Noises []float64 `json:"noises,omitempty"`
+	Widths []int     `json:"widths,omitempty"`
 }
 
 // SolutionRecord is the serialized form of a solution: the assignment as a
@@ -42,12 +51,16 @@ func recordOf(sol mkp.Solution) SolutionRecord {
 	return SolutionRecord{Bits: sol.X.String(), Value: sol.Value}
 }
 
-// solutionOf deserializes a record, validating length and bit characters.
-func solutionOf(rec SolutionRecord, n int) (mkp.Solution, error) {
-	if len(rec.Bits) != n {
-		return mkp.Solution{}, fmt.Errorf("core: checkpoint solution has %d bits, instance has %d", len(rec.Bits), n)
+// solutionOf deserializes a record against the instance, validating length
+// and bit characters. The objective value is recomputed from the bits — the
+// serialized value is never trusted, so a stale or hand-edited checkpoint
+// cannot poison the master's incumbent with an inflated number — and an
+// assignment that violates a constraint is rejected outright.
+func solutionOf(rec SolutionRecord, ins *mkp.Instance) (mkp.Solution, error) {
+	if len(rec.Bits) != ins.N {
+		return mkp.Solution{}, fmt.Errorf("core: checkpoint solution has %d bits, instance has %d", len(rec.Bits), ins.N)
 	}
-	x := bitset.New(n)
+	x := bitset.New(ins.N)
 	for j, c := range rec.Bits {
 		switch c {
 		case '1':
@@ -57,7 +70,10 @@ func solutionOf(rec SolutionRecord, n int) (mkp.Solution, error) {
 			return mkp.Solution{}, fmt.Errorf("core: checkpoint bit %q at %d", c, j)
 		}
 	}
-	return mkp.Solution{X: x, Value: rec.Value}, nil
+	if !mkp.IsFeasibleAssignment(ins, x) {
+		return mkp.Solution{}, fmt.Errorf("core: checkpoint solution is infeasible for this instance")
+	}
+	return mkp.Solution{X: x, Value: mkp.ValueOf(ins, x)}, nil
 }
 
 // checkpoint snapshots the master's current state.
@@ -73,6 +89,12 @@ func (m *master) checkpoint() *Checkpoint {
 		Strategies: append([]tabu.Strategy(nil), m.strategies...),
 		Scores:     append([]int(nil), m.scores...),
 		Stagnation: append([]int(nil), m.stagnation...),
+		BestByRound: append([]float64(nil), m.stats.BestByRound...),
+		Noises:      append([]float64(nil), m.noises...),
+		Widths:      append([]int(nil), m.widths...),
+	}
+	for _, mode := range m.modes {
+		c.Modes = append(c.Modes, int(mode))
 	}
 	for _, s := range m.starts {
 		c.Starts = append(c.Starts, recordOf(s))
@@ -98,7 +120,22 @@ func (m *master) restore(c *Checkpoint) error {
 	if len(c.Starts) != c.P || len(c.Strategies) != c.P || len(c.Scores) != c.P || len(c.Stagnation) != c.P {
 		return fmt.Errorf("core: checkpoint slave arrays inconsistent with P=%d", c.P)
 	}
-	best, err := solutionOf(c.Best, m.ins.N)
+	if c.Round < 0 {
+		return fmt.Errorf("core: checkpoint round %d < 0", c.Round)
+	}
+	// The extended-tuning arrays are optional (absent in older checkpoints)
+	// but must be consistent with P when present.
+	for name, l := range map[string]int{"modes": len(c.Modes), "noises": len(c.Noises), "widths": len(c.Widths)} {
+		if l != 0 && l != c.P {
+			return fmt.Errorf("core: checkpoint %s has %d entries, want %d", name, l, c.P)
+		}
+	}
+	for i, mode := range c.Modes {
+		if mode < int(tabu.IntensifySwap) || mode > int(tabu.IntensifyBoth) {
+			return fmt.Errorf("core: checkpoint mode %d for slave %d out of range", mode, i)
+		}
+	}
+	best, err := solutionOf(c.Best, m.ins)
 	if err != nil {
 		return err
 	}
@@ -112,13 +149,24 @@ func (m *master) restore(c *Checkpoint) error {
 	copy(m.strategies, c.Strategies)
 	copy(m.scores, c.Scores)
 	copy(m.stagnation, c.Stagnation)
+	for i, mode := range c.Modes {
+		m.modes[i] = tabu.IntensifyMode(mode)
+	}
+	copy(m.noises, c.Noises)
+	copy(m.widths, c.Widths)
 	for i, rec := range c.Starts {
-		sol, err := solutionOf(rec, m.ins.N)
+		sol, err := solutionOf(rec, m.ins)
 		if err != nil {
 			return fmt.Errorf("core: checkpoint start %d: %w", i, err)
 		}
 		m.starts[i] = sol
 	}
+	// Continue the run instead of restarting it: the round counter and the
+	// quality trajectory pick up where the snapshot left off, so round
+	// budgets, trace round numbers and BestByRound stay contiguous across a
+	// crash/resume boundary.
+	m.stats.Rounds = c.Round
+	m.stats.BestByRound = append([]float64(nil), c.BestByRound...)
 	return nil
 }
 

@@ -47,11 +47,27 @@ func TestResumeContinuesFromCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if cp.Round != 5 || len(cp.BestByRound) != 5 {
+		t.Fatalf("checkpoint snapshot wrong: round=%d trajectory=%d", cp.Round, len(cp.BestByRound))
+	}
+	// Rounds is the cumulative total: a resumed run picks up at round 5 and
+	// runs 3 more, continuing the trajectory instead of renumbering it.
 	resumed, err := Solve(ins, CTS2, Options{
-		P: 3, Seed: 99, Rounds: 3, RoundMoves: 200, Resume: cp,
+		P: 3, Seed: 99, Rounds: 8, RoundMoves: 200, Resume: cp,
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if resumed.Stats.Rounds != 8 {
+		t.Fatalf("resumed run ended at round %d, want 8", resumed.Stats.Rounds)
+	}
+	if len(resumed.Stats.BestByRound) != 8 {
+		t.Fatalf("trajectory has %d entries, want 8", len(resumed.Stats.BestByRound))
+	}
+	for r, v := range cp.BestByRound {
+		if resumed.Stats.BestByRound[r] != v {
+			t.Fatalf("trajectory rewritten at round %d: %v != %v", r, resumed.Stats.BestByRound[r], v)
+		}
 	}
 	// The resumed run starts from the checkpointed best: it can never end
 	// below it.
@@ -64,6 +80,112 @@ func TestResumeContinuesFromCheckpoint(t *testing.T) {
 		if err := st.Validate(); err != nil {
 			t.Fatalf("resumed strategy %d invalid: %v", i, err)
 		}
+	}
+}
+
+func TestCheckpointExtendedTuningRoundTrip(t *testing.T) {
+	ins := testInstance(40, 4, 65)
+	var cp *Checkpoint
+	// InitialScore 1 makes SGP resets — and thus extended-tuning redraws —
+	// all but certain within six rounds.
+	_, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 7, Rounds: 6, RoundMoves: 150, ExtendedTuning: true, InitialScore: 1,
+		OnCheckpoint: func(c *Checkpoint) { cp = c },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Modes) != 3 || len(cp.Noises) != 3 || len(cp.Widths) != 3 {
+		t.Fatalf("extended-tuning state not captured: %+v", cp)
+	}
+
+	// The state must survive serialization …
+	var sb strings.Builder
+	if err := SaveCheckpoint(&sb, cp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// … and restore() must hand every slave exactly the modes, noises and
+	// widths it had at the snapshot.
+	opts := Options{P: 3, Seed: 99, Rounds: 9, RoundMoves: 150, ExtendedTuning: true, InitialScore: 1}
+	m := newMaster(ins, CTS2, opts.withDefaults(ins.N))
+	defer m.shutdown()
+	if err := m.restore(back); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if int(m.modes[i]) != cp.Modes[i] || m.noises[i] != cp.Noises[i] || m.widths[i] != cp.Widths[i] {
+			t.Fatalf("slave %d tuning state lost: mode %d/%d noise %v/%v width %d/%d",
+				i, m.modes[i], cp.Modes[i], m.noises[i], cp.Noises[i], m.widths[i], cp.Widths[i])
+		}
+	}
+	if m.stats.Rounds != cp.Round {
+		t.Fatalf("round counter not restored: %d != %d", m.stats.Rounds, cp.Round)
+	}
+
+	// A full resumed run continues the trajectory without a seam.
+	resumed, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 99, Rounds: 9, RoundMoves: 150, ExtendedTuning: true, InitialScore: 1, Resume: back,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stats.Rounds != 9 || len(resumed.Stats.BestByRound) != 9 {
+		t.Fatalf("resume did not continue: rounds=%d trajectory=%d", resumed.Stats.Rounds, len(resumed.Stats.BestByRound))
+	}
+	for r, v := range cp.BestByRound {
+		if resumed.Stats.BestByRound[r] != v {
+			t.Fatalf("trajectory rewritten at round %d", r)
+		}
+	}
+}
+
+func TestRestoreRecomputesValueAndRejectsInfeasible(t *testing.T) {
+	ins := testInstance(30, 3, 66)
+	var cp *Checkpoint
+	if _, err := Solve(ins, CTS2, Options{
+		P: 2, Seed: 3, Rounds: 3, RoundMoves: 120,
+		OnCheckpoint: func(c *Checkpoint) { cp = c },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// An inflated serialized objective must not poison the incumbent: the
+	// value is recomputed from the bits. Rounds == cp.Round runs zero extra
+	// rounds, so the result is exactly the restored state.
+	inflated := *cp
+	inflated.Best.Value = cp.Best.Value + 12345
+	resumed, err := Solve(ins, CTS2, Options{P: 2, Seed: 3, Rounds: cp.Round, RoundMoves: 120, Resume: &inflated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Best.Value != cp.Best.Value {
+		t.Fatalf("restored best %v, want recomputed %v", resumed.Best.Value, cp.Best.Value)
+	}
+
+	// An infeasible assignment (all items packed blows every 0.35-tight
+	// capacity) must be rejected outright.
+	bad := *cp
+	bad.Best.Bits = strings.Repeat("1", 30)
+	if _, err := Solve(ins, CTS2, Options{P: 2, Seed: 3, Rounds: 4, RoundMoves: 120, Resume: &bad}); err == nil {
+		t.Fatal("infeasible checkpoint solution accepted")
+	}
+
+	// Out-of-range extended-tuning mode must be rejected.
+	badMode := *cp
+	badMode.Modes = []int{0, 7}
+	if _, err := Solve(ins, CTS2, Options{P: 2, Seed: 3, Rounds: 4, RoundMoves: 120, Resume: &badMode}); err == nil {
+		t.Fatal("out-of-range intensify mode accepted")
+	}
+	// Negative round must be rejected.
+	badRound := *cp
+	badRound.Round = -1
+	if _, err := Solve(ins, CTS2, Options{P: 2, Seed: 3, Rounds: 4, RoundMoves: 120, Resume: &badRound}); err == nil {
+		t.Fatal("negative checkpoint round accepted")
 	}
 }
 

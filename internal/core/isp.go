@@ -18,6 +18,11 @@ import (
 //     StagnationLimit consecutive rounds (macro diversification).
 func (m *master) isp(results []*tabu.Result) {
 	for i, res := range results {
+		if res == nil {
+			// The slot's round was lost to a failure: keep its start and
+			// stagnation bookkeeping untouched for the next rendezvous.
+			continue
+		}
 		next := res.Best
 
 		// Rule 1: weak starts are replaced by the global best.
@@ -60,7 +65,11 @@ func (m *master) isp(results []*tabu.Result) {
 			}
 		}
 
-		m.starts[i] = next
-		m.prevStart[i] = next
+		// Clone at the store boundary: next may alias res.Best (which crossed
+		// from the slave goroutine) or m.best (which future rounds replace),
+		// and starts[i] is what dispatch ships out — possibly twice, under
+		// re-dispatch.
+		m.starts[i] = next.Clone()
+		m.prevStart[i] = m.starts[i]
 	}
 }

@@ -16,22 +16,30 @@ import (
 const (
 	tagStart  = "start"  // master -> slave: startMsg
 	tagResult = "result" // slave -> master: resultMsg
-	tagStop   = "stop"   // master -> slave: terminate
+	tagStop   = "stop"   // master -> slave: terminate (control plane)
 )
 
 // startMsg is what the master sends a slave at each rendezvous: an initial
 // solution, a full parameter set (strategy included) and a move budget
-// (Fig. 2: "Send Initial solutions and strategies to slaves").
+// (Fig. 2: "Send Initial solutions and strategies to slaves"). Slot names
+// the per-slave bookkeeping entry the work belongs to — normally the slave's
+// own, but a lost round may be re-dispatched to a different live slave.
+// Round stamps the rendezvous so the master can discard stale replies.
 type startMsg struct {
+	Slot   int
+	Round  int
 	Start  mkp.Solution
 	Params tabu.Params
 	Budget int64
 }
 
 // resultMsg is the slave's report: its round result or the error that ended
-// it.
+// it. Slot and Round echo the startMsg; Node is the worker that actually ran
+// the round (== Slot+1 unless the work was re-dispatched).
 type resultMsg struct {
-	Slave int
+	Slot  int
+	Node  int
+	Round int
 	Res   *tabu.Result
 	Err   error
 }
@@ -39,7 +47,9 @@ type resultMsg struct {
 // Solve runs the selected algorithm on the instance. The run is
 // deterministic for a fixed (algorithm, Options.Seed, Options.P): slave
 // streams are split from the seed and the master's decisions depend only on
-// per-slave results, never on message arrival order.
+// per-slave results, never on message arrival order. With Options.Faults set
+// the message loss schedule is still deterministic, but recovery (timeouts,
+// re-dispatch) depends on real time, so only fault-free runs replay bitwise.
 func Solve(ins *mkp.Instance, algo Algorithm, opts Options) (*Result, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
@@ -53,6 +63,11 @@ func Solve(ins *mkp.Instance, algo Algorithm, opts Options) (*Result, error) {
 	}
 	if err := opts.Base.Validate(); err != nil {
 		return nil, fmt.Errorf("core: base params: %w", err)
+	}
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, err
+		}
 	}
 
 	start := time.Now()
@@ -92,6 +107,18 @@ type master struct {
 	noises []float64
 	widths []int
 
+	// Fault-tolerance state. alive[i] is false once slave node i+1 has been
+	// declared dead; its slot is then excluded from dispatch (the run
+	// degrades to P−k slaves). nodeFail counts consecutive rounds a node
+	// stayed completely silent; deadAfterMisses in a row kill it. perMove
+	// is the measured real cost of one kernel move, the basis of the
+	// budget-proportional rendezvous deadline.
+	alive        []bool
+	nodeFail     []int
+	perMove      time.Duration
+	dispatchedAt []time.Time // when each slot's current order was sent
+	lastErr      error
+
 	best  mkp.Solution
 	alpha float64 // current ISP threshold; fixed unless AdaptiveAlpha
 	stats Stats
@@ -99,11 +126,15 @@ type master struct {
 
 func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
 	root := rng.New(opts.Seed)
+	farmOpts := []farm.Option{farm.WithLatency(opts.Latency)}
+	if opts.Faults != nil {
+		farmOpts = append(farmOpts, farm.WithFaults(opts.Faults))
+	}
 	m := &master{
 		ins:        ins,
 		algo:       algo,
 		opts:       opts,
-		net:        farm.New(opts.P+1, farm.WithLatency(opts.Latency)),
+		net:        farm.New(opts.P+1, farmOpts...),
 		r:          root.Split(),
 		strategies: make([]tabu.Strategy, opts.P),
 		starts:     make([]mkp.Solution, opts.P),
@@ -113,6 +144,9 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
 		modes:      make([]tabu.IntensifyMode, opts.P),
 		noises:     make([]float64, opts.P),
 		widths:     make([]int, opts.P),
+		alive:        make([]bool, opts.P),
+		nodeFail:     make([]int, opts.P),
+		dispatchedAt: make([]time.Time, opts.P),
 	}
 	m.stats.Algorithm = algo
 	m.stats.P = opts.P
@@ -129,6 +163,7 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
 		m.modes[i] = opts.Base.Intensify
 		m.noises[i] = opts.Base.AddNoise
 		m.widths[i] = opts.Base.CandWidth
+		m.alive[i] = true
 	}
 	m.best = m.starts[0].Clone()
 	for i := 1; i < opts.P; i++ {
@@ -147,12 +182,14 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
 
 // slave is the process each worker node runs: wait for a start order,
 // execute one tabu-search round, report the result, repeat until stopped.
+// The report echoes the order's slot and round so the master can route it to
+// the right bookkeeping entry and discard stale replies after re-dispatch.
 func slave(net *farm.Farm, node int, ins *mkp.Instance, r *rng.Rand) {
 	searcher, err := tabu.NewSearcher(ins, r.Uint64())
 	if err != nil {
 		// The master validated the instance; this is unreachable in normal
 		// operation but reported rather than swallowed.
-		net.Send(node, 0, tagResult, resultMsg{Slave: node - 1, Err: err}, 0)
+		net.Send(node, 0, tagResult, resultMsg{Slot: node - 1, Node: node, Round: -1, Err: err}, 0)
 		return
 	}
 	for {
@@ -167,7 +204,8 @@ func slave(net *farm.Farm, node int, ins *mkp.Instance, r *rng.Rand) {
 			if res != nil {
 				size = farm.SizeOfSolution(ins.N) * (1 + len(res.Pool))
 			}
-			net.Send(node, 0, tagResult, resultMsg{Slave: node - 1, Res: res, Err: err}, size)
+			rep := resultMsg{Slot: req.Slot, Node: node, Round: req.Round, Res: res, Err: err}
+			net.Send(node, 0, tagResult, rep, size)
 		}
 	}
 }
@@ -186,7 +224,27 @@ func (m *master) budgetFor(s tabu.Strategy) int64 {
 	return b
 }
 
-// run executes the master's iterative program (Fig. 2).
+// dispatch sends slot's round order to the given worker node.
+func (m *master) dispatch(slot, node, round int, budget int64) error {
+	params := m.opts.Base
+	params.Strategy = m.strategies[slot]
+	params.Tracer = m.opts.Tracer
+	params.TraceID = slot
+	if m.opts.ExtendedTuning {
+		params.Intensify = m.modes[slot]
+		params.AddNoise = m.noises[slot]
+		params.CandWidth = m.widths[slot]
+	}
+	// Clone at the send boundary: the payload crosses into the slave
+	// goroutine while the master keeps (and may re-send) its copy.
+	req := startMsg{Slot: slot, Round: round, Start: m.starts[slot].Clone(), Params: params, Budget: budget}
+	size := farm.SizeOfSolution(m.ins.N) + farm.SizeOfStrategy()
+	m.dispatchedAt[slot] = time.Now()
+	return m.net.Send(0, node, tagStart, req, size)
+}
+
+// run executes the master's iterative program (Fig. 2), resuming at the
+// checkpointed round when one was restored.
 func (m *master) run() (*Result, error) {
 	deadline := time.Time{}
 	if m.opts.TimeLimit > 0 {
@@ -196,44 +254,56 @@ func (m *master) run() (*Result, error) {
 	budgets := make([]int64, m.opts.P)
 
 	results := make([]*tabu.Result, m.opts.P)
-	for round := 0; round < m.opts.Rounds; round++ {
+	for round := m.stats.Rounds; round < m.opts.Rounds; round++ {
 		if m.opts.Tracer != nil {
 			m.opts.Tracer.Record(trace.Event{
 				Kind: trace.KindRoundStart, Actor: -1, Round: round, Value: m.best.Value,
 			})
 		}
-		// Dispatch: every slave gets its start, its strategy and its budget.
+		// Dispatch: every live slave gets its start, strategy and budget.
+		dispatched := 0
 		for i := 0; i < m.opts.P; i++ {
-			params := m.opts.Base
-			params.Strategy = m.strategies[i]
-			params.Tracer = m.opts.Tracer
-			params.TraceID = i
-			if m.opts.ExtendedTuning {
-				params.Intensify = m.modes[i]
-				params.AddNoise = m.noises[i]
-				params.CandWidth = m.widths[i]
+			results[i] = nil
+			budgets[i] = 0
+			if !m.alive[i] {
+				continue
 			}
 			budgets[i] = m.budgetFor(m.strategies[i])
-			req := startMsg{Start: m.starts[i], Params: params, Budget: budgets[i]}
-			size := farm.SizeOfSolution(m.ins.N) + farm.SizeOfStrategy()
-			if err := m.net.Send(0, i+1, tagStart, req, size); err != nil {
+			if err := m.dispatch(i, i+1, round, budgets[i]); err != nil {
 				return nil, err
 			}
+			dispatched++
 		}
-		// Rendezvous: wait for all P results (synchronous centralized
-		// scheme, §4.2).
-		for recvd := 0; recvd < m.opts.P; recvd++ {
-			msg := m.net.Recv(0)
-			rep := msg.Payload.(resultMsg)
-			if rep.Err != nil {
-				return nil, fmt.Errorf("core: slave %d: %w", rep.Slave, rep.Err)
+		if dispatched == 0 {
+			if m.lastErr != nil {
+				return nil, fmt.Errorf("core: all %d slaves failed: %w", m.opts.P, m.lastErr)
 			}
-			results[rep.Slave] = rep.Res
+			return nil, fmt.Errorf("core: all %d slaves failed", m.opts.P)
 		}
 
-		// Bookkeeping.
+		// Rendezvous: wait for the dispatched results (synchronous
+		// centralized scheme, §4.2), tolerating loss when faults are armed.
+		var hadFailure bool
+		if m.opts.Faults == nil {
+			hadFailure = m.collect(round, dispatched, results)
+		} else {
+			hadFailure = m.collectFaulty(round, budgets, results)
+		}
+		if hadFailure && m.opts.OnCheckpoint != nil {
+			// Resumable at the last good rendezvous even if the run dies
+			// before this round's bookkeeping completes.
+			m.opts.OnCheckpoint(m.checkpoint())
+		}
+
+		// Bookkeeping. A slot without a result this round keeps its previous
+		// start and strategy untouched.
 		prevBest := m.best.Value
-		for _, res := range results {
+		live := budgets[:0:0]
+		for i, res := range results {
+			if res == nil {
+				continue
+			}
+			live = append(live, budgets[i])
 			m.stats.TotalMoves += res.Moves
 			if res.Best.Value > m.best.Value {
 				m.best = res.Best.Clone()
@@ -241,7 +311,7 @@ func (m *master) run() (*Result, error) {
 		}
 		m.stats.Rounds = round + 1
 		m.stats.BestByRound = append(m.stats.BestByRound, m.best.Value)
-		m.stats.SimElapsed += clock.RoundDuration(m.ins.N, m.ins.M, budgets,
+		m.stats.SimElapsed += clock.RoundDuration(m.ins.N, m.ins.M, live,
 			farm.SizeOfSolution(m.ins.N), farm.SizeOfStrategy())
 		if m.opts.AdaptiveAlpha {
 			m.adaptAlpha(m.best.Value > prevBest)
@@ -251,8 +321,12 @@ func (m *master) run() (*Result, error) {
 		switch m.algo {
 		case SEQ, ITS:
 			// Independent threads simply continue from their own best.
+			// Clone at the store boundary: res.Best crossed goroutines and a
+			// later re-dispatch may ship starts[i] while it is still held.
 			for i, res := range results {
-				m.starts[i] = res.Best
+				if res != nil {
+					m.starts[i] = res.Best.Clone()
+				}
 			}
 		case CTS1, CTS2:
 			m.isp(results)
@@ -281,12 +355,244 @@ func (m *master) run() (*Result, error) {
 	fs := m.net.Stats()
 	m.stats.Messages = fs.Messages
 	m.stats.BytesSent = fs.Bytes
+	m.stats.DroppedMessages = fs.Dropped
 	m.stats.FinalAlpha = m.alpha
 	return &Result{
 		Best:       m.best,
 		Stats:      m.stats,
 		Strategies: append([]tabu.Strategy(nil), m.strategies...),
 	}, nil
+}
+
+// collect is the plain blocking rendezvous used when fault injection is off:
+// every dispatched order produces exactly one reply, so the master waits for
+// `dispatched` messages. This is byte-for-byte the pre-fault-tolerance
+// behavior — a fault-free run replays bitwise — except that a slave
+// reporting an error no longer aborts the whole cooperative run: the slave
+// is declared dead and the run degrades. It reports whether any failure
+// occurred.
+func (m *master) collect(round, dispatched int, results []*tabu.Result) bool {
+	hadFailure := false
+	for recvd := 0; recvd < dispatched; recvd++ {
+		msg := m.net.Recv(0)
+		rep := msg.Payload.(resultMsg)
+		if rep.Err != nil {
+			m.slaveDied(rep.Node-1, round, rep.Err)
+			m.slotFailed(rep.Slot, round)
+			hadFailure = true
+			continue
+		}
+		results[rep.Slot] = rep.Res
+	}
+	return hadFailure
+}
+
+// deadAfterMisses is how many consecutive completely-silent rounds a node
+// may have before the master declares it dead. On a merely lossy link a
+// whole round of silence means every attempt to the node was dropped —
+// unlucky but recoverable — so one or two are forgiven; a crashed node is
+// silent every round and crosses the threshold immediately.
+const deadAfterMisses = 3
+
+// collectFaulty is the deadline-driven rendezvous used when fault injection
+// is armed. Missing results are re-dispatched — first to the original slave
+// (the loss may have been a dropped message), then to a live slave that has
+// already reported this round — and abandoned once MaxRedispatch re-sends
+// are spent. A node that stays silent deadAfterMisses rounds in a row, or
+// reports an error, is declared dead and its slot excluded from future
+// rounds.
+func (m *master) collectFaulty(round int, budgets []int64, results []*tabu.Result) bool {
+	const (
+		pending = iota
+		done
+		abandoned
+	)
+	p := m.opts.P
+	state := make([]int, p)
+	attempts := make([]int, p)   // re-sends spent per slot this round
+	assigned := make([]int, p)   // node currently responsible for each slot
+	timedOut := make([]bool, p)  // node already charged a miss this round
+	var finished []int           // nodes that reported this round (borrow candidates)
+	borrow := 0
+	outstanding := 0
+	var maxBudget int64
+	for i := 0; i < p; i++ {
+		assigned[i] = i + 1
+		if m.alive[i] {
+			outstanding++
+			if budgets[i] > maxBudget {
+				maxBudget = budgets[i]
+			}
+		} else {
+			state[i] = abandoned
+		}
+	}
+
+	hadFailure := false
+	began := time.Now()
+	waitUntil := began.Add(m.timeoutFor(maxBudget))
+	for outstanding > 0 {
+		if wait := time.Until(waitUntil); wait > 0 {
+			msg, ok := m.net.RecvTimeout(0, wait)
+			if ok {
+				rep, isResult := msg.Payload.(resultMsg)
+				if !isResult {
+					continue
+				}
+				if rep.Err != nil {
+					hadFailure = true
+					m.slaveDied(rep.Node-1, round, rep.Err)
+					if s := rep.Slot; s >= 0 && s < p && state[s] == pending {
+						if m.redispatch(s, round, budgets, attempts, assigned, finished, &borrow) {
+							waitUntil = time.Now().Add(m.timeoutFor(maxBudget))
+						} else {
+							state[s] = abandoned
+							outstanding--
+							m.slotFailed(s, round)
+						}
+					}
+					continue
+				}
+				if rep.Round != round || rep.Slot < 0 || rep.Slot >= p || state[rep.Slot] != pending {
+					continue // stale round, duplicate, or already-abandoned slot
+				}
+				state[rep.Slot] = done
+				results[rep.Slot] = rep.Res
+				outstanding--
+				if n := rep.Node - 1; n >= 0 && n < p {
+					m.nodeFail[n] = 0
+					finished = append(finished, rep.Node)
+				}
+				// Calibrate the budget-proportional deadline from real
+				// arrivals, measured from the slot's own dispatch so waits
+				// on other slots don't inflate it; keep the largest
+				// observation so transient hiccups can only make later
+				// deadlines more generous.
+				if rep.Res != nil && rep.Res.Moves > 0 && !m.dispatchedAt[rep.Slot].IsZero() {
+					if per := time.Since(m.dispatchedAt[rep.Slot]) / time.Duration(rep.Res.Moves); per > m.perMove {
+						m.perMove = per
+					}
+				}
+				continue
+			}
+		}
+
+		// Deadline expired: every still-pending slot missed the rendezvous.
+		hadFailure = true
+		progressed := false
+		for s := 0; s < p; s++ {
+			if state[s] != pending {
+				continue
+			}
+			if m.opts.Tracer != nil {
+				m.opts.Tracer.Record(trace.Event{
+					Kind: trace.KindSlaveTimeout, Actor: -1, Round: round, Value: m.best.Value,
+					Detail: fmt.Sprintf("slot=%d node=%d attempt=%d", s, assigned[s], attempts[s]),
+				})
+			}
+			if n := assigned[s] - 1; n >= 0 && n < p && !timedOut[n] {
+				timedOut[n] = true
+				m.nodeFail[n]++
+				if m.nodeFail[n] >= deadAfterMisses && m.alive[n] {
+					m.slaveDied(n, round, nil)
+				}
+			}
+			if m.redispatch(s, round, budgets, attempts, assigned, finished, &borrow) {
+				progressed = true
+			} else {
+				state[s] = abandoned
+				outstanding--
+				m.slotFailed(s, round)
+			}
+		}
+		if progressed {
+			waitUntil = time.Now().Add(m.timeoutFor(maxBudget))
+		}
+	}
+	return hadFailure
+}
+
+// redispatch re-sends slot's round: the first retry goes back to the slot's
+// current node, later ones to live slaves that already reported this round.
+// It reports false when the retry budget is spent or no target exists.
+func (m *master) redispatch(slot, round int, budgets []int64, attempts, assigned []int, finished []int, borrow *int) bool {
+	for attempts[slot] < m.opts.MaxRedispatch {
+		attempts[slot]++
+		node := assigned[slot]
+		if attempts[slot] > 1 || !m.alive[node-1] {
+			// The original slave already had its chance (or is dead):
+			// borrow a live one that proved responsive this round.
+			if len(finished) == 0 {
+				if !m.alive[node-1] {
+					continue // no borrow target yet; spend another attempt
+				}
+			} else {
+				node = finished[*borrow%len(finished)]
+				*borrow++
+			}
+		}
+		assigned[slot] = node
+		m.stats.Redispatches++
+		if m.opts.Tracer != nil {
+			m.opts.Tracer.Record(trace.Event{
+				Kind: trace.KindRedispatch, Actor: -1, Round: round, Value: m.best.Value,
+				Detail: fmt.Sprintf("slot=%d node=%d attempt=%d", slot, node, attempts[slot]),
+			})
+		}
+		if err := m.dispatch(slot, node, round, budgets[slot]); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// slaveDied marks a node dead (err non-nil when the slave itself reported
+// one) and degrades the farm to the remaining live slaves.
+func (m *master) slaveDied(node, round int, err error) {
+	if node < 0 || node >= m.opts.P || !m.alive[node] {
+		return
+	}
+	m.alive[node] = false
+	m.stats.DeadSlaves++
+	if err != nil {
+		m.lastErr = fmt.Errorf("core: slave %d: %w", node, err)
+	}
+	if m.opts.Tracer != nil {
+		detail := fmt.Sprintf("node=%d missed %d deadlines", node+1, m.nodeFail[node])
+		if err != nil {
+			detail = fmt.Sprintf("node=%d error: %v", node+1, err)
+		}
+		m.opts.Tracer.Record(trace.Event{
+			Kind: trace.KindSlaveDead, Actor: -1, Round: round, Value: m.best.Value, Detail: detail,
+		})
+	}
+}
+
+// slotFailed records that a slot finished a round without a usable result.
+func (m *master) slotFailed(slot, round int) {
+	m.stats.SlaveFailures++
+	if m.opts.Tracer != nil {
+		m.opts.Tracer.Record(trace.Event{
+			Kind: trace.KindSlaveTimeout, Actor: -1, Round: round, Value: m.best.Value,
+			Detail: fmt.Sprintf("slot=%d abandoned for this round", slot),
+		})
+	}
+}
+
+// timeoutFor returns the rendezvous deadline for a round whose largest slave
+// budget is maxBudget. Until a round has completed, the configured
+// SlaveTimeout cap applies; afterwards the deadline is proportional to the
+// round's move budget via the measured per-move cost — a virtual-time
+// deadline that tracks budget changes instead of a fixed wall clock — and
+// SlaveTimeout remains the upper bound.
+func (m *master) timeoutFor(maxBudget int64) time.Duration {
+	if m.perMove > 0 && maxBudget > 0 {
+		est := 4*time.Duration(maxBudget)*m.perMove + 100*time.Millisecond
+		if est < m.opts.SlaveTimeout {
+			return est
+		}
+	}
+	return m.opts.SlaveTimeout
 }
 
 // adaptAlpha implements §4.2's dynamic control of the ISP threshold: rounds
@@ -312,9 +618,10 @@ func (m *master) adaptAlpha(improved bool) {
 	}
 }
 
-// shutdown stops all slave goroutines.
+// shutdown stops all slave goroutines. The stop order rides the control
+// plane so a lossy or crashed link cannot leak a slave goroutine.
 func (m *master) shutdown() {
 	for i := 0; i < m.opts.P; i++ {
-		m.net.Send(0, i+1, tagStop, nil, 0)
+		m.net.SendControl(0, i+1, tagStop, nil, 0)
 	}
 }

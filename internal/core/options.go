@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/farm"
 	"repro/internal/mkp"
 	"repro/internal/tabu"
 	"repro/internal/trace"
@@ -129,7 +130,32 @@ type Options struct {
 	// clock either way.
 	SimBudget time.Duration
 	// Latency injects a per-message delay in the farm substrate (0 = none).
+	// The delay is charged on the delivery side, so the master's dispatch
+	// fan-out is never serialized by it.
 	Latency time.Duration
+	// Faults, when non-nil, installs a deterministic fault injector in the
+	// farm substrate (seeded per-link message drop/duplication, per-node
+	// crash-after-k-sends, per-node slowdown) AND arms the master's
+	// fault-tolerant rendezvous: per-round slave deadlines, re-dispatch of
+	// lost rounds to live slaves, and graceful degradation to P−k slaves.
+	// When nil the master uses the plain blocking rendezvous, so fault-free
+	// runs replay bitwise identically. Failures are counted in Stats
+	// (SlaveFailures, Redispatches, DroppedMessages) and emitted as trace
+	// events; OnCheckpoint fires as soon as a failure is detected so a
+	// degraded run is resumable at the last good rendezvous.
+	Faults *farm.FaultPlan
+	// SlaveTimeout caps how long the master waits at a rendezvous for a
+	// missing result before re-dispatching or degrading (only used when
+	// Faults is set). It is an upper bound: once a round has completed, the
+	// deadline adapts to the measured per-move cost scaled by the round's
+	// move budget, so it tracks the virtual (budget-proportional) round
+	// length rather than a fixed wall clock. Default 5s.
+	SlaveTimeout time.Duration
+	// MaxRedispatch is how many times one slot's round may be re-sent after
+	// its deadline expires before the round is abandoned for that slot
+	// (only used when Faults is set). Default 2: once to the original slave,
+	// once to a borrowed live slave.
+	MaxRedispatch int
 	// EqualWork divides each slave's budget by P so every algorithm consumes
 	// the same *total* number of moves. The default (false) is the paper's
 	// fixed-wall-clock protocol, where P processors do P times the work of
@@ -181,6 +207,12 @@ func (o Options) withDefaults(n int) Options {
 	if o.Base.BBest == 0 { // zero value => defaults
 		o.Base = tabu.DefaultParams(n)
 	}
+	if o.SlaveTimeout <= 0 {
+		o.SlaveTimeout = 5 * time.Second
+	}
+	if o.MaxRedispatch <= 0 {
+		o.MaxRedispatch = 2
+	}
 	return o
 }
 
@@ -195,6 +227,10 @@ type Stats struct {
 	Replacements   int       // ISP global-best substitutions
 	RandomRestarts int       // ISP random-solution substitutions
 	StrategyResets int       // SGP strategy regenerations
+	SlaveFailures  int       // rounds a slot ended without a usable result (timeout exhausted or slave error)
+	Redispatches   int       // start messages re-sent after a missed deadline
+	DroppedMessages int64    // farm messages swallowed by the fault injector
+	DeadSlaves     int       // slaves declared dead (the run degraded to P − DeadSlaves)
 	BestByRound    []float64 // global best after each round (the quality trajectory)
 	FinalAlpha     float64   // Alpha at the end of the run (moves only under AdaptiveAlpha)
 	Elapsed        time.Duration

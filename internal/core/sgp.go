@@ -34,6 +34,9 @@ func (m *master) sgp(results []*tabu.Result) {
 	}
 
 	for i, res := range results {
+		if res == nil {
+			continue // lost round: the slot's strategy and score are frozen
+		}
 		if res.Improved {
 			m.scores[i]++
 		} else {

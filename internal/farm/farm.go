@@ -1,13 +1,30 @@
 // Package farm is the in-process stand-in for the paper's execution
 // environment: a farm of 16 Alpha processors exchanging PVM messages over a
-// 16×16 crossbar (§5). Nodes are goroutines, links are buffered channels, and
+// 16×16 crossbar (§5). Nodes are goroutines, links are FIFO mailboxes, and
 // every send is accounted (message and byte counters per directed link) so
 // the experiment harness can report the communication volume the cooperative
-// scheme generates. An optional injected per-message latency models a slower
-// interconnect for ablations.
+// scheme generates.
+//
+// Two substrate behaviors model the realities of a 1997 workstation farm:
+//
+//   - Injected per-message latency is charged on the DELIVERY side: Send
+//     stamps a due time and returns immediately, and the receiver waits until
+//     the message is due. A slow interconnect therefore delays the receiver,
+//     not the sender — the master can fan out a whole round of dispatches
+//     without serializing on the simulated wire.
+//
+//   - A deterministic fault injector (FaultPlan) models lossy links and dead
+//     nodes: seeded per-link message drop and duplication, per-node
+//     crash-after-k-sends (the node goes fail-silent: later sends are
+//     swallowed), and per-node delivery slowdown factors. Every decision is
+//     drawn from a per-link stream derived from the plan's seed, so a fault
+//     schedule replays identically for a fixed plan regardless of goroutine
+//     interleaving across links.
 //
 // The paper's master–slave scheme is synchronous and centralized; the
-// decentralized asynchronous extension polls with TryRecv. Both are supported.
+// decentralized asynchronous extension polls with TryRecv. Both are
+// supported, and RecvTimeout supports masters that must survive slaves that
+// never report.
 package farm
 
 import (
@@ -15,6 +32,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // Message is one typed datagram between nodes.
@@ -23,54 +42,175 @@ type Message struct {
 	Tag      string
 	Payload  any
 	Size     int // accounted payload size in bytes
+
+	deliverAt time.Time // zero when the message is due immediately
 }
 
-// Farm connects n nodes (0..n-1) with a full crossbar of buffered links.
+// FaultPlan configures deterministic fault injection. The zero plan injects
+// nothing; rates are probabilities in [0, 1]. All decisions are drawn from
+// per-directed-link streams seeded from Seed, so two farms with the same plan
+// see the same drops and duplications on each link in the same order.
+type FaultPlan struct {
+	// Seed derives every per-link decision stream.
+	Seed uint64
+	// DropRate is the probability that a message is silently discarded.
+	DropRate float64
+	// DupRate is the probability that a message is delivered twice.
+	DupRate float64
+	// CrashAt maps a node to the number of messages it may send before going
+	// fail-silent: sends beyond the budget are swallowed (the node keeps
+	// receiving and computing, but the rest of the farm never hears from it
+	// again — how a partitioned or dead PVM task appears to its peers).
+	// A budget of 0 crashes the node before its first send.
+	CrashAt map[int]int64
+	// Slowdown maps a node to a factor multiplying the farm's injected
+	// latency for messages it sends (a slow workstation on a shared link).
+	// Factors below 1 are ignored; with zero base latency there is nothing
+	// to slow down.
+	Slowdown map[int]float64
+}
+
+// Validate rejects out-of-range rates and factors.
+func (p *FaultPlan) Validate() error {
+	if p.DropRate < 0 || p.DropRate > 1 {
+		return fmt.Errorf("farm: DropRate %v outside [0,1]", p.DropRate)
+	}
+	if p.DupRate < 0 || p.DupRate > 1 {
+		return fmt.Errorf("farm: DupRate %v outside [0,1]", p.DupRate)
+	}
+	for node, k := range p.CrashAt {
+		if k < 0 {
+			return fmt.Errorf("farm: CrashAt[%d] = %d < 0", node, k)
+		}
+	}
+	return nil
+}
+
+// mailbox is one node's FIFO delivery queue. Senders block while the queue
+// is at capacity; receivers wait on an arrival token. Waiters always re-check
+// the queue after waking, so a coalesced token can never strand a message.
+type mailbox struct {
+	mu      sync.Mutex
+	notFull *sync.Cond
+	queue   []Message
+	cap     int
+	arrival chan struct{} // 1-token wakeup for receivers
+}
+
+func newMailbox(capacity int) *mailbox {
+	b := &mailbox{cap: capacity, arrival: make(chan struct{}, 1)}
+	b.notFull = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m Message) {
+	b.mu.Lock()
+	for len(b.queue) >= b.cap {
+		b.notFull.Wait()
+	}
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	b.signal()
+}
+
+func (b *mailbox) signal() {
+	select {
+	case b.arrival <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes the head message. When dueOnly is set, a head that is not yet
+// due is left in place (TryRecv semantics); otherwise the caller is expected
+// to sleep out the remaining delivery delay.
+func (b *mailbox) pop(dueOnly bool) (Message, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.queue) == 0 {
+		return Message{}, false
+	}
+	m := b.queue[0]
+	if dueOnly && time.Until(m.deliverAt) > 0 {
+		return Message{}, false
+	}
+	copy(b.queue, b.queue[1:])
+	b.queue = b.queue[:len(b.queue)-1]
+	b.notFull.Broadcast()
+	if len(b.queue) > 0 {
+		b.signal() // keep the token alive for coalesced arrivals
+	}
+	return m, true
+}
+
+// Farm connects n nodes (0..n-1) with a full crossbar of FIFO mailboxes.
 type Farm struct {
 	n       int
 	latency time.Duration
-	boxes   []chan Message
+	boxCap  int
+	boxes   []*mailbox
+	faults  *FaultPlan
 
-	msgs  atomic.Int64
-	bytes atomic.Int64
+	msgs    atomic.Int64
+	bytes   atomic.Int64
+	dropped atomic.Int64
+	dups    atomic.Int64
 
 	mu       sync.Mutex
 	linkMsgs map[[2]int]int64
+	linkRng  map[[2]int]*rng.Rand
+	sent     []int64 // per-node send count, for CrashAt accounting
 }
 
 // Option configures a Farm.
 type Option func(*Farm)
 
-// WithLatency makes every Send sleep for d before delivery, modeling link
-// latency. The default is zero (in-process speed).
+// WithLatency makes every delivery due d after its send, modeling link
+// latency. The delay is charged to the receiver (delivery side), not the
+// sender. The default is zero (in-process speed).
 func WithLatency(d time.Duration) Option {
 	return func(f *Farm) { f.latency = d }
 }
 
-// WithMailboxSize sets each node's mailbox capacity (default 1024).
+// WithMailboxSize sets each node's mailbox capacity (default 1024). Senders
+// block while the destination mailbox is full.
 func WithMailboxSize(size int) Option {
 	return func(f *Farm) {
-		for i := range f.boxes {
-			f.boxes[i] = make(chan Message, size)
+		if size > 0 {
+			f.boxCap = size
 		}
 	}
 }
 
-// New creates a farm of n nodes. It panics if n < 1.
+// WithFaults installs a deterministic fault plan. New panics if the plan is
+// invalid (a configuration error, like a non-positive node count).
+func WithFaults(p *FaultPlan) Option {
+	return func(f *Farm) { f.faults = p }
+}
+
+// New creates a farm of n nodes. It panics if n < 1 or if a configured fault
+// plan is invalid.
 func New(n int, opts ...Option) *Farm {
 	if n < 1 {
 		panic(fmt.Sprintf("farm: need at least one node, got %d", n))
 	}
 	f := &Farm{
 		n:        n,
-		boxes:    make([]chan Message, n),
+		boxCap:   1024,
 		linkMsgs: make(map[[2]int]int64),
-	}
-	for i := range f.boxes {
-		f.boxes[i] = make(chan Message, 1024)
+		sent:     make([]int64, n),
 	}
 	for _, o := range opts {
 		o(f)
+	}
+	if f.faults != nil {
+		if err := f.faults.Validate(); err != nil {
+			panic(err.Error())
+		}
+		f.linkRng = make(map[[2]int]*rng.Rand)
+	}
+	f.boxes = make([]*mailbox, n)
+	for i := range f.boxes {
+		f.boxes[i] = newMailbox(f.boxCap)
 	}
 	return f
 }
@@ -78,61 +218,149 @@ func New(n int, opts ...Option) *Farm {
 // Nodes returns the number of nodes.
 func (f *Farm) Nodes() int { return f.n }
 
-// Send delivers a message from node `from` to node `to`. size is the
-// accounted payload size in bytes (use SizeOfSolution and friends). Send
-// blocks only when the destination mailbox is full.
+// Send delivers a message from node `from` to node `to`, subject to the
+// configured fault plan. size is the accounted payload size in bytes (use
+// SizeOfSolution and friends). Send blocks only when the destination mailbox
+// is full; injected latency delays the receiver, never the sender. A dropped
+// or crashed-sender message returns nil — exactly what the sender of a lost
+// datagram observes.
 func (f *Farm) Send(from, to int, tag string, payload any, size int) error {
+	return f.send(from, to, tag, payload, size, false)
+}
+
+// SendControl is Send minus the fault injector: an out-of-band control-plane
+// message (PVM host operations, in-process teardown) that lossy links and
+// crashed nodes cannot swallow. Use it for shutdown so chaos runs always
+// terminate.
+func (f *Farm) SendControl(from, to int, tag string, payload any, size int) error {
+	return f.send(from, to, tag, payload, size, true)
+}
+
+func (f *Farm) send(from, to int, tag string, payload any, size int, control bool) error {
 	if from < 0 || from >= f.n || to < 0 || to >= f.n {
 		return fmt.Errorf("farm: bad endpoints %d -> %d (n=%d)", from, to, f.n)
 	}
-	if f.latency > 0 {
-		time.Sleep(f.latency)
+	delay := f.latency
+	copies := 1
+	if f.faults != nil && !control {
+		f.mu.Lock()
+		f.sent[from]++
+		if k, ok := f.faults.CrashAt[from]; ok && f.sent[from] > k {
+			f.mu.Unlock()
+			f.dropped.Add(1)
+			return nil
+		}
+		r := f.linkStream(from, to)
+		if f.faults.DropRate > 0 && r.Float64() < f.faults.DropRate {
+			f.mu.Unlock()
+			f.dropped.Add(1)
+			return nil
+		}
+		if f.faults.DupRate > 0 && r.Float64() < f.faults.DupRate {
+			copies = 2
+			f.dups.Add(1)
+		}
+		if s, ok := f.faults.Slowdown[from]; ok && s > 1 {
+			delay = time.Duration(float64(delay) * s)
+		}
+		f.mu.Unlock()
 	}
-	f.msgs.Add(1)
-	f.bytes.Add(int64(size))
-	f.mu.Lock()
-	f.linkMsgs[[2]int{from, to}]++
-	f.mu.Unlock()
-	f.boxes[to] <- Message{From: from, To: to, Tag: tag, Payload: payload, Size: size}
+	m := Message{From: from, To: to, Tag: tag, Payload: payload, Size: size}
+	if delay > 0 {
+		m.deliverAt = time.Now().Add(delay)
+	}
+	for c := 0; c < copies; c++ {
+		f.msgs.Add(1)
+		f.bytes.Add(int64(size))
+		f.mu.Lock()
+		f.linkMsgs[[2]int{from, to}]++
+		f.mu.Unlock()
+		f.boxes[to].put(m)
+	}
 	return nil
 }
 
-// Recv blocks until a message for node arrives.
-func (f *Farm) Recv(node int) Message {
-	return <-f.boxes[node]
+// linkStream returns the decision stream for one directed link, creating it
+// on first use. Callers hold f.mu.
+func (f *Farm) linkStream(from, to int) *rng.Rand {
+	key := [2]int{from, to}
+	r, ok := f.linkRng[key]
+	if !ok {
+		r = rng.New(f.faults.Seed + uint64(from)*1_000_003 + uint64(to) + 1)
+		f.linkRng[key] = r
+	}
+	return r
 }
 
-// TryRecv returns a pending message for node, or ok=false when the mailbox is
-// empty. The asynchronous scheme polls with it between moves.
-func (f *Farm) TryRecv(node int) (Message, bool) {
-	select {
-	case m := <-f.boxes[node]:
-		return m, true
-	default:
-		return Message{}, false
+// Recv blocks until a message for node arrives and is due.
+func (f *Farm) Recv(node int) Message {
+	m, _ := f.recv(node, -1)
+	return m
+}
+
+// RecvTimeout waits up to d for a message to ARRIVE for node. It returns
+// ok=false when nothing arrived within d. Once a message has arrived, the
+// remaining injected delivery delay is waited out even if it overruns d —
+// the timeout bounds silence, not slowness, which is what a rendezvous
+// deadline needs to distinguish a dead slave from a slow link.
+func (f *Farm) RecvTimeout(node int, d time.Duration) (Message, bool) {
+	return f.recv(node, d)
+}
+
+// recv waits for the next message; d < 0 means wait forever.
+func (f *Farm) recv(node int, d time.Duration) (Message, bool) {
+	box := f.boxes[node]
+	var timer *time.Timer
+	if d >= 0 {
+		timer = time.NewTimer(d)
+		defer timer.Stop()
+	}
+	for {
+		if m, ok := box.pop(false); ok {
+			if wait := time.Until(m.deliverAt); wait > 0 {
+				time.Sleep(wait)
+			}
+			return m, true
+		}
+		if timer != nil {
+			select {
+			case <-box.arrival:
+			case <-timer.C:
+				return Message{}, false
+			}
+		} else {
+			<-box.arrival
+		}
 	}
 }
 
-// Drain discards all pending messages for node and returns how many there
-// were.
+// TryRecv returns a pending due message for node, or ok=false when the
+// mailbox is empty or its head has not reached its delivery time yet. The
+// asynchronous scheme polls with it between moves.
+func (f *Farm) TryRecv(node int) (Message, bool) {
+	return f.boxes[node].pop(true)
+}
+
+// Drain discards all pending messages for node (due or not) and returns how
+// many there were.
 func (f *Farm) Drain(node int) int {
 	count := 0
 	for {
-		select {
-		case <-f.boxes[node]:
-			count++
-		default:
+		if _, ok := f.boxes[node].pop(false); !ok {
 			return count
 		}
+		count++
 	}
 }
 
 // Stats is a snapshot of the accounting counters.
 type Stats struct {
-	Messages  int64
-	Bytes     int64
-	LinkMsgs  map[[2]int]int64 // directed link -> message count
-	BusiestIn int              // node receiving the most messages
+	Messages   int64            // messages enqueued for delivery (duplicates included)
+	Bytes      int64            // bytes enqueued for delivery
+	Dropped    int64            // messages swallowed by drop faults or crashed senders
+	Duplicated int64            // messages the injector delivered twice
+	LinkMsgs   map[[2]int]int64 // directed link -> delivered message count
+	BusiestIn  int              // node receiving the most messages
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -152,10 +380,12 @@ func (f *Farm) Stats() Stats {
 		}
 	}
 	return Stats{
-		Messages:  f.msgs.Load(),
-		Bytes:     f.bytes.Load(),
-		LinkMsgs:  links,
-		BusiestIn: busiest,
+		Messages:   f.msgs.Load(),
+		Bytes:      f.bytes.Load(),
+		Dropped:    f.dropped.Load(),
+		Duplicated: f.dups.Load(),
+		LinkMsgs:   links,
+		BusiestIn:  busiest,
 	}
 }
 

@@ -126,17 +126,177 @@ func TestConcurrentSendersAllDelivered(t *testing.T) {
 	}
 }
 
-func TestLatencyInjection(t *testing.T) {
-	f := New(2, WithLatency(5*time.Millisecond))
+func TestLatencyChargedOnDelivery(t *testing.T) {
+	f := New(2, WithLatency(30*time.Millisecond))
 	start := time.Now()
 	for i := 0; i < 4; i++ {
 		if err := f.Send(0, 1, "slow", nil, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
-		t.Fatalf("4 sends with 5ms latency took only %v", elapsed)
+	// The sender must not serialize on the injected latency.
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("4 sends serialized the sender for %v", elapsed)
 	}
+	// The receiver pays it instead.
+	f.Recv(1)
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("first delivery after only %v, want >= 30ms", elapsed)
+	}
+	// TryRecv refuses messages that are not due yet... but after the first
+	// delivery the rest (sent at the same instant) are due too.
+	if _, ok := f.TryRecv(1); !ok {
+		t.Fatal("due message not returned by TryRecv")
+	}
+}
+
+func TestTryRecvHonorsDeliveryTime(t *testing.T) {
+	f := New(2, WithLatency(50*time.Millisecond))
+	if err := f.Send(0, 1, "later", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.TryRecv(1); ok {
+		t.Fatal("TryRecv returned a message before its delivery time")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if _, ok := f.TryRecv(1); !ok {
+		t.Fatal("TryRecv never delivered a due message")
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	f := New(2)
+	start := time.Now()
+	if _, ok := f.RecvTimeout(1, 20*time.Millisecond); ok {
+		t.Fatal("RecvTimeout invented a message")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("RecvTimeout returned before its deadline")
+	}
+	if err := f.Send(0, 1, "x", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := f.RecvTimeout(1, time.Second); !ok || m.Tag != "x" {
+		t.Fatalf("RecvTimeout = %+v, %v", m, ok)
+	}
+	// A message arriving mid-wait is picked up before the deadline.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		f.Send(0, 1, "late", nil, 1)
+	}()
+	if m, ok := f.RecvTimeout(1, time.Second); !ok || m.Tag != "late" {
+		t.Fatalf("mid-wait arrival missed: %+v, %v", m, ok)
+	}
+}
+
+func TestFaultDropRateDeterministic(t *testing.T) {
+	const sends = 500
+	deliver := func() (int64, int64) {
+		f := New(2, WithFaults(&FaultPlan{Seed: 7, DropRate: 0.3}))
+		for i := 0; i < sends; i++ {
+			if err := f.Send(0, 1, "d", i, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := f.Stats()
+		return s.Messages, s.Dropped
+	}
+	m1, d1 := deliver()
+	m2, d2 := deliver()
+	if m1 != m2 || d1 != d2 {
+		t.Fatalf("same plan diverged: %d/%d vs %d/%d", m1, d1, m2, d2)
+	}
+	if d1 == 0 || m1 == 0 || m1+d1 != sends {
+		t.Fatalf("implausible drop split: delivered=%d dropped=%d", m1, d1)
+	}
+	// 30% of 500 with a healthy stream: nowhere near all-or-nothing.
+	if d1 < 100 || d1 > 220 {
+		t.Fatalf("drop count %d far from 30%% of %d", d1, sends)
+	}
+}
+
+func TestFaultDuplication(t *testing.T) {
+	f := New(2, WithFaults(&FaultPlan{Seed: 3, DupRate: 0.5}))
+	const sends = 200
+	for i := 0; i < sends; i++ {
+		if err := f.Send(0, 1, "d", i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.Stats()
+	if s.Duplicated == 0 {
+		t.Fatal("no duplications at 50% rate")
+	}
+	if s.Messages != sends+s.Duplicated {
+		t.Fatalf("Messages %d != sends %d + dups %d", s.Messages, sends, s.Duplicated)
+	}
+	if got := int64(f.Drain(1)); got != s.Messages {
+		t.Fatalf("drained %d, accounted %d", got, s.Messages)
+	}
+}
+
+func TestFaultCrashAfterK(t *testing.T) {
+	f := New(2, WithFaults(&FaultPlan{Seed: 1, CrashAt: map[int]int64{0: 3}}))
+	for i := 0; i < 10; i++ {
+		if err := f.Send(0, 1, "c", i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.Drain(1); got != 3 {
+		t.Fatalf("crashed node delivered %d messages, want 3", got)
+	}
+	if s := f.Stats(); s.Dropped != 7 {
+		t.Fatalf("Dropped = %d, want 7", s.Dropped)
+	}
+	// The healthy node is unaffected.
+	if err := f.Send(1, 0, "ok", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.TryRecv(0); !ok {
+		t.Fatal("healthy node's send swallowed")
+	}
+}
+
+func TestFaultSlowdownFactor(t *testing.T) {
+	f := New(3, WithLatency(10*time.Millisecond),
+		WithFaults(&FaultPlan{Seed: 1, Slowdown: map[int]float64{1: 5}}))
+	start := time.Now()
+	if err := f.Send(1, 0, "slow", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(2, 0, "fast", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	f.Recv(0)
+	f.Recv(0)
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("slowdown factor not applied: both delivered in %v", elapsed)
+	}
+}
+
+func TestSendControlBypassesFaults(t *testing.T) {
+	f := New(2, WithFaults(&FaultPlan{Seed: 1, DropRate: 1, CrashAt: map[int]int64{0: 0}}))
+	if err := f.Send(0, 1, "doomed", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.TryRecv(1); ok {
+		t.Fatal("DropRate 1 delivered a data message")
+	}
+	if err := f.SendControl(0, 1, "stop", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := f.TryRecv(1); !ok || m.Tag != "stop" {
+		t.Fatal("control message swallowed by the injector")
+	}
+}
+
+func TestWithFaultsPanicsOnBadPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid plan accepted")
+		}
+	}()
+	New(2, WithFaults(&FaultPlan{DropRate: 1.5}))
 }
 
 func TestMailboxSizeOption(t *testing.T) {

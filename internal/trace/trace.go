@@ -36,6 +36,12 @@ const (
 	KindRestart
 	// KindStrategyReset: SGP discarded and regenerated a slave's strategy.
 	KindStrategyReset
+	// KindSlaveTimeout: a slave missed its rendezvous deadline.
+	KindSlaveTimeout
+	// KindRedispatch: the master re-sent a lost round to a slave.
+	KindRedispatch
+	// KindSlaveDead: the master declared a slave dead and degraded the farm.
+	KindSlaveDead
 )
 
 var kindNames = [...]string{
@@ -47,6 +53,9 @@ var kindNames = [...]string{
 	KindReplacement:   "replacement",
 	KindRestart:       "restart",
 	KindStrategyReset: "strategy-reset",
+	KindSlaveTimeout:  "slave-timeout",
+	KindRedispatch:    "redispatch",
+	KindSlaveDead:     "slave-dead",
 }
 
 func (k Kind) String() string {

@@ -7,7 +7,7 @@ import (
 )
 
 func TestKindStrings(t *testing.T) {
-	for k := KindImprovement; k <= KindStrategyReset; k++ {
+	for k := KindImprovement; k <= KindSlaveDead; k++ {
 		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
 			t.Fatalf("kind %d has no label", k)
 		}
