@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench kernel chaos
+.PHONY: build vet test race check bench kernel chaos metrics metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,18 @@ chaos:
 # hot path (optimized column-major kernel vs naive row-major reference).
 kernel:
 	$(GO) run ./cmd/mkpbench -kernelbench BENCH_kernel.json
+
+# metrics runs the observability suite under the race detector: the registry
+# unit/race-hammer tests, the exposition golden tests, the HTTP endpoint and
+# goroutine-leak tests, and the deterministic-snapshot / cross-invariant
+# tests that drive real seeded solves.
+metrics:
+	$(GO) test -race ./internal/metrics ./internal/obs
+	$(GO) test -race -run 'Metrics|Checkpoint' ./internal/core
+
+# metrics-smoke boots mkpsolve with a live /metrics listener and curls the
+# exposition, failing on a non-200 response or a missing metric family.
+metrics-smoke:
+	$(GO) build -o ./mkpsolve.smoke ./cmd/mkpsolve
+	./scripts/metrics_smoke.sh ./mkpsolve.smoke
+	rm -f ./mkpsolve.smoke

@@ -21,7 +21,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/gen"
+	"repro/internal/metrics"
 	"repro/internal/mkp"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -43,6 +45,8 @@ func main() {
 		ring     = flag.Bool("ring", false, "async: ring topology instead of full broadcast")
 		quiet    = flag.Bool("q", false, "print only the best value")
 		doTrace  = flag.Bool("trace", false, "stream search events (improvements, tuning actions) to stderr")
+		listen   = flag.String("listen", "", "serve /metrics, /metrics.json, /debug/pprof and expvar on this address for the duration of the run (e.g. :6060)")
+		showMet  = flag.Bool("metrics", false, "print an end-of-run metrics report")
 		solOut   = flag.String("sol", "", "write the best solution to this file (verify with mkpverify)")
 		ckptOut  = flag.String("checkpoint", "", "write the latest cooperative state to this file after every round")
 		resume   = flag.String("resume", "", "resume the cooperative state from a checkpoint file")
@@ -58,6 +62,22 @@ func main() {
 	ins, err := loadInstance(*genSize, *seed, *index, flag.Args())
 	if err != nil {
 		fatal(err)
+	}
+
+	// Observability: one registry per run, optionally served live. The
+	// listener stays up for the whole solve so `curl /metrics` and
+	// `go tool pprof http://...:6060/debug/pprof/profile` watch it work.
+	var reg *metrics.Registry
+	if *listen != "" || *showMet {
+		reg = metrics.NewRegistry()
+	}
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mkpsolve: observability on http://%s (/metrics, /debug/pprof)\n", srv.Addr())
 	}
 
 	if *async {
@@ -89,8 +109,18 @@ func main() {
 		opts.Faults = plan
 	}
 	opts.SlaveTimeout = *slaveTO
+	opts.Metrics = reg
+	// The trace->metrics bridge folds every trace kind into
+	// trace_events_total{kind=...} without a second instrumentation pass.
+	var recorders trace.Multi
 	if *doTrace {
-		opts.Tracer = trace.NewWriter(os.Stderr)
+		recorders = append(recorders, trace.NewWriter(os.Stderr))
+	}
+	if reg != nil {
+		recorders = append(recorders, metrics.NewBridge(reg))
+	}
+	if len(recorders) > 0 {
+		opts.Tracer = recorders
 	}
 	if *ckptOut != "" {
 		opts.OnCheckpoint = func(c *core.Checkpoint) {
@@ -122,7 +152,31 @@ func main() {
 		fatal(err)
 	}
 	report(ins, algo.String(), res, *quiet)
+	if *showMet {
+		reportMetrics(reg)
+	}
 	writeSolution(*solOut, ins, res.Best)
+}
+
+// reportMetrics prints the end-of-run telemetry summary: the per-slave
+// kernel families summed farm-wide, plus the master and farm counters.
+func reportMetrics(reg *metrics.Registry) {
+	s := reg.Snapshot()
+	offers := s.SumCounters("tabu_pool_offers_total")
+	accepts := s.SumCounters("tabu_pool_accepts_total")
+	rate := 0.0
+	if offers > 0 {
+		rate = 100 * float64(accepts) / float64(offers)
+	}
+	fmt.Printf("metrics    moves=%d drops=%d adds=%d tabu_hits=%d aspirations=%d improvements=%d pool_hit=%.1f%%\n",
+		s.SumCounters("tabu_moves_total"), s.SumCounters("tabu_drops_total"),
+		s.SumCounters("tabu_adds_total"), s.SumCounters("tabu_tabu_hits_total"),
+		s.SumCounters("tabu_aspirations_total"), s.SumCounters("tabu_improvements_total"), rate)
+	fmt.Printf("metrics    rounds=%d dispatches=%d results=%d isp_repl=%d isp_restart=%d sgp_resets=%d farm_msgs=%d dropped=%d\n",
+		s.Counter("core_rounds_total"), s.Counter("core_dispatches_total"),
+		s.Counter("core_results_total"), s.Counter("core_isp_replacements_total"),
+		s.Counter("core_isp_restarts_total"), s.Counter("core_sgp_resets_total"),
+		s.Counter("farm_messages_total"), s.Counter("farm_dropped_total"))
 }
 
 // faultPlan assembles a farm.FaultPlan from the fault flags, or nil when none

@@ -37,6 +37,15 @@ type Checkpoint struct {
 	Modes  []int     `json:"modes,omitempty"`
 	Noises []float64 `json:"noises,omitempty"`
 	Widths []int     `json:"widths,omitempty"`
+	// Cumulative failure accounting (absent in pre-PR3 checkpoints, read as
+	// zero). A resumed run reports totals across the crash/resume boundary,
+	// matching how Rounds and BestByRound already behave. Note the slave
+	// life/death state itself is NOT persisted: a resumed run launches P
+	// fresh slaves, so DeadSlaves counts deaths across all incarnations.
+	SlaveFailures   int   `json:"slave_failures,omitempty"`
+	Redispatches    int   `json:"redispatches,omitempty"`
+	DroppedMessages int64 `json:"dropped_messages,omitempty"`
+	DeadSlaves      int   `json:"dead_slaves,omitempty"`
 }
 
 // SolutionRecord is the serialized form of a solution: the assignment as a
@@ -92,6 +101,11 @@ func (m *master) checkpoint() *Checkpoint {
 		BestByRound: append([]float64(nil), m.stats.BestByRound...),
 		Noises:      append([]float64(nil), m.noises...),
 		Widths:      append([]int(nil), m.widths...),
+
+		SlaveFailures:   m.stats.SlaveFailures,
+		Redispatches:    m.stats.Redispatches,
+		DroppedMessages: m.droppedBase + m.net.Stats().Dropped,
+		DeadSlaves:      m.stats.DeadSlaves,
 	}
 	for _, mode := range m.modes {
 		c.Modes = append(c.Modes, int(mode))
@@ -122,6 +136,9 @@ func (m *master) restore(c *Checkpoint) error {
 	}
 	if c.Round < 0 {
 		return fmt.Errorf("core: checkpoint round %d < 0", c.Round)
+	}
+	if c.SlaveFailures < 0 || c.Redispatches < 0 || c.DroppedMessages < 0 || c.DeadSlaves < 0 {
+		return fmt.Errorf("core: checkpoint has negative failure counters")
 	}
 	// The extended-tuning arrays are optional (absent in older checkpoints)
 	// but must be consistent with P when present.
@@ -161,12 +178,16 @@ func (m *master) restore(c *Checkpoint) error {
 		}
 		m.starts[i] = sol
 	}
-	// Continue the run instead of restarting it: the round counter and the
-	// quality trajectory pick up where the snapshot left off, so round
-	// budgets, trace round numbers and BestByRound stay contiguous across a
-	// crash/resume boundary.
+	// Continue the run instead of restarting it: the round counter, the
+	// quality trajectory and the failure accounting pick up where the
+	// snapshot left off, so round budgets, trace round numbers, BestByRound
+	// and the fault counters stay cumulative across a crash/resume boundary.
 	m.stats.Rounds = c.Round
 	m.stats.BestByRound = append([]float64(nil), c.BestByRound...)
+	m.stats.SlaveFailures = c.SlaveFailures
+	m.stats.Redispatches = c.Redispatches
+	m.stats.DeadSlaves = c.DeadSlaves
+	m.droppedBase = c.DroppedMessages
 	return nil
 }
 

@@ -3,6 +3,9 @@ package core
 import (
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/farm"
 )
 
 func TestCheckpointRoundTripJSON(t *testing.T) {
@@ -235,5 +238,166 @@ func TestResumeRejectsMismatches(t *testing.T) {
 func TestLoadCheckpointRejectsGarbage(t *testing.T) {
 	if _, err := LoadCheckpoint(strings.NewReader("{not json")); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// TestCheckpointFailureCountersRoundTrip pins the fault accounting through
+// the crash/resume boundary: a degraded run's failure counters must land in
+// the checkpoint, survive serialization, and a resumed fault-free run must
+// report the cumulative totals instead of silently resetting them to zero.
+func TestCheckpointFailureCountersRoundTrip(t *testing.T) {
+	ins := testInstance(40, 4, 67)
+	var cp *Checkpoint
+	degraded, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 4, Rounds: 3, RoundMoves: 150,
+		SlaveTimeout: 2 * time.Second,
+		Faults:       &farm.FaultPlan{Seed: 11, CrashAt: map[int]int64{2: 0}},
+		OnCheckpoint: func(c *Checkpoint) { cp = c },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Stats.DeadSlaves == 0 || degraded.Stats.DroppedMessages == 0 {
+		t.Fatalf("fault plan produced no failures to checkpoint: %+v", degraded.Stats)
+	}
+
+	// The final checkpoint carries the final counters …
+	if cp.SlaveFailures != degraded.Stats.SlaveFailures ||
+		cp.Redispatches != degraded.Stats.Redispatches ||
+		cp.DroppedMessages != degraded.Stats.DroppedMessages ||
+		cp.DeadSlaves != degraded.Stats.DeadSlaves {
+		t.Fatalf("checkpoint counters %+v diverge from run stats %+v", cp, degraded.Stats)
+	}
+
+	// … survives JSON …
+	var sb strings.Builder
+	if err := SaveCheckpoint(&sb, cp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SlaveFailures != cp.SlaveFailures || back.Redispatches != cp.Redispatches ||
+		back.DroppedMessages != cp.DroppedMessages || back.DeadSlaves != cp.DeadSlaves {
+		t.Fatalf("failure counters lost in serialization: %+v vs %+v", back, cp)
+	}
+
+	// … and a resumed fault-free run reports totals >= the checkpointed ones
+	// (the resumed farm is healthy, so the counts stay exactly cumulative).
+	resumed, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 8, Rounds: cp.Round + 2, RoundMoves: 150, Resume: back,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stats.SlaveFailures != cp.SlaveFailures ||
+		resumed.Stats.Redispatches != cp.Redispatches ||
+		resumed.Stats.DroppedMessages != cp.DroppedMessages ||
+		resumed.Stats.DeadSlaves != cp.DeadSlaves {
+		t.Fatalf("resumed run lost the failure history: %+v, checkpoint had failures=%d redispatches=%d dropped=%d dead=%d",
+			resumed.Stats, cp.SlaveFailures, cp.Redispatches, cp.DroppedMessages, cp.DeadSlaves)
+	}
+	if resumed.Stats.Rounds != cp.Round+2 {
+		t.Fatalf("resume did not continue: %d rounds, want %d", resumed.Stats.Rounds, cp.Round+2)
+	}
+}
+
+// TestCheckpointFailureCountersAccumulateAcrossFaultyResume drives the
+// faulty→faulty resume path: the resumed run also loses messages, so its
+// reported totals must strictly exceed the checkpointed ones.
+func TestCheckpointFailureCountersAccumulateAcrossFaultyResume(t *testing.T) {
+	ins := testInstance(40, 4, 68)
+	var cp *Checkpoint
+	first, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 14, Rounds: 3, RoundMoves: 150,
+		SlaveTimeout: 2 * time.Second,
+		Faults:       &farm.FaultPlan{Seed: 3, DropRate: 0.35},
+		OnCheckpoint: func(c *Checkpoint) { cp = c },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.DroppedMessages == 0 {
+		t.Skip("35% drop rate dropped nothing in 3 rounds; counters have nothing to accumulate")
+	}
+
+	resumed, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 15, Rounds: cp.Round + 3, RoundMoves: 150,
+		SlaveTimeout: 2 * time.Second,
+		Faults:       &farm.FaultPlan{Seed: 16, DropRate: 0.35},
+		Resume:       cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stats.DroppedMessages <= cp.DroppedMessages {
+		t.Fatalf("dropped-message count did not accumulate: resumed %d <= checkpointed %d",
+			resumed.Stats.DroppedMessages, cp.DroppedMessages)
+	}
+	if resumed.Stats.SlaveFailures < cp.SlaveFailures || resumed.Stats.Redispatches < cp.Redispatches {
+		t.Fatalf("failure counters went backwards: %+v vs checkpoint failures=%d redispatches=%d",
+			resumed.Stats, cp.SlaveFailures, cp.Redispatches)
+	}
+}
+
+// TestRestoreRejectsNegativeFailureCounters pins the validation: a corrupted
+// checkpoint cannot inject negative failure history.
+func TestRestoreRejectsNegativeFailureCounters(t *testing.T) {
+	ins := testInstance(30, 3, 69)
+	var cp *Checkpoint
+	if _, err := Solve(ins, CTS2, Options{
+		P: 2, Seed: 6, Rounds: 2, RoundMoves: 100,
+		OnCheckpoint: func(c *Checkpoint) { cp = c },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for name, corrupt := range map[string]func(*Checkpoint){
+		"slave_failures":   func(c *Checkpoint) { c.SlaveFailures = -1 },
+		"redispatches":     func(c *Checkpoint) { c.Redispatches = -2 },
+		"dropped_messages": func(c *Checkpoint) { c.DroppedMessages = -3 },
+		"dead_slaves":      func(c *Checkpoint) { c.DeadSlaves = -4 },
+	} {
+		bad := *cp
+		corrupt(&bad)
+		if _, err := Solve(ins, CTS2, Options{P: 2, Seed: 6, Rounds: 3, RoundMoves: 100, Resume: &bad}); err == nil {
+			t.Fatalf("negative %s accepted", name)
+		}
+	}
+}
+
+// TestPreFailureCheckpointReadsAsZero pins backward compatibility: a
+// checkpoint written before the failure counters existed (the JSON fields
+// absent) restores as zero history, not as an error.
+func TestPreFailureCheckpointReadsAsZero(t *testing.T) {
+	ins := testInstance(30, 3, 70)
+	var cp *Checkpoint
+	if _, err := Solve(ins, CTS2, Options{
+		P: 2, Seed: 9, Rounds: 2, RoundMoves: 100,
+		OnCheckpoint: func(c *Checkpoint) { cp = c },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := SaveCheckpoint(&sb, cp); err != nil {
+		t.Fatal(err)
+	}
+	// A fault-free run writes zero counters, and omitempty elides them — the
+	// serialized form IS a pre-PR3 checkpoint.
+	for _, field := range []string{"slave_failures", "redispatches", "dropped_messages", "dead_slaves"} {
+		if strings.Contains(sb.String(), field) {
+			t.Fatalf("zero counter %s serialized despite omitempty:\n%s", field, sb.String())
+		}
+	}
+	back, err := LoadCheckpoint(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Solve(ins, CTS2, Options{P: 2, Seed: 9, Rounds: cp.Round + 1, RoundMoves: 100, Resume: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stats.SlaveFailures != 0 || resumed.Stats.DroppedMessages != 0 || resumed.Stats.DeadSlaves != 0 {
+		t.Fatalf("zero-history resume invented failures: %+v", resumed.Stats)
 	}
 }

@@ -36,6 +36,7 @@ func (m *master) isp(results []*tabu.Result) {
 			}
 			next = m.best
 			m.stats.Replacements++
+			m.mx.replacements.Inc()
 		}
 
 		// Rule 2: stagnant starts are replaced by a random solution.
@@ -56,6 +57,7 @@ func (m *master) isp(results []*tabu.Result) {
 			// random point.
 			next = mkp.RandomizedGreedy(m.ins, m.r, 4)
 			m.stats.RandomRestarts++
+			m.mx.restarts.Inc()
 			m.stagnation[i] = 0
 			if m.opts.Tracer != nil {
 				m.opts.Tracer.Record(trace.Event{

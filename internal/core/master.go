@@ -122,6 +122,14 @@ type master struct {
 	best  mkp.Solution
 	alpha float64 // current ISP threshold; fixed unless AdaptiveAlpha
 	stats Stats
+
+	// Observability. mx holds the master's metric handles (all nil without a
+	// registry); startedAt anchors the time-to-best gauge; droppedBase is the
+	// checkpoint-restored fault-counter baseline added to the farm's count
+	// (the farm of a resumed run starts from zero).
+	mx          masterMetrics
+	startedAt   time.Time
+	droppedBase int64
 }
 
 func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
@@ -129,6 +137,9 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
 	farmOpts := []farm.Option{farm.WithLatency(opts.Latency)}
 	if opts.Faults != nil {
 		farmOpts = append(farmOpts, farm.WithFaults(opts.Faults))
+	}
+	if opts.Metrics != nil {
+		farmOpts = append(farmOpts, farm.WithMetrics(opts.Metrics))
 	}
 	m := &master{
 		ins:        ins,
@@ -151,6 +162,8 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
 	m.stats.Algorithm = algo
 	m.stats.P = opts.P
 	m.alpha = opts.Alpha
+	m.mx = newMasterMetrics(opts.Metrics)
+	m.startedAt = time.Now()
 
 	// Initial strategies and starting solutions: "chosen randomly" for every
 	// variant (§5), so SEQ really is the paper's baseline of one random
@@ -171,6 +184,7 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
 			m.best = m.starts[i].Clone()
 		}
 	}
+	m.mx.bestValue.Set(m.best.Value)
 
 	// Launch the slaves ("Read and send to slaves problem data", Fig. 2 —
 	// the instance pointer is shared read-only here).
@@ -230,6 +244,7 @@ func (m *master) dispatch(slot, node, round int, budget int64) error {
 	params.Strategy = m.strategies[slot]
 	params.Tracer = m.opts.Tracer
 	params.TraceID = slot
+	params.Metrics = m.opts.Metrics
 	if m.opts.ExtendedTuning {
 		params.Intensify = m.modes[slot]
 		params.AddNoise = m.noises[slot]
@@ -240,6 +255,7 @@ func (m *master) dispatch(slot, node, round int, budget int64) error {
 	req := startMsg{Slot: slot, Round: round, Start: m.starts[slot].Clone(), Params: params, Budget: budget}
 	size := farm.SizeOfSolution(m.ins.N) + farm.SizeOfStrategy()
 	m.dispatchedAt[slot] = time.Now()
+	m.mx.dispatches.Inc()
 	return m.net.Send(0, node, tagStart, req, size)
 }
 
@@ -255,6 +271,10 @@ func (m *master) run() (*Result, error) {
 
 	results := make([]*tabu.Result, m.opts.P)
 	for round := m.stats.Rounds; round < m.opts.Rounds; round++ {
+		var roundBegan time.Time
+		if m.mx.roundDur != nil {
+			roundBegan = time.Now()
+		}
 		if m.opts.Tracer != nil {
 			m.opts.Tracer.Record(trace.Event{
 				Kind: trace.KindRoundStart, Actor: -1, Round: round, Value: m.best.Value,
@@ -310,6 +330,11 @@ func (m *master) run() (*Result, error) {
 			}
 		}
 		m.stats.Rounds = round + 1
+		m.mx.rounds.Inc()
+		if m.best.Value > prevBest {
+			m.mx.bestValue.Set(m.best.Value)
+			m.mx.timeToBest.Set(time.Since(m.startedAt).Seconds())
+		}
 		m.stats.BestByRound = append(m.stats.BestByRound, m.best.Value)
 		m.stats.SimElapsed += clock.RoundDuration(m.ins.N, m.ins.M, live,
 			farm.SizeOfSolution(m.ins.N), farm.SizeOfStrategy())
@@ -340,6 +365,9 @@ func (m *master) run() (*Result, error) {
 		if m.opts.OnCheckpoint != nil {
 			m.opts.OnCheckpoint(m.checkpoint())
 		}
+		if m.mx.roundDur != nil {
+			m.mx.roundDur.Observe(time.Since(roundBegan).Seconds())
+		}
 
 		if m.opts.Target > 0 && m.best.Value >= m.opts.Target-1e-9 {
 			break
@@ -355,7 +383,9 @@ func (m *master) run() (*Result, error) {
 	fs := m.net.Stats()
 	m.stats.Messages = fs.Messages
 	m.stats.BytesSent = fs.Bytes
-	m.stats.DroppedMessages = fs.Dropped
+	// The farm of a resumed run starts from zero; droppedBase carries the
+	// checkpointed count so the reported total stays cumulative.
+	m.stats.DroppedMessages = m.droppedBase + fs.Dropped
 	m.stats.FinalAlpha = m.alpha
 	return &Result{
 		Best:       m.best,
@@ -383,6 +413,7 @@ func (m *master) collect(round, dispatched int, results []*tabu.Result) bool {
 			continue
 		}
 		results[rep.Slot] = rep.Res
+		m.mx.results.Inc()
 	}
 	return hadFailure
 }
@@ -458,6 +489,7 @@ func (m *master) collectFaulty(round int, budgets []int64, results []*tabu.Resul
 				}
 				state[rep.Slot] = done
 				results[rep.Slot] = rep.Res
+				m.mx.results.Inc()
 				outstanding--
 				if n := rep.Node - 1; n >= 0 && n < p {
 					m.nodeFail[n] = 0
@@ -533,6 +565,7 @@ func (m *master) redispatch(slot, round int, budgets []int64, attempts, assigned
 		}
 		assigned[slot] = node
 		m.stats.Redispatches++
+		m.mx.redispatches.Inc()
 		if m.opts.Tracer != nil {
 			m.opts.Tracer.Record(trace.Event{
 				Kind: trace.KindRedispatch, Actor: -1, Round: round, Value: m.best.Value,
@@ -554,6 +587,7 @@ func (m *master) slaveDied(node, round int, err error) {
 	}
 	m.alive[node] = false
 	m.stats.DeadSlaves++
+	m.mx.deadSlaves.Inc()
 	if err != nil {
 		m.lastErr = fmt.Errorf("core: slave %d: %w", node, err)
 	}
@@ -571,6 +605,7 @@ func (m *master) slaveDied(node, round int, err error) {
 // slotFailed records that a slot finished a round without a usable result.
 func (m *master) slotFailed(slot, round int) {
 	m.stats.SlaveFailures++
+	m.mx.slotFailures.Inc()
 	if m.opts.Tracer != nil {
 		m.opts.Tracer.Record(trace.Event{
 			Kind: trace.KindSlaveTimeout, Actor: -1, Round: round, Value: m.best.Value,

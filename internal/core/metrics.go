@@ -1,0 +1,71 @@
+package core
+
+import (
+	"repro/internal/metrics"
+)
+
+// masterMetrics bundles the handles the master records into. All handles are
+// nil when Options.Metrics is, so every record costs one predictable branch.
+//
+// Documented cross-metric invariants (deterministic families, fault-free run):
+//
+//   - tabu_moves_total >= tabu_improvements_total (an improvement is found by
+//     a move);
+//   - core_rounds_total * P >= core_dispatches_total >= core_results_total +
+//     farm_dropped_total (every round dispatches to at most P live slaves;
+//     every dispatch yields at most one result, the rest were lost);
+//   - histogram count == corresponding counter: tabu_add_scan_length and
+//     tabu_move_latency_seconds observe once per move (== tabu_moves_total),
+//     core_round_duration_seconds once per round (== core_rounds_total).
+type masterMetrics struct {
+	rounds       *metrics.Counter
+	dispatches   *metrics.Counter
+	results      *metrics.Counter
+	redispatches *metrics.Counter
+	slotFailures *metrics.Counter
+	deadSlaves   *metrics.Counter
+	replacements *metrics.Counter
+	restarts     *metrics.Counter
+	resets       *metrics.Counter
+	bestValue    *metrics.Gauge
+	timeToBest   *metrics.Gauge
+	roundDur     *metrics.Histogram
+}
+
+// roundDurBuckets spans one rendezvous round: sub-millisecond smoke tests up
+// to minutes-long production rounds.
+var roundDurBuckets = metrics.ExpBuckets(1e-4, 4, 12) // 100µs .. ~7min
+
+// newMasterMetrics resolves the master's handle set (all nil for a nil
+// registry).
+func newMasterMetrics(r *metrics.Registry) masterMetrics {
+	if r == nil {
+		return masterMetrics{}
+	}
+	r.SetHelp("core_rounds_total", "Rendezvous rounds completed by the master.")
+	r.SetHelp("core_dispatches_total", "Round orders sent to slaves (re-dispatches included).")
+	r.SetHelp("core_results_total", "Usable round results received from slaves.")
+	r.SetHelp("core_redispatches_total", "Round orders re-sent after a missed deadline.")
+	r.SetHelp("core_slot_failures_total", "Rounds a slot ended without a usable result.")
+	r.SetHelp("core_dead_slaves_total", "Slaves declared dead (the run degraded to P-k).")
+	r.SetHelp("core_isp_replacements_total", "ISP substitutions of the global best for a weak start.")
+	r.SetHelp("core_isp_restarts_total", "ISP substitutions of a random solution for a stagnant start.")
+	r.SetHelp("core_sgp_resets_total", "SGP strategy regenerations.")
+	r.SetHelp("core_best_value", "Objective value of the global best solution.")
+	r.SetHelp("core_time_to_best_seconds", "Wall-clock time from run start to the latest global-best improvement.")
+	r.SetHelp("core_round_duration_seconds", "Wall-clock duration of one rendezvous round.")
+	return masterMetrics{
+		rounds:       r.Counter("core_rounds_total"),
+		dispatches:   r.Counter("core_dispatches_total"),
+		results:      r.Counter("core_results_total"),
+		redispatches: r.Counter("core_redispatches_total"),
+		slotFailures: r.Counter("core_slot_failures_total"),
+		deadSlaves:   r.Counter("core_dead_slaves_total"),
+		replacements: r.Counter("core_isp_replacements_total"),
+		restarts:     r.Counter("core_isp_restarts_total"),
+		resets:       r.Counter("core_sgp_resets_total"),
+		bestValue:    r.Gauge("core_best_value"),
+		timeToBest:   r.Gauge("core_time_to_best_seconds"),
+		roundDur:     r.Histogram("core_round_duration_seconds", roundDurBuckets),
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// solveWithMetrics runs a solve with a fresh registry and returns the result
+// together with the final snapshot.
+func solveWithMetrics(t *testing.T, algo Algorithm, opts Options) (*Result, *metrics.Snapshot) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	opts.Metrics = reg
+	res, err := Solve(testInstance(40, 4, 55), algo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, reg.Snapshot()
+}
+
+// TestMetricsDeterministicSnapshots is the determinism lock for the whole
+// telemetry layer: a seeded solo run and a seeded P=4 farm run, each executed
+// twice, must produce identical metric snapshots once the wall-clock
+// (`_seconds`) and scheduling-dependent (`_depth`) families are stripped.
+// Any instrumentation that draws randomness, races on a shared series, or
+// leaks scheduling order into a counter breaks this test.
+func TestMetricsDeterministicSnapshots(t *testing.T) {
+	cases := []struct {
+		name string
+		algo Algorithm
+		opts Options
+	}{
+		{"solo_SEQ", SEQ, Options{P: 1, Seed: 31, Rounds: 4, RoundMoves: 200}},
+		{"farm_CTS2_P4", CTS2, Options{P: 4, Seed: 32, Rounds: 4, RoundMoves: 200}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, a := solveWithMetrics(t, tc.algo, tc.opts)
+			_, b := solveWithMetrics(t, tc.algo, tc.opts)
+			da, db := a.Deterministic(), b.Deterministic()
+			if !da.Equal(db) {
+				t.Fatalf("same-seed snapshots diverged:\nrun A keys: %v\nrun B keys: %v", da.Keys(), db.Keys())
+			}
+			if da.SumCounters("tabu_moves_total") == 0 || da.Counter("core_rounds_total") == 0 {
+				t.Fatalf("snapshot is trivially equal because it is empty: %v", da.Keys())
+			}
+			// The stripped families must actually have been populated — the
+			// filter must be discarding data, not masking dead instrumentation.
+			if a.SumHistogramCounts("tabu_move_latency_seconds") == 0 {
+				t.Fatalf("move latency histogram never observed")
+			}
+			if a.Histograms["core_round_duration_seconds"].Count == 0 {
+				t.Fatalf("round duration histogram never observed")
+			}
+		})
+	}
+}
+
+// TestMetricsCrossInvariants pins the documented cross-metric invariants (see
+// masterMetrics) on a fault-free seeded CTS2 farm run.
+func TestMetricsCrossInvariants(t *testing.T) {
+	const P = 4
+	res, s := solveWithMetrics(t, CTS2, Options{P: P, Seed: 33, Rounds: 5, RoundMoves: 250})
+
+	moves := s.SumCounters("tabu_moves_total")
+	improvements := s.SumCounters("tabu_improvements_total")
+	rounds := s.Counter("core_rounds_total")
+	dispatches := s.Counter("core_dispatches_total")
+	results := s.Counter("core_results_total")
+	dropped := s.Counter("farm_dropped_total")
+
+	if moves == 0 || rounds == 0 || dispatches == 0 {
+		t.Fatalf("instrumentation silent: moves=%d rounds=%d dispatches=%d", moves, rounds, dispatches)
+	}
+	if moves < improvements {
+		t.Fatalf("moves %d < improvements %d", moves, improvements)
+	}
+	if rounds*P < dispatches {
+		t.Fatalf("rounds(%d) x P(%d) < dispatches(%d)", rounds, P, dispatches)
+	}
+	if dispatches < results+dropped {
+		t.Fatalf("dispatches(%d) < results(%d) + dropped(%d)", dispatches, results, dropped)
+	}
+	// Fault-free: nothing may be lost, every dispatch answers.
+	if dropped != 0 || results != dispatches {
+		t.Fatalf("fault-free run lost work: dispatches=%d results=%d dropped=%d", dispatches, results, dropped)
+	}
+
+	// Histogram count == corresponding counter.
+	if got := s.SumHistogramCounts("tabu_add_scan_length"); got != moves {
+		t.Fatalf("add-scan histogram count %d != moves %d", got, moves)
+	}
+	if got := s.SumHistogramCounts("tabu_move_latency_seconds"); got != moves {
+		t.Fatalf("move-latency histogram count %d != moves %d", got, moves)
+	}
+	if got := s.Histograms["core_round_duration_seconds"].Count; got != rounds {
+		t.Fatalf("round-duration histogram count %d != rounds %d", got, rounds)
+	}
+
+	// The registry and the Stats block count the same run.
+	if moves != res.Stats.TotalMoves {
+		t.Fatalf("registry moves %d != Stats.TotalMoves %d", moves, res.Stats.TotalMoves)
+	}
+	if int(rounds) != res.Stats.Rounds {
+		t.Fatalf("registry rounds %d != Stats.Rounds %d", rounds, res.Stats.Rounds)
+	}
+	if got := s.Counter("core_isp_replacements_total"); int(got) != res.Stats.Replacements {
+		t.Fatalf("registry replacements %d != Stats %d", got, res.Stats.Replacements)
+	}
+	if got := s.Counter("core_sgp_resets_total"); int(got) != res.Stats.StrategyResets {
+		t.Fatalf("registry resets %d != Stats %d", got, res.Stats.StrategyResets)
+	}
+	if got := s.Gauge("core_best_value"); got != res.Best.Value {
+		t.Fatalf("best-value gauge %v != best %v", got, res.Best.Value)
+	}
+}
+
+// TestMetricsDoNotPerturbSearch pins the acceptance bar "with a nil registry
+// the seeded-replay identity test passes bitwise": the same seeded run with
+// and without a live registry must land on the identical solution, move
+// count, and trajectory. Instrumentation may observe the search, never steer
+// it.
+func TestMetricsDoNotPerturbSearch(t *testing.T) {
+	ins := testInstance(40, 4, 56)
+	opts := Options{P: 3, Seed: 17, Rounds: 4, RoundMoves: 200}
+
+	plain, err := Solve(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented := opts
+	instrumented.Metrics = metrics.NewRegistry()
+	live, err := Solve(ins, CTS2, instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !plain.Best.X.Equal(live.Best.X) || plain.Best.Value != live.Best.Value {
+		t.Fatalf("metrics perturbed the search: best %v vs %v", plain.Best.Value, live.Best.Value)
+	}
+	if plain.Stats.TotalMoves != live.Stats.TotalMoves {
+		t.Fatalf("metrics perturbed the move count: %d vs %d", plain.Stats.TotalMoves, live.Stats.TotalMoves)
+	}
+	for r := range plain.Stats.BestByRound {
+		if plain.Stats.BestByRound[r] != live.Stats.BestByRound[r] {
+			t.Fatalf("metrics perturbed the trajectory at round %d", r)
+		}
+	}
+	for i := range plain.Strategies {
+		if plain.Strategies[i] != live.Strategies[i] {
+			t.Fatalf("metrics perturbed strategy %d", i)
+		}
+	}
+}
+
+// TestMetricsEndpointOnDegradedRun is the end-to-end observability check: a
+// faulty run (one slave crashed from the start) with a live /metrics endpoint
+// must serve the move, round and farm families over HTTP while degrading, the
+// failure counters must reach the registry, and after the solve and Close
+// neither the farm, the master, nor the HTTP listener may leak a goroutine.
+func TestMetricsEndpointOnDegradedRun(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := metrics.NewRegistry()
+	srv, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ins := testInstance(40, 4, 57)
+	res, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 21, Rounds: 3, RoundMoves: 150,
+		Metrics:      reg,
+		SlaveTimeout: 2 * time.Second,
+		Faults:       &farm.FaultPlan{Seed: 5, CrashAt: map[int]int64{2: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DeadSlaves == 0 {
+		t.Fatalf("crashed slave never declared dead: %+v", res.Stats)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	http.DefaultClient.CloseIdleConnections()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("/metrics: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	for _, family := range []string{
+		"tabu_moves_total", "core_rounds_total", "farm_messages_total",
+		"core_dead_slaves_total", "core_slot_failures_total",
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Fatalf("/metrics missing family %s on a degraded run:\n%s", family, body)
+		}
+	}
+	if s := reg.Snapshot(); s.Counter("core_dead_slaves_total") == 0 {
+		t.Fatalf("dead-slave counter never incremented")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitForGoroutines(t, before)
+}

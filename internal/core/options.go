@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/farm"
+	"repro/internal/metrics"
 	"repro/internal/mkp"
 	"repro/internal/tabu"
 	"repro/internal/trace"
@@ -166,6 +167,15 @@ type Options struct {
 	// (improvements, intensifications, diversifications). The recorder must
 	// be safe for concurrent use; trace.NewLog and trace.NewWriter are.
 	Tracer trace.Recorder
+	// Metrics, when non-nil, receives run telemetry at every layer: master
+	// counters (rounds, dispatches, ISP/SGP actions, failures), per-slave
+	// kernel counters and histograms (via tabu.Params.Metrics), and farm
+	// traffic (via farm.WithMetrics). The registry is concurrency-safe and
+	// shared by the master and every slave goroutine. When nil every record
+	// site costs one predictable branch and the run replays bitwise
+	// identically; when set, all families without a `_seconds`/`_depth`
+	// suffix are still deterministic for a fixed (algorithm, Seed, P).
+	Metrics *metrics.Registry
 	// OnCheckpoint, when non-nil, is called after every round with a
 	// snapshot of the cooperative state; the caller persists it (see
 	// SaveCheckpoint). The callback runs on the master goroutine.

@@ -59,6 +59,7 @@ func (m *master) sgp(results []*tabu.Result) {
 		m.strategies[i] = st
 		m.scores[i] = m.opts.InitialScore
 		m.stats.StrategyResets++
+		m.mx.resets.Inc()
 		if m.opts.ExtendedTuning {
 			// Widen the reset to the structural knobs: a fresh
 			// intensification mode, add-phase noise level, and candidate

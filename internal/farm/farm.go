@@ -29,10 +29,12 @@ package farm
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/rng"
 )
 
@@ -44,6 +46,7 @@ type Message struct {
 	Size     int // accounted payload size in bytes
 
 	deliverAt time.Time // zero when the message is due immediately
+	sentAt    time.Time // stamped only when metrics are armed (delivery latency)
 }
 
 // FaultPlan configures deterministic fault injection. The zero plan injects
@@ -95,6 +98,7 @@ type mailbox struct {
 	queue   []Message
 	cap     int
 	arrival chan struct{} // 1-token wakeup for receivers
+	depth   *metrics.Gauge // queue length after each put/pop; nil when disabled
 }
 
 func newMailbox(capacity int) *mailbox {
@@ -109,6 +113,7 @@ func (b *mailbox) put(m Message) {
 		b.notFull.Wait()
 	}
 	b.queue = append(b.queue, m)
+	b.depth.Set(float64(len(b.queue)))
 	b.mu.Unlock()
 	b.signal()
 }
@@ -135,6 +140,7 @@ func (b *mailbox) pop(dueOnly bool) (Message, bool) {
 	}
 	copy(b.queue, b.queue[1:])
 	b.queue = b.queue[:len(b.queue)-1]
+	b.depth.Set(float64(len(b.queue)))
 	b.notFull.Broadcast()
 	if len(b.queue) > 0 {
 		b.signal() // keep the token alive for coalesced arrivals
@@ -159,6 +165,18 @@ type Farm struct {
 	linkMsgs map[[2]int]int64
 	linkRng  map[[2]int]*rng.Rand
 	sent     []int64 // per-node send count, for CrashAt accounting
+
+	// Metric handles, all nil unless WithMetrics installed a registry. The
+	// counters mirror the atomic Stats counters exactly; the histogram and
+	// the per-node mailbox depth gauges are delivery-side telemetry that a
+	// Stats snapshot cannot give (they are observed as messages move, not
+	// at the end of the run).
+	reg      *metrics.Registry
+	mMsgs    *metrics.Counter
+	mBytes   *metrics.Counter
+	mDropped *metrics.Counter
+	mDups    *metrics.Counter
+	mLatency *metrics.Histogram
 }
 
 // Option configures a Farm.
@@ -187,6 +205,18 @@ func WithFaults(p *FaultPlan) Option {
 	return func(f *Farm) { f.faults = p }
 }
 
+// WithMetrics installs a metrics registry: message/byte/drop/duplicate
+// counters (mirroring Stats), per-node `farm_mailbox_depth` gauges, and a
+// `farm_delivery_latency_seconds` histogram measured from send to receive.
+// A nil registry leaves the farm uninstrumented (one nil-check per record).
+func WithMetrics(r *metrics.Registry) Option {
+	return func(f *Farm) { f.reg = r }
+}
+
+// deliveryLatencyBuckets spans in-process delivery (microseconds) through
+// injected link latency and slowdown factors (seconds).
+var deliveryLatencyBuckets = metrics.ExpBuckets(1e-6, 4, 14) // 1µs .. ~67s
+
 // New creates a farm of n nodes. It panics if n < 1 or if a configured fault
 // plan is invalid.
 func New(n int, opts ...Option) *Farm {
@@ -211,6 +241,22 @@ func New(n int, opts ...Option) *Farm {
 	f.boxes = make([]*mailbox, n)
 	for i := range f.boxes {
 		f.boxes[i] = newMailbox(f.boxCap)
+	}
+	if f.reg != nil {
+		f.reg.SetHelp("farm_messages_total", "Messages enqueued for delivery (duplicates included).")
+		f.reg.SetHelp("farm_bytes_total", "Payload bytes enqueued for delivery.")
+		f.reg.SetHelp("farm_dropped_total", "Messages swallowed by drop faults or crashed senders.")
+		f.reg.SetHelp("farm_duplicated_total", "Messages the fault injector delivered twice.")
+		f.reg.SetHelp("farm_mailbox_depth", "Current queue length of each node's mailbox.")
+		f.reg.SetHelp("farm_delivery_latency_seconds", "Send-to-receive latency per delivered message.")
+		f.mMsgs = f.reg.Counter("farm_messages_total")
+		f.mBytes = f.reg.Counter("farm_bytes_total")
+		f.mDropped = f.reg.Counter("farm_dropped_total")
+		f.mDups = f.reg.Counter("farm_duplicated_total")
+		f.mLatency = f.reg.Histogram("farm_delivery_latency_seconds", deliveryLatencyBuckets)
+		for i := range f.boxes {
+			f.boxes[i].depth = f.reg.Gauge("farm_mailbox_depth", "node", strconv.Itoa(i))
+		}
 	}
 	return f
 }
@@ -248,17 +294,20 @@ func (f *Farm) send(from, to int, tag string, payload any, size int, control boo
 		if k, ok := f.faults.CrashAt[from]; ok && f.sent[from] > k {
 			f.mu.Unlock()
 			f.dropped.Add(1)
+			f.mDropped.Inc()
 			return nil
 		}
 		r := f.linkStream(from, to)
 		if f.faults.DropRate > 0 && r.Float64() < f.faults.DropRate {
 			f.mu.Unlock()
 			f.dropped.Add(1)
+			f.mDropped.Inc()
 			return nil
 		}
 		if f.faults.DupRate > 0 && r.Float64() < f.faults.DupRate {
 			copies = 2
 			f.dups.Add(1)
+			f.mDups.Inc()
 		}
 		if s, ok := f.faults.Slowdown[from]; ok && s > 1 {
 			delay = time.Duration(float64(delay) * s)
@@ -269,9 +318,14 @@ func (f *Farm) send(from, to int, tag string, payload any, size int, control boo
 	if delay > 0 {
 		m.deliverAt = time.Now().Add(delay)
 	}
+	if f.reg != nil {
+		m.sentAt = time.Now()
+	}
 	for c := 0; c < copies; c++ {
 		f.msgs.Add(1)
 		f.bytes.Add(int64(size))
+		f.mMsgs.Inc()
+		f.mBytes.Add(int64(size))
 		f.mu.Lock()
 		f.linkMsgs[[2]int{from, to}]++
 		f.mu.Unlock()
@@ -320,6 +374,7 @@ func (f *Farm) recv(node int, d time.Duration) (Message, bool) {
 			if wait := time.Until(m.deliverAt); wait > 0 {
 				time.Sleep(wait)
 			}
+			f.observeDelivery(m)
 			return m, true
 		}
 		if timer != nil {
@@ -338,7 +393,19 @@ func (f *Farm) recv(node int, d time.Duration) (Message, bool) {
 // mailbox is empty or its head has not reached its delivery time yet. The
 // asynchronous scheme polls with it between moves.
 func (f *Farm) TryRecv(node int) (Message, bool) {
-	return f.boxes[node].pop(true)
+	m, ok := f.boxes[node].pop(true)
+	if ok {
+		f.observeDelivery(m)
+	}
+	return m, ok
+}
+
+// observeDelivery records the send-to-receive latency of a delivered message.
+func (f *Farm) observeDelivery(m Message) {
+	if f.mLatency == nil || m.sentAt.IsZero() {
+		return
+	}
+	f.mLatency.Observe(time.Since(m.sentAt).Seconds())
 }
 
 // Drain discards all pending messages for node (due or not) and returns how

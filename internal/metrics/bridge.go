@@ -1,0 +1,29 @@
+package metrics
+
+import "repro/internal/trace"
+
+// Bridge adapts a Registry into a trace.Recorder: every trace event
+// increments `trace_events_total{kind="..."}`. This is how the existing trace
+// kinds (improvements, ISP replacements, slave timeouts, ...) show up as
+// counters without instrumenting their emission sites a second time —
+// install it next to (or instead of) a trace.Log via trace.Multi.
+type Bridge struct {
+	reg *Registry
+}
+
+// NewBridge returns a recorder counting events into r. A nil registry yields
+// a no-op recorder.
+func NewBridge(r *Registry) *Bridge {
+	r.SetHelp("trace_events_total", "Trace events by kind, bridged from the trace recorder.")
+	return &Bridge{reg: r}
+}
+
+// Record implements trace.Recorder. The per-kind counter handle is resolved
+// through the registry's map on every event; trace volume is rounds-scale,
+// not moves-scale, so this stays off the kernel hot path.
+func (b *Bridge) Record(e trace.Event) {
+	if b == nil || b.reg == nil {
+		return
+	}
+	b.reg.Counter("trace_events_total", "kind", e.Kind.String()).Inc()
+}

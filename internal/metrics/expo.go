@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm writes the registry in the Prometheus text exposition format
+// (version 0.0.4): families sorted by name, one `# HELP` (when registered)
+// and `# TYPE` line per family, series sorted within a family, histograms
+// expanded into cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+// A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type promFamily struct {
+		name     string
+		kind     string // "counter", "gauge", "histogram"
+		counters []*counterSeries
+		gauges   []*gaugeSeries
+		hists    []*histSeries
+	}
+	fams := map[string]*promFamily{}
+	fam := func(name, kind string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, kind: kind}
+			fams[name] = f
+		}
+		return f
+	}
+	for _, cs := range r.counters {
+		f := fam(cs.name, "counter")
+		f.counters = append(f.counters, cs)
+	}
+	for _, gs := range r.gauges {
+		f := fam(gs.name, "gauge")
+		f.gauges = append(f.gauges, gs)
+	}
+	for _, hs := range r.hists {
+		f := fam(hs.name, "histogram")
+		f.hists = append(f.hists, hs)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := fams[name]
+		if h, ok := help[name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(h)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.kind); err != nil {
+			return err
+		}
+		sort.Slice(f.counters, func(a, b int) bool { return f.counters[a].key < f.counters[b].key })
+		sort.Slice(f.gauges, func(a, b int) bool { return f.gauges[a].key < f.gauges[b].key })
+		sort.Slice(f.hists, func(a, b int) bool { return f.hists[a].key < f.hists[b].key })
+		for _, cs := range f.counters {
+			if _, err := fmt.Fprintf(w, "%s %d\n", cs.key, cs.c.Value()); err != nil {
+				return err
+			}
+		}
+		for _, gs := range f.gauges {
+			if _, err := fmt.Fprintf(w, "%s %s\n", gs.key, formatFloat(gs.g.Value())); err != nil {
+				return err
+			}
+		}
+		for _, hs := range f.hists {
+			if err := writePromHistogram(w, hs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram expands one histogram series into its exposition lines.
+func writePromHistogram(w io.Writer, hs *histSeries) error {
+	h := hs.h
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n",
+			seriesWithLabel(hs.series, "le", formatFloat(bound), "_bucket"), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s %d\n",
+		seriesWithLabel(hs.series, "le", "+Inf", "_bucket"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n",
+		seriesSuffixed(hs.series, "_sum"), formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", seriesSuffixed(hs.series, "_count"), h.Count())
+	return err
+}
+
+// seriesWithLabel renders name+suffix{existing labels, extraK="extraV"}.
+func seriesWithLabel(s series, extraK, extraV, suffix string) string {
+	var sb strings.Builder
+	sb.WriteString(s.name)
+	sb.WriteString(suffix)
+	sb.WriteByte('{')
+	for i := 0; i < len(s.labels); i += 2 {
+		fmt.Fprintf(&sb, "%s=%q,", s.labels[i], s.labels[i+1])
+	}
+	fmt.Fprintf(&sb, "%s=%q}", extraK, extraV)
+	return sb.String()
+}
+
+// seriesSuffixed renders name+suffix with the series' own labels.
+func seriesSuffixed(s series, suffix string) string {
+	if len(s.labels) == 0 {
+		return s.name + suffix
+	}
+	var sb strings.Builder
+	sb.WriteString(s.name)
+	sb.WriteString(suffix)
+	sb.WriteByte('{')
+	for i := 0; i < len(s.labels); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", s.labels[i], s.labels[i+1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// round-trippable decimal.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies the HELP-line escaping (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the exposition golden file")
+
+// goldenRegistry builds a registry exercising every exposition feature:
+// unlabeled and labeled counters, a gauge, histograms with and without
+// labels, HELP lines, and label values that need escaping (backslash, quote,
+// newline).
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+
+	r.SetHelp("core_rounds_total", "rendezvous rounds completed")
+	r.Counter("core_rounds_total").Add(5)
+
+	r.SetHelp("tabu_moves_total", "compound moves, per slave")
+	r.Counter("tabu_moves_total", "slave", "0").Add(1200)
+	r.Counter("tabu_moves_total", "slave", "1").Add(1187)
+	// slave=10 sorts lexicographically before slave=2 — the golden file pins
+	// that byte ordering so the exposition is reproducible.
+	r.Counter("tabu_moves_total", "slave", "10").Add(950)
+	r.Counter("tabu_moves_total", "slave", "2").Add(1010)
+
+	r.SetHelp("core_best_value", "incumbent objective value")
+	r.Gauge("core_best_value").Set(21946)
+	r.Gauge("core_time_to_best_seconds").Set(0.0625)
+
+	r.SetHelp("farm_messages_total", `messages delivered ("sent" minus drops)
+including duplicates and the \ escape`)
+	r.Counter("farm_messages_total", "kind", `quoted "start"`).Add(3)
+	r.Counter("farm_messages_total", "kind", "back\\slash").Add(2)
+	r.Counter("farm_messages_total", "kind", "new\nline").Add(1)
+
+	r.SetHelp("tabu_add_scan_length", "candidates scanned per add phase")
+	h := r.Histogram("tabu_add_scan_length", []float64{4, 16, 64}, "slave", "0")
+	for _, v := range []float64{1, 3, 10, 20, 500} {
+		h.Observe(v)
+	}
+	r.Histogram("round_duration", []float64{0.001, 0.25}).Observe(0.125)
+
+	return r
+}
+
+// TestWritePromGolden locks the exact Prometheus text exposition down to the
+// byte: family ordering, series ordering within a family, label escaping, and
+// histogram expansion into cumulative _bucket/_sum/_count.
+func TestWritePromGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden (run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePromDeterministic pins that two expositions of the same registry
+// are byte-identical — map iteration order must never leak into the output.
+func TestWritePromDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	var a, b strings.Builder
+	if err := r.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two expositions of one registry differ")
+	}
+}
+
+// TestWritePromHistogramCumulative spot-checks the cumulative bucket
+// semantics independently of the golden file, so a golden regeneration
+// cannot silently bless broken accumulation.
+func TestWritePromHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="2"} 2`,
+		`lat_bucket{le="4"} 3`,
+		`lat_bucket{le="+Inf"} 4`,
+		`lat_sum 105`,
+		`lat_count 4`,
+	} {
+		if !strings.Contains(sb.String(), line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, sb.String())
+		}
+	}
+}
+
+// TestSnapshotJSONRoundTrip pins the JSON surface the /metrics.json endpoint
+// serves: a snapshot marshals, unmarshals, and compares Equal.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := goldenRegistry().Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(&back) {
+		t.Fatalf("JSON round trip changed the snapshot:\n%s", data)
+	}
+	if !back.Equal(s) {
+		t.Fatalf("Equal is not symmetric")
+	}
+	// The canonical series keys must survive as JSON map keys, escaping and all.
+	if _, ok := back.Counters[`farm_messages_total{kind="new\nline"}`]; !ok {
+		t.Fatalf("escaped series key lost in JSON: %v", back.Keys())
+	}
+}

@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+)
+
+// HistogramSnapshot is the value of one histogram series at a point in time.
+// Counts are per-bucket (NOT cumulative); the last entry is the +Inf overflow
+// bucket, so len(Counts) == len(Buckets)+1.
+type HistogramSnapshot struct {
+	Buckets []float64 `json:"buckets"`
+	Counts  []int64   `json:"counts"`
+	Sum     float64   `json:"sum"`
+	Count   int64     `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of every series in a registry, keyed by
+// the canonical series identity (`name{k="v",...}`). It has value semantics:
+// snapshots can be diffed, filtered, compared and round-tripped through JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current value of every series. A nil registry yields an
+// empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, cs := range r.counters {
+		s.Counters[k] = cs.c.Value()
+	}
+	for k, gs := range r.gauges {
+		s.Gauges[k] = gs.g.Value()
+	}
+	for k, hs := range r.hists {
+		h := hs.h
+		counts := make([]int64, len(h.counts))
+		for i := range h.counts {
+			counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[k] = HistogramSnapshot{
+			Buckets: append([]float64(nil), h.bounds...),
+			Counts:  counts,
+			Sum:     h.Sum(),
+			Count:   h.Count(),
+		}
+	}
+	return s
+}
+
+// Counter returns the snapshotted value of a series key (0 when absent).
+func (s *Snapshot) Counter(key string) int64 { return s.Counters[key] }
+
+// Gauge returns the snapshotted value of a series key (0 when absent).
+func (s *Snapshot) Gauge(key string) float64 { return s.Gauges[key] }
+
+// SumCounters sums every counter series of one family (e.g. the per-slave
+// `tabu_moves_total{slave="i"}` series into a farm-wide total).
+func (s *Snapshot) SumCounters(family string) int64 {
+	var total int64
+	for k, v := range s.Counters {
+		if Family(k) == family {
+			total += v
+		}
+	}
+	return total
+}
+
+// SumHistogramCounts sums the observation counts of every histogram series of
+// one family.
+func (s *Snapshot) SumHistogramCounts(family string) int64 {
+	var total int64
+	for k, h := range s.Histograms {
+		if Family(k) == family {
+			total += h.Count
+		}
+	}
+	return total
+}
+
+// Diff returns the change from base to s: counters and histogram counts/sums
+// are subtracted, gauges keep s's (current) value. Series absent from base
+// are taken as zero there.
+func (s *Snapshot) Diff(base *Snapshot) *Snapshot {
+	d := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for k, v := range s.Counters {
+		d.Counters[k] = v - base.Counters[k]
+	}
+	for k, v := range s.Gauges {
+		d.Gauges[k] = v
+	}
+	for k, h := range s.Histograms {
+		out := HistogramSnapshot{
+			Buckets: append([]float64(nil), h.Buckets...),
+			Counts:  append([]int64(nil), h.Counts...),
+			Sum:     h.Sum,
+			Count:   h.Count,
+		}
+		if b, ok := s.histBase(base, k); ok {
+			for i := range out.Counts {
+				out.Counts[i] -= b.Counts[i]
+			}
+			out.Sum -= b.Sum
+			out.Count -= b.Count
+		}
+		d.Histograms[k] = out
+	}
+	return d
+}
+
+// histBase finds base's series for key when the bucket layout matches.
+func (*Snapshot) histBase(base *Snapshot, key string) (HistogramSnapshot, bool) {
+	b, ok := base.Histograms[key]
+	if !ok || len(b.Counts) == 0 {
+		return HistogramSnapshot{}, false
+	}
+	return b, true
+}
+
+// Filter returns the snapshot restricted to families keep() accepts.
+func (s *Snapshot) Filter(keep func(family string) bool) *Snapshot {
+	out := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for k, v := range s.Counters {
+		if keep(Family(k)) {
+			out.Counters[k] = v
+		}
+	}
+	for k, v := range s.Gauges {
+		if keep(Family(k)) {
+			out.Gauges[k] = v
+		}
+	}
+	for k, v := range s.Histograms {
+		if keep(Family(k)) {
+			out.Histograms[k] = v
+		}
+	}
+	return out
+}
+
+// Deterministic strips the families that legitimately vary across same-seed
+// runs: wall-clock timings (suffix `_seconds`) and scheduling-dependent
+// queue depths (suffix `_depth`). Everything that remains must be identical
+// across two runs with the same (seed, P, algorithm) — that is the contract
+// the deterministic metrics tests pin down.
+func (s *Snapshot) Deterministic() *Snapshot {
+	return s.Filter(func(family string) bool {
+		return !strings.HasSuffix(family, "_seconds") && !strings.HasSuffix(family, "_depth")
+	})
+}
+
+// Equal reports whether two snapshots carry exactly the same series and
+// values.
+func (s *Snapshot) Equal(o *Snapshot) bool {
+	if len(s.Counters) != len(o.Counters) || len(s.Gauges) != len(o.Gauges) ||
+		len(s.Histograms) != len(o.Histograms) {
+		return false
+	}
+	for k, v := range s.Counters {
+		ov, ok := o.Counters[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range s.Gauges {
+		ov, ok := o.Gauges[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	for k, h := range s.Histograms {
+		oh, ok := o.Histograms[k]
+		if !ok || !h.Equal(oh) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two histogram snapshots are identical.
+func (h HistogramSnapshot) Equal(o HistogramSnapshot) bool {
+	if h.Sum != o.Sum || h.Count != o.Count ||
+		len(h.Buckets) != len(o.Buckets) || len(h.Counts) != len(o.Counts) {
+		return false
+	}
+	for i := range h.Buckets {
+		if h.Buckets[i] != o.Buckets[i] {
+			return false
+		}
+	}
+	for i := range h.Counts {
+		if h.Counts[i] != o.Counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Keys returns every series key in the snapshot, sorted.
+func (s *Snapshot) Keys() []string {
+	keys := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	for k := range s.Gauges {
+		keys = append(keys, k)
+	}
+	for k := range s.Histograms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

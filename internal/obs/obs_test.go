@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// testRegistry populates a registry with one family of each kind.
+func testRegistry() *metrics.Registry {
+	r := metrics.NewRegistry()
+	r.SetHelp("tabu_moves_total", "compound moves")
+	r.Counter("tabu_moves_total", "slave", "0").Add(42)
+	r.Gauge("core_best_value").Set(1234)
+	r.Histogram("core_round_duration_seconds", []float64{0.01, 0.1}).Observe(0.05)
+	return r
+}
+
+// get fetches a path from the server with a keep-alive-free client, so the
+// request leaves no idle connection goroutine behind to confuse leak checks.
+func get(t *testing.T, s *Server, path string) (int, string, http.Header) {
+	t.Helper()
+	tr := &http.Transport{DisableKeepAlives: true}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr, Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s body: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestServeEndpoints drives every mounted route against a live listener: the
+// Prometheus exposition, the JSON snapshot (which must round-trip Equal), the
+// index, expvar and pprof.
+func TestServeEndpoints(t *testing.T) {
+	reg := testRegistry()
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body, hdr := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		`tabu_moves_total{slave="0"} 42`,
+		"core_best_value 1234",
+		`core_round_duration_seconds_bucket{le="+Inf"} 1`,
+		"# HELP tabu_moves_total compound moves",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body, hdr = get(t, s, "/metrics.json")
+	if code != http.StatusOK || hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("/metrics.json status %d type %q", code, hdr.Get("Content-Type"))
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not parseable: %v\n%s", err, body)
+	}
+	if !snap.Equal(reg.Snapshot()) {
+		t.Fatalf("/metrics.json diverged from the live registry:\n%s", body)
+	}
+
+	for path, want := range map[string]string{
+		"/":             "observability endpoint",
+		"/debug/vars":   "memstats",
+		"/debug/pprof/": "goroutine",
+	} {
+		code, body, _ := get(t, s, path)
+		if code != http.StatusOK || !strings.Contains(body, want) {
+			t.Fatalf("GET %s: status %d, missing %q", path, code, want)
+		}
+	}
+
+	if code, _, _ := get(t, s, "/no/such/path"); code != http.StatusNotFound {
+		t.Fatalf("unknown path served %d, want 404", code)
+	}
+}
+
+// TestServeNilRegistry pins that a nil registry serves an empty but valid
+// exposition — pprof and expvar must still work without metrics.
+func TestServeNilRegistry(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body, _ := get(t, s, "/metrics")
+	if code != http.StatusOK || body != "" {
+		t.Fatalf("nil-registry /metrics: status %d body %q", code, body)
+	}
+	if code, _, _ := get(t, s, "/debug/vars"); code != http.StatusOK {
+		t.Fatalf("nil-registry expvar status %d", code)
+	}
+}
+
+// TestCloseReleasesEverything is the goroutine-leak test: a server must be
+// fully gone after Close — serve goroutine exited, listener released — so a
+// solver embedded in a long-lived service can start and stop the endpoint per
+// run. The bound address being immediately rebindable pins the listener
+// release; the goroutine count pins the serve loop.
+func TestCloseReleasesEverything(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 3; i++ {
+		s, err := Serve("127.0.0.1:0", testRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code, _, _ := get(t, s, "/metrics"); code != http.StatusOK {
+			t.Fatalf("round %d: /metrics status %d", i, code)
+		}
+		addr := s.Addr()
+		if err := s.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", i, err)
+		}
+		// The exact port must be rebindable at once: nothing holds the socket.
+		s2, err := Serve(addr, nil)
+		if err != nil {
+			t.Fatalf("round %d: address %s not released: %v", i, addr, err)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > %d\n%s", runtime.NumGoroutine(), before, buf[:n])
+}
+
+// TestHandlerMountable pins that Handler can be mounted under a host
+// service's own mux without going through Serve.
+func TestHandlerMountable(t *testing.T) {
+	h := Handler(testRegistry())
+	mux := http.NewServeMux()
+	mux.Handle("/solver/", http.StripPrefix("/solver", h))
+	req, _ := http.NewRequest("GET", "/solver/metrics", nil)
+	rec := &recorder{header: http.Header{}}
+	mux.ServeHTTP(rec, req)
+	if rec.code != 0 && rec.code != http.StatusOK {
+		t.Fatalf("mounted handler status %d", rec.code)
+	}
+	if !strings.Contains(rec.body.String(), "tabu_moves_total") {
+		t.Fatalf("mounted handler served no metrics: %q", rec.body.String())
+	}
+}
+
+// recorder is a minimal ResponseWriter, avoiding the httptest dependency
+// being pulled in for one call site.
+type recorder struct {
+	header http.Header
+	body   strings.Builder
+	code   int
+}
+
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) WriteHeader(c int)           { r.code = c }
+func (r *recorder) Write(b []byte) (int, error) { return r.body.Write(b) }

@@ -1,0 +1,74 @@
+package tabu
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// kernelMetrics bundles the per-slave handles the search kernel records into.
+// All handles are nil when no registry is installed, so every record on the
+// hot path costs exactly one predictable branch — the zero-overhead-when-nil
+// contract the replay-identity tests pin down.
+type kernelMetrics struct {
+	moves            *metrics.Counter
+	drops            *metrics.Counter
+	adds             *metrics.Counter
+	tabuHits         *metrics.Counter
+	aspirations      *metrics.Counter
+	improvements     *metrics.Counter
+	escapes          *metrics.Counter
+	intensifications *metrics.Counter
+	diversifications *metrics.Counter
+	poolOffers       *metrics.Counter
+	poolAccepts      *metrics.Counter
+	addScan          *metrics.Histogram
+	moveLatency      *metrics.Histogram
+}
+
+// addScanBuckets spans the add-phase scan length (candidates examined per
+// compound move): a handful for narrow CandWidth strategies up to the full
+// rank array, several passes deep, on large instances.
+var addScanBuckets = metrics.ExpBuckets(4, 2, 12) // 4 .. 8192
+
+// moveLatencyBuckets spans one compound move on modern hardware: sub-µs for
+// small instances to milliseconds for deep-drop strategies on large ones.
+var moveLatencyBuckets = metrics.ExpBuckets(250e-9, 4, 12) // 250ns .. ~4ms
+
+// kernelMetricsFor resolves one slave's handle set. Called once per Run (one
+// rendezvous round), never per move, so the registry lookups are off the hot
+// path. A nil registry yields the all-nil (disabled) set.
+func kernelMetricsFor(r *metrics.Registry, slave int) kernelMetrics {
+	if r == nil {
+		return kernelMetrics{}
+	}
+	r.SetHelp("tabu_moves_total", "Compound Drop/Add moves executed.")
+	r.SetHelp("tabu_drops_total", "Items dropped during the Drop phase.")
+	r.SetHelp("tabu_adds_total", "Items inserted during the Add phase.")
+	r.SetHelp("tabu_tabu_hits_total", "Add-phase candidates skipped because they were tabu.")
+	r.SetHelp("tabu_aspirations_total", "Tabu candidates admitted by the aspiration criterion.")
+	r.SetHelp("tabu_improvements_total", "New personal bests found.")
+	r.SetHelp("tabu_escapes_total", "Reactive-policy escape jumps.")
+	r.SetHelp("tabu_intensifications_total", "Intensification procedures executed.")
+	r.SetHelp("tabu_diversifications_total", "Long-term-frequency diversification jumps.")
+	r.SetHelp("tabu_pool_offers_total", "Solutions offered to the B-best pool after a move.")
+	r.SetHelp("tabu_pool_accepts_total", "Pool offers that changed the pool (hit rate = accepts/offers).")
+	r.SetHelp("tabu_add_scan_length", "Add-phase candidates examined per compound move.")
+	r.SetHelp("tabu_move_latency_seconds", "Wall-clock duration of one compound move.")
+	id := strconv.Itoa(slave)
+	return kernelMetrics{
+		moves:            r.Counter("tabu_moves_total", "slave", id),
+		drops:            r.Counter("tabu_drops_total", "slave", id),
+		adds:             r.Counter("tabu_adds_total", "slave", id),
+		tabuHits:         r.Counter("tabu_tabu_hits_total", "slave", id),
+		aspirations:      r.Counter("tabu_aspirations_total", "slave", id),
+		improvements:     r.Counter("tabu_improvements_total", "slave", id),
+		escapes:          r.Counter("tabu_escapes_total", "slave", id),
+		intensifications: r.Counter("tabu_intensifications_total", "slave", id),
+		diversifications: r.Counter("tabu_diversifications_total", "slave", id),
+		poolOffers:       r.Counter("tabu_pool_offers_total", "slave", id),
+		poolAccepts:      r.Counter("tabu_pool_accepts_total", "slave", id),
+		addScan:          r.Histogram("tabu_add_scan_length", addScanBuckets, "slave", id),
+		moveLatency:      r.Histogram("tabu_move_latency_seconds", moveLatencyBuckets, "slave", id),
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/mkp"
 	"repro/internal/rng"
@@ -42,6 +43,10 @@ type Searcher struct {
 	// Run requests the corresponding policy.
 	react *reactiveState
 	rem   *remState
+
+	// km holds this Run's metric handles (all nil when Params.Metrics is),
+	// resolved once per round so the move loop never touches the registry.
+	km kernelMetrics
 
 	// scratch buffers reused across calls
 	idxBuf  []int
@@ -99,6 +104,8 @@ func (s *Searcher) Run(start mkp.Solution, p Params, budget int64) (*Result, err
 		return nil, fmt.Errorf("tabu: start solution has wrong length")
 	}
 
+	s.km = kernelMetricsFor(p.Metrics, p.TraceID)
+
 	switch p.Policy {
 	case PolicyReactive:
 		if s.react == nil {
@@ -137,11 +144,18 @@ outer:
 					if done() {
 						break outer
 					}
-					s.move(p, best.Value)
+					if s.km.moveLatency != nil {
+						t0 := time.Now()
+						s.move(p, best.Value)
+						s.km.moveLatency.Observe(time.Since(t0).Seconds())
+					} else {
+						s.move(p, best.Value)
+					}
 					executed++
 					if p.Policy == PolicyReactive && s.react.takeEscape() {
 						// Reactive escape: too many repetitions of one
 						// solution; answer with a diversification jump.
+						s.km.escapes.Inc()
 						if p.Tracer != nil {
 							p.Tracer.Record(trace.Event{
 								Kind: trace.KindEscape, Actor: p.TraceID,
@@ -155,6 +169,7 @@ outer:
 						best = s.st.Snapshot()
 						local = best
 						noImp = 0
+						s.km.improvements.Inc()
 						if p.Tracer != nil {
 							p.Tracer.Record(trace.Event{
 								Kind: trace.KindImprovement, Actor: p.TraceID,
@@ -192,12 +207,15 @@ outer:
 // offer inserts the current state into the pool when it can qualify, keeping
 // the hot path free of needless clones.
 func (s *Searcher) offer(pool *Pool, p Params) {
+	s.km.poolOffers.Inc()
 	if pool.Len() == p.BBest {
 		if worst := pool.sols[pool.Len()-1].Value; s.st.Value <= worst {
 			return
 		}
 	}
-	pool.Offer(mkp.Solution{X: s.st.X, Value: s.st.Value})
+	if pool.Offer(mkp.Solution{X: s.st.X, Value: s.st.Value}) {
+		s.km.poolAccepts.Inc()
+	}
 }
 
 // move executes one compound Drop/Add move (Fig. 1 step 5, §3.1) and updates
@@ -214,6 +232,7 @@ func (s *Searcher) move(p Params, bestValue float64) {
 	if p.Policy == PolicyReactive {
 		tenure = int64(s.react.tenure)
 	}
+	var dropped, scanned, tabuHits, aspirations int64
 
 	// Drop phase: NbDrop times, pick the most saturated constraint and drop
 	// its worst packed item.
@@ -224,6 +243,7 @@ func (s *Searcher) move(p Params, bestValue float64) {
 			break
 		}
 		s.st.Drop(j)
+		dropped++
 		if useREM {
 			s.flipBuf = append(s.flipBuf, j)
 		} else {
@@ -247,6 +267,7 @@ func (s *Searcher) move(p Params, bestValue float64) {
 			if p.CandWidth > 0 && inserted >= p.CandWidth {
 				break
 			}
+			scanned++
 			if minW[j] > maxSlack || s.st.X.Get(j) || !s.st.Fits(j) {
 				continue
 			}
@@ -257,8 +278,12 @@ func (s *Searcher) move(p Params, bestValue float64) {
 			if useREM && !blocked {
 				blocked = s.rem.tabu(j) || s.flippedThisMove(j)
 			}
-			if blocked && s.st.Value+s.ins.Profit[j] <= bestValue {
-				continue
+			if blocked {
+				if s.st.Value+s.ins.Profit[j] <= bestValue {
+					tabuHits++
+					continue
+				}
+				aspirations++
 			}
 			s.st.Add(j)
 			inserted++
@@ -275,6 +300,12 @@ func (s *Searcher) move(p Params, bestValue float64) {
 		}
 	}
 	s.moves++
+	s.km.moves.Inc()
+	s.km.drops.Add(dropped)
+	s.km.adds.Add(int64(inserted))
+	s.km.tabuHits.Add(tabuHits)
+	s.km.aspirations.Add(aspirations)
+	s.km.addScan.Observe(float64(scanned))
 	for j := s.st.X.NextSet(0); j >= 0; j = s.st.X.NextSet(j + 1) {
 		s.history[j]++
 	}
@@ -351,6 +382,7 @@ func (s *Searcher) intensify(p Params, local mkp.Solution, best *mkp.Solution, p
 	case IntensifyOscillation:
 		s.intensifyOscillation(p, best, pool)
 	}
+	s.km.intensifications.Inc()
 	if p.Tracer != nil {
 		p.Tracer.Record(trace.Event{
 			Kind: trace.KindIntensify, Actor: p.TraceID,
@@ -480,6 +512,7 @@ func (s *Searcher) diversify(p Params, best *mkp.Solution, pool *Pool) {
 	s.repairKeeping(forced)
 	mkp.FillGreedy(s.st)
 	s.adopt(best, pool)
+	s.km.diversifications.Inc()
 	if p.Tracer != nil {
 		p.Tracer.Record(trace.Event{
 			Kind: trace.KindDiversify, Actor: p.TraceID,

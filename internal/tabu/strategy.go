@@ -9,6 +9,7 @@ package tabu
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -163,6 +164,13 @@ type Params struct {
 	// events' Actor field — the parallel layer sets it to the slave index.
 	Tracer  trace.Recorder
 	TraceID int
+
+	// Metrics, when non-nil, receives kernel telemetry (moves, drops/adds,
+	// tabu hits, aspiration overrides, pool hit rate, add-phase scan length)
+	// labeled with the TraceID as the slave index. When nil the kernel pays
+	// one predictable branch per record and the search trajectory is bitwise
+	// identical — instrumentation never draws randomness.
+	Metrics *metrics.Registry
 }
 
 // DefaultParams returns the settings used throughout the experiments for an

@@ -1,0 +1,60 @@
+#!/bin/sh
+# CI smoke for the live observability endpoint: start a solve with a /metrics
+# listener, poll the exposition while the run is live, and fail on a non-200
+# response or an exposition missing the move / round / farm-traffic families.
+# Usage: scripts/metrics_smoke.sh [path-to-mkpsolve]
+set -eu
+
+BIN=${1:-./mkpsolve}
+LOG=$(mktemp)
+OUT=$(mktemp)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$LOG" "$OUT"
+}
+trap cleanup EXIT INT TERM
+
+# A run long enough that the endpoint is still live while we poll it.
+"$BIN" -gen 250x10 -rounds 200 -moves 2000 -listen 127.0.0.1:0 \
+    >/dev/null 2>"$LOG" &
+PID=$!
+
+# The solver announces the bound address on stderr (port 0 picks a free one).
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's#.*observability on http://\([^ ]*\).*#\1#p' "$LOG" | head -n 1)
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "metrics smoke FAILED: solver exited before binding" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+    echo "metrics smoke FAILED: no listen address announced" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
+# Poll until the exposition carries live counters (first rounds completed).
+CODE=000
+i=0
+while [ $i -lt 100 ]; do
+    CODE=$(curl -s -o "$OUT" -w '%{http_code}' "http://$ADDR/metrics" || echo 000)
+    if [ "$CODE" = 200 ] && [ -s "$OUT" ] \
+        && grep -q '^tabu_moves_total' "$OUT" \
+        && grep -q '^core_rounds_total' "$OUT" \
+        && grep -q '^farm_messages_total' "$OUT"; then
+        echo "metrics smoke OK: $(wc -l <"$OUT") exposition lines from http://$ADDR/metrics"
+        exit 0
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+echo "metrics smoke FAILED: last status $CODE, exposition:" >&2
+cat "$OUT" >&2
+exit 1
