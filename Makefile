@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench kernel chaos metrics metrics-smoke
+.PHONY: build vet test race check bench kernel chaos metrics metrics-smoke crash-resume
 
 build:
 	$(GO) build ./...
@@ -48,3 +48,14 @@ metrics-smoke:
 	$(GO) build -o ./mkpsolve.smoke ./cmd/mkpsolve
 	./scripts/metrics_smoke.sh ./mkpsolve.smoke
 	rm -f ./mkpsolve.smoke
+
+# crash-resume drives the durability harness: a checkpointed solve is
+# kill -9'd mid-run, resumed from the newest generation (the run must end no
+# worse than the pre-crash best), then resumed again past a deliberately torn
+# generation that must be quarantined with fallback to the previous one.
+crash-resume:
+	$(GO) build -o ./mkpsolve.smoke ./cmd/mkpsolve
+	$(GO) build -o ./mkpgen.smoke ./cmd/mkpgen
+	$(GO) build -o ./mkpverify.smoke ./cmd/mkpverify
+	./scripts/crash_resume.sh ./mkpsolve.smoke ./mkpgen.smoke ./mkpverify.smoke
+	rm -f ./mkpsolve.smoke ./mkpgen.smoke ./mkpverify.smoke

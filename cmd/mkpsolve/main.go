@@ -11,23 +11,34 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bound"
+	"repro/internal/ckptstore"
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/gen"
 	"repro/internal/metrics"
 	"repro/internal/mkp"
 	"repro/internal/obs"
+	"repro/internal/supervise"
 	"repro/internal/trace"
 )
 
+// main delegates to run so deferred cleanup (the observability listener, the
+// signal handler) executes before the process picks its exit code.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		algoName = flag.String("algo", "CTS2", "algorithm: SEQ, ITS, CTS1, CTS2")
 		p        = flag.Int("p", 8, "number of slave threads")
@@ -48,8 +59,12 @@ func main() {
 		listen   = flag.String("listen", "", "serve /metrics, /metrics.json, /debug/pprof and expvar on this address for the duration of the run (e.g. :6060)")
 		showMet  = flag.Bool("metrics", false, "print an end-of-run metrics report")
 		solOut   = flag.String("sol", "", "write the best solution to this file (verify with mkpverify)")
-		ckptOut  = flag.String("checkpoint", "", "write the latest cooperative state to this file after every round")
-		resume   = flag.String("resume", "", "resume the cooperative state from a checkpoint file")
+		ckptOut  = flag.String("checkpoint", "", "durable checkpoint base path: every round is written crash-safely as BASE.<generation> (atomic rename, checksummed, last -ckpt-keep kept)")
+		ckptKeep = flag.Int("ckpt-keep", 3, "checkpoint generations to retain at the -checkpoint base path")
+		resume   = flag.String("resume", "", "resume from a checkpoint base path (newest uncorrupted generation wins) or a plain checkpoint file")
+
+		maxRestarts = flag.Int("maxrestarts", 0, "arm the self-healing supervisor: per-slave restart budget (0 = supervision off)")
+		backoff     = flag.Duration("backoff", 0, "supervisor: base restart backoff, doubled per death and capped at 5s (0 = default 100ms)")
 
 		faultSeed = flag.Uint64("faults", 0, "seed for deterministic fault injection (synchronous solver; armed when any fault flag is set)")
 		dropRate  = flag.Float64("droprate", 0, "fault injection: probability a message is silently dropped")
@@ -61,7 +76,7 @@ func main() {
 
 	ins, err := loadInstance(*genSize, *seed, *index, flag.Args())
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	// Observability: one registry per run, optionally served live. The
@@ -74,7 +89,7 @@ func main() {
 	if *listen != "" {
 		srv, err := obs.Serve(*listen, reg)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "mkpsolve: observability on http://%s (/metrics, /debug/pprof)\n", srv.Addr())
@@ -85,16 +100,18 @@ func main() {
 			P: *p, Seed: *seed, TotalMoves: *total, ChunkMoves: *chunk, Alpha: *alpha, Ring: *ring,
 		})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		report(ins, "ASYNC", res, *quiet)
-		writeSolution(*solOut, ins, res.Best)
-		return
+		if err := writeSolution(*solOut, ins, res.Best); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	algo, err := core.ParseAlgorithm(*algoName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	opts := core.Options{
 		P: *p, Seed: *seed, Rounds: *rounds, RoundMoves: *moves,
@@ -104,12 +121,17 @@ func main() {
 		opts.Rounds = 0 // let the simulated clock govern
 	}
 	if plan, err := faultPlan(*faultSeed, *dropRate, *dupRate, *crash); err != nil {
-		fatal(err)
+		return fail(err)
 	} else {
 		opts.Faults = plan
 	}
 	opts.SlaveTimeout = *slaveTO
 	opts.Metrics = reg
+	if *maxRestarts > 0 {
+		opts.Supervise = &supervise.Policy{MaxRestarts: *maxRestarts, BaseBackoff: *backoff}
+	} else if *backoff != 0 {
+		return fail(errors.New("-backoff needs the supervisor armed via -maxrestarts"))
+	}
 	// The trace->metrics bridge folds every trace kind into
 	// trace_events_total{kind=...} without a second instrumentation pass.
 	var recorders trace.Multi
@@ -122,40 +144,107 @@ func main() {
 	if len(recorders) > 0 {
 		opts.Tracer = recorders
 	}
+	// Checkpoints go through the durable store: atomic rename, checksummed
+	// header, rotated generations. A crash mid-write can at worst lose the
+	// newest generation; the resume path falls back to the previous one.
 	if *ckptOut != "" {
+		store, err := ckptstore.Open(*ckptOut, ckptstore.WithKeep(*ckptKeep), ckptstore.WithMetrics(reg))
+		if err != nil {
+			return fail(err)
+		}
 		opts.OnCheckpoint = func(c *core.Checkpoint) {
-			f, err := os.Create(*ckptOut)
-			if err != nil {
+			var buf bytes.Buffer
+			if err := core.SaveCheckpoint(&buf, c); err != nil {
 				fmt.Fprintln(os.Stderr, "mkpsolve: checkpoint:", err)
 				return
 			}
-			defer f.Close()
-			if err := core.SaveCheckpoint(f, c); err != nil {
+			if err := store.Save(buf.Bytes()); err != nil {
 				fmt.Fprintln(os.Stderr, "mkpsolve: checkpoint:", err)
 			}
 		}
 	}
 	if *resume != "" {
-		f, err := os.Open(*resume)
+		cp, gen, err := loadResume(*resume)
 		if err != nil {
-			fatal(err)
-		}
-		cp, err := core.LoadCheckpoint(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		opts.Resume = cp
+		// The crash-resume harness parses this line; keep its shape stable.
+		fmt.Fprintf(os.Stderr, "mkpsolve: resuming at round %d (best %.0f, generation %s)\n",
+			cp.Round, cp.Best.Value, gen)
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM lets the round in progress
+	// finish (its checkpoint is already on disk when the master returns); a
+	// second one aborts immediately.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	interrupted := make(chan os.Signal, 1)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		interrupted <- sig
+		close(stop)
+		fmt.Fprintf(os.Stderr, "mkpsolve: %v: finishing the round in progress (repeat to abort)\n", sig)
+		if again, ok := <-sigc; ok {
+			fmt.Fprintf(os.Stderr, "mkpsolve: %v again: aborting\n", again)
+			os.Exit(128 + int(again.(syscall.Signal)))
+		}
+	}()
+	opts.Stop = stop
+
 	res, err := core.Solve(ins, algo, opts)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	report(ins, algo.String(), res, *quiet)
 	if *showMet {
 		reportMetrics(reg)
 	}
-	writeSolution(*solOut, ins, res.Best)
+	if err := writeSolution(*solOut, ins, res.Best); err != nil {
+		return fail(err)
+	}
+	select {
+	case sig := <-interrupted:
+		fmt.Fprintf(os.Stderr, "mkpsolve: interrupted by %v after round %d; state saved, resume with -resume\n",
+			sig, res.Stats.Rounds)
+		return 128 + int(sig.(syscall.Signal))
+	default:
+	}
+	return 0
+}
+
+// loadResume restores a checkpoint from a durable store base path (newest
+// uncorrupted generation, corrupt ones quarantined) or, failing that, from a
+// legacy plain JSON checkpoint file at the same path.
+func loadResume(path string) (*core.Checkpoint, string, error) {
+	if store, err := ckptstore.Open(path); err == nil {
+		payload, seq, err := store.Load()
+		if err == nil {
+			cp, err := core.LoadCheckpoint(bytes.NewReader(payload))
+			if err != nil {
+				return nil, "", err
+			}
+			return cp, fmt.Sprintf("%d", seq), nil
+		}
+		if !errors.Is(err, ckptstore.ErrNoCheckpoint) {
+			return nil, "", err
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	cp, err := core.LoadCheckpoint(f)
+	if err != nil {
+		return nil, "", err
+	}
+	return cp, "file", nil
 }
 
 // reportMetrics prints the end-of-run telemetry summary: the per-slave
@@ -255,6 +344,10 @@ func report(ins *mkp.Instance, algo string, res *core.Result, quiet bool) {
 		fmt.Printf("faults     %d dropped msgs, %d lost rounds, %d redispatches, %d dead slaves\n",
 			res.Stats.DroppedMessages, res.Stats.SlaveFailures, res.Stats.Redispatches, res.Stats.DeadSlaves)
 	}
+	if res.Stats.SlaveRestarts > 0 || res.Stats.WatchdogTrips > 0 {
+		fmt.Printf("healing    %d slave restarts, %d watchdog trips, %d/%d slaves alive at end\n",
+			res.Stats.SlaveRestarts, res.Stats.WatchdogTrips, res.Stats.LiveSlaves, res.Stats.P)
+	}
 	fmt.Printf("tuning     %d replacements, %d restarts, %d strategy resets\n",
 		res.Stats.Replacements, res.Stats.RandomRestarts, res.Stats.StrategyResets)
 	if len(res.Stats.BestByRound) > 1 {
@@ -269,21 +362,20 @@ func report(ins *mkp.Instance, algo string, res *core.Result, quiet bool) {
 	}
 }
 
-func writeSolution(path string, ins *mkp.Instance, sol mkp.Solution) {
+func writeSolution(path string, ins *mkp.Instance, sol mkp.Solution) error {
 	if path == "" {
-		return
+		return nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
-	if err := mkp.WriteSolution(f, ins.Name, sol); err != nil {
-		fatal(err)
-	}
+	return mkp.WriteSolution(f, ins.Name, sol)
 }
 
-func fatal(err error) {
+// fail reports the error and returns the process exit code for it.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "mkpsolve:", err)
-	os.Exit(1)
+	return 1
 }

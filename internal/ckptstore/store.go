@@ -1,0 +1,286 @@
+// Package ckptstore is a durable, crash-safe store for checkpoint blobs. It
+// replaces the raw os.Create-and-hope write the CLI used to do: a process
+// killed mid-write (kill -9, OOM, power loss) would leave a truncated JSON
+// file that destroyed the very state it was supposed to protect.
+//
+// The store writes versioned generations next to a base path: a Save of
+// payload bytes becomes `<base>.<seq>` via temp-file + fsync + atomic
+// rename (+ directory fsync), so a generation either exists completely or
+// not at all. Each file carries a fixed header — magic, format version,
+// payload length, CRC32-C of the payload — so Load can tell a good
+// generation from a torn or bit-rotted one without parsing the payload. The
+// last K generations are retained; Load walks them newest-first, quarantines
+// corrupt files by renaming them to `<file>.corrupt` (so they are preserved
+// for inspection but never re-read), and returns the newest generation that
+// verifies.
+//
+// The payload is opaque bytes: the store knows nothing about checkpoints,
+// which keeps it reusable for any state the solver wants to survive a crash.
+package ckptstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// magic identifies a store-written generation file; the trailing byte is the
+// container format version (bump it for incompatible header changes).
+var magic = [8]byte{'M', 'K', 'P', 'C', 'K', 'P', 'T', 1}
+
+// headerSize is magic + payload length (uint64 LE) + CRC32-C (uint32 LE).
+const headerSize = 8 + 8 + 4
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNoCheckpoint is returned by Load when no generation exists at all.
+var ErrNoCheckpoint = errors.New("ckptstore: no checkpoint generations found")
+
+// Store manages the generations rooted at one base path. It is safe for
+// concurrent use, though the solver writes from a single goroutine.
+type Store struct {
+	mu   sync.Mutex
+	base string
+	keep int
+	seq  uint64 // newest generation written or discovered
+
+	// Metric handles, nil unless WithMetrics installed a registry.
+	gens    *metrics.Gauge
+	writes  *metrics.Counter
+	bytes   *metrics.Counter
+	corrupt *metrics.Counter
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithKeep retains the last k generations (default 3, minimum 1).
+func WithKeep(k int) Option {
+	return func(s *Store) {
+		if k > 0 {
+			s.keep = k
+		}
+	}
+}
+
+// WithMetrics registers the store's telemetry in reg: the
+// `ckpt_generations` gauge (generations currently on disk), and the
+// `ckpt_writes_total`, `ckpt_bytes_total` and `ckpt_corrupt_total` counters.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Store) {
+		if reg == nil {
+			return
+		}
+		reg.SetHelp("ckpt_generations", "Checkpoint generations currently retained on disk.")
+		reg.SetHelp("ckpt_writes_total", "Checkpoint generations written durably.")
+		reg.SetHelp("ckpt_bytes_total", "Checkpoint payload bytes written durably.")
+		reg.SetHelp("ckpt_corrupt_total", "Checkpoint generations found corrupt and quarantined.")
+		s.gens = reg.Gauge("ckpt_generations")
+		s.writes = reg.Counter("ckpt_writes_total")
+		s.bytes = reg.Counter("ckpt_bytes_total")
+		s.corrupt = reg.Counter("ckpt_corrupt_total")
+	}
+}
+
+// Open prepares a store rooted at base (e.g. "run.ckpt"; generations become
+// "run.ckpt.1", "run.ckpt.2", ...). The base directory must exist. Existing
+// generations are discovered so a reopened store continues the sequence
+// instead of overwriting history.
+func Open(base string, opts ...Option) (*Store, error) {
+	if base == "" {
+		return nil, errors.New("ckptstore: empty base path")
+	}
+	s := &Store{base: base, keep: 3}
+	for _, o := range opts {
+		o(s)
+	}
+	if _, err := os.Stat(filepath.Dir(base)); err != nil {
+		return nil, fmt.Errorf("ckptstore: base directory: %w", err)
+	}
+	gens, err := s.generations()
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) > 0 {
+		s.seq = gens[len(gens)-1]
+	}
+	s.gens.Set(float64(len(gens)))
+	return s, nil
+}
+
+// genPath returns the file path of generation seq.
+func (s *Store) genPath(seq uint64) string {
+	return s.base + "." + strconv.FormatUint(seq, 10)
+}
+
+// generations lists the on-disk generation numbers in ascending order.
+// Quarantined (.corrupt) and temp files are excluded.
+func (s *Store) generations() ([]uint64, error) {
+	dir, prefix := filepath.Split(s.base)
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckptstore: scanning %s: %w", dir, err)
+	}
+	var gens []uint64
+	for _, e := range entries {
+		rest, ok := strings.CutPrefix(e.Name(), prefix+".")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			continue // temp, quarantined, or foreign file
+		}
+		gens = append(gens, n)
+	}
+	sort.Slice(gens, func(a, b int) bool { return gens[a] < gens[b] })
+	return gens, nil
+}
+
+// Generations lists the on-disk generation numbers, oldest first.
+func (s *Store) Generations() ([]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.generations()
+}
+
+// Save durably writes payload as the next generation: temp file in the same
+// directory, full header + payload, fsync, atomic rename, directory fsync,
+// then pruning of generations beyond the retention window. On any error the
+// previous generations are untouched.
+func (s *Store) Save(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	seq := s.seq + 1
+	final := s.genPath(seq)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ckptstore: %w", err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(payload, castagnoli))
+	if _, err = f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		err = f.Sync() // the durability point: data hits the disk before the rename publishes it
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckptstore: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckptstore: publishing %s: %w", final, err)
+	}
+	syncDir(filepath.Dir(final))
+	s.seq = seq
+	s.writes.Inc()
+	s.bytes.Add(int64(len(payload)))
+	s.prune()
+	return nil
+}
+
+// prune deletes generations beyond the retention window (best effort; a
+// failed delete only widens the window). Caller holds s.mu.
+func (s *Store) prune() {
+	gens, err := s.generations()
+	if err != nil {
+		return
+	}
+	for len(gens) > s.keep {
+		os.Remove(s.genPath(gens[0]))
+		gens = gens[1:]
+	}
+	s.gens.Set(float64(len(gens)))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash. Errors
+// are ignored: some filesystems reject directory fsync, and the rename itself
+// already happened.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Load returns the payload of the newest generation that verifies, together
+// with its generation number. Corrupt generations (truncated, bit-flipped,
+// foreign, or torn) are quarantined by renaming to `<file>.corrupt` and the
+// next-older generation is tried — the automatic fallback that makes a crash
+// during Save recoverable. ErrNoCheckpoint is returned when no generation
+// file exists; a distinct error when generations exist but none verifies.
+func (s *Store) Load() ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	gens, err := s.generations()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(gens) == 0 {
+		return nil, 0, fmt.Errorf("%w at %s", ErrNoCheckpoint, s.base)
+	}
+	var firstErr error
+	for i := len(gens) - 1; i >= 0; i-- {
+		path := s.genPath(gens[i])
+		payload, err := readVerify(path)
+		if err == nil {
+			s.gens.Set(float64(i + 1))
+			return payload, gens[i], nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		// Quarantine and fall back to the previous generation.
+		s.corrupt.Inc()
+		_ = os.Rename(path, path+".corrupt")
+	}
+	return nil, 0, fmt.Errorf("ckptstore: every generation at %s is corrupt (newest: %w)", s.base, firstErr)
+}
+
+// readVerify reads one generation file and verifies header and checksum.
+func readVerify(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckptstore: %w", err)
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("ckptstore: %s: %d bytes, shorter than the %d-byte header (truncated write)", path, len(data), headerSize)
+	}
+	if [8]byte(data[:8]) != magic {
+		return nil, fmt.Errorf("ckptstore: %s: bad magic %q (not a checkpoint generation, or unsupported version)", path, data[:8])
+	}
+	plen := binary.LittleEndian.Uint64(data[8:16])
+	if uint64(len(data)-headerSize) != plen {
+		return nil, fmt.Errorf("ckptstore: %s: header promises %d payload bytes, file has %d (torn write)", path, plen, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	if sum := crc32.Checksum(payload, castagnoli); sum != binary.LittleEndian.Uint32(data[16:20]) {
+		return nil, fmt.Errorf("ckptstore: %s: CRC mismatch (payload corrupted on disk)", path)
+	}
+	return payload, nil
+}

@@ -1,0 +1,219 @@
+package ckptstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func openT(t *testing.T, base string, opts ...Option) *Store {
+	t.Helper()
+	s, err := Open(base, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	s := openT(t, base)
+	want := []byte(`{"round": 7}`)
+	if err := s.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, gen, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 || !bytes.Equal(got, want) {
+		t.Fatalf("got gen %d payload %q", gen, got)
+	}
+}
+
+func TestRotationKeepsLastK(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	s := openT(t, base, WithKeep(3))
+	for i := 1; i <= 7; i++ {
+		if err := s.Save([]byte(fmt.Sprintf("gen %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := s.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 || gens[0] != 5 || gens[2] != 7 {
+		t.Fatalf("retained generations %v, want [5 6 7]", gens)
+	}
+	got, gen, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 7 || string(got) != "gen 7" {
+		t.Fatalf("newest is gen %d %q", gen, got)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	s := openT(t, base)
+	if err := s.Save([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// A resumed process must not overwrite history by restarting at 1.
+	s2 := openT(t, base)
+	if err := s2.Save([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, gen, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || string(got) != "two" {
+		t.Fatalf("got gen %d %q, want gen 2 \"two\"", gen, got)
+	}
+}
+
+// corrupt each way a file dies in the field and check the fallback.
+func TestLoadFallsBackAndQuarantines(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bit-flipped", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			data[len(data)-1] ^= 0x40 // flip a payload bit: only the CRC can see it
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"zero-length", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"foreign-file", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("{\"best\": 123}\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := filepath.Join(t.TempDir(), "run.ckpt")
+			reg := metrics.NewRegistry()
+			s := openT(t, base, WithMetrics(reg))
+			if err := s.Save([]byte("good old")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Save([]byte("bad new")); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, s.genPath(2))
+
+			got, gen, err := s.Load()
+			if err != nil {
+				t.Fatalf("fallback failed: %v", err)
+			}
+			if gen != 1 || string(got) != "good old" {
+				t.Fatalf("got gen %d %q, want the K-1 generation", gen, got)
+			}
+			if _, err := os.Stat(s.genPath(2) + ".corrupt"); err != nil {
+				t.Fatalf("corrupt generation not quarantined: %v", err)
+			}
+			if n := reg.Snapshot().Counter("ckpt_corrupt_total"); n != 1 {
+				t.Fatalf("ckpt_corrupt_total = %d, want 1", n)
+			}
+		})
+	}
+}
+
+func TestLoadAllCorrupt(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	s := openT(t, base)
+	for i := 0; i < 2; i++ {
+		if err := s.Save([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, g := range []uint64{1, 2} {
+		if err := os.WriteFile(s.genPath(g), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.Load(); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("want descriptive all-corrupt error, got %v", err)
+	}
+}
+
+func TestLoadEmptyStore(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	s := openT(t, base)
+	if _, _, err := s.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+}
+
+func TestOpenRejectsMissingDirAndEmptyBase(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty base accepted")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "no", "such", "dir", "x.ckpt")); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+}
+
+func TestTempAndQuarantineFilesAreIgnored(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	s := openT(t, base)
+	if err := s.Save([]byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	// Debris a crash mid-Save could leave behind, plus an old quarantine.
+	for _, junk := range []string{base + ".2.tmp", base + ".0.corrupt", base + "x.3"} {
+		if err := os.WriteFile(junk, []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := s.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 || gens[0] != 1 {
+		t.Fatalf("debris leaked into generations: %v", gens)
+	}
+	if _, gen, err := s.Load(); err != nil || gen != 1 {
+		t.Fatalf("load with debris: gen %d, %v", gen, err)
+	}
+}
+
+func TestMetricsGaugeTracksGenerations(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	reg := metrics.NewRegistry()
+	s := openT(t, base, WithKeep(2), WithMetrics(reg))
+	for i := 0; i < 5; i++ {
+		if err := s.Save([]byte("p")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if g := snap.Gauge("ckpt_generations"); g != 2 {
+		t.Fatalf("ckpt_generations = %v, want 2", g)
+	}
+	if w := snap.Counter("ckpt_writes_total"); w != 5 {
+		t.Fatalf("ckpt_writes_total = %d, want 5", w)
+	}
+}

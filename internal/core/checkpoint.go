@@ -46,6 +46,12 @@ type Checkpoint struct {
 	Redispatches    int   `json:"redispatches,omitempty"`
 	DroppedMessages int64 `json:"dropped_messages,omitempty"`
 	DeadSlaves      int   `json:"dead_slaves,omitempty"`
+	// Supervision accounting (absent in pre-PR4 checkpoints, read as zero).
+	// Like the failure counters these stay cumulative across a crash/resume
+	// boundary; the supervisor's backoff and budget state itself is NOT
+	// persisted — a resumed run starts P fresh slaves with full budgets.
+	SlaveRestarts int `json:"slave_restarts,omitempty"`
+	WatchdogTrips int `json:"watchdog_trips,omitempty"`
 }
 
 // SolutionRecord is the serialized form of a solution: the assignment as a
@@ -106,6 +112,8 @@ func (m *master) checkpoint() *Checkpoint {
 		Redispatches:    m.stats.Redispatches,
 		DroppedMessages: m.droppedBase + m.net.Stats().Dropped,
 		DeadSlaves:      m.stats.DeadSlaves,
+		SlaveRestarts:   m.stats.SlaveRestarts,
+		WatchdogTrips:   m.stats.WatchdogTrips,
 	}
 	for _, mode := range m.modes {
 		c.Modes = append(c.Modes, int(mode))
@@ -137,7 +145,8 @@ func (m *master) restore(c *Checkpoint) error {
 	if c.Round < 0 {
 		return fmt.Errorf("core: checkpoint round %d < 0", c.Round)
 	}
-	if c.SlaveFailures < 0 || c.Redispatches < 0 || c.DroppedMessages < 0 || c.DeadSlaves < 0 {
+	if c.SlaveFailures < 0 || c.Redispatches < 0 || c.DroppedMessages < 0 || c.DeadSlaves < 0 ||
+		c.SlaveRestarts < 0 || c.WatchdogTrips < 0 {
 		return fmt.Errorf("core: checkpoint has negative failure counters")
 	}
 	// The extended-tuning arrays are optional (absent in older checkpoints)
@@ -187,6 +196,8 @@ func (m *master) restore(c *Checkpoint) error {
 	m.stats.SlaveFailures = c.SlaveFailures
 	m.stats.Redispatches = c.Redispatches
 	m.stats.DeadSlaves = c.DeadSlaves
+	m.stats.SlaveRestarts = c.SlaveRestarts
+	m.stats.WatchdogTrips = c.WatchdogTrips
 	m.droppedBase = c.DroppedMessages
 	return nil
 }

@@ -401,3 +401,50 @@ func TestPreFailureCheckpointReadsAsZero(t *testing.T) {
 		t.Fatalf("zero-history resume invented failures: %+v", resumed.Stats)
 	}
 }
+
+// TestLoadCheckpointCorruptInput pins the crash-safety contract at the parse
+// layer: a checkpoint file torn mid-write, bit-flipped on disk, or truncated
+// to nothing must come back as a descriptive error — never a panic, never a
+// silently wrong state. (The generation fallback that recovers from these
+// lives in internal/ckptstore; this guards the decoder underneath it.)
+func TestLoadCheckpointCorruptInput(t *testing.T) {
+	ins := testInstance(30, 3, 75)
+	var cp *Checkpoint
+	if _, err := Solve(ins, CTS2, Options{
+		P: 2, Seed: 4, Rounds: 2, RoundMoves: 100,
+		OnCheckpoint: func(c *Checkpoint) { cp = c },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := SaveCheckpoint(&sb, cp); err != nil {
+		t.Fatal(err)
+	}
+	good := sb.String()
+
+	flipped := []byte(good)
+	flipped[len(flipped)/2] ^= 0x18 // corrupt a byte mid-document
+
+	cases := map[string]string{
+		"zero-length": "",
+		"truncated":   good[:len(good)/3],
+		"bit-flipped": string(flipped),
+		"not-json":    "MKPCKPT\x01 this is not a checkpoint",
+	}
+	for name, input := range cases {
+		c, err := LoadCheckpoint(strings.NewReader(input))
+		if err == nil {
+			// A flipped byte inside a string value can still be valid JSON;
+			// the restore layer must then reject the damaged content.
+			opts := (Options{P: cp.P, Seed: 4, Rounds: cp.Round + 1, RoundMoves: 100}).withDefaults(ins.N)
+			m := bareMaster(ins, cp.P, opts)
+			if rerr := m.restore(c); rerr == nil {
+				t.Fatalf("%s: accepted end to end", name)
+			}
+			continue
+		}
+		if !strings.Contains(err.Error(), "checkpoint") {
+			t.Fatalf("%s: error does not name the checkpoint: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mkp"
+	"repro/internal/rng"
+	"repro/internal/tabu"
+	"repro/internal/trace"
+)
+
+// This file holds the self-healing mechanics the supervisor policy drives:
+// the stop/ack handshake with a dying incarnation, the farm revival and warm
+// respawn, the cooperative warm-start pool, and the heartbeat plumbing. The
+// policy itself (budgets, backoff, watchdog thresholds) lives in
+// internal/supervise; everything here is the master acting on its verdicts.
+
+// heartbeatFor returns the progress-watermark publisher dispatched to node's
+// kernel. The closure runs on the slave goroutine, so it captures the cell
+// rather than indexing m.hb (which the master swaps on respawn). A node whose
+// sends are being swallowed by a crash fault stops publishing: in-process the
+// goroutine could still reach shared memory, but a real partitioned process
+// could not, and the watchdog must see the same frozen watermark either way.
+func (m *master) heartbeatFor(node int) func(int64) {
+	cell := m.hb[node-1]
+	net := m.net
+	return func(moves int64) {
+		if net.Crashed(node) {
+			return
+		}
+		atomic.StoreInt64(cell, moves)
+	}
+}
+
+// superviseRound runs the resurrection window at a round boundary: every
+// dead node whose backoff has elapsed and whose budget remains is stopped,
+// acknowledged, revived in the farm and respawned warm. A node whose dying
+// incarnation does not acknowledge within AckGrace (it may be deep in a
+// round) is retried at a later boundary without re-sending the stop.
+func (m *master) superviseRound(round int) {
+	if m.sv == nil {
+		return
+	}
+	now := time.Now()
+	for n := 0; n < m.opts.P; n++ {
+		if m.alive[n] || !m.sv.Due(n, now) {
+			continue
+		}
+		// Stop the dying incarnation exactly once per handshake. The order
+		// rides the control plane, so even a crash-faulted node hears it.
+		if !m.sv.StopSent(n) {
+			m.net.SendControl(0, n+1, tagStop, stopMsg{Inc: m.inc[n], Ack: true}, 0)
+			m.sv.MarkStopSent(n)
+		}
+		if !m.awaitAck(n+1, m.sv.Policy().AckGrace) {
+			continue
+		}
+		m.respawn(n, round)
+	}
+}
+
+// awaitAck waits up to grace for node's stop acknowledgement on the master
+// mailbox. Acks for other nodes arriving meanwhile are cached; stale round
+// results are discarded, exactly as the faulty collector would.
+func (m *master) awaitAck(node int, grace time.Duration) bool {
+	if m.acked[node] {
+		delete(m.acked, node)
+		return true
+	}
+	deadline := time.Now().Add(grace)
+	for {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return false
+		}
+		msg, ok := m.net.RecvTimeout(0, wait)
+		if !ok {
+			return false
+		}
+		if ack, isAck := msg.Payload.(ackMsg); isAck {
+			if ack.Node == node {
+				return true
+			}
+			m.acked[ack.Node] = true
+		}
+		// Anything else at a round boundary is a stale reply from an
+		// abandoned or duplicated round; drop it.
+	}
+}
+
+// respawn replaces node index n's process: the farm link is revived (mailbox
+// drained, send counter and crash fault cleared), a fresh incarnation is
+// launched with a seed that is a pure function of (run seed, node,
+// incarnation) — so restart order never shifts anyone's stream — and warm
+// state rebuilt from the master's cooperative pool. The slot's next start is
+// drawn from the pool too: the respawned searcher resumes from the farm's
+// collective frontier, not from scratch.
+func (m *master) respawn(n, round int) {
+	drained := m.net.Revive(n + 1)
+	m.inc[n]++
+	m.sv.OnRestart(n, 0)
+	m.hb[n] = new(int64)
+	m.nodeFail[n] = 0
+	m.alive[n] = true
+	m.stats.SlaveRestarts++
+	m.mx.slaveRestarts.Inc()
+	seed := m.opts.Seed ^ (uint64(n+1) << 40) ^ (uint64(m.inc[n]) << 20) ^ 0xD1B54A32D192ED03
+	go slave(m.net, n+1, m.ins, rng.New(seed), m.inc[n], m.warmFor(n))
+	if len(m.pool) > 0 {
+		pick := (m.inc[n] - 1 + n) % len(m.pool)
+		m.starts[n] = m.pool[pick].Clone()
+	}
+	if m.opts.Tracer != nil {
+		m.opts.Tracer.Record(trace.Event{
+			Kind: trace.KindSlaveRestart, Actor: -1, Round: round, Value: m.best.Value,
+			Detail: fmt.Sprintf("node=%d incarnation=%d restarts=%d drained=%d pool=%d",
+				n+1, m.inc[n], m.sv.Restarts(n), drained, len(m.pool)),
+		})
+	}
+}
+
+// warmFor builds the warm-start package for node index n's next incarnation.
+// The pool is cloned at the boundary (it crosses into the slave goroutine);
+// the epoch is the node's lifetime move count across incarnations, so the
+// successor's diversification thresholds see a mature search.
+func (m *master) warmFor(n int) *warmStart {
+	if len(m.pool) == 0 && m.nodeMoves[n] == 0 {
+		return nil
+	}
+	w := &warmStart{moves: m.nodeMoves[n]}
+	for _, s := range m.pool {
+		w.pool = append(w.pool, s.Clone())
+	}
+	return w
+}
+
+// mergePool folds this round's results into the master's cooperative pool:
+// every reported best and B-best member, deduplicated by assignment, best
+// BBest kept. Only supervised runs pay for it.
+func (m *master) mergePool(results []*tabu.Result) {
+	if m.sv == nil {
+		return
+	}
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		m.poolAdd(res.Best)
+		for _, s := range res.Pool {
+			m.poolAdd(s)
+		}
+	}
+}
+
+// stopRequested reports whether the graceful-stop channel has fired.
+func (m *master) stopRequested() bool {
+	if m.opts.Stop == nil {
+		return false
+	}
+	select {
+	case <-m.opts.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// poolAdd inserts a solution into the supervised warm pool unless an equal
+// assignment is already present, keeping the pool sorted best-first and
+// capped at the per-slave B-best size.
+func (m *master) poolAdd(sol mkp.Solution) {
+	if sol.X == nil {
+		return
+	}
+	for _, p := range m.pool {
+		if p.X.Equal(sol.X) {
+			return
+		}
+	}
+	m.pool = append(m.pool, sol.Clone())
+	sort.SliceStable(m.pool, func(i, j int) bool { return m.pool[i].Value > m.pool[j].Value })
+	if limit := m.opts.Base.BBest; len(m.pool) > limit {
+		m.pool = m.pool[:limit]
+	}
+}
+
+// awaitRevival blocks until the next dead node's backoff elapses and runs a
+// resurrection window, so a fully-dead farm can refill instead of aborting.
+// It returns false when every dead node has exhausted its restart budget.
+func (m *master) awaitRevival(round int) bool {
+	var dead []int
+	for i := 0; i < m.opts.P; i++ {
+		if !m.alive[i] {
+			dead = append(dead, i)
+		}
+	}
+	due, ok := m.sv.NextDue(dead)
+	if !ok {
+		return false
+	}
+	if wait := time.Until(due); wait > 0 {
+		time.Sleep(wait)
+	}
+	m.superviseRound(round)
+	return true
+}

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/farm"
 	"repro/internal/mkp"
 	"repro/internal/rng"
+	"repro/internal/supervise"
 	"repro/internal/tabu"
 	"repro/internal/trace"
 	"repro/internal/vtime"
@@ -14,9 +16,10 @@ import (
 
 // Message tags exchanged between master (node 0) and slaves (nodes 1..P).
 const (
-	tagStart  = "start"  // master -> slave: startMsg
-	tagResult = "result" // slave -> master: resultMsg
-	tagStop   = "stop"   // master -> slave: terminate (control plane)
+	tagStart   = "start"   // master -> slave: startMsg
+	tagResult  = "result"  // slave -> master: resultMsg
+	tagStop    = "stop"    // master -> slave: stopMsg or nil (control plane)
+	tagStopped = "stopped" // slave -> master: ackMsg (control plane)
 )
 
 // startMsg is what the master sends a slave at each rendezvous: an initial
@@ -44,6 +47,32 @@ type resultMsg struct {
 	Err   error
 }
 
+// stopMsg is the supervisor's stop order to a dying incarnation. Inc names
+// the incarnation the order targets (a fresh incarnation ignores orders for
+// its predecessors); Ack asks the slave to confirm its exit on the control
+// plane so the master knows the node's mailbox is safe to drain. The
+// shutdown path sends a nil payload instead: exit silently, no ack.
+type stopMsg struct {
+	Inc int
+	Ack bool
+}
+
+// ackMsg confirms that incarnation Inc of node Node consumed its stop order
+// and is about to return.
+type ackMsg struct {
+	Node int
+	Inc  int
+}
+
+// warmStart carries the master's cooperative memory into a respawned slave:
+// the merged B-best pool reconstructs the long-term frequency history, and
+// moves restores the lifetime move epoch so diversification thresholds see a
+// mature search rather than a newborn one.
+type warmStart struct {
+	pool  []mkp.Solution
+	moves int64
+}
+
 // Solve runs the selected algorithm on the instance. The run is
 // deterministic for a fixed (algorithm, Options.Seed, Options.P): slave
 // streams are split from the seed and the master's decisions depend only on
@@ -66,6 +95,11 @@ func Solve(ins *mkp.Instance, algo Algorithm, opts Options) (*Result, error) {
 	}
 	if opts.Faults != nil {
 		if err := opts.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Supervise != nil {
+		if err := opts.Supervise.Validate(); err != nil {
 			return nil, err
 		}
 	}
@@ -118,6 +152,22 @@ type master struct {
 	perMove      time.Duration
 	dispatchedAt []time.Time // when each slot's current order was sent
 	lastErr      error
+
+	// Supervision state (all nil/empty unless opts.Supervise is set).
+	// inc[i] is node i+1's current incarnation number; hb[i] is the cell its
+	// heartbeat writes (swapped for a fresh one on respawn so a lingering
+	// write cannot pollute the successor's watermark); acked caches stop
+	// acknowledgements that arrived while the master was waiting on a
+	// different node or collecting a round; nodeMoves accumulates each
+	// node's lifetime kernel moves across incarnations (the warm-start
+	// epoch); pool is the merged cooperative B-best pool respawns warm-start
+	// from.
+	sv        *supervise.Supervisor
+	inc       []int
+	hb        []*int64
+	acked     map[int]bool
+	nodeMoves []int64
+	pool      []mkp.Solution
 
 	best  mkp.Solution
 	alpha float64 // current ISP threshold; fixed unless AdaptiveAlpha
@@ -189,7 +239,20 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
 	// Launch the slaves ("Read and send to slaves problem data", Fig. 2 —
 	// the instance pointer is shared read-only here).
 	for i := 0; i < opts.P; i++ {
-		go slave(m.net, i+1, ins, root.Split())
+		go slave(m.net, i+1, ins, root.Split(), 0, nil)
+	}
+	// Supervision state is built only when armed, and its seed is drawn from
+	// the root AFTER the slave splits, so an unsupervised run consumes
+	// exactly the same stream positions as before supervision existed.
+	if opts.Supervise != nil {
+		m.sv = supervise.New(*opts.Supervise, opts.P, root.Uint64())
+		m.inc = make([]int, opts.P)
+		m.hb = make([]*int64, opts.P)
+		for i := range m.hb {
+			m.hb[i] = new(int64)
+		}
+		m.acked = make(map[int]bool)
+		m.nodeMoves = make([]int64, opts.P)
 	}
 	return m
 }
@@ -198,7 +261,10 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
 // execute one tabu-search round, report the result, repeat until stopped.
 // The report echoes the order's slot and round so the master can route it to
 // the right bookkeeping entry and discard stale replies after re-dispatch.
-func slave(net *farm.Farm, node int, ins *mkp.Instance, r *rng.Rand) {
+// inc is this incarnation's number (0 for the original process); warm, when
+// non-nil, reconstructs the predecessor's long-term memory before the first
+// round.
+func slave(net *farm.Farm, node int, ins *mkp.Instance, r *rng.Rand, inc int, warm *warmStart) {
 	searcher, err := tabu.NewSearcher(ins, r.Uint64())
 	if err != nil {
 		// The master validated the instance; this is unreachable in normal
@@ -206,10 +272,23 @@ func slave(net *farm.Farm, node int, ins *mkp.Instance, r *rng.Rand) {
 		net.Send(node, 0, tagResult, resultMsg{Slot: node - 1, Node: node, Round: -1, Err: err}, 0)
 		return
 	}
+	if warm != nil {
+		searcher.WarmStart(warm.pool, warm.moves)
+	}
 	for {
 		msg := net.Recv(node)
 		switch msg.Tag {
 		case tagStop:
+			req, supervised := msg.Payload.(stopMsg)
+			if !supervised {
+				return // shutdown order: exit silently
+			}
+			if req.Inc < inc {
+				continue // aimed at a predecessor that is already gone
+			}
+			if req.Ack {
+				net.SendControl(node, 0, tagStopped, ackMsg{Node: node, Inc: inc}, 0)
+			}
 			return
 		case tagStart:
 			req := msg.Payload.(startMsg)
@@ -250,6 +329,9 @@ func (m *master) dispatch(slot, node, round int, budget int64) error {
 		params.AddNoise = m.noises[slot]
 		params.CandWidth = m.widths[slot]
 	}
+	if m.sv != nil {
+		params.Heartbeat = m.heartbeatFor(node)
+	}
 	// Clone at the send boundary: the payload crosses into the slave
 	// goroutine while the master keeps (and may re-send) its copy.
 	req := startMsg{Slot: slot, Round: round, Start: m.starts[slot].Clone(), Params: params, Budget: budget}
@@ -280,19 +362,35 @@ func (m *master) run() (*Result, error) {
 				Kind: trace.KindRoundStart, Actor: -1, Round: round, Value: m.best.Value,
 			})
 		}
+		// Resurrection window: dead slaves whose backoff has elapsed are
+		// respawned before the round's dispatch, so the fresh incarnations
+		// take part immediately.
+		m.superviseRound(round)
+
 		// Dispatch: every live slave gets its start, strategy and budget.
+		// With supervision armed, an all-dead farm waits for the next
+		// resurrection to come due instead of giving up outright.
 		dispatched := 0
-		for i := 0; i < m.opts.P; i++ {
-			results[i] = nil
-			budgets[i] = 0
-			if !m.alive[i] {
-				continue
+		for attempt := 0; ; attempt++ {
+			dispatched = 0
+			for i := 0; i < m.opts.P; i++ {
+				results[i] = nil
+				budgets[i] = 0
+				if !m.alive[i] {
+					continue
+				}
+				budgets[i] = m.budgetFor(m.strategies[i])
+				if err := m.dispatch(i, i+1, round, budgets[i]); err != nil {
+					return nil, err
+				}
+				dispatched++
 			}
-			budgets[i] = m.budgetFor(m.strategies[i])
-			if err := m.dispatch(i, i+1, round, budgets[i]); err != nil {
-				return nil, err
+			if dispatched > 0 || m.sv == nil || attempt >= 4 {
+				break
 			}
-			dispatched++
+			if !m.awaitRevival(round) {
+				break
+			}
 		}
 		if dispatched == 0 {
 			if m.lastErr != nil {
@@ -302,9 +400,11 @@ func (m *master) run() (*Result, error) {
 		}
 
 		// Rendezvous: wait for the dispatched results (synchronous
-		// centralized scheme, §4.2), tolerating loss when faults are armed.
+		// centralized scheme, §4.2), tolerating loss when faults or the
+		// supervisor are armed — supervision needs the deadline-driven
+		// collector for its watchdog observations even on a fault-free farm.
 		var hadFailure bool
-		if m.opts.Faults == nil {
+		if m.opts.Faults == nil && m.sv == nil {
 			hadFailure = m.collect(round, dispatched, results)
 		} else {
 			hadFailure = m.collectFaulty(round, budgets, results)
@@ -341,6 +441,9 @@ func (m *master) run() (*Result, error) {
 		if m.opts.AdaptiveAlpha {
 			m.adaptAlpha(m.best.Value > prevBest)
 		}
+		// Supervised runs keep a merged cooperative pool so a respawned slave
+		// can be warm-started with the farm's collective memory.
+		m.mergePool(results)
 
 		// Next-round starting solutions.
 		switch m.algo {
@@ -378,6 +481,9 @@ func (m *master) run() (*Result, error) {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			break
 		}
+		if m.stopRequested() {
+			break
+		}
 	}
 
 	fs := m.net.Stats()
@@ -387,6 +493,11 @@ func (m *master) run() (*Result, error) {
 	// checkpointed count so the reported total stays cumulative.
 	m.stats.DroppedMessages = m.droppedBase + fs.Dropped
 	m.stats.FinalAlpha = m.alpha
+	for _, ok := range m.alive {
+		if ok {
+			m.stats.LiveSlaves++
+		}
+	}
 	return &Result{
 		Best:       m.best,
 		Stats:      m.stats,
@@ -466,6 +577,12 @@ func (m *master) collectFaulty(round int, budgets []int64, results []*tabu.Resul
 		if wait := time.Until(waitUntil); wait > 0 {
 			msg, ok := m.net.RecvTimeout(0, wait)
 			if ok {
+				if ack, isAck := msg.Payload.(ackMsg); isAck {
+					// A dying incarnation confirmed its stop after the grace
+					// window expired; cache it for the next respawn attempt.
+					m.acked[ack.Node] = true
+					continue
+				}
 				rep, isResult := msg.Payload.(resultMsg)
 				if !isResult {
 					continue
@@ -494,6 +611,14 @@ func (m *master) collectFaulty(round int, budgets []int64, results []*tabu.Resul
 				if n := rep.Node - 1; n >= 0 && n < p {
 					m.nodeFail[n] = 0
 					finished = append(finished, rep.Node)
+					if m.sv != nil {
+						if rep.Res != nil {
+							m.nodeMoves[n] += rep.Res.Moves
+						}
+						// A result is definitive progress: reset the watchdog
+						// to the watermark the node will freeze at if it dies.
+						m.sv.NoteProgress(n, atomic.LoadInt64(m.hb[n]))
+					}
 				}
 				// Calibrate the budget-proportional deadline from real
 				// arrivals, measured from the slot's own dispatch so waits
@@ -524,9 +649,35 @@ func (m *master) collectFaulty(round int, budgets []int64, results []*tabu.Resul
 			}
 			if n := assigned[s] - 1; n >= 0 && n < p && !timedOut[n] {
 				timedOut[n] = true
-				m.nodeFail[n]++
-				if m.nodeFail[n] >= deadAfterMisses && m.alive[n] {
-					m.slaveDied(n, round, nil)
+				charge := true
+				if m.sv != nil {
+					switch m.sv.Observe(n, atomic.LoadInt64(m.hb[n])) {
+					case supervise.Advanced:
+						// The watermark moved: the node is computing, just
+						// slower than the deadline. Forgive the silence.
+						charge = false
+					case supervise.Stalled:
+						// Frozen for StallChecks deadline checks in a row:
+						// hung, no need to wait out the silent-miss count.
+						charge = false
+						m.stats.WatchdogTrips++
+						m.mx.watchdogTrips.Inc()
+						if m.opts.Tracer != nil {
+							m.opts.Tracer.Record(trace.Event{
+								Kind: trace.KindWatchdogTrip, Actor: -1, Round: round, Value: m.best.Value,
+								Detail: fmt.Sprintf("node=%d watermark frozen at %d", n+1, atomic.LoadInt64(m.hb[n])),
+							})
+						}
+						if m.alive[n] {
+							m.slaveDied(n, round, nil)
+						}
+					}
+				}
+				if charge {
+					m.nodeFail[n]++
+					if m.nodeFail[n] >= deadAfterMisses && m.alive[n] {
+						m.slaveDied(n, round, nil)
+					}
 				}
 			}
 			if m.redispatch(s, round, budgets, attempts, assigned, finished, &borrow) {
@@ -588,6 +739,9 @@ func (m *master) slaveDied(node, round int, err error) {
 	m.alive[node] = false
 	m.stats.DeadSlaves++
 	m.mx.deadSlaves.Inc()
+	if m.sv != nil {
+		m.sv.OnDeath(node, time.Now())
+	}
 	if err != nil {
 		m.lastErr = fmt.Errorf("core: slave %d: %w", node, err)
 	}

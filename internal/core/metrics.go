@@ -24,6 +24,8 @@ type masterMetrics struct {
 	redispatches *metrics.Counter
 	slotFailures *metrics.Counter
 	deadSlaves   *metrics.Counter
+	slaveRestarts *metrics.Counter
+	watchdogTrips *metrics.Counter
 	replacements *metrics.Counter
 	restarts     *metrics.Counter
 	resets       *metrics.Counter
@@ -48,6 +50,8 @@ func newMasterMetrics(r *metrics.Registry) masterMetrics {
 	r.SetHelp("core_redispatches_total", "Round orders re-sent after a missed deadline.")
 	r.SetHelp("core_slot_failures_total", "Rounds a slot ended without a usable result.")
 	r.SetHelp("core_dead_slaves_total", "Slaves declared dead (the run degraded to P-k).")
+	r.SetHelp("core_slave_restarts_total", "Dead slaves respawned by the supervisor.")
+	r.SetHelp("core_watchdog_trips_total", "Slaves declared hung by the progress watchdog.")
 	r.SetHelp("core_isp_replacements_total", "ISP substitutions of the global best for a weak start.")
 	r.SetHelp("core_isp_restarts_total", "ISP substitutions of a random solution for a stagnant start.")
 	r.SetHelp("core_sgp_resets_total", "SGP strategy regenerations.")
@@ -61,6 +65,8 @@ func newMasterMetrics(r *metrics.Registry) masterMetrics {
 		redispatches: r.Counter("core_redispatches_total"),
 		slotFailures: r.Counter("core_slot_failures_total"),
 		deadSlaves:   r.Counter("core_dead_slaves_total"),
+		slaveRestarts: r.Counter("core_slave_restarts_total"),
+		watchdogTrips: r.Counter("core_watchdog_trips_total"),
 		replacements: r.Counter("core_isp_replacements_total"),
 		restarts:     r.Counter("core_isp_restarts_total"),
 		resets:       r.Counter("core_sgp_resets_total"),

@@ -19,6 +19,7 @@ import (
 	"repro/internal/farm"
 	"repro/internal/metrics"
 	"repro/internal/mkp"
+	"repro/internal/supervise"
 	"repro/internal/tabu"
 	"repro/internal/trace"
 )
@@ -157,6 +158,25 @@ type Options struct {
 	// (only used when Faults is set). Default 2: once to the original slave,
 	// once to a borrowed live slave.
 	MaxRedispatch int
+	// Supervise, when non-nil, arms the self-healing layer on top of the
+	// fault-tolerant rendezvous: slaves declared dead are respawned at round
+	// boundaries after a capped exponential backoff (per-node restart budget,
+	// seeded jitter), warm-started from the master's merged B-best pool; a
+	// hung-slave watchdog reads per-slave progress watermarks at every
+	// rendezvous deadline so a slow slave is forgiven and a stalled one is
+	// declared dead without waiting out the silent-miss count. Supervision
+	// routes every rendezvous through the deadline-driven collector even when
+	// Faults is nil, so a supervised run is NOT bitwise comparable to an
+	// unsupervised one — but it is still deterministic in its outcome for a
+	// fixed seed when no real-time recovery triggers. Restarts are counted in
+	// Stats (SlaveRestarts, WatchdogTrips) and emitted as trace events.
+	Supervise *supervise.Policy
+	// Stop, when non-nil, requests a graceful stop: when a receive on the
+	// channel proceeds (close it or send once), the master finishes the round
+	// in progress — whose checkpoint has already been delivered to
+	// OnCheckpoint — and returns the best found so far. The CLI wires SIGINT
+	// to this.
+	Stop <-chan struct{}
 	// EqualWork divides each slave's budget by P so every algorithm consumes
 	// the same *total* number of moves. The default (false) is the paper's
 	// fixed-wall-clock protocol, where P processors do P times the work of
@@ -223,6 +243,10 @@ func (o Options) withDefaults(n int) Options {
 	if o.MaxRedispatch <= 0 {
 		o.MaxRedispatch = 2
 	}
+	if o.Supervise != nil {
+		pol := o.Supervise.WithDefaults()
+		o.Supervise = &pol
+	}
 	return o
 }
 
@@ -241,6 +265,9 @@ type Stats struct {
 	Redispatches   int       // start messages re-sent after a missed deadline
 	DroppedMessages int64    // farm messages swallowed by the fault injector
 	DeadSlaves     int       // slaves declared dead (the run degraded to P − DeadSlaves)
+	SlaveRestarts  int       // dead slaves respawned by the supervisor
+	WatchdogTrips  int       // slaves declared hung by the progress watchdog
+	LiveSlaves     int       // slaves alive when the run ended (== P unless degraded)
 	BestByRound    []float64 // global best after each round (the quality trajectory)
 	FinalAlpha     float64   // Alpha at the end of the run (moves only under AdaptiveAlpha)
 	Elapsed        time.Duration

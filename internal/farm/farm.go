@@ -165,6 +165,7 @@ type Farm struct {
 	linkMsgs map[[2]int]int64
 	linkRng  map[[2]int]*rng.Rand
 	sent     []int64 // per-node send count, for CrashAt accounting
+	crashAt  []int64 // per-node send budget copied from the plan; -1 = none (cleared by Revive)
 
 	// Metric handles, all nil unless WithMetrics installed a registry. The
 	// counters mirror the atomic Stats counters exactly; the histogram and
@@ -237,6 +238,17 @@ func New(n int, opts ...Option) *Farm {
 			panic(err.Error())
 		}
 		f.linkRng = make(map[[2]int]*rng.Rand)
+		// Copy the crash budgets out of the plan: Revive clears a node's
+		// budget without mutating the caller's (possibly shared) FaultPlan.
+		f.crashAt = make([]int64, n)
+		for i := range f.crashAt {
+			f.crashAt[i] = -1
+		}
+		for node, k := range f.faults.CrashAt {
+			if node >= 0 && node < n {
+				f.crashAt[node] = k
+			}
+		}
 	}
 	f.boxes = make([]*mailbox, n)
 	for i := range f.boxes {
@@ -291,7 +303,7 @@ func (f *Farm) send(from, to int, tag string, payload any, size int, control boo
 	if f.faults != nil && !control {
 		f.mu.Lock()
 		f.sent[from]++
-		if k, ok := f.faults.CrashAt[from]; ok && f.sent[from] > k {
+		if k := f.crashAt[from]; k >= 0 && f.sent[from] > k {
 			f.mu.Unlock()
 			f.dropped.Add(1)
 			f.mDropped.Inc()
@@ -418,6 +430,41 @@ func (f *Farm) Drain(node int) int {
 		}
 		count++
 	}
+}
+
+// Crashed reports whether node's sends are currently being swallowed by a
+// crash-after-k fault — i.e. the rest of the farm can no longer hear it,
+// however hard it keeps computing. The supervision layer gates the in-process
+// heartbeat watermark on this, so a fail-silent node looks hung to the
+// watchdog exactly as a real partitioned process would.
+func (f *Farm) Crashed(node int) bool {
+	if f.faults == nil || node < 0 || node >= f.n {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := f.crashAt[node]
+	return k >= 0 && f.sent[node] >= k
+}
+
+// Revive re-registers a node whose process was replaced by the supervisor:
+// the mailbox is drained of stale orders (returned as the count), the send
+// counter restarts, and the node's crash-after-k fault is cleared — the
+// replacement process gets a working link, while drop/dup/slowdown faults on
+// its links keep applying from the plan. The caller must ensure the previous
+// incarnation has stopped receiving on the node before calling Revive, or
+// the drain races with it.
+func (f *Farm) Revive(node int) int {
+	if node < 0 || node >= f.n {
+		panic(fmt.Sprintf("farm: Revive of node %d (n=%d)", node, f.n))
+	}
+	f.mu.Lock()
+	f.sent[node] = 0
+	if f.crashAt != nil {
+		f.crashAt[node] = -1
+	}
+	f.mu.Unlock()
+	return f.Drain(node)
 }
 
 // Stats is a snapshot of the accounting counters.

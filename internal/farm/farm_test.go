@@ -333,3 +333,65 @@ func TestWireSizes(t *testing.T) {
 		t.Fatalf("SizeOfStrategy = %d, want 24", got)
 	}
 }
+
+func TestCrashedReflectsSendBudget(t *testing.T) {
+	f := New(3, WithFaults(&FaultPlan{Seed: 1, CrashAt: map[int]int64{1: 2}}))
+	if f.Crashed(1) {
+		t.Fatal("node crashed before spending its budget")
+	}
+	for i := 0; i < 2; i++ {
+		if err := f.Send(1, 0, "x", nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !f.Crashed(1) {
+		t.Fatal("node not crashed after spending its budget")
+	}
+	if f.Crashed(0) || f.Crashed(2) || f.Crashed(-1) || f.Crashed(99) {
+		t.Fatal("crash state leaked to other or out-of-range nodes")
+	}
+	// Without a fault plan nothing ever crashes.
+	if New(2).Crashed(0) {
+		t.Fatal("fault-free farm reports a crash")
+	}
+}
+
+func TestReviveClearsCrashAndDrainsMailbox(t *testing.T) {
+	f := New(3, WithFaults(&FaultPlan{Seed: 1, CrashAt: map[int]int64{1: 0}}))
+	// Node 1 is fail-silent from its first send.
+	if err := f.Send(1, 0, "lost", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.TryRecv(0); ok {
+		t.Fatal("crashed node's send was delivered")
+	}
+	// Two stale orders queue at the dead node.
+	_ = f.Send(0, 1, "stale", nil, 0)
+	_ = f.Send(0, 1, "stale", nil, 0)
+
+	if n := f.Revive(1); n != 2 {
+		t.Fatalf("Revive drained %d messages, want 2", n)
+	}
+	if f.Crashed(1) {
+		t.Fatal("node still crashed after Revive")
+	}
+	// The revived node's sends flow again, and the caller's plan is intact.
+	if err := f.Send(1, 0, "alive", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := f.TryRecv(0); !ok || m.Tag != "alive" {
+		t.Fatalf("revived node's send not delivered: %+v ok=%v", m, ok)
+	}
+	if f.faults.CrashAt[1] != 0 {
+		t.Fatal("Revive mutated the caller's FaultPlan")
+	}
+}
+
+func TestRevivePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Revive(-1) did not panic")
+		}
+	}()
+	New(2).Revive(-1)
+}

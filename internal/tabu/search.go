@@ -89,6 +89,43 @@ func (s *Searcher) ResetMemory() {
 	}
 }
 
+// WarmStart seeds a fresh searcher's long-term structures from the
+// cooperative state the master holds: the merged B-best pool and the farm's
+// move epoch. A resurrected slave cannot inherit its dead incarnation's
+// process-local memory — exactly as a checkpoint resume cannot (see
+// core.Checkpoint) — but the master CAN hand it what the cooperation knows:
+// each item's appearance share across the pool becomes frequency credit
+// scaled to `moves`, and the lifetime move counter jumps to `moves`. The
+// resurrected searcher therefore diversifies away from the region the farm
+// has already covered instead of re-exploring it cold, and its tabu tenures
+// live in the same epoch as everyone else's budgets. Pool members whose
+// assignment does not match the instance are skipped.
+func (s *Searcher) WarmStart(pool []mkp.Solution, moves int64) {
+	s.ResetMemory()
+	if moves <= 0 {
+		return
+	}
+	s.moves = moves
+	n := 0
+	for _, sol := range pool {
+		if sol.X != nil && sol.X.Len() == s.ins.N {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	share := moves / int64(n)
+	for _, sol := range pool {
+		if sol.X == nil || sol.X.Len() != s.ins.N {
+			continue
+		}
+		for j := sol.X.NextSet(0); j >= 0; j = sol.X.NextSet(j + 1) {
+			s.history[j] += share
+		}
+	}
+}
+
 // Run executes one search round: Fig. 1 driven by a move budget. The start
 // solution may be infeasible or non-maximal; it is repaired and topped up
 // first. Run returns after exactly `budget` compound moves (or earlier only
@@ -105,6 +142,11 @@ func (s *Searcher) Run(start mkp.Solution, p Params, budget int64) (*Result, err
 	}
 
 	s.km = kernelMetricsFor(p.Metrics, p.TraceID)
+	if p.Heartbeat != nil {
+		// Publish life immediately: the watermark tells the watchdog the
+		// order was received even before the first move lands.
+		p.Heartbeat(s.moves)
+	}
 
 	switch p.Policy {
 	case PolicyReactive:
@@ -152,6 +194,9 @@ outer:
 						s.move(p, best.Value)
 					}
 					executed++
+					if p.Heartbeat != nil && executed&0xff == 0 {
+						p.Heartbeat(s.moves)
+					}
 					if p.Policy == PolicyReactive && s.react.takeEscape() {
 						// Reactive escape: too many repetitions of one
 						// solution; answer with a diversification jump.

@@ -171,6 +171,15 @@ type Params struct {
 	// one predictable branch per record and the search trajectory is bitwise
 	// identical — instrumentation never draws randomness.
 	Metrics *metrics.Registry
+
+	// Heartbeat, when non-nil, receives the searcher's lifetime move count
+	// once at the start of Run and then every 256 executed moves — the
+	// progress watermark the parallel layer's hung-slave watchdog reads to
+	// tell a slow searcher from a stalled one. The callback must be cheap,
+	// non-blocking, and safe to call from the slave goroutine; like Metrics
+	// it never draws randomness, so the trajectory is bitwise identical with
+	// or without it.
+	Heartbeat func(moves int64)
 }
 
 // DefaultParams returns the settings used throughout the experiments for an

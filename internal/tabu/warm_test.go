@@ -1,0 +1,131 @@
+package tabu
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+func TestWarmStartSeedsHistoryAndEpoch(t *testing.T) {
+	r := rng.New(5)
+	ins := randomInstance(r, 40, 4, 0.3)
+	ins.Finalize()
+	s, err := NewSearcher(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := []mkp.Solution{
+		mkp.RandomFeasible(ins, r),
+		mkp.RandomFeasible(ins, r),
+		mkp.RandomFeasible(ins, r),
+		{X: nil}, // junk entries are skipped, not fatal
+	}
+	s.WarmStart(pool, 9000)
+	if s.TotalMoves() != 9000 {
+		t.Fatalf("epoch %d, want 9000", s.TotalMoves())
+	}
+	hist := s.History()
+	for j := 0; j < ins.N; j++ {
+		count := int64(0)
+		for _, sol := range pool {
+			if sol.X != nil && sol.X.Get(j) {
+				count++
+			}
+		}
+		want := count * 3000 // moves / 3 valid pool members, per appearance
+		if hist[j] != want {
+			t.Fatalf("history[%d] = %d, want %d", j, hist[j], want)
+		}
+	}
+	// A warm-started searcher runs a normal round.
+	res, err := s.Run(pool[0], DefaultParams(ins.N), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves != 500 || !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+		t.Fatalf("warm-started round broken: %+v", res)
+	}
+	if s.TotalMoves() != 9500 {
+		t.Fatalf("lifetime counter %d, want 9500", s.TotalMoves())
+	}
+}
+
+func TestWarmStartDegenerateInputs(t *testing.T) {
+	r := rng.New(6)
+	ins := randomInstance(r, 20, 3, 0.3)
+	ins.Finalize()
+	s, err := NewSearcher(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WarmStart(nil, 1000) // empty pool: epoch only, flat history
+	if s.TotalMoves() != 1000 {
+		t.Fatalf("epoch %d, want 1000", s.TotalMoves())
+	}
+	for j, h := range s.History() {
+		if h != 0 {
+			t.Fatalf("history[%d] = %d from an empty pool", j, h)
+		}
+	}
+	s.WarmStart([]mkp.Solution{mkp.RandomFeasible(ins, r)}, -5)
+	if s.TotalMoves() != 0 {
+		t.Fatalf("negative epoch not treated as cold start: %d", s.TotalMoves())
+	}
+}
+
+func TestHeartbeatPublishesWatermarks(t *testing.T) {
+	r := rng.New(7)
+	ins := randomInstance(r, 40, 4, 0.3)
+	ins.Finalize()
+	s, err := NewSearcher(ins, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last atomic.Int64
+	beats := 0
+	p := DefaultParams(ins.N)
+	p.Heartbeat = func(moves int64) {
+		last.Store(moves)
+		beats++
+	}
+	start := mkp.RandomFeasible(ins, r)
+	if _, err := s.Run(start, p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// One beat at entry plus one per 256 executed moves.
+	if want := 1 + 1000/256; beats != want {
+		t.Fatalf("%d heartbeats for 1000 moves, want %d", beats, want)
+	}
+	if last.Load() == 0 {
+		t.Fatal("watermark never advanced")
+	}
+}
+
+func TestHeartbeatDoesNotPerturbSearch(t *testing.T) {
+	r := rng.New(8)
+	ins := randomInstance(r, 60, 5, 0.3)
+	ins.Finalize()
+	start := mkp.RandomFeasible(ins, r)
+	run := func(hb func(int64)) *Result {
+		s, err := NewSearcher(ins, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := DefaultParams(ins.N)
+		p.Heartbeat = hb
+		res, err := s.Run(start.Clone(), p, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	beating := run(func(int64) {})
+	if !plain.Best.X.Equal(beating.Best.X) || plain.Best.Value != beating.Best.Value ||
+		plain.Moves != beating.Moves {
+		t.Fatalf("heartbeat perturbed the trajectory: %.0f/%d vs %.0f/%d",
+			plain.Best.Value, plain.Moves, beating.Best.Value, beating.Moves)
+	}
+}

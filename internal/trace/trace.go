@@ -42,6 +42,12 @@ const (
 	KindRedispatch
 	// KindSlaveDead: the master declared a slave dead and degraded the farm.
 	KindSlaveDead
+	// KindWatchdogTrip: the hung-slave watchdog saw a frozen progress
+	// watermark for too many deadline checks and declared the slave hung.
+	KindWatchdogTrip
+	// KindSlaveRestart: the supervisor respawned a dead slave, warm-started
+	// from the cooperative pool.
+	KindSlaveRestart
 )
 
 var kindNames = [...]string{
@@ -56,6 +62,8 @@ var kindNames = [...]string{
 	KindSlaveTimeout:  "slave-timeout",
 	KindRedispatch:    "redispatch",
 	KindSlaveDead:     "slave-dead",
+	KindWatchdogTrip:  "watchdog-trip",
+	KindSlaveRestart:  "slave-restart",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,94 @@
+#!/bin/sh
+# CI harness for the durable checkpoint store and the resume path: start a
+# checkpointed solve, kill -9 it mid-run, resume from the newest generation
+# and require the resumed run to (a) report the pre-crash best on its resume
+# line, (b) end at least as good as that best, and (c) write a solution that
+# mkpverify accepts. Then truncate the newest generation and require the next
+# resume to fall back to an older one, quarantining the torn file as .corrupt.
+# Usage: scripts/crash_resume.sh [mkpsolve] [mkpgen] [mkpverify]
+set -eu
+
+SOLVE=${1:-./mkpsolve}
+GEN=${2:-./mkpgen}
+VERIFY=${3:-./mkpverify}
+
+DIR=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "crash-resume FAILED: $1" >&2
+    shift
+    for f in "$@"; do
+        echo "---- $f" >&2
+        cat "$f" >&2 || true
+    done
+    exit 1
+}
+
+# Newest intact generation number at the checkpoint base (temp and .corrupt
+# files carry non-numeric suffixes and drop out of the sed filter).
+newest() {
+    ls "$DIR"/ckpt.* 2>/dev/null | sed -n 's/.*ckpt\.\([0-9][0-9]*\)$/\1/p' | sort -n | tail -n 1
+}
+gens() {
+    ls "$DIR"/ckpt.* 2>/dev/null | sed -n 's/.*ckpt\.[0-9][0-9]*$/x/p' | wc -l
+}
+
+"$GEN" -family gk -n 100 -m 10 -tightness 0.25 -seed 1 -o "$DIR/instance.txt"
+
+# Phase 1: a long checkpointed run, killed without warning once at least
+# three generations are durable on disk.
+"$SOLVE" -p 4 -seed 7 -rounds 100000 -moves 2000 \
+    -checkpoint "$DIR/ckpt" "$DIR/instance.txt" >/dev/null 2>&1 &
+PID=$!
+i=0
+while [ "$(gens)" -lt 3 ]; do
+    kill -0 "$PID" 2>/dev/null || fail "solver exited before checkpointing"
+    i=$((i + 1))
+    [ $i -lt 300 ] || fail "fewer than 3 checkpoint generations after 30s"
+    sleep 0.1
+done
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+G1=$(newest)
+[ -n "$G1" ] || fail "no intact generation survived the kill"
+
+# Phase 2: resume. The newest generation must win, and the run must end no
+# worse than the best it resumed from.
+OUT="$DIR/resume1.out"
+ERR="$DIR/resume1.err"
+"$SOLVE" -p 4 -seed 7 -rounds 100000 -moves 2000 -time 5s \
+    -resume "$DIR/ckpt" -checkpoint "$DIR/ckpt" -sol "$DIR/best.sol" \
+    "$DIR/instance.txt" >"$OUT" 2>"$ERR" || fail "resume run exited non-zero" "$ERR"
+
+LINE=$(grep 'resuming at round' "$ERR") || fail "no resume line on stderr" "$ERR"
+PRE=$(echo "$LINE" | sed -n 's/.*best \([0-9][0-9]*\).*/\1/p')
+USED=$(echo "$LINE" | sed -n 's/.*generation \([0-9a-z]*\)).*/\1/p')
+[ -n "$PRE" ] && [ -n "$USED" ] || fail "could not parse resume line: $LINE"
+[ "$USED" = "$G1" ] || fail "resumed from generation $USED, newest was $G1" "$ERR"
+FINAL=$(sed -n 's/^best value *\([0-9][0-9]*\).*/\1/p' "$OUT")
+[ -n "$FINAL" ] || fail "no final best on stdout" "$OUT"
+[ "$FINAL" -ge "$PRE" ] || fail "final best $FINAL below pre-crash best $PRE" "$OUT" "$ERR"
+"$VERIFY" "$DIR/instance.txt" "$DIR/best.sol" || fail "mkpverify rejected the resumed solution"
+
+# Phase 3: tear the newest generation. Resume must quarantine it and fall
+# back to the previous one.
+G2=$(newest)
+truncate -s -7 "$DIR/ckpt.$G2"
+ERR2="$DIR/resume2.err"
+"$SOLVE" -p 4 -seed 7 -rounds 100000 -moves 2000 -time 1s \
+    -resume "$DIR/ckpt" "$DIR/instance.txt" >/dev/null 2>"$ERR2" \
+    || fail "corrupt-fallback resume exited non-zero" "$ERR2"
+LINE2=$(grep 'resuming at round' "$ERR2") || fail "no resume line after corruption" "$ERR2"
+USED2=$(echo "$LINE2" | sed -n 's/.*generation \([0-9a-z]*\)).*/\1/p')
+[ -n "$USED2" ] && [ "$USED2" != "$G2" ] \
+    || fail "resume did not fall back from torn generation $G2: $LINE2"
+[ -f "$DIR/ckpt.$G2.corrupt" ] || fail "torn generation $G2 was not quarantined"
+
+echo "crash-resume OK: killed at generation $G1 (best $PRE), resumed to $FINAL, torn generation $G2 fell back to $USED2"
