@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench kernel chaos metrics metrics-smoke crash-resume
+.PHONY: build vet test race check bench kernel chaos metrics metrics-smoke crash-resume transport worker-smoke
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,24 @@ metrics-smoke:
 	$(GO) build -o ./mkpsolve.smoke ./cmd/mkpsolve
 	./scripts/metrics_smoke.sh ./mkpsolve.smoke
 	rm -f ./mkpsolve.smoke
+
+# transport runs the transport suites under the race detector: the binary
+# codec round-trip/corruption/fuzz-seed tests, the frame-level wire tests,
+# the in-process transport suite, and the cross-transport equivalence and
+# leak-hygiene tests that drive real TCP sessions.
+transport:
+	$(GO) test -race ./internal/transport/...
+
+# worker-smoke boots real mkpworker processes on ephemeral ports and runs a
+# seeded mkpsolve against them over TCP; the final best must match the
+# same-seed in-process run and the solution must pass mkpverify.
+worker-smoke:
+	$(GO) build -o ./mkpsolve.smoke ./cmd/mkpsolve
+	$(GO) build -o ./mkpworker.smoke ./cmd/mkpworker
+	$(GO) build -o ./mkpgen.smoke ./cmd/mkpgen
+	$(GO) build -o ./mkpverify.smoke ./cmd/mkpverify
+	./scripts/worker_smoke.sh ./mkpsolve.smoke ./mkpworker.smoke ./mkpgen.smoke ./mkpverify.smoke
+	rm -f ./mkpsolve.smoke ./mkpworker.smoke ./mkpgen.smoke ./mkpverify.smoke
 
 # crash-resume drives the durability harness: a checkpointed solve is
 # kill -9'd mid-run, resumed from the newest generation (the run must end no

@@ -23,13 +23,13 @@ import (
 	"repro/internal/bound"
 	"repro/internal/ckptstore"
 	"repro/internal/core"
-	"repro/internal/farm"
 	"repro/internal/gen"
 	"repro/internal/metrics"
 	"repro/internal/mkp"
 	"repro/internal/obs"
 	"repro/internal/supervise"
 	"repro/internal/trace"
+	"repro/internal/transport/inproc"
 )
 
 // main delegates to run so deferred cleanup (the observability listener, the
@@ -65,6 +65,8 @@ func run() int {
 
 		maxRestarts = flag.Int("maxrestarts", 0, "arm the self-healing supervisor: per-slave restart budget (0 = supervision off)")
 		backoff     = flag.Duration("backoff", 0, "supervisor: base restart backoff, doubled per death and capped at 5s (0 = default 100ms)")
+
+		workers = flag.String("workers", "", "comma-separated mkpworker addresses; run the slaves as separate processes over TCP (P defaults to the worker count)")
 
 		faultSeed = flag.Uint64("faults", 0, "seed for deterministic fault injection (synchronous solver; armed when any fault flag is set)")
 		dropRate  = flag.Float64("droprate", 0, "fault injection: probability a message is silently dropped")
@@ -119,6 +121,20 @@ func run() int {
 	}
 	if *simLim > 0 {
 		opts.Rounds = 0 // let the simulated clock govern
+	}
+	if *workers != "" {
+		for _, addr := range strings.Split(*workers, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				opts.Workers = append(opts.Workers, addr)
+			}
+		}
+		// -p keeps its meaning when given explicitly (it must then match the
+		// worker count); otherwise the fleet size decides.
+		pSet := false
+		flag.Visit(func(f *flag.Flag) { pSet = pSet || f.Name == "p" })
+		if !pSet {
+			opts.P = len(opts.Workers)
+		}
 	}
 	if plan, err := faultPlan(*faultSeed, *dropRate, *dupRate, *crash); err != nil {
 		return fail(err)
@@ -268,13 +284,13 @@ func reportMetrics(reg *metrics.Registry) {
 		s.Counter("farm_messages_total"), s.Counter("farm_dropped_total"))
 }
 
-// faultPlan assembles a farm.FaultPlan from the fault flags, or nil when none
-// is set (keeping the fault-free solver bitwise reproducible).
-func faultPlan(seed uint64, dropRate, dupRate float64, crash string) (*farm.FaultPlan, error) {
+// faultPlan assembles an inproc.FaultPlan from the fault flags, or nil when
+// none is set (keeping the fault-free solver bitwise reproducible).
+func faultPlan(seed uint64, dropRate, dupRate float64, crash string) (*inproc.FaultPlan, error) {
 	if seed == 0 && dropRate == 0 && dupRate == 0 && crash == "" {
 		return nil, nil
 	}
-	plan := &farm.FaultPlan{Seed: seed, DropRate: dropRate, DupRate: dupRate}
+	plan := &inproc.FaultPlan{Seed: seed, DropRate: dropRate, DupRate: dupRate}
 	if crash != "" {
 		plan.CrashAt = make(map[int]int64)
 		for _, spec := range strings.Split(crash, ",") {

@@ -1,0 +1,71 @@
+// Command mkpworker runs one slave of the parallel cooperative tabu search
+// as a standalone OS process. It listens on a TCP address, accepts a master
+// (mkpsolve -workers), receives its node number, seed and the problem
+// instance in the wire handshake, and then runs the ordinary slave loop —
+// wait for a round order, search, report — until the master stops it or the
+// connection drops.
+//
+//	mkpworker -listen :7001            # serve masters until killed
+//	mkpworker -listen 127.0.0.1:0 -once  # one run on an ephemeral port, then exit
+//
+// The worker needs no problem file and no per-run flags: everything a run
+// depends on arrives in the handshake, so one fleet of workers can serve many
+// differently-configured masters in sequence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/transport/wire"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":7001", "TCP address to accept masters on (port 0 picks an ephemeral port)")
+		once   = flag.Bool("once", false, "exit after serving one master instead of accepting the next")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mkpworker:", err)
+		os.Exit(1)
+	}
+	defer ln.Close()
+	// The smoke harness parses this line to discover ephemeral ports; keep
+	// its shape stable.
+	fmt.Fprintf(os.Stderr, "mkpworker: listening on %s\n", ln.Addr())
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mkpworker:", err)
+			os.Exit(1)
+		}
+		serve(conn)
+		if *once {
+			return
+		}
+	}
+}
+
+// serve runs one master's session to completion. Handshake errors are
+// reported and the connection dropped; the accept loop then waits for the
+// next master, so a malformed or version-skewed probe cannot take the
+// worker down.
+func serve(conn net.Conn) {
+	defer conn.Close()
+	sess, hello, err := wire.Accept(conn, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mkpworker: handshake:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "mkpworker: serving node %d for instance %s (%s)\n",
+		hello.Node, hello.Ins.Name, hello.Ins.Size())
+	core.Slave(sess, hello.Node, hello.Ins, hello.Seed)
+	fmt.Fprintf(os.Stderr, "mkpworker: node %d done\n", hello.Node)
+}

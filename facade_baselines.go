@@ -1,0 +1,48 @@
+package pts
+
+import (
+	"repro/internal/cets"
+	"repro/internal/core"
+)
+
+// LowLevelOptions configures the low-level parallel baseline (§2's
+// neighborhood-evaluation parallelism).
+type LowLevelOptions = core.LowLevelOptions
+
+// LowLevelResult reports a low-level parallel run.
+type LowLevelResult = core.LowLevelResult
+
+// SolveLowLevel runs a single tabu-search thread whose neighborhood
+// evaluation is fanned out over worker goroutines with a barrier per add
+// step — the fine-grained parallelization the paper rejects in favor of
+// cooperative search threads. Exposed so the trade-off can be measured.
+func SolveLowLevel(ins *Instance, opts LowLevelOptions) (*LowLevelResult, error) {
+	return core.SolveLowLevel(ins, opts)
+}
+
+// CETSOptions configures the critical-event tabu search baseline.
+type CETSOptions = cets.Options
+
+// CETSResult reports a critical-event tabu search run.
+type CETSResult = cets.Result
+
+// SolveCETS runs the critical-event tabu search of Glover & Kochenberger —
+// the comparator method of the paper's §5 — as a standalone sequential
+// solver.
+func SolveCETS(ins *Instance, opts CETSOptions) (*CETSResult, error) {
+	return cets.Search(ins, opts)
+}
+
+// DecomposeOptions configures the problem-decomposition parallel baseline
+// (§2's third source of parallelism).
+type DecomposeOptions = core.DecomposeOptions
+
+// DecomposeResult reports a decomposition-parallel run.
+type DecomposeResult = core.DecomposeResult
+
+// SolveDecomposed splits the problem into parts solved in parallel, merges
+// the (feasible-by-construction) union, and polishes it — the decomposition
+// parallelism the paper sets aside in favor of cooperative search threads.
+func SolveDecomposed(ins *Instance, opts DecomposeOptions) (*DecomposeResult, error) {
+	return core.SolveDecomposed(ins, opts)
+}

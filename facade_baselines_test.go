@@ -1,0 +1,51 @@
+package pts_test
+
+import (
+	"testing"
+
+	pts "repro"
+)
+
+func TestFacadeLowLevel(t *testing.T) {
+	ins := pts.GenerateGK("ll", 30, 4, 0.3, 10)
+	res, err := pts.SolveLowLevel(ins, pts.LowLevelOptions{Workers: 2, Moves: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value < pts.Greedy(ins).Value {
+		t.Fatalf("low-level %v below greedy", res.Best.Value)
+	}
+}
+
+func TestFacadeCETS(t *testing.T) {
+	ins := pts.GenerateGK("cets", 40, 4, 0.25, 5)
+	res, err := pts.SolveCETS(ins, pts.CETSOptions{Seed: 1, Budget: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value < pts.Greedy(ins).Value {
+		t.Fatalf("CETS %v below greedy", res.Best.Value)
+	}
+	ub, err := pts.LPBound(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value > ub {
+		t.Fatalf("CETS %v above LP bound %v", res.Best.Value, ub)
+	}
+}
+
+func TestFacadeDecomposed(t *testing.T) {
+	ins := pts.GenerateGK("dec", 40, 4, 0.25, 8)
+	res, err := pts.SolveDecomposed(ins, pts.DecomposeOptions{Parts: 3, Seed: 1, MovesPerPart: 300, PolishMoves: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := pts.LPBound(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value <= 0 || res.Best.Value > ub {
+		t.Fatalf("decomposed value %v outside (0, %v]", res.Best.Value, ub)
+	}
+}

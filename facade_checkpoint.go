@@ -1,0 +1,17 @@
+package pts
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// Checkpoint is a snapshot of the cooperative search state at a rendezvous
+// boundary; see Options.OnCheckpoint and Options.Resume.
+type Checkpoint = core.Checkpoint
+
+// SaveCheckpoint writes a checkpoint as JSON.
+func SaveCheckpoint(w io.Writer, c *Checkpoint) error { return core.SaveCheckpoint(w, c) }
+
+// LoadCheckpoint parses a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) { return core.LoadCheckpoint(r) }

@@ -1,0 +1,30 @@
+package pts_test
+
+import (
+	"testing"
+
+	pts "repro"
+)
+
+func TestFacadeCheckpointRoundTrip(t *testing.T) {
+	ins := pts.GenerateGK("ck", 30, 3, 0.25, 6)
+	var cp *pts.Checkpoint
+	if _, err := pts.Solve(ins, pts.CTS2, pts.Options{
+		P: 2, Seed: 1, Rounds: 2, RoundMoves: 100,
+		OnCheckpoint: func(c *pts.Checkpoint) { cp = c },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint delivered")
+	}
+	res, err := pts.Solve(ins, pts.CTS2, pts.Options{
+		P: 2, Seed: 2, Rounds: 2, RoundMoves: 100, Resume: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value < cp.Best.Value {
+		t.Fatalf("resume lost ground: %v < %v", res.Best.Value, cp.Best.Value)
+	}
+}

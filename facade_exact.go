@@ -1,0 +1,65 @@
+package pts
+
+import (
+	"repro/internal/bound"
+	"repro/internal/exact"
+	"repro/internal/reduce"
+)
+
+// ExactOptions configures the exact branch-and-bound baseline.
+type ExactOptions = exact.Options
+
+// ExactResult is the outcome of an exact solve.
+type ExactResult = exact.Result
+
+// ErrNodeLimit is returned by SolveExact when the node budget runs out; the
+// result still carries the best incumbent found.
+var ErrNodeLimit = exact.ErrNodeLimit
+
+// SolveExact maximizes the instance exactly by branch and bound with an
+// LP-dual surrogate bound. It returns ErrNodeLimit (with the best incumbent)
+// when the node budget is exhausted before optimality is proven.
+func SolveExact(ins *Instance, opts ExactOptions) (*ExactResult, error) {
+	return exact.BranchAndBound(ins, opts)
+}
+
+// SolveExactReduced is SolveExact with a reduced-cost presolve: it fixes
+// variables against the greedy incumbent and branches only on the surviving
+// core. Identical optimum, often far fewer nodes on weakly structured
+// instances.
+func SolveExactReduced(ins *Instance, opts ExactOptions) (*ExactResult, error) {
+	return exact.BranchAndBoundReduced(ins, opts)
+}
+
+// ParallelExactOptions configures the parallel branch and bound.
+type ParallelExactOptions = exact.ParallelOptions
+
+// SolveExactParallel explores the branch-and-bound tree with a worker pool
+// over a statically split frontier, sharing the incumbent atomically. The
+// certified optimum equals SolveExact's; node counts vary with scheduling.
+func SolveExactParallel(ins *Instance, opts ParallelExactOptions) (*ExactResult, error) {
+	return exact.ParallelBranchAndBound(ins, opts)
+}
+
+// LPBound returns the linear-relaxation upper bound of the instance, the
+// reference value used for deviation reporting.
+func LPBound(ins *Instance) (float64, error) { return bound.LP(ins) }
+
+// Fixing records the outcome of an LP reduced-cost variable-fixing pass.
+type Fixing = reduce.Fixing
+
+// FixVariables runs reduced-cost fixing against the incumbent value: every
+// flagged variable provably takes the flagged value in any solution strictly
+// better than the incumbent. gap is the minimum improvement a strictly
+// better solution must achieve (1 for integral profits).
+func FixVariables(ins *Instance, incumbent, gap float64) (*Fixing, error) {
+	return reduce.Fix(ins, incumbent, gap)
+}
+
+// ApplyFixing builds the reduced core problem from a fixing: the surviving
+// free variables, capacities net of the locked items, the mapping from
+// reduced to original indices, and the locked profit. ok=false means every
+// variable was fixed.
+func ApplyFixing(ins *Instance, fix *Fixing) (reduced *Instance, mapping []int, lockedProfit float64, ok bool) {
+	return reduce.Apply(ins, fix)
+}

@@ -42,24 +42,6 @@ func TestFacadeExactReducedMatchesExact(t *testing.T) {
 	}
 }
 
-func TestFacadeCETS(t *testing.T) {
-	ins := pts.GenerateGK("cets", 40, 4, 0.25, 5)
-	res, err := pts.SolveCETS(ins, pts.CETSOptions{Seed: 1, Budget: 3000})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Best.Value < pts.Greedy(ins).Value {
-		t.Fatalf("CETS %v below greedy", res.Best.Value)
-	}
-	ub, err := pts.LPBound(ins)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Best.Value > ub {
-		t.Fatalf("CETS %v above LP bound %v", res.Best.Value, ub)
-	}
-}
-
 func TestFacadeParallelExact(t *testing.T) {
 	ins := pts.GenerateGK("pex", 30, 3, 0.25, 7)
 	seq, err := pts.SolveExact(ins, pts.ExactOptions{Epsilon: 0.999})
@@ -74,43 +56,5 @@ func TestFacadeParallelExact(t *testing.T) {
 	}
 	if par.Solution.Value != seq.Solution.Value {
 		t.Fatalf("parallel %v != sequential %v", par.Solution.Value, seq.Solution.Value)
-	}
-}
-
-func TestFacadeDecomposed(t *testing.T) {
-	ins := pts.GenerateGK("dec", 40, 4, 0.25, 8)
-	res, err := pts.SolveDecomposed(ins, pts.DecomposeOptions{Parts: 3, Seed: 1, MovesPerPart: 300, PolishMoves: 300})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ub, err := pts.LPBound(ins)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Best.Value <= 0 || res.Best.Value > ub {
-		t.Fatalf("decomposed value %v outside (0, %v]", res.Best.Value, ub)
-	}
-}
-
-func TestFacadeCheckpointRoundTrip(t *testing.T) {
-	ins := pts.GenerateGK("ck", 30, 3, 0.25, 6)
-	var cp *pts.Checkpoint
-	if _, err := pts.Solve(ins, pts.CTS2, pts.Options{
-		P: 2, Seed: 1, Rounds: 2, RoundMoves: 100,
-		OnCheckpoint: func(c *pts.Checkpoint) { cp = c },
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if cp == nil {
-		t.Fatal("no checkpoint delivered")
-	}
-	res, err := pts.Solve(ins, pts.CTS2, pts.Options{
-		P: 2, Seed: 2, Rounds: 2, RoundMoves: 100, Resume: cp,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Best.Value < cp.Best.Value {
-		t.Fatalf("resume lost ground: %v < %v", res.Best.Value, cp.Best.Value)
 	}
 }

@@ -1,0 +1,55 @@
+package pts
+
+import (
+	"repro/internal/tabu"
+)
+
+// Strategy is the tabu-search parameter triple the master tunes dynamically:
+// tabu tenure, consecutive drops per move, and local-loop patience.
+type Strategy = tabu.Strategy
+
+// Params bundles a Strategy with the structural knobs of the sequential
+// kernel (intensification mode, diversification thresholds, pool size).
+type Params = tabu.Params
+
+// SearchResult is what one sequential tabu-search round reports.
+type SearchResult = tabu.Result
+
+// IntensifyMode selects the intensification procedure of the sequential
+// kernel.
+type IntensifyMode = tabu.IntensifyMode
+
+// Intensification modes (paper §3.2).
+const (
+	IntensifySwap        = tabu.IntensifySwap
+	IntensifyOscillation = tabu.IntensifyOscillation
+	IntensifyBoth        = tabu.IntensifyBoth
+)
+
+// TabuPolicy selects how the sequential kernel manages its tabu list.
+type TabuPolicy = tabu.TabuPolicy
+
+// Tabu-list management schemes: the paper's static recency list (the
+// default), plus the two §4.1 alternatives implemented as baselines.
+const (
+	PolicyStatic   = tabu.PolicyStatic
+	PolicyReactive = tabu.PolicyReactive
+	PolicyREM      = tabu.PolicyREM
+)
+
+// SearchSequential runs one sequential tabu search from the greedy start for
+// the given move budget — the kernel each slave executes, exposed for
+// standalone use and for building custom parallel schemes.
+func SearchSequential(ins *Instance, p Params, budget int64, seed uint64) (*SearchResult, error) {
+	return tabu.Search(ins, p, budget, seed)
+}
+
+// DefaultParams returns the kernel parameters the experiments use for an
+// instance with n items.
+func DefaultParams(n int) Params { return tabu.DefaultParams(n) }
+
+// RandomStrategy draws a kernel strategy uniformly from the full plausible
+// range for an instance with n items, using the given seed.
+func RandomStrategy(n int, seed uint64) Strategy {
+	return tabu.RandomStrategy(n, rngFor(seed))
+}

@@ -1,0 +1,33 @@
+package pts_test
+
+import (
+	"testing"
+
+	pts "repro"
+)
+
+func TestFacadePolicies(t *testing.T) {
+	ins := pts.GenerateGK("pol", 30, 4, 0.3, 8)
+	for _, pol := range []pts.TabuPolicy{pts.PolicyStatic, pts.PolicyReactive, pts.PolicyREM} {
+		p := pts.DefaultParams(ins.N)
+		p.Policy = pol
+		res, err := pts.SearchSequential(ins, p, 400, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if res.Best.Value <= 0 {
+			t.Fatalf("%v found nothing", pol)
+		}
+	}
+}
+
+func TestFacadeRandomStrategy(t *testing.T) {
+	a := pts.RandomStrategy(100, 5)
+	b := pts.RandomStrategy(100, 5)
+	if a != b {
+		t.Fatal("RandomStrategy not deterministic per seed")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package pts
+
+import (
+	"io"
+
+	"repro/internal/gen"
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+// Instance is a 0-1 MKP instance: maximize Profit·x subject to Weight·x <=
+// Capacity with binary x. See the mkp package docs for field semantics.
+type Instance = mkp.Instance
+
+// Solution is an immutable assignment plus its objective value.
+type Solution = mkp.Solution
+
+// State is the mutable incremental evaluator used to build custom heuristics
+// on top of the model.
+type State = mkp.State
+
+// NewState returns an empty incremental evaluator for the instance.
+func NewState(ins *Instance) *State { return mkp.NewState(ins) }
+
+// Greedy builds a feasible solution by packing items in decreasing
+// pseudo-utility order.
+func Greedy(ins *Instance) Solution { return mkp.Greedy(ins) }
+
+// RandomFeasible builds a random feasible, greedily topped-up solution using
+// the given seed.
+func RandomFeasible(ins *Instance, seed uint64) Solution {
+	return mkp.RandomFeasible(ins, rngFor(seed))
+}
+
+// rngFor builds the deterministic stream facade helpers draw from.
+func rngFor(seed uint64) *rng.Rand { return rng.New(seed) }
+
+// ReadInstance parses an instance in the OR-Library "mknap" text layout.
+func ReadInstance(r io.Reader, name string) (*Instance, error) {
+	return mkp.ReadORLib(r, name)
+}
+
+// WriteInstance writes the instance in the OR-Library layout accepted by
+// ReadInstance.
+func WriteInstance(w io.Writer, ins *Instance) error { return mkp.WriteORLib(w, ins) }
+
+// WriteInstanceLP exports the instance as a CPLEX LP-format model, readable
+// by CPLEX, Gurobi, SCIP, HiGHS and glpsol — for cross-checking solutions
+// against independent solvers.
+func WriteInstanceLP(w io.Writer, ins *Instance) error { return mkp.WriteLPFormat(w, ins) }
+
+// GenerateGK builds a Glover–Kochenberger-style instance: uniform weights on
+// [1,1000], capacities at the given tightness fraction of each row sum, and
+// weight-correlated profits.
+func GenerateGK(name string, n, m int, tightness float64, seed uint64) *Instance {
+	return gen.GK(name, n, m, tightness, seed)
+}
+
+// GenerateFP builds a Fréville–Plateau-style instance: small, strongly
+// correlated, with per-constraint tightness in [0.25, 0.75].
+func GenerateFP(name string, n, m int, seed uint64) *Instance {
+	return gen.FP(name, n, m, seed)
+}
+
+// GenerateUncorrelated builds an instance with independent uniform profits
+// and weights.
+func GenerateUncorrelated(name string, n, m int, tightness float64, seed uint64) *Instance {
+	return gen.Uncorrelated(name, n, m, tightness, seed)
+}

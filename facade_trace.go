@@ -1,0 +1,36 @@
+package pts
+
+import (
+	"io"
+
+	"repro/internal/trace"
+)
+
+// TraceEvent is one recorded search event.
+type TraceEvent = trace.Event
+
+// TraceRecorder receives search events; implementations must be safe for
+// concurrent use because slave kernels emit from their own goroutines.
+type TraceRecorder = trace.Recorder
+
+// TraceKind classifies a trace event.
+type TraceKind = trace.Kind
+
+// Trace event kinds.
+const (
+	TraceImprovement   = trace.KindImprovement
+	TraceIntensify     = trace.KindIntensify
+	TraceDiversify     = trace.KindDiversify
+	TraceEscape        = trace.KindEscape
+	TraceRoundStart    = trace.KindRoundStart
+	TraceReplacement   = trace.KindReplacement
+	TraceRestart       = trace.KindRestart
+	TraceStrategyReset = trace.KindStrategyReset
+)
+
+// NewTraceLog returns a bounded in-memory event recorder (oldest events are
+// evicted past the capacity).
+func NewTraceLog(capacity int) *trace.Log { return trace.NewLog(capacity) }
+
+// NewTraceWriter returns a recorder that streams each event as one text line.
+func NewTraceWriter(w io.Writer) *trace.Writer { return trace.NewWriter(w) }

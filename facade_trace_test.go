@@ -1,0 +1,28 @@
+package pts_test
+
+import (
+	"strings"
+	"testing"
+
+	pts "repro"
+)
+
+func TestFacadeTrace(t *testing.T) {
+	ins := pts.GenerateGK("tr", 30, 4, 0.3, 9)
+	log := pts.NewTraceLog(1000)
+	_, err := pts.Solve(ins, pts.CTS2, pts.Options{P: 2, Seed: 3, Rounds: 3, RoundMoves: 150, Tracer: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.CountKind(pts.TraceRoundStart) != 3 {
+		t.Fatalf("round events = %d, want 3", log.CountKind(pts.TraceRoundStart))
+	}
+	var sb strings.Builder
+	w := pts.NewTraceWriter(&sb)
+	for _, e := range log.Events() {
+		w.Record(e)
+	}
+	if !strings.Contains(sb.String(), "round") {
+		t.Fatal("writer rendering broken")
+	}
+}

@@ -4,10 +4,11 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/farm"
 	"repro/internal/mkp"
 	"repro/internal/rng"
 	"repro/internal/tabu"
+	"repro/internal/transport/inproc"
+	"repro/internal/transport/proto"
 )
 
 // AsyncOptions configures the decentralized asynchronous scheme the paper
@@ -100,7 +101,7 @@ func SolveAsync(ins *mkp.Instance, opts AsyncOptions) (*Result, error) {
 	}
 
 	start := time.Now()
-	net := farm.New(opts.P, farm.WithLatency(opts.Latency), farm.WithMailboxSize(4*opts.P*int(opts.TotalMoves/opts.ChunkMoves+1)))
+	net := inproc.New(opts.P, inproc.WithLatency(opts.Latency), inproc.WithMailboxSize(4*opts.P*int(opts.TotalMoves/opts.ChunkMoves+1)))
 	root := rng.New(opts.Seed)
 	reports := make(chan peerReport, opts.P)
 	for i := 0; i < opts.P; i++ {
@@ -153,7 +154,7 @@ func asyncTargets(id, p int, ring bool) []int {
 }
 
 // asyncPeer runs one decentralized search thread.
-func asyncPeer(net *farm.Farm, id int, ins *mkp.Instance, opts AsyncOptions, r *rng.Rand, reports chan<- peerReport) {
+func asyncPeer(net *inproc.Farm, id int, ins *mkp.Instance, opts AsyncOptions, r *rng.Rand, reports chan<- peerReport) {
 	searcher, err := tabu.NewSearcher(ins, r.Uint64())
 	if err != nil {
 		reports <- peerReport{peer: id, err: err}
@@ -197,7 +198,7 @@ func asyncPeer(net *farm.Farm, id int, ins *mkp.Instance, opts AsyncOptions, r *
 			best = res.Best
 			stagnant = 0
 			for _, other := range asyncTargets(id, net.Nodes(), opts.Ring) {
-				net.Send(id, other, tagBest, best.Clone(), farm.SizeOfSolution(ins.N))
+				net.Send(id, other, tagBest, best.Clone(), proto.SolutionSize(ins.N))
 			}
 		} else {
 			stagnant++

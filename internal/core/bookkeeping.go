@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/mkp"
+	"repro/internal/tabu"
+)
+
+// slaveTable is the per-slave bookkeeping array of Fig. 2 (strategy, initial
+// solution, score, stagnation) plus the liveness columns the fault-tolerant
+// layers added. It is shared by pointer between the master and every engine
+// component — dispatcher, collector, tuner, healer — which all read and write
+// the same rows from the single master goroutine; the components partition
+// *behavior*, not state ownership.
+type slaveTable struct {
+	// Per-slave entries (index 0..P-1 for slave node i+1).
+	strategies []tabu.Strategy
+	starts     []mkp.Solution
+	scores     []int
+	stagnation []int
+	prevStart  []mkp.Solution
+
+	// Extended-tuning state (used only when Options.ExtendedTuning).
+	modes  []tabu.IntensifyMode
+	noises []float64
+	widths []int
+
+	// Liveness. alive[i] is false once slave node i+1 has been declared dead;
+	// its slot is then excluded from dispatch (the run degrades to P−k
+	// slaves). nodeFail counts consecutive rounds a node stayed completely
+	// silent; deadAfterMisses in a row kill it.
+	alive    []bool
+	nodeFail []int
+}
+
+func newSlaveTable(p int) *slaveTable {
+	return &slaveTable{
+		strategies: make([]tabu.Strategy, p),
+		starts:     make([]mkp.Solution, p),
+		scores:     make([]int, p),
+		stagnation: make([]int, p),
+		prevStart:  make([]mkp.Solution, p),
+		modes:      make([]tabu.IntensifyMode, p),
+		noises:     make([]float64, p),
+		widths:     make([]int, p),
+		alive:      make([]bool, p),
+		nodeFail:   make([]int, p),
+	}
+}

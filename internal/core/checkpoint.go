@@ -99,7 +99,7 @@ func (m *master) checkpoint() *Checkpoint {
 		N:          m.ins.N,
 		P:          m.opts.P,
 		Round:      m.stats.Rounds,
-		Alpha:      m.alpha,
+		Alpha:      m.tune.alpha,
 		Best:       recordOf(m.best),
 		Strategies: append([]tabu.Strategy(nil), m.strategies...),
 		Scores:     append([]int(nil), m.scores...),
@@ -171,7 +171,7 @@ func (m *master) restore(c *Checkpoint) error {
 		}
 	}
 	m.best = best
-	m.alpha = c.Alpha
+	m.tune.alpha = c.Alpha
 	copy(m.strategies, c.Strategies)
 	copy(m.scores, c.Scores)
 	copy(m.stagnation, c.Stagnation)

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/farm"
+	"repro/internal/transport/inproc"
 )
 
 func TestCheckpointRoundTripJSON(t *testing.T) {
@@ -115,7 +115,10 @@ func TestCheckpointExtendedTuningRoundTrip(t *testing.T) {
 	// … and restore() must hand every slave exactly the modes, noises and
 	// widths it had at the snapshot.
 	opts := Options{P: 3, Seed: 99, Rounds: 9, RoundMoves: 150, ExtendedTuning: true, InitialScore: 1}
-	m := newMaster(ins, CTS2, opts.withDefaults(ins.N))
+	m, err := newMaster(ins, CTS2, opts.withDefaults(ins.N))
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer m.shutdown()
 	if err := m.restore(back); err != nil {
 		t.Fatal(err)
@@ -251,7 +254,7 @@ func TestCheckpointFailureCountersRoundTrip(t *testing.T) {
 	degraded, err := Solve(ins, CTS2, Options{
 		P: 3, Seed: 4, Rounds: 3, RoundMoves: 150,
 		SlaveTimeout: 2 * time.Second,
-		Faults:       &farm.FaultPlan{Seed: 11, CrashAt: map[int]int64{2: 0}},
+		Faults:       &inproc.FaultPlan{Seed: 11, CrashAt: map[int]int64{2: 0}},
 		OnCheckpoint: func(c *Checkpoint) { cp = c },
 	})
 	if err != nil {
@@ -312,7 +315,7 @@ func TestCheckpointFailureCountersAccumulateAcrossFaultyResume(t *testing.T) {
 	first, err := Solve(ins, CTS2, Options{
 		P: 3, Seed: 14, Rounds: 3, RoundMoves: 150,
 		SlaveTimeout: 2 * time.Second,
-		Faults:       &farm.FaultPlan{Seed: 3, DropRate: 0.35},
+		Faults:       &inproc.FaultPlan{Seed: 3, DropRate: 0.35},
 		OnCheckpoint: func(c *Checkpoint) { cp = c },
 	})
 	if err != nil {
@@ -325,7 +328,7 @@ func TestCheckpointFailureCountersAccumulateAcrossFaultyResume(t *testing.T) {
 	resumed, err := Solve(ins, CTS2, Options{
 		P: 3, Seed: 15, Rounds: cp.Round + 3, RoundMoves: 150,
 		SlaveTimeout: 2 * time.Second,
-		Faults:       &farm.FaultPlan{Seed: 16, DropRate: 0.35},
+		Faults:       &inproc.FaultPlan{Seed: 16, DropRate: 0.35},
 		Resume:       cp,
 	})
 	if err != nil {

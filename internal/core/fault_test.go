@@ -6,10 +6,10 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/farm"
 	"repro/internal/gen"
 	"repro/internal/mkp"
 	"repro/internal/tabu"
+	"repro/internal/transport/inproc"
 )
 
 // TestFaultChaosCTS2 is the acceptance chaos run: CTS2 on a 25x500 GK
@@ -34,7 +34,7 @@ func TestFaultChaosCTS2(t *testing.T) {
 	// budget-proportional deadline takes over after the first round, so the
 	// cap is only paid while waiting on the genuinely crashed slave.
 	chaotic.SlaveTimeout = 5 * time.Second
-	chaotic.Faults = &farm.FaultPlan{
+	chaotic.Faults = &inproc.FaultPlan{
 		Seed:     7,
 		DropRate: 0.20,
 		CrashAt:  map[int]int64{3: 0}, // slave node 3 is fail-silent from its first send
@@ -76,7 +76,7 @@ func TestFaultZeroPlanMatchesFaultFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	armed := base
-	armed.Faults = &farm.FaultPlan{Seed: 123} // armed, but injects nothing
+	armed.Faults = &inproc.FaultPlan{Seed: 123} // armed, but injects nothing
 	b, err := Solve(ins, CTS2, armed)
 	if err != nil {
 		t.Fatal(err)
@@ -135,7 +135,10 @@ func TestFaultSlaveErrorDegrades(t *testing.T) {
 		P: 3, Seed: 2, Rounds: 4, RoundMoves: 100,
 		OnCheckpoint: func(*Checkpoint) { checkpoints++ },
 	}).withDefaults(ins.N)
-	m := newMaster(ins, CTS2, opts)
+	m, err := newMaster(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// NbLocal 0 fails Params.Validate inside the slave's searcher, so slot 0's
 	// first round comes back as an error instead of a result.
 	m.strategies[0] = tabu.Strategy{LtLength: 5, NbDrop: 2, NbLocal: 0}
@@ -170,10 +173,13 @@ func TestFaultAllSlavesFailedErrors(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	opts := (Options{P: 1, Seed: 2, Rounds: 3, RoundMoves: 100}).withDefaults(ins.N)
-	m := newMaster(ins, CTS2, opts)
+	m, err := newMaster(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m.strategies[0] = tabu.Strategy{LtLength: 4, NbDrop: 2, NbLocal: 0}
 
-	_, err := m.run()
+	_, err = m.run()
 	m.shutdown()
 	if err == nil || !strings.Contains(err.Error(), "slaves failed") {
 		t.Fatalf("want all-slaves-failed error, got %v", err)

@@ -8,25 +8,69 @@ import (
 
 	"repro/internal/mkp"
 	"repro/internal/rng"
+	"repro/internal/supervise"
 	"repro/internal/tabu"
 	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/transport/proto"
 )
 
-// This file holds the self-healing mechanics the supervisor policy drives:
-// the stop/ack handshake with a dying incarnation, the farm revival and warm
+// healer holds the self-healing mechanics the supervisor policy drives: the
+// stop/ack handshake with a dying incarnation, the transport revival and warm
 // respawn, the cooperative warm-start pool, and the heartbeat plumbing. The
 // policy itself (budgets, backoff, watchdog thresholds) lives in
-// internal/supervise; everything here is the master acting on its verdicts.
+// internal/supervise; everything here is the engine acting on its verdicts.
+// The component exists only when Options.Supervise is armed — the master's
+// heal field stays nil otherwise, and the collector and dispatcher check
+// for that.
+type healer struct {
+	*slaveTable
+	net   transport.Transport
+	ins   *mkp.Instance
+	opts  *Options
+	stats *Stats
+	mx    *masterMetrics
+	best  *mkp.Solution
+
+	// sv is the restart/backoff/watchdog policy engine. inc[i] is node i+1's
+	// current incarnation number; hb[i] is the cell its heartbeat writes
+	// (swapped for a fresh one on respawn so a lingering write cannot pollute
+	// the successor's watermark); acked caches stop acknowledgements that
+	// arrived while the master was waiting on a different node or collecting
+	// a round; nodeMoves accumulates each node's lifetime kernel moves across
+	// incarnations (the warm-start epoch); pool is the merged cooperative
+	// B-best pool respawns warm-start from.
+	sv        *supervise.Supervisor
+	inc       []int
+	hb        []*int64
+	acked     map[int]bool
+	nodeMoves []int64
+	pool      []mkp.Solution
+}
+
+func newHealer(sv *supervise.Supervisor, p int) *healer {
+	h := &healer{
+		sv:        sv,
+		inc:       make([]int, p),
+		hb:        make([]*int64, p),
+		acked:     make(map[int]bool),
+		nodeMoves: make([]int64, p),
+	}
+	for i := range h.hb {
+		h.hb[i] = new(int64)
+	}
+	return h
+}
 
 // heartbeatFor returns the progress-watermark publisher dispatched to node's
 // kernel. The closure runs on the slave goroutine, so it captures the cell
-// rather than indexing m.hb (which the master swaps on respawn). A node whose
+// rather than indexing h.hb (which the master swaps on respawn). A node whose
 // sends are being swallowed by a crash fault stops publishing: in-process the
 // goroutine could still reach shared memory, but a real partitioned process
 // could not, and the watchdog must see the same frozen watermark either way.
-func (m *master) heartbeatFor(node int) func(int64) {
-	cell := m.hb[node-1]
-	net := m.net
+func (h *healer) heartbeatFor(node int) func(int64) {
+	cell := h.hb[node-1]
+	net := h.net
 	return func(moves int64) {
 		if net.Crashed(node) {
 			return
@@ -35,39 +79,61 @@ func (m *master) heartbeatFor(node int) func(int64) {
 	}
 }
 
+// cacheAck records a stop acknowledgement that arrived outside awaitAck, so
+// the next respawn attempt for that node can consume it without waiting.
+func (h *healer) cacheAck(node int) {
+	h.acked[node] = true
+}
+
+// noteResult accounts a completed round from node index n: the moves feed
+// the lifetime epoch the next incarnation warm-starts from, and the watchdog
+// is reset to the watermark the node will freeze at if it dies.
+func (h *healer) noteResult(n int, moves int64) {
+	h.nodeMoves[n] += moves
+	h.sv.NoteProgress(n, atomic.LoadInt64(h.hb[n]))
+}
+
+// observe feeds node index n's current heartbeat watermark to the watchdog
+// and returns its verdict on a missed rendezvous deadline.
+func (h *healer) observe(n int) supervise.Progress {
+	return h.sv.Observe(n, atomic.LoadInt64(h.hb[n]))
+}
+
+// watermark returns node index n's last published heartbeat watermark.
+func (h *healer) watermark(n int) int64 {
+	return atomic.LoadInt64(h.hb[n])
+}
+
 // superviseRound runs the resurrection window at a round boundary: every
 // dead node whose backoff has elapsed and whose budget remains is stopped,
-// acknowledged, revived in the farm and respawned warm. A node whose dying
-// incarnation does not acknowledge within AckGrace (it may be deep in a
-// round) is retried at a later boundary without re-sending the stop.
-func (m *master) superviseRound(round int) {
-	if m.sv == nil {
-		return
-	}
+// acknowledged, revived in the transport and respawned warm. A node whose
+// dying incarnation does not acknowledge within AckGrace (it may be deep in
+// a round) is retried at a later boundary without re-sending the stop.
+func (h *healer) superviseRound(round int) {
 	now := time.Now()
-	for n := 0; n < m.opts.P; n++ {
-		if m.alive[n] || !m.sv.Due(n, now) {
+	for n := 0; n < h.opts.P; n++ {
+		if h.alive[n] || !h.sv.Due(n, now) {
 			continue
 		}
 		// Stop the dying incarnation exactly once per handshake. The order
 		// rides the control plane, so even a crash-faulted node hears it.
-		if !m.sv.StopSent(n) {
-			m.net.SendControl(0, n+1, tagStop, stopMsg{Inc: m.inc[n], Ack: true}, 0)
-			m.sv.MarkStopSent(n)
+		if !h.sv.StopSent(n) {
+			h.net.SendControl(0, n+1, proto.TagStop, proto.Stop{Inc: h.inc[n], Ack: true}, 0)
+			h.sv.MarkStopSent(n)
 		}
-		if !m.awaitAck(n+1, m.sv.Policy().AckGrace) {
+		if !h.awaitAck(n+1, h.sv.Policy().AckGrace) {
 			continue
 		}
-		m.respawn(n, round)
+		h.respawn(n, round)
 	}
 }
 
 // awaitAck waits up to grace for node's stop acknowledgement on the master
 // mailbox. Acks for other nodes arriving meanwhile are cached; stale round
 // results are discarded, exactly as the faulty collector would.
-func (m *master) awaitAck(node int, grace time.Duration) bool {
-	if m.acked[node] {
-		delete(m.acked, node)
+func (h *healer) awaitAck(node int, grace time.Duration) bool {
+	if h.acked[node] {
+		delete(h.acked, node)
 		return true
 	}
 	deadline := time.Now().Add(grace)
@@ -76,48 +142,51 @@ func (m *master) awaitAck(node int, grace time.Duration) bool {
 		if wait <= 0 {
 			return false
 		}
-		msg, ok := m.net.RecvTimeout(0, wait)
+		msg, ok := h.net.RecvTimeout(0, wait)
 		if !ok {
 			return false
 		}
-		if ack, isAck := msg.Payload.(ackMsg); isAck {
+		if ack, isAck := msg.Payload.(proto.Ack); isAck {
 			if ack.Node == node {
 				return true
 			}
-			m.acked[ack.Node] = true
+			h.acked[ack.Node] = true
 		}
 		// Anything else at a round boundary is a stale reply from an
 		// abandoned or duplicated round; drop it.
 	}
 }
 
-// respawn replaces node index n's process: the farm link is revived (mailbox
-// drained, send counter and crash fault cleared), a fresh incarnation is
-// launched with a seed that is a pure function of (run seed, node,
-// incarnation) — so restart order never shifts anyone's stream — and warm
-// state rebuilt from the master's cooperative pool. The slot's next start is
-// drawn from the pool too: the respawned searcher resumes from the farm's
-// collective frontier, not from scratch.
-func (m *master) respawn(n, round int) {
-	drained := m.net.Revive(n + 1)
-	m.inc[n]++
-	m.sv.OnRestart(n, 0)
-	m.hb[n] = new(int64)
-	m.nodeFail[n] = 0
-	m.alive[n] = true
-	m.stats.SlaveRestarts++
-	m.mx.slaveRestarts.Inc()
-	seed := m.opts.Seed ^ (uint64(n+1) << 40) ^ (uint64(m.inc[n]) << 20) ^ 0xD1B54A32D192ED03
-	go slave(m.net, n+1, m.ins, rng.New(seed), m.inc[n], m.warmFor(n))
-	if len(m.pool) > 0 {
-		pick := (m.inc[n] - 1 + n) % len(m.pool)
-		m.starts[n] = m.pool[pick].Clone()
+// respawn replaces node index n's process: the transport link is revived
+// (mailbox drained, send counter and crash fault cleared), a fresh
+// incarnation is launched with a seed that is a pure function of (run seed,
+// node, incarnation) — so restart order never shifts anyone's stream — and
+// warm state rebuilt from the master's cooperative pool. The slot's next
+// start is drawn from the pool too: the respawned searcher resumes from the
+// farm's collective frontier, not from scratch.
+func (h *healer) respawn(n, round int) {
+	drained := h.net.Revive(n + 1)
+	h.inc[n]++
+	h.sv.OnRestart(n, 0)
+	h.hb[n] = new(int64)
+	h.nodeFail[n] = 0
+	h.alive[n] = true
+	h.stats.SlaveRestarts++
+	h.mx.slaveRestarts.Inc()
+	seed := h.opts.Seed ^ (uint64(n+1) << 40) ^ (uint64(h.inc[n]) << 20) ^ 0xD1B54A32D192ED03
+	// rng.New(seed).Uint64() reproduces the draw the pre-refactor respawn
+	// made when it handed the slave a *rng.Rand: the searcher seed chain is
+	// unchanged across the transport refactor.
+	go slaveLoop(h.net, n+1, h.ins, rng.New(seed).Uint64(), h.inc[n], h.warmFor(n))
+	if len(h.pool) > 0 {
+		pick := (h.inc[n] - 1 + n) % len(h.pool)
+		h.starts[n] = h.pool[pick].Clone()
 	}
-	if m.opts.Tracer != nil {
-		m.opts.Tracer.Record(trace.Event{
-			Kind: trace.KindSlaveRestart, Actor: -1, Round: round, Value: m.best.Value,
+	if h.opts.Tracer != nil {
+		h.opts.Tracer.Record(trace.Event{
+			Kind: trace.KindSlaveRestart, Actor: -1, Round: round, Value: h.best.Value,
 			Detail: fmt.Sprintf("node=%d incarnation=%d restarts=%d drained=%d pool=%d",
-				n+1, m.inc[n], m.sv.Restarts(n), drained, len(m.pool)),
+				n+1, h.inc[n], h.sv.Restarts(n), drained, len(h.pool)),
 		})
 	}
 }
@@ -126,12 +195,12 @@ func (m *master) respawn(n, round int) {
 // The pool is cloned at the boundary (it crosses into the slave goroutine);
 // the epoch is the node's lifetime move count across incarnations, so the
 // successor's diversification thresholds see a mature search.
-func (m *master) warmFor(n int) *warmStart {
-	if len(m.pool) == 0 && m.nodeMoves[n] == 0 {
+func (h *healer) warmFor(n int) *warmStart {
+	if len(h.pool) == 0 && h.nodeMoves[n] == 0 {
 		return nil
 	}
-	w := &warmStart{moves: m.nodeMoves[n]}
-	for _, s := range m.pool {
+	w := &warmStart{moves: h.nodeMoves[n]}
+	for _, s := range h.pool {
 		w.pool = append(w.pool, s.Clone())
 	}
 	return w
@@ -140,70 +209,54 @@ func (m *master) warmFor(n int) *warmStart {
 // mergePool folds this round's results into the master's cooperative pool:
 // every reported best and B-best member, deduplicated by assignment, best
 // BBest kept. Only supervised runs pay for it.
-func (m *master) mergePool(results []*tabu.Result) {
-	if m.sv == nil {
-		return
-	}
+func (h *healer) mergePool(results []*tabu.Result) {
 	for _, res := range results {
 		if res == nil {
 			continue
 		}
-		m.poolAdd(res.Best)
+		h.poolAdd(res.Best)
 		for _, s := range res.Pool {
-			m.poolAdd(s)
+			h.poolAdd(s)
 		}
-	}
-}
-
-// stopRequested reports whether the graceful-stop channel has fired.
-func (m *master) stopRequested() bool {
-	if m.opts.Stop == nil {
-		return false
-	}
-	select {
-	case <-m.opts.Stop:
-		return true
-	default:
-		return false
 	}
 }
 
 // poolAdd inserts a solution into the supervised warm pool unless an equal
 // assignment is already present, keeping the pool sorted best-first and
 // capped at the per-slave B-best size.
-func (m *master) poolAdd(sol mkp.Solution) {
+func (h *healer) poolAdd(sol mkp.Solution) {
 	if sol.X == nil {
 		return
 	}
-	for _, p := range m.pool {
+	for _, p := range h.pool {
 		if p.X.Equal(sol.X) {
 			return
 		}
 	}
-	m.pool = append(m.pool, sol.Clone())
-	sort.SliceStable(m.pool, func(i, j int) bool { return m.pool[i].Value > m.pool[j].Value })
-	if limit := m.opts.Base.BBest; len(m.pool) > limit {
-		m.pool = m.pool[:limit]
+	h.pool = append(h.pool, sol.Clone())
+	sort.SliceStable(h.pool, func(i, j int) bool { return h.pool[i].Value > h.pool[j].Value })
+	if limit := h.opts.Base.BBest; len(h.pool) > limit {
+		h.pool = h.pool[:limit]
 	}
 }
 
 // awaitRevival blocks until the next dead node's backoff elapses and runs a
 // resurrection window, so a fully-dead farm can refill instead of aborting.
 // It returns false when every dead node has exhausted its restart budget.
-func (m *master) awaitRevival(round int) bool {
+func (h *healer) awaitRevival(round int) bool {
 	var dead []int
-	for i := 0; i < m.opts.P; i++ {
-		if !m.alive[i] {
+	for i := 0; i < h.opts.P; i++ {
+		if !h.alive[i] {
 			dead = append(dead, i)
 		}
 	}
-	due, ok := m.sv.NextDue(dead)
+	due, ok := h.sv.NextDue(dead)
 	if !ok {
 		return false
 	}
 	if wait := time.Until(due); wait > 0 {
 		time.Sleep(wait)
 	}
-	m.superviseRound(round)
+	h.superviseRound(round)
 	return true
 }

@@ -16,7 +16,7 @@ import (
 //     pool (macro intensification when Alpha is high), and
 //  2. a fresh random solution when the start has not changed for
 //     StagnationLimit consecutive rounds (macro diversification).
-func (m *master) isp(results []*tabu.Result) {
+func (t *tuner) isp(results []*tabu.Result) {
 	for i, res := range results {
 		if res == nil {
 			// The slot's round was lost to a failure: keep its start and
@@ -26,52 +26,52 @@ func (m *master) isp(results []*tabu.Result) {
 		next := res.Best
 
 		// Rule 1: weak starts are replaced by the global best.
-		if next.Value < m.alpha*m.best.Value {
-			if m.opts.Tracer != nil {
-				m.opts.Tracer.Record(trace.Event{
-					Kind: trace.KindReplacement, Actor: -1, Round: m.stats.Rounds - 1,
+		if next.Value < t.alpha*t.best.Value {
+			if t.opts.Tracer != nil {
+				t.opts.Tracer.Record(trace.Event{
+					Kind: trace.KindReplacement, Actor: -1, Round: t.stats.Rounds - 1,
 					Value:  next.Value,
-					Detail: fmt.Sprintf("slave=%d below alpha share of %.0f", i, m.best.Value),
+					Detail: fmt.Sprintf("slave=%d below alpha share of %.0f", i, t.best.Value),
 				})
 			}
-			next = m.best
-			m.stats.Replacements++
-			m.mx.replacements.Inc()
+			next = *t.best
+			t.stats.Replacements++
+			t.mx.replacements.Inc()
 		}
 
 		// Rule 2: stagnant starts are replaced by a random solution.
-		if m.prevStart[i].X != nil && next.X.Equal(m.prevStart[i].X) {
-			m.stagnation[i]++
+		if t.prevStart[i].X != nil && next.X.Equal(t.prevStart[i].X) {
+			t.stagnation[i]++
 		} else {
-			m.stagnation[i] = 0
+			t.stagnation[i] = 0
 		}
 		// Elite protection: the thread sitting on the global best defines the
 		// search frontier; §2's restart remarks target threads circling in
 		// regions that stopped paying off or that others already cover, so
 		// the leader is never randomized away.
-		elite := next.Value >= m.best.Value-1e-9
-		if !elite && m.stagnation[i] >= m.opts.StagnationLimit {
+		elite := next.Value >= t.best.Value-1e-9
+		if !elite && t.stagnation[i] >= t.opts.StagnationLimit {
 			// "It will be substituted by a new randomly generated solution."
 			// A restricted-candidate greedy draw keeps the restart diverse
 			// without discarding a whole round climbing back from a weak
 			// random point.
-			next = mkp.RandomizedGreedy(m.ins, m.r, 4)
-			m.stats.RandomRestarts++
-			m.mx.restarts.Inc()
-			m.stagnation[i] = 0
-			if m.opts.Tracer != nil {
-				m.opts.Tracer.Record(trace.Event{
-					Kind: trace.KindRestart, Actor: -1, Round: m.stats.Rounds - 1,
+			next = mkp.RandomizedGreedy(t.ins, t.r, 4)
+			t.stats.RandomRestarts++
+			t.mx.restarts.Inc()
+			t.stagnation[i] = 0
+			if t.opts.Tracer != nil {
+				t.opts.Tracer.Record(trace.Event{
+					Kind: trace.KindRestart, Actor: -1, Round: t.stats.Rounds - 1,
 					Value: next.Value, Detail: fmt.Sprintf("slave=%d", i),
 				})
 			}
 		}
 
 		// Clone at the store boundary: next may alias res.Best (which crossed
-		// from the slave goroutine) or m.best (which future rounds replace),
+		// from the slave goroutine) or t.best (which future rounds replace),
 		// and starts[i] is what dispatch ships out — possibly twice, under
 		// re-dispatch.
-		m.starts[i] = next.Clone()
-		m.prevStart[i] = m.starts[i]
+		t.starts[i] = next.Clone()
+		t.prevStart[i] = t.starts[i]
 	}
 }

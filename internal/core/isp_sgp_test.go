@@ -38,30 +38,30 @@ func testInstance(n, m int, seed uint64) *mkp.Instance {
 	return ins
 }
 
-// bareMaster builds a master with P slots and no slave goroutines, for
-// exercising isp/sgp in isolation.
+// bareMaster builds an engine with P slots and no slave goroutines (the
+// transport is never touched), for exercising isp/sgp in isolation.
 func bareMaster(ins *mkp.Instance, p int, opts Options) *master {
 	opts = opts.withDefaults(ins.N)
 	opts.P = p
-	m := &master{
-		ins:        ins,
-		algo:       CTS2,
-		opts:       opts,
-		r:          rng.New(opts.Seed),
-		strategies: make([]tabu.Strategy, p),
-		starts:     make([]mkp.Solution, p),
-		scores:     make([]int, p),
-		stagnation: make([]int, p),
-		prevStart:  make([]mkp.Solution, p),
-	}
+	m := newEngine(ins, CTS2, opts, nil, rng.New(opts.Seed))
 	for i := 0; i < p; i++ {
 		m.strategies[i] = tabu.Strategy{LtLength: 10, NbDrop: 2, NbLocal: 20}
 		m.scores[i] = opts.InitialScore
 	}
 	m.best = mkp.Greedy(ins)
-	m.alpha = m.opts.Alpha
 	return m
 }
+
+// Thin test-only delegates: the tuning and budget logic moved into the
+// engine's components, but the unit tests read most naturally against the
+// master as a whole.
+func (m *master) adaptAlpha(improved bool) { m.tune.adaptAlpha(improved) }
+
+func (m *master) isp(results []*tabu.Result) { m.tune.isp(results) }
+
+func (m *master) sgp(results []*tabu.Result) { m.tune.sgp(results) }
+
+func (m *master) budgetFor(s tabu.Strategy) int64 { return m.disp.budgetFor(s) }
 
 func TestAdaptAlphaBounds(t *testing.T) {
 	ins := testInstance(20, 2, 40)
@@ -69,17 +69,17 @@ func TestAdaptAlphaBounds(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		m.adaptAlpha(true)
 	}
-	if m.alpha != 0.995 {
-		t.Fatalf("alpha after improvements = %v, want cap 0.995", m.alpha)
+	if m.tune.alpha != 0.995 {
+		t.Fatalf("alpha after improvements = %v, want cap 0.995", m.tune.alpha)
 	}
 	for i := 0; i < 50; i++ {
 		m.adaptAlpha(false)
 	}
-	if m.alpha != 0.85 {
-		t.Fatalf("alpha after stagnation = %v, want floor 0.85", m.alpha)
+	if m.tune.alpha != 0.85 {
+		t.Fatalf("alpha after stagnation = %v, want floor 0.85", m.tune.alpha)
 	}
 	m.adaptAlpha(true)
-	if m.alpha <= 0.85 {
+	if m.tune.alpha <= 0.85 {
 		t.Fatal("alpha did not recover on improvement")
 	}
 }

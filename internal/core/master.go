@@ -2,76 +2,20 @@ package core
 
 import (
 	"fmt"
-	"sync/atomic"
+	"io"
 	"time"
 
-	"repro/internal/farm"
 	"repro/internal/mkp"
 	"repro/internal/rng"
 	"repro/internal/supervise"
 	"repro/internal/tabu"
 	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/transport/inproc"
+	"repro/internal/transport/proto"
+	"repro/internal/transport/wire"
 	"repro/internal/vtime"
 )
-
-// Message tags exchanged between master (node 0) and slaves (nodes 1..P).
-const (
-	tagStart   = "start"   // master -> slave: startMsg
-	tagResult  = "result"  // slave -> master: resultMsg
-	tagStop    = "stop"    // master -> slave: stopMsg or nil (control plane)
-	tagStopped = "stopped" // slave -> master: ackMsg (control plane)
-)
-
-// startMsg is what the master sends a slave at each rendezvous: an initial
-// solution, a full parameter set (strategy included) and a move budget
-// (Fig. 2: "Send Initial solutions and strategies to slaves"). Slot names
-// the per-slave bookkeeping entry the work belongs to — normally the slave's
-// own, but a lost round may be re-dispatched to a different live slave.
-// Round stamps the rendezvous so the master can discard stale replies.
-type startMsg struct {
-	Slot   int
-	Round  int
-	Start  mkp.Solution
-	Params tabu.Params
-	Budget int64
-}
-
-// resultMsg is the slave's report: its round result or the error that ended
-// it. Slot and Round echo the startMsg; Node is the worker that actually ran
-// the round (== Slot+1 unless the work was re-dispatched).
-type resultMsg struct {
-	Slot  int
-	Node  int
-	Round int
-	Res   *tabu.Result
-	Err   error
-}
-
-// stopMsg is the supervisor's stop order to a dying incarnation. Inc names
-// the incarnation the order targets (a fresh incarnation ignores orders for
-// its predecessors); Ack asks the slave to confirm its exit on the control
-// plane so the master knows the node's mailbox is safe to drain. The
-// shutdown path sends a nil payload instead: exit silently, no ack.
-type stopMsg struct {
-	Inc int
-	Ack bool
-}
-
-// ackMsg confirms that incarnation Inc of node Node consumed its stop order
-// and is about to return.
-type ackMsg struct {
-	Node int
-	Inc  int
-}
-
-// warmStart carries the master's cooperative memory into a respawned slave:
-// the merged B-best pool reconstructs the long-term frequency history, and
-// moves restores the lifetime move epoch so diversification thresholds see a
-// mature search rather than a newborn one.
-type warmStart struct {
-	pool  []mkp.Solution
-	moves int64
-}
 
 // Solve runs the selected algorithm on the instance. The run is
 // deterministic for a fixed (algorithm, Options.Seed, Options.P): slave
@@ -79,6 +23,11 @@ type warmStart struct {
 // per-slave results, never on message arrival order. With Options.Faults set
 // the message loss schedule is still deterministic, but recovery (timeouts,
 // re-dispatch) depends on real time, so only fault-free runs replay bitwise.
+// With Options.Workers set the slaves are separate OS processes reached over
+// TCP; such a run uses the deadline-driven rendezvous (a remote death only
+// ever manifests as silence), so it is not bitwise comparable to an in-process
+// run, but on a healthy fleet it reaches the identical final best for a fixed
+// seed — the master's decisions are a pure function of the per-slot results.
 func Solve(ins *mkp.Instance, algo Algorithm, opts Options) (*Result, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
@@ -103,9 +52,29 @@ func Solve(ins *mkp.Instance, algo Algorithm, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
+	if len(opts.Workers) > 0 {
+		// The in-process substrate owns fault injection, supervision revival
+		// and simulated latency; none of them is meaningful against real
+		// remote processes.
+		if opts.Faults != nil {
+			return nil, fmt.Errorf("core: Workers and Faults are mutually exclusive (fault injection is an in-process substrate feature)")
+		}
+		if opts.Supervise != nil {
+			return nil, fmt.Errorf("core: Workers and Supervise are mutually exclusive (respawn needs in-process slaves)")
+		}
+		if opts.Latency != 0 {
+			return nil, fmt.Errorf("core: Workers and Latency are mutually exclusive (real links have real latency)")
+		}
+		if opts.P != len(opts.Workers) {
+			return nil, fmt.Errorf("core: P=%d but %d worker addresses given", opts.P, len(opts.Workers))
+		}
+	}
 
 	start := time.Now()
-	m := newMaster(ins, algo, opts)
+	m, err := newMaster(ins, algo, opts)
+	if err != nil {
+		return nil, err
+	}
 	defer m.shutdown()
 	if opts.Resume != nil {
 		if err := m.restore(opts.Resume); err != nil {
@@ -120,108 +89,136 @@ func Solve(ins *mkp.Instance, algo Algorithm, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// master owns the per-slave bookkeeping array of Fig. 2 (strategy, initial
-// solution, B best pool, score) and the rendezvous loop.
+// master owns the rendezvous loop of Fig. 2 and the engine components it
+// drives: the dispatcher (sends round orders), the collector (runs the
+// rendezvous), the tuner (ISP, SGP, adaptive alpha) and — when supervision is
+// armed — the healer (stop/ack handshake, warm respawn). All components share
+// the per-slave bookkeeping table by pointer and speak to the slaves only
+// through the transport.Transport seam, so the same engine drives in-process
+// goroutines and remote worker processes unchanged.
 type master struct {
 	ins  *mkp.Instance
 	algo Algorithm
 	opts Options
-	net  *farm.Farm
-	r    *rng.Rand // master's private stream (ISP restarts, SGP redraws)
+	net  transport.Transport
+	*slaveTable
 
-	// Per-slave entries (index 0..P-1 for slave node i+1).
-	strategies []tabu.Strategy
-	starts     []mkp.Solution
-	scores     []int
-	stagnation []int
-	prevStart  []mkp.Solution
+	disp *dispatcher
+	coll *collector
+	tune *tuner
+	heal *healer // nil unless opts.Supervise is set
 
-	// Extended-tuning state (used only when opts.ExtendedTuning).
-	modes  []tabu.IntensifyMode
-	noises []float64
-	widths []int
-
-	// Fault-tolerance state. alive[i] is false once slave node i+1 has been
-	// declared dead; its slot is then excluded from dispatch (the run
-	// degrades to P−k slaves). nodeFail counts consecutive rounds a node
-	// stayed completely silent; deadAfterMisses in a row kill it. perMove
-	// is the measured real cost of one kernel move, the basis of the
-	// budget-proportional rendezvous deadline.
-	alive        []bool
-	nodeFail     []int
-	perMove      time.Duration
-	dispatchedAt []time.Time // when each slot's current order was sent
-	lastErr      error
-
-	// Supervision state (all nil/empty unless opts.Supervise is set).
-	// inc[i] is node i+1's current incarnation number; hb[i] is the cell its
-	// heartbeat writes (swapped for a fresh one on respawn so a lingering
-	// write cannot pollute the successor's watermark); acked caches stop
-	// acknowledgements that arrived while the master was waiting on a
-	// different node or collecting a round; nodeMoves accumulates each
-	// node's lifetime kernel moves across incarnations (the warm-start
-	// epoch); pool is the merged cooperative B-best pool respawns warm-start
-	// from.
-	sv        *supervise.Supervisor
-	inc       []int
-	hb        []*int64
-	acked     map[int]bool
-	nodeMoves []int64
-	pool      []mkp.Solution
+	// deadlineDriven forces the deadline-driven collector even without faults
+	// or supervision: a remote worker's death only ever manifests as silence,
+	// so wire-mode runs cannot use the plain blocking rendezvous.
+	deadlineDriven bool
+	lastErr        error
 
 	best  mkp.Solution
-	alpha float64 // current ISP threshold; fixed unless AdaptiveAlpha
 	stats Stats
 
 	// Observability. mx holds the master's metric handles (all nil without a
 	// registry); startedAt anchors the time-to-best gauge; droppedBase is the
-	// checkpoint-restored fault-counter baseline added to the farm's count
-	// (the farm of a resumed run starts from zero).
+	// checkpoint-restored fault-counter baseline added to the transport's
+	// count (the substrate of a resumed run starts from zero).
 	mx          masterMetrics
 	startedAt   time.Time
 	droppedBase int64
 }
 
-func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
-	root := rng.New(opts.Seed)
-	farmOpts := []farm.Option{farm.WithLatency(opts.Latency)}
-	if opts.Faults != nil {
-		farmOpts = append(farmOpts, farm.WithFaults(opts.Faults))
-	}
-	if opts.Metrics != nil {
-		farmOpts = append(farmOpts, farm.WithMetrics(opts.Metrics))
-	}
+// newEngine wires a master and its components around an existing transport
+// and master random stream. It performs no random initialization and launches
+// no slaves — newMaster does that; tests use newEngine directly to build a
+// bare engine with hand-picked state.
+func newEngine(ins *mkp.Instance, algo Algorithm, opts Options, net transport.Transport, r *rng.Rand) *master {
 	m := &master{
 		ins:        ins,
 		algo:       algo,
 		opts:       opts,
-		net:        farm.New(opts.P+1, farmOpts...),
-		r:          root.Split(),
-		strategies: make([]tabu.Strategy, opts.P),
-		starts:     make([]mkp.Solution, opts.P),
-		scores:     make([]int, opts.P),
-		stagnation: make([]int, opts.P),
-		prevStart:  make([]mkp.Solution, opts.P),
-		modes:      make([]tabu.IntensifyMode, opts.P),
-		noises:     make([]float64, opts.P),
-		widths:     make([]int, opts.P),
-		alive:        make([]bool, opts.P),
-		nodeFail:     make([]int, opts.P),
-		dispatchedAt: make([]time.Time, opts.P),
+		net:        net,
+		slaveTable: newSlaveTable(opts.P),
 	}
 	m.stats.Algorithm = algo
 	m.stats.P = opts.P
-	m.alpha = opts.Alpha
 	m.mx = newMasterMetrics(opts.Metrics)
 	m.startedAt = time.Now()
+	m.disp = &dispatcher{
+		slaveTable:   m.slaveTable,
+		net:          net,
+		ins:          ins,
+		opts:         &m.opts,
+		mx:           &m.mx,
+		dispatchedAt: make([]time.Time, opts.P),
+	}
+	m.tune = &tuner{
+		slaveTable: m.slaveTable,
+		ins:        ins,
+		opts:       &m.opts,
+		r:          r,
+		stats:      &m.stats,
+		mx:         &m.mx,
+		best:       &m.best,
+		alpha:      opts.Alpha,
+	}
+	m.coll = &collector{
+		slaveTable: m.slaveTable,
+		net:        net,
+		opts:       &m.opts,
+		stats:      &m.stats,
+		mx:         &m.mx,
+		disp:       m.disp,
+		life:       m,
+		best:       &m.best,
+	}
+	return m
+}
+
+// newMaster builds the full engine: transport (in-process farm, or TCP
+// connections to the configured workers), random initial strategies and
+// starting solutions, slave processes, and — when armed — the supervision
+// layer. The root RNG draw order is part of the determinism contract: one
+// split for the master's private stream, one split per slave seed in launch
+// order, then one draw for the supervisor seed only when supervision is
+// armed, so arming a layer never shifts another consumer's stream.
+func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error) {
+	root := rng.New(opts.Seed)
+	r := root.Split()
+	seeds := make([]uint64, opts.P)
+	for i := range seeds {
+		seeds[i] = root.Split().Uint64()
+	}
+
+	var net transport.Transport
+	if len(opts.Workers) > 0 {
+		// Remote workers: the dial handshake ships each worker its node
+		// number, seed and the full instance, so the processes need no
+		// problem file of their own.
+		wnet, err := wire.Dial(opts.Workers, ins, seeds, opts.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		net = wnet
+	} else {
+		farmOpts := []inproc.Option{inproc.WithLatency(opts.Latency)}
+		if opts.Faults != nil {
+			farmOpts = append(farmOpts, inproc.WithFaults(opts.Faults))
+		}
+		if opts.Metrics != nil {
+			farmOpts = append(farmOpts, inproc.WithMetrics(opts.Metrics))
+		}
+		net = inproc.New(opts.P+1, farmOpts...)
+	}
+
+	m := newEngine(ins, algo, opts, net, r)
+	m.deadlineDriven = len(opts.Workers) > 0
 
 	// Initial strategies and starting solutions: "chosen randomly" for every
 	// variant (§5), so SEQ really is the paper's baseline of one random
 	// sequential search and the parallel variants win by breadth, exchange
 	// and tuning rather than by a seeded constructive start.
 	for i := 0; i < opts.P; i++ {
-		m.strategies[i] = tabu.RandomStrategy(ins.N, m.r)
-		m.starts[i] = mkp.RandomFeasible(ins, m.r)
+		m.strategies[i] = tabu.RandomStrategy(ins.N, r)
+		m.starts[i] = mkp.RandomFeasible(ins, r)
 		m.scores[i] = opts.InitialScore
 		m.modes[i] = opts.Base.Intensify
 		m.noises[i] = opts.Base.AddNoise
@@ -237,108 +234,30 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) *master {
 	m.mx.bestValue.Set(m.best.Value)
 
 	// Launch the slaves ("Read and send to slaves problem data", Fig. 2 —
-	// the instance pointer is shared read-only here).
-	for i := 0; i < opts.P; i++ {
-		go slave(m.net, i+1, ins, root.Split(), 0, nil)
+	// the instance pointer is shared read-only here). Remote workers were
+	// already handed their seed and the instance during the dial handshake.
+	if len(opts.Workers) == 0 {
+		for i := 0; i < opts.P; i++ {
+			go slaveLoop(net, i+1, ins, seeds[i], 0, nil)
+		}
 	}
 	// Supervision state is built only when armed, and its seed is drawn from
 	// the root AFTER the slave splits, so an unsupervised run consumes
 	// exactly the same stream positions as before supervision existed.
 	if opts.Supervise != nil {
-		m.sv = supervise.New(*opts.Supervise, opts.P, root.Uint64())
-		m.inc = make([]int, opts.P)
-		m.hb = make([]*int64, opts.P)
-		for i := range m.hb {
-			m.hb[i] = new(int64)
-		}
-		m.acked = make(map[int]bool)
-		m.nodeMoves = make([]int64, opts.P)
+		h := newHealer(supervise.New(*opts.Supervise, opts.P, root.Uint64()), opts.P)
+		h.slaveTable = m.slaveTable
+		h.net = net
+		h.ins = ins
+		h.opts = &m.opts
+		h.stats = &m.stats
+		h.mx = &m.mx
+		h.best = &m.best
+		m.heal = h
+		m.coll.heal = h
+		m.disp.heartbeat = h.heartbeatFor
 	}
-	return m
-}
-
-// slave is the process each worker node runs: wait for a start order,
-// execute one tabu-search round, report the result, repeat until stopped.
-// The report echoes the order's slot and round so the master can route it to
-// the right bookkeeping entry and discard stale replies after re-dispatch.
-// inc is this incarnation's number (0 for the original process); warm, when
-// non-nil, reconstructs the predecessor's long-term memory before the first
-// round.
-func slave(net *farm.Farm, node int, ins *mkp.Instance, r *rng.Rand, inc int, warm *warmStart) {
-	searcher, err := tabu.NewSearcher(ins, r.Uint64())
-	if err != nil {
-		// The master validated the instance; this is unreachable in normal
-		// operation but reported rather than swallowed.
-		net.Send(node, 0, tagResult, resultMsg{Slot: node - 1, Node: node, Round: -1, Err: err}, 0)
-		return
-	}
-	if warm != nil {
-		searcher.WarmStart(warm.pool, warm.moves)
-	}
-	for {
-		msg := net.Recv(node)
-		switch msg.Tag {
-		case tagStop:
-			req, supervised := msg.Payload.(stopMsg)
-			if !supervised {
-				return // shutdown order: exit silently
-			}
-			if req.Inc < inc {
-				continue // aimed at a predecessor that is already gone
-			}
-			if req.Ack {
-				net.SendControl(node, 0, tagStopped, ackMsg{Node: node, Inc: inc}, 0)
-			}
-			return
-		case tagStart:
-			req := msg.Payload.(startMsg)
-			res, err := searcher.Run(req.Start, req.Params, req.Budget)
-			size := 0
-			if res != nil {
-				size = farm.SizeOfSolution(ins.N) * (1 + len(res.Pool))
-			}
-			rep := resultMsg{Slot: req.Slot, Node: node, Round: req.Round, Res: res, Err: err}
-			net.Send(node, 0, tagResult, rep, size)
-		}
-	}
-}
-
-// budgetFor applies the paper's load-balancing rule: the per-round iteration
-// count is inversely proportional to NbDrop so slaves with deeper (more
-// expensive) moves finish at roughly the same time (§4.2).
-func (m *master) budgetFor(s tabu.Strategy) int64 {
-	b := m.opts.RoundMoves * int64(m.opts.RefDrop) / int64(s.NbDrop)
-	if m.opts.EqualWork {
-		b /= int64(m.opts.P)
-	}
-	if b < 1 {
-		b = 1
-	}
-	return b
-}
-
-// dispatch sends slot's round order to the given worker node.
-func (m *master) dispatch(slot, node, round int, budget int64) error {
-	params := m.opts.Base
-	params.Strategy = m.strategies[slot]
-	params.Tracer = m.opts.Tracer
-	params.TraceID = slot
-	params.Metrics = m.opts.Metrics
-	if m.opts.ExtendedTuning {
-		params.Intensify = m.modes[slot]
-		params.AddNoise = m.noises[slot]
-		params.CandWidth = m.widths[slot]
-	}
-	if m.sv != nil {
-		params.Heartbeat = m.heartbeatFor(node)
-	}
-	// Clone at the send boundary: the payload crosses into the slave
-	// goroutine while the master keeps (and may re-send) its copy.
-	req := startMsg{Slot: slot, Round: round, Start: m.starts[slot].Clone(), Params: params, Budget: budget}
-	size := farm.SizeOfSolution(m.ins.N) + farm.SizeOfStrategy()
-	m.dispatchedAt[slot] = time.Now()
-	m.mx.dispatches.Inc()
-	return m.net.Send(0, node, tagStart, req, size)
+	return m, nil
 }
 
 // run executes the master's iterative program (Fig. 2), resuming at the
@@ -365,7 +284,9 @@ func (m *master) run() (*Result, error) {
 		// Resurrection window: dead slaves whose backoff has elapsed are
 		// respawned before the round's dispatch, so the fresh incarnations
 		// take part immediately.
-		m.superviseRound(round)
+		if m.heal != nil {
+			m.heal.superviseRound(round)
+		}
 
 		// Dispatch: every live slave gets its start, strategy and budget.
 		// With supervision armed, an all-dead farm waits for the next
@@ -379,16 +300,16 @@ func (m *master) run() (*Result, error) {
 				if !m.alive[i] {
 					continue
 				}
-				budgets[i] = m.budgetFor(m.strategies[i])
-				if err := m.dispatch(i, i+1, round, budgets[i]); err != nil {
+				budgets[i] = m.disp.budgetFor(m.strategies[i])
+				if err := m.disp.dispatch(i, i+1, round, budgets[i]); err != nil {
 					return nil, err
 				}
 				dispatched++
 			}
-			if dispatched > 0 || m.sv == nil || attempt >= 4 {
+			if dispatched > 0 || m.heal == nil || attempt >= 4 {
 				break
 			}
-			if !m.awaitRevival(round) {
+			if !m.heal.awaitRevival(round) {
 				break
 			}
 		}
@@ -400,14 +321,15 @@ func (m *master) run() (*Result, error) {
 		}
 
 		// Rendezvous: wait for the dispatched results (synchronous
-		// centralized scheme, §4.2), tolerating loss when faults or the
-		// supervisor are armed — supervision needs the deadline-driven
-		// collector for its watchdog observations even on a fault-free farm.
+		// centralized scheme, §4.2), tolerating loss when faults, the
+		// supervisor or remote workers are armed — supervision needs the
+		// deadline-driven collector for its watchdog observations even on a
+		// fault-free farm, and a remote worker's death is only ever silence.
 		var hadFailure bool
-		if m.opts.Faults == nil && m.sv == nil {
-			hadFailure = m.collect(round, dispatched, results)
+		if m.opts.Faults == nil && m.heal == nil && !m.deadlineDriven {
+			hadFailure = m.coll.collect(round, dispatched, results)
 		} else {
-			hadFailure = m.collectFaulty(round, budgets, results)
+			hadFailure = m.coll.collectFaulty(round, budgets, results)
 		}
 		if hadFailure && m.opts.OnCheckpoint != nil {
 			// Resumable at the last good rendezvous even if the run dies
@@ -437,13 +359,15 @@ func (m *master) run() (*Result, error) {
 		}
 		m.stats.BestByRound = append(m.stats.BestByRound, m.best.Value)
 		m.stats.SimElapsed += clock.RoundDuration(m.ins.N, m.ins.M, live,
-			farm.SizeOfSolution(m.ins.N), farm.SizeOfStrategy())
+			proto.SolutionSize(m.ins.N), proto.StrategySize())
 		if m.opts.AdaptiveAlpha {
-			m.adaptAlpha(m.best.Value > prevBest)
+			m.tune.adaptAlpha(m.best.Value > prevBest)
 		}
 		// Supervised runs keep a merged cooperative pool so a respawned slave
 		// can be warm-started with the farm's collective memory.
-		m.mergePool(results)
+		if m.heal != nil {
+			m.heal.mergePool(results)
+		}
 
 		// Next-round starting solutions.
 		switch m.algo {
@@ -457,11 +381,11 @@ func (m *master) run() (*Result, error) {
 				}
 			}
 		case CTS1, CTS2:
-			m.isp(results)
+			m.tune.isp(results)
 		}
 		// Dynamic strategy setting (CTS2 only).
 		if m.algo == CTS2 {
-			m.sgp(results)
+			m.tune.sgp(results)
 		}
 		// The snapshot is taken after ISP/SGP so a resumed run starts the
 		// next round with exactly the state this run would have used.
@@ -486,13 +410,13 @@ func (m *master) run() (*Result, error) {
 		}
 	}
 
-	fs := m.net.Stats()
-	m.stats.Messages = fs.Messages
-	m.stats.BytesSent = fs.Bytes
-	// The farm of a resumed run starts from zero; droppedBase carries the
-	// checkpointed count so the reported total stays cumulative.
-	m.stats.DroppedMessages = m.droppedBase + fs.Dropped
-	m.stats.FinalAlpha = m.alpha
+	ts := m.net.Stats()
+	m.stats.Messages = ts.Messages
+	m.stats.BytesSent = ts.Bytes
+	// The substrate of a resumed run starts from zero; droppedBase carries
+	// the checkpointed count so the reported total stays cumulative.
+	m.stats.DroppedMessages = m.droppedBase + ts.Dropped
+	m.stats.FinalAlpha = m.tune.alpha
 	for _, ok := range m.alive {
 		if ok {
 			m.stats.LiveSlaves++
@@ -505,233 +429,10 @@ func (m *master) run() (*Result, error) {
 	}, nil
 }
 
-// collect is the plain blocking rendezvous used when fault injection is off:
-// every dispatched order produces exactly one reply, so the master waits for
-// `dispatched` messages. This is byte-for-byte the pre-fault-tolerance
-// behavior — a fault-free run replays bitwise — except that a slave
-// reporting an error no longer aborts the whole cooperative run: the slave
-// is declared dead and the run degrades. It reports whether any failure
-// occurred.
-func (m *master) collect(round, dispatched int, results []*tabu.Result) bool {
-	hadFailure := false
-	for recvd := 0; recvd < dispatched; recvd++ {
-		msg := m.net.Recv(0)
-		rep := msg.Payload.(resultMsg)
-		if rep.Err != nil {
-			m.slaveDied(rep.Node-1, round, rep.Err)
-			m.slotFailed(rep.Slot, round)
-			hadFailure = true
-			continue
-		}
-		results[rep.Slot] = rep.Res
-		m.mx.results.Inc()
-	}
-	return hadFailure
-}
-
-// deadAfterMisses is how many consecutive completely-silent rounds a node
-// may have before the master declares it dead. On a merely lossy link a
-// whole round of silence means every attempt to the node was dropped —
-// unlucky but recoverable — so one or two are forgiven; a crashed node is
-// silent every round and crosses the threshold immediately.
-const deadAfterMisses = 3
-
-// collectFaulty is the deadline-driven rendezvous used when fault injection
-// is armed. Missing results are re-dispatched — first to the original slave
-// (the loss may have been a dropped message), then to a live slave that has
-// already reported this round — and abandoned once MaxRedispatch re-sends
-// are spent. A node that stays silent deadAfterMisses rounds in a row, or
-// reports an error, is declared dead and its slot excluded from future
-// rounds.
-func (m *master) collectFaulty(round int, budgets []int64, results []*tabu.Result) bool {
-	const (
-		pending = iota
-		done
-		abandoned
-	)
-	p := m.opts.P
-	state := make([]int, p)
-	attempts := make([]int, p)   // re-sends spent per slot this round
-	assigned := make([]int, p)   // node currently responsible for each slot
-	timedOut := make([]bool, p)  // node already charged a miss this round
-	var finished []int           // nodes that reported this round (borrow candidates)
-	borrow := 0
-	outstanding := 0
-	var maxBudget int64
-	for i := 0; i < p; i++ {
-		assigned[i] = i + 1
-		if m.alive[i] {
-			outstanding++
-			if budgets[i] > maxBudget {
-				maxBudget = budgets[i]
-			}
-		} else {
-			state[i] = abandoned
-		}
-	}
-
-	hadFailure := false
-	began := time.Now()
-	waitUntil := began.Add(m.timeoutFor(maxBudget))
-	for outstanding > 0 {
-		if wait := time.Until(waitUntil); wait > 0 {
-			msg, ok := m.net.RecvTimeout(0, wait)
-			if ok {
-				if ack, isAck := msg.Payload.(ackMsg); isAck {
-					// A dying incarnation confirmed its stop after the grace
-					// window expired; cache it for the next respawn attempt.
-					m.acked[ack.Node] = true
-					continue
-				}
-				rep, isResult := msg.Payload.(resultMsg)
-				if !isResult {
-					continue
-				}
-				if rep.Err != nil {
-					hadFailure = true
-					m.slaveDied(rep.Node-1, round, rep.Err)
-					if s := rep.Slot; s >= 0 && s < p && state[s] == pending {
-						if m.redispatch(s, round, budgets, attempts, assigned, finished, &borrow) {
-							waitUntil = time.Now().Add(m.timeoutFor(maxBudget))
-						} else {
-							state[s] = abandoned
-							outstanding--
-							m.slotFailed(s, round)
-						}
-					}
-					continue
-				}
-				if rep.Round != round || rep.Slot < 0 || rep.Slot >= p || state[rep.Slot] != pending {
-					continue // stale round, duplicate, or already-abandoned slot
-				}
-				state[rep.Slot] = done
-				results[rep.Slot] = rep.Res
-				m.mx.results.Inc()
-				outstanding--
-				if n := rep.Node - 1; n >= 0 && n < p {
-					m.nodeFail[n] = 0
-					finished = append(finished, rep.Node)
-					if m.sv != nil {
-						if rep.Res != nil {
-							m.nodeMoves[n] += rep.Res.Moves
-						}
-						// A result is definitive progress: reset the watchdog
-						// to the watermark the node will freeze at if it dies.
-						m.sv.NoteProgress(n, atomic.LoadInt64(m.hb[n]))
-					}
-				}
-				// Calibrate the budget-proportional deadline from real
-				// arrivals, measured from the slot's own dispatch so waits
-				// on other slots don't inflate it; keep the largest
-				// observation so transient hiccups can only make later
-				// deadlines more generous.
-				if rep.Res != nil && rep.Res.Moves > 0 && !m.dispatchedAt[rep.Slot].IsZero() {
-					if per := time.Since(m.dispatchedAt[rep.Slot]) / time.Duration(rep.Res.Moves); per > m.perMove {
-						m.perMove = per
-					}
-				}
-				continue
-			}
-		}
-
-		// Deadline expired: every still-pending slot missed the rendezvous.
-		hadFailure = true
-		progressed := false
-		for s := 0; s < p; s++ {
-			if state[s] != pending {
-				continue
-			}
-			if m.opts.Tracer != nil {
-				m.opts.Tracer.Record(trace.Event{
-					Kind: trace.KindSlaveTimeout, Actor: -1, Round: round, Value: m.best.Value,
-					Detail: fmt.Sprintf("slot=%d node=%d attempt=%d", s, assigned[s], attempts[s]),
-				})
-			}
-			if n := assigned[s] - 1; n >= 0 && n < p && !timedOut[n] {
-				timedOut[n] = true
-				charge := true
-				if m.sv != nil {
-					switch m.sv.Observe(n, atomic.LoadInt64(m.hb[n])) {
-					case supervise.Advanced:
-						// The watermark moved: the node is computing, just
-						// slower than the deadline. Forgive the silence.
-						charge = false
-					case supervise.Stalled:
-						// Frozen for StallChecks deadline checks in a row:
-						// hung, no need to wait out the silent-miss count.
-						charge = false
-						m.stats.WatchdogTrips++
-						m.mx.watchdogTrips.Inc()
-						if m.opts.Tracer != nil {
-							m.opts.Tracer.Record(trace.Event{
-								Kind: trace.KindWatchdogTrip, Actor: -1, Round: round, Value: m.best.Value,
-								Detail: fmt.Sprintf("node=%d watermark frozen at %d", n+1, atomic.LoadInt64(m.hb[n])),
-							})
-						}
-						if m.alive[n] {
-							m.slaveDied(n, round, nil)
-						}
-					}
-				}
-				if charge {
-					m.nodeFail[n]++
-					if m.nodeFail[n] >= deadAfterMisses && m.alive[n] {
-						m.slaveDied(n, round, nil)
-					}
-				}
-			}
-			if m.redispatch(s, round, budgets, attempts, assigned, finished, &borrow) {
-				progressed = true
-			} else {
-				state[s] = abandoned
-				outstanding--
-				m.slotFailed(s, round)
-			}
-		}
-		if progressed {
-			waitUntil = time.Now().Add(m.timeoutFor(maxBudget))
-		}
-	}
-	return hadFailure
-}
-
-// redispatch re-sends slot's round: the first retry goes back to the slot's
-// current node, later ones to live slaves that already reported this round.
-// It reports false when the retry budget is spent or no target exists.
-func (m *master) redispatch(slot, round int, budgets []int64, attempts, assigned []int, finished []int, borrow *int) bool {
-	for attempts[slot] < m.opts.MaxRedispatch {
-		attempts[slot]++
-		node := assigned[slot]
-		if attempts[slot] > 1 || !m.alive[node-1] {
-			// The original slave already had its chance (or is dead):
-			// borrow a live one that proved responsive this round.
-			if len(finished) == 0 {
-				if !m.alive[node-1] {
-					continue // no borrow target yet; spend another attempt
-				}
-			} else {
-				node = finished[*borrow%len(finished)]
-				*borrow++
-			}
-		}
-		assigned[slot] = node
-		m.stats.Redispatches++
-		m.mx.redispatches.Inc()
-		if m.opts.Tracer != nil {
-			m.opts.Tracer.Record(trace.Event{
-				Kind: trace.KindRedispatch, Actor: -1, Round: round, Value: m.best.Value,
-				Detail: fmt.Sprintf("slot=%d node=%d attempt=%d", slot, node, attempts[slot]),
-			})
-		}
-		if err := m.dispatch(slot, node, round, budgets[slot]); err == nil {
-			return true
-		}
-	}
-	return false
-}
-
 // slaveDied marks a node dead (err non-nil when the slave itself reported
-// one) and degrades the farm to the remaining live slaves.
+// one) and degrades the farm to the remaining live slaves. Together with
+// slotFailed it implements the lifecycle interface the collector reports
+// failures through.
 func (m *master) slaveDied(node, round int, err error) {
 	if node < 0 || node >= m.opts.P || !m.alive[node] {
 		return
@@ -739,8 +440,8 @@ func (m *master) slaveDied(node, round int, err error) {
 	m.alive[node] = false
 	m.stats.DeadSlaves++
 	m.mx.deadSlaves.Inc()
-	if m.sv != nil {
-		m.sv.OnDeath(node, time.Now())
+	if m.heal != nil {
+		m.heal.sv.OnDeath(node, time.Now())
 	}
 	if err != nil {
 		m.lastErr = fmt.Errorf("core: slave %d: %w", node, err)
@@ -768,49 +469,27 @@ func (m *master) slotFailed(slot, round int) {
 	}
 }
 
-// timeoutFor returns the rendezvous deadline for a round whose largest slave
-// budget is maxBudget. Until a round has completed, the configured
-// SlaveTimeout cap applies; afterwards the deadline is proportional to the
-// round's move budget via the measured per-move cost — a virtual-time
-// deadline that tracks budget changes instead of a fixed wall clock — and
-// SlaveTimeout remains the upper bound.
-func (m *master) timeoutFor(maxBudget int64) time.Duration {
-	if m.perMove > 0 && maxBudget > 0 {
-		est := 4*time.Duration(maxBudget)*m.perMove + 100*time.Millisecond
-		if est < m.opts.SlaveTimeout {
-			return est
-		}
+// stopRequested reports whether the graceful-stop channel has fired.
+func (m *master) stopRequested() bool {
+	if m.opts.Stop == nil {
+		return false
 	}
-	return m.opts.SlaveTimeout
-}
-
-// adaptAlpha implements §4.2's dynamic control of the ISP threshold: rounds
-// that improve the global best pull the threshold up (macro intensification);
-// stagnant rounds push it down (macro diversification). The bounds keep the
-// mechanism from either disabling cooperation or collapsing every thread
-// onto the leader.
-func (m *master) adaptAlpha(improved bool) {
-	const (
-		alphaMin = 0.85
-		alphaMax = 0.995
-	)
-	if improved {
-		m.alpha += 0.01
-		if m.alpha > alphaMax {
-			m.alpha = alphaMax
-		}
-	} else {
-		m.alpha -= 0.03
-		if m.alpha < alphaMin {
-			m.alpha = alphaMin
-		}
+	select {
+	case <-m.opts.Stop:
+		return true
+	default:
+		return false
 	}
 }
 
-// shutdown stops all slave goroutines. The stop order rides the control
-// plane so a lossy or crashed link cannot leak a slave goroutine.
+// shutdown stops all slaves. The stop order rides the control plane so a
+// lossy or crashed link cannot leak a slave goroutine; a transport that holds
+// real resources (sockets, reader goroutines) is then closed.
 func (m *master) shutdown() {
 	for i := 0; i < m.opts.P; i++ {
-		m.net.SendControl(0, i+1, tagStop, nil, 0)
+		m.net.SendControl(0, i+1, proto.TagStop, nil, 0)
+	}
+	if c, ok := m.net.(io.Closer); ok {
+		c.Close()
 	}
 }

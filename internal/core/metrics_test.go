@@ -8,9 +8,9 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/farm"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/transport/inproc"
 )
 
 // solveWithMetrics runs a solve with a fresh registry and returns the result
@@ -180,7 +180,7 @@ func TestMetricsEndpointOnDegradedRun(t *testing.T) {
 		P: 3, Seed: 21, Rounds: 3, RoundMoves: 150,
 		Metrics:      reg,
 		SlaveTimeout: 2 * time.Second,
-		Faults:       &farm.FaultPlan{Seed: 5, CrashAt: map[int]int64{2: 0}},
+		Faults:       &inproc.FaultPlan{Seed: 5, CrashAt: map[int]int64{2: 0}},
 	})
 	if err != nil {
 		t.Fatal(err)

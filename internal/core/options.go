@@ -16,12 +16,12 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/farm"
 	"repro/internal/metrics"
 	"repro/internal/mkp"
 	"repro/internal/supervise"
 	"repro/internal/tabu"
 	"repro/internal/trace"
+	"repro/internal/transport/inproc"
 )
 
 // Algorithm selects one of the four search organizations compared in the
@@ -135,6 +135,17 @@ type Options struct {
 	// The delay is charged on the delivery side, so the master's dispatch
 	// fan-out is never serialized by it.
 	Latency time.Duration
+	// Workers, when non-empty, lists the TCP addresses of mkpworker processes
+	// to run the slaves on instead of in-process goroutines. The master dials
+	// each address, ships it the instance and its seed during the handshake,
+	// and drives the run over the wire protocol (internal/transport/wire).
+	// P defaults to len(Workers) and must equal it when both are set. Workers
+	// is mutually exclusive with Faults, Supervise and Latency — those belong
+	// to the in-process substrate. Wire runs use the deadline-driven
+	// rendezvous (a remote death only ever manifests as silence), so they are
+	// not bitwise comparable to in-process runs; on a healthy fleet a fixed
+	// seed still reaches the identical final best value.
+	Workers []string
 	// Faults, when non-nil, installs a deterministic fault injector in the
 	// farm substrate (seeded per-link message drop/duplication, per-node
 	// crash-after-k-sends, per-node slowdown) AND arms the master's
@@ -145,7 +156,7 @@ type Options struct {
 	// (SlaveFailures, Redispatches, DroppedMessages) and emitted as trace
 	// events; OnCheckpoint fires as soon as a failure is detected so a
 	// degraded run is resumable at the last good rendezvous.
-	Faults *farm.FaultPlan
+	Faults *inproc.FaultPlan
 	// SlaveTimeout caps how long the master waits at a rendezvous for a
 	// missing result before re-dispatching or degrading (only used when
 	// Faults is set). It is an upper bound: once a round has completed, the
@@ -210,7 +221,11 @@ type Options struct {
 // withDefaults fills unset fields.
 func (o Options) withDefaults(n int) Options {
 	if o.P <= 0 {
-		o.P = 8
+		if len(o.Workers) > 0 {
+			o.P = len(o.Workers)
+		} else {
+			o.P = 8
+		}
 	}
 	if o.Rounds <= 0 {
 		if o.SimBudget > 0 {

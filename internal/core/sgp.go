@@ -22,8 +22,8 @@ import (
 //     new strategy intensifies — shorter tabu list, shallower drops, longer
 //     local loops around the good region;
 //   - anything in between draws a fresh random strategy.
-func (m *master) sgp(results []*tabu.Result) {
-	n := m.ins.N
+func (t *tuner) sgp(results []*tabu.Result) {
+	n := t.ins.N
 	clustered := n / 10 // Hamming diameter at or below which the pool is "close"
 	scattered := n / 4  // diameter at or above which it is "very far"
 	if clustered < 1 {
@@ -38,39 +38,39 @@ func (m *master) sgp(results []*tabu.Result) {
 			continue // lost round: the slot's strategy and score are frozen
 		}
 		if res.Improved {
-			m.scores[i]++
+			t.scores[i]++
 		} else {
-			m.scores[i]--
+			t.scores[i]--
 		}
-		if m.scores[i] > 0 {
+		if t.scores[i] > 0 {
 			continue
 		}
 
 		d := poolDiameter(res.Pool)
-		st := m.strategies[i]
+		st := t.strategies[i]
 		switch {
 		case d <= clustered:
 			st = diversifyStrategy(st, n)
 		case d >= scattered:
 			st = intensifyStrategy(st)
 		default:
-			st = tabu.RandomStrategy(n, m.r)
+			st = tabu.RandomStrategy(n, t.r)
 		}
-		m.strategies[i] = st
-		m.scores[i] = m.opts.InitialScore
-		m.stats.StrategyResets++
-		m.mx.resets.Inc()
-		if m.opts.ExtendedTuning {
+		t.strategies[i] = st
+		t.scores[i] = t.opts.InitialScore
+		t.stats.StrategyResets++
+		t.mx.resets.Inc()
+		if t.opts.ExtendedTuning {
 			// Widen the reset to the structural knobs: a fresh
 			// intensification mode, add-phase noise level, and candidate
 			// width (§2's "number of neighbor solutions evaluated").
-			m.modes[i] = tabu.IntensifyMode(m.r.Intn(3))
-			m.noises[i] = 0.15 * m.r.Float64()
-			m.widths[i] = []int{0, 0, 5, 10, 20}[m.r.Intn(5)]
+			t.modes[i] = tabu.IntensifyMode(t.r.Intn(3))
+			t.noises[i] = 0.15 * t.r.Float64()
+			t.widths[i] = []int{0, 0, 5, 10, 20}[t.r.Intn(5)]
 		}
-		if m.opts.Tracer != nil {
-			m.opts.Tracer.Record(trace.Event{
-				Kind: trace.KindStrategyReset, Actor: -1, Round: m.stats.Rounds - 1,
+		if t.opts.Tracer != nil {
+			t.opts.Tracer.Record(trace.Event{
+				Kind: trace.KindStrategyReset, Actor: -1, Round: t.stats.Rounds - 1,
 				Value: res.Best.Value,
 				Detail: fmt.Sprintf("slave=%d diameter=%d new=Lt%d/Drop%d/Local%d",
 					i, d, st.LtLength, st.NbDrop, st.NbLocal),

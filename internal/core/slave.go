@@ -1,0 +1,75 @@
+package core
+
+import (
+	"repro/internal/mkp"
+	"repro/internal/tabu"
+	"repro/internal/transport"
+	"repro/internal/transport/proto"
+)
+
+// warmStart carries the master's cooperative memory into a respawned slave:
+// the merged B-best pool reconstructs the long-term frequency history, and
+// moves restores the lifetime move epoch so diversification thresholds see a
+// mature search rather than a newborn one.
+type warmStart struct {
+	pool  []mkp.Solution
+	moves int64
+}
+
+// Slave runs one worker node's slave loop over the given transport: wait for
+// a start order, execute one tabu-search round, report the result, repeat
+// until stopped. This is the entry point a separate worker process calls
+// after the wire handshake handed it its node number, instance and seed; the
+// in-process substrate runs the same loop as a goroutine.
+func Slave(net transport.Transport, node int, ins *mkp.Instance, seed uint64) {
+	slaveLoop(net, node, ins, seed, 0, nil)
+}
+
+// slaveLoop is the process each worker node runs. The report echoes the
+// order's slot and round so the master can route it to the right bookkeeping
+// entry and discard stale replies after re-dispatch. inc is this
+// incarnation's number (0 for the original process); warm, when non-nil,
+// reconstructs the predecessor's long-term memory before the first round.
+func slaveLoop(net transport.Transport, node int, ins *mkp.Instance, seed uint64, inc int, warm *warmStart) {
+	searcher, err := tabu.NewSearcher(ins, seed)
+	if err != nil {
+		// The master validated the instance; this is unreachable in normal
+		// operation but reported rather than swallowed.
+		net.Send(node, 0, proto.TagResult,
+			proto.Result{Slot: node - 1, Node: node, Round: -1, Err: err.Error()}, 0)
+		return
+	}
+	if warm != nil {
+		searcher.WarmStart(warm.pool, warm.moves)
+	}
+	for {
+		msg := net.Recv(node)
+		switch msg.Tag {
+		case proto.TagStop:
+			req, supervised := msg.Payload.(proto.Stop)
+			if !supervised {
+				return // shutdown order (or a dead wire): exit silently
+			}
+			if req.Inc < inc {
+				continue // aimed at a predecessor that is already gone
+			}
+			if req.Ack {
+				net.SendControl(node, 0, proto.TagStopped, proto.Ack{Node: node, Inc: inc}, 0)
+			}
+			return
+		case proto.TagStart:
+			req := msg.Payload.(proto.Start)
+			res, err := searcher.Run(req.Start, req.Params, req.Budget)
+			size := 0
+			if res != nil {
+				size = proto.SolutionSize(ins.N) * (1 + len(res.Pool))
+			}
+			errStr := ""
+			if err != nil {
+				errStr = err.Error()
+			}
+			rep := proto.Result{Slot: req.Slot, Node: node, Round: req.Round, Res: res, Err: errStr}
+			net.Send(node, 0, proto.TagResult, rep, size)
+		}
+	}
+}

@@ -5,11 +5,11 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/farm"
 	"repro/internal/mkp"
 	"repro/internal/supervise"
 	"repro/internal/tabu"
 	"repro/internal/trace"
+	"repro/internal/transport/inproc"
 )
 
 // fastPolicy keeps supervised tests quick: short backoff, no-nonsense grace.
@@ -37,7 +37,7 @@ func TestSupervisedChaosResurrection(t *testing.T) {
 	base := Options{
 		P: 4, Seed: 31, Rounds: 10, RoundMoves: 400,
 		SlaveTimeout: 3 * time.Second,
-		Faults: &farm.FaultPlan{
+		Faults: &inproc.FaultPlan{
 			Seed: 7,
 			// Both nodes deliver their round-0 report, then fall silent.
 			CrashAt: map[int]int64{2: 1, 4: 1},
@@ -155,7 +155,10 @@ func TestSupervisedSlaveErrorRestart(t *testing.T) {
 		P: 3, Seed: 5, Rounds: 6, RoundMoves: 100,
 		Supervise: fastPolicy(),
 	}).withDefaults(ins.N)
-	m := newMaster(ins, CTS1, opts)
+	m, err := newMaster(ins, CTS1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// NbLocal 0 fails Params.Validate inside the slave, so slot 0's rounds
 	// come back as errors until its starts are substituted.
 	m.strategies[0] = tabu.Strategy{LtLength: 5, NbDrop: 2, NbLocal: 0}
@@ -228,7 +231,7 @@ func TestSupervisedRestartsLeaveNoGoroutines(t *testing.T) {
 		P: 3, Seed: 23, Rounds: 8, RoundMoves: 200,
 		SlaveTimeout: 2 * time.Second,
 		Supervise:    fastPolicy(),
-		Faults:       &farm.FaultPlan{Seed: 4, CrashAt: map[int]int64{2: 1}},
+		Faults:       &inproc.FaultPlan{Seed: 4, CrashAt: map[int]int64{2: 1}},
 	})
 	if err != nil {
 		t.Fatal(err)

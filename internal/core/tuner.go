@@ -1,0 +1,47 @@
+package core
+
+import (
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+// tuner owns the master's adaptive decisions between rendezvous: the ISP
+// start-substitution rules, the SGP strategy scoring and regeneration, and
+// the dynamic control of the ISP threshold. It holds the master's private
+// random stream — every randomized decision (restarts, strategy redraws,
+// extended-tuning redraws) draws from here, which is what makes fault-free
+// runs replay bitwise regardless of message timing.
+type tuner struct {
+	*slaveTable
+	ins   *mkp.Instance
+	opts  *Options
+	r     *rng.Rand // master's private stream (ISP restarts, SGP redraws)
+	stats *Stats
+	mx    *masterMetrics
+	best  *mkp.Solution
+
+	alpha float64 // current ISP threshold; fixed unless AdaptiveAlpha
+}
+
+// adaptAlpha implements §4.2's dynamic control of the ISP threshold: rounds
+// that improve the global best pull the threshold up (macro intensification);
+// stagnant rounds push it down (macro diversification). The bounds keep the
+// mechanism from either disabling cooperation or collapsing every thread
+// onto the leader.
+func (t *tuner) adaptAlpha(improved bool) {
+	const (
+		alphaMin = 0.85
+		alphaMax = 0.995
+	)
+	if improved {
+		t.alpha += 0.01
+		if t.alpha > alphaMax {
+			t.alpha = alphaMax
+		}
+	} else {
+		t.alpha -= 0.03
+		if t.alpha < alphaMin {
+			t.alpha = alphaMin
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package farm
+package inproc
 
 import "testing"
 

@@ -1,5 +1,5 @@
-// Package farm is the in-process stand-in for the paper's execution
-// environment: a farm of 16 Alpha processors exchanging PVM messages over a
+// Package inproc is the in-process transport: the stand-in for the paper's
+// execution environment of 16 Alpha processors exchanging PVM messages over a
 // 16×16 crossbar (§5). Nodes are goroutines, links are FIFO mailboxes, and
 // every send is accounted (message and byte counters per directed link) so
 // the experiment harness can report the communication volume the cooperative
@@ -24,8 +24,10 @@
 // The paper's master–slave scheme is synchronous and centralized; the
 // decentralized asynchronous extension polls with TryRecv. Both are
 // supported, and RecvTimeout supports masters that must survive slaves that
-// never report.
-package farm
+// never report. Metric families keep the historical `farm_` prefix: the
+// package moved under internal/transport, but recorded telemetry is an
+// external contract.
+package inproc
 
 import (
 	"fmt"
@@ -36,15 +38,14 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/transport"
 )
 
-// Message is one typed datagram between nodes.
-type Message struct {
-	From, To int
-	Tag      string
-	Payload  any
-	Size     int // accounted payload size in bytes
-
+// envelope wraps a message with its substrate-private delivery stamps. The
+// shared transport.Message carries no timing: the due time and the send time
+// are in-process simulation state, meaningless on a real wire.
+type envelope struct {
+	msg       transport.Message
 	deliverAt time.Time // zero when the message is due immediately
 	sentAt    time.Time // stamped only when metrics are armed (delivery latency)
 }
@@ -76,14 +77,14 @@ type FaultPlan struct {
 // Validate rejects out-of-range rates and factors.
 func (p *FaultPlan) Validate() error {
 	if p.DropRate < 0 || p.DropRate > 1 {
-		return fmt.Errorf("farm: DropRate %v outside [0,1]", p.DropRate)
+		return fmt.Errorf("inproc: DropRate %v outside [0,1]", p.DropRate)
 	}
 	if p.DupRate < 0 || p.DupRate > 1 {
-		return fmt.Errorf("farm: DupRate %v outside [0,1]", p.DupRate)
+		return fmt.Errorf("inproc: DupRate %v outside [0,1]", p.DupRate)
 	}
 	for node, k := range p.CrashAt {
 		if k < 0 {
-			return fmt.Errorf("farm: CrashAt[%d] = %d < 0", node, k)
+			return fmt.Errorf("inproc: CrashAt[%d] = %d < 0", node, k)
 		}
 	}
 	return nil
@@ -95,9 +96,9 @@ func (p *FaultPlan) Validate() error {
 type mailbox struct {
 	mu      sync.Mutex
 	notFull *sync.Cond
-	queue   []Message
+	queue   []envelope
 	cap     int
-	arrival chan struct{} // 1-token wakeup for receivers
+	arrival chan struct{}  // 1-token wakeup for receivers
 	depth   *metrics.Gauge // queue length after each put/pop; nil when disabled
 }
 
@@ -107,12 +108,12 @@ func newMailbox(capacity int) *mailbox {
 	return b
 }
 
-func (b *mailbox) put(m Message) {
+func (b *mailbox) put(e envelope) {
 	b.mu.Lock()
 	for len(b.queue) >= b.cap {
 		b.notFull.Wait()
 	}
-	b.queue = append(b.queue, m)
+	b.queue = append(b.queue, e)
 	b.depth.Set(float64(len(b.queue)))
 	b.mu.Unlock()
 	b.signal()
@@ -128,15 +129,15 @@ func (b *mailbox) signal() {
 // pop removes the head message. When dueOnly is set, a head that is not yet
 // due is left in place (TryRecv semantics); otherwise the caller is expected
 // to sleep out the remaining delivery delay.
-func (b *mailbox) pop(dueOnly bool) (Message, bool) {
+func (b *mailbox) pop(dueOnly bool) (envelope, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if len(b.queue) == 0 {
-		return Message{}, false
+		return envelope{}, false
 	}
-	m := b.queue[0]
-	if dueOnly && time.Until(m.deliverAt) > 0 {
-		return Message{}, false
+	e := b.queue[0]
+	if dueOnly && time.Until(e.deliverAt) > 0 {
+		return envelope{}, false
 	}
 	copy(b.queue, b.queue[1:])
 	b.queue = b.queue[:len(b.queue)-1]
@@ -145,10 +146,11 @@ func (b *mailbox) pop(dueOnly bool) (Message, bool) {
 	if len(b.queue) > 0 {
 		b.signal() // keep the token alive for coalesced arrivals
 	}
-	return m, true
+	return e, true
 }
 
-// Farm connects n nodes (0..n-1) with a full crossbar of FIFO mailboxes.
+// Farm connects n nodes (0..n-1) with a full crossbar of FIFO mailboxes. It
+// implements transport.Transport.
 type Farm struct {
 	n       int
 	latency time.Duration
@@ -222,7 +224,7 @@ var deliveryLatencyBuckets = metrics.ExpBuckets(1e-6, 4, 14) // 1µs .. ~67s
 // plan is invalid.
 func New(n int, opts ...Option) *Farm {
 	if n < 1 {
-		panic(fmt.Sprintf("farm: need at least one node, got %d", n))
+		panic(fmt.Sprintf("inproc: need at least one node, got %d", n))
 	}
 	f := &Farm{
 		n:        n,
@@ -278,10 +280,10 @@ func (f *Farm) Nodes() int { return f.n }
 
 // Send delivers a message from node `from` to node `to`, subject to the
 // configured fault plan. size is the accounted payload size in bytes (use
-// SizeOfSolution and friends). Send blocks only when the destination mailbox
-// is full; injected latency delays the receiver, never the sender. A dropped
-// or crashed-sender message returns nil — exactly what the sender of a lost
-// datagram observes.
+// proto.SolutionSize and friends). Send blocks only when the destination
+// mailbox is full; injected latency delays the receiver, never the sender. A
+// dropped or crashed-sender message returns nil — exactly what the sender of
+// a lost datagram observes.
 func (f *Farm) Send(from, to int, tag string, payload any, size int) error {
 	return f.send(from, to, tag, payload, size, false)
 }
@@ -296,7 +298,7 @@ func (f *Farm) SendControl(from, to int, tag string, payload any, size int) erro
 
 func (f *Farm) send(from, to int, tag string, payload any, size int, control bool) error {
 	if from < 0 || from >= f.n || to < 0 || to >= f.n {
-		return fmt.Errorf("farm: bad endpoints %d -> %d (n=%d)", from, to, f.n)
+		return fmt.Errorf("inproc: bad endpoints %d -> %d (n=%d)", from, to, f.n)
 	}
 	delay := f.latency
 	copies := 1
@@ -326,12 +328,12 @@ func (f *Farm) send(from, to int, tag string, payload any, size int, control boo
 		}
 		f.mu.Unlock()
 	}
-	m := Message{From: from, To: to, Tag: tag, Payload: payload, Size: size}
+	e := envelope{msg: transport.Message{From: from, To: to, Tag: tag, Payload: payload, Size: size}}
 	if delay > 0 {
-		m.deliverAt = time.Now().Add(delay)
+		e.deliverAt = time.Now().Add(delay)
 	}
 	if f.reg != nil {
-		m.sentAt = time.Now()
+		e.sentAt = time.Now()
 	}
 	for c := 0; c < copies; c++ {
 		f.msgs.Add(1)
@@ -341,7 +343,7 @@ func (f *Farm) send(from, to int, tag string, payload any, size int, control boo
 		f.mu.Lock()
 		f.linkMsgs[[2]int{from, to}]++
 		f.mu.Unlock()
-		f.boxes[to].put(m)
+		f.boxes[to].put(e)
 	}
 	return nil
 }
@@ -359,7 +361,7 @@ func (f *Farm) linkStream(from, to int) *rng.Rand {
 }
 
 // Recv blocks until a message for node arrives and is due.
-func (f *Farm) Recv(node int) Message {
+func (f *Farm) Recv(node int) transport.Message {
 	m, _ := f.recv(node, -1)
 	return m
 }
@@ -369,12 +371,12 @@ func (f *Farm) Recv(node int) Message {
 // remaining injected delivery delay is waited out even if it overruns d —
 // the timeout bounds silence, not slowness, which is what a rendezvous
 // deadline needs to distinguish a dead slave from a slow link.
-func (f *Farm) RecvTimeout(node int, d time.Duration) (Message, bool) {
+func (f *Farm) RecvTimeout(node int, d time.Duration) (transport.Message, bool) {
 	return f.recv(node, d)
 }
 
 // recv waits for the next message; d < 0 means wait forever.
-func (f *Farm) recv(node int, d time.Duration) (Message, bool) {
+func (f *Farm) recv(node int, d time.Duration) (transport.Message, bool) {
 	box := f.boxes[node]
 	var timer *time.Timer
 	if d >= 0 {
@@ -382,18 +384,18 @@ func (f *Farm) recv(node int, d time.Duration) (Message, bool) {
 		defer timer.Stop()
 	}
 	for {
-		if m, ok := box.pop(false); ok {
-			if wait := time.Until(m.deliverAt); wait > 0 {
+		if e, ok := box.pop(false); ok {
+			if wait := time.Until(e.deliverAt); wait > 0 {
 				time.Sleep(wait)
 			}
-			f.observeDelivery(m)
-			return m, true
+			f.observeDelivery(e)
+			return e.msg, true
 		}
 		if timer != nil {
 			select {
 			case <-box.arrival:
 			case <-timer.C:
-				return Message{}, false
+				return transport.Message{}, false
 			}
 		} else {
 			<-box.arrival
@@ -404,20 +406,20 @@ func (f *Farm) recv(node int, d time.Duration) (Message, bool) {
 // TryRecv returns a pending due message for node, or ok=false when the
 // mailbox is empty or its head has not reached its delivery time yet. The
 // asynchronous scheme polls with it between moves.
-func (f *Farm) TryRecv(node int) (Message, bool) {
-	m, ok := f.boxes[node].pop(true)
+func (f *Farm) TryRecv(node int) (transport.Message, bool) {
+	e, ok := f.boxes[node].pop(true)
 	if ok {
-		f.observeDelivery(m)
+		f.observeDelivery(e)
 	}
-	return m, ok
+	return e.msg, ok
 }
 
 // observeDelivery records the send-to-receive latency of a delivered message.
-func (f *Farm) observeDelivery(m Message) {
-	if f.mLatency == nil || m.sentAt.IsZero() {
+func (f *Farm) observeDelivery(e envelope) {
+	if f.mLatency == nil || e.sentAt.IsZero() {
 		return
 	}
-	f.mLatency.Observe(time.Since(m.sentAt).Seconds())
+	f.mLatency.Observe(time.Since(e.sentAt).Seconds())
 }
 
 // Drain discards all pending messages for node (due or not) and returns how
@@ -456,7 +458,7 @@ func (f *Farm) Crashed(node int) bool {
 // the drain races with it.
 func (f *Farm) Revive(node int) int {
 	if node < 0 || node >= f.n {
-		panic(fmt.Sprintf("farm: Revive of node %d (n=%d)", node, f.n))
+		panic(fmt.Sprintf("inproc: Revive of node %d (n=%d)", node, f.n))
 	}
 	f.mu.Lock()
 	f.sent[node] = 0
@@ -467,18 +469,8 @@ func (f *Farm) Revive(node int) int {
 	return f.Drain(node)
 }
 
-// Stats is a snapshot of the accounting counters.
-type Stats struct {
-	Messages   int64            // messages enqueued for delivery (duplicates included)
-	Bytes      int64            // bytes enqueued for delivery
-	Dropped    int64            // messages swallowed by drop faults or crashed senders
-	Duplicated int64            // messages the injector delivered twice
-	LinkMsgs   map[[2]int]int64 // directed link -> delivered message count
-	BusiestIn  int              // node receiving the most messages
-}
-
 // Stats returns a snapshot of the traffic counters.
-func (f *Farm) Stats() Stats {
+func (f *Farm) Stats() transport.Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	links := make(map[[2]int]int64, len(f.linkMsgs))
@@ -493,7 +485,7 @@ func (f *Farm) Stats() Stats {
 			busiest, most = node, c
 		}
 	}
-	return Stats{
+	return transport.Stats{
 		Messages:   f.msgs.Load(),
 		Bytes:      f.bytes.Load(),
 		Dropped:    f.dropped.Load(),
@@ -502,11 +494,3 @@ func (f *Farm) Stats() Stats {
 		BusiestIn:  busiest,
 	}
 }
-
-// SizeOfSolution returns the accounted wire size of an n-item 0-1 solution
-// plus its objective value: packed bits plus one float64.
-func SizeOfSolution(n int) int { return (n+7)/8 + 8 }
-
-// SizeOfStrategy returns the accounted wire size of a strategy message: the
-// paper's three integer parameters (§4.2).
-func SizeOfStrategy() int { return 3 * 8 }

@@ -1,4 +1,4 @@
-package farm
+package inproc
 
 import (
 	"sync"
@@ -319,18 +319,6 @@ func TestMailboxSizeOption(t *testing.T) {
 	case <-done:
 	case <-time.After(time.Second):
 		t.Fatal("send never unblocked")
-	}
-}
-
-func TestWireSizes(t *testing.T) {
-	if got := SizeOfSolution(100); got != 13+8 {
-		t.Fatalf("SizeOfSolution(100) = %d, want 21", got)
-	}
-	if got := SizeOfSolution(8); got != 1+8 {
-		t.Fatalf("SizeOfSolution(8) = %d, want 9", got)
-	}
-	if got := SizeOfStrategy(); got != 24 {
-		t.Fatalf("SizeOfStrategy = %d, want 24", got)
 	}
 }
 

@@ -1,0 +1,150 @@
+// Package wire carries the master–slave protocol over TCP, so the paper's
+// slaves can run as separate OS processes (cmd/mkpworker) instead of
+// goroutines. It implements the same transport.Transport seam as the
+// in-process substrate: the master side (Net, built by Dial) multiplexes all
+// worker connections into one mailbox for node 0, and the worker side
+// (Session, built by Accept) exposes the single connection back to the master
+// as the slave's transport.
+//
+// Framing: every message is one length-prefixed frame with a fixed 14-byte
+// header —
+//
+//	offset 0  'M' 'K'        magic
+//	offset 2  version (u8)   proto.Version; mismatches are rejected
+//	offset 3  kind (u8)      message kind (start, result, stop, ...)
+//	offset 4  from (u8)      sending node
+//	offset 5  to (u8)        receiving node
+//	offset 6  length (u32le) payload byte count
+//	offset 10 crc (u32le)    CRC-32C over header[0:10] + payload
+//
+// followed by the payload encoded by internal/transport/proto. The CRC covers
+// everything except itself, so a truncated, bit-flipped or misaligned frame
+// is rejected rather than mis-decoded; a reader that sees a bad frame
+// abandons the connection, because a byte stream that has lost framing can
+// never be trusted again.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/transport/proto"
+)
+
+const (
+	magic0 = 'M'
+	magic1 = 'K'
+
+	headerLen = 14
+	// maxPayload bounds one frame's payload. The biggest real payload is a
+	// Hello carrying the instance (m·n float64 weights); 64 MiB covers every
+	// benchmark family with orders of magnitude to spare while keeping a
+	// corrupted length field from provoking a giant allocation.
+	maxPayload = 64 << 20
+)
+
+// Frame kinds. Start..Heartbeat map one-to-one onto the proto tags; Hello and
+// Ready exist only during the dial handshake and never reach a Transport.
+const (
+	kindStart byte = iota + 1
+	kindResult
+	kindStop
+	kindStopped
+	kindHeartbeat
+	kindHello
+	kindReady
+)
+
+// kindOf maps a proto tag to its frame kind.
+func kindOf(tag string) (byte, error) {
+	switch tag {
+	case proto.TagStart:
+		return kindStart, nil
+	case proto.TagResult:
+		return kindResult, nil
+	case proto.TagStop:
+		return kindStop, nil
+	case proto.TagStopped:
+		return kindStopped, nil
+	case proto.TagHeartbeat:
+		return kindHeartbeat, nil
+	}
+	return 0, fmt.Errorf("wire: no frame kind for tag %q", tag)
+}
+
+// tagOf maps a frame kind back to its proto tag.
+func tagOf(kind byte) (string, error) {
+	switch kind {
+	case kindStart:
+		return proto.TagStart, nil
+	case kindResult:
+		return proto.TagResult, nil
+	case kindStop:
+		return proto.TagStop, nil
+	case kindStopped:
+		return proto.TagStopped, nil
+	case kindHeartbeat:
+		return proto.TagHeartbeat, nil
+	}
+	return "", fmt.Errorf("wire: unknown frame kind %d", kind)
+}
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame serializes one frame into dst.
+func appendFrame(dst []byte, kind, from, to byte, payload []byte) ([]byte, error) {
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("wire: payload of %d bytes exceeds the %d-byte frame cap", len(payload), maxPayload)
+	}
+	off := len(dst)
+	dst = append(dst, magic0, magic1, proto.Version, kind, from, to)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	crc := crc32.Checksum(dst[off:off+10], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	return append(dst, payload...), nil
+}
+
+// writeFrame sends one frame on w.
+func writeFrame(w io.Writer, kind, from, to byte, payload []byte) error {
+	buf, err := appendFrame(make([]byte, 0, headerLen+len(payload)), kind, from, to, payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads and validates one frame from r. Any validation failure —
+// bad magic, version skew, oversized length, checksum mismatch — is a hard
+// error: the byte stream can no longer be trusted to be frame-aligned.
+func readFrame(r io.Reader) (kind, from, to byte, payload []byte, err error) {
+	var hdr [headerLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return 0, 0, 0, nil, fmt.Errorf("wire: bad frame magic %#02x%02x", hdr[0], hdr[1])
+	}
+	if hdr[2] != proto.Version {
+		return 0, 0, 0, nil, fmt.Errorf("wire: protocol version %d, want %d", hdr[2], proto.Version)
+	}
+	length := binary.LittleEndian.Uint32(hdr[6:10])
+	if length > maxPayload {
+		return 0, 0, 0, nil, fmt.Errorf("wire: frame payload of %d bytes exceeds the %d-byte cap", length, maxPayload)
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[10:14])
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("wire: truncated frame payload: %w", err)
+	}
+	crc := crc32.Checksum(hdr[:10], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != wantCRC {
+		return 0, 0, 0, nil, fmt.Errorf("wire: frame checksum mismatch (got %#08x, want %#08x)", crc, wantCRC)
+	}
+	return hdr[3], hdr[4], hdr[5], payload, nil
+}

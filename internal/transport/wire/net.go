@@ -1,0 +1,360 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/mkp"
+	"repro/internal/transport"
+	"repro/internal/transport/proto"
+)
+
+// codecLatencyBuckets spans sub-microsecond small frames through multi-ms
+// instance encodes.
+var codecLatencyBuckets = metrics.ExpBuckets(1e-7, 4, 12) // 100ns .. ~1.7s
+
+// wireMetrics holds the transport's metric handles; every handle is nil-safe,
+// so an unmetered Net costs one nil check per record site.
+type wireMetrics struct {
+	frames     *metrics.Counter
+	bytes      *metrics.Counter
+	dropped    *metrics.Counter
+	reconnects *metrics.Counter
+	encodeDur  *metrics.Histogram
+	decodeDur  *metrics.Histogram
+}
+
+func newWireMetrics(reg *metrics.Registry) wireMetrics {
+	if reg == nil {
+		return wireMetrics{}
+	}
+	reg.SetHelp("wire_frames_total", "Frames sent and received on worker connections.")
+	reg.SetHelp("wire_bytes_total", "Frame bytes (header included) sent and received on worker connections.")
+	reg.SetHelp("wire_dropped_total", "Messages swallowed because the worker connection was dead.")
+	reg.SetHelp("wire_reconnects_total", "Extra dial attempts needed before a worker accepted.")
+	reg.SetHelp("wire_encode_seconds", "Payload encode latency per outgoing frame.")
+	reg.SetHelp("wire_decode_seconds", "Payload decode latency per incoming frame.")
+	return wireMetrics{
+		frames:     reg.Counter("wire_frames_total"),
+		bytes:      reg.Counter("wire_bytes_total"),
+		dropped:    reg.Counter("wire_dropped_total"),
+		reconnects: reg.Counter("wire_reconnects_total"),
+		encodeDur:  reg.Histogram("wire_encode_seconds", codecLatencyBuckets),
+		decodeDur:  reg.Histogram("wire_decode_seconds", codecLatencyBuckets),
+	}
+}
+
+// workerConn is one dialed worker connection. Writes are serialized by mu;
+// the reader goroutine owns all reads. dead flips once, on the first read or
+// write failure, and never back: the engine's redispatch/degrade path owns
+// recovery, the transport only reports silence.
+type workerConn struct {
+	mu   sync.Mutex
+	c    net.Conn
+	br   *bufio.Reader
+	dead atomic.Bool
+}
+
+// Net is the master side of the wire transport: one TCP connection per
+// worker, each with a reader goroutine that decodes incoming frames into a
+// shared node-0 mailbox. It implements transport.Transport for the engine;
+// only node 0's receive methods are usable (the workers' mailboxes live in
+// their own processes).
+type Net struct {
+	p     int
+	n     int // instance size, fixed at dial time; payload codecs need it
+	conns []*workerConn
+	inbox chan transport.Message
+	done  chan struct{} // closed by Close; unblocks readers stuck on a full inbox
+	once  sync.Once
+	wg    sync.WaitGroup
+
+	msgs    atomic.Int64
+	bytes   atomic.Int64
+	dropped atomic.Int64
+	linkMu  sync.Mutex
+	links   map[[2]int]int64
+
+	mx wireMetrics
+}
+
+// dialTimeout bounds the whole retry loop for one worker address; within it,
+// attempts back off exponentially from retryBase to retryCap. Workers are
+// usually started moments before the master, so the common case is one or
+// two attempts.
+const (
+	dialTimeout = 10 * time.Second
+	retryBase   = 25 * time.Millisecond
+	retryCap    = 800 * time.Millisecond
+)
+
+// Dial connects to each worker address, ships it its node number, seed and
+// the instance in a Hello frame, and waits for its Ready. Worker i (0-based)
+// becomes node i+1. Each address is retried with exponential backoff for up
+// to 10 seconds — extra attempts are counted on wire_reconnects_total — so
+// "start the workers, then the master" does not have to race.
+func Dial(addrs []string, ins *mkp.Instance, seeds []uint64, reg *metrics.Registry) (*Net, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("wire: no worker addresses")
+	}
+	if len(seeds) != len(addrs) {
+		return nil, fmt.Errorf("wire: %d seeds for %d workers", len(seeds), len(addrs))
+	}
+	w := &Net{
+		p:     len(addrs),
+		n:     ins.N,
+		inbox: make(chan transport.Message, 1024),
+		done:  make(chan struct{}),
+		links: make(map[[2]int]int64),
+		mx:    newWireMetrics(reg),
+	}
+	for i, addr := range addrs {
+		node := i + 1
+		nc, err := w.dialRetry(addr)
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("wire: worker %d at %s: %w", node, addr, err)
+		}
+		cn := &workerConn{c: nc, br: bufio.NewReader(nc)}
+		w.conns = append(w.conns, cn)
+		if err := w.handshake(cn, node, seeds[i], ins); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("wire: handshake with worker %d at %s: %w", node, addr, err)
+		}
+	}
+	// Readers start only after every handshake succeeded, so a failed dial
+	// can tear the half-built Net down without racing them.
+	for i := range w.conns {
+		w.wg.Add(1)
+		go w.reader(i)
+	}
+	return w, nil
+}
+
+func (w *Net) dialRetry(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(dialTimeout)
+	backoff := retryBase
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if attempt > 0 {
+			w.mx.reconnects.Inc()
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, lastErr
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > retryCap {
+			backoff = retryCap
+		}
+	}
+}
+
+// handshake sends the Hello and waits for the worker's Ready.
+func (w *Net) handshake(cn *workerConn, node int, seed uint64, ins *mkp.Instance) error {
+	hello, err := proto.EncodeHello(proto.Hello{Node: node, Seed: seed, Ins: ins})
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(cn.c, kindHello, 0, byte(node), hello); err != nil {
+		return err
+	}
+	w.account(headerLen + len(hello))
+	kind, _, _, _, err := readFrame(cn.br)
+	if err != nil {
+		return err
+	}
+	if kind != kindReady {
+		return fmt.Errorf("wire: expected ready frame, got kind %d", kind)
+	}
+	w.account(headerLen)
+	return nil
+}
+
+func (w *Net) account(frameBytes int) {
+	w.mx.frames.Inc()
+	w.mx.bytes.Add(int64(frameBytes))
+}
+
+// reader drains worker i+1's connection into the node-0 mailbox until the
+// connection dies. Any framing or decode error kills the connection: a
+// stream that lost alignment cannot be re-synchronized.
+func (w *Net) reader(i int) {
+	defer w.wg.Done()
+	cn := w.conns[i]
+	node := i + 1
+	for {
+		kind, _, _, payload, err := readFrame(cn.br)
+		if err != nil {
+			cn.dead.Store(true)
+			return
+		}
+		tag, err := tagOf(kind)
+		if err != nil {
+			cn.dead.Store(true)
+			return
+		}
+		began := time.Now()
+		decoded, err := proto.DecodePayload(tag, payload, w.n)
+		if err != nil {
+			cn.dead.Store(true)
+			return
+		}
+		w.mx.decodeDur.Observe(time.Since(began).Seconds())
+		w.account(headerLen + len(payload))
+		w.msgs.Add(1)
+		w.bytes.Add(int64(len(payload)))
+		w.linkMu.Lock()
+		w.links[[2]int{node, 0}]++
+		w.linkMu.Unlock()
+		select {
+		case w.inbox <- transport.Message{From: node, To: 0, Tag: tag, Payload: decoded, Size: len(payload)}:
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// Nodes returns the node count including the master.
+func (w *Net) Nodes() int { return w.p + 1 }
+
+// Send encodes the payload and writes one frame to worker `to`. A send to a
+// dead connection is swallowed and counted as dropped — exactly what the
+// sender of a datagram to a dead host observes; the engine's rendezvous
+// deadline, not the transport, detects the loss. size is ignored for byte
+// accounting (the real encoded length is known here), kept for interface
+// parity with the in-process substrate.
+func (w *Net) Send(from, to int, tag string, payload any, size int) error {
+	if to < 1 || to > w.p {
+		return fmt.Errorf("wire: bad destination node %d (workers are 1..%d)", to, w.p)
+	}
+	cn := w.conns[to-1]
+	if cn.dead.Load() {
+		w.dropped.Add(1)
+		w.mx.dropped.Inc()
+		return nil
+	}
+	began := time.Now()
+	data, err := proto.EncodePayload(tag, payload, w.n)
+	if err != nil {
+		return err
+	}
+	w.mx.encodeDur.Observe(time.Since(began).Seconds())
+	kind, err := kindOf(tag)
+	if err != nil {
+		return err
+	}
+	cn.mu.Lock()
+	err = writeFrame(cn.c, kind, byte(from), byte(to), data)
+	cn.mu.Unlock()
+	if err != nil {
+		cn.dead.Store(true)
+		w.dropped.Add(1)
+		w.mx.dropped.Inc()
+		return nil
+	}
+	w.account(headerLen + len(data))
+	w.msgs.Add(1)
+	w.bytes.Add(int64(len(data)))
+	w.linkMu.Lock()
+	w.links[[2]int{from, to}]++
+	w.linkMu.Unlock()
+	return nil
+}
+
+// SendControl is Send: a real wire has no fault injector to bypass.
+func (w *Net) SendControl(from, to int, tag string, payload any, size int) error {
+	return w.Send(from, to, tag, payload, size)
+}
+
+// Recv blocks until a message for node 0 arrives. Only the master's mailbox
+// exists on this side of the wire.
+func (w *Net) Recv(node int) transport.Message {
+	return <-w.inbox
+}
+
+// RecvTimeout waits up to d for a message for node 0.
+func (w *Net) RecvTimeout(node int, d time.Duration) (transport.Message, bool) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m := <-w.inbox:
+		return m, true
+	case <-timer.C:
+		return transport.Message{}, false
+	}
+}
+
+// TryRecv returns a pending message for node 0 without blocking.
+func (w *Net) TryRecv(node int) (transport.Message, bool) {
+	select {
+	case m := <-w.inbox:
+		return m, true
+	default:
+		return transport.Message{}, false
+	}
+}
+
+// Drain discards all pending node-0 messages and returns how many there were.
+func (w *Net) Drain(node int) int {
+	count := 0
+	for {
+		if _, ok := w.TryRecv(node); !ok {
+			return count
+		}
+		count++
+	}
+}
+
+// Crashed reports whether the worker's connection has died.
+func (w *Net) Crashed(node int) bool {
+	if node < 1 || node > w.p {
+		return false
+	}
+	return w.conns[node-1].dead.Load()
+}
+
+// Revive is a no-op: the wire transport cannot restart a remote process.
+// The supervision layer is in-process only; the engine rejects combining it
+// with Workers.
+func (w *Net) Revive(node int) int { return 0 }
+
+// Stats returns a snapshot of the traffic counters. Bytes counts encoded
+// payload bytes in both directions (frame headers are only in
+// wire_bytes_total).
+func (w *Net) Stats() transport.Stats {
+	w.linkMu.Lock()
+	defer w.linkMu.Unlock()
+	links := make(map[[2]int]int64, len(w.links))
+	for k, v := range w.links {
+		links[k] = v
+	}
+	return transport.Stats{
+		Messages:   w.msgs.Load(),
+		Bytes:      w.bytes.Load(),
+		Dropped:    w.dropped.Load(),
+		LinkMsgs:   links,
+		BusiestIn:  0,
+	}
+}
+
+// Close tears down every worker connection and waits for the readers to
+// exit. Safe to call on a half-built Net (failed Dial) and more than once.
+func (w *Net) Close() error {
+	w.once.Do(func() { close(w.done) })
+	for _, cn := range w.conns {
+		cn.dead.Store(true)
+		cn.c.Close()
+	}
+	w.wg.Wait()
+	return nil
+}

@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/transport/proto"
+)
+
+// Session is the worker side of the wire transport: the single connection
+// back to the master, exposed as the slave's transport.Transport. The slave
+// loop is strictly synchronous (receive an order, run it, send the report),
+// so the Session reads frames inline — no reader goroutine, nothing to leak
+// when the process exits.
+//
+// When the connection dies, Recv returns a synthetic silent stop
+// (proto.TagStop with a nil payload), which is exactly the shutdown order the
+// master sends on a graceful exit: the slave loop cannot tell a vanished
+// master from a finished one, and exits cleanly either way.
+type Session struct {
+	c    net.Conn
+	br   *bufio.Reader
+	node int
+	n    int // instance size from the Hello; payload codecs need it
+	mu   sync.Mutex
+	dead atomic.Bool
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+
+	mx wireMetrics
+}
+
+// Accept performs the worker side of the handshake on an accepted
+// connection: read the master's Hello (node number, seed, instance), answer
+// Ready, and publish an initial zero-moves heartbeat so the master's reader
+// sees a live frame before the first round. reg may be nil. The caller runs
+// the slave loop with the returned session, node, instance and seed, e.g.
+// core.Slave(sess, hello.Node, hello.Ins, hello.Seed).
+func Accept(c net.Conn, reg *metrics.Registry) (*Session, proto.Hello, error) {
+	br := bufio.NewReader(c)
+	kind, _, _, payload, err := readFrame(br)
+	if err != nil {
+		return nil, proto.Hello{}, fmt.Errorf("wire: reading hello: %w", err)
+	}
+	if kind != kindHello {
+		return nil, proto.Hello{}, fmt.Errorf("wire: expected hello frame, got kind %d", kind)
+	}
+	hello, err := proto.DecodeHello(payload)
+	if err != nil {
+		return nil, proto.Hello{}, err
+	}
+	s := &Session{c: c, br: br, node: hello.Node, n: hello.Ins.N, mx: newWireMetrics(reg)}
+	if err := writeFrame(c, kindReady, byte(hello.Node), 0, nil); err != nil {
+		return nil, proto.Hello{}, fmt.Errorf("wire: sending ready: %w", err)
+	}
+	s.account(headerLen, 0)
+	if err := s.Send(hello.Node, 0, proto.TagHeartbeat, proto.Heartbeat{Node: hello.Node, Moves: 0}, 0); err != nil {
+		return nil, proto.Hello{}, err
+	}
+	return s, hello, nil
+}
+
+func (s *Session) account(frameBytes, payloadBytes int) {
+	s.mx.frames.Inc()
+	s.mx.bytes.Add(int64(frameBytes))
+	s.msgs.Add(1)
+	s.bytes.Add(int64(payloadBytes))
+}
+
+// Nodes returns the highest node number this session knows of plus one (its
+// own); a worker never addresses anyone but node 0, so the exact fleet size
+// is irrelevant on this side of the wire.
+func (s *Session) Nodes() int { return s.node + 1 }
+
+// Send encodes the payload and writes one frame to the master. A send on a
+// dead connection is swallowed: the next Recv will deliver the synthetic
+// stop and the slave loop exits.
+func (s *Session) Send(from, to int, tag string, payload any, size int) error {
+	if s.dead.Load() {
+		return nil
+	}
+	began := time.Now()
+	data, err := proto.EncodePayload(tag, payload, s.n)
+	if err != nil {
+		return err
+	}
+	s.mx.encodeDur.Observe(time.Since(began).Seconds())
+	kind, err := kindOf(tag)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	err = writeFrame(s.c, kind, byte(from), byte(to), data)
+	s.mu.Unlock()
+	if err != nil {
+		s.dead.Store(true)
+		return nil
+	}
+	s.account(headerLen+len(data), len(data))
+	return nil
+}
+
+// SendControl is Send: a real wire has no fault injector to bypass.
+func (s *Session) SendControl(from, to int, tag string, payload any, size int) error {
+	return s.Send(from, to, tag, payload, size)
+}
+
+// Recv blocks until the master's next frame. A read or decode failure —
+// including the master closing the connection — returns the synthetic silent
+// stop described on Session.
+func (s *Session) Recv(node int) transport.Message {
+	stop := transport.Message{From: 0, To: s.node, Tag: proto.TagStop}
+	if s.dead.Load() {
+		return stop
+	}
+	kind, from, _, payload, err := readFrame(s.br)
+	if err != nil {
+		s.dead.Store(true)
+		return stop
+	}
+	tag, err := tagOf(kind)
+	if err != nil {
+		s.dead.Store(true)
+		return stop
+	}
+	began := time.Now()
+	decoded, err := proto.DecodePayload(tag, payload, s.n)
+	if err != nil {
+		s.dead.Store(true)
+		return stop
+	}
+	s.mx.decodeDur.Observe(time.Since(began).Seconds())
+	s.account(headerLen+len(payload), len(payload))
+	return transport.Message{From: int(from), To: s.node, Tag: tag, Payload: decoded, Size: len(payload)}
+}
+
+// RecvTimeout waits up to d for the master's next frame. A timeout that
+// fires mid-frame kills the session (the stream is no longer aligned); the
+// slave loop only ever uses the blocking Recv, so in practice the deadline
+// either expires on a frame boundary or not at all.
+func (s *Session) RecvTimeout(node int, d time.Duration) (transport.Message, bool) {
+	if s.dead.Load() {
+		return transport.Message{From: 0, To: s.node, Tag: proto.TagStop}, true
+	}
+	s.c.SetReadDeadline(time.Now().Add(d))
+	defer s.c.SetReadDeadline(time.Time{})
+	if s.br.Buffered() == 0 {
+		if _, err := s.br.Peek(1); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return transport.Message{}, false
+			}
+			s.dead.Store(true)
+			return transport.Message{From: 0, To: s.node, Tag: proto.TagStop}, true
+		}
+	}
+	return s.Recv(node), true
+}
+
+// TryRecv returns a buffered message without blocking on the socket.
+func (s *Session) TryRecv(node int) (transport.Message, bool) {
+	if s.br.Buffered() < headerLen {
+		return transport.Message{}, false
+	}
+	return s.Recv(node), true
+}
+
+// Drain discards buffered frames and returns how many there were.
+func (s *Session) Drain(node int) int {
+	count := 0
+	for {
+		if _, ok := s.TryRecv(node); !ok {
+			return count
+		}
+		count++
+	}
+}
+
+// Crashed reports whether the connection to the master has died.
+func (s *Session) Crashed(node int) bool { return s.dead.Load() }
+
+// Revive is meaningless on the worker side.
+func (s *Session) Revive(node int) int { return 0 }
+
+// Stats returns a snapshot of the session's traffic counters.
+func (s *Session) Stats() transport.Stats {
+	return transport.Stats{Messages: s.msgs.Load(), Bytes: s.bytes.Load()}
+}
+
+// Close closes the connection to the master.
+func (s *Session) Close() error {
+	s.dead.Store(true)
+	return s.c.Close()
+}
+
+var _ transport.Transport = (*Session)(nil)
+var _ transport.Transport = (*Net)(nil)

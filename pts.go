@@ -8,7 +8,16 @@
 // the problem model, the sequential tabu-search kernel, the four parallel
 // search organizations compared in the paper (SEQ, ITS, CTS1, CTS2), the
 // asynchronous decentralized extension, exact baselines, bounds, and the
-// instance generators used by the experiment harness.
+// instance generators used by the experiment harness. The surface is split
+// by topic:
+//
+//	pts.go                 the paper's parallel organizations (Solve)
+//	facade_model.go        problem model, I/O, instance generators
+//	facade_kernel.go       the sequential tabu-search kernel
+//	facade_trace.go        search-event tracing
+//	facade_checkpoint.go   crash/resume snapshots
+//	facade_exact.go        exact solvers, bounds, problem reduction
+//	facade_baselines.go    the non-cooperative parallel baselines
 //
 // # Quick start
 //
@@ -21,48 +30,7 @@
 package pts
 
 import (
-	"io"
-
-	"repro/internal/bound"
 	"repro/internal/core"
-	"repro/internal/exact"
-	"repro/internal/gen"
-	"repro/internal/mkp"
-	"repro/internal/rng"
-	"repro/internal/tabu"
-)
-
-// Instance is a 0-1 MKP instance: maximize Profit·x subject to Weight·x <=
-// Capacity with binary x. See the mkp package docs for field semantics.
-type Instance = mkp.Instance
-
-// Solution is an immutable assignment plus its objective value.
-type Solution = mkp.Solution
-
-// State is the mutable incremental evaluator used to build custom heuristics
-// on top of the model.
-type State = mkp.State
-
-// Strategy is the tabu-search parameter triple the master tunes dynamically:
-// tabu tenure, consecutive drops per move, and local-loop patience.
-type Strategy = tabu.Strategy
-
-// Params bundles a Strategy with the structural knobs of the sequential
-// kernel (intensification mode, diversification thresholds, pool size).
-type Params = tabu.Params
-
-// SearchResult is what one sequential tabu-search round reports.
-type SearchResult = tabu.Result
-
-// IntensifyMode selects the intensification procedure of the sequential
-// kernel.
-type IntensifyMode = tabu.IntensifyMode
-
-// Intensification modes (paper §3.2).
-const (
-	IntensifySwap        = tabu.IntensifySwap
-	IntensifyOscillation = tabu.IntensifyOscillation
-	IntensifyBoth        = tabu.IntensifyBoth
 )
 
 // Algorithm selects one of the four search organizations of the paper's
@@ -92,18 +60,10 @@ type Result = core.Result
 // Stats aggregates what a parallel run did.
 type Stats = core.Stats
 
-// ExactOptions configures the exact branch-and-bound baseline.
-type ExactOptions = exact.Options
-
-// ExactResult is the outcome of an exact solve.
-type ExactResult = exact.Result
-
-// ErrNodeLimit is returned by SolveExact when the node budget runs out; the
-// result still carries the best incumbent found.
-var ErrNodeLimit = exact.ErrNodeLimit
-
 // Solve runs the selected parallel tabu-search organization on the instance.
 // Runs are deterministic for a fixed (algorithm, Options.Seed, Options.P).
+// With Options.Workers set, the slaves are separate worker processes reached
+// over TCP (see cmd/mkpworker) instead of in-process goroutines.
 func Solve(ins *Instance, algo Algorithm, opts Options) (*Result, error) {
 	return core.Solve(ins, algo, opts)
 }
@@ -115,77 +75,6 @@ func SolveAsync(ins *Instance, opts AsyncOptions) (*Result, error) {
 	return core.SolveAsync(ins, opts)
 }
 
-// SearchSequential runs one sequential tabu search from the greedy start for
-// the given move budget — the kernel each slave executes, exposed for
-// standalone use and for building custom parallel schemes.
-func SearchSequential(ins *Instance, p Params, budget int64, seed uint64) (*SearchResult, error) {
-	return tabu.Search(ins, p, budget, seed)
-}
-
-// DefaultParams returns the kernel parameters the experiments use for an
-// instance with n items.
-func DefaultParams(n int) Params { return tabu.DefaultParams(n) }
-
 // ParseAlgorithm converts a Table 2 label ("SEQ", "ITS", "CTS1", "CTS2",
 // case-insensitive) to an Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
-
-// SolveExact maximizes the instance exactly by branch and bound with an
-// LP-dual surrogate bound. It returns ErrNodeLimit (with the best incumbent)
-// when the node budget is exhausted before optimality is proven.
-func SolveExact(ins *Instance, opts ExactOptions) (*ExactResult, error) {
-	return exact.BranchAndBound(ins, opts)
-}
-
-// LPBound returns the linear-relaxation upper bound of the instance, the
-// reference value used for deviation reporting.
-func LPBound(ins *Instance) (float64, error) { return bound.LP(ins) }
-
-// Greedy builds a feasible solution by packing items in decreasing
-// pseudo-utility order.
-func Greedy(ins *Instance) Solution { return mkp.Greedy(ins) }
-
-// RandomFeasible builds a random feasible, greedily topped-up solution using
-// the given seed.
-func RandomFeasible(ins *Instance, seed uint64) Solution {
-	return mkp.RandomFeasible(ins, rngFor(seed))
-}
-
-// rngFor builds the deterministic stream facade helpers draw from.
-func rngFor(seed uint64) *rng.Rand { return rng.New(seed) }
-
-// NewState returns an empty incremental evaluator for the instance.
-func NewState(ins *Instance) *State { return mkp.NewState(ins) }
-
-// ReadInstance parses an instance in the OR-Library "mknap" text layout.
-func ReadInstance(r io.Reader, name string) (*Instance, error) {
-	return mkp.ReadORLib(r, name)
-}
-
-// WriteInstance writes the instance in the OR-Library layout accepted by
-// ReadInstance.
-func WriteInstance(w io.Writer, ins *Instance) error { return mkp.WriteORLib(w, ins) }
-
-// WriteInstanceLP exports the instance as a CPLEX LP-format model, readable
-// by CPLEX, Gurobi, SCIP, HiGHS and glpsol — for cross-checking solutions
-// against independent solvers.
-func WriteInstanceLP(w io.Writer, ins *Instance) error { return mkp.WriteLPFormat(w, ins) }
-
-// GenerateGK builds a Glover–Kochenberger-style instance: uniform weights on
-// [1,1000], capacities at the given tightness fraction of each row sum, and
-// weight-correlated profits.
-func GenerateGK(name string, n, m int, tightness float64, seed uint64) *Instance {
-	return gen.GK(name, n, m, tightness, seed)
-}
-
-// GenerateFP builds a Fréville–Plateau-style instance: small, strongly
-// correlated, with per-constraint tightness in [0.25, 0.75].
-func GenerateFP(name string, n, m int, seed uint64) *Instance {
-	return gen.FP(name, n, m, seed)
-}
-
-// GenerateUncorrelated builds an instance with independent uniform profits
-// and weights.
-func GenerateUncorrelated(name string, n, m int, tightness float64, seed uint64) *Instance {
-	return gen.Uncorrelated(name, n, m, tightness, seed)
-}

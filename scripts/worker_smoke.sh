@@ -1,0 +1,85 @@
+#!/bin/sh
+# CI smoke for the multi-process wire transport: boot four mkpworker
+# processes on ephemeral ports, run a seeded mkpsolve against them over TCP,
+# and require (a) the run to complete, (b) the solution file to pass
+# mkpverify, and (c) the final best value to equal the same-seed in-process
+# run — the cross-transport determinism contract, end to end over real
+# sockets and real OS processes.
+# Usage: scripts/worker_smoke.sh [mkpsolve] [mkpworker] [mkpgen] [mkpverify]
+set -eu
+
+SOLVE=${1:-./mkpsolve}
+WORKER=${2:-./mkpworker}
+GEN=${3:-./mkpgen}
+VERIFY=${4:-./mkpverify}
+WORKERS=4
+
+DIR=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "worker smoke FAILED: $1" >&2
+    shift
+    for f in "$@"; do
+        echo "---- $f" >&2
+        cat "$f" >&2 || true
+    done
+    exit 1
+}
+
+"$GEN" -family gk -n 100 -m 10 -tightness 0.25 -seed 1 -o "$DIR/instance.txt"
+
+# Boot the workers on ephemeral ports; each announces its bound address on
+# stderr as "mkpworker: listening on HOST:PORT". -once makes them exit after
+# serving one master, so a green run leaves nothing behind.
+i=0
+while [ $i -lt $WORKERS ]; do
+    "$WORKER" -listen 127.0.0.1:0 -once 2>"$DIR/worker$i.log" &
+    PIDS="$PIDS $!"
+    i=$((i + 1))
+done
+
+ADDRS=""
+i=0
+while [ $i -lt $WORKERS ]; do
+    j=0
+    ADDR=""
+    while [ $j -lt 100 ]; do
+        ADDR=$(sed -n 's/^mkpworker: listening on //p' "$DIR/worker$i.log" | head -n 1)
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+        j=$((j + 1))
+    done
+    [ -n "$ADDR" ] || fail "worker $i never announced an address" "$DIR/worker$i.log"
+    ADDRS="$ADDRS,$ADDR"
+    i=$((i + 1))
+done
+ADDRS=${ADDRS#,}
+
+# The reference value: the same seeded solve with in-process slaves.
+LOCAL=$("$SOLVE" -p $WORKERS -seed 9 -rounds 6 -moves 500 -q "$DIR/instance.txt") \
+    || fail "in-process reference run failed"
+
+# The wire run: same seed, slaves as the worker processes above.
+REMOTE=$("$SOLVE" -workers "$ADDRS" -seed 9 -rounds 6 -moves 500 -q \
+    -sol "$DIR/best.sol" "$DIR/instance.txt" 2>"$DIR/solve.log") \
+    || fail "wire run failed" "$DIR/solve.log" "$DIR/worker0.log"
+
+[ "$REMOTE" = "$LOCAL" ] \
+    || fail "wire best $REMOTE != in-process best $LOCAL" "$DIR/solve.log"
+
+"$VERIFY" "$DIR/instance.txt" "$DIR/best.sol" >/dev/null \
+    || fail "mkpverify rejected the wire run's solution" "$DIR/solve.log"
+
+# -once workers exit on their own once the master disconnects.
+for p in $PIDS; do
+    wait "$p" 2>/dev/null || true
+done
+PIDS=""
+
+echo "worker smoke OK: $WORKERS workers over TCP, best $REMOTE == in-process, solution verified"
