@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench kernel chaos metrics metrics-smoke crash-resume transport worker-smoke
+.PHONY: build vet test race check bench kernel solverbench bench-guard chaos metrics metrics-smoke crash-resume transport worker-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,17 @@ chaos:
 # hot path (optimized column-major kernel vs naive row-major reference).
 kernel:
 	$(GO) run ./cmd/mkpbench -kernelbench BENCH_kernel.json
+
+# solverbench regenerates the committed end-to-end time-to-target baseline:
+# deterministic SEQ/ITS/CTS1/CTS2 trajectories plus the guided-vs-unguided
+# CTS2 comparison on the pinned GK instances.
+solverbench:
+	$(GO) run ./cmd/mkpbench -solverbench BENCH_solver.json
+
+# bench-guard re-times the kernel ops and fails if any optimized op regresses
+# more than 15% against the committed BENCH_kernel.json.
+bench-guard:
+	./scripts/bench_guard.sh BENCH_kernel.json
 
 # metrics runs the observability suite under the race detector: the registry
 # unit/race-hammer tests, the exposition golden tests, the HTTP endpoint and

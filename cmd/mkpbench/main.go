@@ -51,6 +51,9 @@ func main() {
 		tol      = flag.Float64("tolerance", 0.02, "relative tolerance for -check numeric cells")
 
 		kernelOut  = flag.String("kernelbench", "", "run the kernel microbenchmark suite (optimized vs naive evaluator) and write the JSON report to this path (\"-\" for stdout only)")
+		solverOut  = flag.String("solverbench", "", "run the end-to-end solver benchmark (SEQ/ITS/CTS1/CTS2 time-to-target trajectories, guided vs unguided CTS2) and write the JSON report to this path (\"-\" for stdout only)")
+		checkKern  = flag.String("checkkernel", "", "regenerate the kernel suite and compare against the given BENCH_kernel.json baseline; exit 1 if any op regresses more than -kerneltol")
+		kernelTol  = flag.Float64("kerneltol", 0.15, "relative ns/op tolerance for -checkkernel")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -95,6 +98,14 @@ func main() {
 	ran := false
 	if *kernelOut != "" {
 		r.kernelBench(*kernelOut)
+		ran = true
+	}
+	if *solverOut != "" {
+		r.solverBench(*solverOut)
+		ran = true
+	}
+	if *checkKern != "" {
+		r.checkKernel(*checkKern, *kernelTol)
 		ran = true
 	}
 	if *compare != "" {
@@ -358,6 +369,56 @@ func (r runner) kernelBench(path string) {
 	}
 	exitOn(err)
 	fmt.Fprintln(os.Stderr, "mkpbench: kernel report written to", path)
+}
+
+// solverBench runs the end-to-end solver benchmark (deterministic quality
+// trajectories, guided vs unguided CTS2) and writes the JSON report to path
+// ("-" prints the tables only). This is how BENCH_solver.json at the
+// repository root is produced. The spec is pinned — -seed and -p are ignored
+// so a regenerated baseline is comparable to the committed one; -quick
+// shrinks the suite for smoke runs.
+func (r runner) solverBench(path string) {
+	sp := bench.DefaultSolverSpec()
+	if r.quick {
+		sp = bench.QuickSolverSpec()
+	}
+	rep, err := bench.RunSolverSuite(sp, r.progress)
+	exitOn(err)
+	fmt.Print(bench.RenderSolverReport(rep))
+	if path == "-" {
+		return
+	}
+	f, err := os.Create(path)
+	exitOn(err)
+	err = rep.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	exitOn(err)
+	fmt.Fprintln(os.Stderr, "mkpbench: solver report written to", path)
+}
+
+// checkKernel regenerates the kernel suite on the baseline's own spec and
+// fails (exit 1) when any optimized op regressed beyond the tolerance. This
+// is the bench-guard CI gate (scripts/bench_guard.sh).
+func (r runner) checkKernel(path string, tol float64) {
+	f, err := os.Open(path)
+	exitOn(err)
+	baseline, err := bench.ReadKernelReport(f)
+	f.Close()
+	exitOn(err)
+	rep := bench.RunKernelSuite(baseline.Spec)
+	fmt.Print(bench.RenderKernelReport(rep))
+	regs := bench.CompareKernelReports(baseline, rep, tol)
+	if len(regs) > 0 {
+		fmt.Fprintln(os.Stderr, "mkpbench: kernel regressions against", path)
+		for _, m := range regs {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		runAtExit()
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mkpbench: no kernel op regressed more than %.0f%% vs %s\n", 100*tol, path)
 }
 
 // atExit holds profiler flushes that must run before the process exits, even

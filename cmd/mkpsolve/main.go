@@ -54,6 +54,10 @@ func run() int {
 		total    = flag.Int64("total", 40000, "async: per-peer total move budget")
 		chunk    = flag.Int64("chunk", 1000, "async: moves between communication points")
 		ring     = flag.Bool("ring", false, "async: ring topology instead of full broadcast")
+		useCore  = flag.Bool("core", false, "arm the LP-guided core search: reduced-cost fixing restricts the tabu scans to a core set, re-thresholded as the incumbent improves")
+		noFix    = flag.Bool("nofix", false, "explicitly disable LP guidance (the default; a -nofix run reproduces the unguided search bit for bit)")
+		fixGap   = flag.Float64("gap", 0, "-core: fixing gap for the reduced-cost rule (0 = default 1, which keeps every strictly better solution when profits are integral)")
+
 		quiet    = flag.Bool("q", false, "print only the best value")
 		doTrace  = flag.Bool("trace", false, "stream search events (improvements, tuning actions) to stderr")
 		listen   = flag.String("listen", "", "serve /metrics, /metrics.json, /debug/pprof and expvar on this address for the duration of the run (e.g. :6060)")
@@ -97,6 +101,16 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "mkpsolve: observability on http://%s (/metrics, /debug/pprof)\n", srv.Addr())
 	}
 
+	if *useCore && *noFix {
+		return fail(errors.New("-core and -nofix are mutually exclusive"))
+	}
+	if *useCore && *async {
+		return fail(errors.New("-core needs the synchronous solver (guidance lives in the master; drop -async)"))
+	}
+	if *fixGap != 0 && !*useCore {
+		return fail(errors.New("-gap needs the guided search armed via -core"))
+	}
+
 	if *async {
 		res, err := core.SolveAsync(ins, core.AsyncOptions{
 			P: *p, Seed: *seed, TotalMoves: *total, ChunkMoves: *chunk, Alpha: *alpha, Ring: *ring,
@@ -118,6 +132,9 @@ func run() int {
 	opts := core.Options{
 		P: *p, Seed: *seed, Rounds: *rounds, RoundMoves: *moves,
 		Alpha: *alpha, TimeLimit: *timeLim, SimBudget: *simLim,
+	}
+	if *useCore {
+		opts.Guide = &core.GuideConfig{Gap: *fixGap}
 	}
 	if *simLim > 0 {
 		opts.Rounds = 0 // let the simulated clock govern
@@ -347,6 +364,20 @@ func report(ins *mkp.Instance, algo string, res *core.Result, quiet bool) {
 	fmt.Printf("best value %.0f\n", res.Best.Value)
 	if ub, err := bound.LP(ins); err == nil && ub > 0 {
 		fmt.Printf("LP bound   %.1f (deviation %.3f%%)\n", ub, 100*(ub-res.Best.Value)/ub)
+	}
+	if res.Stats.LPBound > 0 {
+		// The guided run's own relaxation: its reduction-rate arithmetic is the
+		// one reduce.Fixing.ReductionRate computes (fixed / n).
+		st := res.Stats
+		rate := float64(st.CoreFixedIn+st.CoreFixedOut) / float64(ins.N)
+		gap := 100 * (st.LPBound - res.Best.Value) / st.LPBound
+		if st.ProvenOptimal {
+			fmt.Printf("guidance   LP bound %.1f (gap %.3f%%), incumbent proven optimal by reduced-cost fixing, %d refreshes\n",
+				st.LPBound, gap, st.CoreRefreshes)
+		} else {
+			fmt.Printf("guidance   LP bound %.1f (gap %.3f%%), core %d of %d free (%d fixed in, %d out, reduction %.1f%%), %d refreshes\n",
+				st.LPBound, gap, st.CoreSize, ins.N, st.CoreFixedIn, st.CoreFixedOut, 100*rate, st.CoreRefreshes)
+		}
 	}
 	fmt.Printf("items      %d of %d packed\n", res.Best.X.Count(), ins.N)
 	fmt.Printf("moves      %d over %d rounds in %v\n",

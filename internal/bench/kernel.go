@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"testing"
 
 	"repro/internal/gen"
@@ -252,6 +253,41 @@ func (r KernelReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ReadKernelReport parses a BENCH_kernel.json document.
+func ReadKernelReport(rd io.Reader) (KernelReport, error) {
+	var r KernelReport
+	err := json.NewDecoder(rd).Decode(&r)
+	return r, err
+}
+
+// CompareKernelReports checks the current suite run against a committed
+// baseline: every optimized op whose ns/op exceeds the baseline by more than
+// tol (relative) is reported as a regression. Naive reference measurements
+// are exempt — they exist to compute speedups, not to be defended — as are
+// ops present on only one side (added or retired benchmarks).
+func CompareKernelReports(baseline, current KernelReport, tol float64) []string {
+	base := map[string]float64{}
+	for _, r := range baseline.Results {
+		base[r.Name] = r.NsPerOp
+	}
+	var regressions []string
+	for _, r := range current.Results {
+		if strings.HasSuffix(r.Name, "Naive") {
+			continue
+		}
+		was, ok := base[r.Name]
+		if !ok || was <= 0 {
+			continue
+		}
+		if rel := r.NsPerOp/was - 1; rel > tol {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%+.1f%%, tolerance %.0f%%)",
+					r.Name, r.NsPerOp, was, 100*rel, 100*tol))
+		}
+	}
+	return regressions
 }
 
 // RenderKernelReport formats the report as an aligned text table.

@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/mkp"
+)
+
+// The end-to-end solver benchmark measures solution-quality speed — how fast
+// each algorithm's global best climbs, round by round, on pinned GK
+// instances from fixed seeds — where the kernel suite measures micro-op
+// cost. Every run is deterministic, so the exported JSON (BENCH_solver.json
+// at the repo root) pins complete trajectories, not just summary numbers,
+// and future PRs are judged on time-to-target, not just ns/op.
+//
+// The report also carries the guided-vs-unguided comparison for the paper's
+// full algorithm (CTS2): the round at which each variant first reaches the
+// target value, defined as the worse of the two final bests so both runs
+// provably reach it. The LP-guided core search must reach the target no
+// later than the unguided baseline on every pinned instance.
+
+// SolverInstance pins one generated GK instance.
+type SolverInstance struct {
+	Name      string  `json:"name"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	Tightness float64 `json:"tightness"`
+	Seed      uint64  `json:"seed"`
+}
+
+// Instance materializes the pinned instance.
+func (si SolverInstance) Instance() *mkp.Instance {
+	return gen.GK(si.Name, si.N, si.M, si.Tightness, si.Seed)
+}
+
+// SolverSpec pins the whole suite: the instances and the common run shape.
+type SolverSpec struct {
+	P          int              `json:"p"`
+	Seed       uint64           `json:"seed"`
+	Rounds     int              `json:"rounds"`
+	RoundMoves int64            `json:"round_moves"`
+	Instances  []SolverInstance `json:"instances"`
+}
+
+// DefaultSolverSpec is the committed-baseline configuration: a fixed seed and
+// budgets small enough to regenerate in well under a minute. Three of the four
+// pinned shapes are m=5 at mid-to-high tightness, where reduced-cost fixing
+// measurably bites once the incumbent is good (on GK instances a greedy
+// incumbent fixes nothing, and m>=10 shapes fix next to nothing even with an
+// excellent one — their LP gap swallows the reduced costs). The last shape is
+// exactly such an m=10 control: there guidance stays inert and the guided run
+// is expected to match the unguided one move for move.
+func DefaultSolverSpec() SolverSpec {
+	return SolverSpec{
+		P: 4, Seed: 7, Rounds: 10, RoundMoves: 300,
+		Instances: []SolverInstance{
+			{Name: "gk-5x100-t65", N: 100, M: 5, Tightness: 0.65, Seed: 1},
+			{Name: "gk-5x100-t75", N: 100, M: 5, Tightness: 0.75, Seed: 19},
+			{Name: "gk-5x250-t75", N: 250, M: 5, Tightness: 0.75, Seed: 10},
+			{Name: "gk-10x100-t25", N: 100, M: 10, Tightness: 0.25, Seed: 4},
+		},
+	}
+}
+
+// quickSolverSpec shrinks the suite for -quick runs and unit tests.
+func quickSolverSpec() SolverSpec {
+	sp := DefaultSolverSpec()
+	sp.Rounds, sp.RoundMoves = 4, 200
+	sp.Instances = sp.Instances[:2]
+	return sp
+}
+
+// QuickSolverSpec exposes the reduced suite (mkpbench -quick -solverbench).
+func QuickSolverSpec() SolverSpec { return quickSolverSpec() }
+
+// SolverSeries is one run's quality trajectory.
+type SolverSeries struct {
+	Algorithm   string    `json:"algorithm"`
+	Guided      bool      `json:"guided"`
+	Final       float64   `json:"final"`
+	BestByRound []float64 `json:"best_by_round"`
+	TotalMoves  int64     `json:"total_moves"`
+	// ElapsedMS is informational only — it depends on the host — and is
+	// excluded from every comparison; the deterministic time axis is the
+	// round number.
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Guidance fields, populated only on guided series.
+	LPBound       float64 `json:"lp_bound,omitempty"`
+	CoreSize      int     `json:"core_size,omitempty"`
+	CoreFixedIn   int     `json:"core_fixed_in,omitempty"`
+	CoreFixedOut  int     `json:"core_fixed_out,omitempty"`
+	CoreRefreshes int     `json:"core_refreshes,omitempty"`
+	ProvenOptimal bool    `json:"proven_optimal,omitempty"`
+}
+
+// SolverInstanceReport is one pinned instance's trajectories plus the
+// guided-vs-unguided time-to-target comparison on CTS2.
+type SolverInstanceReport struct {
+	Instance SolverInstance `json:"instance"`
+	Series   []SolverSeries `json:"series"`
+
+	// Target is the worse of the guided and unguided CTS2 final bests, so
+	// both runs reach it within budget. GuidedRound and UnguidedRound are
+	// the 1-based round at which each first reached Target; a guided run
+	// whose startup fixing already proves the incumbent optimal reports
+	// round 0 (reached before any search).
+	Target        float64 `json:"target"`
+	GuidedRound   int     `json:"guided_round"`
+	UnguidedRound int     `json:"unguided_round"`
+}
+
+// SolverReport is the exported suite result.
+type SolverReport struct {
+	Spec      SolverSpec             `json:"spec"`
+	Instances []SolverInstanceReport `json:"instances"`
+}
+
+// solverAlgorithms is the Table 2 set every instance runs unguided.
+var solverAlgorithms = []core.Algorithm{core.SEQ, core.ITS, core.CTS1, core.CTS2}
+
+// RunSolverSuite executes the suite. Progress (optional) gets one line per
+// completed run.
+func RunSolverSuite(sp SolverSpec, progress io.Writer) (SolverReport, error) {
+	rep := SolverReport{Spec: sp}
+	for _, si := range sp.Instances {
+		ins := si.Instance()
+		ir := SolverInstanceReport{Instance: si}
+		var unguided, guided *SolverSeries
+		for _, algo := range solverAlgorithms {
+			s, err := runSolverSeries(ins, algo, sp, false)
+			if err != nil {
+				return rep, fmt.Errorf("bench: solver %s %v: %w", si.Name, algo, err)
+			}
+			ir.Series = append(ir.Series, s)
+			if algo == core.CTS2 {
+				unguided = &ir.Series[len(ir.Series)-1]
+			}
+			if progress != nil {
+				fmt.Fprintf(progress, "solver %-10s %-4v final=%.0f\n", si.Name, algo, s.Final)
+			}
+		}
+		s, err := runSolverSeries(ins, core.CTS2, sp, true)
+		if err != nil {
+			return rep, fmt.Errorf("bench: solver %s CTS2 guided: %w", si.Name, err)
+		}
+		ir.Series = append(ir.Series, s)
+		guided = &ir.Series[len(ir.Series)-1]
+		if progress != nil {
+			fmt.Fprintf(progress, "solver %-10s CTS2g final=%.0f core=%d/%d/%d\n",
+				si.Name, s.Final, s.CoreFixedIn, s.CoreSize, s.CoreFixedOut)
+		}
+
+		ir.Target = guided.Final
+		if unguided.Final < ir.Target {
+			ir.Target = unguided.Final
+		}
+		ir.GuidedRound = roundsToTarget(guided.BestByRound, ir.Target)
+		ir.UnguidedRound = roundsToTarget(unguided.BestByRound, ir.Target)
+		rep.Instances = append(rep.Instances, ir)
+	}
+	return rep, nil
+}
+
+// runSolverSeries executes one deterministic run and folds its stats into a
+// series record.
+func runSolverSeries(ins *mkp.Instance, algo core.Algorithm, sp SolverSpec, guide bool) (SolverSeries, error) {
+	opts := core.Options{P: sp.P, Seed: sp.Seed, Rounds: sp.Rounds, RoundMoves: sp.RoundMoves}
+	if guide {
+		opts.Guide = &core.GuideConfig{}
+	}
+	began := time.Now()
+	res, err := core.Solve(ins, algo, opts)
+	if err != nil {
+		return SolverSeries{}, err
+	}
+	s := SolverSeries{
+		Algorithm:   algo.String(),
+		Guided:      guide,
+		Final:       res.Best.Value,
+		BestByRound: res.Stats.BestByRound,
+		TotalMoves:  res.Stats.TotalMoves,
+		ElapsedMS:   float64(time.Since(began).Microseconds()) / 1000,
+	}
+	if guide {
+		s.LPBound = res.Stats.LPBound
+		s.CoreSize = res.Stats.CoreSize
+		s.CoreFixedIn = res.Stats.CoreFixedIn
+		s.CoreFixedOut = res.Stats.CoreFixedOut
+		s.CoreRefreshes = res.Stats.CoreRefreshes
+		s.ProvenOptimal = res.Stats.ProvenOptimal
+	}
+	return s, nil
+}
+
+// roundsToTarget returns the 1-based index of the first round whose best
+// reached target, or 0 when the run started at or above it (empty trajectory:
+// the run stopped before round 1, which only a proven-optimal start does).
+func roundsToTarget(traj []float64, target float64) int {
+	if len(traj) == 0 {
+		return 0 // stopped before round 1: proven optimal at startup
+	}
+	for i, v := range traj {
+		if v >= target-1e-9 {
+			return i + 1
+		}
+	}
+	return len(traj) + 1 // never reached: sorts after every real round
+}
+
+// WriteJSON emits the report as indented JSON (the BENCH_solver.json format).
+func (r SolverReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadSolverReport parses a BENCH_solver.json document.
+func ReadSolverReport(rd io.Reader) (SolverReport, error) {
+	var r SolverReport
+	err := json.NewDecoder(rd).Decode(&r)
+	return r, err
+}
+
+// RenderSolverReport formats the suite as text: one trajectory table per
+// instance plus the guided-vs-unguided summary.
+func RenderSolverReport(r SolverReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "end-to-end solver benchmark: P=%d seed=%d rounds=%d moves/round=%d\n",
+		r.Spec.P, r.Spec.Seed, r.Spec.Rounds, r.Spec.RoundMoves)
+	for _, ir := range r.Instances {
+		fmt.Fprintf(&b, "\n%s (%d*%d, tightness %.2f)\n",
+			ir.Instance.Name, ir.Instance.M, ir.Instance.N, ir.Instance.Tightness)
+		fmt.Fprintf(&b, "%-8s", "round")
+		for _, s := range ir.Series {
+			fmt.Fprintf(&b, " %10s", seriesLabel(s))
+		}
+		fmt.Fprintln(&b)
+		for round := 0; round < r.Spec.Rounds; round++ {
+			fmt.Fprintf(&b, "%-8d", round+1)
+			for _, s := range ir.Series {
+				if round < len(s.BestByRound) {
+					fmt.Fprintf(&b, " %10.0f", s.BestByRound[round])
+				} else {
+					fmt.Fprintf(&b, " %10s", "-")
+				}
+			}
+			fmt.Fprintln(&b)
+		}
+		fmt.Fprintf(&b, "target %.0f: guided CTS2 at round %d, unguided at round %d\n",
+			ir.Target, ir.GuidedRound, ir.UnguidedRound)
+	}
+	return b.String()
+}
+
+func seriesLabel(s SolverSeries) string {
+	if s.Guided {
+		return s.Algorithm + "g"
+	}
+	return s.Algorithm
+}

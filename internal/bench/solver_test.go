@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRoundsToTarget(t *testing.T) {
+	cases := []struct {
+		traj   []float64
+		target float64
+		want   int
+	}{
+		{nil, 100, 0},                     // proven optimal before round 1
+		{[]float64{90, 100, 100}, 100, 2}, // first reached in round 2
+		{[]float64{100, 100}, 100, 1},     // reached immediately
+		{[]float64{90, 95, 99}, 100, 4},   // never: sorts after every round
+		{[]float64{90, 95, 99}, 99, 3},    // exact hit in the last round
+	}
+	for _, c := range cases {
+		if got := roundsToTarget(c.traj, c.target); got != c.want {
+			t.Errorf("roundsToTarget(%v, %v) = %d, want %d", c.traj, c.target, got, c.want)
+		}
+	}
+}
+
+// The quick suite must produce structurally sound reports: five series per
+// instance (four unguided algorithms plus guided CTS2), monotone trajectories
+// whose last entry is the final, and a target both CTS2 runs provably reach.
+func TestRunSolverSuiteQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver suite run in -short mode")
+	}
+	rep, err := RunSolverSuite(QuickSolverSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Instances) != len(QuickSolverSpec().Instances) {
+		t.Fatalf("%d instance reports, want %d", len(rep.Instances), len(QuickSolverSpec().Instances))
+	}
+	for _, ir := range rep.Instances {
+		if len(ir.Series) != len(solverAlgorithms)+1 {
+			t.Fatalf("%s: %d series, want %d", ir.Instance.Name, len(ir.Series), len(solverAlgorithms)+1)
+		}
+		var guided, unguided *SolverSeries
+		for i := range ir.Series {
+			s := &ir.Series[i]
+			for r := 1; r < len(s.BestByRound); r++ {
+				if s.BestByRound[r] < s.BestByRound[r-1] {
+					t.Fatalf("%s %s: trajectory decreases at round %d", ir.Instance.Name, seriesLabel(*s), r+1)
+				}
+			}
+			if n := len(s.BestByRound); n > 0 && s.BestByRound[n-1] != s.Final {
+				t.Fatalf("%s %s: final %v != last trajectory entry %v",
+					ir.Instance.Name, seriesLabel(*s), s.Final, s.BestByRound[n-1])
+			}
+			if s.Algorithm == "CTS2" {
+				if s.Guided {
+					guided = s
+				} else {
+					unguided = s
+				}
+			}
+		}
+		if guided == nil || unguided == nil {
+			t.Fatalf("%s: missing a CTS2 series", ir.Instance.Name)
+		}
+		if ir.Target > guided.Final || ir.Target > unguided.Final {
+			t.Fatalf("%s: target %v above a CTS2 final (guided %v, unguided %v)",
+				ir.Instance.Name, ir.Target, guided.Final, unguided.Final)
+		}
+		if want := roundsToTarget(guided.BestByRound, ir.Target); ir.GuidedRound != want {
+			t.Fatalf("%s: guided round %d, recomputed %d", ir.Instance.Name, ir.GuidedRound, want)
+		}
+		if want := roundsToTarget(unguided.BestByRound, ir.Target); ir.UnguidedRound != want {
+			t.Fatalf("%s: unguided round %d, recomputed %d", ir.Instance.Name, ir.UnguidedRound, want)
+		}
+		if guided.LPBound < guided.Final {
+			t.Fatalf("%s: LP bound %v below guided final %v", ir.Instance.Name, guided.LPBound, guided.Final)
+		}
+	}
+}
+
+// The committed baseline must witness the guidance claim: on every pinned
+// instance the guided CTS2 run reaches the target no later than the unguided
+// one, and strictly earlier on at least half of them. Regenerate with
+// `make solverbench` after an intentional engine change.
+func TestCommittedSolverBaseline(t *testing.T) {
+	f, err := os.Open("../../BENCH_solver.json")
+	if os.IsNotExist(err) {
+		t.Skip("no committed BENCH_solver.json")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := ReadSolverReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Instances) == 0 {
+		t.Fatal("committed baseline has no instances")
+	}
+	strict := 0
+	for _, ir := range rep.Instances {
+		if ir.GuidedRound > ir.UnguidedRound {
+			t.Errorf("%s: guided reaches target at round %d, after unguided round %d",
+				ir.Instance.Name, ir.GuidedRound, ir.UnguidedRound)
+		}
+		if ir.GuidedRound < ir.UnguidedRound {
+			strict++
+		}
+	}
+	if 2*strict < len(rep.Instances) {
+		t.Errorf("guided strictly earlier on %d of %d instances, want at least half",
+			strict, len(rep.Instances))
+	}
+}

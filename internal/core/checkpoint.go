@@ -94,16 +94,16 @@ func solutionOf(rec SolutionRecord, ins *mkp.Instance) (mkp.Solution, error) {
 // checkpoint snapshots the master's current state.
 func (m *master) checkpoint() *Checkpoint {
 	c := &Checkpoint{
-		Version:    1,
-		Algorithm:  m.algo.String(),
-		N:          m.ins.N,
-		P:          m.opts.P,
-		Round:      m.stats.Rounds,
-		Alpha:      m.tune.alpha,
-		Best:       recordOf(m.best),
-		Strategies: append([]tabu.Strategy(nil), m.strategies...),
-		Scores:     append([]int(nil), m.scores...),
-		Stagnation: append([]int(nil), m.stagnation...),
+		Version:     1,
+		Algorithm:   m.algo.String(),
+		N:           m.ins.N,
+		P:           m.opts.P,
+		Round:       m.stats.Rounds,
+		Alpha:       m.tune.alpha,
+		Best:        recordOf(m.best),
+		Strategies:  append([]tabu.Strategy(nil), m.strategies...),
+		Scores:      append([]int(nil), m.scores...),
+		Stagnation:  append([]int(nil), m.stagnation...),
 		BestByRound: append([]float64(nil), m.stats.BestByRound...),
 		Noises:      append([]float64(nil), m.noises...),
 		Widths:      append([]int(nil), m.widths...),

@@ -24,6 +24,11 @@ type dispatcher struct {
 	// watermark publisher dispatched into the kernel.
 	heartbeat func(node int) func(int64)
 
+	// guide, when non-nil (guided runs), supplies the current core shipped in
+	// every round's params. Reading it at dispatch time means a refresh
+	// between rounds reaches all slaves at the next rendezvous.
+	guide *guide
+
 	dispatchedAt []time.Time // when each slot's current order was sent
 }
 
@@ -55,6 +60,9 @@ func (d *dispatcher) dispatch(slot, node, round int, budget int64) error {
 	}
 	if d.heartbeat != nil {
 		params.Heartbeat = d.heartbeat(node)
+	}
+	if d.guide != nil && d.guide.active() {
+		params.Core = d.guide.core
 	}
 	// Clone at the send boundary: the payload crosses into the slave
 	// goroutine while the master keeps (and may re-send) its copy.

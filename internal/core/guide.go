@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/metrics"
+	"repro/internal/mkp"
+	"repro/internal/reduce"
+	"repro/internal/rng"
+	"repro/internal/tabu"
+)
+
+// guide owns the LP-guidance state of a run: the relaxation solved once at
+// startup, the current core published to the slaves, and the refresh rule
+// that tightens the fixing whenever the global best improves past the gap.
+// Like the tuner it runs only on the master goroutine; the slaves see the
+// guidance exclusively through the immutable *tabu.Core the dispatcher puts
+// in their round params.
+type guide struct {
+	ins   *mkp.Instance
+	rx    *reduce.Relaxation
+	gap   float64
+	stats *Stats
+	mx    guideMetrics
+
+	// core is the current epoch's restricted search space; fixedAt the
+	// incumbent value it was thresholded against. optimal is set once a
+	// refresh proves the incumbent optimal (all variables fixed, or the
+	// locked items alone overflow a capacity) — no improving solution
+	// exists, so the run can stop.
+	core    *tabu.Core
+	fixedAt float64
+	epoch   int
+	optimal bool
+}
+
+// guideMetrics bundles the guidance gauges. They are resolved lazily —
+// only when a run is actually guided — so unguided runs expose exactly the
+// metric families they did before guidance existed.
+type guideMetrics struct {
+	lpBound  *metrics.Gauge
+	coreSize *metrics.Gauge
+	fixedIn  *metrics.Gauge
+	fixedOut *metrics.Gauge
+	epoch    *metrics.Gauge
+}
+
+func newGuideMetrics(r *metrics.Registry) guideMetrics {
+	if r == nil {
+		return guideMetrics{}
+	}
+	r.SetHelp("lp_bound", "LP relaxation optimum the reduced-cost fixing derives from.")
+	r.SetHelp("core_size", "Free items in the current LP-guided core.")
+	r.SetHelp("core_fixed_in", "Items the current fixing proves at 1.")
+	r.SetHelp("core_fixed_out", "Items the current fixing proves at 0.")
+	r.SetHelp("core_epoch", "Refresh generation of the current core.")
+	return guideMetrics{
+		lpBound:  r.Gauge("lp_bound"),
+		coreSize: r.Gauge("core_size"),
+		fixedIn:  r.Gauge("core_fixed_in"),
+		fixedOut: r.Gauge("core_fixed_out"),
+		epoch:    r.Gauge("core_epoch"),
+	}
+}
+
+// newGuide solves the relaxation and builds the epoch-0 core against the
+// given incumbent (the deterministic greedy value at startup).
+func newGuide(ins *mkp.Instance, incumbent, gap float64, stats *Stats, reg *metrics.Registry) (*guide, error) {
+	rx, err := reduce.Relax(ins)
+	if err != nil {
+		return nil, fmt.Errorf("core: guide: %w", err)
+	}
+	g := &guide{ins: ins, rx: rx, gap: gap, stats: stats, mx: newGuideMetrics(reg)}
+	g.stats.LPBound = rx.LPValue
+	g.mx.lpBound.Set(rx.LPValue)
+	if err := g.rebuild(incumbent); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// rebuild re-thresholds the cached relaxation against incumbent and installs
+// the resulting core under the next epoch. Two outcomes prove the incumbent
+// optimal instead of yielding a core: the fixing fixes every variable
+// (incumbent + gap exceeds the LP bound), or the items fixed at 1 alone
+// overflow a capacity (the fixing constrains only solutions strictly better
+// than the incumbent, so none exists).
+func (g *guide) rebuild(incumbent float64) error {
+	fix, err := g.rx.FixAgainst(incumbent, g.gap)
+	if err != nil {
+		return fmt.Errorf("core: guide: %w", err)
+	}
+	if fix.Remaining() == 0 {
+		g.markOptimal(incumbent)
+		return nil
+	}
+	c, err := tabu.NewCore(g.ins, fix.At0, fix.At1, g.rx.LPValue, incumbent, g.gap, g.epoch)
+	if err != nil {
+		return fmt.Errorf("core: guide: %w", err)
+	}
+	st := mkp.NewState(g.ins)
+	for _, j := range c.Keep {
+		if !st.Fits(j) {
+			g.markOptimal(incumbent)
+			return nil
+		}
+		st.AddMax(j)
+	}
+	g.core = c
+	g.fixedAt = incumbent
+	g.epoch++
+	g.publish()
+	return nil
+}
+
+// markOptimal records that no solution strictly better than incumbent exists.
+// The previous core (if any) stays published so in-flight rounds finish under
+// a consistent epoch; the master stops dispatching at the next round boundary.
+func (g *guide) markOptimal(incumbent float64) {
+	g.optimal = true
+	g.fixedAt = incumbent
+	g.stats.ProvenOptimal = true
+	g.stats.CoreSize = 0
+	g.stats.CoreFixedIn = 0
+	g.stats.CoreFixedOut = g.ins.N
+	g.mx.coreSize.Set(0)
+	g.mx.fixedIn.Set(0)
+	g.mx.fixedOut.Set(float64(g.ins.N))
+}
+
+// publish mirrors the current core into stats and gauges.
+func (g *guide) publish() {
+	g.stats.CoreSize = g.core.Size()
+	g.stats.CoreFixedIn = g.core.FixedIn()
+	g.stats.CoreFixedOut = g.core.FixedOut()
+	g.mx.coreSize.Set(float64(g.core.Size()))
+	g.mx.fixedIn.Set(float64(g.core.FixedIn()))
+	g.mx.fixedOut.Set(float64(g.core.FixedOut()))
+	g.mx.epoch.Set(float64(g.core.Epoch))
+}
+
+// active reports whether the current fixing actually restricts the search.
+// A trivial core (nothing proven in or out — the usual epoch-0 state on hard
+// instances, where the greedy incumbent is too far from the LP bound) is not
+// shipped to the slaves at all, so a guided run stays bitwise identical to
+// the unguided one until the first refresh that proves something. From that
+// point the trajectories may diverge — the guided one over a provably
+// sufficient subspace.
+func (g *guide) active() bool {
+	return g.core != nil && g.core.FixedIn()+g.core.FixedOut() > 0
+}
+
+// maybeRefresh re-thresholds the fixing when best has improved on the
+// incumbent the current core was derived against by at least the gap — the
+// point at which the fixing rule gains new leverage. Reported refreshes
+// count even when the outcome is a proof of optimality.
+func (g *guide) maybeRefresh(best float64) (bool, error) {
+	if g.optimal || best < g.fixedAt+g.gap {
+		return false, nil
+	}
+	if err := g.rebuild(best); err != nil {
+		return false, err
+	}
+	g.stats.CoreRefreshes++
+	return true, nil
+}
+
+// start generates a guided starting solution: the core-restricted mirror of
+// mkp.RandomFeasible, so a guided farm keeps the start diversity cooperation
+// feeds on (restricted greedy alone would park every slave on the same
+// point). The items the fixing proves in are always packed, each free item
+// joins with probability 1/2, the assignment is repaired feasible, and a
+// greedy sweep over the core order fills the slack. Fixed-out items are
+// never touched. The kernel re-asserts the same invariants at Run start
+// (applyCore), so guided starts buy quality and diversity, not correctness.
+// Callers gate on active(): an inactive guide means the unguided generators
+// run instead, preserving bitwise equality with the unguided search.
+func (g *guide) start(r *rng.Rand, rcl int) mkp.Solution {
+	if g.core == nil {
+		// Optimality proven before any core was built; the run is about to
+		// stop and the start is never searched from.
+		return mkp.RandomizedGreedy(g.ins, r, rcl)
+	}
+	x := bitset.New(g.ins.N)
+	for j := 0; j < g.ins.N; j++ {
+		switch {
+		case g.core.In.Get(j):
+			x.Set(j)
+		case g.core.Out.Get(j):
+			// never enters, and draws no randomness
+		case r.Bool(0.5):
+			x.Set(j)
+		}
+	}
+	st := mkp.NewState(g.ins)
+	st.Load(x)
+	// Repair may drop a fixed-in item to restore feasibility; that is fine
+	// for a start — applyCore force-packs it again under the kernel's own
+	// locked repair.
+	mkp.Repair(st)
+	maxSlack := st.MaxSlack()
+	for _, j := range g.core.Order {
+		if g.ins.MinWeight[j] > maxSlack || st.X.Get(j) {
+			continue
+		}
+		if st.Fits(j) {
+			maxSlack = st.AddMax(j)
+		}
+	}
+	return st.Snapshot()
+}

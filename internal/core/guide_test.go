@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/mkp"
+)
+
+func TestSolveGuidedFeasibleAndAccounted(t *testing.T) {
+	ins := gen.GK("guide-run", 100, 10, 0.25, 21)
+	res, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 9, Rounds: 5, RoundMoves: 300, Guide: &GuideConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+		t.Fatal("guided best infeasible")
+	}
+	if got := mkp.ValueOf(ins, res.Best.X); got != res.Best.Value {
+		t.Fatalf("value %v inconsistent with assignment %v", res.Best.Value, got)
+	}
+	st := res.Stats
+	if st.LPBound < res.Best.Value {
+		t.Fatalf("LP bound %v below integer best %v", st.LPBound, res.Best.Value)
+	}
+	if st.ProvenOptimal {
+		if st.CoreSize != 0 {
+			t.Fatalf("proven optimal but core size %d", st.CoreSize)
+		}
+	} else if st.CoreSize+st.CoreFixedIn+st.CoreFixedOut != ins.N {
+		t.Fatalf("core accounting %d+%d+%d != n %d",
+			st.CoreSize, st.CoreFixedIn, st.CoreFixedOut, ins.N)
+	}
+}
+
+func TestSolveGuidedDeterministic(t *testing.T) {
+	ins := gen.GK("guide-det", 80, 8, 0.25, 31)
+	opts := Options{P: 4, Seed: 5, Rounds: 4, RoundMoves: 250, Guide: &GuideConfig{Gap: 1}}
+	a, err := Solve(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Best.X.Equal(b.Best.X) || a.Best.Value != b.Best.Value {
+		t.Fatalf("guided runs diverged: %v vs %v", a.Best.Value, b.Best.Value)
+	}
+	if len(a.Stats.BestByRound) != len(b.Stats.BestByRound) {
+		t.Fatalf("trajectory lengths %d vs %d", len(a.Stats.BestByRound), len(b.Stats.BestByRound))
+	}
+	for i := range a.Stats.BestByRound {
+		if a.Stats.BestByRound[i] != b.Stats.BestByRound[i] {
+			t.Fatalf("trajectories diverge at round %d", i)
+		}
+	}
+	if a.Stats.CoreRefreshes != b.Stats.CoreRefreshes || a.Stats.CoreSize != b.Stats.CoreSize {
+		t.Fatalf("guide state diverged: refreshes %d/%d size %d/%d",
+			a.Stats.CoreRefreshes, b.Stats.CoreRefreshes, a.Stats.CoreSize, b.Stats.CoreSize)
+	}
+}
+
+// A guided run must never be cut off from the true optimum: the fixing only
+// excludes assignments that cannot beat the incumbent, and the incumbent is a
+// solution in hand.
+func TestSolveGuidedReachesOptimumSmall(t *testing.T) {
+	ins := testInstance(14, 3, 13)
+	opt, err := exact.Enumerate(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(ins, CTS2, Options{
+		P: 4, Seed: 1, Rounds: 6, RoundMoves: 500, Guide: &GuideConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value < opt.Value {
+		t.Fatalf("guided CTS2 %v below optimum %v", res.Best.Value, opt.Value)
+	}
+}
+
+// When every item fits, greedy packs everything, the LP bound equals the
+// greedy value, and the startup fixing proves the incumbent optimal: the run
+// must stop before dispatching a single round.
+func TestSolveGuidedProvenOptimalStopsEarly(t *testing.T) {
+	n, m := 20, 3
+	ins := testInstance(n, m, 17)
+	for i := 0; i < m; i++ {
+		total := 0.0
+		for j := 0; j < n; j++ {
+			total += ins.Weight[i][j]
+		}
+		ins.Capacity[i] = total + 1
+	}
+	res, err := Solve(ins, CTS2, Options{
+		P: 2, Seed: 3, Rounds: 10, RoundMoves: 100, Guide: &GuideConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.ProvenOptimal {
+		t.Fatal("all-fit instance not proven optimal at startup")
+	}
+	if res.Stats.Rounds != 0 {
+		t.Fatalf("proven-optimal run still executed %d rounds", res.Stats.Rounds)
+	}
+	want := mkp.Greedy(ins)
+	if res.Best.Value != want.Value {
+		t.Fatalf("best %v, want greedy incumbent %v", res.Best.Value, want.Value)
+	}
+}
+
+func TestSolveGuidedRejectsWorkers(t *testing.T) {
+	ins := testInstance(20, 3, 5)
+	_, err := Solve(ins, CTS2, Options{
+		Workers: []string{"127.0.0.1:1", "127.0.0.1:2"},
+		Guide:   &GuideConfig{},
+	})
+	if err == nil {
+		t.Fatal("Workers+Guide accepted")
+	}
+}
+
+// Guidance gauges are registered lazily: a guided run exposes them with the
+// guide's final state, an unguided run's registry never mentions them.
+func TestGuidedMetricsGauges(t *testing.T) {
+	ins := gen.GK("guide-mx", 60, 6, 0.25, 41)
+	reg := metrics.NewRegistry()
+	res, err := Solve(ins, CTS2, Options{
+		P: 2, Seed: 7, Rounds: 3, RoundMoves: 200, Guide: &GuideConfig{}, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Gauge("lp_bound"); got != res.Stats.LPBound {
+		t.Fatalf("lp_bound gauge %v, want %v", got, res.Stats.LPBound)
+	}
+	if got := s.Gauge("core_size"); got != float64(res.Stats.CoreSize) {
+		t.Fatalf("core_size gauge %v, want %d", got, res.Stats.CoreSize)
+	}
+	if got := s.Gauge("core_fixed_in"); got != float64(res.Stats.CoreFixedIn) {
+		t.Fatalf("core_fixed_in gauge %v, want %d", got, res.Stats.CoreFixedIn)
+	}
+	if got := s.Gauge("core_fixed_out"); got != float64(res.Stats.CoreFixedOut) {
+		t.Fatalf("core_fixed_out gauge %v, want %d", got, res.Stats.CoreFixedOut)
+	}
+
+	plain := metrics.NewRegistry()
+	if _, err := Solve(ins, CTS2, Options{
+		P: 2, Seed: 7, Rounds: 2, RoundMoves: 100, Metrics: plain,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"lp_bound", "core_size", "core_fixed_in", "core_fixed_out"} {
+		if _, ok := plain.Snapshot().Gauges[key]; ok {
+			t.Fatalf("unguided run registered guidance gauge %s", key)
+		}
+	}
+}

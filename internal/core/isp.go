@@ -54,8 +54,13 @@ func (t *tuner) isp(results []*tabu.Result) {
 			// "It will be substituted by a new randomly generated solution."
 			// A restricted-candidate greedy draw keeps the restart diverse
 			// without discarding a whole round climbing back from a weak
-			// random point.
-			next = mkp.RandomizedGreedy(t.ins, t.r, 4)
+			// random point. Guided runs restart inside the core so the fresh
+			// solution is not immediately torn apart by applyCore.
+			if t.guide != nil && t.guide.active() {
+				next = t.guide.start(t.r, 4)
+			} else {
+				next = mkp.RandomizedGreedy(t.ins, t.r, 4)
+			}
 			t.stats.RandomRestarts++
 			t.mx.restarts.Inc()
 			t.stagnation[i] = 0

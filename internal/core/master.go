@@ -68,6 +68,9 @@ func Solve(ins *mkp.Instance, algo Algorithm, opts Options) (*Result, error) {
 		if opts.P != len(opts.Workers) {
 			return nil, fmt.Errorf("core: P=%d but %d worker addresses given", opts.P, len(opts.Workers))
 		}
+		if opts.Guide != nil {
+			return nil, fmt.Errorf("core: Workers and Guide are mutually exclusive (a core is process-local guidance the wire codec does not ship)")
+		}
 	}
 
 	start := time.Now()
@@ -103,10 +106,11 @@ type master struct {
 	net  transport.Transport
 	*slaveTable
 
-	disp *dispatcher
-	coll *collector
-	tune *tuner
-	heal *healer // nil unless opts.Supervise is set
+	disp  *dispatcher
+	coll  *collector
+	tune  *tuner
+	heal  *healer // nil unless opts.Supervise is set
+	guide *guide  // nil unless opts.Guide is set
 
 	// deadlineDriven forces the deadline-driven collector even without faults
 	// or supervision: a remote worker's death only ever manifests as silence,
@@ -212,13 +216,33 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error)
 	m := newEngine(ins, algo, opts, net, r)
 	m.deadlineDriven = len(opts.Workers) > 0
 
+	// LP guidance is armed before the starts are drawn: the epoch-0 fixing
+	// thresholds against the deterministic greedy incumbent (no randomness,
+	// so the guide never shifts the RNG stream), and guided runs then draw
+	// their starting solutions inside the core.
+	var inc mkp.Solution
+	if opts.Guide != nil {
+		inc = mkp.Greedy(ins)
+		g, err := newGuide(ins, inc.Value, opts.Guide.Gap, &m.stats, opts.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		m.guide = g
+		m.disp.guide = g
+		m.tune.guide = g
+	}
+
 	// Initial strategies and starting solutions: "chosen randomly" for every
 	// variant (§5), so SEQ really is the paper's baseline of one random
 	// sequential search and the parallel variants win by breadth, exchange
 	// and tuning rather than by a seeded constructive start.
 	for i := 0; i < opts.P; i++ {
 		m.strategies[i] = tabu.RandomStrategy(ins.N, r)
-		m.starts[i] = mkp.RandomFeasible(ins, r)
+		if m.guide != nil && m.guide.active() {
+			m.starts[i] = m.guide.start(r, 4)
+		} else {
+			m.starts[i] = mkp.RandomFeasible(ins, r)
+		}
 		m.scores[i] = opts.InitialScore
 		m.modes[i] = opts.Base.Intensify
 		m.noises[i] = opts.Base.AddNoise
@@ -230,6 +254,14 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error)
 		if m.starts[i].Value > m.best.Value {
 			m.best = m.starts[i].Clone()
 		}
+	}
+	// The guided incumbent is a solution in hand: once the fixing actually
+	// bites (or proves optimality outright) the run must never report worse
+	// than the value it was derived against. While the epoch-0 fixing is
+	// trivial the incumbent stays the guide's private threshold, so an
+	// ineffective guide leaves the run bitwise identical to the unguided one.
+	if m.guide != nil && (m.guide.active() || m.guide.optimal) && inc.Value > m.best.Value {
+		m.best = inc.Clone()
 	}
 	m.mx.bestValue.Set(m.best.Value)
 
@@ -272,6 +304,11 @@ func (m *master) run() (*Result, error) {
 
 	results := make([]*tabu.Result, m.opts.P)
 	for round := m.stats.Rounds; round < m.opts.Rounds; round++ {
+		// A proven-optimal incumbent ends the run at the round boundary:
+		// every remaining move could only rediscover it.
+		if m.guide != nil && m.guide.optimal {
+			break
+		}
 		var roundBegan time.Time
 		if m.mx.roundDur != nil {
 			roundBegan = time.Now()
@@ -362,6 +399,25 @@ func (m *master) run() (*Result, error) {
 			proto.SolutionSize(m.ins.N), proto.StrategySize())
 		if m.opts.AdaptiveAlpha {
 			m.tune.adaptAlpha(m.best.Value > prevBest)
+		}
+		// Guidance refresh: an incumbent that improved past the fixing gap
+		// gives the reduced-cost rule new leverage, so the guide re-thresholds
+		// the cached relaxation and the next dispatch ships a tighter core.
+		if m.guide != nil && m.best.Value > prevBest {
+			refreshed, err := m.guide.maybeRefresh(m.best.Value)
+			if err != nil {
+				return nil, err
+			}
+			if refreshed && m.opts.Tracer != nil {
+				detail := fmt.Sprintf("epoch=%d size=%d in=%d out=%d",
+					m.stats.CoreRefreshes, m.stats.CoreSize, m.stats.CoreFixedIn, m.stats.CoreFixedOut)
+				if m.guide.optimal {
+					detail = "incumbent proven optimal"
+				}
+				m.opts.Tracer.Record(trace.Event{
+					Kind: trace.KindCoreRefresh, Actor: -1, Round: round, Value: m.best.Value, Detail: detail,
+				})
+			}
 		}
 		// Supervised runs keep a merged cooperative pool so a respawned slave
 		// can be warm-started with the farm's collective memory.

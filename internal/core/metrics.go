@@ -18,20 +18,20 @@ import (
 //     tabu_move_latency_seconds observe once per move (== tabu_moves_total),
 //     core_round_duration_seconds once per round (== core_rounds_total).
 type masterMetrics struct {
-	rounds       *metrics.Counter
-	dispatches   *metrics.Counter
-	results      *metrics.Counter
-	redispatches *metrics.Counter
-	slotFailures *metrics.Counter
-	deadSlaves   *metrics.Counter
+	rounds        *metrics.Counter
+	dispatches    *metrics.Counter
+	results       *metrics.Counter
+	redispatches  *metrics.Counter
+	slotFailures  *metrics.Counter
+	deadSlaves    *metrics.Counter
 	slaveRestarts *metrics.Counter
 	watchdogTrips *metrics.Counter
-	replacements *metrics.Counter
-	restarts     *metrics.Counter
-	resets       *metrics.Counter
-	bestValue    *metrics.Gauge
-	timeToBest   *metrics.Gauge
-	roundDur     *metrics.Histogram
+	replacements  *metrics.Counter
+	restarts      *metrics.Counter
+	resets        *metrics.Counter
+	bestValue     *metrics.Gauge
+	timeToBest    *metrics.Gauge
+	roundDur      *metrics.Histogram
 }
 
 // roundDurBuckets spans one rendezvous round: sub-millisecond smoke tests up
@@ -59,19 +59,19 @@ func newMasterMetrics(r *metrics.Registry) masterMetrics {
 	r.SetHelp("core_time_to_best_seconds", "Wall-clock time from run start to the latest global-best improvement.")
 	r.SetHelp("core_round_duration_seconds", "Wall-clock duration of one rendezvous round.")
 	return masterMetrics{
-		rounds:       r.Counter("core_rounds_total"),
-		dispatches:   r.Counter("core_dispatches_total"),
-		results:      r.Counter("core_results_total"),
-		redispatches: r.Counter("core_redispatches_total"),
-		slotFailures: r.Counter("core_slot_failures_total"),
-		deadSlaves:   r.Counter("core_dead_slaves_total"),
+		rounds:        r.Counter("core_rounds_total"),
+		dispatches:    r.Counter("core_dispatches_total"),
+		results:       r.Counter("core_results_total"),
+		redispatches:  r.Counter("core_redispatches_total"),
+		slotFailures:  r.Counter("core_slot_failures_total"),
+		deadSlaves:    r.Counter("core_dead_slaves_total"),
 		slaveRestarts: r.Counter("core_slave_restarts_total"),
 		watchdogTrips: r.Counter("core_watchdog_trips_total"),
-		replacements: r.Counter("core_isp_replacements_total"),
-		restarts:     r.Counter("core_isp_restarts_total"),
-		resets:       r.Counter("core_sgp_resets_total"),
-		bestValue:    r.Gauge("core_best_value"),
-		timeToBest:   r.Gauge("core_time_to_best_seconds"),
-		roundDur:     r.Histogram("core_round_duration_seconds", roundDurBuckets),
+		replacements:  r.Counter("core_isp_replacements_total"),
+		restarts:      r.Counter("core_isp_restarts_total"),
+		resets:        r.Counter("core_sgp_resets_total"),
+		bestValue:     r.Gauge("core_best_value"),
+		timeToBest:    r.Gauge("core_time_to_best_seconds"),
+		roundDur:      r.Histogram("core_round_duration_seconds", roundDurBuckets),
 	}
 }

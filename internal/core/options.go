@@ -146,6 +146,17 @@ type Options struct {
 	// not bitwise comparable to in-process runs; on a healthy fleet a fixed
 	// seed still reaches the identical final best value.
 	Workers []string
+	// Guide, when non-nil, arms LP-guided core search: the master solves the
+	// LP relaxation once at startup, fixes variables by reduced cost against
+	// the best known solution (internal/reduce), and ships every slave a
+	// tabu.Core restricting its scans to the free items. Whenever the global
+	// best improves past the fixing gap the master re-thresholds the cached
+	// relaxation and publishes a tighter core under the next epoch; when the
+	// fixing proves the incumbent optimal the run stops early with
+	// Stats.ProvenOptimal set. Guide is mutually exclusive with Workers: a
+	// Core is process-local guidance the wire codec does not serialize.
+	// A nil Guide reproduces the unguided search bit for bit.
+	Guide *GuideConfig
 	// Faults, when non-nil, installs a deterministic fault injector in the
 	// farm substrate (seeded per-link message drop/duplication, per-node
 	// crash-after-k-sends, per-node slowdown) AND arms the master's
@@ -218,6 +229,15 @@ type Options struct {
 	Resume *Checkpoint
 }
 
+// GuideConfig configures LP-guided core search (Options.Guide).
+type GuideConfig struct {
+	// Gap is the minimum improvement a strictly better solution must achieve
+	// over the incumbent the fixing is derived against — the reduce.Fix gap.
+	// Use 1 for integral profits (the generators all produce them); the zero
+	// value defaults to 1.
+	Gap float64
+}
+
 // withDefaults fills unset fields.
 func (o Options) withDefaults(n int) Options {
 	if o.P <= 0 {
@@ -262,30 +282,42 @@ func (o Options) withDefaults(n int) Options {
 		pol := o.Supervise.WithDefaults()
 		o.Supervise = &pol
 	}
+	if o.Guide != nil && o.Guide.Gap <= 0 {
+		g := *o.Guide // copy so the caller's struct is never mutated
+		g.Gap = 1
+		o.Guide = &g
+	}
 	return o
 }
 
 // Stats aggregates what a run did, for the experiment tables and ablations.
 type Stats struct {
-	Algorithm      Algorithm
-	P              int
-	Rounds         int       // rounds actually executed
-	TotalMoves     int64     // compound moves summed over all slaves
-	Messages       int64     // farm messages
-	BytesSent      int64     // farm bytes
-	Replacements   int       // ISP global-best substitutions
-	RandomRestarts int       // ISP random-solution substitutions
-	StrategyResets int       // SGP strategy regenerations
-	SlaveFailures  int       // rounds a slot ended without a usable result (timeout exhausted or slave error)
-	Redispatches   int       // start messages re-sent after a missed deadline
-	DroppedMessages int64    // farm messages swallowed by the fault injector
-	DeadSlaves     int       // slaves declared dead (the run degraded to P − DeadSlaves)
-	SlaveRestarts  int       // dead slaves respawned by the supervisor
-	WatchdogTrips  int       // slaves declared hung by the progress watchdog
-	LiveSlaves     int       // slaves alive when the run ended (== P unless degraded)
-	BestByRound    []float64 // global best after each round (the quality trajectory)
-	FinalAlpha     float64   // Alpha at the end of the run (moves only under AdaptiveAlpha)
-	Elapsed        time.Duration
+	Algorithm       Algorithm
+	P               int
+	Rounds          int       // rounds actually executed
+	TotalMoves      int64     // compound moves summed over all slaves
+	Messages        int64     // farm messages
+	BytesSent       int64     // farm bytes
+	Replacements    int       // ISP global-best substitutions
+	RandomRestarts  int       // ISP random-solution substitutions
+	StrategyResets  int       // SGP strategy regenerations
+	SlaveFailures   int       // rounds a slot ended without a usable result (timeout exhausted or slave error)
+	Redispatches    int       // start messages re-sent after a missed deadline
+	DroppedMessages int64     // farm messages swallowed by the fault injector
+	DeadSlaves      int       // slaves declared dead (the run degraded to P − DeadSlaves)
+	SlaveRestarts   int       // dead slaves respawned by the supervisor
+	WatchdogTrips   int       // slaves declared hung by the progress watchdog
+	LiveSlaves      int       // slaves alive when the run ended (== P unless degraded)
+	BestByRound     []float64 // global best after each round (the quality trajectory)
+	FinalAlpha      float64   // Alpha at the end of the run (moves only under AdaptiveAlpha)
+	// LP-guidance fields, populated only when Options.Guide is set.
+	LPBound       float64 // LP relaxation optimum the fixing derives from
+	CoreRefreshes int     // fixing re-thresholds after incumbent improvements
+	CoreSize      int     // free items in the final core
+	CoreFixedIn   int     // items the final fixing proved at 1
+	CoreFixedOut  int     // items the final fixing proved at 0
+	ProvenOptimal bool    // the fixing proved the final best optimal
+	Elapsed       time.Duration
 	// SimElapsed is the deterministic simulated execution time on the
 	// paper's hardware model (see Options.SimBudget).
 	SimElapsed time.Duration

@@ -21,6 +21,10 @@ type tuner struct {
 	best  *mkp.Solution
 
 	alpha float64 // current ISP threshold; fixed unless AdaptiveAlpha
+
+	// guide, when non-nil (guided runs), replaces ISP's random-restart
+	// generator with the core-restricted one.
+	guide *guide
 }
 
 // adaptAlpha implements §4.2's dynamic control of the ISP threshold: rounds

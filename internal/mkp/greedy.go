@@ -37,13 +37,15 @@ func rankByUtility(ins *Instance) []int {
 func Greedy(ins *Instance) Solution {
 	st := NewState(ins)
 	maxSlack := st.MaxSlack()
-	for _, j := range ins.utilRank {
+	for k, j := range ins.utilRank {
+		if ins.rankSufMin[k] > maxSlack {
+			break // no remaining candidate fits any constraint
+		}
 		if ins.MinWeight[j] > maxSlack {
 			continue // cannot fit in any constraint; skip the O(m) probe
 		}
 		if st.Fits(j) {
-			st.Add(j)
-			maxSlack = st.MaxSlack()
+			maxSlack = st.AddMax(j)
 		}
 	}
 	return st.Snapshot()
@@ -133,17 +135,22 @@ func Repair(st *State) {
 // FillGreedy packs any still-fitting items in decreasing pseudo-utility
 // order. It requires a feasible state and keeps it feasible. The MinWeight
 // quick reject skips the O(m) Fits probe for items that exceed even the
-// loosest constraint's remaining room.
+// loosest constraint's remaining room, and the suffix-min bound over the
+// utility order ends the scan outright once no remaining candidate can fit
+// (max slack only shrinks as items are packed, so the exit is
+// behavior-preserving).
 func FillGreedy(st *State) {
 	ins := st.Ins
 	maxSlack := st.MaxSlack()
-	for _, j := range ins.utilRank {
+	for k, j := range ins.utilRank {
+		if ins.rankSufMin[k] > maxSlack {
+			break
+		}
 		if ins.MinWeight[j] > maxSlack || st.X.Get(j) {
 			continue
 		}
 		if st.Fits(j) {
-			st.Add(j)
-			maxSlack = st.MaxSlack()
+			maxSlack = st.AddMax(j)
 		}
 	}
 }

@@ -13,6 +13,7 @@ package mkp
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 )
 
@@ -42,9 +43,22 @@ type Instance struct {
 	MinWeight  []float64 // min_i a_ij per item: quick-reject bound for Fits
 	HeaviestIn []int32   // argmax_i a_ij per item: the constraint most likely to reject j
 
-	utilRank []int // items by decreasing pseudo-utility (shared, read-only)
-	finalize sync.Once
+	// Blocked layout for the word-parallel Fits scan: PadM is M rounded up
+	// to a multiple of fitsBlock, and WeightColPad holds item j's column at
+	// [j*PadM:(j+1)*PadM] padded with zero weights (a zero weight can never
+	// exceed a slack pad of +Inf, so the unrolled k-wide compare needs no
+	// remainder loop).
+	PadM         int
+	WeightColPad []float64
+
+	utilRank   []int     // items by decreasing pseudo-utility (shared, read-only)
+	rankSufMin []float64 // suffix min of MinWeight along utilRank (scan early exit)
+	finalize   sync.Once
 }
+
+// fitsBlock is the unroll width of the word-parallel Fits scan; PadM is a
+// multiple of it so the compare loop has no scalar remainder.
+const fitsBlock = 4
 
 // Finalize builds the derived column-major layout and pruning bounds. It is
 // idempotent and safe for concurrent callers (the first caller builds, the
@@ -76,8 +90,37 @@ func (ins *Instance) Finalize() {
 		ins.WeightCol = col
 		ins.MinWeight = minW
 		ins.HeaviestIn = heaviest
+
+		pm := (m + fitsBlock - 1) &^ (fitsBlock - 1)
+		pad := make([]float64, n*pm) // pads stay 0: a zero weight never rejects
+		for j := 0; j < n; j++ {
+			copy(pad[j*pm:j*pm+m], col[j*m:(j+1)*m])
+		}
+		ins.PadM = pm
+		ins.WeightColPad = pad
+
 		ins.utilRank = rankByUtility(ins)
+		ins.rankSufMin = SuffixMinWeight(ins, ins.utilRank)
 	})
+}
+
+// SuffixMinWeight returns suf aligned with order, where suf[k] is the minimum
+// MinWeight over the tail order[k:]. A scan that walks order against a
+// non-increasing slack bound can stop at the first k with suf[k] > maxSlack:
+// every remaining candidate would fail the MinWeight quick reject anyway, so
+// the early exit is behavior-preserving. The instance must be finalized (or
+// being finalized, as in the Finalize call itself, which runs after MinWeight
+// is built).
+func SuffixMinWeight(ins *Instance, order []int) []float64 {
+	suf := make([]float64, len(order))
+	min := math.Inf(1)
+	for k := len(order) - 1; k >= 0; k-- {
+		if w := ins.MinWeight[order[k]]; w < min {
+			min = w
+		}
+		suf[k] = min
+	}
+	return suf
 }
 
 // ItemWeights returns item j's M coefficients as one contiguous slice of the

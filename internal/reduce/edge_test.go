@@ -1,0 +1,106 @@
+package reduce_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mkp"
+	"repro/internal/reduce"
+	"repro/internal/rng"
+)
+
+// A proven-optimal incumbent (incumbent + gap above the LP bound) must come
+// back as an all-fixed Fixing — no improving solution exists — and Apply must
+// report the instance as fully determined rather than erroring.
+func TestFixProvenOptimalAllFixed(t *testing.T) {
+	ins := gen.GK("edge-opt", 40, 5, 0.25, 9)
+	rx, err := reduce.Relax(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := rx.FixAgainst(rx.LPValue+5, 1) // incumbent above the bound
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix.Fixed0+fix.Fixed1 != ins.N {
+		t.Fatalf("proven-optimal fixing fixed %d+%d of %d variables, want all",
+			fix.Fixed0, fix.Fixed1, ins.N)
+	}
+	if fix.Remaining() != 0 || fix.ReductionRate() != 1 {
+		t.Fatalf("Remaining=%d ReductionRate=%v, want 0 and 1", fix.Remaining(), fix.ReductionRate())
+	}
+	if _, _, _, ok := reduce.Apply(ins, fix); ok {
+		t.Fatal("Apply on an all-fixed Fixing reported free variables")
+	}
+}
+
+// FixAgainst on a cached Relaxation must agree exactly with a fresh Fix pass
+// at the same incumbent: re-thresholding is the whole point of the cache.
+func TestFixAgainstMatchesFix(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 20; trial++ {
+		ins := gen.GK("edge-cache", 30+trial, 4, 0.25, uint64(100+trial))
+		rx, err := reduce.Relax(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incumbent := rx.LPValue * (0.80 + 0.15*r.Float64())
+		got, err := rx.FixAgainst(incumbent, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := reduce.Fix(ins, incumbent, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fixed0 != want.Fixed0 || got.Fixed1 != want.Fixed1 {
+			t.Fatalf("trial %d: cached fixing %d/%d, fresh %d/%d",
+				trial, got.Fixed0, got.Fixed1, want.Fixed0, want.Fixed1)
+		}
+		for j := 0; j < ins.N; j++ {
+			if got.At0[j] != want.At0[j] || got.At1[j] != want.At1[j] {
+				t.Fatalf("trial %d: flag mismatch at %d", trial, j)
+			}
+		}
+	}
+}
+
+// Apply must hand back a solver-ready reduced instance: the Finalize-derived
+// layout (WeightCol, MinWeight, padded blocked columns) present and
+// consistent with the reduced Weight matrix.
+func TestApplyPreservesFinalizeLayout(t *testing.T) {
+	ins := gen.GK("edge-layout", 60, 5, 0.25, 13)
+	greedy := mkp.Greedy(ins)
+	fix, err := reduce.Fix(ins, greedy.Value, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, mapping, _, ok := reduce.Apply(ins, fix)
+	if !ok {
+		t.Skip("instance fully determined by fixing; nothing to check")
+	}
+	if red.WeightCol == nil || red.MinWeight == nil || red.WeightColPad == nil || red.PadM == 0 {
+		t.Fatalf("reduced instance missing derived layout: col=%v min=%v pad=%v padM=%d",
+			red.WeightCol != nil, red.MinWeight != nil, red.WeightColPad != nil, red.PadM)
+	}
+	for k := 0; k < red.N; k++ {
+		for i := 0; i < red.M; i++ {
+			want := ins.Weight[i][mapping[k]]
+			if got := red.WeightCol[k*red.M+i]; got != want {
+				t.Fatalf("WeightCol[%d,%d] = %v, want %v", k, i, got, want)
+			}
+			if got := red.WeightColPad[k*red.PadM+i]; got != want {
+				t.Fatalf("WeightColPad[%d,%d] = %v, want %v", k, i, got, want)
+			}
+		}
+		min := red.Weight[0][k]
+		for i := 1; i < red.M; i++ {
+			if red.Weight[i][k] < min {
+				min = red.Weight[i][k]
+			}
+		}
+		if red.MinWeight[k] != min {
+			t.Fatalf("MinWeight[%d] = %v, want %v", k, red.MinWeight[k], min)
+		}
+	}
+}

@@ -49,50 +49,99 @@ func (f Fixing) ReductionRate() float64 {
 	return float64(f.Fixed0+f.Fixed1) / float64(len(f.At0))
 }
 
-// Fix runs one reduced-cost fixing pass against the given incumbent value.
-// gap is the minimum improvement a strictly better solution must achieve
-// (use 1 for integral profits, a small epsilon otherwise).
-func Fix(ins *mkp.Instance, incumbent, gap float64) (*Fixing, error) {
+// fixEps absorbs LP round-off in every fixing comparison.
+const fixEps = 1e-7
+
+// Relaxation caches one LP solve — optimum, primal point, and per-variable
+// reduced costs — so fixings can be re-thresholded against a sequence of
+// improving incumbents without re-solving the relaxation. The engine solves
+// the LP once at startup and calls FixAgainst on every core refresh.
+type Relaxation struct {
+	LPValue float64   // relaxation optimum z*
+	X       []float64 // primal solution, length n
+	Reduced []float64 // reduced costs d_j = c_j − y·A_j, length n
+}
+
+// Relax solves the LP relaxation of ins and derives the reduced costs.
+func Relax(ins *mkp.Instance) (*Relaxation, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
-	}
-	if gap <= 0 {
-		return nil, fmt.Errorf("reduce: gap %v must be positive", gap)
 	}
 	res, err := lp.Solve(ins.Profit, ins.Weight, ins.Capacity)
 	if err != nil {
 		return nil, fmt.Errorf("reduce: relaxation: %w", err)
 	}
-
-	fix := &Fixing{
-		At0:     make([]bool, ins.N),
-		At1:     make([]bool, ins.N),
+	rx := &Relaxation{
 		LPValue: res.Value,
+		X:       res.X,
+		Reduced: make([]float64, ins.N),
 	}
-	threshold := incumbent + gap
 	for j := 0; j < ins.N; j++ {
-		// Reduced cost of x_j: c_j − y·A_j.
 		d := ins.Profit[j]
 		for i := 0; i < ins.M; i++ {
 			d -= res.Duals[i] * ins.Weight[i][j]
 		}
-		const eps = 1e-7
+		rx.Reduced[j] = d
+	}
+	return rx, nil
+}
+
+// FixAgainst re-runs the fixing rule against a new incumbent using the
+// cached relaxation. When the incumbent plus gap exceeds the LP bound no
+// strictly better solution can exist — the incumbent is proven optimal — and
+// the pass returns an all-fixed Fixing (every flag vacuously holds over the
+// empty set of improving solutions; Apply reports the instance as fully
+// determined).
+func (rx *Relaxation) FixAgainst(incumbent, gap float64) (*Fixing, error) {
+	if gap <= 0 {
+		return nil, fmt.Errorf("reduce: gap %v must be positive", gap)
+	}
+	n := len(rx.X)
+	fix := &Fixing{
+		At0:     make([]bool, n),
+		At1:     make([]bool, n),
+		LPValue: rx.LPValue,
+	}
+	threshold := incumbent + gap
+	if threshold > rx.LPValue+fixEps {
+		// Proven optimal: every integer solution is bounded by z*, so none
+		// reaches the improvement threshold.
+		for j := range fix.At0 {
+			fix.At0[j] = true
+		}
+		fix.Fixed0 = n
+		return fix, nil
+	}
+	for j := 0; j < n; j++ {
+		d := rx.Reduced[j]
 		switch {
-		case res.X[j] <= eps && d < 0:
+		case rx.X[j] <= fixEps && d < 0:
 			// Nonbasic at 0: raising x_j to 1 changes the LP optimum by d.
-			if res.Value+d < threshold-eps {
+			if rx.LPValue+d < threshold-fixEps {
 				fix.At0[j] = true
 				fix.Fixed0++
 			}
-		case res.X[j] >= 1-eps && d > 0:
+		case rx.X[j] >= 1-fixEps && d > 0:
 			// Nonbasic at 1: lowering x_j to 0 costs d.
-			if res.Value-d < threshold-eps {
+			if rx.LPValue-d < threshold-fixEps {
 				fix.At1[j] = true
 				fix.Fixed1++
 			}
 		}
 	}
 	return fix, nil
+}
+
+// Fix runs one reduced-cost fixing pass against the given incumbent value.
+// gap is the minimum improvement a strictly better solution must achieve
+// (use 1 for integral profits, a small epsilon otherwise). It is
+// Relax + FixAgainst for callers that need a single pass.
+func Fix(ins *mkp.Instance, incumbent, gap float64) (*Fixing, error) {
+	rx, err := Relax(ins)
+	if err != nil {
+		return nil, err
+	}
+	return rx.FixAgainst(incumbent, gap)
 }
 
 // Apply builds the reduced instance containing only the free variables,
@@ -147,5 +196,9 @@ func Apply(ins *mkp.Instance, fix *Fixing) (reduced *mkp.Instance, mapping []int
 		}
 		r.Capacity[i] = cap
 	}
+	// Hand the reduced instance back solver-ready: the derived column-major
+	// layout (WeightCol, MinWeight, the padded blocked columns) is built
+	// here, not lazily on first evaluator use.
+	r.Finalize()
 	return r, free, lockedProfit, true
 }

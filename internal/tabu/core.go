@@ -1,0 +1,121 @@
+package tabu
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/mkp"
+)
+
+// Core is the restricted search space an LP-guided engine hands the kernel:
+// the outcome of a reduced-cost variable-fixing pass (Boussier et al.'s
+// resolution search, Xu/Li/Yin's "promising search space") translated into
+// what the scan loops need. Items fixed at 1 are force-packed at the start of
+// every round and never dropped by the move; items fixed at 0 never enter;
+// the add/drop/swap scans walk Order — the free items in decreasing
+// pseudo-utility — instead of all n items.
+//
+// A Core is immutable once built and safe to share across searchers. The
+// engine publishes refreshed cores (tighter fixings after the incumbent
+// improves past the fixing gap) under increasing Epoch numbers; a Searcher
+// adopts the core whose pointer it is handed on each Run, so a round always
+// executes under exactly one epoch.
+//
+// Core is process-local guidance: the wire codec does not serialize it, and
+// remote kernels run unguided.
+type Core struct {
+	// Order lists the free (unfixed) items in decreasing pseudo-utility —
+	// the restricted counterpart of the full utility ranking.
+	Order []int
+	// In and Out flag the items fixed at 1 and at 0 respectively.
+	In, Out *bitset.Set
+	// Keep caches In as indices, ready to pass to repair as the locked set.
+	Keep []int
+
+	// LPBound is the LP relaxation optimum the fixing was derived from,
+	// Incumbent the solution value it was fixed against, and Gap the minimum
+	// improvement a strictly better solution must achieve. A refresh is
+	// worthwhile once the engine's best exceeds Incumbent by at least Gap.
+	LPBound   float64
+	Incumbent float64
+	Gap       float64
+
+	// Epoch numbers the refresh generation, starting at 0.
+	Epoch int
+}
+
+// NewCore builds a Core for ins from per-item fixing flags (at0[j] true means
+// x_j is fixed to 0, at1[j] to 1). Flags may be nil, meaning nothing is fixed
+// on that side.
+func NewCore(ins *mkp.Instance, at0, at1 []bool, lpBound, incumbent, gap float64, epoch int) (*Core, error) {
+	if at0 != nil && len(at0) != ins.N {
+		return nil, fmt.Errorf("tabu: core at0 has %d flags, want %d", len(at0), ins.N)
+	}
+	if at1 != nil && len(at1) != ins.N {
+		return nil, fmt.Errorf("tabu: core at1 has %d flags, want %d", len(at1), ins.N)
+	}
+	c := &Core{
+		In:        bitset.New(ins.N),
+		Out:       bitset.New(ins.N),
+		LPBound:   lpBound,
+		Incumbent: incumbent,
+		Gap:       gap,
+		Epoch:     epoch,
+	}
+	for j := 0; j < ins.N; j++ {
+		f0 := at0 != nil && at0[j]
+		f1 := at1 != nil && at1[j]
+		if f0 && f1 {
+			return nil, fmt.Errorf("tabu: item %d fixed both at 0 and at 1", j)
+		}
+		if f0 {
+			c.Out.Set(j)
+		}
+		if f1 {
+			c.In.Set(j)
+			c.Keep = append(c.Keep, j)
+		}
+	}
+	for _, j := range mkp.RankByUtility(ins) {
+		if !c.In.Get(j) && !c.Out.Get(j) {
+			c.Order = append(c.Order, j)
+		}
+	}
+	return c, nil
+}
+
+// Size returns the number of free items the scans walk.
+func (c *Core) Size() int { return len(c.Order) }
+
+// FixedIn and FixedOut return the counts of items fixed at 1 and 0.
+func (c *Core) FixedIn() int  { return len(c.Keep) }
+func (c *Core) FixedOut() int { return c.Out.Count() }
+
+// Free reports whether item j is neither fixed in nor out.
+func (c *Core) Free(j int) bool { return !c.In.Get(j) && !c.Out.Get(j) }
+
+// Validate checks the core against an instance size.
+func (c *Core) Validate(n int) error {
+	if c.In == nil || c.Out == nil {
+		return fmt.Errorf("tabu: core missing fixing bitsets")
+	}
+	if c.In.Len() != n || c.Out.Len() != n {
+		return fmt.Errorf("tabu: core fixing sets sized %d/%d, want %d", c.In.Len(), c.Out.Len(), n)
+	}
+	if len(c.Order)+c.FixedIn()+c.FixedOut() != n {
+		return fmt.Errorf("tabu: core order %d + fixed %d+%d != n %d",
+			len(c.Order), c.FixedIn(), c.FixedOut(), n)
+	}
+	for _, j := range c.Order {
+		if j < 0 || j >= n {
+			return fmt.Errorf("tabu: core order contains out-of-range item %d", j)
+		}
+		if !c.Free(j) {
+			return fmt.Errorf("tabu: core order contains fixed item %d", j)
+		}
+	}
+	if c.Gap < 0 {
+		return fmt.Errorf("tabu: core gap %v < 0", c.Gap)
+	}
+	return nil
+}

@@ -33,11 +33,15 @@ type Searcher struct {
 	r   *rng.Rand
 
 	st       *mkp.State
-	rank     []int   // items by decreasing pseudo-utility (static)
-	history  []int64 // history[j] = moves during which x_j was 1
-	tabuAdd  []int64 // move count until which j may not be re-added
-	tabuDrop []int64 // move count until which j may not be dropped
-	moves    int64   // lifetime move counter
+	rank     []int     // items by decreasing pseudo-utility (static)
+	sufMin   []float64 // suffix min of MinWeight along rank (scan early exit)
+	core     *Core     // adopted LP core; nil = unrestricted
+	order    []int     // scan order: core.Order under guidance, rank otherwise
+	orderSuf []float64 // suffix min of MinWeight along order
+	history  []int64   // history[j] = moves during which x_j was 1
+	tabuAdd  []int64   // move count until which j may not be re-added
+	tabuDrop []int64   // move count until which j may not be dropped
+	moves    int64     // lifetime move counter
 
 	// Alternative tabu-list managers (§4.1 baselines), created lazily when a
 	// Run requests the corresponding policy.
@@ -58,11 +62,16 @@ func NewSearcher(ins *mkp.Instance, seed uint64) (*Searcher, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
 	}
+	rank := mkp.RankByUtility(ins)
+	sufMin := mkp.SuffixMinWeight(ins, rank)
 	return &Searcher{
 		ins:      ins,
 		r:        rng.New(seed),
 		st:       mkp.NewState(ins),
-		rank:     mkp.RankByUtility(ins),
+		rank:     rank,
+		sufMin:   sufMin,
+		order:    rank,
+		orderSuf: sufMin,
 		history:  make([]int64, ins.N),
 		tabuAdd:  make([]int64, ins.N),
 		tabuDrop: make([]int64, ins.N),
@@ -131,7 +140,7 @@ func (s *Searcher) WarmStart(pool []mkp.Solution, moves int64) {
 // first. Run returns after exactly `budget` compound moves (or earlier only
 // on parameter error).
 func (s *Searcher) Run(start mkp.Solution, p Params, budget int64) (*Result, error) {
-	if err := p.Validate(); err != nil {
+	if err := p.validateFor(s.ins.N); err != nil {
 		return nil, err
 	}
 	if budget <= 0 {
@@ -160,11 +169,14 @@ func (s *Searcher) Run(start mkp.Solution, p Params, budget int64) (*Result, err
 		s.rem.reset()
 	}
 
+	s.adoptCore(p.Core)
 	s.st.Load(start.X)
-	if !s.st.Feasible() {
+	if s.core != nil {
+		s.applyCore()
+	} else if !s.st.Feasible() {
 		mkp.Repair(s.st)
 	}
-	mkp.FillGreedy(s.st)
+	s.fill()
 	startValue := s.st.Value
 
 	best := s.st.Snapshot()
@@ -301,15 +313,21 @@ func (s *Searcher) move(p Params, bestValue float64) {
 	// pass, so ties on pseudo-utility break differently across slaves and
 	// rounds. The MinWeight/MaxSlack quick reject prunes candidates that
 	// cannot fit under any constraint with one compare instead of an O(m)
-	// Fits probe; it only replaces Fits=false outcomes, so the RNG stream
-	// and the resulting trajectory are unchanged.
+	// Fits probe, and the suffix-min bound over the rank ends the scan once
+	// no remaining candidate can pass that reject (max slack only shrinks as
+	// items land). Both only replace Fits=false outcomes — no RNG is drawn
+	// for a rejected candidate — so the RNG stream and the resulting
+	// trajectory are unchanged.
 	minW := s.ins.MinWeight
 	inserted := 0
 	for {
 		added := false
 		maxSlack := s.st.MaxSlack()
-		for _, j := range s.rank {
+		for k, j := range s.order {
 			if p.CandWidth > 0 && inserted >= p.CandWidth {
+				break
+			}
+			if s.orderSuf[k] > maxSlack {
 				break
 			}
 			scanned++
@@ -330,9 +348,8 @@ func (s *Searcher) move(p Params, bestValue float64) {
 				}
 				aspirations++
 			}
-			s.st.Add(j)
+			maxSlack = s.st.AddMax(j)
 			inserted++
-			maxSlack = s.st.MaxSlack()
 			if useREM {
 				s.flipBuf = append(s.flipBuf, j)
 			} else {
@@ -384,6 +401,9 @@ func (s *Searcher) pickDrop(i int, useREM bool, noise float64) int {
 	var bestScore, secondScore, bestTabuScore float64
 	row := s.ins.Weight[i]
 	for j := s.st.X.NextSet(0); j >= 0; j = s.st.X.NextSet(j + 1) {
+		if s.core != nil && s.core.In.Get(j) {
+			continue // proven in every improving solution; never drop
+		}
 		score := row[j] / s.ins.Profit[j]
 		blocked := s.tabuDrop[j] > s.moves
 		if useREM && !blocked {
@@ -448,11 +468,17 @@ func (s *Searcher) intensifySwap(local mkp.Solution, best *mkp.Solution, pool *P
 		packed := s.st.X.Indices(s.idxBuf[:0])
 		minW := s.ins.MinWeight
 		for _, i := range packed {
+			if s.core != nil && !s.core.Free(i) {
+				continue // fixed-in items are not swap candidates
+			}
 			ci := s.ins.Profit[i]
 			s.st.Drop(i)
 			maxSlack := s.st.MaxSlack()
 			swapped := false
-			for _, j := range s.rank {
+			for k, j := range s.order {
+				if s.orderSuf[k] > maxSlack {
+					break // nothing below can fit any constraint
+				}
 				if minW[j] > maxSlack || s.st.X.Get(j) || s.ins.Profit[j] <= ci {
 					continue
 				}
@@ -469,7 +495,7 @@ func (s *Searcher) intensifySwap(local mkp.Solution, best *mkp.Solution, pool *P
 		s.idxBuf = packed[:0]
 	}
 	s.refillSweep()
-	mkp.FillGreedy(s.st)
+	s.fill()
 	s.adopt(best, pool)
 }
 
@@ -486,16 +512,21 @@ func (s *Searcher) refillSweep() {
 		if !s.st.X.Get(i) {
 			continue // removed by an earlier exchange in this sweep
 		}
+		if s.core != nil && !s.core.Free(i) {
+			continue // fixed-in items stay packed
+		}
 		before := s.st.Value
 		s.st.Drop(i)
 		maxSlack := s.st.MaxSlack()
 		added = added[:0]
-		for _, j := range s.rank {
+		for k, j := range s.order {
+			if s.orderSuf[k] > maxSlack {
+				break // nothing below can fit any constraint
+			}
 			if minW[j] > maxSlack || j == i || s.st.X.Get(j) || !s.st.Fits(j) {
 				continue
 			}
-			s.st.Add(j)
-			maxSlack = s.st.MaxSlack()
+			maxSlack = s.st.AddMax(j)
 			added = append(added, j)
 		}
 		if s.st.Value > before {
@@ -515,7 +546,7 @@ func (s *Searcher) refillSweep() {
 func (s *Searcher) intensifyOscillation(p Params, best *mkp.Solution, pool *Pool) {
 	for d := 0; d < p.OscDepth; d++ {
 		picked := -1
-		for _, j := range s.rank {
+		for _, j := range s.order {
 			if !s.st.X.Get(j) {
 				picked = j
 				break
@@ -526,8 +557,12 @@ func (s *Searcher) intensifyOscillation(p Params, best *mkp.Solution, pool *Pool
 		}
 		s.st.Add(picked)
 	}
-	mkp.Repair(s.st)
-	mkp.FillGreedy(s.st)
+	if s.core != nil {
+		s.repairKeeping(s.core.Keep)
+	} else {
+		mkp.Repair(s.st)
+	}
+	s.fill()
 	s.adopt(best, pool)
 }
 
@@ -543,6 +578,9 @@ func (s *Searcher) diversify(p Params, best *mkp.Solution, pool *Pool) {
 	lock := s.moves + int64(p.DiverLock)
 	var forced []int
 	for j := 0; j < s.ins.N; j++ {
+		if s.core != nil && !s.core.Free(j) {
+			continue // fixed items are not diversification material
+		}
 		freq := float64(s.history[j]) / total
 		switch {
 		case freq > p.HighFreq && s.st.X.Get(j):
@@ -555,7 +593,7 @@ func (s *Searcher) diversify(p Params, best *mkp.Solution, pool *Pool) {
 		}
 	}
 	s.repairKeeping(forced)
-	mkp.FillGreedy(s.st)
+	s.fill()
 	s.adopt(best, pool)
 	s.km.diversifications.Inc()
 	if p.Tracer != nil {
@@ -577,6 +615,11 @@ func (s *Searcher) repairKeeping(keep []int) {
 	locked := make(map[int]bool, len(keep))
 	for _, j := range keep {
 		locked[j] = true
+	}
+	if s.core != nil {
+		for _, j := range s.core.Keep {
+			locked[j] = true
+		}
 	}
 	packed := s.st.X.Indices(nil)
 	sort.SliceStable(packed, func(a, b int) bool {
@@ -622,4 +665,61 @@ func Search(ins *mkp.Instance, p Params, budget int64, seed uint64) (*Result, er
 		return nil, err
 	}
 	return s.Run(mkp.Greedy(ins), p, budget)
+}
+
+// adoptCore installs the round's core (or clears it). The scan order and its
+// suffix-min bound are recomputed only when the core pointer actually
+// changes, so repeated rounds under one epoch pay a pointer compare.
+func (s *Searcher) adoptCore(c *Core) {
+	if c == s.core {
+		return
+	}
+	s.core = c
+	if c == nil {
+		s.order, s.orderSuf = s.rank, s.sufMin
+		return
+	}
+	s.order = c.Order
+	s.orderSuf = mkp.SuffixMinWeight(s.ins, c.Order)
+}
+
+// applyCore projects the freshly loaded start onto the core: items fixed at
+// 0 leave, items fixed at 1 enter (possibly crossing the feasibility
+// boundary), then feasibility is restored while keeping the fixed-in items
+// packed whenever possible.
+func (s *Searcher) applyCore() {
+	for j := s.core.Out.NextSet(0); j >= 0; j = s.core.Out.NextSet(j + 1) {
+		if s.st.X.Get(j) {
+			s.st.Drop(j)
+		}
+	}
+	for j := s.core.In.NextSet(0); j >= 0; j = s.core.In.NextSet(j + 1) {
+		if !s.st.X.Get(j) {
+			s.st.Add(j)
+		}
+	}
+	if !s.st.Feasible() {
+		s.repairKeeping(s.core.Keep)
+	}
+}
+
+// fill packs any still-fitting items of the scan order in decreasing
+// pseudo-utility — mkp.FillGreedy restricted to s.order. With a nil core the
+// order is the full utility ranking and the walk is identical to
+// mkp.FillGreedy's, so unguided rounds are unchanged bit for bit.
+func (s *Searcher) fill() {
+	st := s.st
+	minW := s.ins.MinWeight
+	maxSlack := st.MaxSlack()
+	for k, j := range s.order {
+		if s.orderSuf[k] > maxSlack {
+			break
+		}
+		if minW[j] > maxSlack || st.X.Get(j) {
+			continue
+		}
+		if st.Fits(j) {
+			maxSlack = st.AddMax(j)
+		}
+	}
 }

@@ -172,6 +172,14 @@ type Params struct {
 	// identical — instrumentation never draws randomness.
 	Metrics *metrics.Registry
 
+	// Core, when non-nil, restricts the search to an LP-guided core: items
+	// the relaxation proves in are force-packed and never dropped, items
+	// proven out never enter, and every scan walks Core.Order instead of the
+	// full utility ranking. Like Tracer and Metrics it is process-local —
+	// the wire codec drops it, so remote kernels run unguided. A nil Core
+	// reproduces the unguided search bit for bit.
+	Core *Core
+
 	// Heartbeat, when non-nil, receives the searcher's lifetime move count
 	// once at the start of Run and then every 256 executed moves — the
 	// progress watermark the parallel layer's hung-slave watchdog reads to
@@ -247,6 +255,19 @@ func (p Params) Validate() error {
 	}
 	if p.DiverLock < 0 {
 		return fmt.Errorf("tabu: DiverLock %d < 0", p.DiverLock)
+	}
+	return nil
+}
+
+// validateFor extends Validate with checks that need the instance size.
+func (p Params) validateFor(n int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Core != nil {
+		if err := p.Core.Validate(n); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -48,6 +48,9 @@ const (
 	// KindSlaveRestart: the supervisor respawned a dead slave, warm-started
 	// from the cooperative pool.
 	KindSlaveRestart
+	// KindCoreRefresh: the LP guide re-thresholded the reduced-cost fixing
+	// against an improved incumbent and published a tighter core.
+	KindCoreRefresh
 )
 
 var kindNames = [...]string{
@@ -64,6 +67,7 @@ var kindNames = [...]string{
 	KindSlaveDead:     "slave-dead",
 	KindWatchdogTrip:  "watchdog-trip",
 	KindSlaveRestart:  "slave-restart",
+	KindCoreRefresh:   "core-refresh",
 }
 
 func (k Kind) String() string {

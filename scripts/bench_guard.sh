@@ -1,0 +1,19 @@
+#!/bin/sh
+# CI guard for the kernel hot path: re-run the kernel microbenchmark suite on
+# the committed baseline's own instance spec and fail if any optimized op
+# regresses more than the tolerance against BENCH_kernel.json. Naive reference
+# measurements are exempt (they exist to compute speedups, not to be
+# defended). Benchmark machines are noisy, so the default tolerance is
+# generous; an op that trips it has genuinely lost ground.
+# Usage: scripts/bench_guard.sh [baseline.json] [tolerance]
+set -eu
+
+BASELINE=${1:-BENCH_kernel.json}
+TOL=${2:-0.15}
+
+if [ ! -f "$BASELINE" ]; then
+    echo "bench guard: no baseline at $BASELINE; run 'make kernel' to create one" >&2
+    exit 1
+fi
+
+go run ./cmd/mkpbench -checkkernel "$BASELINE" -kerneltol "$TOL"
