@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench kernel solverbench bench-guard chaos metrics metrics-smoke crash-resume transport worker-smoke
+.PHONY: build vet test race check bench kernel solverbench bench-guard chaos metrics metrics-smoke crash-resume transport worker-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -88,3 +88,15 @@ crash-resume:
 	$(GO) build -o ./mkpverify.smoke ./cmd/mkpverify
 	./scripts/crash_resume.sh ./mkpsolve.smoke ./mkpgen.smoke ./mkpverify.smoke
 	rm -f ./mkpsolve.smoke ./mkpgen.smoke ./mkpverify.smoke
+
+# serve-smoke drives the job-server harness: an mkpserve over a real
+# mkpworker fleet takes 12 concurrent jobs under a p99 submit-to-first-result
+# bound, then 8 durable jobs are kill -9'd mid-run with the server, resumed
+# by a restart over the same data directory, and verified with mkpverify.
+serve-smoke:
+	$(GO) build -o ./mkpserve.smoke ./cmd/mkpserve
+	$(GO) build -o ./mkpworker.smoke ./cmd/mkpworker
+	$(GO) build -o ./mkpgen.smoke ./cmd/mkpgen
+	$(GO) build -o ./mkpverify.smoke ./cmd/mkpverify
+	./scripts/serve_load.sh ./mkpserve.smoke ./mkpworker.smoke ./mkpgen.smoke ./mkpverify.smoke
+	rm -f ./mkpserve.smoke ./mkpworker.smoke ./mkpgen.smoke ./mkpverify.smoke

@@ -1,0 +1,94 @@
+// Command mkpserve runs the solver as a service: an HTTP/JSON job API that
+// admits MKP instances, queues them, and multiplexes many concurrent solve
+// jobs over one shared slave pool — in-process slots, or a fleet of
+// mkpworker processes.
+//
+//	mkpserve -listen :8080 -dir /var/lib/mkp                 # in-process slaves
+//	mkpserve -listen :8080 -dir /var/lib/mkp -workers h1:9001,h2:9001
+//
+//	curl -d '{"gen":{"n":100,"m":5},"p":2,"rounds":10}' localhost:8080/jobs
+//	curl localhost:8080/jobs/j0001            # status
+//	curl localhost:8080/jobs/j0001/events     # NDJSON progress stream
+//	curl localhost:8080/jobs/j0001/solution   # verify with mkpverify
+//
+// With -dir set every admitted job survives a crash: specs persist at
+// submit, every round checkpoints durably, and a restarted server resumes
+// all unfinished jobs from their newest checkpoints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen   = flag.String("listen", ":8080", "HTTP listen address for the job API")
+		dir      = flag.String("dir", "", "data directory: job specs, checkpoints, results (empty = in-memory only, no crash recovery)")
+		workers  = flag.String("workers", "", "comma-separated mkpworker addresses; jobs lease disjoint subsets of the fleet (empty = in-process slaves)")
+		slots    = flag.Int("slots", 0, "in-process slave budget shared by all jobs (default GOMAXPROCS; ignored with -workers)")
+		maxP     = flag.Int("maxp", 0, "per-job worker budget cap (default: pool capacity)")
+		maxQueue = flag.Int("maxqueue", 64, "admission control: max unfinished jobs before submissions get 503")
+		dialTO   = flag.Duration("dialtimeout", 5*time.Second, "per-worker connect budget in fleet mode")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Dir:         *dir,
+		Slots:       *slots,
+		MaxP:        *maxP,
+		MaxQueue:    *maxQueue,
+		DialTimeout: *dialTO,
+	}
+	for _, a := range strings.Split(*workers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			cfg.Workers = append(cfg.Workers, a)
+		}
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mkpserve:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+
+	// Graceful shutdown: running jobs finish their round in progress (their
+	// checkpoints are already durable) and the next incarnation resumes them.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "mkpserve: %v: draining (running jobs checkpoint and resume on restart)\n", sig)
+		_ = httpSrv.Close()
+	}()
+
+	mode := fmt.Sprintf("%d in-process slots", srv.Capacity())
+	if len(cfg.Workers) > 0 {
+		mode = fmt.Sprintf("fleet of %d workers", len(cfg.Workers))
+	}
+	fmt.Fprintf(os.Stderr, "mkpserve: serving on %s (%s, dir %q)\n", *listen, mode, *dir)
+	err = httpSrv.ListenAndServe()
+	closeErr := srv.Close()
+	if err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "mkpserve:", err)
+		return 1
+	}
+	if closeErr != nil {
+		fmt.Fprintln(os.Stderr, "mkpserve:", closeErr)
+		return 1
+	}
+	return 0
+}

@@ -34,10 +34,18 @@ import (
 )
 
 // magic identifies a store-written generation file; the trailing byte is the
-// container format version (bump it for incompatible header changes).
-var magic = [8]byte{'M', 'K', 'P', 'C', 'K', 'P', 'T', 1}
+// container format version. Version 1 files carry no job namespace; version 2
+// files append the owning job ID to the header so a store can reject a
+// generation that belongs to a different job even when the file name lies.
+var (
+	magic   = [8]byte{'M', 'K', 'P', 'C', 'K', 'P', 'T', 1}
+	magicV2 = [8]byte{'M', 'K', 'P', 'C', 'K', 'P', 'T', 2}
+)
 
 // headerSize is magic + payload length (uint64 LE) + CRC32-C (uint32 LE).
+// Version-2 files follow it with a uint16 LE job-ID length and the job ID
+// bytes; the CRC then covers job ID + payload, so a renamed or relabeled
+// generation cannot verify.
 const headerSize = 8 + 8 + 4
 
 // castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
@@ -46,11 +54,20 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // ErrNoCheckpoint is returned by Load when no generation exists at all.
 var ErrNoCheckpoint = errors.New("ckptstore: no checkpoint generations found")
 
+// ErrJobMismatch is returned (wrapped) when a generation in the store's
+// namespace belongs to a different job. Such files are healthy data owned by
+// someone else: they are skipped, never quarantined.
+var ErrJobMismatch = errors.New("ckptstore: generation belongs to a different job")
+
+// maxJobLen bounds the job ID so the uint16 header length always fits.
+const maxJobLen = 128
+
 // Store manages the generations rooted at one base path. It is safe for
 // concurrent use, though the solver writes from a single goroutine.
 type Store struct {
 	mu   sync.Mutex
 	base string
+	job  string // optional namespace; "" is the single-run store
 	keep int
 	seq  uint64 // newest generation written or discovered
 
@@ -71,6 +88,31 @@ func WithKeep(k int) Option {
 			s.keep = k
 		}
 	}
+}
+
+// WithJob namespaces the store under a job ID: generations become
+// `<base>.<job>.<seq>` and every generation file embeds the job ID in its
+// checksummed header, so two jobs sharing one base path can never collide,
+// quarantine, or resume each other's state. The ID must be non-empty,
+// [A-Za-z0-9_-] only (dots would make the sequence suffix ambiguous), and at
+// most 128 bytes; Open rejects anything else.
+func WithJob(id string) Option {
+	return func(s *Store) { s.job = id }
+}
+
+// ValidJobID reports whether id is usable with WithJob.
+func ValidJobID(id string) bool {
+	if id == "" || len(id) > maxJobLen {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // WithMetrics registers the store's telemetry in reg: the
@@ -104,6 +146,9 @@ func Open(base string, opts ...Option) (*Store, error) {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.job != "" && !ValidJobID(s.job) {
+		return nil, fmt.Errorf("ckptstore: invalid job ID %q (want 1-%d chars of [A-Za-z0-9_-])", s.job, maxJobLen)
+	}
 	if _, err := os.Stat(filepath.Dir(base)); err != nil {
 		return nil, fmt.Errorf("ckptstore: base directory: %w", err)
 	}
@@ -118,17 +163,26 @@ func Open(base string, opts ...Option) (*Store, error) {
 	return s, nil
 }
 
-// genPath returns the file path of generation seq.
+// genPath returns the file path of generation seq, inside the job namespace
+// when one is set.
 func (s *Store) genPath(seq uint64) string {
+	if s.job != "" {
+		return s.base + "." + s.job + "." + strconv.FormatUint(seq, 10)
+	}
 	return s.base + "." + strconv.FormatUint(seq, 10)
 }
 
 // generations lists the on-disk generation numbers in ascending order.
-// Quarantined (.corrupt) and temp files are excluded.
+// Quarantined (.corrupt), temp, and foreign-namespace files are excluded: a
+// jobless store's `<base>.<seq>` parse rejects `<base>.<job>.<seq>` names,
+// and a job store only matches its own `<base>.<job>.` prefix.
 func (s *Store) generations() ([]uint64, error) {
 	dir, prefix := filepath.Split(s.base)
 	if dir == "" {
 		dir = "."
+	}
+	if s.job != "" {
+		prefix += "." + s.job
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -172,11 +226,8 @@ func (s *Store) Save(payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("ckptstore: %w", err)
 	}
-	var hdr [headerSize]byte
-	copy(hdr[:8], magic[:])
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(payload, castagnoli))
-	if _, err = f.Write(hdr[:]); err == nil {
+	hdr := s.header(payload)
+	if _, err = f.Write(hdr); err == nil {
 		_, err = f.Write(payload)
 	}
 	if err == nil {
@@ -199,6 +250,28 @@ func (s *Store) Save(payload []byte) error {
 	s.bytes.Add(int64(len(payload)))
 	s.prune()
 	return nil
+}
+
+// header renders the generation header for a payload: the fixed version-1
+// header for a jobless store, or the version-2 header whose CRC covers the
+// job ID and the payload for a namespaced one.
+func (s *Store) header(payload []byte) []byte {
+	if s.job == "" {
+		hdr := make([]byte, headerSize)
+		copy(hdr[:8], magic[:])
+		binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(payload, castagnoli))
+		return hdr
+	}
+	hdr := make([]byte, headerSize+2+len(s.job))
+	copy(hdr[:8], magicV2[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	crc := crc32.Checksum([]byte(s.job), castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc)
+	binary.LittleEndian.PutUint16(hdr[20:22], uint16(len(s.job)))
+	copy(hdr[22:], s.job)
+	return hdr
 }
 
 // prune deletes generations beyond the retention window (best effort; a
@@ -247,7 +320,7 @@ func (s *Store) Load() ([]byte, uint64, error) {
 	var firstErr error
 	for i := len(gens) - 1; i >= 0; i-- {
 		path := s.genPath(gens[i])
-		payload, err := readVerify(path)
+		payload, err := readVerify(path, s.job)
 		if err == nil {
 			s.gens.Set(float64(i + 1))
 			return payload, gens[i], nil
@@ -255,15 +328,22 @@ func (s *Store) Load() ([]byte, uint64, error) {
 		if firstErr == nil {
 			firstErr = err
 		}
+		if errors.Is(err, ErrJobMismatch) {
+			// Another job's healthy generation wearing our name: skip it but
+			// never quarantine — renaming it would destroy state that job can
+			// still resume from.
+			continue
+		}
 		// Quarantine and fall back to the previous generation.
 		s.corrupt.Inc()
 		_ = os.Rename(path, path+".corrupt")
 	}
-	return nil, 0, fmt.Errorf("ckptstore: every generation at %s is corrupt (newest: %w)", s.base, firstErr)
+	return nil, 0, fmt.Errorf("ckptstore: every generation at %s is corrupt or foreign (newest: %w)", s.base, firstErr)
 }
 
-// readVerify reads one generation file and verifies header and checksum.
-func readVerify(path string) ([]byte, error) {
+// readVerify reads one generation file and verifies header, namespace and
+// checksum against the job the store owns.
+func readVerify(path, job string) ([]byte, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("ckptstore: %w", err)
@@ -271,15 +351,34 @@ func readVerify(path string) ([]byte, error) {
 	if len(data) < headerSize {
 		return nil, fmt.Errorf("ckptstore: %s: %d bytes, shorter than the %d-byte header (truncated write)", path, len(data), headerSize)
 	}
-	if [8]byte(data[:8]) != magic {
+	var fileJob string
+	payloadStart := headerSize
+	switch [8]byte(data[:8]) {
+	case magic:
+	case magicV2:
+		if len(data) < headerSize+2 {
+			return nil, fmt.Errorf("ckptstore: %s: truncated v2 header", path)
+		}
+		jlen := int(binary.LittleEndian.Uint16(data[20:22]))
+		if len(data) < headerSize+2+jlen {
+			return nil, fmt.Errorf("ckptstore: %s: truncated job ID (header promises %d bytes)", path, jlen)
+		}
+		fileJob = string(data[22 : 22+jlen])
+		payloadStart = headerSize + 2 + jlen
+	default:
 		return nil, fmt.Errorf("ckptstore: %s: bad magic %q (not a checkpoint generation, or unsupported version)", path, data[:8])
 	}
-	plen := binary.LittleEndian.Uint64(data[8:16])
-	if uint64(len(data)-headerSize) != plen {
-		return nil, fmt.Errorf("ckptstore: %s: header promises %d payload bytes, file has %d (torn write)", path, plen, len(data)-headerSize)
+	if fileJob != job {
+		return nil, fmt.Errorf("%w: %s is for job %q, store owns %q", ErrJobMismatch, path, fileJob, job)
 	}
-	payload := data[headerSize:]
-	if sum := crc32.Checksum(payload, castagnoli); sum != binary.LittleEndian.Uint32(data[16:20]) {
+	plen := binary.LittleEndian.Uint64(data[8:16])
+	if uint64(len(data)-payloadStart) != plen {
+		return nil, fmt.Errorf("ckptstore: %s: header promises %d payload bytes, file has %d (torn write)", path, plen, len(data)-payloadStart)
+	}
+	payload := data[payloadStart:]
+	sum := crc32.Checksum([]byte(fileJob), castagnoli)
+	sum = crc32.Update(sum, castagnoli, payload)
+	if sum != binary.LittleEndian.Uint32(data[16:20]) {
 		return nil, fmt.Errorf("ckptstore: %s: CRC mismatch (payload corrupted on disk)", path)
 	}
 	return payload, nil

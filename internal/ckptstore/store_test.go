@@ -217,3 +217,148 @@ func TestMetricsGaugeTracksGenerations(t *testing.T) {
 		t.Fatalf("ckpt_writes_total = %d, want 5", w)
 	}
 }
+
+func TestJobNamespacesAreDisjoint(t *testing.T) {
+	// Two jobs and one jobless run sharing a single base path: each store
+	// must see only its own generations. Before namespacing existed this
+	// collided: both jobs wrote <base>.<seq> and resumed each other's state.
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	a := openT(t, base, WithJob("job-a"))
+	b := openT(t, base, WithJob("job-b"))
+	plain := openT(t, base)
+	for i := 1; i <= 3; i++ {
+		if err := a.Save([]byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Save([]byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := plain.Save([]byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if got, gen, err := a.Load(); err != nil || gen != 3 || string(got) != "a3" {
+		t.Fatalf("job-a load: gen %d %q, %v", gen, got, err)
+	}
+	if got, gen, err := b.Load(); err != nil || gen != 3 || string(got) != "b3" {
+		t.Fatalf("job-b load: gen %d %q, %v", gen, got, err)
+	}
+	if got, gen, err := plain.Load(); err != nil || gen != 1 || string(got) != "plain" {
+		t.Fatalf("plain load: gen %d %q, %v", gen, got, err)
+	}
+	if gens, _ := plain.Generations(); len(gens) != 1 {
+		t.Fatalf("jobless store sees namespaced generations: %v", gens)
+	}
+}
+
+func TestTwoConcurrentWriters(t *testing.T) {
+	// The two-writers regression for the server: two jobs checkpointing into
+	// one store directory at full speed must never quarantine or resume each
+	// other's generations.
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	const rounds = 25
+	errs := make(chan error, 2)
+	for _, job := range []string{"w1", "w2"} {
+		go func(job string) {
+			s, err := Open(base, WithJob(job), WithKeep(2))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 1; i <= rounds; i++ {
+				if err := s.Save([]byte(fmt.Sprintf("%s gen %d", job, i))); err != nil {
+					errs <- fmt.Errorf("%s save %d: %w", job, i, err)
+					return
+				}
+				if got, _, err := s.Load(); err != nil {
+					errs <- fmt.Errorf("%s load %d: %w", job, i, err)
+					return
+				} else if !strings.HasPrefix(string(got), job+" gen ") {
+					errs <- fmt.Errorf("%s read foreign payload %q", job, got)
+					return
+				}
+			}
+			errs <- nil
+		}(job)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, job := range []string{"w1", "w2"} {
+		s := openT(t, base, WithJob(job))
+		got, gen, err := s.Load()
+		if err != nil || gen != rounds || string(got) != fmt.Sprintf("%s gen %d", job, rounds) {
+			t.Fatalf("%s final load: gen %d %q, %v", job, gen, got, err)
+		}
+	}
+}
+
+func TestCrossJobLoadRejected(t *testing.T) {
+	// A generation that belongs to another job but wears this job's file name
+	// (rename, copy, or a buggy caller) must be rejected by the checksummed
+	// header — and must NOT be quarantined, because the other job can still
+	// resume from it.
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	a := openT(t, base, WithJob("a"))
+	b := openT(t, base, WithJob("b"))
+	if err := a.Save([]byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save([]byte("theirs")); err != nil {
+		t.Fatal(err)
+	}
+	// Impersonate: b's newest generation becomes a's generation 2.
+	data, err := os.ReadFile(b.genPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(a.genPath(2), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, gen, err := a.Load()
+	if err != nil || gen != 1 || string(got) != "mine" {
+		t.Fatalf("load around foreign generation: gen %d %q, %v", gen, got, err)
+	}
+	if _, err := os.Stat(a.genPath(2) + ".corrupt"); err == nil {
+		t.Fatal("foreign generation was quarantined; it must be left alone")
+	}
+	// With nothing but the foreign file, the error names the mismatch.
+	lone := openT(t, filepath.Join(t.TempDir(), "x.ckpt"), WithJob("a"))
+	if err := os.WriteFile(lone.genPath(1), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lone.Load(); !errors.Is(err, ErrJobMismatch) {
+		t.Fatalf("want ErrJobMismatch, got %v", err)
+	}
+	// A v1 (jobless) generation is just as foreign to a namespaced store.
+	plain := openT(t, base)
+	if err := plain.Save([]byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := os.ReadFile(plain.genPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(lone.genPath(2), v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lone.Load(); !errors.Is(err, ErrJobMismatch) {
+		t.Fatalf("v1 file in a job namespace: want ErrJobMismatch, got %v", err)
+	}
+}
+
+func TestOpenRejectsBadJobIDs(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	for _, id := range []string{"has.dot", "has/slash", "has space", strings.Repeat("x", 129)} {
+		if _, err := Open(base, WithJob(id)); err == nil {
+			t.Fatalf("job ID %q accepted", id)
+		}
+	}
+	for _, id := range []string{"a", "job-7_B"} {
+		if _, err := Open(base, WithJob(id)); err != nil {
+			t.Fatalf("job ID %q rejected: %v", id, err)
+		}
+	}
+}

@@ -152,6 +152,9 @@ func SolveLowLevel(ins *mkp.Instance, opts LowLevelOptions) (*LowLevelResult, er
 		// the master reduces to the minimum rank position, which makes the
 		// result independent of worker scheduling.
 		for {
+			// Workers share st read-only for the barrier; freeze the probe so
+			// Fits never refreshes its cache under concurrent readers.
+			st.Freeze()
 			for w := 0; w < opts.Workers; w++ {
 				lo := w * chunk
 				hi := lo + chunk

@@ -28,68 +28,17 @@ import (
 // ever manifests as silence), so it is not bitwise comparable to an in-process
 // run, but on a healthy fleet it reaches the identical final best for a fixed
 // seed — the master's decisions are a pure function of the per-slot results.
+//
+// Solve is the one-shot convenience over Engine: hosts that need to separate
+// admission from execution, or run many solves concurrently in one process,
+// build engines directly.
 func Solve(ins *mkp.Instance, algo Algorithm, opts Options) (*Result, error) {
-	if err := ins.Validate(); err != nil {
-		return nil, err
-	}
-	if algo < SEQ || algo > CTS2 {
-		return nil, fmt.Errorf("core: unknown algorithm %d", int(algo))
-	}
-	opts = opts.withDefaults(ins.N)
-	if algo == SEQ {
-		opts.P = 1
-	}
-	if err := opts.Base.Validate(); err != nil {
-		return nil, fmt.Errorf("core: base params: %w", err)
-	}
-	if opts.Faults != nil {
-		if err := opts.Faults.Validate(); err != nil {
-			return nil, err
-		}
-	}
-	if opts.Supervise != nil {
-		if err := opts.Supervise.Validate(); err != nil {
-			return nil, err
-		}
-	}
-	if len(opts.Workers) > 0 {
-		// The in-process substrate owns fault injection, supervision revival
-		// and simulated latency; none of them is meaningful against real
-		// remote processes.
-		if opts.Faults != nil {
-			return nil, fmt.Errorf("core: Workers and Faults are mutually exclusive (fault injection is an in-process substrate feature)")
-		}
-		if opts.Supervise != nil {
-			return nil, fmt.Errorf("core: Workers and Supervise are mutually exclusive (respawn needs in-process slaves)")
-		}
-		if opts.Latency != 0 {
-			return nil, fmt.Errorf("core: Workers and Latency are mutually exclusive (real links have real latency)")
-		}
-		if opts.P != len(opts.Workers) {
-			return nil, fmt.Errorf("core: P=%d but %d worker addresses given", opts.P, len(opts.Workers))
-		}
-		if opts.Guide != nil {
-			return nil, fmt.Errorf("core: Workers and Guide are mutually exclusive (a core is process-local guidance the wire codec does not ship)")
-		}
-	}
-
-	start := time.Now()
-	m, err := newMaster(ins, algo, opts)
+	e, err := NewEngine(ins, algo, opts)
 	if err != nil {
 		return nil, err
 	}
-	defer m.shutdown()
-	if opts.Resume != nil {
-		if err := m.restore(opts.Resume); err != nil {
-			return nil, err
-		}
-	}
-	res, err := m.run()
-	if err != nil {
-		return nil, err
-	}
-	res.Stats.Elapsed = time.Since(start)
-	return res, nil
+	defer e.Close()
+	return e.Run()
 }
 
 // master owns the rendezvous loop of Fig. 2 and the engine components it
@@ -197,7 +146,14 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error)
 		// Remote workers: the dial handshake ships each worker its node
 		// number, seed and the full instance, so the processes need no
 		// problem file of their own.
-		wnet, err := wire.Dial(opts.Workers, ins, seeds, opts.Metrics)
+		var dialOpts []wire.DialOption
+		if opts.DialTimeout > 0 {
+			dialOpts = append(dialOpts, wire.WithDialTimeout(opts.DialTimeout))
+		}
+		if opts.DialContext != nil {
+			dialOpts = append(dialOpts, wire.WithContext(opts.DialContext))
+		}
+		wnet, err := wire.Dial(opts.Workers, ins, seeds, opts.Metrics, dialOpts...)
 		if err != nil {
 			return nil, err
 		}

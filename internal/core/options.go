@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -146,6 +147,15 @@ type Options struct {
 	// not bitwise comparable to in-process runs; on a healthy fleet a fixed
 	// seed still reaches the identical final best value.
 	Workers []string
+	// DialTimeout bounds the per-address connect retry loop when Workers is
+	// set (0 = the wire default, 10s). A job server multiplexing many runs
+	// sets this low so a vanished worker fails the lease fast.
+	DialTimeout time.Duration
+	// DialContext, when non-nil, cancels in-flight worker dials (including
+	// their backoff sleeps) when done — the seam a shutting-down server uses
+	// so connecting to a slow worker never outlives the process. It does not
+	// govern the run itself; use Stop for that.
+	DialContext context.Context
 	// Guide, when non-nil, arms LP-guided core search: the master solves the
 	// LP relaxation once at startup, fixes variables by reduced cost against
 	// the best known solution (internal/reduce), and ships every slave a

@@ -173,6 +173,18 @@ func (s *State) fitsSlow(j int) bool {
 	return s.fitsScan(j)
 }
 
+// Freeze re-aims the saturation probe eagerly so that subsequent Fits calls
+// are read-only until the next Add/Drop/Load/Reset. Callers that fan
+// feasibility queries out across goroutines while the state is otherwise
+// frozen (the low-level evaluator's barrier) must call it first: Fits
+// otherwise refreshes the probe lazily, a cache write that races with
+// concurrent readers.
+func (s *State) Freeze() {
+	if s.satDirty {
+		s.refreshSat()
+	}
+}
+
 // refreshSat re-aims the dense probe row at the current minimum-slack
 // constraint: one O(m) argmin pass, no sort.
 func (s *State) refreshSat() {

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -22,6 +23,14 @@ import (
 
 	"repro/internal/metrics"
 )
+
+// Source is anything that can render a metrics exposition: a single
+// *metrics.Registry, or a *metrics.Gatherer merging many per-run registries
+// under run labels (what the job server mounts).
+type Source interface {
+	WriteProm(io.Writer) error
+	Snapshot() *metrics.Snapshot
+}
 
 // Server is a running observability endpoint.
 type Server struct {
@@ -34,6 +43,11 @@ type Server struct {
 // registry may be nil, in which case /metrics serves an empty exposition —
 // pprof and expvar still work. Call Close to shut down.
 func Serve(addr string, reg *metrics.Registry) (*Server, error) {
+	return ServeSource(addr, reg)
+}
+
+// ServeSource is Serve for any exposition Source (e.g. a metrics.Gatherer).
+func ServeSource(addr string, src Source) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -43,7 +57,7 @@ func Serve(addr string, reg *metrics.Registry) (*Server, error) {
 		done: make(chan struct{}),
 	}
 	s.srv = &http.Server{
-		Handler:           Handler(reg),
+		Handler:           HandlerSource(src),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -59,16 +73,21 @@ func Serve(addr string, reg *metrics.Registry) (*Server, error) {
 // /metrics.json (snapshot), /debug/pprof/* and /debug/vars (expvar).
 // Exposed separately so a host service can mount it under its own server.
 func Handler(reg *metrics.Registry) http.Handler {
+	return HandlerSource(reg)
+}
+
+// HandlerSource is Handler over any exposition Source.
+func HandlerSource(src Source) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WriteProm(w)
+		_ = src.WriteProm(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(reg.Snapshot())
+		_ = enc.Encode(src.Snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

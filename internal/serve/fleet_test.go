@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/transport/wire"
+)
+
+// startFleet brings up p worker listeners that behave exactly like
+// cmd/mkpworker: accept one master, serve it to completion, loop back to
+// accept — so a worker released by one job is immediately leasable by the
+// next.
+func startFleet(t *testing.T, p int) []string {
+	t.Helper()
+	addrs := make([]string, p)
+	for i := 0; i < p; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		addrs[i] = ln.Addr().String()
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				sess, hello, err := wire.Accept(conn, nil)
+				if err != nil {
+					conn.Close()
+					continue
+				}
+				core.Slave(sess, hello.Node, hello.Ins, hello.Seed)
+				conn.Close()
+			}
+		}()
+	}
+	return addrs
+}
+
+// TestFleetModeMultiplexesJobs: 4 jobs of P=2 share a 4-worker fleet. At
+// most two run at once (disjoint leases); the rest wait their turn; all
+// complete with the value the same run finds on in-process slaves.
+func TestFleetModeMultiplexesJobs(t *testing.T) {
+	fleet := startFleet(t, 4)
+	s, ts := newTestServer(t, Config{Workers: fleet})
+	if s.Capacity() != 4 {
+		t.Fatalf("fleet capacity %d", s.Capacity())
+	}
+	const jobs = 4
+	ids := make([]string, jobs)
+	specs := make([]Spec, jobs)
+	for i := 0; i < jobs; i++ {
+		specs[i] = genSpec(uint64(200+i), 2, 3)
+		st, resp := submit(t, ts, specs[i])
+		if resp.StatusCode != 202 {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		ids[i] = st.ID
+	}
+	for i, id := range ids {
+		final := waitState(t, ts, id, StateDone)
+		ins, err := specs[i].buildInstance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A healthy fleet reaches the identical final best as in-process
+		// slaves for a fixed seed (the master's decisions are a pure function
+		// of the per-slot results).
+		if want := solveDirect(t, ins, specs[i]); final.Value != want {
+			t.Fatalf("job %s over the fleet found %v, in-process finds %v", id, final.Value, want)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package serve is the solver-as-a-service layer: an HTTP/JSON job API that
+// admits MKP instances, queues them, and multiplexes many concurrent solve
+// jobs over one shared pool of slave capacity — in-process slots or a fleet
+// of mkpworker processes. It is the host the concurrently-instantiable
+// core.Engine was built for: every job gets its own engine, its own metrics
+// registry (merged into the server-wide exposition under a job label), its
+// own trace stream, and its own checkpoint namespace, so jobs never share
+// mutable state.
+//
+// Durability: with a data directory configured, every accepted job's spec is
+// persisted before the submit call returns, every round's cooperative state
+// goes through the durable checkpoint store (namespaced by job ID), and the
+// final result and solution are written when the job ends. A server that
+// dies — gracefully or by SIGKILL — and restarts over the same directory
+// re-admits every unfinished job and resumes it from its newest checkpoint.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/mkp"
+)
+
+// Spec is a job submission: the problem plus the solve parameters. Exactly
+// one of Instance (inline data) and Gen (server-side generation) must be set.
+type Spec struct {
+	// ID is optional; the server assigns one when empty. Client-chosen IDs
+	// share the checkpoint-store alphabet: [A-Za-z0-9_-], at most 128 bytes.
+	ID string `json:"id,omitempty"`
+	// Algorithm is SEQ, ITS, CTS1 or CTS2 (default CTS2).
+	Algorithm string `json:"algorithm,omitempty"`
+	// P is the job's worker budget: how many slave searchers it runs on.
+	// SEQ forces 1. Bounded by the server's per-job cap and total capacity.
+	P int `json:"p,omitempty"`
+	// Seed fixes the run; a (Seed, P, Rounds) triple fully determines it.
+	Seed uint64 `json:"seed,omitempty"`
+	// Rounds is the number of master iterations (default 20).
+	Rounds int `json:"rounds,omitempty"`
+	// Moves is the per-slave per-round move budget (default 2000).
+	Moves int64 `json:"moves,omitempty"`
+	// Alpha is the ISP replacement threshold (default 0.99).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Target stops the job early once the best reaches it (0 = disabled).
+	Target float64 `json:"target,omitempty"`
+
+	Instance *InstanceSpec `json:"instance,omitempty"`
+	Gen      *GenSpec      `json:"gen,omitempty"`
+}
+
+// InstanceSpec carries an inline instance: profit c_j, the M×N weight matrix
+// a_ij (row i = constraint i), and capacities b_i.
+type InstanceSpec struct {
+	Name     string      `json:"name,omitempty"`
+	Profit   []float64   `json:"profit"`
+	Weight   [][]float64 `json:"weight"`
+	Capacity []float64   `json:"capacity"`
+}
+
+// GenSpec asks the server to generate a GK instance deterministically, so a
+// load test can submit heavy problems with a few bytes of JSON.
+type GenSpec struct {
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	Tightness float64 `json:"tightness,omitempty"` // default 0.25
+	Seed      uint64  `json:"seed,omitempty"`
+}
+
+// Job states, in lifecycle order. An interrupted job exists only in memory of
+// a shutting-down server: on disk it simply has no result yet, which is what
+// makes the restart re-admit it.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateInterrupted = "interrupted"
+)
+
+// Job is one admitted solve. All mutable fields are guarded by mu; the spec,
+// instance and registry are set at admission and immutable afterwards.
+type Job struct {
+	spec Spec
+	algo core.Algorithm
+	ins  *mkp.Instance
+	reg  *metrics.Registry
+	hub  *hub
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{} // closed when the job reaches a terminal state
+
+	mu          sync.Mutex
+	state       string
+	err         string
+	canceled    bool
+	resumedFrom int // round restored from a checkpoint; -1 = fresh
+	round       int // rounds completed so far (live progress)
+	best        float64
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	result      *core.Result
+	resume      *core.Checkpoint
+	final       *resultFile // recovered terminal summary (result not in memory)
+}
+
+// cancel requests a graceful stop: a queued job never starts, a running job
+// finishes its round in progress (checkpoint already on disk) and reports the
+// best found so far.
+func (j *Job) cancel() {
+	j.mu.Lock()
+	j.canceled = true
+	j.mu.Unlock()
+	j.stopOnce.Do(func() { close(j.stop) })
+}
+
+func (j *Job) isCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+// Status is the wire view of a job.
+type Status struct {
+	ID        string  `json:"id"`
+	State     string  `json:"state"`
+	Algorithm string  `json:"algorithm"`
+	P         int     `json:"p"`
+	Seed      uint64  `json:"seed"`
+	Rounds    int     `json:"rounds"`
+	Round     int     `json:"round"`
+	Best      float64 `json:"best"`
+	Instance  string  `json:"instance"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+
+	ResumedFrom int    `json:"resumed_from,omitempty"` // set (>0) when restored
+	Canceled    bool   `json:"canceled,omitempty"`
+	Error       string `json:"error,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+
+	// Terminal-state extras.
+	Value      float64 `json:"value,omitempty"`
+	Items      int     `json:"items,omitempty"`
+	TotalMoves int64   `json:"total_moves,omitempty"`
+}
+
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.spec.ID,
+		State:       j.state,
+		Algorithm:   j.algo.String(),
+		P:           j.spec.P,
+		Seed:        j.spec.Seed,
+		Rounds:      j.spec.Rounds,
+		Round:       j.round,
+		Best:        j.best,
+		Instance:    j.ins.Name,
+		N:           j.ins.N,
+		M:           j.ins.M,
+		Canceled:    j.canceled,
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	if j.resumedFrom > 0 {
+		st.ResumedFrom = j.resumedFrom
+	}
+	if j.result != nil {
+		st.Value = j.result.Best.Value
+		st.Items = j.result.Best.X.Count()
+		st.TotalMoves = j.result.Stats.TotalMoves
+	} else if j.final != nil {
+		st.Value = j.final.Value
+		st.Items = j.final.Items
+		st.TotalMoves = j.final.TotalMoves
+	}
+	return st
+}
+
+// buildInstance materializes the job's instance from the spec — inline data
+// validated, or the GK generator run with the spec's own seed (deterministic,
+// so a restarted server rebuilds the identical problem).
+func (s *Spec) buildInstance() (*mkp.Instance, error) {
+	switch {
+	case s.Instance != nil && s.Gen != nil:
+		return nil, fmt.Errorf("instance and gen are mutually exclusive")
+	case s.Instance != nil:
+		in := s.Instance
+		name := in.Name
+		if name == "" {
+			name = "inline"
+		}
+		ins := &mkp.Instance{
+			Name:     name,
+			N:        len(in.Profit),
+			M:        len(in.Capacity),
+			Profit:   in.Profit,
+			Weight:   in.Weight,
+			Capacity: in.Capacity,
+		}
+		if err := ins.Validate(); err != nil {
+			return nil, err
+		}
+		return ins, nil
+	case s.Gen != nil:
+		g := s.Gen
+		if g.N < 1 || g.M < 1 {
+			return nil, fmt.Errorf("gen: need n >= 1 and m >= 1, got %dx%d", g.N, g.M)
+		}
+		if g.N > 100000 || g.M > 1000 {
+			return nil, fmt.Errorf("gen: %dx%d exceeds the served size cap (100000x1000)", g.N, g.M)
+		}
+		tight := g.Tightness
+		if tight == 0 {
+			tight = 0.25
+		}
+		if tight <= 0 || tight >= 1 {
+			return nil, fmt.Errorf("gen: tightness must be in (0,1), got %v", tight)
+		}
+		return gen.GK(fmt.Sprintf("gen_%dx%d_s%d", g.M, g.N, g.Seed), g.N, g.M, tight, g.Seed), nil
+	default:
+		return nil, fmt.Errorf("need an instance (inline) or a gen spec")
+	}
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/ckptstore"
+	"repro/internal/core"
+	"repro/internal/mkp"
+)
+
+// On-disk layout under Config.Dir:
+//
+//	jobs/<id>/spec.json      the submission, written before submit returns
+//	jobs/<id>/result.json    terminal summary, written when the job ends
+//	jobs/<id>/solution.txt   best solution (mkp.WriteSolution; mkpverify-able)
+//	ckpt/state.<id>.<seq>    checkpoint generations, one shared base namespaced
+//	                         by job ID through the store itself
+//
+// The invariant recovery relies on: a spec without a result is an unfinished
+// job. Checkpoints are advisory — present, the job resumes mid-run; absent
+// (killed before round 1), it restarts from scratch with the same seed, which
+// lands on the identical trajectory.
+
+// resultFile is the terminal summary persisted for done and failed jobs.
+type resultFile struct {
+	ID         string  `json:"id"`
+	State      string  `json:"state"` // done | failed
+	Canceled   bool    `json:"canceled,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Value      float64 `json:"value,omitempty"`
+	Items      int     `json:"items,omitempty"`
+	Rounds     int     `json:"rounds,omitempty"`
+	TotalMoves int64   `json:"total_moves,omitempty"`
+	ResumedFrom int    `json:"resumed_from,omitempty"`
+}
+
+func (s *Server) jobDir(id string) string {
+	return filepath.Join(s.cfg.Dir, "jobs", id)
+}
+
+// writeFileAtomic writes via temp file + rename so a crash mid-write never
+// leaves a torn JSON document for recovery to trip over.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (s *Server) saveSpec(j *Job) error {
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	dir := s.jobDir(j.spec.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(&j.spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, "spec.json"), data)
+}
+
+// persistResult writes the terminal summary and, for done jobs, the solution
+// file. Called with the job already in its terminal state.
+func (s *Server) persistResult(j *Job) error {
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	j.mu.Lock()
+	rf := resultFile{
+		ID:       j.spec.ID,
+		State:    j.state,
+		Canceled: j.canceled,
+		Error:    j.err,
+	}
+	if j.resumedFrom > 0 {
+		rf.ResumedFrom = j.resumedFrom
+	}
+	res := j.result
+	if res != nil {
+		rf.Value = res.Best.Value
+		rf.Items = res.Best.X.Count()
+		rf.Rounds = res.Stats.Rounds
+		rf.TotalMoves = res.Stats.TotalMoves
+	}
+	name := j.ins.Name
+	j.mu.Unlock()
+
+	dir := s.jobDir(j.spec.ID)
+	if res != nil {
+		var buf bytes.Buffer
+		if err := mkp.WriteSolution(&buf, name, res.Best); err != nil {
+			return err
+		}
+		if err := writeFileAtomic(filepath.Join(dir, "solution.txt"), buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(&rf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, "result.json"), data)
+}
+
+// openStore opens the job's slice of the shared checkpoint base. Every job
+// writes generations under the same base path; the store's job namespacing
+// keeps them disjoint and refuses cross-job loads.
+func (s *Server) openStore(id string) (*ckptstore.Store, error) {
+	base := filepath.Join(s.cfg.Dir, "ckpt")
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		return nil, err
+	}
+	return ckptstore.Open(filepath.Join(base, "state"),
+		ckptstore.WithJob(id), ckptstore.WithKeep(3), ckptstore.WithMetrics(s.own))
+}
+
+// loadCheckpoint returns the job's newest restorable checkpoint, or nil when
+// none exists (never written, or all generations corrupt — the job then
+// restarts from its seed).
+func (s *Server) loadCheckpoint(id string) (*core.Checkpoint, error) {
+	store, err := s.openStore(id)
+	if err != nil {
+		return nil, err
+	}
+	payload, _, err := store.Load()
+	if err != nil {
+		if errors.Is(err, ckptstore.ErrNoCheckpoint) {
+			return nil, nil
+		}
+		// A fully corrupt namespace is not fatal to the job: log-worthy, but
+		// the deterministic seed makes a from-scratch rerun equivalent.
+		return nil, nil
+	}
+	return core.LoadCheckpoint(bytes.NewReader(payload))
+}
+
+// recover scans the data directory and re-admits every job: finished ones
+// become servable terminal records, unfinished ones are re-enqueued (in ID
+// order, which for server-assigned IDs is submission order) with their
+// newest checkpoint as the resume point.
+func (s *Server) recover() error {
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	root := filepath.Join(s.cfg.Dir, "jobs")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() && ckptstore.ValidJobID(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, id := range names {
+		// Keep the ID counter ahead of every recovered server-assigned ID.
+		var n int
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && strings.HasPrefix(id, "j") && n >= s.seq {
+			s.seq = n
+		}
+		if err := s.recoverJob(id); err != nil {
+			return fmt.Errorf("serve: recover job %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) recoverJob(id string) error {
+	dir := s.jobDir(id)
+	specData, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	if err != nil {
+		// A directory without a spec is a submit that died before persisting;
+		// nothing to recover.
+		return nil
+	}
+	var spec Spec
+	if err := json.Unmarshal(specData, &spec); err != nil {
+		return err
+	}
+	spec.ID = id
+	j, err := s.admit(spec)
+	if err != nil {
+		return err
+	}
+
+	if resData, err := os.ReadFile(filepath.Join(dir, "result.json")); err == nil {
+		var rf resultFile
+		if err := json.Unmarshal(resData, &rf); err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.state = rf.State
+		j.err = rf.Error
+		j.canceled = rf.Canceled
+		j.round = rf.Rounds
+		j.best = rf.Value
+		j.resumedFrom = rf.ResumedFrom
+		j.final = &rf
+		j.mu.Unlock()
+		j.hub.close()
+		close(j.done)
+		s.register(j)
+		return nil
+	}
+
+	// Unfinished: resume from the newest checkpoint when one exists.
+	if cp, err := s.loadCheckpoint(id); err == nil && cp != nil {
+		j.mu.Lock()
+		j.resume = cp
+		j.resumedFrom = cp.Round
+		j.round = cp.Round
+		j.best = cp.Best.Value
+		j.mu.Unlock()
+	}
+	s.register(j)
+	s.enqueue(j)
+	return nil
+}

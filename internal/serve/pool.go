@@ -1,0 +1,84 @@
+package serve
+
+import "sync"
+
+// pool is the shared slave-capacity allocator. In slot mode it counts
+// abstract in-process slots (each job's P slaves run as goroutines); in fleet
+// mode it hands out leases of concrete mkpworker addresses. A worker process
+// serves masters strictly sequentially (accept → serve → accept), so two
+// concurrent jobs must hold disjoint leases — that exclusivity is exactly
+// what the pool provides.
+//
+// acquire blocks until the full request is available. The scheduler is the
+// only acquirer and processes jobs in submission order, which makes admission
+// strictly FIFO with no overtaking: a wide job at the head waits for its P
+// units, and narrower jobs behind it wait for the head — trading a little
+// utilization for starvation-freedom.
+type pool struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	slots int      // free slots (slot mode)
+	fleet []string // free worker addresses (fleet mode)
+	isFleet bool
+	closed  bool
+	total   int
+}
+
+func newSlotPool(n int) *pool {
+	p := &pool{slots: n, total: n}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func newFleetPool(addrs []string) *pool {
+	p := &pool{fleet: append([]string(nil), addrs...), isFleet: true, total: len(addrs)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// capacity is the pool's total size — the upper bound on any job's P.
+func (p *pool) capacity() int { return p.total }
+
+// acquire blocks until n units are free and takes them. In fleet mode it
+// returns the leased addresses; in slot mode the lease is nil. ok is false
+// when the pool was closed while waiting.
+func (p *pool) acquire(n int) (lease []string, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed {
+			return nil, false
+		}
+		if p.isFleet {
+			if len(p.fleet) >= n {
+				lease = append([]string(nil), p.fleet[:n]...)
+				p.fleet = p.fleet[n:]
+				return lease, true
+			}
+		} else if p.slots >= n {
+			p.slots -= n
+			return nil, true
+		}
+		p.cond.Wait()
+	}
+}
+
+// release returns a lease (fleet mode) or n slots (slot mode) to the pool.
+func (p *pool) release(lease []string, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.isFleet {
+		p.fleet = append(p.fleet, lease...)
+	} else {
+		p.slots += n
+	}
+	p.cond.Broadcast()
+}
+
+// close wakes any blocked acquire with ok=false; subsequent acquires fail.
+func (p *pool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.cond.Broadcast()
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Event is one progress record on a job's stream: a completed rendezvous
+// round with the best-so-far and the farm traffic, or a terminal marker.
+type Event struct {
+	Job   string  `json:"job"`
+	Seq   int     `json:"seq"`
+	Kind  string  `json:"kind"` // "round", "done", "failed", "interrupted"
+	Round int     `json:"round"`
+	Best  float64 `json:"best"`
+	// Messages and Bytes are the job's cumulative farm traffic (in-process
+	// mailboxes or wire frames), read from the job's own metric registry.
+	Messages int64  `json:"messages"`
+	Bytes    int64  `json:"bytes"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// hub fans a job's progress out to any number of stream subscribers and
+// keeps a bounded backlog so a late subscriber still sees how the job got
+// where it is. Publishing never blocks: a subscriber that stops draining has
+// its channel dropped, not the solver stalled.
+type hub struct {
+	mu     sync.Mutex
+	ring   []Event
+	seq    int
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+const hubBacklog = 256
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan Event]struct{})}
+}
+
+func (h *hub) publish(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seq++
+	e.Seq = h.seq
+	h.ring = append(h.ring, e)
+	if len(h.ring) > hubBacklog {
+		h.ring = h.ring[len(h.ring)-hubBacklog:]
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- e:
+		default:
+			// Slow consumer: cut it loose rather than hold the lock hostage.
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// subscribe returns the backlog plus a live channel; cancel detaches it.
+// After the hub closes (job ended) the channel is closed once drained.
+func (h *hub) subscribe() (backlog []Event, ch chan Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	backlog = append([]Event(nil), h.ring...)
+	ch = make(chan Event, 64)
+	if h.closed {
+		close(ch)
+		return backlog, ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	return backlog, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, live := h.subs[ch]; live {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// close ends the stream: subscribers' channels are closed and later
+// subscribers get only the backlog.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// jobTracer adapts the engine's trace stream into job progress: every round
+// start updates the job's live round/best and publishes an Event carrying
+// the traffic counters from the job's own registry. It satisfies
+// trace.Recorder and is safe for the concurrent emit the contract demands
+// (round starts come only from the master goroutine; other kinds are
+// ignored here and flow to the metrics bridge instead).
+type jobTracer struct {
+	j *Job
+}
+
+func (t jobTracer) Record(e trace.Event) {
+	if e.Kind != trace.KindRoundStart {
+		return
+	}
+	t.j.mu.Lock()
+	t.j.round = e.Round
+	t.j.best = e.Value
+	t.j.mu.Unlock()
+	t.j.hub.publish(t.j.progressEvent("round", e.Round, e.Value))
+}
+
+// progressEvent assembles an Event with the job's cumulative traffic. The
+// snapshot is cheap (the job registry holds a handful of families) and reads
+// the same counters /metrics exposes.
+func (j *Job) progressEvent(kind string, round int, best float64) Event {
+	ev := Event{Job: j.spec.ID, Kind: kind, Round: round, Best: best}
+	if j.reg != nil {
+		s := j.reg.Snapshot()
+		ev.Messages = s.SumCounters("farm_messages_total") + s.SumCounters("wire_frames_total")
+		ev.Bytes = s.SumCounters("farm_bytes_total") + s.SumCounters("wire_bytes_total")
+	}
+	return ev
+}

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mkp"
+)
+
+func genSpec(seed uint64, p, rounds int) Spec {
+	return Spec{
+		Gen:    &GenSpec{N: 60, M: 4, Seed: seed},
+		P:      p,
+		Seed:   seed,
+		Rounds: rounds,
+		Moves:  200,
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec Spec) (Status, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id, want string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State == want {
+			return st
+		}
+		if st.State == StateFailed && want != StateFailed {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Status{}
+}
+
+func TestSubmitSolveAndFetchSolution(t *testing.T) {
+	_, ts := newTestServer(t, Config{Slots: 4})
+	st, resp := submit(t, ts, genSpec(7, 2, 6))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if st.ID == "" || st.State != StateQueued {
+		t.Fatalf("unexpected submit status %+v", st)
+	}
+	final := waitState(t, ts, st.ID, StateDone)
+	if final.Value <= 0 || final.Round != 6 {
+		t.Fatalf("final status %+v", final)
+	}
+
+	// The served solution must verify against the regenerated instance.
+	sresp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/solution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("solution: %d", sresp.StatusCode)
+	}
+	name, sol, err := mkp.ReadSolution(sresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := genSpec(7, 2, 6)
+	ins, err := spec.buildInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != ins.Name {
+		t.Fatalf("solution names %q, instance is %q", name, ins.Name)
+	}
+	if !mkp.IsFeasibleAssignment(ins, sol.X) {
+		t.Fatal("served solution infeasible")
+	}
+	if got := mkp.ValueOf(ins, sol.X); got != final.Value {
+		t.Fatalf("solution value %v, status said %v", got, final.Value)
+	}
+}
+
+func TestConcurrentJobsAllCompleteWithDistinctMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{Slots: 8})
+	const jobs = 8
+	ids := make([]string, jobs)
+	for i := 0; i < jobs; i++ {
+		st, resp := submit(t, ts, genSpec(uint64(100+i), 2, 4))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		ids[i] = st.ID
+	}
+	for _, id := range ids {
+		waitState(t, ts, id, StateDone)
+	}
+	// Merged exposition: every job's series appear under its own label, and
+	// the per-run masters never collided on a shared registry.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var expo bytes.Buffer
+	if _, err := expo.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := expo.String()
+	for _, id := range ids {
+		if !strings.Contains(text, fmt.Sprintf(`core_rounds_total{job=%q} 4`, id)) {
+			t.Fatalf("exposition lacks job %s rounds:\n%s", id, text)
+		}
+	}
+	if !strings.Contains(text, fmt.Sprintf("serve_jobs_done_total %d", jobs)) {
+		t.Fatalf("server counters missing:\n%s", text)
+	}
+	if s.Capacity() != 8 {
+		t.Fatalf("capacity %d", s.Capacity())
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	_, ts := newTestServer(t, Config{Slots: 2, MaxQueue: 2})
+
+	// Capacity violation: a job wider than the pool can never run.
+	_, resp := submit(t, ts, genSpec(1, 3, 2))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-wide job got %d", resp.StatusCode)
+	}
+	// Malformed instance.
+	bad := Spec{Instance: &InstanceSpec{Profit: []float64{1, -2}, Weight: [][]float64{{1, 1}}, Capacity: []float64{1}}}
+	_, resp = submit(t, ts, bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad instance got %d", resp.StatusCode)
+	}
+	// Queue full: two long jobs fill MaxQueue, the third bounces with 503.
+	long := genSpec(2, 2, 200)
+	long.Moves = 2000
+	if _, resp = submit(t, ts, long); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first long job got %d", resp.StatusCode)
+	}
+	long.Seed = 3
+	if _, resp = submit(t, ts, long); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second long job got %d", resp.StatusCode)
+	}
+	long.Seed = 4
+	if _, resp = submit(t, ts, long); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-quota job got %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestFIFONoOvertaking(t *testing.T) {
+	_, ts := newTestServer(t, Config{Slots: 2, MaxQueue: 16})
+	// A occupies 1 of 2 slots for a while; B needs 2 and must wait for A;
+	// C needs 1 — it would fit beside A, but FIFO keeps it behind B.
+	a := genSpec(1, 1, 1_000_000)
+	a.Moves = 2000
+	stA, _ := submit(t, ts, a)
+	waitState(t, ts, stA.ID, StateRunning)
+	stB, _ := submit(t, ts, genSpec(2, 2, 2))
+	stC, _ := submit(t, ts, genSpec(3, 1, 2))
+
+	time.Sleep(300 * time.Millisecond)
+	if st := getStatus(t, ts, stA.ID); st.State != StateRunning {
+		t.Fatalf("A should still be running, is %s", st.State)
+	}
+	if st := getStatus(t, ts, stC.ID); st.State != StateQueued {
+		t.Fatalf("C overtook B: state %s while A still holds the pool", st.State)
+	}
+	// Cancel A; B then C run to completion in order.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+stA.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	bDone := waitState(t, ts, stB.ID, StateDone)
+	cDone := waitState(t, ts, stC.ID, StateDone)
+	if cDone.StartedAt.Before(bDone.StartedAt) {
+		t.Fatal("C started before B")
+	}
+	// A was canceled mid-run: done with partial rounds and the flag set.
+	aDone := waitState(t, ts, stA.ID, StateDone)
+	if !aDone.Canceled || aDone.Round >= 1_000_000 {
+		t.Fatalf("canceled job finished oddly: %+v", aDone)
+	}
+}
+
+func TestEventsStreamDeliversProgressAndTerminal(t *testing.T) {
+	_, ts := newTestServer(t, Config{Slots: 2})
+	st, _ := submit(t, ts, genSpec(9, 2, 5))
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var rounds int
+	var sawDone bool
+	var lastSeq int
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		if e.Seq <= lastSeq {
+			t.Fatalf("events out of order: %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		switch e.Kind {
+		case "round":
+			rounds++
+		case "done":
+			sawDone = true
+			if e.Messages == 0 {
+				t.Fatal("terminal event carries no traffic counters")
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 5 || !sawDone {
+		t.Fatalf("stream saw %d rounds, done=%v", rounds, sawDone)
+	}
+}
+
+func TestJobResultMatchesDirectSolve(t *testing.T) {
+	// A served job is the same deterministic run Solve would do: identical
+	// spec, identical value.
+	_, ts := newTestServer(t, Config{Slots: 4})
+	spec := genSpec(42, 2, 5)
+	st, _ := submit(t, ts, spec)
+	final := waitState(t, ts, st.ID, StateDone)
+
+	ins, err := spec.buildInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := solveDirect(t, ins, spec)
+	if final.Value != direct {
+		t.Fatalf("served job found %v, direct solve %v", final.Value, direct)
+	}
+}

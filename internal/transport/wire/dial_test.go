@@ -1,0 +1,102 @@
+// Dial-policy tests: the connect timeout is an option rather than a fixed
+// package constant, a caller's context cancels in-flight dials, and a dial
+// that fails partway down the worker list tears down the half-built Net
+// without leaking goroutines or sockets.
+package wire_test
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport/wire"
+)
+
+// closedPort returns an address nothing listens on.
+func closedPort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestDialTimeoutOption(t *testing.T) {
+	ins := wireInstance(20, 3, 501)
+	addr := closedPort(t)
+	start := time.Now()
+	_, err := wire.Dial([]string{addr}, ins, []uint64{1}, nil, wire.WithDialTimeout(150*time.Millisecond))
+	if err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("dial honored neither the 150ms option nor anything close: took %v", elapsed)
+	}
+}
+
+func TestDialContextCancellation(t *testing.T) {
+	ins := wireInstance(20, 3, 502)
+	addr := closedPort(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		// Default 10s timeout: without the cancellation this blocks retrying
+		// for the full window.
+		_, err := wire.Dial([]string{addr}, ins, []uint64{1}, nil, wire.WithContext(ctx))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled dial succeeded")
+		}
+		if !strings.Contains(err.Error(), "canceled") {
+			t.Fatalf("error does not surface the cancellation: %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 3*time.Second {
+			t.Fatalf("cancellation took %v to take effect", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled dial still blocked after 5s")
+	}
+}
+
+// TestDialPartialFailureCleanup: worker 1 accepts and completes its
+// handshake, worker 2 does not exist. The failed Dial must close worker 1's
+// connection (its serve goroutine exits on the synthetic stop) and leak no
+// goroutines or FDs.
+func TestDialPartialFailureCleanup(t *testing.T) {
+	ins := wireInstance(20, 3, 503)
+	good := startWorkers(t, 1)
+	bad := closedPort(t)
+
+	before := runtime.NumGoroutine()
+	fdsBefore := countFDs(t)
+	_, err := wire.Dial(append(good, bad), ins, []uint64{1, 2}, nil, wire.WithDialTimeout(200*time.Millisecond))
+	if err == nil {
+		t.Fatal("dial succeeded with a missing worker")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Fatalf("error does not name the failing address: %v", err)
+	}
+	if !waitFor(3*time.Second, func() bool { return runtime.NumGoroutine() <= before }) {
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("partial dial leaked goroutines: %d > %d\n%s", runtime.NumGoroutine(), before, buf[:n])
+	}
+	if runtime.GOOS == "linux" {
+		// The worker listener from startWorkers is still open; allow it.
+		if !waitFor(3*time.Second, func() bool { return countFDs(t) <= fdsBefore+1 }) {
+			t.Fatalf("partial dial leaked fds: %d open, started with %d", countFDs(t), fdsBefore)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -83,27 +84,64 @@ type Net struct {
 	mx wireMetrics
 }
 
-// dialTimeout bounds the whole retry loop for one worker address; within it,
-// attempts back off exponentially from retryBase to retryCap. Workers are
-// usually started moments before the master, so the common case is one or
-// two attempts.
+// defaultDialTimeout bounds the whole retry loop for one worker address;
+// within it, attempts back off exponentially from retryBase to retryCap.
+// Workers are usually started moments before the master, so the common case
+// is one or two attempts. The timeout used to be an unconditional
+// package-level constant; a server multiplexing many jobs tunes it per dial
+// (WithDialTimeout) and cancels in-flight dials on shutdown (WithContext).
 const (
-	dialTimeout = 10 * time.Second
-	retryBase   = 25 * time.Millisecond
-	retryCap    = 800 * time.Millisecond
+	defaultDialTimeout = 10 * time.Second
+	retryBase          = 25 * time.Millisecond
+	retryCap           = 800 * time.Millisecond
 )
+
+// DialOption configures Dial.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	timeout time.Duration
+	ctx     context.Context
+}
+
+// WithDialTimeout bounds the whole retry loop for each worker address
+// (default 10s). Non-positive values keep the default.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithContext cancels in-flight dials (including their backoff sleeps) when
+// ctx is done — the seam a shutting-down server uses so a connect to a slow
+// or vanished worker never outlives it.
+func WithContext(ctx context.Context) DialOption {
+	return func(c *dialConfig) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
 
 // Dial connects to each worker address, ships it its node number, seed and
 // the instance in a Hello frame, and waits for its Ready. Worker i (0-based)
 // becomes node i+1. Each address is retried with exponential backoff for up
-// to 10 seconds — extra attempts are counted on wire_reconnects_total — so
-// "start the workers, then the master" does not have to race.
-func Dial(addrs []string, ins *mkp.Instance, seeds []uint64, reg *metrics.Registry) (*Net, error) {
+// to the dial timeout — extra attempts are counted on wire_reconnects_total —
+// so "start the workers, then the master" does not have to race. A failure
+// partway down the list tears down every connection already made (Close is
+// safe on the half-built Net) and leaks no goroutines or FDs.
+func Dial(addrs []string, ins *mkp.Instance, seeds []uint64, reg *metrics.Registry, opts ...DialOption) (*Net, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("wire: no worker addresses")
 	}
 	if len(seeds) != len(addrs) {
 		return nil, fmt.Errorf("wire: %d seeds for %d workers", len(seeds), len(addrs))
+	}
+	cfg := dialConfig{timeout: defaultDialTimeout, ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	w := &Net{
 		p:     len(addrs),
@@ -115,7 +153,7 @@ func Dial(addrs []string, ins *mkp.Instance, seeds []uint64, reg *metrics.Regist
 	}
 	for i, addr := range addrs {
 		node := i + 1
-		nc, err := w.dialRetry(addr)
+		nc, err := w.dialRetry(cfg, addr)
 		if err != nil {
 			w.Close()
 			return nil, fmt.Errorf("wire: worker %d at %s: %w", node, addr, err)
@@ -136,23 +174,40 @@ func Dial(addrs []string, ins *mkp.Instance, seeds []uint64, reg *metrics.Regist
 	return w, nil
 }
 
-func (w *Net) dialRetry(addr string) (net.Conn, error) {
-	deadline := time.Now().Add(dialTimeout)
+func (w *Net) dialRetry(cfg dialConfig, addr string) (net.Conn, error) {
+	ctx, cancel := context.WithDeadline(cfg.ctx, time.Now().Add(cfg.timeout))
+	defer cancel()
 	backoff := retryBase
 	var lastErr error
+	var d net.Dialer
 	for attempt := 0; ; attempt++ {
-		c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		c, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			return c, nil
 		}
 		lastErr = err
+		if cfg.ctx.Err() != nil {
+			// The caller's context, not the per-address deadline: a shutdown
+			// mid-dial reports itself rather than a generic timeout.
+			return nil, fmt.Errorf("dial canceled: %w", cfg.ctx.Err())
+		}
 		if attempt > 0 {
 			w.mx.reconnects.Inc()
 		}
+		deadline, _ := ctx.Deadline()
 		if time.Now().Add(backoff).After(deadline) {
 			return nil, lastErr
 		}
-		time.Sleep(backoff)
+		timer := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			if cfg.ctx.Err() != nil {
+				return nil, fmt.Errorf("dial canceled: %w", cfg.ctx.Err())
+			}
+			return nil, lastErr
+		case <-timer.C:
+		}
 		if backoff *= 2; backoff > retryCap {
 			backoff = retryCap
 		}

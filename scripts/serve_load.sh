@@ -1,0 +1,235 @@
+#!/bin/sh
+# CI harness for the job server: boot a fleet of mkpworker processes and an
+# mkpserve over a durable data directory, then prove the service contract
+# end to end:
+#
+#   phase 1 (load): 12 concurrent jobs x P=2 over a 16-worker fleet (8 jobs
+#     solving simultaneously on disjoint leases). Every job must complete,
+#     the p99 submit-to-first-result latency must stay under the bound, every
+#     solution must pass mkpverify, and /metrics must expose each job's
+#     series under its own job label.
+#
+#   phase 2 (durability): 8 long jobs are submitted; once every one of them
+#     has durable checkpoints the server is kill -9'd mid-run, restarted over
+#     the same directory, and every job must resume from its checkpoint
+#     (resumed_from >= 1), run to completion, and produce a verified
+#     solution.
+#
+# Usage: scripts/serve_load.sh [mkpserve] [mkpworker] [mkpgen] [mkpverify]
+set -eu
+
+SERVE=${1:-./mkpserve}
+WORKER=${2:-./mkpworker}
+GEN=${3:-./mkpgen}
+VERIFY=${4:-./mkpverify}
+WORKERS=16
+P99_LIMIT_MS=${P99_LIMIT_MS:-20000}
+
+DIR=$(mktemp -d)
+PIDS=""
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "serve load FAILED: $1" >&2
+    shift
+    for f in "$@"; do
+        echo "---- $f" >&2
+        cat "$f" >&2 || true
+    done
+    exit 1
+}
+
+# ---- fleet ----------------------------------------------------------------
+i=0
+while [ $i -lt $WORKERS ]; do
+    "$WORKER" -listen 127.0.0.1:0 2>"$DIR/worker$i.log" &
+    PIDS="$PIDS $!"
+    i=$((i + 1))
+done
+ADDRS=""
+i=0
+while [ $i -lt $WORKERS ]; do
+    j=0
+    ADDR=""
+    while [ $j -lt 100 ]; do
+        ADDR=$(sed -n 's/^mkpworker: listening on //p' "$DIR/worker$i.log" | head -n 1)
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+        j=$((j + 1))
+    done
+    [ -n "$ADDR" ] || fail "worker $i never announced an address" "$DIR/worker$i.log"
+    ADDRS="$ADDRS,$ADDR"
+    i=$((i + 1))
+done
+ADDRS=${ADDRS#,}
+
+# ---- server ---------------------------------------------------------------
+PORT=$(python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()')
+BASE="http://127.0.0.1:$PORT"
+start_server() {
+    "$SERVE" -listen "127.0.0.1:$PORT" -dir "$DIR/data" -workers "$ADDRS" \
+        -maxqueue 64 2>>"$DIR/serve.log" &
+    SERVER_PID=$!
+    k=0
+    while ! curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+        kill -0 "$SERVER_PID" 2>/dev/null || fail "server died on startup" "$DIR/serve.log"
+        k=$((k + 1))
+        [ $k -lt 100 ] || fail "server never became healthy" "$DIR/serve.log"
+        sleep 0.1
+    done
+}
+start_server
+
+# ---- phase 1: concurrent load + latency -----------------------------------
+python3 - "$BASE" "$DIR" "$P99_LIMIT_MS" <<'EOF' || fail "load phase failed" "$DIR/serve.log"
+import json, math, sys, threading, time, urllib.request
+
+base, outdir, limit_ms = sys.argv[1], sys.argv[2], int(sys.argv[3])
+JOBS, lat, ids, errs = 12, {}, {}, []
+
+def drive(i):
+    spec = {"gen": {"n": 80, "m": 5, "seed": i}, "p": 2, "seed": i,
+            "rounds": 3, "moves": 300}
+    body = json.dumps(spec).encode()
+    t0 = time.monotonic()
+    try:
+        req = urllib.request.Request(base + "/jobs", data=body,
+                                     headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(req, timeout=30) as r:
+            jid = json.load(r)["id"]
+        ids[i] = jid
+        # First-result latency: the first round event on the stream.
+        with urllib.request.urlopen(base + f"/jobs/{jid}/events", timeout=120) as r:
+            for line in r:
+                e = json.loads(line)
+                if e["kind"] == "round":
+                    lat[i] = (time.monotonic() - t0) * 1000
+                    break
+            else:
+                raise RuntimeError(f"job {jid}: stream ended with no round event")
+    except Exception as exc:
+        errs.append(f"job {i}: {exc}")
+
+threads = [threading.Thread(target=drive, args=(i,)) for i in range(1, JOBS + 1)]
+for t in threads: t.start()
+for t in threads: t.join()
+if errs:
+    sys.exit("\n".join(errs))
+
+# Wait for completion and save solutions.
+deadline = time.monotonic() + 120
+for i, jid in ids.items():
+    while True:
+        with urllib.request.urlopen(base + f"/jobs/{jid}") as r:
+            st = json.load(r)
+        if st["state"] == "done":
+            break
+        if st["state"] == "failed":
+            sys.exit(f"job {jid} failed: {st.get('error')}")
+        if time.monotonic() > deadline:
+            sys.exit(f"job {jid} stuck in {st['state']}")
+        time.sleep(0.1)
+    with urllib.request.urlopen(base + f"/jobs/{jid}/solution") as r:
+        open(f"{outdir}/load{i}.sol", "wb").write(r.read())
+
+samples = sorted(lat.values())
+p99 = samples[max(0, math.ceil(0.99 * len(samples)) - 1)]
+print(f"serve load: {JOBS} jobs done, submit-to-first-result "
+      f"p50={samples[len(samples)//2]:.0f}ms p99={p99:.0f}ms")
+if p99 > limit_ms:
+    sys.exit(f"p99 {p99:.0f}ms exceeds the {limit_ms}ms bound")
+
+# The merged exposition must carry each job's series under its own label.
+with urllib.request.urlopen(base + "/metrics") as r:
+    expo = r.read().decode()
+for jid in ids.values():
+    if f'core_rounds_total{{job="{jid}"}}' not in expo:
+        sys.exit(f"/metrics lacks job {jid} series")
+EOF
+
+# Verify every phase-1 solution against the regenerated instance.
+i=1
+while [ $i -le 12 ]; do
+    "$GEN" -family gk -n 80 -m 5 -tightness 0.25 -seed $i -o "$DIR/load$i.txt"
+    "$VERIFY" "$DIR/load$i.txt" "$DIR/load$i.sol" >/dev/null \
+        || fail "phase-1 job $i solution does not verify"
+    i=$((i + 1))
+done
+
+# ---- phase 2: kill -9 mid-run, restart, resume ----------------------------
+python3 - "$BASE" "$DIR" <<'EOF' || fail "phase-2 submit failed" "$DIR/serve.log"
+import json, sys, time, urllib.request
+base, outdir = sys.argv[1], sys.argv[2]
+ids = []
+for i in range(1, 9):
+    spec = {"id": f"durable{i}", "gen": {"n": 120, "m": 5, "seed": 100 + i},
+            "p": 2, "seed": 100 + i, "rounds": 200, "moves": 1500}
+    req = urllib.request.Request(base + "/jobs", data=json.dumps(spec).encode(),
+                                 headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=30) as r:
+        ids.append(json.load(r)["id"])
+# Hold until every job has at least two durable checkpoint rounds and none
+# finished (the kill must land mid-run for all of them).
+deadline = time.monotonic() + 120
+while True:
+    rounds = {}
+    for jid in ids:
+        with urllib.request.urlopen(base + f"/jobs/{jid}") as r:
+            st = json.load(r)
+        if st["state"] in ("done", "failed"):
+            sys.exit(f"job {jid} ended ({st['state']}) before the kill")
+        rounds[jid] = st["round"]
+    if all(v >= 2 for v in rounds.values()):
+        break
+    if time.monotonic() > deadline:
+        sys.exit(f"jobs never all reached round 2: {rounds}")
+    time.sleep(0.2)
+print("serve load: all 8 durable jobs mid-run with checkpoints, killing server")
+EOF
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+sleep 0.5
+start_server
+
+python3 - "$BASE" "$DIR" <<'EOF' || fail "phase-2 resume failed" "$DIR/serve.log"
+import json, sys, time, urllib.request
+base, outdir = sys.argv[1], sys.argv[2]
+ids = [f"durable{i}" for i in range(1, 9)]
+deadline = time.monotonic() + 600
+for jid in ids:
+    while True:
+        with urllib.request.urlopen(base + f"/jobs/{jid}") as r:
+            st = json.load(r)
+        if st["state"] == "done":
+            break
+        if st["state"] == "failed":
+            sys.exit(f"job {jid} failed after restart: {st.get('error')}")
+        if time.monotonic() > deadline:
+            sys.exit(f"job {jid} stuck in {st['state']} after restart")
+        time.sleep(0.2)
+    if st.get("resumed_from", 0) < 1:
+        sys.exit(f"job {jid} did not resume from a checkpoint: {st}")
+    if st["round"] < 200:
+        sys.exit(f"job {jid} done at round {st['round']}, want 200")
+    with urllib.request.urlopen(base + f"/jobs/{jid}/solution") as r:
+        open(f"{outdir}/{jid}.sol", "wb").write(r.read())
+print("serve load: all 8 jobs resumed from checkpoints and completed")
+EOF
+
+i=1
+while [ $i -le 8 ]; do
+    "$GEN" -family gk -n 120 -m 5 -tightness 0.25 -seed $((100 + i)) -o "$DIR/durable$i.txt"
+    "$VERIFY" "$DIR/durable$i.txt" "$DIR/durable$i.sol" >/dev/null \
+        || fail "durable job $i solution does not verify"
+    i=$((i + 1))
+done
+
+echo "serve load OK: 12 concurrent jobs under the latency bound, 8 jobs kill -9'd, resumed and verified"
