@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench kernel solverbench bench-guard chaos metrics metrics-smoke crash-resume transport worker-smoke serve-smoke
+.PHONY: build vet test race check bench kernel solverbench bench-guard chaos metrics metrics-smoke crash-resume transport worker-smoke serve-smoke elastic elastic-smoke
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,28 @@ crash-resume:
 	$(GO) build -o ./mkpverify.smoke ./cmd/mkpverify
 	./scripts/crash_resume.sh ./mkpsolve.smoke ./mkpgen.smoke ./mkpverify.smoke
 	rm -f ./mkpsolve.smoke ./mkpgen.smoke ./mkpverify.smoke
+
+# elastic runs the membership suites under the race detector: the fleet
+# join/leave/crash-classification tests, the codec tests for the elastic
+# frames (fuzz seeds included), the churn/equivalence battery in core, and
+# the serve-layer fleet pool grow/shrink tests.
+elastic:
+	$(GO) test -race ./internal/transport/proto ./internal/transport/wire
+	$(GO) test -race -run 'Elastic|Absorb|Steal|Gossip' ./internal/core
+	$(GO) test -race -run 'Fleet' ./internal/serve
+
+# elastic-smoke boots an elastic mkpsolve master and 64 real mkpworker -join
+# processes (8 leaving early, 8 joining late), verifies the churned run's
+# solution, then sweeps full fleets at P=16/64/128 under -equalwork and
+# fails if rounds/sec or bytes/worker/round drift more than 20%; the sweep
+# summaries are written to BENCH_elastic.json.
+elastic-smoke:
+	$(GO) build -o ./mkpsolve.smoke ./cmd/mkpsolve
+	$(GO) build -o ./mkpworker.smoke ./cmd/mkpworker
+	$(GO) build -o ./mkpgen.smoke ./cmd/mkpgen
+	$(GO) build -o ./mkpverify.smoke ./cmd/mkpverify
+	./scripts/elastic_smoke.sh ./mkpsolve.smoke ./mkpworker.smoke ./mkpgen.smoke ./mkpverify.smoke BENCH_elastic.json
+	rm -f ./mkpsolve.smoke ./mkpworker.smoke ./mkpgen.smoke ./mkpverify.smoke
 
 # serve-smoke drives the job-server harness: an mkpserve over a real
 # mkpworker fleet takes 12 concurrent jobs under a p99 submit-to-first-result

@@ -10,6 +10,8 @@
 //	curl localhost:8080/jobs/j0001            # status
 //	curl localhost:8080/jobs/j0001/events     # NDJSON progress stream
 //	curl localhost:8080/jobs/j0001/solution   # verify with mkpverify
+//	curl localhost:8080/fleet                 # fleet mode: free/leased/retiring workers
+//	curl -d '{"add":["h3:9001"]}' localhost:8080/fleet   # grow/shrink mid-flight
 //
 // With -dir set every admitted job survives a crash: specs persist at
 // submit, every round checkpoints durably, and a restarted server resumes

@@ -4,6 +4,7 @@
 //	mkpsolve -algo CTS2 -p 8 -rounds 20 -moves 2000 instance.txt
 //	mkpsolve -gen 250x15 -algo CTS2            # generate instead of reading
 //	mkpsolve -async -p 8 -total 100000 instance.txt
+//	mkpsolve -elastic 127.0.0.1:0 -p 8 -minworkers 4 instance.txt  # mkpworker -join fleet
 //
 // It prints the best value, the deviation from the LP bound, the quality
 // trajectory and the cooperation statistics.
@@ -11,6 +12,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -72,6 +74,12 @@ func run() int {
 
 		workers = flag.String("workers", "", "comma-separated mkpworker addresses; run the slaves as separate processes over TCP (P defaults to the worker count)")
 
+		elastic    = flag.String("elastic", "", "listen on this address for mkpworker -join processes; workers may come and go mid-run (e.g. 127.0.0.1:0)")
+		minWorkers = flag.Int("minworkers", 0, "-elastic: workers that must join before the first round dispatches (default 1; set to -p for a static-equivalent start)")
+		joinGrace  = flag.Duration("joingrace", 0, "-elastic: how long to wait for the initial -minworkers members, and for a fresh joiner when the fleet empties (default 30s)")
+		equalWork  = flag.Bool("equalwork", false, "divide the per-round move budget by P so total work is constant across fleet sizes (scaling benchmarks)")
+		benchJSON  = flag.String("benchjson", "", "write a machine-readable run summary (p, rounds, timings, traffic, churn counters) to this JSON file")
+
 		faultSeed = flag.Uint64("faults", 0, "seed for deterministic fault injection (synchronous solver; armed when any fault flag is set)")
 		dropRate  = flag.Float64("droprate", 0, "fault injection: probability a message is silently dropped")
 		dupRate   = flag.Float64("duprate", 0, "fault injection: probability a message is delivered twice")
@@ -104,6 +112,12 @@ func run() int {
 	if *useCore && *noFix {
 		return fail(errors.New("-core and -nofix are mutually exclusive"))
 	}
+	if *elastic != "" && *async {
+		return fail(errors.New("-elastic needs the synchronous solver (drop -async)"))
+	}
+	if *elastic == "" && (*minWorkers != 0 || *joinGrace != 0) {
+		return fail(errors.New("-minworkers and -joingrace need an elastic fleet armed via -elastic"))
+	}
 	if *useCore && *async {
 		return fail(errors.New("-core needs the synchronous solver (guidance lives in the master; drop -async)"))
 	}
@@ -122,6 +136,9 @@ func run() int {
 		if err := writeSolution(*solOut, ins, res.Best); err != nil {
 			return fail(err)
 		}
+		if err := writeBenchJSON(*benchJSON, res); err != nil {
+			return fail(err)
+		}
 		return 0
 	}
 
@@ -132,6 +149,10 @@ func run() int {
 	opts := core.Options{
 		P: *p, Seed: *seed, Rounds: *rounds, RoundMoves: *moves,
 		Alpha: *alpha, TimeLimit: *timeLim, SimBudget: *simLim,
+		EqualWork: *equalWork,
+	}
+	if *elastic != "" {
+		opts.Elastic = &core.ElasticConfig{Listen: *elastic, Min: *minWorkers, JoinGrace: *joinGrace}
 	}
 	if *useCore {
 		opts.Guide = &core.GuideConfig{Gap: *fixGap}
@@ -230,11 +251,26 @@ func run() int {
 	}()
 	opts.Stop = stop
 
-	res, err := core.Solve(ins, algo, opts)
-	if err != nil {
+	var res *core.Result
+	if *elastic != "" {
+		eng, err := core.NewEngine(ins, algo, opts)
+		if err != nil {
+			return fail(err)
+		}
+		defer eng.Close()
+		// The elastic smoke harness parses this line to discover the
+		// ephemeral fleet port; keep its shape stable.
+		fmt.Fprintf(os.Stderr, "mkpsolve: fleet listening on %s\n", eng.FleetAddr())
+		if res, err = eng.Run(); err != nil {
+			return fail(err)
+		}
+	} else if res, err = core.Solve(ins, algo, opts); err != nil {
 		return fail(err)
 	}
 	report(ins, algo.String(), res, *quiet)
+	if err := writeBenchJSON(*benchJSON, res); err != nil {
+		return fail(err)
+	}
 	if *showMet {
 		reportMetrics(reg)
 	}
@@ -391,6 +427,11 @@ func report(ins *mkp.Instance, algo string, res *core.Result, quiet bool) {
 		fmt.Printf("faults     %d dropped msgs, %d lost rounds, %d redispatches, %d dead slaves\n",
 			res.Stats.DroppedMessages, res.Stats.SlaveFailures, res.Stats.Redispatches, res.Stats.DeadSlaves)
 	}
+	if res.Stats.Joins > 0 || res.Stats.Leaves > 0 || res.Stats.Steals > 0 || res.Stats.Assembled > 0 {
+		fmt.Printf("elastic    %d joins, %d leaves, %d steals, epoch %d, assembled in %v\n",
+			res.Stats.Joins, res.Stats.Leaves, res.Stats.Steals, res.Stats.Epoch,
+			res.Stats.Assembled.Round(time.Millisecond))
+	}
 	if res.Stats.SlaveRestarts > 0 || res.Stats.WatchdogTrips > 0 {
 		fmt.Printf("healing    %d slave restarts, %d watchdog trips, %d/%d slaves alive at end\n",
 			res.Stats.SlaveRestarts, res.Stats.WatchdogTrips, res.Stats.LiveSlaves, res.Stats.P)
@@ -407,6 +448,46 @@ func report(ins *mkp.Instance, algo string, res *core.Result, quiet bool) {
 	for i, st := range res.Strategies {
 		fmt.Printf("slave %-2d   Lt=%d NbDrop=%d NbLocal=%d\n", i, st.LtLength, st.NbDrop, st.NbLocal)
 	}
+}
+
+// writeBenchJSON dumps the machine-readable run summary the scaling harness
+// consumes (scripts/elastic_smoke.sh): fleet size, round count, wall-clock
+// split into assembly wait and search, the traffic totals and the churn
+// counters. One JSON object, trailing newline.
+func writeBenchJSON(path string, res *core.Result) error {
+	if path == "" {
+		return nil
+	}
+	summary := struct {
+		P                int     `json:"p"`
+		Rounds           int     `json:"rounds"`
+		Best             float64 `json:"best"`
+		ElapsedSeconds   float64 `json:"elapsed_seconds"`
+		AssembledSeconds float64 `json:"assembled_seconds"`
+		Messages         int64   `json:"messages"`
+		Bytes            int64   `json:"bytes"`
+		Joins            int     `json:"joins"`
+		Leaves           int     `json:"leaves"`
+		Steals           int     `json:"steals"`
+		Epoch            uint64  `json:"epoch"`
+	}{
+		P:                res.Stats.P,
+		Rounds:           res.Stats.Rounds,
+		Best:             res.Best.Value,
+		ElapsedSeconds:   res.Stats.Elapsed.Seconds(),
+		AssembledSeconds: res.Stats.Assembled.Seconds(),
+		Messages:         res.Stats.Messages,
+		Bytes:            res.Stats.BytesSent,
+		Joins:            res.Stats.Joins,
+		Leaves:           res.Stats.Leaves,
+		Steals:           res.Stats.Steals,
+		Epoch:            res.Stats.Epoch,
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func writeSolution(path string, ins *mkp.Instance, sol mkp.Solution) error {

@@ -7,10 +7,14 @@
 //
 //	mkpworker -listen :7001            # serve masters until killed
 //	mkpworker -listen 127.0.0.1:0 -once  # one run on an ephemeral port, then exit
+//	mkpworker -join host:9001            # dial an elastic fleet master instead
+//	mkpworker -join host:9001 -leave-after 50  # spot-style: serve 50 rounds, leave
 //
 // The worker needs no problem file and no per-run flags: everything a run
 // depends on arrives in the handshake, so one fleet of workers can serve many
-// differently-configured masters in sequence.
+// differently-configured masters in sequence. In -join mode the direction
+// reverses: the worker dials the fleet master (mkpsolve -elastic), is assigned
+// a node id in the join handshake, and may come and go while the run is live.
 package main
 
 import (
@@ -25,10 +29,21 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", ":7001", "TCP address to accept masters on (port 0 picks an ephemeral port)")
-		once   = flag.Bool("once", false, "exit after serving one master instead of accepting the next")
+		listen     = flag.String("listen", ":7001", "TCP address to accept masters on (port 0 picks an ephemeral port)")
+		once       = flag.Bool("once", false, "exit after serving one master instead of accepting the next")
+		join       = flag.String("join", "", "elastic mode: dial this fleet master address instead of listening")
+		name       = flag.String("name", "", "member name reported in the elastic join handshake (default host:pid)")
+		leaveAfter = flag.Int("leave-after", 0, "elastic mode: leave gracefully after serving this many rounds (0 = serve until stopped)")
 	)
 	flag.Parse()
+
+	if *join != "" {
+		if err := joinFleet(*join, *name, *leaveAfter); err != nil {
+			fmt.Fprintln(os.Stderr, "mkpworker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -51,6 +66,26 @@ func main() {
 			return
 		}
 	}
+}
+
+// joinFleet runs one elastic membership to completion: dial, join, serve the
+// elastic slave loop (gossip absorption, steal offers, optional graceful
+// leave), exit when the run stops or the leave budget drains.
+func joinFleet(addr, name string, leaveAfter int) error {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	sess, hello, err := wire.JoinFleet(addr, name, nil)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	fmt.Fprintf(os.Stderr, "mkpworker: joined fleet %s as node %d (epoch %d, %d live) for instance %s (%s)\n",
+		addr, hello.Node, hello.Epoch, len(hello.Members), hello.Ins.Name, hello.Ins.Size())
+	core.ElasticSlave(sess, hello.Node, hello.Ins, hello.Seed, core.ElasticOptions{LeaveAfter: leaveAfter})
+	fmt.Fprintf(os.Stderr, "mkpworker: node %d departed\n", hello.Node)
+	return nil
 }
 
 // serve runs one master's session to completion. Handshake errors are

@@ -30,6 +30,17 @@ type slaveTable struct {
 	// silent; deadAfterMisses in a row kill it.
 	alive    []bool
 	nodeFail []int
+
+	// Membership (elastic fleets only). departed[i] is true once node i+1
+	// announced a graceful Leave: the slot is retired exactly like a dead
+	// one (alive=false) but the departure is never charged to DeadSlaves —
+	// the classification that keeps the crash ledger honest under churn.
+	// admitted[i] is false for slots whose node id was assigned but never
+	// admitted into the run (a joiner that arrived while the fleet was
+	// already at its desired size and then went away); such rows are
+	// permanent placeholders, since elastic node ids are never reused.
+	departed []bool
+	admitted []bool
 }
 
 func newSlaveTable(p int) *slaveTable {
@@ -44,5 +55,31 @@ func newSlaveTable(p int) *slaveTable {
 		widths:     make([]int, p),
 		alive:      make([]bool, p),
 		nodeFail:   make([]int, p),
+		departed:   make([]bool, p),
+		admitted:   make([]bool, p),
+	}
+}
+
+// size returns the table's current slot count. Static runs are built at P
+// and never change; elastic runs start empty and grow as joiners are
+// admitted (slots are append-only — a departed member's row is retired in
+// place, never reused).
+func (t *slaveTable) size() int { return len(t.alive) }
+
+// growTo appends zero-valued rows until the table has p slots.
+func (t *slaveTable) growTo(p int) {
+	for len(t.alive) < p {
+		t.strategies = append(t.strategies, tabu.Strategy{})
+		t.starts = append(t.starts, mkp.Solution{})
+		t.scores = append(t.scores, 0)
+		t.stagnation = append(t.stagnation, 0)
+		t.prevStart = append(t.prevStart, mkp.Solution{})
+		t.modes = append(t.modes, 0)
+		t.noises = append(t.noises, 0)
+		t.widths = append(t.widths, 0)
+		t.alive = append(t.alive, false)
+		t.nodeFail = append(t.nodeFail, 0)
+		t.departed = append(t.departed, false)
+		t.admitted = append(t.admitted, false)
 	}
 }

@@ -97,7 +97,7 @@ func (m *master) checkpoint() *Checkpoint {
 		Version:     1,
 		Algorithm:   m.algo.String(),
 		N:           m.ins.N,
-		P:           m.opts.P,
+		P:           m.size(),
 		Round:       m.stats.Rounds,
 		Alpha:       m.tune.alpha,
 		Best:        recordOf(m.best),

@@ -34,7 +34,8 @@ type collector struct {
 	mx    *masterMetrics
 	disp  *dispatcher
 	life  lifecycle
-	heal  *healer // nil unless supervised: ack caching + watchdog observations
+	heal  *healer     // nil unless supervised: ack caching + watchdog observations
+	rec   *reconciler // nil unless elastic: membership, steal and gossip state
 	best  *mkp.Solution
 
 	// perMove is the measured real cost of one kernel move, the basis of the
@@ -87,11 +88,15 @@ func (c *collector) collectFaulty(round int, budgets []int64, results []*tabu.Re
 		done
 		abandoned
 	)
-	p := c.opts.P
+	p := c.size()
+	if c.rec != nil {
+		c.rec.resetRound(round)
+	}
 	state := make([]int, p)
 	attempts := make([]int, p)  // re-sends spent per slot this round
 	assigned := make([]int, p)  // node currently responsible for each slot
 	timedOut := make([]bool, p) // node already charged a miss this round
+	stolen := make([]bool, p)   // slot already handed to a thief this round
 	var finished []int          // nodes that reported this round (borrow candidates)
 	borrow := 0
 	outstanding := 0
@@ -108,65 +113,155 @@ func (c *collector) collectFaulty(round int, budgets []int64, results []*tabu.Re
 		}
 	}
 
+	// A straggler's round becomes stealable once it has been outstanding for
+	// half the rendezvous deadline: early enough that a thief's re-run can
+	// beat the deadline, late enough that a healthy slot (deadlines are 4×
+	// the measured cost) is never stolen and the no-churn run stays
+	// equivalent to the static one.
+	stealAfter := c.timeoutFor(maxBudget) / 2
+	trySteal := func() {
+		if c.rec == nil || c.rec.thiefCount() == 0 {
+			return
+		}
+		now := time.Now()
+		for s := 0; s < p; s++ {
+			if state[s] != pending || stolen[s] {
+				continue
+			}
+			if c.disp.dispatchedAt[s].IsZero() || now.Sub(c.disp.dispatchedAt[s]) < stealAfter {
+				continue
+			}
+			thief, ok := c.rec.takeThief(assigned[s])
+			if !ok {
+				return
+			}
+			// assigned[s] stays the original node: the victim still owns the
+			// miss if nobody delivers, and first result wins either way.
+			if err := c.disp.dispatch(s, thief, round, budgets[s]); err != nil {
+				continue
+			}
+			stolen[s] = true
+			c.stats.Steals++
+			c.mx.steals.Inc()
+			if c.opts.Tracer != nil {
+				c.opts.Tracer.Record(trace.Event{
+					Kind: trace.KindSteal, Actor: -1, Round: round, Value: c.best.Value,
+					Detail: fmt.Sprintf("slot=%d thief=%d victim=%d", s, thief, assigned[s]),
+				})
+			}
+		}
+	}
+
 	hadFailure := false
 	began := time.Now()
 	waitUntil := began.Add(c.timeoutFor(maxBudget))
 	for outstanding > 0 {
 		if wait := time.Until(waitUntil); wait > 0 {
-			msg, ok := c.net.RecvTimeout(0, wait)
-			if ok {
-				if ack, isAck := msg.Payload.(proto.Ack); isAck {
+			// With thieves queued, wake at the earliest moment a pending slot
+			// becomes stealable instead of sleeping out the full deadline.
+			poll := wait
+			if c.rec != nil && c.rec.thiefCount() > 0 {
+				now := time.Now()
+				for s := 0; s < p; s++ {
+					if state[s] != pending || stolen[s] || c.disp.dispatchedAt[s].IsZero() {
+						continue
+					}
+					if d := c.disp.dispatchedAt[s].Add(stealAfter).Sub(now); d < poll {
+						poll = d
+					}
+				}
+				if poll < time.Millisecond {
+					poll = time.Millisecond
+				}
+			}
+			msg, ok := c.net.RecvTimeout(0, poll)
+			if !ok {
+				trySteal()
+				if time.Now().Before(waitUntil) {
+					continue
+				}
+			} else {
+				switch pl := msg.Payload.(type) {
+				case proto.Ack:
 					// A dying incarnation confirmed its stop after the grace
 					// window expired; cache it for the next respawn attempt.
 					if c.heal != nil {
-						c.heal.cacheAck(ack.Node)
+						c.heal.cacheAck(pl.Node)
 					}
-					continue
-				}
-				rep, isResult := msg.Payload.(proto.Result)
-				if !isResult {
-					continue // heartbeat or other non-rendezvous traffic
-				}
-				if rep.Err != "" {
-					hadFailure = true
-					c.life.slaveDied(rep.Node-1, round, errors.New(rep.Err))
-					if s := rep.Slot; s >= 0 && s < p && state[s] == pending {
-						if c.redispatch(s, round, budgets, attempts, assigned, finished, &borrow) {
-							waitUntil = time.Now().Add(c.timeoutFor(maxBudget))
-						} else {
-							state[s] = abandoned
-							outstanding--
-							c.life.slotFailed(s, round)
+				case proto.Leave:
+					// A graceful departure mid-rendezvous: retire the member
+					// (never charged to DeadSlaves) and move any round it
+					// still owed to another worker.
+					if c.rec != nil {
+						hadFailure = true
+						c.rec.retire(pl.Node, round)
+						for s := 0; s < p; s++ {
+							if state[s] != pending || assigned[s] != pl.Node {
+								continue
+							}
+							if c.redispatch(s, round, budgets, attempts, assigned, finished, &borrow) {
+								waitUntil = time.Now().Add(c.timeoutFor(maxBudget))
+							} else {
+								state[s] = abandoned
+								outstanding--
+								c.life.slotFailed(s, round)
+							}
 						}
 					}
-					continue
-				}
-				if rep.Round != round || rep.Slot < 0 || rep.Slot >= p || state[rep.Slot] != pending {
-					continue // stale round, duplicate, or already-abandoned slot
-				}
-				state[rep.Slot] = done
-				results[rep.Slot] = rep.Res
-				c.mx.results.Inc()
-				outstanding--
-				if n := rep.Node - 1; n >= 0 && n < p {
-					c.nodeFail[n] = 0
-					finished = append(finished, rep.Node)
-					if c.heal != nil && rep.Res != nil {
-						// A result is definitive progress: account the moves
-						// and reset the watchdog to the watermark the node
-						// will freeze at if it dies.
-						c.heal.noteResult(n, rep.Res.Moves)
+				case proto.Gossip:
+					if c.rec != nil {
+						c.rec.noteGossip(pl)
 					}
-				}
-				// Calibrate the budget-proportional deadline from real
-				// arrivals, measured from the slot's own dispatch so waits
-				// on other slots don't inflate it; keep the largest
-				// observation so transient hiccups can only make later
-				// deadlines more generous.
-				if rep.Res != nil && rep.Res.Moves > 0 && !c.disp.dispatchedAt[rep.Slot].IsZero() {
-					if per := time.Since(c.disp.dispatchedAt[rep.Slot]) / time.Duration(rep.Res.Moves); per > c.perMove {
-						c.perMove = per
+				case proto.Steal:
+					if c.rec != nil {
+						c.rec.noteSteal(pl)
+						trySteal()
 					}
+				case proto.Result:
+					rep := pl
+					if rep.Err != "" {
+						hadFailure = true
+						c.life.slaveDied(rep.Node-1, round, errors.New(rep.Err))
+						if s := rep.Slot; s >= 0 && s < p && state[s] == pending {
+							if c.redispatch(s, round, budgets, attempts, assigned, finished, &borrow) {
+								waitUntil = time.Now().Add(c.timeoutFor(maxBudget))
+							} else {
+								state[s] = abandoned
+								outstanding--
+								c.life.slotFailed(s, round)
+							}
+						}
+						continue
+					}
+					if rep.Round != round || rep.Slot < 0 || rep.Slot >= p || state[rep.Slot] != pending {
+						continue // stale round, duplicate, or already-abandoned slot
+					}
+					state[rep.Slot] = done
+					results[rep.Slot] = rep.Res
+					c.mx.results.Inc()
+					outstanding--
+					if n := rep.Node - 1; n >= 0 && n < p {
+						c.nodeFail[n] = 0
+						finished = append(finished, rep.Node)
+						if c.heal != nil && rep.Res != nil {
+							// A result is definitive progress: account the moves
+							// and reset the watchdog to the watermark the node
+							// will freeze at if it dies.
+							c.heal.noteResult(n, rep.Res.Moves)
+						}
+					}
+					// Calibrate the budget-proportional deadline from real
+					// arrivals, measured from the slot's own dispatch so waits
+					// on other slots don't inflate it; keep the largest
+					// observation so transient hiccups can only make later
+					// deadlines more generous.
+					if rep.Res != nil && rep.Res.Moves > 0 && !c.disp.dispatchedAt[rep.Slot].IsZero() {
+						if per := time.Since(c.disp.dispatchedAt[rep.Slot]) / time.Duration(rep.Res.Moves); per > c.perMove {
+							c.perMove = per
+						}
+					}
+				default:
+					// heartbeat or other non-rendezvous traffic
 				}
 				continue
 			}

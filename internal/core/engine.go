@@ -79,6 +79,27 @@ func NewEngine(ins *mkp.Instance, algo Algorithm, opts Options) (*Engine, error)
 			return nil, fmt.Errorf("core: Workers and Guide are mutually exclusive (a core is process-local guidance the wire codec does not ship)")
 		}
 	}
+	if opts.Elastic != nil {
+		// The elastic fleet is its own membership regime: P is the DESIRED
+		// size, not a fixed roster, which conflicts with every option that
+		// assumes a roster fixed at build time.
+		switch {
+		case len(opts.Workers) > 0:
+			return nil, fmt.Errorf("core: Elastic and Workers are mutually exclusive (an elastic fleet is joined, not dialed)")
+		case opts.Faults != nil:
+			return nil, fmt.Errorf("core: Elastic and Faults are mutually exclusive (fault injection is an in-process substrate feature)")
+		case opts.Supervise != nil:
+			return nil, fmt.Errorf("core: Elastic and Supervise are mutually exclusive (the reconciler owns fleet healing)")
+		case opts.Latency != 0:
+			return nil, fmt.Errorf("core: Elastic and Latency are mutually exclusive (real links have real latency)")
+		case opts.Guide != nil:
+			return nil, fmt.Errorf("core: Elastic and Guide are mutually exclusive (a core is process-local guidance the wire codec does not ship)")
+		case opts.Resume != nil:
+			return nil, fmt.Errorf("core: Elastic and Resume are mutually exclusive (a checkpoint pins a roster the fleet cannot promise)")
+		case opts.Elastic.Min > opts.P:
+			return nil, fmt.Errorf("core: Elastic.Min=%d exceeds desired fleet size P=%d", opts.Elastic.Min, opts.P)
+		}
+	}
 
 	start := time.Now()
 	m, err := newMaster(ins, algo, opts)
@@ -110,6 +131,16 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	res.Stats.Elapsed = time.Since(e.start)
 	return res, nil
+}
+
+// FleetAddr returns the listen address of the engine's elastic fleet ("" for
+// non-elastic engines). With Elastic.Listen ":0" this is how a host learns
+// the bound port to hand to joining workers.
+func (e *Engine) FleetAddr() string {
+	if e.m.fleet == nil {
+		return ""
+	}
+	return e.m.fleet.Addr()
 }
 
 // Close stops the slaves and releases the transport (sockets, reader

@@ -58,8 +58,10 @@ type master struct {
 	disp  *dispatcher
 	coll  *collector
 	tune  *tuner
-	heal  *healer // nil unless opts.Supervise is set
-	guide *guide  // nil unless opts.Guide is set
+	heal  *healer     // nil unless opts.Supervise is set
+	guide *guide      // nil unless opts.Guide is set
+	rec   *reconciler // nil unless opts.Elastic is set
+	fleet *wire.Fleet // nil unless opts.Elastic is set
 
 	// deadlineDriven forces the deadline-driven collector even without faults
 	// or supervision: a remote worker's death only ever manifests as silence,
@@ -84,12 +86,19 @@ type master struct {
 // no slaves — newMaster does that; tests use newEngine directly to build a
 // bare engine with hand-picked state.
 func newEngine(ins *mkp.Instance, algo Algorithm, opts Options, net transport.Transport, r *rng.Rand) *master {
+	// Elastic runs start with an EMPTY slot table: slots exist only once a
+	// joined worker is admitted into them, and the table grows append-only
+	// toward (and past, under churn) the desired size.
+	tableP := opts.P
+	if opts.Elastic != nil {
+		tableP = 0
+	}
 	m := &master{
 		ins:        ins,
 		algo:       algo,
 		opts:       opts,
 		net:        net,
-		slaveTable: newSlaveTable(opts.P),
+		slaveTable: newSlaveTable(tableP),
 	}
 	m.stats.Algorithm = algo
 	m.stats.P = opts.P
@@ -101,7 +110,7 @@ func newEngine(ins *mkp.Instance, algo Algorithm, opts Options, net transport.Tr
 		ins:          ins,
 		opts:         &m.opts,
 		mx:           &m.mx,
-		dispatchedAt: make([]time.Time, opts.P),
+		dispatchedAt: make([]time.Time, tableP),
 	}
 	m.tune = &tuner{
 		slaveTable: m.slaveTable,
@@ -142,7 +151,28 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error)
 	}
 
 	var net transport.Transport
-	if len(opts.Workers) > 0 {
+	var fleet *wire.Fleet
+	if opts.Elastic != nil {
+		// Elastic fleet: the master listens and workers dial in whenever they
+		// like. Seeds for the first P node ids are the pre-split block above —
+		// the same values, in the same stream positions, a static run hands
+		// its workers — so a never-churning fleet is value-equivalent to the
+		// static run; ids beyond P (late joiners after churn) get pure-function
+		// seeds that never touch the root stream.
+		seedFor := func(node int) uint64 {
+			if node >= 1 && node <= opts.P {
+				return seeds[node-1]
+			}
+			return elasticSeed(opts.Seed, node)
+		}
+		f, err := wire.ListenFleet(opts.Elastic.Listen, ins,
+			wire.FleetConfig{SeedFor: seedFor, MaxNodes: opts.Elastic.MaxNodes}, opts.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		fleet = f
+		net = f
+	} else if len(opts.Workers) > 0 {
 		// Remote workers: the dial handshake ships each worker its node
 		// number, seed and the full instance, so the processes need no
 		// problem file of their own.
@@ -170,7 +200,29 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error)
 	}
 
 	m := newEngine(ins, algo, opts, net, r)
-	m.deadlineDriven = len(opts.Workers) > 0
+	m.deadlineDriven = len(opts.Workers) > 0 || opts.Elastic != nil
+	if fleet != nil {
+		// The elastic stream is split from the root AFTER the slave-seed
+		// block, and only when elastic is armed, so arming it never shifts
+		// any other consumer's stream. Mid-run joiners draw from it;
+		// the initial cohort draws from the master stream (in assemble) in
+		// exactly the static order.
+		m.fleet = fleet
+		m.rec = &reconciler{
+			slaveTable: m.slaveTable,
+			fleet:      fleet,
+			ins:        ins,
+			opts:       &m.opts,
+			stats:      &m.stats,
+			mx:         &m.mx,
+			disp:       m.disp,
+			life:       m,
+			best:       &m.best,
+			masterR:    r,
+			elasticR:   root.Split(),
+		}
+		m.coll.rec = m.rec
+	}
 
 	// LP guidance is armed before the starts are drawn: the epoch-0 fixing
 	// thresholds against the deterministic greedy incumbent (no randomness,
@@ -191,40 +243,46 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error)
 	// Initial strategies and starting solutions: "chosen randomly" for every
 	// variant (§5), so SEQ really is the paper's baseline of one random
 	// sequential search and the parallel variants win by breadth, exchange
-	// and tuning rather than by a seeded constructive start.
-	for i := 0; i < opts.P; i++ {
-		m.strategies[i] = tabu.RandomStrategy(ins.N, r)
-		if m.guide != nil && m.guide.active() {
-			m.starts[i] = m.guide.start(r, 4)
-		} else {
-			m.starts[i] = mkp.RandomFeasible(ins, r)
+	// and tuning rather than by a seeded constructive start. An elastic run
+	// defers this to reconciler.assemble (same draws, same order, made
+	// against the cohort that actually joined).
+	if opts.Elastic == nil {
+		for i := 0; i < opts.P; i++ {
+			m.strategies[i] = tabu.RandomStrategy(ins.N, r)
+			if m.guide != nil && m.guide.active() {
+				m.starts[i] = m.guide.start(r, 4)
+			} else {
+				m.starts[i] = mkp.RandomFeasible(ins, r)
+			}
+			m.scores[i] = opts.InitialScore
+			m.modes[i] = opts.Base.Intensify
+			m.noises[i] = opts.Base.AddNoise
+			m.widths[i] = opts.Base.CandWidth
+			m.alive[i] = true
+			m.admitted[i] = true
 		}
-		m.scores[i] = opts.InitialScore
-		m.modes[i] = opts.Base.Intensify
-		m.noises[i] = opts.Base.AddNoise
-		m.widths[i] = opts.Base.CandWidth
-		m.alive[i] = true
-	}
-	m.best = m.starts[0].Clone()
-	for i := 1; i < opts.P; i++ {
-		if m.starts[i].Value > m.best.Value {
-			m.best = m.starts[i].Clone()
+		m.best = m.starts[0].Clone()
+		for i := 1; i < opts.P; i++ {
+			if m.starts[i].Value > m.best.Value {
+				m.best = m.starts[i].Clone()
+			}
 		}
+		// The guided incumbent is a solution in hand: once the fixing actually
+		// bites (or proves optimality outright) the run must never report worse
+		// than the value it was derived against. While the epoch-0 fixing is
+		// trivial the incumbent stays the guide's private threshold, so an
+		// ineffective guide leaves the run bitwise identical to the unguided one.
+		if m.guide != nil && (m.guide.active() || m.guide.optimal) && inc.Value > m.best.Value {
+			m.best = inc.Clone()
+		}
+		m.mx.bestValue.Set(m.best.Value)
 	}
-	// The guided incumbent is a solution in hand: once the fixing actually
-	// bites (or proves optimality outright) the run must never report worse
-	// than the value it was derived against. While the epoch-0 fixing is
-	// trivial the incumbent stays the guide's private threshold, so an
-	// ineffective guide leaves the run bitwise identical to the unguided one.
-	if m.guide != nil && (m.guide.active() || m.guide.optimal) && inc.Value > m.best.Value {
-		m.best = inc.Clone()
-	}
-	m.mx.bestValue.Set(m.best.Value)
 
 	// Launch the slaves ("Read and send to slaves problem data", Fig. 2 —
 	// the instance pointer is shared read-only here). Remote workers were
-	// already handed their seed and the instance during the dial handshake.
-	if len(opts.Workers) == 0 {
+	// already handed their seed and the instance during the dial handshake;
+	// elastic workers receive theirs whenever they join.
+	if len(opts.Workers) == 0 && opts.Elastic == nil {
 		for i := 0; i < opts.P; i++ {
 			go slaveLoop(net, i+1, ins, seeds[i], 0, nil)
 		}
@@ -251,14 +309,22 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error)
 // run executes the master's iterative program (Fig. 2), resuming at the
 // checkpointed round when one was restored.
 func (m *master) run() (*Result, error) {
+	// An elastic run assembles its initial cohort first: wait for Min
+	// joiners, admit up to P in node order with state drawn exactly as a
+	// static run draws it, and seed the global best from their starts.
+	if m.rec != nil {
+		if err := m.rec.assemble(); err != nil {
+			return nil, err
+		}
+	}
 	deadline := time.Time{}
 	if m.opts.TimeLimit > 0 {
 		deadline = time.Now().Add(m.opts.TimeLimit)
 	}
 	clock := vtime.Alpha()
-	budgets := make([]int64, m.opts.P)
+	budgets := make([]int64, m.size())
 
-	results := make([]*tabu.Result, m.opts.P)
+	results := make([]*tabu.Result, m.size())
 	for round := m.stats.Rounds; round < m.opts.Rounds; round++ {
 		// A proven-optimal incumbent ends the run at the round boundary:
 		// every remaining move could only rediscover it.
@@ -280,14 +346,28 @@ func (m *master) run() (*Result, error) {
 		if m.heal != nil {
 			m.heal.superviseRound(round)
 		}
+		// Elastic reconciliation window: retire leavers, declare crashed
+		// members dead, and admit queued joiners toward the desired size
+		// before the round's dispatch so fresh capacity takes part
+		// immediately.
+		if m.rec != nil {
+			m.rec.reconcile(round)
+		}
 
 		// Dispatch: every live slave gets its start, strategy and budget.
 		// With supervision armed, an all-dead farm waits for the next
-		// resurrection to come due instead of giving up outright.
+		// resurrection to come due instead of giving up outright; an elastic
+		// farm likewise waits out JoinGrace for fresh capacity to dial in.
 		dispatched := 0
 		for attempt := 0; ; attempt++ {
+			// The slot table grows under elastic churn (awaitJoin admits
+			// mid-attempt); keep the round-scoped columns in step.
+			for len(budgets) < m.size() {
+				budgets = append(budgets, 0)
+				results = append(results, nil)
+			}
 			dispatched = 0
-			for i := 0; i < m.opts.P; i++ {
+			for i := 0; i < m.size(); i++ {
 				results[i] = nil
 				budgets[i] = 0
 				if !m.alive[i] {
@@ -299,18 +379,22 @@ func (m *master) run() (*Result, error) {
 				}
 				dispatched++
 			}
-			if dispatched > 0 || m.heal == nil || attempt >= 4 {
+			if dispatched > 0 || (m.heal == nil && m.rec == nil) || attempt >= 4 {
 				break
 			}
-			if !m.heal.awaitRevival(round) {
+			if m.heal != nil {
+				if !m.heal.awaitRevival(round) {
+					break
+				}
+			} else if !m.rec.awaitJoin(round) {
 				break
 			}
 		}
 		if dispatched == 0 {
 			if m.lastErr != nil {
-				return nil, fmt.Errorf("core: all %d slaves failed: %w", m.opts.P, m.lastErr)
+				return nil, fmt.Errorf("core: all %d slaves failed: %w", m.size(), m.lastErr)
 			}
-			return nil, fmt.Errorf("core: all %d slaves failed", m.opts.P)
+			return nil, fmt.Errorf("core: all %d slaves failed", m.size())
 		}
 
 		// Rendezvous: wait for the dispatched results (synchronous
@@ -344,11 +428,21 @@ func (m *master) run() (*Result, error) {
 				m.best = res.Best.Clone()
 			}
 		}
+		// Donated solutions (a leaver's parting rescue) fold in after the
+		// results: monotone, and inert on a quiescent fleet.
+		if m.rec != nil {
+			m.rec.foldGossip()
+		}
 		m.stats.Rounds = round + 1
 		m.mx.rounds.Inc()
 		if m.best.Value > prevBest {
 			m.mx.bestValue.Set(m.best.Value)
 			m.mx.timeToBest.Set(time.Since(m.startedAt).Seconds())
+			// An improved incumbent gossips out immediately under a fresh
+			// epoch instead of waiting for each member's next round order.
+			if m.rec != nil {
+				m.rec.broadcastBest(round)
+			}
 		}
 		m.stats.BestByRound = append(m.stats.BestByRound, m.best.Value)
 		m.stats.SimElapsed += clock.RoundDuration(m.ins.N, m.ins.M, live,
@@ -446,7 +540,7 @@ func (m *master) run() (*Result, error) {
 // slotFailed it implements the lifecycle interface the collector reports
 // failures through.
 func (m *master) slaveDied(node, round int, err error) {
-	if node < 0 || node >= m.opts.P || !m.alive[node] {
+	if node < 0 || node >= m.size() || !m.alive[node] {
 		return
 	}
 	m.alive[node] = false
@@ -498,8 +592,16 @@ func (m *master) stopRequested() bool {
 // lossy or crashed link cannot leak a slave goroutine; a transport that holds
 // real resources (sockets, reader goroutines) is then closed.
 func (m *master) shutdown() {
-	for i := 0; i < m.opts.P; i++ {
-		m.net.SendControl(0, i+1, proto.TagStop, nil, 0)
+	if m.fleet != nil {
+		// An elastic fleet's membership is dynamic: stop whoever is live now
+		// (including connected members that were never admitted to a slot).
+		for _, node := range m.fleet.LiveNodes() {
+			m.net.SendControl(0, node, proto.TagStop, nil, 0)
+		}
+	} else {
+		for i := 0; i < m.opts.P; i++ {
+			m.net.SendControl(0, i+1, proto.TagStop, nil, 0)
+		}
 	}
 	if c, ok := m.net.(io.Closer); ok {
 		c.Close()

@@ -29,8 +29,13 @@ type masterMetrics struct {
 	replacements  *metrics.Counter
 	restarts      *metrics.Counter
 	resets        *metrics.Counter
+	joins         *metrics.Counter
+	leaves        *metrics.Counter
+	steals        *metrics.Counter
 	bestValue     *metrics.Gauge
 	timeToBest    *metrics.Gauge
+	fleetEpoch    *metrics.Gauge
+	fleetLive     *metrics.Gauge
 	roundDur      *metrics.Histogram
 }
 
@@ -55,8 +60,13 @@ func newMasterMetrics(r *metrics.Registry) masterMetrics {
 	r.SetHelp("core_isp_replacements_total", "ISP substitutions of the global best for a weak start.")
 	r.SetHelp("core_isp_restarts_total", "ISP substitutions of a random solution for a stagnant start.")
 	r.SetHelp("core_sgp_resets_total", "SGP strategy regenerations.")
+	r.SetHelp("core_joins_total", "Workers admitted into the elastic fleet mid-run.")
+	r.SetHelp("core_leaves_total", "Workers that departed the elastic fleet gracefully.")
+	r.SetHelp("core_steals_total", "Straggler slots handed to idle thieves.")
 	r.SetHelp("core_best_value", "Objective value of the global best solution.")
 	r.SetHelp("core_time_to_best_seconds", "Wall-clock time from run start to the latest global-best improvement.")
+	r.SetHelp("core_fleet_epoch", "Current elastic fleet epoch (bumps on membership change and best broadcast).")
+	r.SetHelp("core_fleet_live", "Live members of the elastic fleet.")
 	r.SetHelp("core_round_duration_seconds", "Wall-clock duration of one rendezvous round.")
 	return masterMetrics{
 		rounds:        r.Counter("core_rounds_total"),
@@ -70,8 +80,13 @@ func newMasterMetrics(r *metrics.Registry) masterMetrics {
 		replacements:  r.Counter("core_isp_replacements_total"),
 		restarts:      r.Counter("core_isp_restarts_total"),
 		resets:        r.Counter("core_sgp_resets_total"),
+		joins:         r.Counter("core_joins_total"),
+		leaves:        r.Counter("core_leaves_total"),
+		steals:        r.Counter("core_steals_total"),
 		bestValue:     r.Gauge("core_best_value"),
 		timeToBest:    r.Gauge("core_time_to_best_seconds"),
+		fleetEpoch:    r.Gauge("core_fleet_epoch"),
+		fleetLive:     r.Gauge("core_fleet_live"),
 		roundDur:      r.Histogram("core_round_duration_seconds", roundDurBuckets),
 	}
 }

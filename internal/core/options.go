@@ -156,6 +156,19 @@ type Options struct {
 	// so connecting to a slow worker never outlives the process. It does not
 	// govern the run itself; use Stop for that.
 	DialContext context.Context
+	// Elastic, when non-nil, runs the slaves on an elastic wire fleet: the
+	// master LISTENS (instead of dialing a fixed worker list) and workers
+	// join and leave mid-run. P becomes the desired fleet size — the master
+	// admits joiners into fresh slots while live membership is below it, and
+	// never shrinks its own ambition when workers depart. Elastic runs use
+	// the deadline-driven rendezvous extended with membership traffic:
+	// epoch-stamped global-best gossip, graceful Leave classification (a
+	// leaver is retired, never counted dead) and work stealing (an idle
+	// worker takes over a straggler's slot mid-rendezvous). A never-churning
+	// elastic fleet reaches the same final best as the static wire run and
+	// the in-process run at the same seed. Mutually exclusive with Workers,
+	// Faults, Supervise, Latency, Guide and Resume.
+	Elastic *ElasticConfig
 	// Guide, when non-nil, arms LP-guided core search: the master solves the
 	// LP relaxation once at startup, fixes variables by reduced cost against
 	// the best known solution (internal/reduce), and ships every slave a
@@ -239,6 +252,24 @@ type Options struct {
 	Resume *Checkpoint
 }
 
+// ElasticConfig configures an elastic wire fleet (Options.Elastic).
+type ElasticConfig struct {
+	// Listen is the TCP address the fleet master listens on for joining
+	// workers ("host:port"; port 0 picks an ephemeral port, exposed via
+	// Engine.FleetAddr).
+	Listen string
+	// Min is how many workers must have joined before the first round
+	// dispatches (default 1). Set it to P to reproduce a static fleet.
+	Min int
+	// JoinGrace bounds the wait for the initial Min members, and the wait
+	// for a fresh joiner when every admitted worker has died (default 30s).
+	JoinGrace time.Duration
+	// MaxNodes caps how many node ids the fleet will ever assign across the
+	// run's lifetime, churn included (default 250 — the frame header
+	// addresses nodes with one byte).
+	MaxNodes int
+}
+
 // GuideConfig configures LP-guided core search (Options.Guide).
 type GuideConfig struct {
 	// Gap is the minimum improvement a strictly better solution must achieve
@@ -297,6 +328,16 @@ func (o Options) withDefaults(n int) Options {
 		g.Gap = 1
 		o.Guide = &g
 	}
+	if o.Elastic != nil {
+		e := *o.Elastic // copy so the caller's struct is never mutated
+		if e.Min <= 0 {
+			e.Min = 1
+		}
+		if e.JoinGrace <= 0 {
+			e.JoinGrace = 30 * time.Second
+		}
+		o.Elastic = &e
+	}
 	return o
 }
 
@@ -318,6 +359,10 @@ type Stats struct {
 	SlaveRestarts   int       // dead slaves respawned by the supervisor
 	WatchdogTrips   int       // slaves declared hung by the progress watchdog
 	LiveSlaves      int       // slaves alive when the run ended (== P unless degraded)
+	Joins           int       // workers admitted into the fleet mid-run (elastic only)
+	Leaves          int       // workers that departed gracefully (elastic only)
+	Steals          int       // straggler slots handed to idle thieves (elastic only)
+	Epoch           uint64    // final fleet epoch (elastic only; bumps on membership change and best broadcast)
 	BestByRound     []float64 // global best after each round (the quality trajectory)
 	FinalAlpha      float64   // Alpha at the end of the run (moves only under AdaptiveAlpha)
 	// LP-guidance fields, populated only when Options.Guide is set.
@@ -328,6 +373,10 @@ type Stats struct {
 	CoreFixedOut  int     // items the final fixing proved at 0
 	ProvenOptimal bool    // the fixing proved the final best optimal
 	Elapsed       time.Duration
+	// Assembled is how long the elastic master waited for its initial
+	// cohort before the first round (zero for non-elastic runs); subtract it
+	// from Elapsed to get the round-loop rate.
+	Assembled time.Duration
 	// SimElapsed is the deterministic simulated execution time on the
 	// paper's hardware model (see Options.SimBudget).
 	SimElapsed time.Duration

@@ -25,6 +25,93 @@ func Slave(net transport.Transport, node int, ins *mkp.Instance, seed uint64) {
 	slaveLoop(net, node, ins, seed, 0, nil)
 }
 
+// ElasticOptions shapes a worker's behavior as a member of an elastic fleet.
+type ElasticOptions struct {
+	// LeaveAfter, when positive, is the number of rounds the worker serves
+	// before announcing a graceful Leave and exiting — the bounded work
+	// budget of a scavenged/spot machine. Zero serves until stopped.
+	LeaveAfter int
+}
+
+// ElasticSlave runs the slave loop for a member of an elastic fleet. On top
+// of the plain loop it absorbs epoch-stamped Gossip broadcasts (tracking the
+// fleet's best-known incumbent), offers to steal straggler work after each
+// round it finishes, and — when its LeaveAfter budget drains — donates its own
+// best solution back to the master before announcing a graceful Leave.
+func ElasticSlave(net transport.Transport, node int, ins *mkp.Instance, seed uint64, opts ElasticOptions) {
+	searcher, err := tabu.NewSearcher(ins, seed)
+	if err != nil {
+		net.Send(node, 0, proto.TagResult,
+			proto.Result{Slot: node - 1, Node: node, Round: -1, Err: err.Error()}, 0)
+		return
+	}
+	var (
+		epoch  uint64       // highest gossip epoch seen (regressions dropped)
+		gBest  mkp.Solution // fleet incumbent as last gossiped
+		myBest mkp.Solution // this member's own best across its rounds
+		served int
+	)
+	for {
+		msg := net.Recv(node)
+		switch msg.Tag {
+		case proto.TagStop:
+			return
+		case proto.TagGossip:
+			if g, ok := msg.Payload.(proto.Gossip); ok {
+				absorbGossip(&epoch, &gBest, g)
+			}
+		case proto.TagStart:
+			req := msg.Payload.(proto.Start)
+			res, err := searcher.Run(req.Start, req.Params, req.Budget)
+			size := 0
+			if res != nil {
+				size = proto.SolutionSize(ins.N) * (1 + len(res.Pool))
+				if myBest.X == nil || res.Best.Value > myBest.Value {
+					myBest = res.Best.Clone()
+				}
+			}
+			errStr := ""
+			if err != nil {
+				errStr = err.Error()
+			}
+			rep := proto.Result{Slot: req.Slot, Node: node, Round: req.Round, Res: res, Err: errStr}
+			net.Send(node, 0, proto.TagResult, rep, size)
+			served++
+			if opts.LeaveAfter > 0 && served >= opts.LeaveAfter {
+				// Budget drained: rescue anything the fleet might not have
+				// yet, then leave gracefully (classified as a Leave, never a
+				// crash, by the fleet reader).
+				if myBest.X != nil && (gBest.X == nil || myBest.Value > gBest.Value) {
+					net.Send(node, 0, proto.TagGossip,
+						proto.Gossip{Epoch: epoch, Best: myBest}, proto.SolutionSize(ins.N))
+				}
+				net.SendControl(node, 0, proto.TagLeave, proto.Leave{Node: node, Reason: "budget"}, 0)
+				return
+			}
+			// Round done with budget to spare: offer to steal a straggler's
+			// work. The master only honors offers against slots that have
+			// been outstanding for half the rendezvous deadline.
+			net.SendControl(node, 0, proto.TagSteal, proto.Steal{Node: node, Round: req.Round}, 0)
+		}
+	}
+}
+
+// absorbGossip folds an epoch-stamped gossip into a member's local view. A
+// regression — an epoch below the highest already seen — is rejected outright
+// (stale broadcast from before a membership change); equal or newer epochs
+// advance the watermark and update the incumbent if it improved. It reports
+// whether the gossip was absorbed.
+func absorbGossip(epoch *uint64, best *mkp.Solution, g proto.Gossip) bool {
+	if g.Epoch < *epoch {
+		return false
+	}
+	*epoch = g.Epoch
+	if best.X == nil || g.Best.Value > best.Value {
+		*best = g.Best.Clone()
+	}
+	return true
+}
+
 // slaveLoop is the process each worker node runs. The report echoes the
 // order's slot and round so the master can route it to the right bookkeeping
 // entry and discard stale replies after re-dispatch. inc is this

@@ -1,8 +1,14 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
 	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/transport/wire"
@@ -73,5 +79,199 @@ func TestFleetModeMultiplexesJobs(t *testing.T) {
 		if want := solveDirect(t, ins, specs[i]); final.Value != want {
 			t.Fatalf("job %s over the fleet found %v, in-process finds %v", id, final.Value, want)
 		}
+	}
+}
+
+// TestFleetPoolElastic pins the pool-level membership semantics the /fleet
+// endpoints rely on: adds dedupe and take effect immediately, removing a free
+// address drops it at once, removing a leased address defers until release,
+// and a released retiring address never goes back into circulation.
+func TestFleetPoolElastic(t *testing.T) {
+	p := newFleetPool([]string{"a:1", "b:2"})
+	if got := p.addFleet([]string{"b:2", "c:3", ""}); got != 1 {
+		t.Fatalf("addFleet admitted %d, want 1 (dedupe + blank skip)", got)
+	}
+	if p.capacity() != 3 {
+		t.Fatalf("capacity %d, want 3", p.capacity())
+	}
+
+	lease, ok := p.acquire(2) // takes a:1, b:2
+	if !ok || len(lease) != 2 {
+		t.Fatalf("acquire = %v, %v", lease, ok)
+	}
+	dropped, deferred := p.removeFleet([]string{"c:3", lease[0], "nope:0"})
+	if dropped != 1 || deferred != 1 {
+		t.Fatalf("removeFleet = %d dropped, %d deferred; want 1, 1", dropped, deferred)
+	}
+	if p.capacity() != 1 {
+		t.Fatalf("capacity after removals %d, want 1 (both shrink immediately)", p.capacity())
+	}
+	free, leased, retiring := p.fleetView()
+	if len(free) != 0 || len(leased) != 1 || len(retiring) != 1 {
+		t.Fatalf("view = free %v leased %v retiring %v", free, leased, retiring)
+	}
+
+	p.release(lease, len(lease))
+	free, _, retiring = p.fleetView()
+	if len(retiring) != 0 {
+		t.Fatalf("retiring survived release: %v", retiring)
+	}
+	sort.Strings(free)
+	if len(free) != 1 || free[0] != lease[1] {
+		t.Fatalf("free after release = %v, want only %s (the retired one is gone)", free, lease[1])
+	}
+	if p.capacity() != 1 {
+		t.Fatalf("capacity after release %d, want 1", p.capacity())
+	}
+}
+
+func postFleet(t *testing.T, ts *httptest.Server, add, remove []string) map[string]any {
+	t.Helper()
+	body, _ := json.Marshal(map[string][]string{"add": add, "remove": remove})
+	resp, err := http.Post(ts.URL+"/fleet", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /fleet: %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestFleetEndpointsGrowAndShrink drives the elastic membership over HTTP: a
+// job too wide for the initial fleet is admitted once workers are added, and
+// removal shrinks capacity (and the admissible job width) back down.
+func TestFleetEndpointsGrowAndShrink(t *testing.T) {
+	initial := startFleet(t, 2)
+	s, ts := newTestServer(t, Config{Workers: initial})
+
+	// Too wide for the 2-worker fleet: refused at admission.
+	if _, resp := submit(t, ts, genSpec(400, 4, 2)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("p=4 against a 2-worker fleet: %d, want 400", resp.StatusCode)
+	}
+
+	// Grow the fleet over HTTP; the same job now fits and completes.
+	extra := startFleet(t, 2)
+	out := postFleet(t, ts, extra, nil)
+	if out["added"].(float64) != 2 || out["capacity"].(float64) != 4 {
+		t.Fatalf("grow reply %v", out)
+	}
+	st, resp := submit(t, ts, genSpec(400, 4, 2))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("p=4 after growth: %d", resp.StatusCode)
+	}
+	waitState(t, ts, st.ID, StateDone)
+
+	// Shrink back: free workers drop immediately, capacity follows.
+	out = postFleet(t, ts, nil, extra)
+	if out["removed"].(float64) != 2 || out["retiring"].(float64) != 0 {
+		t.Fatalf("shrink reply %v", out)
+	}
+	if s.Capacity() != 2 {
+		t.Fatalf("capacity after shrink %d, want 2", s.Capacity())
+	}
+	if _, resp := submit(t, ts, genSpec(401, 4, 2)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("p=4 after shrink: %d, want 400", resp.StatusCode)
+	}
+
+	// GET /fleet agrees with the pool.
+	gresp, err := http.Get(ts.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	var view struct {
+		Capacity int      `json:"capacity"`
+		MaxP     int      `json:"max_p"`
+		Free     []string `json:"free"`
+		Leased   []string `json:"leased"`
+		Retiring []string `json:"retiring"`
+	}
+	if err := json.NewDecoder(gresp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(view.Free)
+	want := append([]string(nil), initial...)
+	sort.Strings(want)
+	if view.Capacity != 2 || view.MaxP != 2 || len(view.Leased) != 0 || len(view.Retiring) != 0 {
+		t.Fatalf("GET /fleet = %+v", view)
+	}
+	for i, addr := range want {
+		if view.Free[i] != addr {
+			t.Fatalf("GET /fleet free = %v, want %v", view.Free, want)
+		}
+	}
+}
+
+// TestFleetRemoveLeasedDefers: removing a worker mid-job retires it only
+// after the job releases it, so the running job keeps its lease to the end.
+func TestFleetRemoveLeasedDefers(t *testing.T) {
+	fleet := startFleet(t, 2)
+	s, ts := newTestServer(t, Config{Workers: fleet})
+
+	st, resp := submit(t, ts, genSpec(402, 2, 4))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	// Wait until the job holds the lease, then remove its workers.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, leased, _ := s.pool.fleetView(); len(leased) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never leased the fleet")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	out := postFleet(t, ts, nil, fleet)
+	if out["removed"].(float64) != 0 || out["retiring"].(float64) != 2 {
+		t.Fatalf("remove-leased reply %v", out)
+	}
+	final := waitState(t, ts, st.ID, StateDone)
+	if final.Value <= 0 {
+		t.Fatalf("job with retiring workers finished badly: %+v", final)
+	}
+	// The lease release completes the removal: the pool is empty.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		free, leased, retiring := s.pool.fleetView()
+		if len(free) == 0 && len(leased) == 0 && len(retiring) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retiring workers never drained: free %v leased %v retiring %v", free, leased, retiring)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Capacity() != 0 {
+		t.Fatalf("capacity %d, want 0", s.Capacity())
+	}
+}
+
+// TestFleetEndpointsRejectSlotMode: a slot-mode server has no fleet to edit.
+func TestFleetEndpointsRejectSlotMode(t *testing.T) {
+	_, ts := newTestServer(t, Config{Slots: 2})
+	resp, err := http.Get(ts.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("GET /fleet in slot mode: %d, want 409", resp.StatusCode)
+	}
+	body, _ := json.Marshal(map[string][]string{"add": {"x:1"}})
+	presp, err := http.Post(ts.URL+"/fleet", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST /fleet in slot mode: %d, want 409", presp.StatusCode)
 	}
 }

@@ -30,15 +30,15 @@ import (
 
 // resultFile is the terminal summary persisted for done and failed jobs.
 type resultFile struct {
-	ID         string  `json:"id"`
-	State      string  `json:"state"` // done | failed
-	Canceled   bool    `json:"canceled,omitempty"`
-	Error      string  `json:"error,omitempty"`
-	Value      float64 `json:"value,omitempty"`
-	Items      int     `json:"items,omitempty"`
-	Rounds     int     `json:"rounds,omitempty"`
-	TotalMoves int64   `json:"total_moves,omitempty"`
-	ResumedFrom int    `json:"resumed_from,omitempty"`
+	ID          string  `json:"id"`
+	State       string  `json:"state"` // done | failed
+	Canceled    bool    `json:"canceled,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Value       float64 `json:"value,omitempty"`
+	Items       int     `json:"items,omitempty"`
+	Rounds      int     `json:"rounds,omitempty"`
+	TotalMoves  int64   `json:"total_moves,omitempty"`
+	ResumedFrom int     `json:"resumed_from,omitempty"`
 }
 
 func (s *Server) jobDir(id string) string {

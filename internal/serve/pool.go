@@ -14,14 +14,23 @@ import "sync"
 // strictly FIFO with no overtaking: a wide job at the head waits for its P
 // units, and narrower jobs behind it wait for the head — trading a little
 // utilization for starvation-freedom.
+//
+// A fleet pool is elastic: addFleet admits new worker addresses mid-flight
+// (waking a wide job blocked on capacity) and removeFleet drains addresses
+// out. Removing a free address takes effect immediately; removing a leased
+// one marks it retiring, and the lease release drops it instead of returning
+// it — a running job is never yanked off its workers.
 type pool struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	slots int      // free slots (slot mode)
-	fleet []string // free worker addresses (fleet mode)
+	mu      sync.Mutex
+	cond    *sync.Cond
+	slots   int      // free slots (slot mode)
+	fleet   []string // free worker addresses (fleet mode)
 	isFleet bool
 	closed  bool
 	total   int
+
+	known    map[string]bool // fleet: every address currently owned by the pool
+	retiring map[string]bool // fleet: leased addresses dropped on release
 }
 
 func newSlotPool(n int) *pool {
@@ -31,13 +40,18 @@ func newSlotPool(n int) *pool {
 }
 
 func newFleetPool(addrs []string) *pool {
-	p := &pool{fleet: append([]string(nil), addrs...), isFleet: true, total: len(addrs)}
+	p := &pool{isFleet: true, known: make(map[string]bool), retiring: make(map[string]bool)}
 	p.cond = sync.NewCond(&p.mu)
+	p.addFleet(addrs)
 	return p
 }
 
 // capacity is the pool's total size — the upper bound on any job's P.
-func (p *pool) capacity() int { return p.total }
+func (p *pool) capacity() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
 
 // acquire blocks until n units are free and takes them. In fleet mode it
 // returns the leased addresses; in slot mode the lease is nil. ok is false
@@ -64,15 +78,112 @@ func (p *pool) acquire(n int) (lease []string, ok bool) {
 }
 
 // release returns a lease (fleet mode) or n slots (slot mode) to the pool.
+// Retiring addresses complete their removal here instead of going back into
+// circulation.
 func (p *pool) release(lease []string, n int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.isFleet {
-		p.fleet = append(p.fleet, lease...)
+		for _, addr := range lease {
+			if p.retiring[addr] {
+				delete(p.retiring, addr)
+				delete(p.known, addr)
+				continue
+			}
+			p.fleet = append(p.fleet, addr)
+		}
 	} else {
 		p.slots += n
 	}
 	p.cond.Broadcast()
+}
+
+// addFleet admits new worker addresses (fleet mode). Addresses the pool
+// already owns are ignored; an address mid-retirement is re-admitted by
+// clearing its retiring mark. Returns how many addresses were actually added.
+func (p *pool) addFleet(addrs []string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	added := 0
+	for _, addr := range addrs {
+		if addr == "" {
+			continue
+		}
+		if p.known[addr] {
+			if p.retiring[addr] {
+				delete(p.retiring, addr)
+				p.total++
+				added++
+			}
+			continue
+		}
+		p.known[addr] = true
+		p.fleet = append(p.fleet, addr)
+		p.total++
+		added++
+	}
+	if added > 0 {
+		p.cond.Broadcast()
+	}
+	return added
+}
+
+// removeFleet drains worker addresses out of the pool (fleet mode). Free
+// addresses leave immediately (dropped); leased ones are marked retiring and
+// leave when their job releases them (deferred). Unknown addresses are
+// ignored. Capacity shrinks for both kinds right away, so admission stops
+// counting on a retiring worker before it is actually gone.
+func (p *pool) removeFleet(addrs []string) (dropped, deferred int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, addr := range addrs {
+		if !p.known[addr] || p.retiring[addr] {
+			continue
+		}
+		if i := indexOf(p.fleet, addr); i >= 0 {
+			p.fleet = append(p.fleet[:i], p.fleet[i+1:]...)
+			delete(p.known, addr)
+			p.total--
+			dropped++
+			continue
+		}
+		p.retiring[addr] = true
+		p.total--
+		deferred++
+	}
+	return dropped, deferred
+}
+
+// fleetView snapshots the membership for /fleet: free addresses, leased
+// addresses (held by running jobs), and the leased subset already marked
+// retiring.
+func (p *pool) fleetView() (free, leased, retiring []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	free = append([]string(nil), p.fleet...)
+	onShelf := make(map[string]bool, len(free))
+	for _, addr := range free {
+		onShelf[addr] = true
+	}
+	for addr := range p.known {
+		switch {
+		case onShelf[addr]:
+		case p.retiring[addr]:
+			retiring = append(retiring, addr)
+		default:
+			leased = append(leased, addr)
+		}
+	}
+	return free, leased, retiring
+}
+
+func indexOf(s []string, want string) int {
+	for i, v := range s {
+		if v == want {
+			return i
+		}
+	}
+	return -1
 }
 
 // close wakes any blocked acquire with ok=false; subsequent acquires fail.

@@ -55,8 +55,9 @@ func (c Config) withDefaults() Config {
 // comment for the design; New starts the scheduler, Handler exposes the API,
 // Close stops everything (running jobs checkpoint and resume on restart).
 type Server struct {
-	cfg  Config
-	pool *pool
+	cfg      Config
+	pool     *pool
+	userMaxP int // configured MaxP (0 = track pool capacity as the fleet resizes)
 
 	// own is the server's registry (queue/job counters, checkpoint-store
 	// metrics); gather merges it with every job's registry, each under its
@@ -70,15 +71,15 @@ type Server struct {
 	dialCtx    context.Context
 	dialCancel context.CancelFunc
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // submission order, for listing
-	seq      int
-	active   int // admitted and not yet terminal (admission control)
-	closing  bool
-	queue    chan *Job
-	quit     chan struct{}
-	wg       sync.WaitGroup
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // submission order, for listing
+	seq     int
+	active  int // admitted and not yet terminal (admission control)
+	closing bool
+	queue   chan *Job
+	quit    chan struct{}
+	wg      sync.WaitGroup
 }
 
 type serverMetrics struct {
@@ -105,9 +106,7 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		s.pool = newSlotPool(cfg.Slots)
 	}
-	if s.cfg.MaxP <= 0 || s.cfg.MaxP > s.pool.capacity() {
-		s.cfg.MaxP = s.pool.capacity()
-	}
+	s.userMaxP = cfg.MaxP
 	s.queue = make(chan *Job, cfg.MaxQueue)
 	s.gather = metrics.NewGatherer()
 	s.gather.Attach(s.own)
@@ -134,8 +133,41 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Capacity reports the pool size (slots or fleet width).
+// Capacity reports the pool size (slots or fleet width). In fleet mode it
+// moves as workers are added and removed.
 func (s *Server) Capacity() int { return s.pool.capacity() }
+
+// maxP is the per-job worker budget: the configured MaxP clamped to the
+// pool's current capacity. With no configured cap it simply tracks capacity,
+// so growing the fleet raises the widest admissible job.
+func (s *Server) maxP() int {
+	c := s.pool.capacity()
+	if s.userMaxP > 0 && s.userMaxP < c {
+		return s.userMaxP
+	}
+	return c
+}
+
+// AddWorkers admits mkpworker addresses into the fleet pool mid-flight,
+// waking any job blocked on capacity. Duplicates are ignored; an address
+// mid-retirement is re-admitted. Fleet mode only.
+func (s *Server) AddWorkers(addrs []string) (int, error) {
+	if !s.pool.isFleet {
+		return 0, fmt.Errorf("server runs in-process slots, not a worker fleet")
+	}
+	return s.pool.addFleet(addrs), nil
+}
+
+// RemoveWorkers drains addresses out of the fleet pool. Free workers leave
+// immediately; leased ones finish their current job first (retiring).
+// Capacity shrinks right away either way. Fleet mode only.
+func (s *Server) RemoveWorkers(addrs []string) (dropped, retiring int, err error) {
+	if !s.pool.isFleet {
+		return 0, 0, fmt.Errorf("server runs in-process slots, not a worker fleet")
+	}
+	dropped, retiring = s.pool.removeFleet(addrs)
+	return dropped, retiring, nil
+}
 
 // admit validates a spec, fills defaults, builds the instance and the job's
 // private observability (registry, trace hub). It does not register or
@@ -149,13 +181,13 @@ func (s *Server) admit(spec Spec) (*Job, error) {
 		return nil, err
 	}
 	if spec.P <= 0 {
-		spec.P = min(2, s.cfg.MaxP)
+		spec.P = min(2, s.maxP())
 	}
 	if algo == core.SEQ {
 		spec.P = 1
 	}
-	if spec.P > s.cfg.MaxP {
-		return nil, fmt.Errorf("p=%d exceeds the per-job worker budget %d", spec.P, s.cfg.MaxP)
+	if spec.P > s.maxP() {
+		return nil, fmt.Errorf("p=%d exceeds the per-job worker budget %d", spec.P, s.maxP())
 	}
 	if spec.Rounds <= 0 {
 		spec.Rounds = 20
@@ -487,6 +519,8 @@ func (s *Server) Close() error {
 //	GET    /jobs/{id}/events  NDJSON progress stream (backlog + live)
 //	GET    /jobs/{id}/solution  best solution, mkpverify-compatible text
 //	GET    /jobs/{id}/result  terminal summary JSON
+//	GET    /fleet             fleet membership: free/leased/retiring workers
+//	POST   /fleet             add/remove worker addresses mid-flight
 //	GET    /healthz           liveness + capacity
 //	GET    /metrics           merged Prometheus exposition, one label per job
 //	GET    /metrics.json      merged snapshot
@@ -503,9 +537,11 @@ func (s *Server) Handler() http.Handler {
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ok": true, "capacity": s.pool.capacity(), "active": active,
-			"fleet": len(s.cfg.Workers) > 0,
+			"fleet": s.pool.isFleet,
 		})
 	})
+	mux.HandleFunc("GET /fleet", s.handleFleetGet)
+	mux.HandleFunc("POST /fleet", s.handleFleetPost)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, _ *http.Request) {
 		jobs := s.Jobs()
@@ -535,6 +571,53 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/solution", s.handleSolution)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	return mux
+}
+
+// handleFleetGet reports the fleet membership: free workers, workers leased
+// to running jobs, and leased workers already marked for removal.
+func (s *Server) handleFleetGet(w http.ResponseWriter, _ *http.Request) {
+	if !s.pool.isFleet {
+		http.Error(w, "server runs in-process slots, not a worker fleet", http.StatusConflict)
+		return
+	}
+	free, leased, retiring := s.pool.fleetView()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": s.pool.capacity(), "max_p": s.maxP(),
+		"free": free, "leased": leased, "retiring": retiring,
+	})
+}
+
+// handleFleetPost mutates the fleet membership:
+//
+//	POST /fleet {"add": ["host:port", ...], "remove": ["host:port", ...]}
+//
+// Adds take effect immediately (a job blocked on capacity wakes up); removes
+// of leased workers defer until their job releases them.
+func (s *Server) handleFleetPost(w http.ResponseWriter, r *http.Request) {
+	if !s.pool.isFleet {
+		http.Error(w, "server runs in-process slots, not a worker fleet", http.StatusConflict)
+		return
+	}
+	var req struct {
+		Add    []string `json:"add"`
+		Remove []string `json:"remove"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad fleet request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Add) == 0 && len(req.Remove) == 0 {
+		http.Error(w, "fleet request needs add or remove", http.StatusBadRequest)
+		return
+	}
+	added := s.pool.addFleet(req.Add)
+	dropped, retiring := s.pool.removeFleet(req.Remove)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"added": added, "removed": dropped, "retiring": retiring,
+		"capacity": s.pool.capacity(), "max_p": s.maxP(),
+	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

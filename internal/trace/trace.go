@@ -51,6 +51,14 @@ const (
 	// KindCoreRefresh: the LP guide re-thresholded the reduced-cost fixing
 	// against an improved incumbent and published a tighter core.
 	KindCoreRefresh
+	// KindJoin: the master admitted a freshly joined worker into the fleet.
+	KindJoin
+	// KindLeave: a worker left the fleet gracefully.
+	KindLeave
+	// KindSteal: the master handed a straggler's slot to an idle thief.
+	KindSteal
+	// KindGossip: the master broadcast an epoch-stamped global best.
+	KindGossip
 )
 
 var kindNames = [...]string{
@@ -68,6 +76,10 @@ var kindNames = [...]string{
 	KindWatchdogTrip:  "watchdog-trip",
 	KindSlaveRestart:  "slave-restart",
 	KindCoreRefresh:   "core-refresh",
+	KindJoin:          "join",
+	KindLeave:         "leave",
+	KindSteal:         "steal",
+	KindGossip:        "gossip",
 }
 
 func (k Kind) String() string {

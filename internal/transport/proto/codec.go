@@ -23,8 +23,8 @@ func appendU64(dst []byte, v uint64) []byte {
 		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }
 
-func appendI64(dst []byte, v int64) []byte  { return appendU64(dst, uint64(v)) }
-func appendInt(dst []byte, v int) []byte    { return appendI64(dst, int64(v)) }
+func appendI64(dst []byte, v int64) []byte   { return appendU64(dst, uint64(v)) }
+func appendInt(dst []byte, v int) []byte     { return appendI64(dst, int64(v)) }
 func appendF64(dst []byte, v float64) []byte { return appendU64(dst, math.Float64bits(v)) }
 
 func appendU32(dst []byte, v uint32) []byte {
@@ -305,6 +305,33 @@ func EncodePayload(tag string, payload any, n int) ([]byte, error) {
 		}
 		dst := appendInt(nil, m.Node)
 		return appendI64(dst, m.Moves), nil
+	case TagJoin:
+		m, ok := payload.(Join)
+		if !ok {
+			return nil, fmt.Errorf("proto: %s payload is %T", tag, payload)
+		}
+		return appendString(nil, m.Name), nil
+	case TagLeave:
+		m, ok := payload.(Leave)
+		if !ok {
+			return nil, fmt.Errorf("proto: %s payload is %T", tag, payload)
+		}
+		dst := appendInt(nil, m.Node)
+		return appendString(dst, m.Reason), nil
+	case TagGossip:
+		m, ok := payload.(Gossip)
+		if !ok {
+			return nil, fmt.Errorf("proto: %s payload is %T", tag, payload)
+		}
+		dst := appendU64(nil, m.Epoch)
+		return AppendSolution(dst, m.Best, n)
+	case TagSteal:
+		m, ok := payload.(Steal)
+		if !ok {
+			return nil, fmt.Errorf("proto: %s payload is %T", tag, payload)
+		}
+		dst := appendInt(nil, m.Node)
+		return appendInt(dst, m.Round), nil
 	}
 	return nil, fmt.Errorf("proto: unknown tag %q", tag)
 }
@@ -371,6 +398,31 @@ func DecodePayload(tag string, data []byte, n int) (any, error) {
 			return nil, err
 		}
 		return m, nil
+	case TagJoin:
+		m := Join{Name: c.string("join.name")}
+		if err := c.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TagLeave:
+		m := Leave{Node: c.int("leave.node"), Reason: c.string("leave.reason")}
+		if err := c.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TagGossip:
+		m := Gossip{Epoch: c.u64("gossip.epoch")}
+		m.Best = c.solution(n, "gossip.best")
+		if err := c.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TagSteal:
+		m := Steal{Node: c.int("steal.node"), Round: c.int("steal.round")}
+		if err := c.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
 	}
 	return nil, fmt.Errorf("proto: unknown tag %q", tag)
 }
@@ -408,6 +460,11 @@ func EncodeHello(h Hello) ([]byte, error) {
 			dst = appendF64(dst, w)
 		}
 	}
+	dst = appendU64(dst, h.Epoch)
+	dst = appendU32(dst, uint32(len(h.Members)))
+	for _, m := range h.Members {
+		dst = appendInt(dst, m)
+	}
 	return dst, nil
 }
 
@@ -440,6 +497,15 @@ func DecodeHello(data []byte) (Hello, error) {
 		for j := range ins.Weight[i] {
 			ins.Weight[i][j] = c.f64("hello.weight")
 		}
+	}
+	h.Epoch = c.u64("hello.epoch")
+	memberLen := c.length("hello.members")
+	for i := 0; i < memberLen && c.err == nil; i++ {
+		node := c.int("hello.member")
+		if node < 1 {
+			return Hello{}, fmt.Errorf("proto: hello member node %d out of range", node)
+		}
+		h.Members = append(h.Members, node)
 	}
 	if err := c.done(); err != nil {
 		return Hello{}, err

@@ -92,6 +92,21 @@ func samplePayloads(n int) map[string][]any {
 		TagHeartbeat: {
 			Heartbeat{Node: 1, Moves: 123456},
 		},
+		TagJoin: {
+			Join{Name: "spot-worker-7"},
+			Join{},
+		},
+		TagLeave: {
+			Leave{Node: 9, Reason: "budget"},
+			Leave{Node: 1},
+		},
+		TagGossip: {
+			Gossip{Epoch: 42, Best: randomSolution(n, 6)},
+			Gossip{Epoch: 0, Best: randomSolution(n, 7)},
+		},
+		TagSteal: {
+			Steal{Node: 3, Round: 17},
+		},
 	}
 }
 
@@ -162,6 +177,15 @@ func TestPayloadRoundTrip(t *testing.T) {
 				same = back.(Ack) == want
 			case Heartbeat:
 				same = back.(Heartbeat) == want
+			case Join:
+				same = back.(Join) == want
+			case Leave:
+				same = back.(Leave) == want
+			case Gossip:
+				got := back.(Gossip)
+				same = got.Epoch == want.Epoch && equalSolutions(got.Best, want.Best)
+			case Steal:
+				same = back.(Steal) == want
 			}
 			if !same {
 				t.Fatalf("%s[%d]: round trip changed payload:\n  sent %+v\n  got  %+v", tag, i, p, back)
@@ -293,11 +317,14 @@ func TestEncodeRejectsWrongTypes(t *testing.T) {
 	if _, err := EncodePayload(TagStart, Result{}, 8); err == nil {
 		t.Fatal("Result accepted as start payload")
 	}
-	if _, err := EncodePayload("gossip", Heartbeat{}, 8); err == nil {
+	if _, err := EncodePayload("rumor", Heartbeat{}, 8); err == nil {
 		t.Fatal("unknown tag accepted")
 	}
-	if _, err := DecodePayload("gossip", nil, 8); err == nil {
+	if _, err := DecodePayload("rumor", nil, 8); err == nil {
 		t.Fatal("unknown tag decoded")
+	}
+	if _, err := EncodePayload(TagGossip, Steal{}, 8); err == nil {
+		t.Fatal("Steal accepted as gossip payload")
 	}
 	short := mkp.Solution{X: bitset.New(4), Value: 1}
 	if _, err := EncodePayload(TagStart, Start{Start: short, Params: sampleParams()}, 8); err == nil {
@@ -338,6 +365,51 @@ func TestHelloRoundTrip(t *testing.T) {
 				t.Fatalf("weight %d,%d changed", i, j)
 			}
 		}
+	}
+}
+
+// TestHelloElasticRoundTrip covers the membership fields the elastic fleet
+// added to the handshake: the joiner's admission epoch and the live-member
+// view it receives so it knows the fleet it entered.
+func TestHelloElasticRoundTrip(t *testing.T) {
+	ins := codecInstance(11, 3, 81)
+	want := Hello{Node: 7, Seed: 99, Ins: ins, Epoch: 1 << 40, Members: []int{1, 3, 7, 250}}
+	data, err := EncodeHello(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeHello(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch != want.Epoch {
+		t.Fatalf("epoch changed: got %d, want %d", back.Epoch, want.Epoch)
+	}
+	if len(back.Members) != len(want.Members) {
+		t.Fatalf("members changed: got %v, want %v", back.Members, want.Members)
+	}
+	for i, node := range want.Members {
+		if back.Members[i] != node {
+			t.Fatalf("members changed: got %v, want %v", back.Members, want.Members)
+		}
+	}
+}
+
+// TestHelloRejectsInvalidMember: a membership view naming node 0 (the master)
+// or a negative id is structural corruption, not data.
+func TestHelloRejectsInvalidMember(t *testing.T) {
+	ins := codecInstance(9, 2, 82)
+	data, err := EncodeHello(Hello{Node: 1, Seed: 5, Ins: ins, Members: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single member id occupies the final 8 bytes of the encoding.
+	mut := append([]byte(nil), data...)
+	for i := len(mut) - 8; i < len(mut); i++ {
+		mut[i] = 0
+	}
+	if _, err := DecodeHello(mut); err == nil {
+		t.Fatal("member id 0 accepted")
 	}
 }
 
@@ -388,7 +460,7 @@ func FuzzDecodePayload(f *testing.F) {
 			}
 		}
 	}
-	tags := []string{TagStart, TagResult, TagStop, TagStopped, TagHeartbeat}
+	tags := []string{TagStart, TagResult, TagStop, TagStopped, TagHeartbeat, TagJoin, TagLeave, TagGossip, TagSteal}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, tag := range tags {
 			DecodePayload(tag, data, n)

@@ -22,7 +22,9 @@ import (
 // Version is the codec version stamped into every wire frame. A peer that
 // sees any other value must reject the frame: there is exactly one live
 // version at a time, and skew is an operator error, not a negotiation.
-const Version = 1
+// Version 2 added the elastic-membership messages (Join/Leave/Gossip/Steal)
+// and extended Hello with the fleet epoch and membership view.
+const Version = 2
 
 // Message tags exchanged between the master (node 0) and slaves (nodes 1..P).
 const (
@@ -31,6 +33,10 @@ const (
 	TagStop      = "stop"      // master -> slave: Stop, or nil for silent shutdown
 	TagStopped   = "stopped"   // slave -> master: Ack (control plane)
 	TagHeartbeat = "heartbeat" // slave -> master: Heartbeat (wire liveness)
+	TagJoin      = "join"      // worker -> master: Join (elastic handshake opener)
+	TagLeave     = "leave"     // worker -> master: Leave (graceful departure)
+	TagGossip    = "gossip"    // both ways: Gossip (epoch-stamped incumbent)
+	TagSteal     = "steal"     // worker -> master: Steal (work-stealing request)
 )
 
 // Start is what the master sends a slave at each rendezvous: an initial
@@ -87,13 +93,52 @@ type Heartbeat struct {
 	Moves int64
 }
 
+// Join is the first frame an elastic worker sends after dialing a fleet
+// master: a request for admission. Name is a free-form label for logs and
+// the membership view ("host:pid"); the master assigns the node id in its
+// Hello reply, so a joiner carries no identity of its own.
+type Join struct {
+	Name string
+}
+
+// Leave announces a graceful departure: node Node is done after the current
+// round and its connection teardown must not be counted as a crash. Reason
+// is a free-form label for logs ("budget", "drain", "shutdown").
+type Leave struct {
+	Node   int
+	Reason string
+}
+
+// Gossip is an epoch-stamped incumbent broadcast. Master -> worker it
+// announces a new global best under a freshly bumped epoch (replacing the
+// synchronous rendezvous as the only best-propagation channel); worker ->
+// master it donates the worker's own best (a leaver's parting rescue, or an
+// asynchronous improvement report). Epoch is the fleet epoch the sender last
+// observed; receivers reject regressions.
+type Gossip struct {
+	Epoch uint64
+	Best  mkp.Solution
+}
+
+// Steal is an idle worker's request for more work: Node drained its budget
+// for Round and offers to take over a straggler's slot. It rides the control
+// plane so the fault injector can never swallow the offer.
+type Steal struct {
+	Node  int
+	Round int
+}
+
 // Hello is the master's handshake to a freshly connected worker: which node
 // it is, the seed for its searcher stream, and the full instance (the wire
-// equivalent of Fig. 2's "Read and send to slaves problem data").
+// equivalent of Fig. 2's "Read and send to slaves problem data"). On an
+// elastic fleet the master also stamps its current epoch and the live
+// membership view, so a late joiner knows the fleet state it is entering.
 type Hello struct {
-	Node int
-	Seed uint64
-	Ins  *mkp.Instance
+	Node    int
+	Seed    uint64
+	Ins     *mkp.Instance
+	Epoch   uint64
+	Members []int
 }
 
 // SolutionSize returns the encoded size of an n-item 0-1 solution: one

@@ -1,0 +1,572 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/mkp"
+	"repro/internal/transport"
+	"repro/internal/transport/proto"
+)
+
+// MemberState classifies one fleet member's connection.
+type MemberState int32
+
+const (
+	// MemberUnknown: the fleet has never handshaked this node.
+	MemberUnknown MemberState = iota
+	// MemberLive: connected, handshaked, not departed.
+	MemberLive
+	// MemberLeft: the worker announced a graceful Leave; the subsequent
+	// connection teardown is expected and must not be counted as a crash.
+	MemberLeft
+	// MemberDead: the connection died without a Leave — a real crash.
+	MemberDead
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case MemberLive:
+		return "live"
+	case MemberLeft:
+		return "left"
+	case MemberDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// maxFleetNodes caps how many node ids a fleet will ever assign. Frame
+// headers carry node numbers as a single byte, so ids stop at 250 (leaving
+// headroom under 255); a run that churns through more members than that needs
+// a wider header, not a bigger cap.
+const maxFleetNodes = 250
+
+// joinHandshakeTimeout bounds one joiner's Join/Hello/Ready exchange so a
+// stalled or hostile dialer cannot wedge the accept path.
+const joinHandshakeTimeout = 5 * time.Second
+
+// FleetConfig configures a listening fleet master.
+type FleetConfig struct {
+	// SeedFor returns the searcher seed for a node id. It must be a pure
+	// function of the node id so an admission replays deterministically.
+	SeedFor func(node int) uint64
+	// MaxNodes caps assigned node ids (default maxFleetNodes, which is also
+	// the hard ceiling imposed by the one-byte frame address).
+	MaxNodes int
+}
+
+// fleetConn is one joined worker connection. Writes are serialized by mu; the
+// reader goroutine owns all reads. state moves Live -> Left on a Leave frame
+// and Live -> Dead on an unannounced read/write failure — the classification
+// the engine's membership bookkeeping relies on to never double-count a
+// graceful departure as a crash.
+type fleetConn struct {
+	mu    sync.Mutex
+	c     net.Conn
+	br    *bufio.Reader
+	node  int
+	name  string
+	state atomic.Int32
+}
+
+func (fc *fleetConn) setState(s MemberState) { fc.state.Store(int32(s)) }
+func (fc *fleetConn) getState() MemberState  { return MemberState(fc.state.Load()) }
+func (fc *fleetConn) casState(o, n MemberState) bool {
+	return fc.state.CompareAndSwap(int32(o), int32(n))
+}
+
+// Fleet is the master side of the elastic wire transport. Where Net dials a
+// fixed worker list, a Fleet listens: workers dial in whenever they like,
+// open with a Join frame, and are assigned the next node id in a Hello that
+// also carries the instance, the current epoch and the live membership view.
+// Joined-but-unclaimed nodes queue until the engine admits them with
+// TakeJoins; departures are classified (Leave vs crash) per connection.
+//
+// It implements transport.Transport for the engine; only node 0's receive
+// methods are usable, exactly like Net.
+type Fleet struct {
+	ln  net.Listener
+	ins *mkp.Instance
+	n   int // instance size; payload codecs need it
+	cfg FleetConfig
+
+	inbox chan transport.Message
+	done  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+
+	epoch atomic.Uint64
+
+	mu       sync.Mutex
+	closed   bool
+	conns    map[int]*fleetConn
+	nextNode int
+	pending  []int         // handshaked nodes not yet claimed via TakeJoins
+	joined   chan struct{} // poked (non-blocking) on every successful join
+
+	msgs    atomic.Int64
+	bytes   atomic.Int64
+	dropped atomic.Int64
+	linkMu  sync.Mutex
+	links   map[[2]int]int64
+
+	mx wireMetrics
+}
+
+// ListenFleet opens a fleet listener on addr ("host:port", port 0 for
+// ephemeral) and starts accepting joiners immediately. reg may be nil.
+func ListenFleet(addr string, ins *mkp.Instance, cfg FleetConfig, reg *metrics.Registry) (*Fleet, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("wire: fleet without instance")
+	}
+	if cfg.SeedFor == nil {
+		return nil, fmt.Errorf("wire: fleet config needs SeedFor")
+	}
+	if cfg.MaxNodes <= 0 || cfg.MaxNodes > maxFleetNodes {
+		cfg.MaxNodes = maxFleetNodes
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: fleet listen on %s: %w", addr, err)
+	}
+	f := &Fleet{
+		ln:       ln,
+		ins:      ins,
+		n:        ins.N,
+		cfg:      cfg,
+		inbox:    make(chan transport.Message, 1024),
+		done:     make(chan struct{}),
+		conns:    make(map[int]*fleetConn),
+		nextNode: 1,
+		joined:   make(chan struct{}, 1),
+		links:    make(map[[2]int]int64),
+		mx:       newWireMetrics(reg),
+	}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f, nil
+}
+
+// Addr returns the listener's address, for workers to dial.
+func (f *Fleet) Addr() string { return f.ln.Addr().String() }
+
+func (f *Fleet) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		c, err := f.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		f.wg.Add(1)
+		go func() { defer f.wg.Done(); f.admit(c) }()
+	}
+}
+
+// admit runs the join handshake on a fresh connection and, on success, stays
+// on as its reader. Any handshake failure just drops the connection: a
+// joiner that never completed Ready was never a member.
+func (f *Fleet) admit(c net.Conn) {
+	c.SetDeadline(time.Now().Add(joinHandshakeTimeout))
+	br := bufio.NewReader(c)
+	kind, _, _, payload, err := readFrame(br)
+	if err != nil || kind != kindJoin {
+		c.Close()
+		return
+	}
+	decoded, err := proto.DecodePayload(proto.TagJoin, payload, f.n)
+	if err != nil {
+		c.Close()
+		return
+	}
+	join := decoded.(proto.Join)
+
+	f.mu.Lock()
+	if f.closed || f.nextNode > f.cfg.MaxNodes {
+		f.mu.Unlock()
+		c.Close()
+		return
+	}
+	node := f.nextNode
+	f.nextNode++
+	members := f.liveLocked()
+	f.mu.Unlock()
+
+	hello, err := proto.EncodeHello(proto.Hello{
+		Node:    node,
+		Seed:    f.cfg.SeedFor(node),
+		Ins:     f.ins,
+		Epoch:   f.epoch.Load(),
+		Members: members,
+	})
+	if err != nil {
+		c.Close()
+		return
+	}
+	if err := writeFrame(c, kindHello, 0, byte(node), hello); err != nil {
+		c.Close()
+		return
+	}
+	f.account(headerLen + len(hello))
+	kind, _, _, _, err = readFrame(br)
+	if err != nil || kind != kindReady {
+		c.Close()
+		return
+	}
+	f.account(headerLen)
+	c.SetDeadline(time.Time{})
+
+	fc := &fleetConn{c: c, br: br, node: node, name: join.Name}
+	fc.setState(MemberLive)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		c.Close()
+		return
+	}
+	f.conns[node] = fc
+	f.pending = append(f.pending, node)
+	f.mu.Unlock()
+	select {
+	case f.joined <- struct{}{}:
+	default:
+	}
+	f.reader(fc)
+}
+
+// reader drains one member's connection into the node-0 mailbox until the
+// connection ends. A Leave frame flips the member to MemberLeft before being
+// forwarded, so the EOF that follows is classified as an announced departure;
+// any other read error on a live member is a crash (MemberDead). This is the
+// classification that keeps a graceful Leave out of the DeadSlaves ledger.
+func (f *Fleet) reader(fc *fleetConn) {
+	for {
+		kind, _, _, payload, err := readFrame(fc.br)
+		if err != nil {
+			fc.casState(MemberLive, MemberDead)
+			return
+		}
+		tag, err := tagOf(kind)
+		if err != nil {
+			fc.casState(MemberLive, MemberDead)
+			return
+		}
+		began := time.Now()
+		decoded, err := proto.DecodePayload(tag, payload, f.n)
+		if err != nil {
+			fc.casState(MemberLive, MemberDead)
+			return
+		}
+		f.mx.decodeDur.Observe(time.Since(began).Seconds())
+		if tag == proto.TagLeave {
+			fc.setState(MemberLeft)
+		}
+		f.account(headerLen + len(payload))
+		f.msgs.Add(1)
+		f.bytes.Add(int64(len(payload)))
+		f.linkMu.Lock()
+		f.links[[2]int{fc.node, 0}]++
+		f.linkMu.Unlock()
+		select {
+		case f.inbox <- transport.Message{From: fc.node, To: 0, Tag: tag, Payload: decoded, Size: len(payload)}:
+		case <-f.done:
+			return
+		}
+	}
+}
+
+func (f *Fleet) account(frameBytes int) {
+	f.mx.frames.Inc()
+	f.mx.bytes.Add(int64(frameBytes))
+}
+
+// liveLocked returns the sorted live membership; caller holds f.mu.
+func (f *Fleet) liveLocked() []int {
+	var live []int
+	for node, fc := range f.conns {
+		if fc.getState() == MemberLive {
+			live = append(live, node)
+		}
+	}
+	sort.Ints(live)
+	return live
+}
+
+// LiveNodes returns the sorted node ids of all live members.
+func (f *Fleet) LiveNodes() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.liveLocked()
+}
+
+// MemberState reports a node's membership state.
+func (f *Fleet) MemberState(node int) MemberState {
+	f.mu.Lock()
+	fc := f.conns[node]
+	f.mu.Unlock()
+	if fc == nil {
+		return MemberUnknown
+	}
+	return fc.getState()
+}
+
+// MemberName returns the joiner-supplied label for a node ("" if unknown).
+func (f *Fleet) MemberName(node int) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fc := f.conns[node]; fc != nil {
+		return fc.name
+	}
+	return ""
+}
+
+// TakeJoins drains the queue of handshaked-but-unclaimed nodes, sorted by
+// node id so admission order is deterministic regardless of handshake races.
+func (f *Fleet) TakeJoins() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	nodes := f.pending
+	f.pending = nil
+	sort.Ints(nodes)
+	return nodes
+}
+
+// WaitJoins blocks until at least min members are live (true) or the timeout
+// or ctx expires (false). ctx may be nil.
+func (f *Fleet) WaitJoins(ctx context.Context, min int, timeout time.Duration) bool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		f.mu.Lock()
+		live := len(f.liveLocked())
+		f.mu.Unlock()
+		if live >= min {
+			return true
+		}
+		select {
+		case <-f.joined:
+		case <-deadline.C:
+			return false
+		case <-ctx.Done():
+			return false
+		case <-f.done:
+			return false
+		}
+	}
+}
+
+// SetEpoch publishes the engine's current fleet epoch; it is stamped into
+// every subsequent joiner's Hello.
+func (f *Fleet) SetEpoch(e uint64) { f.epoch.Store(e) }
+
+// Epoch returns the last published fleet epoch.
+func (f *Fleet) Epoch() uint64 { return f.epoch.Load() }
+
+// Nodes returns the highest assigned node id plus one (the master). It grows
+// as members join; slot tables sized off it are append-only.
+func (f *Fleet) Nodes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nextNode
+}
+
+// Send encodes the payload and writes one frame to member `to`. Sends to
+// unknown, left or dead members are swallowed and counted as dropped, exactly
+// like Net's sends to dead workers.
+func (f *Fleet) Send(from, to int, tag string, payload any, size int) error {
+	f.mu.Lock()
+	fc := f.conns[to]
+	f.mu.Unlock()
+	if fc == nil || fc.getState() != MemberLive {
+		f.dropped.Add(1)
+		f.mx.dropped.Inc()
+		return nil
+	}
+	began := time.Now()
+	data, err := proto.EncodePayload(tag, payload, f.n)
+	if err != nil {
+		return err
+	}
+	f.mx.encodeDur.Observe(time.Since(began).Seconds())
+	kind, err := kindOf(tag)
+	if err != nil {
+		return err
+	}
+	fc.mu.Lock()
+	err = writeFrame(fc.c, kind, byte(from), byte(to), data)
+	fc.mu.Unlock()
+	if err != nil {
+		fc.casState(MemberLive, MemberDead)
+		f.dropped.Add(1)
+		f.mx.dropped.Inc()
+		return nil
+	}
+	f.account(headerLen + len(data))
+	f.msgs.Add(1)
+	f.bytes.Add(int64(len(data)))
+	f.linkMu.Lock()
+	f.links[[2]int{from, to}]++
+	f.linkMu.Unlock()
+	return nil
+}
+
+// SendControl is Send: a real wire has no fault injector to bypass.
+func (f *Fleet) SendControl(from, to int, tag string, payload any, size int) error {
+	return f.Send(from, to, tag, payload, size)
+}
+
+// Broadcast sends one message to every live member and returns how many
+// sends were attempted — the gossip fan-out primitive.
+func (f *Fleet) Broadcast(tag string, payload any, size int) int {
+	nodes := f.LiveNodes()
+	for _, node := range nodes {
+		f.Send(0, node, tag, payload, size)
+	}
+	return len(nodes)
+}
+
+// Recv blocks until a message for node 0 arrives.
+func (f *Fleet) Recv(node int) transport.Message { return <-f.inbox }
+
+// RecvTimeout waits up to d for a message for node 0.
+func (f *Fleet) RecvTimeout(node int, d time.Duration) (transport.Message, bool) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m := <-f.inbox:
+		return m, true
+	case <-timer.C:
+		return transport.Message{}, false
+	}
+}
+
+// TryRecv returns a pending message for node 0 without blocking.
+func (f *Fleet) TryRecv(node int) (transport.Message, bool) {
+	select {
+	case m := <-f.inbox:
+		return m, true
+	default:
+		return transport.Message{}, false
+	}
+}
+
+// Drain discards all pending node-0 messages and returns how many there were.
+func (f *Fleet) Drain(node int) int {
+	count := 0
+	for {
+		if _, ok := f.TryRecv(node); !ok {
+			return count
+		}
+		count++
+	}
+}
+
+// Crashed reports whether a member's connection died without a Leave. A
+// graceful leaver is not crashed: it said goodbye.
+func (f *Fleet) Crashed(node int) bool { return f.MemberState(node) == MemberDead }
+
+// Revive is a no-op: the fleet cannot restart a remote process — recovery is
+// admission of fresh joiners, not resurrection.
+func (f *Fleet) Revive(node int) int { return 0 }
+
+// Stats returns a snapshot of the traffic counters.
+func (f *Fleet) Stats() transport.Stats {
+	f.linkMu.Lock()
+	defer f.linkMu.Unlock()
+	links := make(map[[2]int]int64, len(f.links))
+	for k, v := range f.links {
+		links[k] = v
+	}
+	return transport.Stats{
+		Messages:  f.msgs.Load(),
+		Bytes:     f.bytes.Load(),
+		Dropped:   f.dropped.Load(),
+		LinkMsgs:  links,
+		BusiestIn: 0,
+	}
+}
+
+// Close stops accepting, tears down every member connection and waits for
+// the readers to exit. Safe to call more than once.
+func (f *Fleet) Close() error {
+	f.once.Do(func() { close(f.done) })
+	f.mu.Lock()
+	f.closed = true
+	conns := make([]*fleetConn, 0, len(f.conns))
+	for _, fc := range f.conns {
+		conns = append(conns, fc)
+	}
+	f.mu.Unlock()
+	f.ln.Close()
+	for _, fc := range conns {
+		fc.c.Close()
+	}
+	f.wg.Wait()
+	return nil
+}
+
+// JoinFleet is the worker side of the elastic handshake: dial the fleet
+// master (with the same retry/backoff as Dial), send a Join carrying a
+// free-form name, receive the Hello assigning this worker its node id, seed,
+// instance, epoch and membership view, answer Ready, and publish the initial
+// zero-moves heartbeat. The returned Session is the worker's transport, same
+// as Accept's.
+func JoinFleet(addr, name string, reg *metrics.Registry, opts ...DialOption) (*Session, proto.Hello, error) {
+	cfg := dialConfig{timeout: defaultDialTimeout, ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mx := newWireMetrics(reg)
+	c, err := dialRetry(cfg, addr, mx)
+	if err != nil {
+		return nil, proto.Hello{}, fmt.Errorf("wire: joining fleet at %s: %w", addr, err)
+	}
+	c.SetDeadline(time.Now().Add(cfg.timeout))
+	join, err := proto.EncodePayload(proto.TagJoin, proto.Join{Name: name}, 0)
+	if err != nil {
+		c.Close()
+		return nil, proto.Hello{}, err
+	}
+	if err := writeFrame(c, kindJoin, 0, 0, join); err != nil {
+		c.Close()
+		return nil, proto.Hello{}, fmt.Errorf("wire: sending join: %w", err)
+	}
+	br := bufio.NewReader(c)
+	kind, _, _, payload, err := readFrame(br)
+	if err != nil {
+		c.Close()
+		return nil, proto.Hello{}, fmt.Errorf("wire: reading hello: %w", err)
+	}
+	if kind != kindHello {
+		c.Close()
+		return nil, proto.Hello{}, fmt.Errorf("wire: expected hello frame, got kind %d", kind)
+	}
+	hello, err := proto.DecodeHello(payload)
+	if err != nil {
+		c.Close()
+		return nil, proto.Hello{}, err
+	}
+	s := &Session{c: c, br: br, node: hello.Node, n: hello.Ins.N, mx: mx}
+	if err := writeFrame(c, kindReady, byte(hello.Node), 0, nil); err != nil {
+		c.Close()
+		return nil, proto.Hello{}, fmt.Errorf("wire: sending ready: %w", err)
+	}
+	c.SetDeadline(time.Time{})
+	s.account(headerLen, 0)
+	if err := s.Send(hello.Node, 0, proto.TagHeartbeat, proto.Heartbeat{Node: hello.Node, Moves: 0}, 0); err != nil {
+		return nil, proto.Hello{}, err
+	}
+	return s, hello, nil
+}
+
+var _ transport.Transport = (*Fleet)(nil)

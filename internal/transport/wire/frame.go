@@ -45,8 +45,12 @@ const (
 	maxPayload = 64 << 20
 )
 
-// Frame kinds. Start..Heartbeat map one-to-one onto the proto tags; Hello and
-// Ready exist only during the dial handshake and never reach a Transport.
+// Frame kinds. Start..Heartbeat and Join..Steal map one-to-one onto the
+// proto tags; Hello and Ready exist only during the dial handshake and never
+// reach a Transport. Join opens the elastic handshake (worker -> fleet
+// master), Leave closes a membership gracefully, Gossip carries the
+// epoch-stamped incumbent both ways, and Steal is an idle worker's offer to
+// take over a straggler's slot.
 const (
 	kindStart byte = iota + 1
 	kindResult
@@ -55,6 +59,10 @@ const (
 	kindHeartbeat
 	kindHello
 	kindReady
+	kindJoin
+	kindLeave
+	kindGossip
+	kindSteal
 )
 
 // kindOf maps a proto tag to its frame kind.
@@ -70,6 +78,14 @@ func kindOf(tag string) (byte, error) {
 		return kindStopped, nil
 	case proto.TagHeartbeat:
 		return kindHeartbeat, nil
+	case proto.TagJoin:
+		return kindJoin, nil
+	case proto.TagLeave:
+		return kindLeave, nil
+	case proto.TagGossip:
+		return kindGossip, nil
+	case proto.TagSteal:
+		return kindSteal, nil
 	}
 	return 0, fmt.Errorf("wire: no frame kind for tag %q", tag)
 }
@@ -87,6 +103,14 @@ func tagOf(kind byte) (string, error) {
 		return proto.TagStopped, nil
 	case kindHeartbeat:
 		return proto.TagHeartbeat, nil
+	case kindJoin:
+		return proto.TagJoin, nil
+	case kindLeave:
+		return proto.TagLeave, nil
+	case kindGossip:
+		return proto.TagGossip, nil
+	case kindSteal:
+		return proto.TagSteal, nil
 	}
 	return "", fmt.Errorf("wire: unknown frame kind %d", kind)
 }

@@ -78,20 +78,24 @@ func TestFrameTruncationRejected(t *testing.T) {
 // codec version with a VALID checksum: the version gate alone must reject it,
 // because skew is an operator error, not a negotiation.
 func TestFrameVersionSkewRejected(t *testing.T) {
-	payload := []byte{1, 2, 3}
-	hdr := []byte{magic0, magic1, proto.Version + 1, kindStart, 0, 1}
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(payload)))
-	crc := crc32.Checksum(hdr, castagnoli)
-	crc = crc32.Update(crc, castagnoli, payload)
-	hdr = binary.LittleEndian.AppendUint32(hdr, crc)
-	frame := append(hdr, payload...)
+	// Version-1 is the live downgrade case: a pre-elastic (v1) worker dialing
+	// a v2 fleet must be refused at the first frame.
+	for _, version := range []byte{proto.Version + 1, proto.Version - 1} {
+		payload := []byte{1, 2, 3}
+		hdr := []byte{magic0, magic1, version, kindStart, 0, 1}
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(payload)))
+		crc := crc32.Checksum(hdr, castagnoli)
+		crc = crc32.Update(crc, castagnoli, payload)
+		hdr = binary.LittleEndian.AppendUint32(hdr, crc)
+		frame := append(hdr, payload...)
 
-	_, _, _, _, err := readFrame(bytes.NewReader(frame))
-	if err == nil {
-		t.Fatal("version-skewed frame accepted")
-	}
-	if !strings.Contains(err.Error(), "version") {
-		t.Fatalf("skew rejected for the wrong reason: %v", err)
+		_, _, _, _, err := readFrame(bytes.NewReader(frame))
+		if err == nil {
+			t.Fatalf("version-%d frame accepted (ours is %d)", version, proto.Version)
+		}
+		if !strings.Contains(err.Error(), "version") {
+			t.Fatalf("skew rejected for the wrong reason: %v", err)
+		}
 	}
 }
 
@@ -130,7 +134,10 @@ func TestAppendFrameRejectsOversizedPayload(t *testing.T) {
 }
 
 func TestKindTagMapping(t *testing.T) {
-	for _, tag := range []string{proto.TagStart, proto.TagResult, proto.TagStop, proto.TagStopped, proto.TagHeartbeat} {
+	for _, tag := range []string{
+		proto.TagStart, proto.TagResult, proto.TagStop, proto.TagStopped, proto.TagHeartbeat,
+		proto.TagJoin, proto.TagLeave, proto.TagGossip, proto.TagSteal,
+	} {
 		kind, err := kindOf(tag)
 		if err != nil {
 			t.Fatal(err)
@@ -143,7 +150,7 @@ func TestKindTagMapping(t *testing.T) {
 			t.Fatalf("tag %q mapped to kind %d mapped back to %q", tag, kind, back)
 		}
 	}
-	if _, err := kindOf("gossip"); err == nil {
+	if _, err := kindOf("rumor"); err == nil {
 		t.Fatal("unknown tag mapped")
 	}
 	if _, err := tagOf(kindHello); err == nil {

@@ -175,6 +175,13 @@ func Dial(addrs []string, ins *mkp.Instance, seeds []uint64, reg *metrics.Regist
 }
 
 func (w *Net) dialRetry(cfg dialConfig, addr string) (net.Conn, error) {
+	return dialRetry(cfg, addr, w.mx)
+}
+
+// dialRetry dials addr with exponential backoff until cfg.timeout; shared by
+// the master's Dial (out to listening workers) and the elastic worker's
+// JoinFleet (in to a listening master).
+func dialRetry(cfg dialConfig, addr string, mx wireMetrics) (net.Conn, error) {
 	ctx, cancel := context.WithDeadline(cfg.ctx, time.Now().Add(cfg.timeout))
 	defer cancel()
 	backoff := retryBase
@@ -192,7 +199,7 @@ func (w *Net) dialRetry(cfg dialConfig, addr string) (net.Conn, error) {
 			return nil, fmt.Errorf("dial canceled: %w", cfg.ctx.Err())
 		}
 		if attempt > 0 {
-			w.mx.reconnects.Inc()
+			mx.reconnects.Inc()
 		}
 		deadline, _ := ctx.Deadline()
 		if time.Now().Add(backoff).After(deadline) {
@@ -394,11 +401,11 @@ func (w *Net) Stats() transport.Stats {
 		links[k] = v
 	}
 	return transport.Stats{
-		Messages:   w.msgs.Load(),
-		Bytes:      w.bytes.Load(),
-		Dropped:    w.dropped.Load(),
-		LinkMsgs:   links,
-		BusiestIn:  0,
+		Messages:  w.msgs.Load(),
+		Bytes:     w.bytes.Load(),
+		Dropped:   w.dropped.Load(),
+		LinkMsgs:  links,
+		BusiestIn: 0,
 	}
 }
 

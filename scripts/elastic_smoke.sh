@@ -1,0 +1,150 @@
+#!/bin/sh
+# CI smoke for the elastic asynchronous farm, in two phases over real OS
+# processes.
+#
+# Churn phase: one mkpsolve -elastic master and 64 real mkpworker -join
+# processes — 48 steady, 8 spot-style leavers (-leave-after) that depart
+# early, and 8 late joiners spawned only after the first leaver is gone. The
+# run must complete, classify exactly 8 graceful leaves and 8 mid-run joins,
+# and produce a solution that passes mkpverify.
+#
+# Scale phase: P=16/64/128 full-fleet runs under -equalwork (total moves per
+# round constant, so bigger fleets do the same work split thinner). Writes
+# the per-P summaries into one BENCH_elastic.json and fails if rounds/sec or
+# bytes/worker/round drift more than the tolerance across the sweep — the
+# membership plane must not tax the rendezvous as P grows.
+# Usage: scripts/elastic_smoke.sh [mkpsolve] [mkpworker] [mkpgen] [mkpverify] [out.json]
+set -eu
+
+SOLVE=${1:-./mkpsolve}
+WORKER=${2:-./mkpworker}
+GEN=${3:-./mkpgen}
+VERIFY=${4:-./mkpverify}
+OUT=${5:-BENCH_elastic.json}
+# min/max ratio both metrics must clear across the P sweep (0.8 = within 20%).
+FLAT=${ELASTIC_FLATNESS:-0.8}
+
+DIR=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "elastic smoke FAILED: $1" >&2
+    shift
+    for f in "$@"; do
+        echo "---- $f" >&2
+        cat "$f" >&2 || true
+    done
+    exit 1
+}
+
+# wait_addr LOG: poll LOG for the master's fleet announcement.
+wait_addr() {
+    k=0
+    while [ $k -lt 200 ]; do
+        A=$(sed -n 's/^mkpsolve: fleet listening on //p' "$1" | head -n 1)
+        if [ -n "$A" ]; then
+            echo "$A"
+            return 0
+        fi
+        sleep 0.1
+        k=$((k + 1))
+    done
+    return 1
+}
+
+"$GEN" -family gk -n 100 -m 10 -tightness 0.25 -seed 1 -o "$DIR/instance.txt"
+
+# ---- Phase 1: churn ------------------------------------------------------
+# 64-wide fleet, assembled from 56 (48 steady + 8 leavers); 8 join late.
+"$SOLVE" -elastic 127.0.0.1:0 -p 64 -minworkers 56 -joingrace 120s \
+    -rounds 16 -moves 64000 -equalwork -slavetimeout 60s -seed 9 -q \
+    -sol "$DIR/churn.sol" -benchjson "$DIR/churn.json" \
+    "$DIR/instance.txt" >"$DIR/churn.out" 2>"$DIR/churn.log" &
+MASTER=$!
+PIDS="$PIDS $MASTER"
+ADDR=$(wait_addr "$DIR/churn.log") || fail "churn master never announced its fleet address" "$DIR/churn.log"
+
+i=0
+while [ $i -lt 48 ]; do
+    "$WORKER" -join "$ADDR" -name "steady$i" 2>>"$DIR/steady.log" &
+    PIDS="$PIDS $!"
+    i=$((i + 1))
+done
+i=0
+while [ $i -lt 8 ]; do
+    "$WORKER" -join "$ADDR" -name "leaver$i" -leave-after 2 2>"$DIR/leaver$i.log" &
+    PIDS="$PIDS $!"
+    i=$((i + 1))
+done
+
+# A leaver's departure note proves the run is past round 2 and still going:
+# only then are the late joiners genuinely mid-run members.
+k=0
+while [ $k -lt 600 ]; do
+    grep -q "departed" "$DIR/leaver0.log" 2>/dev/null && break
+    kill -0 "$MASTER" 2>/dev/null || fail "churn master died before any leaver departed" "$DIR/churn.log"
+    sleep 0.1
+    k=$((k + 1))
+done
+grep -q "departed" "$DIR/leaver0.log" || fail "no leaver ever departed" "$DIR/leaver0.log" "$DIR/churn.log"
+i=0
+while [ $i -lt 8 ]; do
+    "$WORKER" -join "$ADDR" -name "late$i" 2>>"$DIR/late.log" &
+    PIDS="$PIDS $!"
+    i=$((i + 1))
+done
+
+wait "$MASTER" || fail "churn master failed" "$DIR/churn.log" "$DIR/steady.log"
+JOINS=$(jq .joins "$DIR/churn.json")
+LEAVES=$(jq .leaves "$DIR/churn.json")
+[ "$LEAVES" = "8" ] || fail "churn run classified $LEAVES graceful leaves, want 8" "$DIR/churn.json" "$DIR/churn.log"
+[ "$JOINS" = "8" ] || fail "churn run admitted $JOINS mid-run joins, want 8" "$DIR/churn.json" "$DIR/late.log" "$DIR/churn.log"
+"$VERIFY" "$DIR/instance.txt" "$DIR/churn.sol" >/dev/null \
+    || fail "mkpverify rejected the churn run's solution" "$DIR/churn.log"
+echo "elastic churn OK: 64 workers, $JOINS joins, $LEAVES leaves, best $(cat "$DIR/churn.out")"
+
+# ---- Phase 2: scale sweep ------------------------------------------------
+for P in 16 64 128; do
+    "$SOLVE" -elastic 127.0.0.1:0 -p "$P" -minworkers "$P" -joingrace 300s \
+        -rounds 8 -moves 25600 -equalwork -slavetimeout 60s -seed 5 -q \
+        -benchjson "$DIR/scale$P.json" \
+        "$DIR/instance.txt" >/dev/null 2>"$DIR/scale$P.log" &
+    MASTER=$!
+    PIDS="$PIDS $MASTER"
+    ADDR=$(wait_addr "$DIR/scale$P.log") || fail "P=$P master never announced its fleet address" "$DIR/scale$P.log"
+    i=0
+    while [ $i -lt "$P" ]; do
+        "$WORKER" -join "$ADDR" 2>>"$DIR/scaleworkers$P.log" &
+        PIDS="$PIDS $!"
+        i=$((i + 1))
+    done
+    wait "$MASTER" || fail "P=$P scale run failed" "$DIR/scale$P.log" "$DIR/scaleworkers$P.log"
+    echo "elastic scale P=$P OK: $(jq -c '{rounds, elapsed_seconds, assembled_seconds, bytes}' "$DIR/scale$P.json")"
+done
+
+# One summary file: the per-P runs plus the derived per-round rates. The
+# assembly wait (process spawning, join handshakes) is excluded from the
+# rate — the claim under test is about the steady-state rendezvous.
+jq -s '{
+    tool: "scripts/elastic_smoke.sh",
+    equalwork_moves_per_round: 25600,
+    phases: [ .[] | . + {
+        rounds_per_sec: (.rounds / (.elapsed_seconds - .assembled_seconds)),
+        bytes_per_worker_per_round: (.bytes / .p / .rounds)
+    } ]
+}' "$DIR/scale16.json" "$DIR/scale64.json" "$DIR/scale128.json" >"$OUT"
+
+check_flat() { # metric name
+    jq -e --arg m "$1" --argjson flat "$FLAT" \
+        '[.phases[][$m]] | (min / max) >= $flat' "$OUT" >/dev/null \
+        || fail "$1 drifts more than $(jq -n --argjson f "$FLAT" '100*(1-$f)')% across P=16..128: $(jq -c "[.phases[].$1]" "$OUT")" "$OUT"
+}
+check_flat rounds_per_sec
+check_flat bytes_per_worker_per_round
+
+echo "elastic smoke OK: $(jq -c '[.phases[] | {p, rounds_per_sec, bytes_per_worker_per_round}]' "$OUT")"
