@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench kernel solverbench bench-guard chaos metrics metrics-smoke crash-resume transport worker-smoke serve-smoke elastic elastic-smoke
+.PHONY: build vet test race check bench kernel solverbench bench-guard chaos chaos-wire chaos-smoke metrics metrics-smoke crash-resume transport worker-smoke serve-smoke elastic elastic-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,30 @@ bench:
 # aliasing regression.
 chaos:
 	$(GO) test -race -run Fault ./...
+
+# chaos-wire runs the network chaos layer and untrusted-result hardening
+# suites under the race detector: the chaosnet injector unit tests, the
+# frame/backoff/eviction hardening pins in wire, and the core chaos battery
+# (zero-plan equivalence, recovery under corruption/resets/partitions, the
+# forged-result quarantine path, slow-stream timeouts).
+chaos-wire:
+	$(GO) test -race ./internal/transport/chaosnet ./internal/backoff
+	$(GO) test -race -run 'Chaos|Hard|Evict|Cancel|Corrupt' ./internal/transport/wire
+	$(GO) test -race -run '^TestChaos' ./internal/core
+	$(GO) test -race -run 'SlowClient' ./internal/serve
+
+# chaos-smoke boots an elastic mkpsolve under a seeded corruption/reset/
+# partition schedule with 7 rejoining mkpworker processes plus one -forge
+# worker; the run must finish verified, the forger must be rejected and
+# quarantined (counters on /metrics), and an inert chaos plan must reproduce
+# the plain wire run bit for bit.
+chaos-smoke:
+	$(GO) build -o ./mkpsolve.smoke ./cmd/mkpsolve
+	$(GO) build -o ./mkpworker.smoke ./cmd/mkpworker
+	$(GO) build -o ./mkpgen.smoke ./cmd/mkpgen
+	$(GO) build -o ./mkpverify.smoke ./cmd/mkpverify
+	./scripts/chaos_smoke.sh ./mkpsolve.smoke ./mkpworker.smoke ./mkpgen.smoke ./mkpverify.smoke
+	rm -f ./mkpsolve.smoke ./mkpworker.smoke ./mkpgen.smoke ./mkpverify.smoke
 
 # kernel regenerates the committed before/after baseline for the evaluator
 # hot path (optimized column-major kernel vs naive row-major reference).

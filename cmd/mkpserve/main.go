@@ -65,7 +65,15 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "mkpserve:", err)
 		return 1
 	}
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	// No WriteTimeout: /events streams are long-lived by design and guard
+	// themselves with per-write deadlines; the idle and header timeouts keep
+	// silent or half-open clients from pinning connections.
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	// Graceful shutdown: running jobs finish their round in progress (their
 	// checkpoints are already durable) and the next incarnation resumes them.

@@ -31,6 +31,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/supervise"
 	"repro/internal/trace"
+	"repro/internal/transport/chaosnet"
 	"repro/internal/transport/inproc"
 )
 
@@ -85,6 +86,14 @@ func run() int {
 		dupRate   = flag.Float64("duprate", 0, "fault injection: probability a message is delivered twice")
 		crash     = flag.String("crash", "", "fault injection: comma-separated NODE@K specs; node goes fail-silent after K sends (slaves are nodes 1..P)")
 		slaveTO   = flag.Duration("slavetimeout", 0, "upper bound on the per-round rendezvous deadline under faults (0 = default 5s)")
+
+		chaosSeed     = flag.Uint64("chaos", 0, "seed for the deterministic network chaos injector on wire connections (-workers/-elastic; armed when any chaos flag is set)")
+		chaosCorrupt  = flag.Float64("chaos-corrupt", 0, "chaos: probability a write has one byte flipped (surfaces as CRC hard-errors, never silent data)")
+		chaosReset    = flag.Float64("chaos-reset", 0, "chaos: probability an I/O op tears the connection down mid-flight")
+		chaosStall    = flag.Float64("chaos-stall", 0, "chaos: probability an I/O op pauses for -chaos-stallfor")
+		chaosStallFor = flag.Duration("chaos-stallfor", 0, "chaos: injected pause duration (default 50ms when -chaos-stall is set)")
+		chaosBW       = flag.Int64("chaos-bw", 0, "chaos: per-link per-direction bandwidth cap in bytes/sec (0 = unlimited)")
+		chaosPart     = flag.String("chaos-partition", "", "chaos: partition windows LINK@AFTER+HEAL, e.g. 0@500ms+1s,2@1s+750ms (writes black-hole, reads block until heal)")
 	)
 	flag.Parse()
 
@@ -178,6 +187,12 @@ func run() int {
 		return fail(err)
 	} else {
 		opts.Faults = plan
+	}
+	if plan, err := chaosPlan(*chaosSeed, *chaosCorrupt, *chaosReset, *chaosStall,
+		*chaosStallFor, *chaosBW, *chaosPart); err != nil {
+		return fail(err)
+	} else {
+		opts.Chaos = plan
 	}
 	opts.SlaveTimeout = *slaveTO
 	opts.Metrics = reg
@@ -361,6 +376,30 @@ func faultPlan(seed uint64, dropRate, dupRate float64, crash string) (*inproc.Fa
 	return plan, nil
 }
 
+// chaosPlan assembles the wire-substrate chaos plan from the -chaos-* flags,
+// the network mirror of faultPlan's in-process injection. Validation happens
+// in the engine (which also rejects a plan with no wire substrate to wrap).
+func chaosPlan(seed uint64, corrupt, reset, stall float64, stallFor time.Duration,
+	bw int64, partitions string) (*chaosnet.Plan, error) {
+	parts, err := chaosnet.ParsePartitions(partitions)
+	if err != nil {
+		return nil, err
+	}
+	if seed == 0 && corrupt == 0 && reset == 0 && stall == 0 && stallFor == 0 &&
+		bw == 0 && len(parts) == 0 {
+		return nil, nil
+	}
+	return &chaosnet.Plan{
+		Seed:        seed,
+		CorruptRate: corrupt,
+		ResetRate:   reset,
+		StallRate:   stall,
+		Stall:       stallFor,
+		BytesPerSec: bw,
+		Partitions:  parts,
+	}, nil
+}
+
 func loadInstance(genSize string, seed uint64, index int, args []string) (*mkp.Instance, error) {
 	if genSize != "" {
 		var n, m int
@@ -426,6 +465,10 @@ func report(ins *mkp.Instance, algo string, res *core.Result, quiet bool) {
 	if res.Stats.DroppedMessages > 0 || res.Stats.SlaveFailures > 0 || res.Stats.DeadSlaves > 0 {
 		fmt.Printf("faults     %d dropped msgs, %d lost rounds, %d redispatches, %d dead slaves\n",
 			res.Stats.DroppedMessages, res.Stats.SlaveFailures, res.Stats.Redispatches, res.Stats.DeadSlaves)
+	}
+	if res.Stats.ResultRejects > 0 || res.Stats.Quarantines > 0 {
+		fmt.Printf("hardening  %d results rejected by revalidation, %d workers quarantined\n",
+			res.Stats.ResultRejects, res.Stats.Quarantines)
 	}
 	if res.Stats.Joins > 0 || res.Stats.Leaves > 0 || res.Stats.Steals > 0 || res.Stats.Assembled > 0 {
 		fmt.Printf("elastic    %d joins, %d leaves, %d steals, epoch %d, assembled in %v\n",

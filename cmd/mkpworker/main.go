@@ -22,8 +22,13 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/mkp"
+	"repro/internal/tabu"
+	"repro/internal/transport/proto"
 	"repro/internal/transport/wire"
 )
 
@@ -34,15 +39,21 @@ func main() {
 		join       = flag.String("join", "", "elastic mode: dial this fleet master address instead of listening")
 		name       = flag.String("name", "", "member name reported in the elastic join handshake (default host:pid)")
 		leaveAfter = flag.Int("leave-after", 0, "elastic mode: leave gracefully after serving this many rounds (0 = serve until stopped)")
+		rejoin     = flag.Bool("rejoin", false, "elastic mode: when the connection drops (chaos, master restart), keep rejoining under a fresh node id until the master is gone for good")
+		forge      = flag.Bool("forge", false, "elastic mode: answer every round with a forged result (hostile-worker testing; the master must reject and quarantine this worker)")
 	)
 	flag.Parse()
 
 	if *join != "" {
-		if err := joinFleet(*join, *name, *leaveAfter); err != nil {
+		if err := joinLoop(*join, *name, *leaveAfter, *rejoin, *forge); err != nil {
 			fmt.Fprintln(os.Stderr, "mkpworker:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *rejoin || *forge {
+		fmt.Fprintln(os.Stderr, "mkpworker: -rejoin and -forge need elastic mode (-join)")
+		os.Exit(1)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -68,24 +79,83 @@ func main() {
 	}
 }
 
-// joinFleet runs one elastic membership to completion: dial, join, serve the
-// elastic slave loop (gossip absorption, steal offers, optional graceful
-// leave), exit when the run stops or the leave budget drains.
-func joinFleet(addr, name string, leaveAfter int) error {
+// joinLoop runs elastic memberships: dial, join, serve (honestly or forging),
+// and — under -rejoin — replace a dropped connection with a fresh join under
+// a fresh node id until the master stays unreachable past the patience
+// window. A single-shot join (-rejoin off) returns the first error.
+func joinLoop(addr, name string, leaveAfter int, rejoin, forge bool) error {
 	if name == "" {
 		host, _ := os.Hostname()
 		name = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
-	sess, hello, err := wire.JoinFleet(addr, name, nil)
+	const patience = 15 * time.Second
+	lastServed := time.Now()
+	for attempt := 0; ; attempt++ {
+		memberName := name
+		if rejoin && attempt > 0 {
+			memberName = fmt.Sprintf("%s~%d", name, attempt)
+		}
+		err := joinFleet(addr, memberName, leaveAfter, forge)
+		if !rejoin {
+			return err
+		}
+		if err == nil {
+			lastServed = time.Now()
+		} else if time.Since(lastServed) > patience {
+			return fmt.Errorf("master unreachable for %v: %w", patience, err)
+		}
+		// A graceful departure under -rejoin also re-enlists: the run may
+		// still be live and short on workers (chaos testing wants churn).
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// joinFleet runs one elastic membership to completion: dial, join, serve the
+// elastic slave loop (gossip absorption, steal offers, optional graceful
+// leave), exit when the run stops or the leave budget drains.
+func joinFleet(addr, name string, leaveAfter int, forge bool) error {
+	sess, hello, err := wire.JoinFleet(addr, name, nil, wire.WithDialTimeout(5*time.Second))
 	if err != nil {
 		return err
 	}
 	defer sess.Close()
 	fmt.Fprintf(os.Stderr, "mkpworker: joined fleet %s as node %d (epoch %d, %d live) for instance %s (%s)\n",
 		addr, hello.Node, hello.Epoch, len(hello.Members), hello.Ins.Name, hello.Ins.Size())
-	core.ElasticSlave(sess, hello.Node, hello.Ins, hello.Seed, core.ElasticOptions{LeaveAfter: leaveAfter})
+	if forge {
+		forgeSlave(sess, hello)
+	} else {
+		core.ElasticSlave(sess, hello.Node, hello.Ins, hello.Seed, core.ElasticOptions{LeaveAfter: leaveAfter})
+	}
 	fmt.Fprintf(os.Stderr, "mkpworker: node %d departed\n", hello.Node)
 	return nil
+}
+
+// forgeSlave is the hostile worker: it answers every round order instantly
+// with a trivially feasible empty assignment claiming an absurd objective
+// value. Exercises the master's untrusted-result path end to end — every
+// reply must be rejected by revalidation, counted on
+// core_result_rejects_total, and the worker quarantined after the strike
+// threshold.
+func forgeSlave(sess *wire.Session, hello proto.Hello) {
+	for {
+		msg := sess.Recv(hello.Node)
+		switch msg.Tag {
+		case proto.TagStop:
+			return
+		case proto.TagStart:
+			start, ok := msg.Payload.(proto.Start)
+			if !ok {
+				continue
+			}
+			forged := &tabu.Result{
+				Best:  mkp.Solution{X: bitset.New(hello.Ins.N), Value: 1e12},
+				Moves: 1,
+			}
+			sess.Send(hello.Node, 0, proto.TagResult,
+				proto.Result{Slot: start.Slot, Node: hello.Node, Round: start.Round, Res: forged},
+				proto.SolutionSize(hello.Ins.N))
+		}
+	}
 }
 
 // serve runs one master's session to completion. Handshake errors are

@@ -1,0 +1,108 @@
+// Package backoff is the one retry-delay policy shared by every
+// reconnect-style loop in the system: master→worker dials, elastic fleet
+// joins, the reconciler's join-wait, and worker rejoin loops. Before it
+// existed each loop grew its own constants and its own sleep; centralizing
+// them keeps retry behavior uniform (exponential growth to a cap, plus
+// jitter so a restarted fleet does not thundering-herd the master) and
+// makes every sleep cancellable by context.
+package backoff
+
+import (
+	"context"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Policy describes a jittered exponential backoff. Attempt k (0-based)
+// nominally sleeps Base<<k clamped to Cap, then stretched or shrunk by up
+// to Jitter (a fraction in [0,1]) of the nominal delay. A zero Jitter
+// yields the exact exponential sequence — what deterministic tests want.
+type Policy struct {
+	Base   time.Duration
+	Cap    time.Duration
+	Jitter float64
+}
+
+// Timer starts a fresh attempt sequence over p. seed feeds the jitter
+// stream: tests pass a fixed seed for reproducible schedules, production
+// callers hash whatever identifies the peer (see Seed) so two workers
+// rejoining the same master at the same instant still spread out.
+func (p Policy) Timer(seed uint64) *Timer {
+	return &Timer{pol: p, r: rng.New(seed)}
+}
+
+// Seed hashes an identifying string (typically a peer address) into a
+// jitter seed, so each retry loop gets its own decorrelated stream without
+// threading seed plumbing through every dial path.
+func Seed(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// Timer yields successive delays for one retry loop. Not safe for
+// concurrent use; each loop owns its own.
+type Timer struct {
+	pol     Policy
+	r       *rng.Rand
+	attempt int
+}
+
+// Attempt returns how many delays have been handed out so far.
+func (t *Timer) Attempt() int { return t.attempt }
+
+// Next returns the next delay in the sequence and advances the attempt
+// counter. Delays never go negative regardless of Jitter.
+func (t *Timer) Next() time.Duration {
+	d := t.pol.Base
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 0; i < t.attempt; i++ {
+		d *= 2
+		if t.pol.Cap > 0 && d >= t.pol.Cap {
+			d = t.pol.Cap
+			break
+		}
+	}
+	if t.pol.Cap > 0 && d > t.pol.Cap {
+		d = t.pol.Cap
+	}
+	t.attempt++
+	if j := t.pol.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		span := float64(d) * j
+		d = time.Duration(float64(d) + span*(2*t.r.Float64()-1))
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// Sleep blocks for the next delay in the sequence or until ctx is done,
+// whichever comes first, returning ctx.Err() in the latter case.
+func (t *Timer) Sleep(ctx context.Context) error {
+	return Sleep(ctx, t.Next())
+}
+
+// Sleep waits d or until ctx is done, returning ctx.Err() in that case.
+// A non-positive d still observes an already-expired context, so retry
+// loops cannot spin past a cancellation.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

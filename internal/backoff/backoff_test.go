@@ -1,0 +1,112 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNextExponentialNoJitter(t *testing.T) {
+	pol := Policy{Base: 25 * time.Millisecond, Cap: 200 * time.Millisecond}
+	bo := pol.Timer(1)
+	want := []time.Duration{25, 50, 100, 200, 200, 200}
+	for i, w := range want {
+		got := bo.Next()
+		if got != w*time.Millisecond {
+			t.Fatalf("attempt %d: got %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	if bo.Attempt() != len(want) {
+		t.Fatalf("attempt counter = %d, want %d", bo.Attempt(), len(want))
+	}
+}
+
+func TestNextJitterBoundsAndDeterminism(t *testing.T) {
+	pol := Policy{Base: 40 * time.Millisecond, Cap: 320 * time.Millisecond, Jitter: 0.5}
+	a, b := pol.Timer(7), pol.Timer(7)
+	nominal := []time.Duration{40, 80, 160, 320, 320}
+	for i, nom := range nominal {
+		nomD := nom * time.Millisecond
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		lo := time.Duration(float64(nomD) * 0.5)
+		hi := time.Duration(float64(nomD) * 1.5)
+		if da < lo || da > hi {
+			t.Fatalf("attempt %d: %v outside [%v, %v]", i, da, lo, hi)
+		}
+	}
+	// A different seed should produce a different schedule somewhere.
+	c := pol.Timer(8)
+	a2 := pol.Timer(7)
+	same := true
+	for i := 0; i < 5; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced identical jitter schedules")
+	}
+}
+
+func TestNextNeverNegative(t *testing.T) {
+	pol := Policy{Base: time.Nanosecond, Cap: time.Nanosecond, Jitter: 5} // clamped to 1
+	bo := pol.Timer(3)
+	for i := 0; i < 100; i++ {
+		if d := bo.Next(); d < 0 {
+			t.Fatalf("attempt %d: negative delay %v", i, d)
+		}
+	}
+}
+
+func TestZeroBaseDefaults(t *testing.T) {
+	bo := Policy{}.Timer(1)
+	if d := bo.Next(); d != time.Millisecond {
+		t.Fatalf("zero-base first delay = %v, want 1ms", d)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	began := time.Now()
+	if err := Sleep(ctx, time.Minute); err != context.Canceled {
+		t.Fatalf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(began); elapsed > time.Second {
+		t.Fatalf("Sleep blocked %v on a canceled context", elapsed)
+	}
+}
+
+func TestSleepZeroStillObservesCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, 0); err != context.Canceled {
+		t.Fatalf("Sleep(ctx, 0) = %v, want context.Canceled", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep(bg, 0) = %v, want nil", err)
+	}
+}
+
+func TestTimerSleepReturnsAfterDelay(t *testing.T) {
+	pol := Policy{Base: time.Millisecond, Cap: time.Millisecond}
+	bo := pol.Timer(1)
+	if err := bo.Sleep(context.Background()); err != nil {
+		t.Fatalf("Sleep = %v", err)
+	}
+	if bo.Attempt() != 1 {
+		t.Fatalf("attempt = %d after one Sleep", bo.Attempt())
+	}
+}
+
+func TestSeedStable(t *testing.T) {
+	if Seed("127.0.0.1:9000") != Seed("127.0.0.1:9000") {
+		t.Fatal("Seed not stable for equal inputs")
+	}
+	if Seed("a") == Seed("b") {
+		t.Fatal("Seed collided on trivially distinct inputs")
+	}
+}

@@ -27,9 +27,12 @@ type slaveTable struct {
 	// Liveness. alive[i] is false once slave node i+1 has been declared dead;
 	// its slot is then excluded from dispatch (the run degrades to P−k
 	// slaves). nodeFail counts consecutive rounds a node stayed completely
-	// silent; deadAfterMisses in a row kill it.
+	// silent; deadAfterMisses in a row kill it. strikes counts results (or
+	// gossip) from node i+1 that failed the master's revalidation; crossing
+	// Options.QuarantineStrikes quarantines the node.
 	alive    []bool
 	nodeFail []int
+	strikes  []int
 
 	// Membership (elastic fleets only). departed[i] is true once node i+1
 	// announced a graceful Leave: the slot is retired exactly like a dead
@@ -55,6 +58,7 @@ func newSlaveTable(p int) *slaveTable {
 		widths:     make([]int, p),
 		alive:      make([]bool, p),
 		nodeFail:   make([]int, p),
+		strikes:    make([]int, p),
 		departed:   make([]bool, p),
 		admitted:   make([]bool, p),
 	}
@@ -79,6 +83,7 @@ func (t *slaveTable) growTo(p int) {
 		t.widths = append(t.widths, 0)
 		t.alive = append(t.alive, false)
 		t.nodeFail = append(t.nodeFail, 0)
+		t.strikes = append(t.strikes, 0)
 		t.departed = append(t.departed, false)
 		t.admitted = append(t.admitted, false)
 	}

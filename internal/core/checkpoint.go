@@ -52,6 +52,11 @@ type Checkpoint struct {
 	// persisted — a resumed run starts P fresh slaves with full budgets.
 	SlaveRestarts int `json:"slave_restarts,omitempty"`
 	WatchdogTrips int `json:"watchdog_trips,omitempty"`
+	// Hardening accounting (absent in older checkpoints, read as zero).
+	// Strike counts themselves are not persisted — a resumed run gives every
+	// worker a clean sheet, matching how slave life/death state restarts.
+	ResultRejects int `json:"result_rejects,omitempty"`
+	Quarantines   int `json:"quarantines,omitempty"`
 }
 
 // SolutionRecord is the serialized form of a solution: the assignment as a
@@ -114,6 +119,8 @@ func (m *master) checkpoint() *Checkpoint {
 		DeadSlaves:      m.stats.DeadSlaves,
 		SlaveRestarts:   m.stats.SlaveRestarts,
 		WatchdogTrips:   m.stats.WatchdogTrips,
+		ResultRejects:   m.stats.ResultRejects,
+		Quarantines:     m.stats.Quarantines,
 	}
 	for _, mode := range m.modes {
 		c.Modes = append(c.Modes, int(mode))
@@ -146,7 +153,7 @@ func (m *master) restore(c *Checkpoint) error {
 		return fmt.Errorf("core: checkpoint round %d < 0", c.Round)
 	}
 	if c.SlaveFailures < 0 || c.Redispatches < 0 || c.DroppedMessages < 0 || c.DeadSlaves < 0 ||
-		c.SlaveRestarts < 0 || c.WatchdogTrips < 0 {
+		c.SlaveRestarts < 0 || c.WatchdogTrips < 0 || c.ResultRejects < 0 || c.Quarantines < 0 {
 		return fmt.Errorf("core: checkpoint has negative failure counters")
 	}
 	// The extended-tuning arrays are optional (absent in older checkpoints)
@@ -198,6 +205,8 @@ func (m *master) restore(c *Checkpoint) error {
 	m.stats.DeadSlaves = c.DeadSlaves
 	m.stats.SlaveRestarts = c.SlaveRestarts
 	m.stats.WatchdogTrips = c.WatchdogTrips
+	m.stats.ResultRejects = c.ResultRejects
+	m.stats.Quarantines = c.Quarantines
 	m.droppedBase = c.DroppedMessages
 	return nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/mkp"
@@ -14,12 +15,14 @@ import (
 )
 
 // lifecycle is the narrow interface the collector reports failures through:
-// declaring a node dead and writing off a slot's round are engine-level
-// decisions (they touch supervision, stats and tracing), so the collector
-// hands them up instead of owning them.
+// declaring a node dead, writing off a slot's round and striking a node whose
+// payload failed revalidation are engine-level decisions (they touch
+// supervision, quarantine, stats and tracing), so the collector hands them up
+// instead of owning them.
 type lifecycle interface {
 	slaveDied(node, round int, err error)
 	slotFailed(slot, round int)
+	resultRejected(node, round int, reason string)
 }
 
 // collector runs the rendezvous: it waits for the round's dispatched results
@@ -29,6 +32,7 @@ type lifecycle interface {
 type collector struct {
 	*slaveTable
 	net   transport.Transport
+	ins   *mkp.Instance
 	opts  *Options
 	stats *Stats
 	mx    *masterMetrics
@@ -61,10 +65,49 @@ func (c *collector) collect(round, dispatched int, results []*tabu.Result) bool 
 			hadFailure = true
 			continue
 		}
+		if rep.Slot < 0 || rep.Slot >= len(results) {
+			c.life.resultRejected(msg.From-1, round, fmt.Sprintf("slot %d out of range", rep.Slot))
+			hadFailure = true
+			continue
+		}
+		if reason := c.vetResult(rep); reason != "" {
+			c.life.resultRejected(msg.From-1, round, reason)
+			c.life.slotFailed(rep.Slot, round)
+			hadFailure = true
+			continue
+		}
 		results[rep.Slot] = rep.Res
 		c.mx.results.Inc()
 	}
 	return hadFailure
+}
+
+// vetResult revalidates a reported round result before it can touch the
+// incumbent, the pool or the tuner — the same trust boundary noteGossip
+// applies to donated solutions. The claimed value is recomputed from the
+// shipped bits and feasibility is checked against the instance, so a confused
+// or hostile worker can never poison the run with an inflated number or an
+// over-capacity assignment. Vetting is pure (no RNG draws, no mutation), so
+// the fault-free bitwise-replay contract is untouched; honest workers always
+// pass. It returns "" for a good result or the reject reason.
+func (c *collector) vetResult(rep proto.Result) string {
+	res := rep.Res
+	if res == nil {
+		return "missing result body"
+	}
+	if res.Best.X == nil || res.Best.X.Len() != c.ins.N {
+		return "malformed assignment"
+	}
+	if !mkp.IsFeasibleAssignment(c.ins, res.Best.X) {
+		return "infeasible assignment"
+	}
+	// The kernel accumulates its value incrementally; allow float dust, but
+	// nothing a forger could exploit (profits are integral in every generator).
+	value := mkp.ValueOf(c.ins, res.Best.X)
+	if math.Abs(value-res.Best.Value) > 1e-6*math.Max(1, math.Abs(value)) {
+		return fmt.Sprintf("forged value (claimed %g, bits are worth %g)", res.Best.Value, value)
+	}
+	return ""
 }
 
 // deadAfterMisses is how many consecutive completely-silent rounds a node
@@ -210,7 +253,13 @@ func (c *collector) collectFaulty(round int, budgets []int64, results []*tabu.Re
 					}
 				case proto.Gossip:
 					if c.rec != nil {
-						c.rec.noteGossip(pl)
+						// A donated solution that fails validation is a strike:
+						// honest workers only ever echo or improve feasible
+						// state, so a malformed or infeasible donation is a
+						// protocol violation, not a timing artifact.
+						if reason := c.rec.noteGossip(pl); reason != "" {
+							c.life.resultRejected(msg.From-1, round, "gossip: "+reason)
+						}
 					}
 				case proto.Steal:
 					if c.rec != nil {
@@ -233,8 +282,32 @@ func (c *collector) collectFaulty(round int, budgets []int64, results []*tabu.Re
 						}
 						continue
 					}
-					if rep.Round != round || rep.Slot < 0 || rep.Slot >= p || state[rep.Slot] != pending {
-						continue // stale round, duplicate, or already-abandoned slot
+					if rep.Round != round {
+						continue // stale round: a redispatched order landed late
+					}
+					if rep.Slot < 0 || rep.Slot >= p {
+						// No dispatch ever carried this slot: a hostile stamp,
+						// not a timing artifact, so it strikes the sender.
+						c.life.resultRejected(msg.From-1, round, fmt.Sprintf("slot %d out of range", rep.Slot))
+						continue
+					}
+					if state[rep.Slot] != pending {
+						continue // duplicate, or already-abandoned slot
+					}
+					if reason := c.vetResult(rep); reason != "" {
+						// A result that fails revalidation is treated exactly
+						// like a lost one — the slot goes back through the
+						// redispatch path — plus a strike for the sender.
+						hadFailure = true
+						c.life.resultRejected(msg.From-1, round, reason)
+						if c.redispatch(rep.Slot, round, budgets, attempts, assigned, finished, &borrow) {
+							waitUntil = time.Now().Add(c.timeoutFor(maxBudget))
+						} else {
+							state[rep.Slot] = abandoned
+							outstanding--
+							c.life.slotFailed(rep.Slot, round)
+						}
+						continue
 					}
 					state[rep.Slot] = done
 					results[rep.Slot] = rep.Res
@@ -337,14 +410,22 @@ func (c *collector) redispatch(slot, round int, budgets []int64, attempts, assig
 		node := assigned[slot]
 		if attempts[slot] > 1 || !c.alive[node-1] {
 			// The original slave already had its chance (or is dead):
-			// borrow a live one that proved responsive this round.
-			if len(finished) == 0 {
-				if !c.alive[node-1] {
-					continue // no borrow target yet; spend another attempt
-				}
-			} else {
-				node = finished[*borrow%len(finished)]
+			// borrow a live one that proved responsive this round. A node
+			// that reported and was then declared dead or quarantined is
+			// skipped — "finished" is a history, not a liveness promise.
+			borrowed := 0
+			for tries := 0; tries < len(finished); tries++ {
+				cand := finished[*borrow%len(finished)]
 				*borrow++
+				if cand >= 1 && cand <= c.size() && c.alive[cand-1] {
+					borrowed = cand
+					break
+				}
+			}
+			if borrowed != 0 {
+				node = borrowed
+			} else if !c.alive[node-1] {
+				continue // no live borrow target yet; spend another attempt
 			}
 		}
 		assigned[slot] = node

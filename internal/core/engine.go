@@ -59,6 +59,14 @@ func NewEngine(ins *mkp.Instance, algo Algorithm, opts Options) (*Engine, error)
 			return nil, err
 		}
 	}
+	if opts.Chaos != nil {
+		if err := opts.Chaos.Validate(); err != nil {
+			return nil, err
+		}
+		if len(opts.Workers) == 0 && opts.Elastic == nil {
+			return nil, fmt.Errorf("core: Chaos requires Workers or Elastic (chaosnet wraps real TCP connections; use Faults for the in-process substrate)")
+		}
+	}
 	if len(opts.Workers) > 0 {
 		// The in-process substrate owns fault injection, supervision revival
 		// and simulated latency; none of them is meaningful against real

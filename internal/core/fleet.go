@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/mkp"
 	"repro/internal/rng"
 	"repro/internal/tabu"
@@ -226,21 +227,32 @@ func (rc *reconciler) retire(node, round int) {
 	}
 }
 
+// joinPollBackoff paces awaitJoin's membership polling: the same jittered
+// exponential policy the wire dialer retries under, so an empty fleet is
+// checked eagerly at first and lazily once the wait drags on.
+var joinPollBackoff = backoff.Policy{Base: 25 * time.Millisecond, Cap: 400 * time.Millisecond, Jitter: 0.2}
+
 // awaitJoin blocks until a joiner can be admitted (true) or JoinGrace
 // expires (false) — the elastic analogue of the healer's awaitRevival, for
 // the moment every admitted worker is gone but the run need not be: fresh
 // capacity may be dialing in right now.
 func (rc *reconciler) awaitJoin(round int) bool {
 	deadline := time.Now().Add(rc.opts.Elastic.JoinGrace)
+	bo := joinPollBackoff.Timer(backoff.Seed(rc.opts.Elastic.Listen))
 	for {
 		rc.reconcile(round)
 		if rc.liveCount() > 0 {
 			return true
 		}
-		if !time.Now().Before(deadline) {
+		until := time.Until(deadline)
+		if until <= 0 {
 			return false
 		}
-		time.Sleep(25 * time.Millisecond)
+		wait := bo.Next()
+		if wait > until {
+			wait = until
+		}
+		time.Sleep(wait)
 	}
 }
 
@@ -283,21 +295,25 @@ func (rc *reconciler) takeThief(exclude int) (int, bool) {
 // The value is recomputed and feasibility checked against the instance — a
 // confused or hostile worker must never be able to poison the global best —
 // and epochs from the future (beyond anything this master ever published)
-// are rejected outright.
-func (rc *reconciler) noteGossip(g proto.Gossip) {
+// are rejected outright. It returns "" when the donation was accepted (or
+// benignly superseded) and the reject reason otherwise; every reason names a
+// protocol violation an honest worker cannot commit, so the collector counts
+// it as a strike against the sender.
+func (rc *reconciler) noteGossip(g proto.Gossip) string {
 	if g.Epoch > rc.epoch {
-		return
+		return "future epoch"
 	}
 	if g.Best.X == nil || g.Best.X.Len() != rc.ins.N {
-		return
+		return "malformed assignment"
 	}
 	if !mkp.IsFeasibleAssignment(rc.ins, g.Best.X) {
-		return
+		return "infeasible assignment"
 	}
 	sol := mkp.Solution{X: g.Best.X, Value: mkp.ValueOf(rc.ins, g.Best.X)}
 	if rc.gossip.X == nil || sol.Value > rc.gossip.Value {
 		rc.gossip = sol
 	}
+	return ""
 }
 
 // foldGossip merges the round's best donated solution into the global best.

@@ -112,7 +112,9 @@ func (h *healer) watermark(n int) int64 {
 func (h *healer) superviseRound(round int) {
 	now := time.Now()
 	for n := 0; n < h.opts.P; n++ {
-		if h.alive[n] || !h.sv.Due(n, now) {
+		// A departed slot (graceful leave or quarantine) is retired for good:
+		// resurrection would re-admit the very worker the master evicted.
+		if h.alive[n] || h.departed[n] || !h.sv.Due(n, now) {
 			continue
 		}
 		// Stop the dying incarnation exactly once per handshake. The order
@@ -246,7 +248,7 @@ func (h *healer) poolAdd(sol mkp.Solution) {
 func (h *healer) awaitRevival(round int) bool {
 	var dead []int
 	for i := 0; i < h.opts.P; i++ {
-		if !h.alive[i] {
+		if !h.alive[i] && !h.departed[i] {
 			dead = append(dead, i)
 		}
 	}

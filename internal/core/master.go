@@ -11,6 +11,7 @@ import (
 	"repro/internal/tabu"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/transport/chaosnet"
 	"repro/internal/transport/inproc"
 	"repro/internal/transport/proto"
 	"repro/internal/transport/wire"
@@ -125,6 +126,7 @@ func newEngine(ins *mkp.Instance, algo Algorithm, opts Options, net transport.Tr
 	m.coll = &collector{
 		slaveTable: m.slaveTable,
 		net:        net,
+		ins:        ins,
 		opts:       &m.opts,
 		stats:      &m.stats,
 		mx:         &m.mx,
@@ -150,6 +152,19 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error)
 		seeds[i] = root.Split().Uint64()
 	}
 
+	// The chaos injector wraps every worker connection beneath the frame
+	// codec, so injected partitions, resets, stalls and corruption exercise
+	// exactly the recovery machinery a flaky real network would. An inert
+	// plan wraps too, but draws nothing and sleeps nowhere.
+	var chaos *chaosnet.Chaos
+	if opts.Chaos != nil {
+		c, err := chaosnet.New(*opts.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		chaos = c
+	}
+
 	var net transport.Transport
 	var fleet *wire.Fleet
 	if opts.Elastic != nil {
@@ -165,8 +180,11 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error)
 			}
 			return elasticSeed(opts.Seed, node)
 		}
-		f, err := wire.ListenFleet(opts.Elastic.Listen, ins,
-			wire.FleetConfig{SeedFor: seedFor, MaxNodes: opts.Elastic.MaxNodes}, opts.Metrics)
+		fcfg := wire.FleetConfig{SeedFor: seedFor, MaxNodes: opts.Elastic.MaxNodes}
+		if chaos != nil {
+			fcfg.ConnWrap = chaos.Wrap
+		}
+		f, err := wire.ListenFleet(opts.Elastic.Listen, ins, fcfg, opts.Metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -182,6 +200,9 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error)
 		}
 		if opts.DialContext != nil {
 			dialOpts = append(dialOpts, wire.WithContext(opts.DialContext))
+		}
+		if chaos != nil {
+			dialOpts = append(dialOpts, wire.WithConnWrapper(chaos.Wrap))
 		}
 		wnet, err := wire.Dial(opts.Workers, ins, seeds, opts.Metrics, dialOpts...)
 		if err != nil {
@@ -559,6 +580,52 @@ func (m *master) slaveDied(node, round int, err error) {
 		}
 		m.opts.Tracer.Record(trace.Event{
 			Kind: trace.KindSlaveDead, Actor: -1, Round: round, Value: m.best.Value, Detail: detail,
+		})
+	}
+}
+
+// resultRejected records a worker payload that failed the master's
+// revalidation and, once Options.QuarantineStrikes of them have accumulated,
+// quarantines the offender. Strikes are attributed by the transport's own
+// connection identity (Message.From), never by the payload's claimed node, so
+// a forger cannot frame a peer.
+func (m *master) resultRejected(node, round int, reason string) {
+	m.stats.ResultRejects++
+	m.mx.resultRejects.Inc()
+	if m.opts.Tracer != nil {
+		m.opts.Tracer.Record(trace.Event{
+			Kind: trace.KindResultReject, Actor: -1, Round: round, Value: m.best.Value,
+			Detail: fmt.Sprintf("node=%d %s", node+1, reason),
+		})
+	}
+	if node < 0 || node >= m.size() {
+		return
+	}
+	m.strikes[node]++
+	if m.strikes[node] >= m.opts.QuarantineStrikes && m.alive[node] && !m.departed[node] {
+		m.quarantine(node, round)
+	}
+}
+
+// quarantine evicts a worker whose payloads keep failing revalidation. The
+// slot lands in the leave ledger (departed=true), never in DeadSlaves: the
+// departure is the master's own decision, not a crash — slaveDied's
+// alive-check and the reconciler's departed-skip keep it out of every other
+// ledger, and the supervisor never respawns a departed slot. On an elastic
+// fleet the connection is torn down as a Left member so the wire-side
+// membership state agrees with the slot table.
+func (m *master) quarantine(node, round int) {
+	m.alive[node] = false
+	m.departed[node] = true
+	m.stats.Quarantines++
+	m.mx.quarantines.Inc()
+	if m.fleet != nil {
+		m.fleet.Evict(node + 1)
+	}
+	if m.opts.Tracer != nil {
+		m.opts.Tracer.Record(trace.Event{
+			Kind: trace.KindQuarantine, Actor: -1, Round: round, Value: m.best.Value,
+			Detail: fmt.Sprintf("node=%d strikes=%d", node+1, m.strikes[node]),
 		})
 	}
 }

@@ -32,6 +32,8 @@ type masterMetrics struct {
 	joins         *metrics.Counter
 	leaves        *metrics.Counter
 	steals        *metrics.Counter
+	resultRejects *metrics.Counter
+	quarantines   *metrics.Counter
 	bestValue     *metrics.Gauge
 	timeToBest    *metrics.Gauge
 	fleetEpoch    *metrics.Gauge
@@ -63,6 +65,8 @@ func newMasterMetrics(r *metrics.Registry) masterMetrics {
 	r.SetHelp("core_joins_total", "Workers admitted into the elastic fleet mid-run.")
 	r.SetHelp("core_leaves_total", "Workers that departed the elastic fleet gracefully.")
 	r.SetHelp("core_steals_total", "Straggler slots handed to idle thieves.")
+	r.SetHelp("core_result_rejects_total", "Worker results (or gossip) rejected by the master's revalidation.")
+	r.SetHelp("core_quarantines_total", "Workers evicted after repeated rejected results.")
 	r.SetHelp("core_best_value", "Objective value of the global best solution.")
 	r.SetHelp("core_time_to_best_seconds", "Wall-clock time from run start to the latest global-best improvement.")
 	r.SetHelp("core_fleet_epoch", "Current elastic fleet epoch (bumps on membership change and best broadcast).")
@@ -83,6 +87,8 @@ func newMasterMetrics(r *metrics.Registry) masterMetrics {
 		joins:         r.Counter("core_joins_total"),
 		leaves:        r.Counter("core_leaves_total"),
 		steals:        r.Counter("core_steals_total"),
+		resultRejects: r.Counter("core_result_rejects_total"),
+		quarantines:   r.Counter("core_quarantines_total"),
 		bestValue:     r.Gauge("core_best_value"),
 		timeToBest:    r.Gauge("core_time_to_best_seconds"),
 		fleetEpoch:    r.Gauge("core_fleet_epoch"),

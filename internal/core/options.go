@@ -22,6 +22,7 @@ import (
 	"repro/internal/supervise"
 	"repro/internal/tabu"
 	"repro/internal/trace"
+	"repro/internal/transport/chaosnet"
 	"repro/internal/transport/inproc"
 )
 
@@ -180,6 +181,26 @@ type Options struct {
 	// Core is process-local guidance the wire codec does not serialize.
 	// A nil Guide reproduces the unguided search bit for bit.
 	Guide *GuideConfig
+	// Chaos, when non-nil, installs a deterministic network fault injector
+	// beneath the wire frame codec: every TCP connection to a worker is
+	// wrapped by a chaosnet.Chaos executing the plan's per-link schedule of
+	// partitions, connection resets, read/write stalls, bandwidth throttling
+	// and byte corruption. It is the wire-substrate mirror of Faults —
+	// requires Workers or Elastic, and an inert (all-zero) plan leaves the
+	// run equivalent to an unwrapped one. Corrupted frames surface as CRC
+	// hard-errors that kill the connection (never as silent data), so chaos
+	// runs exercise exactly the recovery paths a flaky real network would:
+	// redispatch, crash detection, rejoin.
+	Chaos *chaosnet.Plan
+	// QuarantineStrikes is how many revalidation failures (forged or
+	// infeasible results, malformed gossip) one worker may accumulate before
+	// the master quarantines it: the node is marked departed, excluded from
+	// dispatch and borrowing, and — on an elastic fleet — its connection is
+	// torn down via the leave ledger so it is never counted as a crash.
+	// Default 3. Honest workers never strike: the master recomputes each
+	// claimed value from the shipped bits, so only a worker whose payloads
+	// lie about their own contents can accumulate strikes.
+	QuarantineStrikes int
 	// Faults, when non-nil, installs a deterministic fault injector in the
 	// farm substrate (seeded per-link message drop/duplication, per-node
 	// crash-after-k-sends, per-node slowdown) AND arms the master's
@@ -319,6 +340,9 @@ func (o Options) withDefaults(n int) Options {
 	if o.MaxRedispatch <= 0 {
 		o.MaxRedispatch = 2
 	}
+	if o.QuarantineStrikes <= 0 {
+		o.QuarantineStrikes = 3
+	}
 	if o.Supervise != nil {
 		pol := o.Supervise.WithDefaults()
 		o.Supervise = &pol
@@ -361,6 +385,8 @@ type Stats struct {
 	LiveSlaves      int       // slaves alive when the run ended (== P unless degraded)
 	Joins           int       // workers admitted into the fleet mid-run (elastic only)
 	Leaves          int       // workers that departed gracefully (elastic only)
+	ResultRejects   int       // worker results (or gossip) that failed the master's revalidation
+	Quarantines     int       // workers evicted after QuarantineStrikes rejected results
 	Steals          int       // straggler slots handed to idle thieves (elastic only)
 	Epoch           uint64    // final fleet epoch (elastic only; bumps on membership change and best broadcast)
 	BestByRound     []float64 // global best after each round (the quality trajectory)

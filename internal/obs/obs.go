@@ -59,6 +59,7 @@ func ServeSource(addr string, src Source) (*Server, error) {
 	s.srv = &http.Server{
 		Handler:           HandlerSource(src),
 		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	go func() {
 		defer close(s.done)

@@ -36,6 +36,12 @@ type Config struct {
 	MaxQueue int
 	// DialTimeout bounds each worker dial in fleet mode. Default 5s.
 	DialTimeout time.Duration
+	// StreamWriteTimeout bounds each write on an /events NDJSON stream. A
+	// subscriber that stops reading blocks the handler in the kernel's send
+	// buffer — without a deadline that goroutine (and its hub subscription)
+	// lives as long as the TCP connection, which a silent peer can hold open
+	// for hours. Default 10s.
+	StreamWriteTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +53,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
+	}
+	if c.StreamWriteTimeout <= 0 {
+		c.StreamWriteTimeout = 10 * time.Second
 	}
 	return c
 }
@@ -651,9 +660,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	// Every write gets a fresh deadline: a subscriber that stops draining its
+	// socket turns the next Encode into an i/o timeout instead of parking this
+	// goroutine in the kernel send buffer for the life of the connection. The
+	// deadline is cleared on exit so a keep-alive connection is reusable.
+	rc := http.NewResponseController(w)
+	deadline := func() { _ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout)) }
+	defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
 	backlog, ch, cancelSub := j.hub.subscribe()
 	defer cancelSub()
 	for _, e := range backlog {
+		deadline()
 		if enc.Encode(e) != nil {
 			return
 		}
@@ -667,6 +684,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				return
 			}
+			deadline()
 			if enc.Encode(e) != nil {
 				return
 			}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinySendBufListener pins each accepted connection's kernel send buffer to a
+// few KB. Linux otherwise auto-tunes SO_SNDBUF into the megabytes, which
+// means a stream to a non-reading client "succeeds" for tens of thousands of
+// events before the first write ever blocks — far too slow for a test that
+// wants to watch a blocked write hit its deadline.
+type tinySendBufListener struct{ net.Listener }
+
+func (l tinySendBufListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if tc, ok := c.(*net.TCPConn); err == nil && ok {
+		_ = tc.SetWriteBuffer(4096)
+	}
+	return c, err
+}
+
+// TestEventsStreamSlowClientReleasesHandler: a subscriber that opens the
+// /events stream and then never reads a byte must not pin its handler. The
+// send buffer fills, the per-write deadline fires, the handler exits and the
+// server closes the broken connection — all while the client socket is still
+// open. Without StreamWriteTimeout each silent peer parks one server
+// goroutine in the kernel send buffer for as long as it keeps the socket up.
+func TestEventsStreamSlowClientReleasesHandler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fills TCP send buffers in real time")
+	}
+	s, err := New(Config{Slots: 1, StreamWriteTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(s.Handler())
+	ts.Listener = tinySendBufListener{ts.Listener}
+	ts.Start()
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	// A job that publishes round events continuously for the whole test; the
+	// server's Close cancels it through the job stop channel.
+	// A maximum-length client-chosen job ID rides along in every event, so the
+	// full backlog is ~70KB of NDJSON — several times the pinned socket
+	// capacity. That makes the handler block inside the backlog loop, before
+	// the live loop where a fast solver could cut a lagging subscriber loose
+	// and let the handler exit cleanly without ever testing the deadline.
+	spec := Spec{
+		ID:     "slow-client-" + strings.Repeat("x", 116),
+		Gen:    &GenSpec{N: 60, M: 4, Seed: 5},
+		P:      1,
+		Seed:   5,
+		Rounds: 1_000_000,
+		Moves:  50,
+	}
+	st, _ := submit(t, ts, spec)
+	waitState(t, ts, st.ID, StateRunning)
+
+	// Wait for a full hub backlog before any client connects: the saturating
+	// burst must all be there when the handler starts writing, independent of
+	// how fast the contended solver emits live events during the poll window.
+	backlogDeadline := time.Now().Add(60 * time.Second)
+	for getStatus(t, ts, st.ID).Round < hubBacklog {
+		if time.Now().After(backlogDeadline) {
+			t.Fatalf("job never accumulated %d backlog rounds", hubBacklog)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	// Several silent peers, so stuck handlers stand clear of goroutine noise.
+	const silent = 4
+	for i := 0; i < silent; i++ {
+		conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		// Shrink the receive window too: the stream saturates in a handful of
+		// events instead of tens of kilobytes.
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetReadBuffer(4096)
+		}
+		fmt.Fprintf(conn, "GET /jobs/%s/events HTTP/1.1\r\nHost: mkp\r\n\r\n", st.ID)
+		// Read nothing, close nothing.
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		// Every handler goroutine must be gone while the client sockets stay
+		// open. Stuck handlers hold the count at baseline+silent.
+		if runtime.NumGoroutine() <= baseline+1 {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("goroutines stuck at %d (baseline %d): events handlers never timed out on the silent clients",
+		runtime.NumGoroutine(), baseline)
+}

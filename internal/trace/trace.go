@@ -59,6 +59,11 @@ const (
 	KindSteal
 	// KindGossip: the master broadcast an epoch-stamped global best.
 	KindGossip
+	// KindResultReject: the master rejected a worker-reported result that
+	// failed revalidation (forged value, infeasible bits, bad stamp).
+	KindResultReject
+	// KindQuarantine: a worker crossed the strike threshold and was evicted.
+	KindQuarantine
 )
 
 var kindNames = [...]string{
@@ -80,6 +85,8 @@ var kindNames = [...]string{
 	KindLeave:         "leave",
 	KindSteal:         "steal",
 	KindGossip:        "gossip",
+	KindResultReject:  "result-reject",
+	KindQuarantine:    "quarantine",
 }
 
 func (k Kind) String() string {

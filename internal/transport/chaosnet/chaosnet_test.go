@@ -1,0 +1,333 @@
+package chaosnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns both ends of a loopback TCP connection.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			accepted <- nil
+			return
+		}
+		accepted <- c
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	s := <-accepted
+	ln.Close()
+	if s == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c, s
+}
+
+func readN(t *testing.T, c net.Conn, n int) []byte {
+	t.Helper()
+	buf := make([]byte, n)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read %d bytes: %v", n, err)
+	}
+	return buf
+}
+
+func TestZeroPlanPassthrough(t *testing.T) {
+	ch, err := New(Plan{Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if !ch.Plan().Inert() {
+		t.Fatal("zero plan not inert")
+	}
+	a, b := tcpPair(t)
+	wa, wb := ch.Wrap(a), ch.Wrap(b)
+	msg := []byte("the quick brown fox")
+	if _, err := wa.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := readN(t, wb, len(msg)); !bytes.Equal(got, msg) {
+		t.Fatalf("zero plan altered data: %q != %q", got, msg)
+	}
+	if c := ch.Counters(); c != (Counters{}) {
+		t.Fatalf("zero plan injected faults: %+v", c)
+	}
+	if ch.Links() != 2 {
+		t.Fatalf("links = %d, want 2", ch.Links())
+	}
+}
+
+func TestCorruptionFlipsExactlyOneByte(t *testing.T) {
+	ch, err := New(Plan{Seed: 42, CorruptRate: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, b := tcpPair(t)
+	wa := ch.Wrap(a)
+	msg := bytes.Repeat([]byte{0xAA}, 64)
+	if _, err := wa.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := readN(t, b, len(msg))
+	diffs := 0
+	for i := range msg {
+		if got[i] != msg[i] {
+			diffs++
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("corruption changed %d bytes, want exactly 1", diffs)
+	}
+	// The caller's buffer must be untouched.
+	if !bytes.Equal(msg, bytes.Repeat([]byte{0xAA}, 64)) {
+		t.Fatal("write corrupted the caller's buffer")
+	}
+	if c := ch.Counters(); c.Corrupts != 1 {
+		t.Fatalf("corrupts counter = %d, want 1", c.Corrupts)
+	}
+}
+
+func TestCorruptionDeterministic(t *testing.T) {
+	run := func() []byte {
+		ch, _ := New(Plan{Seed: 7, CorruptRate: 0.5})
+		a, b := tcpPair(t)
+		wa := ch.Wrap(a)
+		var got []byte
+		for i := 0; i < 8; i++ {
+			msg := bytes.Repeat([]byte{byte(i)}, 32)
+			if _, err := wa.Write(msg); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			got = append(got, readN(t, b, len(msg))...)
+		}
+		return got
+	}
+	if first, second := run(), run(); !bytes.Equal(first, second) {
+		t.Fatal("same plan produced different corruption across runs")
+	}
+}
+
+func TestInjectedReset(t *testing.T) {
+	ch, err := New(Plan{Seed: 3, ResetRate: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, _ := tcpPair(t)
+	wa := ch.Wrap(a)
+	if _, err := wa.Write([]byte("doomed")); err != ErrInjectedReset {
+		t.Fatalf("write error = %v, want ErrInjectedReset", err)
+	}
+	// The underlying connection is closed: a second write fails for real.
+	if _, err := a.Write([]byte("after")); err == nil {
+		t.Fatal("underlying conn still writable after injected reset")
+	}
+	if c := ch.Counters(); c.Resets != 1 {
+		t.Fatalf("resets counter = %d, want 1", c.Resets)
+	}
+}
+
+func TestPartitionBlackholesThenHeals(t *testing.T) {
+	ch, err := New(Plan{Seed: 5, Partitions: map[int][]Window{
+		0: {{After: 0, Heal: 250 * time.Millisecond}},
+	}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, b := tcpPair(t)
+	wa := ch.Wrap(a) // link 0: partitioned from the start
+	if n, err := wa.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("partitioned write = (%d, %v), want silent success", n, err)
+	}
+	// Nothing arrives while the window is open.
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := b.Read(make([]byte, 16)); err == nil {
+		t.Fatal("black-holed frame was delivered")
+	}
+	// After the heal, writes flow again.
+	time.Sleep(300 * time.Millisecond)
+	if _, err := wa.Write([]byte("alive")); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+	if got := readN(t, b, 5); string(got) != "alive" {
+		t.Fatalf("post-heal read = %q", got)
+	}
+	if c := ch.Counters(); c.Blackholed != 1 {
+		t.Fatalf("blackholed counter = %d, want 1", c.Blackholed)
+	}
+}
+
+func TestPartitionBlocksReadsUntilHeal(t *testing.T) {
+	ch, err := New(Plan{Seed: 5, Partitions: map[int][]Window{
+		0: {{After: 0, Heal: 200 * time.Millisecond}},
+	}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, b := tcpPair(t)
+	wa := ch.Wrap(a)
+	if _, err := b.Write([]byte("early")); err != nil {
+		t.Fatalf("peer write: %v", err)
+	}
+	began := time.Now()
+	got := readN(t, wa, 5)
+	if string(got) != "early" {
+		t.Fatalf("read = %q", got)
+	}
+	if waited := time.Since(began); waited < 150*time.Millisecond {
+		t.Fatalf("read returned after %v, want to block ~200ms for the heal", waited)
+	}
+}
+
+func TestStallDelaysWrite(t *testing.T) {
+	ch, err := New(Plan{Seed: 9, StallRate: 1, Stall: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, _ := tcpPair(t)
+	wa := ch.Wrap(a)
+	began := time.Now()
+	if _, err := wa.Write([]byte("hi")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if d := time.Since(began); d < 60*time.Millisecond {
+		t.Fatalf("stalled write took %v, want >= ~80ms", d)
+	}
+	if c := ch.Counters(); c.Stalls == 0 {
+		t.Fatal("stall not counted")
+	}
+}
+
+func TestThrottlePacesWrites(t *testing.T) {
+	ch, err := New(Plan{Seed: 11, BytesPerSec: 1 << 10})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, _ := tcpPair(t)
+	wa := ch.Wrap(a)
+	began := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := wa.Write(make([]byte, 128)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// 512 bytes at 1KiB/s: the first write goes immediately, the rest pace
+	// out to ~375ms of accumulated horizon.
+	if d := time.Since(began); d < 200*time.Millisecond {
+		t.Fatalf("throttled writes took %v, want >= ~375ms of pacing", d)
+	}
+	if c := ch.Counters(); c.Throttled == 0 {
+		t.Fatal("throttle wait not counted")
+	}
+}
+
+func TestStallDefault(t *testing.T) {
+	ch, err := New(Plan{StallRate: 0.5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := ch.Plan().Stall; got != defaultStall {
+		t.Fatalf("normalized Stall = %v, want %v", got, defaultStall)
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	ch, err := New(Plan{Seed: 1, CorruptRate: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	wln := ch.Listener(ln)
+	defer wln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := wln.Accept()
+		if err != nil {
+			accepted <- nil
+			return
+		}
+		accepted <- c
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	s := <-accepted
+	if s == nil {
+		t.Fatal("accept failed")
+	}
+	defer s.Close()
+	msg := bytes.Repeat([]byte{0x55}, 32)
+	if _, err := s.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := readN(t, c, 32); bytes.Equal(got, msg) {
+		t.Fatal("accepted conn was not chaos-wrapped (no corruption)")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{CorruptRate: 1.5},
+		{ResetRate: -0.1},
+		{StallRate: 2},
+		{Stall: -time.Second},
+		{BytesPerSec: -1},
+		{Partitions: map[int][]Window{-1: {{Heal: time.Second}}}},
+		{Partitions: map[int][]Window{0: {{After: -time.Second, Heal: time.Second}}}},
+		{Partitions: map[int][]Window{0: {{After: 0, Heal: 0}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated: %+v", i, p)
+		}
+	}
+	good := Plan{Seed: 1, CorruptRate: 0.5, ResetRate: 0.1, StallRate: 0.2,
+		Stall: time.Millisecond, BytesPerSec: 1024,
+		Partitions: map[int][]Window{0: {{After: time.Second, Heal: time.Second}}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+func TestParsePartitions(t *testing.T) {
+	got, err := ParsePartitions("0@500ms+1s, 2@1s+750ms, 0@3s+250ms")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(got) != 2 || len(got[0]) != 2 || len(got[2]) != 1 {
+		t.Fatalf("parsed shape wrong: %+v", got)
+	}
+	if got[0][0] != (Window{After: 500 * time.Millisecond, Heal: time.Second}) {
+		t.Fatalf("window [0][0] = %+v", got[0][0])
+	}
+	if got[0][1].After != 3*time.Second {
+		t.Fatalf("windows not sorted by After: %+v", got[0])
+	}
+	if m, err := ParsePartitions(""); err != nil || m != nil {
+		t.Fatalf("empty parse = (%v, %v)", m, err)
+	}
+	for _, bad := range []string{"0", "x@1s+1s", "0@zzz+1s", "0@1s+zzz", "0@1s", "-1@1s+1s", "0@-1s+1s", "0@1s+0s"} {
+		if _, err := ParsePartitions(bad); err == nil {
+			t.Errorf("ParsePartitions(%q) accepted", bad)
+		}
+	}
+}

@@ -479,3 +479,43 @@ func FuzzDecodeHello(f *testing.F) {
 		DecodeHello(data)
 	})
 }
+
+// TestCorruptedResultDecodesCleanly pins the trust boundary: a Result whose
+// payload is a semantic lie — a forged objective value, an infeasible
+// assignment, a stale round stamp — is still a perfectly well-formed frame,
+// and the codec must decode it verbatim. The codec rejects only structural
+// corruption (truncation, bad lengths); catching lies is the master's
+// revalidation (vetResult) at the collect layer, which needs the decoded lie
+// intact to recompute the truth from the bits. These three shapes are also
+// seeded into the FuzzDecodePayload corpus.
+func TestCorruptedResultDecodesCleanly(t *testing.T) {
+	const n = 37
+	empty := bitset.New(n)
+	full := bitset.New(n)
+	for j := 0; j < n; j++ {
+		full.Set(j)
+	}
+	cases := map[string]Result{
+		"forged value":      {Slot: 1, Node: 2, Round: 3, Res: &tabu.Result{Moves: 1, Best: mkp.Solution{X: empty, Value: 1e12}}},
+		"infeasible bitset": {Slot: 0, Node: 1, Round: 2, Res: &tabu.Result{Moves: 50, Best: mkp.Solution{X: full, Value: 1234}}},
+		"stale round stamp": {Slot: 2, Node: 3, Round: 1 << 40, Res: &tabu.Result{Moves: 10, Best: mkp.Solution{X: empty, Value: 99}}},
+	}
+	for name, r := range cases {
+		data, err := EncodePayload(TagResult, r, n)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		back, err := DecodePayload(TagResult, data, n)
+		if err != nil {
+			t.Fatalf("%s: the codec rejected a well-formed lie: %v", name, err)
+		}
+		got, ok := back.(Result)
+		if !ok {
+			t.Fatalf("%s: decoded %T", name, back)
+		}
+		if got.Round != r.Round || got.Res == nil || got.Res.Best.Value != r.Res.Best.Value ||
+			!got.Res.Best.X.Equal(r.Res.Best.X) {
+			t.Fatalf("%s: lie not preserved verbatim: %+v", name, got)
+		}
+	}
+}

@@ -61,6 +61,10 @@ type FleetConfig struct {
 	// MaxNodes caps assigned node ids (default maxFleetNodes, which is also
 	// the hard ceiling imposed by the one-byte frame address).
 	MaxNodes int
+	// ConnWrap, when set, interposes on every accepted connection before the
+	// join handshake, beneath the frame codec — the listen-side hook the
+	// chaosnet fault injector uses. Connections are wrapped in accept order.
+	ConnWrap func(net.Conn) net.Conn
 }
 
 // fleetConn is one joined worker connection. Writes are serialized by mu; the
@@ -174,6 +178,9 @@ func (f *Fleet) acceptLoop() {
 // on as its reader. Any handshake failure just drops the connection: a
 // joiner that never completed Ready was never a member.
 func (f *Fleet) admit(c net.Conn) {
+	if f.cfg.ConnWrap != nil {
+		c = f.cfg.ConnWrap(c)
+	}
 	c.SetDeadline(time.Now().Add(joinHandshakeTimeout))
 	br := bufio.NewReader(c)
 	kind, _, _, payload, err := readFrame(br)
@@ -250,17 +257,22 @@ func (f *Fleet) reader(fc *fleetConn) {
 	for {
 		kind, _, _, payload, err := readFrame(fc.br)
 		if err != nil {
+			if isFrameError(err) {
+				f.mx.frameErrors.Inc()
+			}
 			fc.casState(MemberLive, MemberDead)
 			return
 		}
 		tag, err := tagOf(kind)
 		if err != nil {
+			f.mx.frameErrors.Inc()
 			fc.casState(MemberLive, MemberDead)
 			return
 		}
 		began := time.Now()
 		decoded, err := proto.DecodePayload(tag, payload, f.n)
 		if err != nil {
+			f.mx.frameErrors.Inc()
 			fc.casState(MemberLive, MemberDead)
 			return
 		}
@@ -475,6 +487,22 @@ func (f *Fleet) Drain(node int) int {
 // graceful leaver is not crashed: it said goodbye.
 func (f *Fleet) Crashed(node int) bool { return f.MemberState(node) == MemberDead }
 
+// Evict force-disconnects a live member and classifies the teardown as an
+// expected departure (MemberLeft, the leave ledger), not a crash — the
+// transport half of quarantining a worker whose results failed validation.
+// Evicting an unknown or already-departed node is a no-op; the return value
+// reports whether this call did the eviction.
+func (f *Fleet) Evict(node int) bool {
+	f.mu.Lock()
+	fc := f.conns[node]
+	f.mu.Unlock()
+	if fc == nil || !fc.casState(MemberLive, MemberLeft) {
+		return false
+	}
+	fc.c.Close()
+	return true
+}
+
 // Revive is a no-op: the fleet cannot restart a remote process — recovery is
 // admission of fresh joiners, not resurrection.
 func (f *Fleet) Revive(node int) int { return 0 }
@@ -516,11 +544,16 @@ func (f *Fleet) Close() error {
 }
 
 // JoinFleet is the worker side of the elastic handshake: dial the fleet
-// master (with the same retry/backoff as Dial), send a Join carrying a
-// free-form name, receive the Hello assigning this worker its node id, seed,
-// instance, epoch and membership view, answer Ready, and publish the initial
-// zero-moves heartbeat. The returned Session is the worker's transport, same
-// as Accept's.
+// master (with the same retry/backoff and DialOptions as Dial), send a Join
+// carrying a free-form name, receive the Hello assigning this worker its
+// node id, seed, instance, epoch and membership view, answer Ready, and
+// publish the initial zero-moves heartbeat. The returned Session is the
+// worker's transport, same as Accept's.
+//
+// WithContext cancels the whole join — backoff sleeps *and* the handshake
+// itself: a cancellation mid-handshake closes the connection so the
+// blocking frame reads unwind promptly, leaking neither the FD nor this
+// goroutine.
 func JoinFleet(addr, name string, reg *metrics.Registry, opts ...DialOption) (*Session, proto.Hello, error) {
 	cfg := dialConfig{timeout: defaultDialTimeout, ctx: context.Background()}
 	for _, o := range opts {
@@ -531,40 +564,46 @@ func JoinFleet(addr, name string, reg *metrics.Registry, opts ...DialOption) (*S
 	if err != nil {
 		return nil, proto.Hello{}, fmt.Errorf("wire: joining fleet at %s: %w", addr, err)
 	}
+	// From here the context cancels the handshake by closing the conn; the
+	// hook is released on every exit path, so a completed join's session is
+	// no longer tied to the join context.
+	stop := context.AfterFunc(cfg.ctx, func() { c.Close() })
+	defer stop()
+	fail := func(step string, err error) (*Session, proto.Hello, error) {
+		c.Close()
+		if cerr := cfg.ctx.Err(); cerr != nil {
+			return nil, proto.Hello{}, fmt.Errorf("wire: join with %s canceled while %s: %w", addr, step, cerr)
+		}
+		return nil, proto.Hello{}, fmt.Errorf("wire: %s: %w", step, err)
+	}
 	c.SetDeadline(time.Now().Add(cfg.timeout))
 	join, err := proto.EncodePayload(proto.TagJoin, proto.Join{Name: name}, 0)
 	if err != nil {
-		c.Close()
-		return nil, proto.Hello{}, err
+		return fail("encoding join", err)
 	}
 	if err := writeFrame(c, kindJoin, 0, 0, join); err != nil {
-		c.Close()
-		return nil, proto.Hello{}, fmt.Errorf("wire: sending join: %w", err)
+		return fail("sending join", err)
 	}
 	br := bufio.NewReader(c)
 	kind, _, _, payload, err := readFrame(br)
 	if err != nil {
-		c.Close()
-		return nil, proto.Hello{}, fmt.Errorf("wire: reading hello: %w", err)
+		return fail("reading hello", err)
 	}
 	if kind != kindHello {
-		c.Close()
-		return nil, proto.Hello{}, fmt.Errorf("wire: expected hello frame, got kind %d", kind)
+		return fail("reading hello", fmt.Errorf("expected hello frame, got kind %d", kind))
 	}
 	hello, err := proto.DecodeHello(payload)
 	if err != nil {
-		c.Close()
-		return nil, proto.Hello{}, err
+		return fail("decoding hello", err)
 	}
 	s := &Session{c: c, br: br, node: hello.Node, n: hello.Ins.N, mx: mx}
 	if err := writeFrame(c, kindReady, byte(hello.Node), 0, nil); err != nil {
-		c.Close()
-		return nil, proto.Hello{}, fmt.Errorf("wire: sending ready: %w", err)
+		return fail("sending ready", err)
 	}
 	c.SetDeadline(time.Time{})
 	s.account(headerLen, 0)
 	if err := s.Send(hello.Node, 0, proto.TagHeartbeat, proto.Heartbeat{Node: hello.Node, Moves: 0}, 0); err != nil {
-		return nil, proto.Hello{}, err
+		return fail("sending heartbeat", err)
 	}
 	return s, hello, nil
 }

@@ -26,12 +26,30 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 
 	"repro/internal/transport/proto"
 )
+
+// frameError marks a frame-integrity failure — bad magic, version skew,
+// oversized length, checksum mismatch — as opposed to a plain I/O error.
+// Readers count these on wire_frame_errors_total so injected or real
+// corruption is distinguishable from ordinary connection teardown.
+type frameError struct{ msg string }
+
+func (e *frameError) Error() string { return e.msg }
+
+func frameErrorf(format string, args ...any) error {
+	return &frameError{msg: fmt.Sprintf(format, args...)}
+}
+
+func isFrameError(err error) bool {
+	var fe *frameError
+	return errors.As(err, &fe)
+}
 
 const (
 	magic0 = 'M'
@@ -151,14 +169,14 @@ func readFrame(r io.Reader) (kind, from, to byte, payload []byte, err error) {
 		return 0, 0, 0, nil, err
 	}
 	if hdr[0] != magic0 || hdr[1] != magic1 {
-		return 0, 0, 0, nil, fmt.Errorf("wire: bad frame magic %#02x%02x", hdr[0], hdr[1])
+		return 0, 0, 0, nil, frameErrorf("wire: bad frame magic %#02x%02x", hdr[0], hdr[1])
 	}
 	if hdr[2] != proto.Version {
-		return 0, 0, 0, nil, fmt.Errorf("wire: protocol version %d, want %d", hdr[2], proto.Version)
+		return 0, 0, 0, nil, frameErrorf("wire: protocol version %d, want %d", hdr[2], proto.Version)
 	}
 	length := binary.LittleEndian.Uint32(hdr[6:10])
 	if length > maxPayload {
-		return 0, 0, 0, nil, fmt.Errorf("wire: frame payload of %d bytes exceeds the %d-byte cap", length, maxPayload)
+		return 0, 0, 0, nil, frameErrorf("wire: frame payload of %d bytes exceeds the %d-byte cap", length, maxPayload)
 	}
 	wantCRC := binary.LittleEndian.Uint32(hdr[10:14])
 	payload = make([]byte, length)
@@ -168,7 +186,7 @@ func readFrame(r io.Reader) (kind, from, to byte, payload []byte, err error) {
 	crc := crc32.Checksum(hdr[:10], castagnoli)
 	crc = crc32.Update(crc, castagnoli, payload)
 	if crc != wantCRC {
-		return 0, 0, 0, nil, fmt.Errorf("wire: frame checksum mismatch (got %#08x, want %#08x)", crc, wantCRC)
+		return 0, 0, 0, nil, frameErrorf("wire: frame checksum mismatch (got %#08x, want %#08x)", crc, wantCRC)
 	}
 	return hdr[3], hdr[4], hdr[5], payload, nil
 }

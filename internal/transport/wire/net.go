@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/metrics"
 	"repro/internal/mkp"
 	"repro/internal/transport"
@@ -22,12 +23,13 @@ var codecLatencyBuckets = metrics.ExpBuckets(1e-7, 4, 12) // 100ns .. ~1.7s
 // wireMetrics holds the transport's metric handles; every handle is nil-safe,
 // so an unmetered Net costs one nil check per record site.
 type wireMetrics struct {
-	frames     *metrics.Counter
-	bytes      *metrics.Counter
-	dropped    *metrics.Counter
-	reconnects *metrics.Counter
-	encodeDur  *metrics.Histogram
-	decodeDur  *metrics.Histogram
+	frames      *metrics.Counter
+	bytes       *metrics.Counter
+	dropped     *metrics.Counter
+	reconnects  *metrics.Counter
+	frameErrors *metrics.Counter
+	encodeDur   *metrics.Histogram
+	decodeDur   *metrics.Histogram
 }
 
 func newWireMetrics(reg *metrics.Registry) wireMetrics {
@@ -38,15 +40,17 @@ func newWireMetrics(reg *metrics.Registry) wireMetrics {
 	reg.SetHelp("wire_bytes_total", "Frame bytes (header included) sent and received on worker connections.")
 	reg.SetHelp("wire_dropped_total", "Messages swallowed because the worker connection was dead.")
 	reg.SetHelp("wire_reconnects_total", "Extra dial attempts needed before a worker accepted.")
+	reg.SetHelp("wire_frame_errors_total", "Frames rejected for integrity failures (bad magic, version skew, CRC mismatch, undecodable payload). Each one kills its connection.")
 	reg.SetHelp("wire_encode_seconds", "Payload encode latency per outgoing frame.")
 	reg.SetHelp("wire_decode_seconds", "Payload decode latency per incoming frame.")
 	return wireMetrics{
-		frames:     reg.Counter("wire_frames_total"),
-		bytes:      reg.Counter("wire_bytes_total"),
-		dropped:    reg.Counter("wire_dropped_total"),
-		reconnects: reg.Counter("wire_reconnects_total"),
-		encodeDur:  reg.Histogram("wire_encode_seconds", codecLatencyBuckets),
-		decodeDur:  reg.Histogram("wire_decode_seconds", codecLatencyBuckets),
+		frames:      reg.Counter("wire_frames_total"),
+		bytes:       reg.Counter("wire_bytes_total"),
+		dropped:     reg.Counter("wire_dropped_total"),
+		reconnects:  reg.Counter("wire_reconnects_total"),
+		frameErrors: reg.Counter("wire_frame_errors_total"),
+		encodeDur:   reg.Histogram("wire_encode_seconds", codecLatencyBuckets),
+		decodeDur:   reg.Histogram("wire_decode_seconds", codecLatencyBuckets),
 	}
 }
 
@@ -85,16 +89,22 @@ type Net struct {
 }
 
 // defaultDialTimeout bounds the whole retry loop for one worker address;
-// within it, attempts back off exponentially from retryBase to retryCap.
-// Workers are usually started moments before the master, so the common case
-// is one or two attempts. The timeout used to be an unconditional
-// package-level constant; a server multiplexing many jobs tunes it per dial
-// (WithDialTimeout) and cancels in-flight dials on shutdown (WithContext).
-const (
-	defaultDialTimeout = 10 * time.Second
-	retryBase          = 25 * time.Millisecond
-	retryCap           = 800 * time.Millisecond
-)
+// within it, attempts follow dialBackoff. Workers are usually started
+// moments before the master, so the common case is one or two attempts.
+// The timeout used to be an unconditional package-level constant; a server
+// multiplexing many jobs tunes it per dial (WithDialTimeout) and cancels
+// in-flight dials on shutdown (WithContext).
+const defaultDialTimeout = 10 * time.Second
+
+// dialBackoff is the shared retry policy for every wire connect loop:
+// the master's Dial out to workers and the elastic worker's JoinFleet in
+// to the master. The jitter keeps a fleet of workers rejoining after a
+// master restart from hammering the listener in lockstep.
+var dialBackoff = backoff.Policy{
+	Base:   25 * time.Millisecond,
+	Cap:    800 * time.Millisecond,
+	Jitter: 0.25,
+}
 
 // DialOption configures Dial.
 type DialOption func(*dialConfig)
@@ -102,6 +112,7 @@ type DialOption func(*dialConfig)
 type dialConfig struct {
 	timeout time.Duration
 	ctx     context.Context
+	wrap    func(net.Conn) net.Conn
 }
 
 // WithDialTimeout bounds the whole retry loop for each worker address
@@ -123,6 +134,14 @@ func WithContext(ctx context.Context) DialOption {
 			c.ctx = ctx
 		}
 	}
+}
+
+// WithConnWrapper interposes f on every successfully dialed connection,
+// beneath the frame codec — the hook the chaosnet fault injector uses to
+// corrupt, partition, stall or reset links without the codec knowing.
+// f sees connections in dial order (worker 0 first).
+func WithConnWrapper(f func(net.Conn) net.Conn) DialOption {
+	return func(c *dialConfig) { c.wrap = f }
 }
 
 // Dial connects to each worker address, ships it its node number, seed and
@@ -158,6 +177,9 @@ func Dial(addrs []string, ins *mkp.Instance, seeds []uint64, reg *metrics.Regist
 			w.Close()
 			return nil, fmt.Errorf("wire: worker %d at %s: %w", node, addr, err)
 		}
+		if cfg.wrap != nil {
+			nc = cfg.wrap(nc)
+		}
 		cn := &workerConn{c: nc, br: bufio.NewReader(nc)}
 		w.conns = append(w.conns, cn)
 		if err := w.handshake(cn, node, seeds[i], ins); err != nil {
@@ -178,13 +200,13 @@ func (w *Net) dialRetry(cfg dialConfig, addr string) (net.Conn, error) {
 	return dialRetry(cfg, addr, w.mx)
 }
 
-// dialRetry dials addr with exponential backoff until cfg.timeout; shared by
-// the master's Dial (out to listening workers) and the elastic worker's
-// JoinFleet (in to a listening master).
+// dialRetry dials addr with the shared jittered backoff until cfg.timeout;
+// shared by the master's Dial (out to listening workers) and the elastic
+// worker's JoinFleet (in to a listening master).
 func dialRetry(cfg dialConfig, addr string, mx wireMetrics) (net.Conn, error) {
 	ctx, cancel := context.WithDeadline(cfg.ctx, time.Now().Add(cfg.timeout))
 	defer cancel()
-	backoff := retryBase
+	bo := dialBackoff.Timer(backoff.Seed(addr))
 	var lastErr error
 	var d net.Dialer
 	for attempt := 0; ; attempt++ {
@@ -201,22 +223,15 @@ func dialRetry(cfg dialConfig, addr string, mx wireMetrics) (net.Conn, error) {
 		if attempt > 0 {
 			mx.reconnects.Inc()
 		}
-		deadline, _ := ctx.Deadline()
-		if time.Now().Add(backoff).After(deadline) {
+		wait := bo.Next()
+		if deadline, ok := ctx.Deadline(); ok && time.Now().Add(wait).After(deadline) {
 			return nil, lastErr
 		}
-		timer := time.NewTimer(backoff)
-		select {
-		case <-ctx.Done():
-			timer.Stop()
+		if err := backoff.Sleep(ctx, wait); err != nil {
 			if cfg.ctx.Err() != nil {
 				return nil, fmt.Errorf("dial canceled: %w", cfg.ctx.Err())
 			}
 			return nil, lastErr
-		case <-timer.C:
-		}
-		if backoff *= 2; backoff > retryCap {
-			backoff = retryCap
 		}
 	}
 }
@@ -257,17 +272,22 @@ func (w *Net) reader(i int) {
 	for {
 		kind, _, _, payload, err := readFrame(cn.br)
 		if err != nil {
+			if isFrameError(err) {
+				w.mx.frameErrors.Inc()
+			}
 			cn.dead.Store(true)
 			return
 		}
 		tag, err := tagOf(kind)
 		if err != nil {
+			w.mx.frameErrors.Inc()
 			cn.dead.Store(true)
 			return
 		}
 		began := time.Now()
 		decoded, err := proto.DecodePayload(tag, payload, w.n)
 		if err != nil {
+			w.mx.frameErrors.Inc()
 			cn.dead.Store(true)
 			return
 		}

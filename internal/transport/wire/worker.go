@@ -122,17 +122,22 @@ func (s *Session) Recv(node int) transport.Message {
 	}
 	kind, from, _, payload, err := readFrame(s.br)
 	if err != nil {
+		if isFrameError(err) {
+			s.mx.frameErrors.Inc()
+		}
 		s.dead.Store(true)
 		return stop
 	}
 	tag, err := tagOf(kind)
 	if err != nil {
+		s.mx.frameErrors.Inc()
 		s.dead.Store(true)
 		return stop
 	}
 	began := time.Now()
 	decoded, err := proto.DecodePayload(tag, payload, s.n)
 	if err != nil {
+		s.mx.frameErrors.Inc()
 		s.dead.Store(true)
 		return stop
 	}

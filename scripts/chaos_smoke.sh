@@ -1,0 +1,135 @@
+#!/bin/sh
+# CI smoke for the network chaos layer and the untrusted-result hardening:
+# an elastic mkpsolve master runs under a seeded schedule of byte corruption,
+# connection resets and partition windows, served by 8 real mkpworker
+# processes — 7 honest ones that rejoin when chaos kills their link, and one
+# -forge worker that answers every round with a forged result. Requirements:
+# (a) the run completes and its solution passes mkpverify, (b) the live
+# /metrics exposition carries the core_result_rejects_total and
+# core_quarantines_total families, (c) the final report shows the forger
+# was rejected and quarantined, and (d) a zero-plan chaos run is bitwise
+# equal to the plain wire run at the same seed.
+# Usage: scripts/chaos_smoke.sh [mkpsolve] [mkpworker] [mkpgen] [mkpverify]
+set -eu
+
+SOLVE=${1:-./mkpsolve}
+WORKER=${2:-./mkpworker}
+GEN=${3:-./mkpgen}
+VERIFY=${4:-./mkpverify}
+HONEST=7
+
+DIR=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "chaos smoke FAILED: $1" >&2
+    shift
+    for f in "$@"; do
+        echo "---- $f" >&2
+        cat "$f" >&2 || true
+    done
+    exit 1
+}
+
+# await_line FILE SED_PATTERN DESC: poll FILE until the sed extraction
+# yields a non-empty line, echo it.
+await_line() {
+    i=0
+    while [ $i -lt 100 ]; do
+        LINE=$(sed -n "$2" "$1" | head -n 1)
+        if [ -n "$LINE" ]; then
+            echo "$LINE"
+            return 0
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    fail "$3 never announced" "$1"
+}
+
+"$GEN" -family gk -n 100 -m 10 -tightness 0.25 -seed 1 -o "$DIR/instance.txt"
+
+# --- The chaos battery: corruption + resets + partitions + a forger. -------
+"$SOLVE" -elastic 127.0.0.1:0 -p 8 -minworkers 8 -joingrace 60s \
+    -rounds 8 -moves 500 -seed 9 -slavetimeout 2s \
+    -chaos 7 -chaos-corrupt 0.05 -chaos-reset 0.02 \
+    -chaos-partition '0@300ms+500ms,3@600ms+400ms' \
+    -listen 127.0.0.1:0 -sol "$DIR/best.sol" "$DIR/instance.txt" \
+    >"$DIR/solve.out" 2>"$DIR/solve.err" &
+MASTER=$!
+PIDS="$PIDS $MASTER"
+
+FLEET=$(await_line "$DIR/solve.err" 's/^mkpsolve: fleet listening on //p' "fleet address")
+OBS=$(await_line "$DIR/solve.err" 's#.*observability on http://\([^ ]*\).*#\1#p' "observability address")
+
+# The hardening counter families must be registered (zero-valued) from the
+# start — the metrics audit for the quarantine path.
+MET=$(curl -s "http://$OBS/metrics" || true)
+echo "$MET" | grep -q '^core_result_rejects_total' \
+    || fail "core_result_rejects_total missing from /metrics" "$DIR/solve.err"
+echo "$MET" | grep -q '^core_quarantines_total' \
+    || fail "core_quarantines_total missing from /metrics" "$DIR/solve.err"
+
+i=0
+while [ $i -lt $HONEST ]; do
+    "$WORKER" -join "$FLEET" -name "honest$i" -rejoin 2>"$DIR/worker$i.log" &
+    PIDS="$PIDS $!"
+    i=$((i + 1))
+done
+"$WORKER" -join "$FLEET" -name evil -forge -rejoin 2>"$DIR/forger.log" &
+PIDS="$PIDS $!"
+
+wait "$MASTER" || fail "chaos run failed" "$DIR/solve.err" "$DIR/forger.log"
+
+"$VERIFY" "$DIR/instance.txt" "$DIR/best.sol" >/dev/null \
+    || fail "mkpverify rejected the chaos run's solution" "$DIR/solve.out"
+
+# The forger must have been struck and quarantined; honest corruption surfaces
+# as CRC frame errors, never as rejects, so every reject is the forger's.
+REJECTS=$(sed -n 's/^hardening  \([0-9]*\) results rejected by revalidation, \([0-9]*\) workers quarantined$/\1/p' "$DIR/solve.out")
+QUARS=$(sed -n 's/^hardening  \([0-9]*\) results rejected by revalidation, \([0-9]*\) workers quarantined$/\2/p' "$DIR/solve.out")
+[ -n "$REJECTS" ] && [ "$REJECTS" -ge 3 ] \
+    || fail "expected >=3 revalidation rejects, report says '${REJECTS:-none}'" "$DIR/solve.out" "$DIR/forger.log"
+[ -n "$QUARS" ] && [ "$QUARS" -ge 1 ] \
+    || fail "forger never quarantined" "$DIR/solve.out" "$DIR/forger.log"
+
+# Rejoining workers exit once the master is gone for good.
+for p in $PIDS; do
+    [ "$p" = "$MASTER" ] || kill "$p" 2>/dev/null || true
+done
+PIDS=""
+
+# --- Zero-plan equivalence: an inert chaos wrapper must change nothing. ----
+boot_workers() {
+    WPIDS=""
+    ADDRS=""
+    i=0
+    while [ $i -lt 4 ]; do
+        "$WORKER" -listen 127.0.0.1:0 -once 2>"$DIR/static$i.log" &
+        WPIDS="$WPIDS $!"
+        ADDR=$(await_line "$DIR/static$i.log" 's/^mkpworker: listening on //p' "static worker $i")
+        ADDRS="$ADDRS,$ADDR"
+        i=$((i + 1))
+    done
+    ADDRS=${ADDRS#,}
+}
+
+boot_workers
+PIDS="$PIDS $WPIDS"
+PLAIN=$("$SOLVE" -workers "$ADDRS" -seed 9 -rounds 6 -moves 500 -q "$DIR/instance.txt") \
+    || fail "plain wire run failed"
+
+boot_workers
+PIDS="$PIDS $WPIDS"
+INERT=$("$SOLVE" -workers "$ADDRS" -seed 9 -rounds 6 -moves 500 -q -chaos 99 "$DIR/instance.txt") \
+    || fail "inert-chaos wire run failed"
+
+[ "$INERT" = "$PLAIN" ] \
+    || fail "inert chaos best $INERT != plain wire best $PLAIN"
+
+echo "chaos smoke OK: run survived corruption/resets/partitions, $REJECTS forged results rejected, $QUARS quarantined, zero-plan equal ($PLAIN)"

@@ -48,6 +48,8 @@ while [ $i -lt 100 ]; do
     if [ "$CODE" = 200 ] && [ -s "$OUT" ] \
         && grep -q '^tabu_moves_total' "$OUT" \
         && grep -q '^core_rounds_total' "$OUT" \
+        && grep -q '^core_result_rejects_total' "$OUT" \
+        && grep -q '^core_quarantines_total' "$OUT" \
         && grep -q '^farm_messages_total' "$OUT"; then
         echo "metrics smoke OK: $(wc -l <"$OUT") exposition lines from http://$ADDR/metrics"
         exit 0
