@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench kernel solverbench bench-guard chaos chaos-wire chaos-smoke metrics metrics-smoke crash-resume transport worker-smoke serve-smoke elastic elastic-smoke
+.PHONY: build vet test race check bench kernel solverbench bench-guard chaos chaos-wire chaos-smoke metrics metrics-smoke crash-resume transport worker-smoke serve-smoke elastic elastic-smoke portfolio-smoke
 
 build:
 	$(GO) build ./...
@@ -146,3 +146,15 @@ serve-smoke:
 	$(GO) build -o ./mkpverify.smoke ./cmd/mkpverify
 	./scripts/serve_load.sh ./mkpserve.smoke ./mkpworker.smoke ./mkpgen.smoke ./mkpverify.smoke
 	rm -f ./mkpserve.smoke ./mkpworker.smoke ./mkpgen.smoke ./mkpverify.smoke
+
+# portfolio-smoke boots a mixed-algorithm mkpworker fleet advertising its
+# search algorithms, completes an `mkpsolve -portfolio` run through it with
+# the solution checked by mkpverify, then audits the per-algorithm slot
+# gauges on a live /metrics endpoint (sum = fleet size, every member >= 1).
+portfolio-smoke:
+	$(GO) build -o ./mkpsolve.smoke ./cmd/mkpsolve
+	$(GO) build -o ./mkpworker.smoke ./cmd/mkpworker
+	$(GO) build -o ./mkpgen.smoke ./cmd/mkpgen
+	$(GO) build -o ./mkpverify.smoke ./cmd/mkpverify
+	./scripts/portfolio_smoke.sh ./mkpsolve.smoke ./mkpworker.smoke ./mkpgen.smoke ./mkpverify.smoke
+	rm -f ./mkpsolve.smoke ./mkpworker.smoke ./mkpgen.smoke ./mkpverify.smoke

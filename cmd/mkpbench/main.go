@@ -31,6 +31,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/mkp"
@@ -248,13 +249,16 @@ func (r runner) fp() {
 }
 
 // compareFile runs the Table 2 comparison on every problem in the given
-// instance file (single-instance or official OR-Library multi-problem
-// layout).
+// instance file (single-instance, official OR-Library multi-problem layout,
+// or — for .dat files — the Chu–Beasley mknapcb series).
 func (r runner) compareFile(path string) {
 	data, err := os.ReadFile(path)
 	exitOn(err)
-	instances, err := mkp.ReadORLibMulti(bytes.NewReader(data), path)
-	if err != nil {
+	var instances []*mkp.Instance
+	if strings.HasSuffix(path, ".dat") {
+		instances, err = mkp.ReadChuBeasley(bytes.NewReader(data), path)
+		exitOn(err)
+	} else if instances, err = mkp.ReadORLibMulti(bytes.NewReader(data), path); err != nil {
 		ins, err2 := mkp.ReadORLib(bytes.NewReader(data), path)
 		exitOn(err2)
 		instances = []*mkp.Instance{ins}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/mkp"
 	"repro/internal/obs"
 	"repro/internal/supervise"
+	"repro/internal/tabu"
 	"repro/internal/trace"
 	"repro/internal/transport/chaosnet"
 	"repro/internal/transport/inproc"
@@ -43,23 +44,24 @@ func main() {
 
 func run() int {
 	var (
-		algoName = flag.String("algo", "CTS2", "algorithm: SEQ, ITS, CTS1, CTS2")
-		p        = flag.Int("p", 8, "number of slave threads")
-		rounds   = flag.Int("rounds", 20, "master iterations")
-		moves    = flag.Int64("moves", 2000, "per-slave per-round move budget")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		alpha    = flag.Float64("alpha", 0.99, "ISP replacement threshold")
-		timeLim  = flag.Duration("time", 0, "wall-clock limit (0 = none)")
-		simLim   = flag.Duration("simtime", 0, "SIMULATED execution-time budget on the paper's Alpha-farm model (deterministic; 0 = none)")
-		genSize  = flag.String("gen", "", "generate a GK instance NxM (e.g. 250x15) instead of reading a file")
-		index    = flag.Int("index", 0, "1-based problem index inside an OR-Library multi-problem file (0 = first)")
-		async    = flag.Bool("async", false, "use the decentralized asynchronous scheme")
-		total    = flag.Int64("total", 40000, "async: per-peer total move budget")
-		chunk    = flag.Int64("chunk", 1000, "async: moves between communication points")
-		ring     = flag.Bool("ring", false, "async: ring topology instead of full broadcast")
-		useCore  = flag.Bool("core", false, "arm the LP-guided core search: reduced-cost fixing restricts the tabu scans to a core set, re-thresholded as the incumbent improves")
-		noFix    = flag.Bool("nofix", false, "explicitly disable LP guidance (the default; a -nofix run reproduces the unguided search bit for bit)")
-		fixGap   = flag.Float64("gap", 0, "-core: fixing gap for the reduced-cost rule (0 = default 1, which keeps every strictly better solution when profits are integral)")
+		algoName  = flag.String("algo", "CTS2", "algorithm: SEQ, ITS, CTS1, CTS2")
+		portfolio = flag.String("portfolio", "", "comma-separated hyper-heuristic portfolio (tabu,repair,assim); slot i starts on entry i mod len, and with mixed members the tuner reallocates slots toward the winner")
+		p         = flag.Int("p", 8, "number of slave threads")
+		rounds    = flag.Int("rounds", 20, "master iterations")
+		moves     = flag.Int64("moves", 2000, "per-slave per-round move budget")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		alpha     = flag.Float64("alpha", 0.99, "ISP replacement threshold")
+		timeLim   = flag.Duration("time", 0, "wall-clock limit (0 = none)")
+		simLim    = flag.Duration("simtime", 0, "SIMULATED execution-time budget on the paper's Alpha-farm model (deterministic; 0 = none)")
+		genSize   = flag.String("gen", "", "generate a GK instance NxM (e.g. 250x15) instead of reading a file")
+		index     = flag.Int("index", 0, "1-based problem index inside an OR-Library multi-problem file (0 = first)")
+		async     = flag.Bool("async", false, "use the decentralized asynchronous scheme")
+		total     = flag.Int64("total", 40000, "async: per-peer total move budget")
+		chunk     = flag.Int64("chunk", 1000, "async: moves between communication points")
+		ring      = flag.Bool("ring", false, "async: ring topology instead of full broadcast")
+		useCore   = flag.Bool("core", false, "arm the LP-guided core search: reduced-cost fixing restricts the tabu scans to a core set, re-thresholded as the incumbent improves")
+		noFix     = flag.Bool("nofix", false, "explicitly disable LP guidance (the default; a -nofix run reproduces the unguided search bit for bit)")
+		fixGap    = flag.Float64("gap", 0, "-core: fixing gap for the reduced-cost rule (0 = default 1, which keeps every strictly better solution when profits are integral)")
 
 		quiet    = flag.Bool("q", false, "print only the best value")
 		doTrace  = flag.Bool("trace", false, "stream search events (improvements, tuning actions) to stderr")
@@ -130,6 +132,9 @@ func run() int {
 	if *useCore && *async {
 		return fail(errors.New("-core needs the synchronous solver (guidance lives in the master; drop -async)"))
 	}
+	if *portfolio != "" && *async {
+		return fail(errors.New("-portfolio needs the synchronous solver (the master's tuner owns the allocation; drop -async)"))
+	}
 	if *fixGap != 0 && !*useCore {
 		return fail(errors.New("-gap needs the guided search armed via -core"))
 	}
@@ -159,6 +164,13 @@ func run() int {
 		P: *p, Seed: *seed, Rounds: *rounds, RoundMoves: *moves,
 		Alpha: *alpha, TimeLimit: *timeLim, SimBudget: *simLim,
 		EqualWork: *equalWork,
+	}
+	if *portfolio != "" {
+		members, err := tabu.ParsePortfolio(*portfolio)
+		if err != nil {
+			return fail(err)
+		}
+		opts.Portfolio = members
 	}
 	if *elastic != "" {
 		opts.Elastic = &core.ElasticConfig{Listen: *elastic, Min: *minWorkers, JoinGrace: *joinGrace}
@@ -415,6 +427,22 @@ func loadInstance(genSize string, seed uint64, index int, args []string) (*mkp.I
 	if err != nil {
 		return nil, err
 	}
+	// Chu–Beasley benchmark files ship with a .dat extension; everything else
+	// goes through the OR-Library readers.
+	if strings.HasSuffix(args[0], ".dat") {
+		instances, err := mkp.ReadChuBeasley(bytes.NewReader(data), args[0])
+		if err != nil {
+			return nil, err
+		}
+		k := index
+		if k <= 0 {
+			k = 1
+		}
+		if k > len(instances) {
+			return nil, fmt.Errorf("file has %d problems, -index %d out of range", len(instances), k)
+		}
+		return instances[k-1], nil
+	}
 	// Try the official multi-problem layout first, then the single layout.
 	if instances, err := mkp.ReadORLibMulti(bytes.NewReader(data), args[0]); err == nil {
 		k := index
@@ -481,6 +509,18 @@ func report(ins *mkp.Instance, algo string, res *core.Result, quiet bool) {
 	}
 	fmt.Printf("tuning     %d replacements, %d restarts, %d strategy resets\n",
 		res.Stats.Replacements, res.Stats.RandomRestarts, res.Stats.StrategyResets)
+	if len(res.Stats.AlgoSlots) > 0 {
+		fmt.Printf("portfolio ")
+		for a := tabu.AlgoID(0); int(a) < tabu.NumAlgos; a++ {
+			name := a.String()
+			if _, ok := res.Stats.AlgoSlots[name]; !ok {
+				continue
+			}
+			fmt.Printf(" %s=%d(wins %d/%d)", name, res.Stats.AlgoSlots[name],
+				res.Stats.AlgoWins[name], res.Stats.AlgoRounds[name])
+		}
+		fmt.Printf(" reallocs=%d\n", res.Stats.SlotReallocs)
+	}
 	if len(res.Stats.BestByRound) > 1 {
 		fmt.Printf("trajectory")
 		for _, v := range res.Stats.BestByRound {
@@ -489,7 +529,11 @@ func report(ins *mkp.Instance, algo string, res *core.Result, quiet bool) {
 		fmt.Println()
 	}
 	for i, st := range res.Strategies {
-		fmt.Printf("slave %-2d   Lt=%d NbDrop=%d NbLocal=%d\n", i, st.LtLength, st.NbDrop, st.NbLocal)
+		if len(res.Stats.AlgoSlots) > 0 {
+			fmt.Printf("slave %-2d   %s Lt=%d NbDrop=%d NbLocal=%d\n", i, st.Algo, st.LtLength, st.NbDrop, st.NbLocal)
+		} else {
+			fmt.Printf("slave %-2d   Lt=%d NbDrop=%d NbLocal=%d\n", i, st.LtLength, st.NbDrop, st.NbLocal)
+		}
 	}
 }
 

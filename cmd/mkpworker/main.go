@@ -41,8 +41,22 @@ func main() {
 		leaveAfter = flag.Int("leave-after", 0, "elastic mode: leave gracefully after serving this many rounds (0 = serve until stopped)")
 		rejoin     = flag.Bool("rejoin", false, "elastic mode: when the connection drops (chaos, master restart), keep rejoining under a fresh node id until the master is gone for good")
 		forge      = flag.Bool("forge", false, "elastic mode: answer every round with a forged result (hostile-worker testing; the master must reject and quarantine this worker)")
+		algos      = flag.String("algos", "tabu,repair,assim", "portfolio algorithms this worker advertises (comma-separated)")
 	)
 	flag.Parse()
+
+	// The algorithm a slave runs each round arrives inside the strategy over
+	// the v3 wire, so every worker binary can execute the whole portfolio;
+	// -algos is the worker's advertisement of that set. Validating it here
+	// catches a fleet config naming an algorithm this build does not know,
+	// and the log line gives smoke harnesses a stable place to audit what a
+	// mixed fleet claims to run.
+	advertised, err := tabu.ParsePortfolio(*algos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mkpworker:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mkpworker: algorithms %s\n", tabu.FormatPortfolio(advertised))
 
 	if *join != "" {
 		if err := joinLoop(*join, *name, *leaveAfter, *rejoin, *forge); err != nil {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/mkp"
+	"repro/internal/tabu"
 )
 
 // The end-to-end solver benchmark measures solution-quality speed — how fast
@@ -98,6 +99,14 @@ type SolverSeries struct {
 	CoreFixedOut  int     `json:"core_fixed_out,omitempty"`
 	CoreRefreshes int     `json:"core_refreshes,omitempty"`
 	ProvenOptimal bool    `json:"proven_optimal,omitempty"`
+
+	// Portfolio fields, populated only on the hyper-heuristic series: the
+	// member list and the final per-algorithm slot split and win accounting.
+	Portfolio    string         `json:"portfolio,omitempty"`
+	AlgoSlots    map[string]int `json:"algo_slots,omitempty"`
+	AlgoWins     map[string]int `json:"algo_wins,omitempty"`
+	AlgoRounds   map[string]int `json:"algo_rounds,omitempty"`
+	SlotReallocs int            `json:"slot_reallocs,omitempty"`
 }
 
 // SolverInstanceReport is one pinned instance's trajectories plus the
@@ -114,6 +123,14 @@ type SolverInstanceReport struct {
 	Target        float64 `json:"target"`
 	GuidedRound   int     `json:"guided_round"`
 	UnguidedRound int     `json:"unguided_round"`
+
+	// The hyper-heuristic comparison, same construction: PortfolioTarget is
+	// the worse of the mixed-portfolio and pure-tabu CTS2 finals, and the
+	// round fields are when each first reached it. The portfolio must reach
+	// the pure-tabu target no later on the pinned instances.
+	PortfolioTarget float64 `json:"portfolio_target"`
+	PortfolioRound  int     `json:"portfolio_round"`
+	PureRound       int     `json:"pure_round"`
 }
 
 // SolverReport is the exported suite result.
@@ -125,6 +142,10 @@ type SolverReport struct {
 // solverAlgorithms is the Table 2 set every instance runs unguided.
 var solverAlgorithms = []core.Algorithm{core.SEQ, core.ITS, core.CTS1, core.CTS2}
 
+// solverPortfolio is the mixed member list the hyper-heuristic series runs:
+// the paper's tabu kernel plus both auxiliary searchers.
+var solverPortfolio = []tabu.AlgoID{tabu.AlgoTabu, tabu.AlgoRepair, tabu.AlgoAssim}
+
 // RunSolverSuite executes the suite. Progress (optional) gets one line per
 // completed run.
 func RunSolverSuite(sp SolverSpec, progress io.Writer) (SolverReport, error) {
@@ -134,7 +155,7 @@ func RunSolverSuite(sp SolverSpec, progress io.Writer) (SolverReport, error) {
 		ir := SolverInstanceReport{Instance: si}
 		var unguided, guided *SolverSeries
 		for _, algo := range solverAlgorithms {
-			s, err := runSolverSeries(ins, algo, sp, false)
+			s, err := runSolverSeries(ins, algo, sp, false, nil)
 			if err != nil {
 				return rep, fmt.Errorf("bench: solver %s %v: %w", si.Name, algo, err)
 			}
@@ -146,7 +167,7 @@ func RunSolverSuite(sp SolverSpec, progress io.Writer) (SolverReport, error) {
 				fmt.Fprintf(progress, "solver %-10s %-4v final=%.0f\n", si.Name, algo, s.Final)
 			}
 		}
-		s, err := runSolverSeries(ins, core.CTS2, sp, true)
+		s, err := runSolverSeries(ins, core.CTS2, sp, true, nil)
 		if err != nil {
 			return rep, fmt.Errorf("bench: solver %s CTS2 guided: %w", si.Name, err)
 		}
@@ -156,6 +177,16 @@ func RunSolverSuite(sp SolverSpec, progress io.Writer) (SolverReport, error) {
 			fmt.Fprintf(progress, "solver %-10s CTS2g final=%.0f core=%d/%d/%d\n",
 				si.Name, s.Final, s.CoreFixedIn, s.CoreSize, s.CoreFixedOut)
 		}
+		s, err = runSolverSeries(ins, core.CTS2, sp, false, solverPortfolio)
+		if err != nil {
+			return rep, fmt.Errorf("bench: solver %s CTS2 portfolio: %w", si.Name, err)
+		}
+		ir.Series = append(ir.Series, s)
+		mixed := &ir.Series[len(ir.Series)-1]
+		if progress != nil {
+			fmt.Fprintf(progress, "solver %-10s CTS2p final=%.0f reallocs=%d\n",
+				si.Name, s.Final, s.SlotReallocs)
+		}
 
 		ir.Target = guided.Final
 		if unguided.Final < ir.Target {
@@ -163,6 +194,13 @@ func RunSolverSuite(sp SolverSpec, progress io.Writer) (SolverReport, error) {
 		}
 		ir.GuidedRound = roundsToTarget(guided.BestByRound, ir.Target)
 		ir.UnguidedRound = roundsToTarget(unguided.BestByRound, ir.Target)
+
+		ir.PortfolioTarget = mixed.Final
+		if unguided.Final < ir.PortfolioTarget {
+			ir.PortfolioTarget = unguided.Final
+		}
+		ir.PortfolioRound = roundsToTarget(mixed.BestByRound, ir.PortfolioTarget)
+		ir.PureRound = roundsToTarget(unguided.BestByRound, ir.PortfolioTarget)
 		rep.Instances = append(rep.Instances, ir)
 	}
 	return rep, nil
@@ -170,8 +208,8 @@ func RunSolverSuite(sp SolverSpec, progress io.Writer) (SolverReport, error) {
 
 // runSolverSeries executes one deterministic run and folds its stats into a
 // series record.
-func runSolverSeries(ins *mkp.Instance, algo core.Algorithm, sp SolverSpec, guide bool) (SolverSeries, error) {
-	opts := core.Options{P: sp.P, Seed: sp.Seed, Rounds: sp.Rounds, RoundMoves: sp.RoundMoves}
+func runSolverSeries(ins *mkp.Instance, algo core.Algorithm, sp SolverSpec, guide bool, portfolio []tabu.AlgoID) (SolverSeries, error) {
+	opts := core.Options{P: sp.P, Seed: sp.Seed, Rounds: sp.Rounds, RoundMoves: sp.RoundMoves, Portfolio: portfolio}
 	if guide {
 		opts.Guide = &core.GuideConfig{}
 	}
@@ -195,6 +233,13 @@ func runSolverSeries(ins *mkp.Instance, algo core.Algorithm, sp SolverSpec, guid
 		s.CoreFixedOut = res.Stats.CoreFixedOut
 		s.CoreRefreshes = res.Stats.CoreRefreshes
 		s.ProvenOptimal = res.Stats.ProvenOptimal
+	}
+	if len(portfolio) > 0 {
+		s.Portfolio = tabu.FormatPortfolio(portfolio)
+		s.AlgoSlots = res.Stats.AlgoSlots
+		s.AlgoWins = res.Stats.AlgoWins
+		s.AlgoRounds = res.Stats.AlgoRounds
+		s.SlotReallocs = res.Stats.SlotReallocs
 	}
 	return s, nil
 }
@@ -255,6 +300,8 @@ func RenderSolverReport(r SolverReport) string {
 		}
 		fmt.Fprintf(&b, "target %.0f: guided CTS2 at round %d, unguided at round %d\n",
 			ir.Target, ir.GuidedRound, ir.UnguidedRound)
+		fmt.Fprintf(&b, "target %.0f: portfolio CTS2 at round %d, pure tabu at round %d\n",
+			ir.PortfolioTarget, ir.PortfolioRound, ir.PureRound)
 	}
 	return b.String()
 }
@@ -262,6 +309,9 @@ func RenderSolverReport(r SolverReport) string {
 func seriesLabel(s SolverSeries) string {
 	if s.Guided {
 		return s.Algorithm + "g"
+	}
+	if s.Portfolio != "" {
+		return s.Algorithm + "p"
 	}
 	return s.Algorithm
 }

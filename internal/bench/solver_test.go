@@ -24,9 +24,10 @@ func TestRoundsToTarget(t *testing.T) {
 	}
 }
 
-// The quick suite must produce structurally sound reports: five series per
-// instance (four unguided algorithms plus guided CTS2), monotone trajectories
-// whose last entry is the final, and a target both CTS2 runs provably reach.
+// The quick suite must produce structurally sound reports: six series per
+// instance (four unguided algorithms, guided CTS2, portfolio CTS2), monotone
+// trajectories whose last entry is the final, and targets every compared run
+// provably reaches.
 func TestRunSolverSuiteQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("solver suite run in -short mode")
@@ -39,10 +40,10 @@ func TestRunSolverSuiteQuick(t *testing.T) {
 		t.Fatalf("%d instance reports, want %d", len(rep.Instances), len(QuickSolverSpec().Instances))
 	}
 	for _, ir := range rep.Instances {
-		if len(ir.Series) != len(solverAlgorithms)+1 {
-			t.Fatalf("%s: %d series, want %d", ir.Instance.Name, len(ir.Series), len(solverAlgorithms)+1)
+		if len(ir.Series) != len(solverAlgorithms)+2 {
+			t.Fatalf("%s: %d series, want %d", ir.Instance.Name, len(ir.Series), len(solverAlgorithms)+2)
 		}
-		var guided, unguided *SolverSeries
+		var guided, unguided, mixed *SolverSeries
 		for i := range ir.Series {
 			s := &ir.Series[i]
 			for r := 1; r < len(s.BestByRound); r++ {
@@ -55,14 +56,17 @@ func TestRunSolverSuiteQuick(t *testing.T) {
 					ir.Instance.Name, seriesLabel(*s), s.Final, s.BestByRound[n-1])
 			}
 			if s.Algorithm == "CTS2" {
-				if s.Guided {
+				switch {
+				case s.Guided:
 					guided = s
-				} else {
+				case s.Portfolio != "":
+					mixed = s
+				default:
 					unguided = s
 				}
 			}
 		}
-		if guided == nil || unguided == nil {
+		if guided == nil || unguided == nil || mixed == nil {
 			t.Fatalf("%s: missing a CTS2 series", ir.Instance.Name)
 		}
 		if ir.Target > guided.Final || ir.Target > unguided.Final {
@@ -77,6 +81,24 @@ func TestRunSolverSuiteQuick(t *testing.T) {
 		}
 		if guided.LPBound < guided.Final {
 			t.Fatalf("%s: LP bound %v below guided final %v", ir.Instance.Name, guided.LPBound, guided.Final)
+		}
+
+		if ir.PortfolioTarget > mixed.Final || ir.PortfolioTarget > unguided.Final {
+			t.Fatalf("%s: portfolio target %v above a final (mixed %v, pure %v)",
+				ir.Instance.Name, ir.PortfolioTarget, mixed.Final, unguided.Final)
+		}
+		if want := roundsToTarget(mixed.BestByRound, ir.PortfolioTarget); ir.PortfolioRound != want {
+			t.Fatalf("%s: portfolio round %d, recomputed %d", ir.Instance.Name, ir.PortfolioRound, want)
+		}
+		if want := roundsToTarget(unguided.BestByRound, ir.PortfolioTarget); ir.PureRound != want {
+			t.Fatalf("%s: pure round %d, recomputed %d", ir.Instance.Name, ir.PureRound, want)
+		}
+		slots := 0
+		for _, n := range mixed.AlgoSlots {
+			slots += n
+		}
+		if slots != QuickSolverSpec().P {
+			t.Fatalf("%s: portfolio slot counts %v do not sum to P", ir.Instance.Name, mixed.AlgoSlots)
 		}
 	}
 }
@@ -114,5 +136,21 @@ func TestCommittedSolverBaseline(t *testing.T) {
 	if 2*strict < len(rep.Instances) {
 		t.Errorf("guided strictly earlier on %d of %d instances, want at least half",
 			strict, len(rep.Instances))
+	}
+
+	// The hyper-heuristic claim: the mixed portfolio reaches the pure-tabu
+	// target no later than pure CTS2 on every pinned instance (and the
+	// baseline must carry at least two instances witnessing it).
+	witnesses := 0
+	for _, ir := range rep.Instances {
+		if ir.PortfolioRound > ir.PureRound {
+			t.Errorf("%s: portfolio reaches target at round %d, after pure tabu round %d",
+				ir.Instance.Name, ir.PortfolioRound, ir.PureRound)
+		} else {
+			witnesses++
+		}
+	}
+	if witnesses < 2 {
+		t.Errorf("portfolio no-later witnessed on %d instances, want at least 2", witnesses)
 	}
 }

@@ -1,0 +1,151 @@
+package cets
+
+import (
+	"testing"
+
+	"repro/internal/mkp"
+	"repro/internal/rng"
+)
+
+// smallInstance builds an explicit instance for the boundary cases where the
+// random generator cannot be steered precisely enough.
+func smallInstance(profit []float64, weight [][]float64, capacity []float64) *mkp.Instance {
+	return &mkp.Instance{
+		Name: "edge", N: len(profit), M: len(capacity),
+		Profit: profit, Weight: weight, Capacity: capacity,
+	}
+}
+
+// When every item fits, the oscillation has nowhere to go on the constructive
+// side (pick runs out of candidates) and must still terminate with the full
+// pack as the best.
+func TestSearchAllItemsFit(t *testing.T) {
+	ins := smallInstance(
+		[]float64{5, 4, 3},
+		[][]float64{{1, 1, 1}},
+		[]float64{100},
+	)
+	res, err := Search(ins, Options{Seed: 1, Budget: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value != 12 {
+		t.Fatalf("best %v, want the full pack 12", res.Best.Value)
+	}
+	if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+		t.Fatal("infeasible best")
+	}
+}
+
+// When no single item fits, the only feasible solution is empty; the search
+// must neither wedge nor report a phantom improvement.
+func TestSearchNothingFits(t *testing.T) {
+	ins := smallInstance(
+		[]float64{5, 4, 3},
+		[][]float64{{10, 11, 12}},
+		[]float64{9},
+	)
+	res, err := Search(ins, Options{Seed: 2, Budget: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value != 0 || res.Best.X.Count() != 0 {
+		t.Fatalf("best %v with %d items, want the empty solution", res.Best.Value, res.Best.X.Count())
+	}
+}
+
+// A single-item instance exercises the shortest possible oscillation in both
+// directions.
+func TestSearchSingleItem(t *testing.T) {
+	ins := smallInstance([]float64{7}, [][]float64{{3}}, []float64{5})
+	res, err := Search(ins, Options{Seed: 3, Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value != 7 {
+		t.Fatalf("best %v, want 7", res.Best.Value)
+	}
+}
+
+// A tenure longer than the whole budget makes every candidate tabu after its
+// first flip; the tabu-fallback pick must keep the search moving and the
+// result feasible.
+func TestSearchEverythingTabu(t *testing.T) {
+	ins := randomInstance(rng.New(11), 30, 3, 0.3)
+	res, err := Search(ins, Options{Seed: 4, Budget: 1000, Tenure: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+		t.Fatal("infeasible best under saturated tabu list")
+	}
+	if res.Flips < 999 {
+		t.Fatalf("search stalled at %d flips", res.Flips)
+	}
+}
+
+// The amplitude cap is a hard ceiling: with MaxAmplitude pinned to 1 the
+// oscillation may never deepen however long it stalls.
+func TestSearchAmplitudeCapRespected(t *testing.T) {
+	ins := randomInstance(rng.New(12), 60, 6, 0.25)
+	res, err := Search(ins, Options{Seed: 5, Budget: 8000, MaxAmplitude: 1, StallOscillations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAmplitude != 1 {
+		t.Fatalf("amplitude %d escaped the cap", res.MaxAmplitude)
+	}
+}
+
+// The flip budget is exact: a run never executes more flips than it was
+// given, even a budget too small for one full oscillation.
+func TestSearchBudgetExact(t *testing.T) {
+	ins := randomInstance(rng.New(13), 40, 4, 0.3)
+	for _, budget := range []int64{1, 2, 7, 100} {
+		res, err := Search(ins, Options{Seed: 6, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Flips > budget {
+			t.Fatalf("budget %d: executed %d flips", budget, res.Flips)
+		}
+		if res.Best.Value < mkp.Greedy(ins).Value {
+			t.Fatalf("budget %d: best %v fell below the greedy start", budget, res.Best.Value)
+		}
+	}
+}
+
+// Seeded determinism across the whole result, not just the best: flips,
+// critical events and the deepest amplitude must all replay, and distinct
+// seeds must still produce sane (feasible, ≥ greedy) answers.
+func TestSearchSeededReplayFullResult(t *testing.T) {
+	ins := randomInstance(rng.New(14), 70, 5, 0.3)
+	a, err := Search(ins, Options{Seed: 21, Budget: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(ins, Options{Seed: 21, Budget: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Value != b.Best.Value || !a.Best.X.Equal(b.Best.X) {
+		t.Fatal("same seed diverged on the best")
+	}
+	if a.Flips != b.Flips || a.CriticalEvents != b.CriticalEvents || a.MaxAmplitude != b.MaxAmplitude {
+		t.Fatalf("same seed diverged on the trace: %+v vs %+v", a, b)
+	}
+
+	greedy := mkp.Greedy(ins).Value
+	for seed := uint64(0); seed < 8; seed++ {
+		res, err := Search(ins, Options{Seed: seed, Budget: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+			t.Fatalf("seed %d: infeasible best", seed)
+		}
+		if res.Best.Value < greedy {
+			t.Fatalf("seed %d: best %v below greedy %v", seed, res.Best.Value, greedy)
+		}
+	}
+}

@@ -57,6 +57,15 @@ type Checkpoint struct {
 	// worker a clean sheet, matching how slave life/death state restarts.
 	ResultRejects int `json:"result_rejects,omitempty"`
 	Quarantines   int `json:"quarantines,omitempty"`
+	// Portfolio snapshot (version 3; absent in homogeneous-tabu checkpoints,
+	// which stay version 1). The per-slave algorithm assignment itself rides
+	// in Strategies[i].Algo — these fields carry the run's configured member
+	// list and the tuner's accumulated win accounting, so a kill-9'd run
+	// resumes reallocating from the estimates it had, not from a clean sheet.
+	Portfolio    string         `json:"portfolio,omitempty"`
+	AlgoRounds   map[string]int `json:"algo_rounds,omitempty"`
+	AlgoWins     map[string]int `json:"algo_wins,omitempty"`
+	SlotReallocs int            `json:"slot_reallocs,omitempty"`
 }
 
 // SolutionRecord is the serialized form of a solution: the assignment as a
@@ -128,14 +137,36 @@ func (m *master) checkpoint() *Checkpoint {
 	for _, s := range m.starts {
 		c.Starts = append(c.Starts, recordOf(s))
 	}
+	if pf := m.tune.port; pf != nil {
+		c.Version = 3
+		c.Portfolio = tabu.FormatPortfolio(m.opts.Portfolio)
+		c.AlgoRounds = make(map[string]int, len(pf.distinct))
+		c.AlgoWins = make(map[string]int, len(pf.distinct))
+		for _, a := range pf.distinct {
+			c.AlgoRounds[a.String()] = pf.rounds[a]
+			c.AlgoWins[a.String()] = pf.wins[a]
+		}
+		c.SlotReallocs = m.stats.SlotReallocs
+	}
 	return c
 }
 
 // restore loads a checkpoint into a freshly constructed master. It rejects
 // mismatched dimensions and algorithms.
 func (m *master) restore(c *Checkpoint) error {
-	if c.Version != 1 {
+	// Version 1 is the homogeneous-tabu checkpoint; version 3 added the
+	// portfolio snapshot alongside proto v3. Skew between the checkpoint's
+	// portfolio and the run's is rejected hard, like every other mismatch:
+	// a resumed run must reallocate the same member set it accounted.
+	if c.Version != 1 && c.Version != 3 {
 		return fmt.Errorf("core: unsupported checkpoint version %d", c.Version)
+	}
+	runPortfolio := ""
+	if len(m.opts.Portfolio) > 0 {
+		runPortfolio = tabu.FormatPortfolio(m.opts.Portfolio)
+	}
+	if c.Portfolio != runPortfolio {
+		return fmt.Errorf("core: checkpoint portfolio %q, run has %q", c.Portfolio, runPortfolio)
 	}
 	if c.Algorithm != m.algo.String() {
 		return fmt.Errorf("core: checkpoint is for %s, run is %s", c.Algorithm, m.algo)
@@ -176,6 +207,27 @@ func (m *master) restore(c *Checkpoint) error {
 		if err := st.Validate(); err != nil {
 			return fmt.Errorf("core: checkpoint strategy %d: %w", i, err)
 		}
+		// The assignment must name an algorithm this run's portfolio actually
+		// contains (a homogeneous run accepts only the tabu kernel).
+		if pf := m.tune.port; pf != nil {
+			if !pf.member(st.Algo) {
+				return fmt.Errorf("core: checkpoint strategy %d runs %s, not in portfolio %q", i, st.Algo, c.Portfolio)
+			}
+		} else if st.Algo != tabu.AlgoTabu {
+			return fmt.Errorf("core: checkpoint strategy %d runs %s, run is homogeneous tabu", i, st.Algo)
+		}
+	}
+	if pf := m.tune.port; pf != nil {
+		for _, a := range pf.distinct {
+			if c.AlgoWins[a.String()] < 0 || c.AlgoRounds[a.String()] < 0 ||
+				c.AlgoWins[a.String()] > c.AlgoRounds[a.String()] {
+				return fmt.Errorf("core: checkpoint %s accounting inconsistent (%d wins of %d rounds)",
+					a, c.AlgoWins[a.String()], c.AlgoRounds[a.String()])
+			}
+		}
+	}
+	if c.SlotReallocs < 0 {
+		return fmt.Errorf("core: checkpoint has negative slot reallocations")
 	}
 	m.best = best
 	m.tune.alpha = c.Alpha
@@ -208,6 +260,14 @@ func (m *master) restore(c *Checkpoint) error {
 	m.stats.ResultRejects = c.ResultRejects
 	m.stats.Quarantines = c.Quarantines
 	m.droppedBase = c.DroppedMessages
+	if pf := m.tune.port; pf != nil {
+		for _, a := range pf.distinct {
+			pf.rounds[a] = c.AlgoRounds[a.String()]
+			pf.wins[a] = c.AlgoWins[a.String()]
+		}
+		m.stats.SlotReallocs = c.SlotReallocs
+		m.tune.publishAlgoSlots()
+	}
 	return nil
 }
 

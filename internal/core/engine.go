@@ -45,9 +45,17 @@ func NewEngine(ins *mkp.Instance, algo Algorithm, opts Options) (*Engine, error)
 	opts = opts.withDefaults(ins.N)
 	if algo == SEQ {
 		opts.P = 1
+		if len(opts.Portfolio) > 0 {
+			return nil, fmt.Errorf("core: SEQ runs one tabu slave; a portfolio needs a parallel algorithm")
+		}
 	}
 	if err := opts.Base.Validate(); err != nil {
 		return nil, fmt.Errorf("core: base params: %w", err)
+	}
+	for i, a := range opts.Portfolio {
+		if !a.Valid() {
+			return nil, fmt.Errorf("core: portfolio entry %d: unknown algorithm id %d", i, int(a))
+		}
 	}
 	if opts.Faults != nil {
 		if err := opts.Faults.Validate(); err != nil {

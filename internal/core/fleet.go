@@ -100,6 +100,7 @@ func (rc *reconciler) assemble() error {
 		rc.growSlot(node)
 		slot := node - 1
 		rc.strategies[slot] = tabu.RandomStrategy(rc.ins.N, rc.masterR)
+		rc.strategies[slot].Algo = algoAt(rc.opts.Portfolio, slot)
 		rc.starts[slot] = mkp.RandomFeasible(rc.ins, rc.masterR)
 		rc.activate(slot)
 		admitted++
@@ -187,6 +188,7 @@ func (rc *reconciler) admit(node, round int) {
 	rc.growSlot(node)
 	slot := node - 1
 	rc.strategies[slot] = tabu.RandomStrategy(rc.ins.N, rc.elasticR)
+	rc.strategies[slot].Algo = algoAt(rc.opts.Portfolio, slot)
 	rc.starts[slot] = rc.best.Clone()
 	rc.activate(slot)
 	rc.stats.Joins++

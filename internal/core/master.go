@@ -123,6 +123,9 @@ func newEngine(ins *mkp.Instance, algo Algorithm, opts Options, net transport.Tr
 		best:       &m.best,
 		alpha:      opts.Alpha,
 	}
+	if len(opts.Portfolio) > 0 {
+		m.tune.port = newPortfolio(opts.Portfolio, &m.stats, opts.Metrics)
+	}
 	m.coll = &collector{
 		slaveTable: m.slaveTable,
 		net:        net,
@@ -270,6 +273,7 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error)
 	if opts.Elastic == nil {
 		for i := 0; i < opts.P; i++ {
 			m.strategies[i] = tabu.RandomStrategy(ins.N, r)
+			m.strategies[i].Algo = algoAt(opts.Portfolio, i)
 			if m.guide != nil && m.guide.active() {
 				m.starts[i] = m.guide.start(r, 4)
 			} else {
@@ -297,6 +301,7 @@ func newMaster(ins *mkp.Instance, algo Algorithm, opts Options) (*master, error)
 			m.best = inc.Clone()
 		}
 		m.mx.bestValue.Set(m.best.Value)
+		m.tune.publishAlgoSlots()
 	}
 
 	// Launch the slaves ("Read and send to slaves problem data", Fig. 2 —
@@ -337,6 +342,7 @@ func (m *master) run() (*Result, error) {
 		if err := m.rec.assemble(); err != nil {
 			return nil, err
 		}
+		m.tune.publishAlgoSlots()
 	}
 	deadline := time.Time{}
 	if m.opts.TimeLimit > 0 {
@@ -445,6 +451,11 @@ func (m *master) run() (*Result, error) {
 			}
 			live = append(live, budgets[i])
 			m.stats.TotalMoves += res.Moves
+			if m.tune.port != nil {
+				// Credit the algorithm that was actually dispatched: SGP has
+				// not run yet, so strategies[i].Algo is still this round's.
+				m.tune.port.account(m.strategies[i].Algo, res.Improved)
+			}
 			if res.Best.Value > m.best.Value {
 				m.best = res.Best.Clone()
 			}
@@ -514,6 +525,9 @@ func (m *master) run() (*Result, error) {
 		if m.algo == CTS2 {
 			m.tune.sgp(results)
 		}
+		// Hyper-heuristic slot reallocation (portfolio runs only), after SGP
+		// so a redrawn strategy cannot clobber a fresh assignment.
+		m.tune.reallocPortfolio(round)
 		// The snapshot is taken after ISP/SGP so a resumed run starts the
 		// next round with exactly the state this run would have used.
 		if m.opts.OnCheckpoint != nil {
@@ -544,6 +558,7 @@ func (m *master) run() (*Result, error) {
 	// the checkpointed count so the reported total stays cumulative.
 	m.stats.DroppedMessages = m.droppedBase + ts.Dropped
 	m.stats.FinalAlpha = m.tune.alpha
+	m.tune.snapshotAlgoStats()
 	for _, ok := range m.alive {
 		if ok {
 			m.stats.LiveSlaves++

@@ -118,6 +118,17 @@ type Options struct {
 	// intensification, diversification thresholds); the per-slave Strategy
 	// field is overridden. Zero value means tabu.DefaultParams(n).
 	Base tabu.Params
+	// Portfolio, when non-empty, arms the hyper-heuristic portfolio: slot i
+	// initially runs algorithm Portfolio[i mod len(Portfolio)] — a pure
+	// function of the slot index, so elastic joiners and static slots get the
+	// same assignment, and repetition in the list weights the initial split.
+	// With more than one distinct member the tuner tracks per-algorithm
+	// win rates across rendezvous and periodically reallocates slots toward
+	// the winner, with a floor of one slot per member so no algorithm
+	// starves. Nil (and any all-tabu list) leaves the run bitwise identical
+	// to the paper's homogeneous tabu farm: no extra RNG draws, no new
+	// metric families, no reallocation.
+	Portfolio []tabu.AlgoID
 	// Target stops the search as soon as the global best reaches it
 	// (0 = disabled).
 	Target float64
@@ -388,6 +399,7 @@ type Stats struct {
 	ResultRejects   int       // worker results (or gossip) that failed the master's revalidation
 	Quarantines     int       // workers evicted after QuarantineStrikes rejected results
 	Steals          int       // straggler slots handed to idle thieves (elastic only)
+	SlotReallocs    int       // portfolio slot reassignments between algorithms
 	Epoch           uint64    // final fleet epoch (elastic only; bumps on membership change and best broadcast)
 	BestByRound     []float64 // global best after each round (the quality trajectory)
 	FinalAlpha      float64   // Alpha at the end of the run (moves only under AdaptiveAlpha)
@@ -406,6 +418,12 @@ type Stats struct {
 	// SimElapsed is the deterministic simulated execution time on the
 	// paper's hardware model (see Options.SimBudget).
 	SimElapsed time.Duration
+	// Portfolio accounting, nil unless Options.Portfolio is set: rounds and
+	// improving rounds credited to each algorithm, and the final slot split,
+	// keyed by algorithm name.
+	AlgoRounds map[string]int
+	AlgoWins   map[string]int
+	AlgoSlots  map[string]int
 }
 
 // Result is the outcome of a parallel solve.

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/tabu"
+	"repro/internal/trace"
+)
+
+// algoAt is the portfolio's pure slot-assignment rule: slot i initially runs
+// Portfolio[i mod len(Portfolio)]. Being a pure function of (portfolio, slot)
+// is what lets a static init, an elastic assembly, a mid-run admission and a
+// checkpoint-validated resume all agree on the same assignment without any
+// shared mutable state — and an empty portfolio degenerates to the paper's
+// homogeneous tabu farm.
+func algoAt(portfolio []tabu.AlgoID, slot int) tabu.AlgoID {
+	if len(portfolio) == 0 {
+		return tabu.AlgoTabu
+	}
+	return portfolio[slot%len(portfolio)]
+}
+
+// portfolioReallocEvery is how many accounted rendezvous pass between slot
+// reallocations: long enough for the win-rate estimates to move, short enough
+// that a dominant algorithm is rewarded within a run of default length.
+const portfolioReallocEvery = 5
+
+// portfolio is the hyper-heuristic layer of the tuner: per-algorithm win-rate
+// tracking and the periodic slot reallocation toward the leader. It exists
+// only when Options.Portfolio is non-empty, so the paper's homogeneous runs
+// never see its metric families or its (RNG-free) reallocation pass.
+type portfolio struct {
+	stats *Stats
+
+	// distinct lists the portfolio's distinct members in ascending id order —
+	// the deterministic iteration order for every allocation decision.
+	distinct []tabu.AlgoID
+	rounds   []int // accounted rounds per AlgoID
+	wins     []int // improving rounds per AlgoID
+	since    int   // accounted rounds since the last reallocation
+
+	mx portfolioMetrics
+}
+
+// portfolioMetrics holds the per-algorithm handles, indexed by AlgoID. All
+// entries are nil without a registry, matching masterMetrics' convention.
+type portfolioMetrics struct {
+	slots    []*metrics.Gauge
+	wins     []*metrics.Counter
+	rounds   []*metrics.Counter
+	reallocs *metrics.Counter
+}
+
+// newPortfolio builds the tuner's portfolio state for a configured member
+// list (validated by NewEngine, so every id is in range).
+func newPortfolio(members []tabu.AlgoID, stats *Stats, r *metrics.Registry) *portfolio {
+	seen := make([]bool, tabu.NumAlgos)
+	for _, a := range members {
+		seen[a] = true
+	}
+	pf := &portfolio{
+		stats:  stats,
+		rounds: make([]int, tabu.NumAlgos),
+		wins:   make([]int, tabu.NumAlgos),
+	}
+	for a := tabu.AlgoID(0); int(a) < tabu.NumAlgos; a++ {
+		if seen[a] {
+			pf.distinct = append(pf.distinct, a)
+		}
+	}
+	pf.mx.slots = make([]*metrics.Gauge, tabu.NumAlgos)
+	pf.mx.wins = make([]*metrics.Counter, tabu.NumAlgos)
+	pf.mx.rounds = make([]*metrics.Counter, tabu.NumAlgos)
+	if r != nil {
+		r.SetHelp("core_algo_slots", "Live worker slots currently assigned to each portfolio algorithm.")
+		r.SetHelp("core_algo_wins_total", "Rounds in which each portfolio algorithm improved on its start.")
+		r.SetHelp("core_algo_rounds_total", "Rounds accounted to each portfolio algorithm.")
+		r.SetHelp("core_algo_reallocs_total", "Worker slots reassigned between portfolio algorithms.")
+		for _, a := range pf.distinct {
+			pf.mx.slots[a] = r.Gauge("core_algo_slots", "algo", a.String())
+			pf.mx.wins[a] = r.Counter("core_algo_wins_total", "algo", a.String())
+			pf.mx.rounds[a] = r.Counter("core_algo_rounds_total", "algo", a.String())
+		}
+		pf.mx.reallocs = r.Counter("core_algo_reallocs_total")
+	}
+	return pf
+}
+
+// member reports whether a is one of the portfolio's distinct algorithms.
+func (pf *portfolio) member(a tabu.AlgoID) bool {
+	for _, b := range pf.distinct {
+		if b == a {
+			return true
+		}
+	}
+	return false
+}
+
+// account credits one finished round to the algorithm that ran it. Called at
+// fold time, before SGP may redraw the slot's strategy, so the credit always
+// lands on the algorithm that was actually dispatched.
+func (pf *portfolio) account(a tabu.AlgoID, improved bool) {
+	pf.rounds[a]++
+	pf.mx.rounds[a].Inc()
+	if improved {
+		pf.wins[a]++
+		pf.mx.wins[a].Inc()
+	}
+	pf.since++
+}
+
+// targets apportions live slots across the distinct algorithms: a floor of
+// one slot each (no member starves — its estimate keeps refreshing, so a
+// late-blooming algorithm can still win slots back), with the spare slots
+// split proportionally to Laplace-smoothed win rates by largest remainder.
+// Ties break toward the lower algorithm id. Pure integer/float arithmetic on
+// the accumulated counters: no RNG, no clock, deterministic replay.
+func (pf *portfolio) targets(live int) []int {
+	target := make([]int, tabu.NumAlgos)
+	for _, a := range pf.distinct {
+		target[a] = 1
+	}
+	spare := live - len(pf.distinct)
+	if spare <= 0 {
+		return target
+	}
+	total := 0.0
+	rates := make([]float64, len(pf.distinct))
+	for k, a := range pf.distinct {
+		rates[k] = (float64(pf.wins[a]) + 1) / (float64(pf.rounds[a]) + 2)
+		total += rates[k]
+	}
+	type share struct {
+		a    tabu.AlgoID
+		frac float64
+	}
+	rem := make([]share, 0, len(pf.distinct))
+	used := 0
+	for k, a := range pf.distinct {
+		exact := float64(spare) * rates[k] / total
+		whole := int(exact)
+		target[a] += whole
+		used += whole
+		rem = append(rem, share{a, exact - float64(whole)})
+	}
+	sort.SliceStable(rem, func(i, j int) bool { return rem[i].frac > rem[j].frac })
+	for k := 0; used < spare; k++ {
+		target[rem[k%len(rem)].a]++
+		used++
+	}
+	return target
+}
+
+// reallocPortfolio runs the hyper-heuristic slot reallocation at a round
+// boundary (after SGP, so a redrawn strategy cannot clobber a fresh
+// assignment). Slots whose algorithm is within its target keep both their
+// assignment and their searcher's long-term memory; the surplus is
+// reassigned in slot-index order to under-target algorithms, lowest id
+// first. Only the Algo field moves — strategy numerics, scores and starts
+// stay with the slot.
+func (t *tuner) reallocPortfolio(round int) {
+	pf := t.port
+	if pf == nil || len(pf.distinct) < 2 || pf.since < portfolioReallocEvery*len(pf.distinct) {
+		return
+	}
+	pf.since = 0
+
+	var slots []int
+	for i := 0; i < t.size(); i++ {
+		if t.alive[i] {
+			slots = append(slots, i)
+		}
+	}
+	if len(slots) < len(pf.distinct) {
+		return // too degraded to honor the floor; keep the current split
+	}
+	target := pf.targets(len(slots))
+
+	assigned := make([]int, tabu.NumAlgos)
+	keep := make([]bool, len(slots))
+	for k, i := range slots {
+		a := t.strategies[i].Algo
+		if assigned[a] < target[a] {
+			assigned[a]++
+			keep[k] = true
+		}
+	}
+	changed := 0
+	for k, i := range slots {
+		if keep[k] {
+			continue
+		}
+		for _, b := range pf.distinct {
+			if assigned[b] < target[b] {
+				t.strategies[i].Algo = b
+				assigned[b]++
+				changed++
+				break
+			}
+		}
+	}
+	if changed == 0 {
+		return
+	}
+	pf.stats.SlotReallocs += changed
+	pf.mx.reallocs.Add(int64(changed))
+	t.publishAlgoSlots()
+	if t.opts.Tracer != nil {
+		t.opts.Tracer.Record(trace.Event{
+			Kind: trace.KindRealloc, Actor: -1, Round: round, Value: t.best.Value,
+			Detail: fmt.Sprintf("moved=%d split=%s", changed, pf.splitString(target)),
+		})
+	}
+}
+
+// splitString renders a per-algorithm slot count ("tabu=3 repair=2 assim=1")
+// in distinct order, for traces and reports.
+func (pf *portfolio) splitString(counts []int) string {
+	s := ""
+	for _, a := range pf.distinct {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", a, counts[a])
+	}
+	return s
+}
+
+// publishAlgoSlots refreshes the core_algo_slots gauges from the live slot
+// table.
+func (t *tuner) publishAlgoSlots() {
+	pf := t.port
+	if pf == nil {
+		return
+	}
+	counts := make([]int, tabu.NumAlgos)
+	for i := 0; i < t.size(); i++ {
+		if t.alive[i] {
+			counts[t.strategies[i].Algo]++
+		}
+	}
+	for _, a := range pf.distinct {
+		pf.mx.slots[a].Set(float64(counts[a]))
+	}
+}
+
+// snapshotAlgoStats fills the Stats portfolio maps at the end of a run.
+func (t *tuner) snapshotAlgoStats() {
+	pf := t.port
+	if pf == nil {
+		return
+	}
+	counts := make([]int, tabu.NumAlgos)
+	for i := 0; i < t.size(); i++ {
+		if t.alive[i] {
+			counts[t.strategies[i].Algo]++
+		}
+	}
+	pf.stats.AlgoRounds = make(map[string]int, len(pf.distinct))
+	pf.stats.AlgoWins = make(map[string]int, len(pf.distinct))
+	pf.stats.AlgoSlots = make(map[string]int, len(pf.distinct))
+	for _, a := range pf.distinct {
+		pf.stats.AlgoRounds[a.String()] = pf.rounds[a]
+		pf.stats.AlgoWins[a.String()] = pf.wins[a]
+		pf.stats.AlgoSlots[a.String()] = counts[a]
+	}
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/mkp"
+	"repro/internal/tabu"
+)
+
+// The portfolio's inert contract: a portfolio naming only the tabu kernel is
+// the paper's homogeneous farm and must replay bitwise against a run with no
+// portfolio at all — same trajectory, same moves, same assignment. The
+// accounting layer exists (rounds/wins are tallied) but draws no randomness
+// and, with one distinct member, never reallocates.
+func TestPortfolioAllTabuInert(t *testing.T) {
+	ins := gen.GK("replay-10x100", 100, 10, 0.25, 11)
+	opts := Options{P: 4, Seed: 7, Rounds: 6, RoundMoves: 300}
+	plain, err := Solve(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Portfolio = []tabu.AlgoID{tabu.AlgoTabu, tabu.AlgoTabu}
+	port, err := Solve(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the replay golden directly so drift in both runs cannot cancel out.
+	if plain.Best.Value != 22250 || plain.Stats.TotalMoves != 7020 {
+		t.Fatalf("plain run off the golden: best %v moves %d", plain.Best.Value, plain.Stats.TotalMoves)
+	}
+	if port.Best.Value != plain.Best.Value || !port.Best.X.Equal(plain.Best.X) {
+		t.Fatalf("all-tabu portfolio diverged: best %v vs %v", port.Best.Value, plain.Best.Value)
+	}
+	if port.Stats.TotalMoves != plain.Stats.TotalMoves {
+		t.Fatalf("all-tabu portfolio moves %d vs %d", port.Stats.TotalMoves, plain.Stats.TotalMoves)
+	}
+	for i := range plain.Stats.BestByRound {
+		if port.Stats.BestByRound[i] != plain.Stats.BestByRound[i] {
+			t.Fatalf("trajectories diverge at round %d", i+1)
+		}
+	}
+	if port.Stats.SlotReallocs != 0 {
+		t.Fatalf("single-member portfolio reallocated %d slots", port.Stats.SlotReallocs)
+	}
+	// The accounting did run: every slave's round is credited to tabu.
+	if got := port.Stats.AlgoRounds["tabu"]; got != 4*6 {
+		t.Fatalf("tabu accounted %d rounds, want 24", got)
+	}
+	if port.Stats.AlgoSlots["tabu"] != 4 {
+		t.Fatalf("tabu holds %d slots, want 4", port.Stats.AlgoSlots["tabu"])
+	}
+	if plain.Stats.AlgoRounds != nil || plain.Stats.AlgoSlots != nil {
+		t.Fatal("run without a portfolio grew portfolio stats")
+	}
+}
+
+// A mixed portfolio is still a deterministic function of (Seed, P, Rounds):
+// two identical runs must agree bitwise, slots must be assigned round-robin,
+// and the accounting must cover every dispatched round.
+func TestPortfolioMixedDeterministicReplay(t *testing.T) {
+	ins := gen.GK("portfolio-5x80", 80, 5, 0.25, 23)
+	opts := Options{
+		P: 6, Seed: 41, Rounds: 8, RoundMoves: 250,
+		Portfolio: []tabu.AlgoID{tabu.AlgoTabu, tabu.AlgoRepair, tabu.AlgoAssim},
+	}
+	a, err := Solve(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(ins, CTS2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Value != b.Best.Value || !a.Best.X.Equal(b.Best.X) || a.Stats.TotalMoves != b.Stats.TotalMoves {
+		t.Fatalf("mixed portfolio not deterministic: %v/%d vs %v/%d",
+			a.Best.Value, a.Stats.TotalMoves, b.Best.Value, b.Stats.TotalMoves)
+	}
+	for i := range a.Stats.BestByRound {
+		if a.Stats.BestByRound[i] != b.Stats.BestByRound[i] {
+			t.Fatalf("trajectories diverge at round %d", i+1)
+		}
+	}
+	if !mkp.IsFeasibleAssignment(ins, a.Best.X) || a.Best.Value != mkp.ValueOf(ins, a.Best.X) {
+		t.Fatal("mixed portfolio produced an invalid best")
+	}
+
+	slots, rounds := 0, 0
+	for _, name := range []string{"tabu", "repair", "assim"} {
+		if a.Stats.AlgoSlots[name] < 1 {
+			t.Fatalf("%s starved: slots %v", name, a.Stats.AlgoSlots)
+		}
+		if a.Stats.AlgoWins[name] > a.Stats.AlgoRounds[name] {
+			t.Fatalf("%s wins %d exceed rounds %d", name, a.Stats.AlgoWins[name], a.Stats.AlgoRounds[name])
+		}
+		slots += a.Stats.AlgoSlots[name]
+		rounds += a.Stats.AlgoRounds[name]
+	}
+	if slots != opts.P {
+		t.Fatalf("slot counts sum to %d, want P=%d", slots, opts.P)
+	}
+	if rounds != opts.P*opts.Rounds {
+		t.Fatalf("accounted rounds sum to %d, want %d", rounds, opts.P*opts.Rounds)
+	}
+}
+
+// The published gauges mirror the live slot table: core_algo_slots sums to P
+// and the win/round counters match the final stats.
+func TestPortfolioMetricsPublished(t *testing.T) {
+	ins := gen.GK("portfolio-5x60", 60, 5, 0.25, 31)
+	reg := metrics.NewRegistry()
+	res, err := Solve(ins, CTS2, Options{
+		P: 4, Seed: 9, Rounds: 6, RoundMoves: 200,
+		Portfolio: []tabu.AlgoID{tabu.AlgoTabu, tabu.AlgoRepair},
+		Metrics:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	total := 0.0
+	for _, name := range []string{"tabu", "repair"} {
+		g := snap.Gauge(fmt.Sprintf("core_algo_slots{algo=%q}", name))
+		if g != float64(res.Stats.AlgoSlots[name]) {
+			t.Fatalf("%s gauge %v != final slots %d", name, g, res.Stats.AlgoSlots[name])
+		}
+		total += g
+		if c := snap.Counter(fmt.Sprintf("core_algo_rounds_total{algo=%q}", name)); c != int64(res.Stats.AlgoRounds[name]) {
+			t.Fatalf("%s rounds counter %d != stats %d", name, c, res.Stats.AlgoRounds[name])
+		}
+		if c := snap.Counter(fmt.Sprintf("core_algo_wins_total{algo=%q}", name)); c != int64(res.Stats.AlgoWins[name]) {
+			t.Fatalf("%s wins counter %d != stats %d", name, c, res.Stats.AlgoWins[name])
+		}
+	}
+	if total != 4 {
+		t.Fatalf("core_algo_slots gauges sum to %v, want P=4", total)
+	}
+	if c := snap.Counter("core_algo_reallocs_total"); c != int64(res.Stats.SlotReallocs) {
+		t.Fatalf("realloc counter %d != stats %d", c, res.Stats.SlotReallocs)
+	}
+
+	// A homogeneous run must not grow the families at all.
+	reg2 := metrics.NewRegistry()
+	if _, err := Solve(ins, CTS2, Options{P: 4, Seed: 9, Rounds: 2, RoundMoves: 100, Metrics: reg2}); err != nil {
+		t.Fatal(err)
+	}
+	for key := range reg2.Snapshot().Gauges {
+		if metrics.Family(key) == "core_algo_slots" {
+			t.Fatalf("homogeneous run published %s", key)
+		}
+	}
+}
+
+// targets is the pure apportionment rule: floor of one slot per member, spare
+// split by Laplace-smoothed win rate with largest-remainder rounding, ties to
+// the lower id.
+func TestPortfolioTargetsApportionment(t *testing.T) {
+	pf := newPortfolio([]tabu.AlgoID{tabu.AlgoTabu, tabu.AlgoRepair, tabu.AlgoAssim}, &Stats{}, nil)
+
+	// No history: uniform rates, spare 3 splits one each.
+	if got := pf.targets(6); got[tabu.AlgoTabu] != 2 || got[tabu.AlgoRepair] != 2 || got[tabu.AlgoAssim] != 2 {
+		t.Fatalf("uniform targets %v, want 2/2/2", got[:3])
+	}
+	// live == members: floor only.
+	if got := pf.targets(3); got[tabu.AlgoTabu] != 1 || got[tabu.AlgoRepair] != 1 || got[tabu.AlgoAssim] != 1 {
+		t.Fatalf("floor targets %v, want 1/1/1", got[:3])
+	}
+
+	// Skewed history: tabu 9/10, repair 1/10, assim 1/10. Smoothed rates
+	// 10/12, 2/12, 2/12; spare 3 → tabu floor(2.14)=2, remainders put the
+	// last slot on repair (higher remainder than tabu, lower id than assim).
+	pf.rounds[tabu.AlgoTabu], pf.wins[tabu.AlgoTabu] = 10, 9
+	pf.rounds[tabu.AlgoRepair], pf.wins[tabu.AlgoRepair] = 10, 1
+	pf.rounds[tabu.AlgoAssim], pf.wins[tabu.AlgoAssim] = 10, 1
+	got := pf.targets(6)
+	if got[tabu.AlgoTabu] != 3 || got[tabu.AlgoRepair] != 2 || got[tabu.AlgoAssim] != 1 {
+		t.Fatalf("skewed targets %v, want 3/2/1", got[:3])
+	}
+	if got[tabu.AlgoTabu]+got[tabu.AlgoRepair]+got[tabu.AlgoAssim] != 6 {
+		t.Fatalf("targets %v do not sum to live", got[:3])
+	}
+	// The losers never fall through the floor.
+	for _, a := range pf.distinct {
+		if got[a] < 1 {
+			t.Fatalf("%v starved by targets %v", a, got[:3])
+		}
+	}
+}
+
+// reallocTuner builds a minimal tuner over p live slots assigned round-robin
+// from members — the white-box harness for the reallocation rule.
+func reallocTuner(p int, members []tabu.AlgoID) *tuner {
+	tb := newSlaveTable(p)
+	for i := 0; i < p; i++ {
+		tb.alive[i] = true
+		tb.strategies[i].Algo = algoAt(members, i)
+	}
+	stats := &Stats{}
+	return &tuner{
+		slaveTable: tb,
+		opts:       &Options{Portfolio: members},
+		stats:      stats,
+		port:       newPortfolio(members, stats, nil),
+	}
+}
+
+func algoSplit(tu *tuner) []int {
+	counts := make([]int, tabu.NumAlgos)
+	for i := 0; i < tu.size(); i++ {
+		if tu.alive[i] {
+			counts[tu.strategies[i].Algo]++
+		}
+	}
+	return counts
+}
+
+// The reallocation moves surplus slots toward the winner, keeps the floor,
+// and fires only once the accounting window has filled.
+func TestPortfolioReallocMovesSlotsTowardWinner(t *testing.T) {
+	members := []tabu.AlgoID{tabu.AlgoTabu, tabu.AlgoRepair}
+	tu := reallocTuner(6, members)
+
+	// Window not yet filled: nothing moves.
+	tu.port.rounds[tabu.AlgoRepair], tu.port.wins[tabu.AlgoRepair] = 15, 12
+	tu.port.rounds[tabu.AlgoTabu], tu.port.wins[tabu.AlgoTabu] = 15, 1
+	tu.port.since = portfolioReallocEvery*len(members) - 1
+	tu.reallocPortfolio(1)
+	if got := algoSplit(tu); got[tabu.AlgoTabu] != 3 || got[tabu.AlgoRepair] != 3 {
+		t.Fatalf("realloc fired before the window filled: %v", got[:2])
+	}
+
+	// Window filled: repair dominates, smoothed rates 2/17 vs 13/17 over
+	// spare 4 → targets tabu=2, repair=4. One tabu slot (the last, slot 4)
+	// flips; the kept slots hold their assignment.
+	tu.port.since = portfolioReallocEvery * len(members)
+	tu.reallocPortfolio(2)
+	got := algoSplit(tu)
+	if got[tabu.AlgoTabu] != 2 || got[tabu.AlgoRepair] != 4 {
+		t.Fatalf("skewed realloc split %v, want tabu=2 repair=4", got[:2])
+	}
+	if tu.strategies[0].Algo != tabu.AlgoTabu || tu.strategies[2].Algo != tabu.AlgoTabu {
+		t.Fatal("kept slots lost their assignment")
+	}
+	if tu.strategies[4].Algo != tabu.AlgoRepair {
+		t.Fatal("surplus slot 4 was not reassigned to the winner")
+	}
+	if tu.stats.SlotReallocs != 1 {
+		t.Fatalf("SlotReallocs %d, want 1", tu.stats.SlotReallocs)
+	}
+	if tu.port.since != 0 {
+		t.Fatalf("window not reset: since=%d", tu.port.since)
+	}
+
+	// Losing everything but the floor is impossible even under total
+	// domination: drive the skew to the limit and realloc again.
+	tu.port.rounds[tabu.AlgoRepair], tu.port.wins[tabu.AlgoRepair] = 1000, 1000
+	tu.port.rounds[tabu.AlgoTabu], tu.port.wins[tabu.AlgoTabu] = 1000, 0
+	tu.port.since = portfolioReallocEvery * len(members)
+	tu.reallocPortfolio(3)
+	if got := algoSplit(tu); got[tabu.AlgoTabu] != 1 || got[tabu.AlgoRepair] != 5 {
+		t.Fatalf("domination split %v, want tabu=1 repair=5", got[:2])
+	}
+
+	// A fleet too degraded to honor the floor keeps its current split.
+	for i := 2; i < 6; i++ {
+		tu.alive[i] = false
+	}
+	before := algoSplit(tu)
+	tu.port.since = portfolioReallocEvery * len(members)
+	tu.reallocPortfolio(4)
+	if got := algoSplit(tu); got[tabu.AlgoTabu] != before[tabu.AlgoTabu] || got[tabu.AlgoRepair] != before[tabu.AlgoRepair] {
+		t.Fatalf("degraded fleet reallocated: %v -> %v", before[:2], got[:2])
+	}
+}
+
+// A portfolio run checkpoints as version 3 carrying the canonical portfolio
+// string and the win accounting; a resume restores the counters and continues
+// the trajectory.
+func TestPortfolioCheckpointRoundTrip(t *testing.T) {
+	ins := testInstance(40, 4, 77)
+	members := []tabu.AlgoID{tabu.AlgoTabu, tabu.AlgoRepair, tabu.AlgoAssim}
+	var cp *Checkpoint
+	first, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 5, Rounds: 5, RoundMoves: 200, Portfolio: members,
+		OnCheckpoint: func(c *Checkpoint) { cp = c },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Version != 3 {
+		t.Fatalf("portfolio checkpoint version %d, want 3", cp.Version)
+	}
+	if cp.Portfolio != "tabu,repair,assim" {
+		t.Fatalf("checkpoint portfolio %q", cp.Portfolio)
+	}
+	rounds := 0
+	for _, n := range cp.AlgoRounds {
+		rounds += n
+	}
+	if rounds != 3*5 {
+		t.Fatalf("checkpoint accounts %d rounds, want 15", rounds)
+	}
+
+	resumed, err := Solve(ins, CTS2, Options{
+		P: 3, Seed: 99, Rounds: 8, RoundMoves: 200, Portfolio: members, Resume: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stats.Rounds != 8 || len(resumed.Stats.BestByRound) != 8 {
+		t.Fatalf("resume did not continue: rounds=%d", resumed.Stats.Rounds)
+	}
+	for r, v := range cp.BestByRound {
+		if resumed.Stats.BestByRound[r] != v {
+			t.Fatalf("trajectory rewritten at round %d", r)
+		}
+	}
+	if resumed.Best.Value < first.Best.Value {
+		t.Fatalf("resume lost ground: %v < %v", resumed.Best.Value, first.Best.Value)
+	}
+	// The win accounting carried across: the resumed totals include the
+	// checkpointed rounds plus the 3 slaves × 3 new rounds.
+	total := 0
+	for _, name := range []string{"tabu", "repair", "assim"} {
+		total += resumed.Stats.AlgoRounds[name]
+		if resumed.Stats.AlgoRounds[name] < cp.AlgoRounds[name] {
+			t.Fatalf("%s lost accounted rounds across resume", name)
+		}
+	}
+	if total != 3*8 {
+		t.Fatalf("resumed accounting %d rounds, want 24", total)
+	}
+}
+
+// Portfolio skew between a checkpoint and the resuming run is rejected hard,
+// in both directions and on any membership tampering.
+func TestPortfolioCheckpointSkewRejected(t *testing.T) {
+	ins := testInstance(40, 4, 78)
+	members := []tabu.AlgoID{tabu.AlgoTabu, tabu.AlgoRepair}
+	var pcp, plaincp *Checkpoint
+	if _, err := Solve(ins, CTS2, Options{
+		P: 2, Seed: 3, Rounds: 3, RoundMoves: 100, Portfolio: members,
+		OnCheckpoint: func(c *Checkpoint) { pcp = c },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(ins, CTS2, Options{
+		P: 2, Seed: 3, Rounds: 3, RoundMoves: 100,
+		OnCheckpoint: func(c *Checkpoint) { plaincp = c },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if plaincp.Version != 1 || plaincp.Portfolio != "" {
+		t.Fatalf("homogeneous checkpoint leaked portfolio state: v%d %q", plaincp.Version, plaincp.Portfolio)
+	}
+
+	base := Options{P: 2, Seed: 3, Rounds: 5, RoundMoves: 100}
+
+	// Portfolio checkpoint into a homogeneous run.
+	opts := base
+	opts.Resume = pcp
+	if _, err := Solve(ins, CTS2, opts); err == nil {
+		t.Fatal("portfolio checkpoint accepted by a homogeneous run")
+	}
+	// Homogeneous checkpoint into a portfolio run.
+	opts = base
+	opts.Portfolio = members
+	opts.Resume = plaincp
+	if _, err := Solve(ins, CTS2, opts); err == nil {
+		t.Fatal("homogeneous checkpoint accepted by a portfolio run")
+	}
+	// Different portfolio string.
+	opts = base
+	opts.Portfolio = []tabu.AlgoID{tabu.AlgoTabu, tabu.AlgoAssim}
+	opts.Resume = pcp
+	if _, err := Solve(ins, CTS2, opts); err == nil {
+		t.Fatal("checkpoint for tabu,repair accepted by a tabu,assim run")
+	}
+	// Tampered strategy membership: an algorithm outside the portfolio.
+	tampered := *pcp
+	tampered.Strategies = append([]tabu.Strategy(nil), pcp.Strategies...)
+	tampered.Strategies[0].Algo = tabu.AlgoAssim
+	opts = base
+	opts.Portfolio = members
+	opts.Resume = &tampered
+	if _, err := Solve(ins, CTS2, opts); err == nil {
+		t.Fatal("checkpoint with a non-member algorithm accepted")
+	}
+	// Tampered accounting: wins above rounds.
+	cooked := *pcp
+	cooked.AlgoWins = map[string]int{"tabu": 1 << 20, "repair": 0}
+	opts = base
+	opts.Portfolio = members
+	opts.Resume = &cooked
+	if _, err := Solve(ins, CTS2, opts); err == nil {
+		t.Fatal("checkpoint with wins > rounds accepted")
+	}
+}
+
+// An unknown algorithm id in Options.Portfolio is rejected at the engine
+// boundary, not discovered mid-run.
+func TestPortfolioOptionValidation(t *testing.T) {
+	ins := testInstance(30, 3, 79)
+	if _, err := Solve(ins, CTS2, Options{
+		P: 2, Seed: 1, Rounds: 1, RoundMoves: 50,
+		Portfolio: []tabu.AlgoID{tabu.AlgoTabu, tabu.AlgoID(99)},
+	}); err == nil {
+		t.Fatal("unknown portfolio algorithm accepted")
+	}
+	// SEQ is one sequential tabu slave; a portfolio would silently shrink to
+	// its first member with no tuner, so the engine rejects the combination
+	// (the serve layer enforces the same rule at admission).
+	if _, err := Solve(ins, SEQ, Options{
+		Seed: 1, Rounds: 1, RoundMoves: 50,
+		Portfolio: []tabu.AlgoID{tabu.AlgoTabu, tabu.AlgoRepair},
+	}); err == nil {
+		t.Fatal("SEQ with a portfolio accepted")
+	}
+}

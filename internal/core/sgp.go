@@ -56,6 +56,9 @@ func (t *tuner) sgp(results []*tabu.Result) {
 		default:
 			st = tabu.RandomStrategy(n, t.r)
 		}
+		// SGP retunes the numeric knobs; the slot's portfolio assignment is
+		// the reallocator's to change, so a redraw never resets it.
+		st.Algo = t.strategies[i].Algo
 		t.strategies[i] = st
 		t.scores[i] = t.opts.InitialScore
 		t.stats.StrategyResets++

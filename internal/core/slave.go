@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/mkp"
+	"repro/internal/search"
 	"repro/internal/tabu"
 	"repro/internal/transport"
 	"repro/internal/transport/proto"
@@ -14,6 +15,52 @@ import (
 type warmStart struct {
 	pool  []mkp.Solution
 	moves int64
+}
+
+// searcherSet is a slave's portfolio: one searcher per algorithm the master
+// has dispatched to it, built lazily on first use. The tabu member is built
+// eagerly with exactly the node seed — the homogeneous farm's stream — and
+// the other members derive theirs through search.SeedFor, so a slave that is
+// never asked to run them consumes nothing from any stream (the all-tabu
+// inert contract). Warm-start state is replayed into every member, including
+// ones built after the respawn.
+type searcherSet struct {
+	ins  *mkp.Instance
+	seed uint64
+	by   map[tabu.AlgoID]search.Searcher
+	warm *warmStart
+}
+
+func newSearcherSet(ins *mkp.Instance, seed uint64, warm *warmStart) (*searcherSet, error) {
+	s := &searcherSet{ins: ins, seed: seed, by: make(map[tabu.AlgoID]search.Searcher, 1), warm: warm}
+	if _, err := s.get(tabu.AlgoTabu); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *searcherSet) get(algo tabu.AlgoID) (search.Searcher, error) {
+	if sr, ok := s.by[algo]; ok {
+		return sr, nil
+	}
+	sr, err := search.New(algo, s.ins, s.seed)
+	if err != nil {
+		return nil, err
+	}
+	if s.warm != nil {
+		sr.WarmStart(s.warm.pool, s.warm.moves)
+	}
+	s.by[algo] = sr
+	return sr, nil
+}
+
+// run executes one dispatched round on the searcher the order names.
+func (s *searcherSet) run(req proto.Start) (*tabu.Result, error) {
+	sr, err := s.get(req.Params.Strategy.Algo)
+	if err != nil {
+		return nil, err
+	}
+	return sr.Run(req.Start, req.Params, req.Budget)
 }
 
 // Slave runs one worker node's slave loop over the given transport: wait for
@@ -39,7 +86,7 @@ type ElasticOptions struct {
 // round it finishes, and — when its LeaveAfter budget drains — donates its own
 // best solution back to the master before announcing a graceful Leave.
 func ElasticSlave(net transport.Transport, node int, ins *mkp.Instance, seed uint64, opts ElasticOptions) {
-	searcher, err := tabu.NewSearcher(ins, seed)
+	searchers, err := newSearcherSet(ins, seed, nil)
 	if err != nil {
 		net.Send(node, 0, proto.TagResult,
 			proto.Result{Slot: node - 1, Node: node, Round: -1, Err: err.Error()}, 0)
@@ -62,7 +109,7 @@ func ElasticSlave(net transport.Transport, node int, ins *mkp.Instance, seed uin
 			}
 		case proto.TagStart:
 			req := msg.Payload.(proto.Start)
-			res, err := searcher.Run(req.Start, req.Params, req.Budget)
+			res, err := searchers.run(req)
 			size := 0
 			if res != nil {
 				size = proto.SolutionSize(ins.N) * (1 + len(res.Pool))
@@ -118,16 +165,13 @@ func absorbGossip(epoch *uint64, best *mkp.Solution, g proto.Gossip) bool {
 // incarnation's number (0 for the original process); warm, when non-nil,
 // reconstructs the predecessor's long-term memory before the first round.
 func slaveLoop(net transport.Transport, node int, ins *mkp.Instance, seed uint64, inc int, warm *warmStart) {
-	searcher, err := tabu.NewSearcher(ins, seed)
+	searchers, err := newSearcherSet(ins, seed, warm)
 	if err != nil {
 		// The master validated the instance; this is unreachable in normal
 		// operation but reported rather than swallowed.
 		net.Send(node, 0, proto.TagResult,
 			proto.Result{Slot: node - 1, Node: node, Round: -1, Err: err.Error()}, 0)
 		return
-	}
-	if warm != nil {
-		searcher.WarmStart(warm.pool, warm.moves)
 	}
 	for {
 		msg := net.Recv(node)
@@ -146,7 +190,7 @@ func slaveLoop(net transport.Transport, node int, ins *mkp.Instance, seed uint64
 			return
 		case proto.TagStart:
 			req := msg.Payload.(proto.Start)
-			res, err := searcher.Run(req.Start, req.Params, req.Budget)
+			res, err := searchers.run(req)
 			size := 0
 			if res != nil {
 				size = proto.SolutionSize(ins.N) * (1 + len(res.Pool))

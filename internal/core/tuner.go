@@ -25,6 +25,11 @@ type tuner struct {
 	// guide, when non-nil (guided runs), replaces ISP's random-restart
 	// generator with the core-restricted one.
 	guide *guide
+
+	// port, when non-nil (Options.Portfolio set), is the hyper-heuristic
+	// layer: per-algorithm win accounting and the periodic slot reallocation
+	// toward the leader (portfolio.go).
+	port *portfolio
 }
 
 // adaptAlpha implements §4.2's dynamic control of the ISP threshold: rounds

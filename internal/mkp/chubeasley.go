@@ -1,0 +1,49 @@
+package mkp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ReadChuBeasley parses a Chu–Beasley benchmark file (the OR-Library
+// mknapcb1..9 series, conventionally distributed with a .dat extension):
+//
+//	K
+//	n m opt
+//	c_1 ... c_n
+//	a_11 ... a_1n
+//	...
+//	a_m1 ... a_mn
+//	b_1 ... b_m
+//	(next problem)
+//
+// The token layout is the OR-Library multi-problem layout — whitespace
+// separates tokens freely — but the series' conventions differ from mknap1:
+// every file holds 30 instances of one (m, n) shape in three tightness
+// groups, and the header's opt field is 0 for the larger shapes where the
+// optimum is unproven. opt is stored as BestKnown (0 = unknown), and each
+// instance is named name cbM.N-K (K counting from 0, matching the published
+// "5.100-00" convention).
+func ReadChuBeasley(r io.Reader, name string) ([]*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	sc.Split(bufio.ScanWords)
+	k, err := nextIntToken(sc)
+	if err != nil {
+		return nil, fmt.Errorf("mkp: reading problem count: %w", err)
+	}
+	if k <= 0 || k > 1_000_000 {
+		return nil, fmt.Errorf("mkp: implausible problem count %d", k)
+	}
+	out := make([]*Instance, 0, k)
+	for p := 0; p < k; p++ {
+		ins, err := readOne(sc, name)
+		if err != nil {
+			return nil, fmt.Errorf("mkp: problem %d of %d: %w", p+1, k, err)
+		}
+		ins.Name = fmt.Sprintf("%s cb%d.%d-%02d", name, ins.M, ins.N, p)
+		out = append(out, ins)
+	}
+	return out, nil
+}

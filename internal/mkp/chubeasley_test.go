@@ -1,0 +1,95 @@
+package mkp
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestReadChuBeasleyFixture(t *testing.T) {
+	f, err := os.Open("testdata/cb_tiny.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	instances, err := ReadChuBeasley(f, "cb_tiny.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) != 2 {
+		t.Fatalf("got %d instances, want 2", len(instances))
+	}
+
+	a := instances[0]
+	if a.Name != "cb_tiny.dat cb2.3-00" {
+		t.Fatalf("first instance named %q", a.Name)
+	}
+	if a.N != 3 || a.M != 2 || a.BestKnown != 22 {
+		t.Fatalf("first instance header n=%d m=%d opt=%v", a.N, a.M, a.BestKnown)
+	}
+	if a.Profit[1] != 12 || a.Weight[1][0] != 4 || a.Capacity[1] != 6 {
+		t.Fatalf("first instance body misparsed: %+v", a)
+	}
+	// The fixture's opt field really is the instance optimum (3 items:
+	// enumerate all assignments).
+	if opt := bruteForce(a); opt != a.BestKnown {
+		t.Fatalf("true optimum %v, fixture opt is %v", opt, a.BestKnown)
+	}
+
+	b := instances[1]
+	if b.Name != "cb_tiny.dat cb1.4-01" {
+		t.Fatalf("second instance named %q", b.Name)
+	}
+	if b.N != 4 || b.M != 1 || b.BestKnown != 0 {
+		t.Fatalf("second instance header n=%d m=%d opt=%v (opt 0 means unknown)", b.N, b.M, b.BestKnown)
+	}
+	if b.Capacity[0] != 6 {
+		t.Fatalf("second instance capacity %v", b.Capacity[0])
+	}
+}
+
+// bruteForce enumerates every assignment of a tiny instance.
+func bruteForce(ins *Instance) float64 {
+	best := 0.0
+	for mask := 0; mask < 1<<ins.N; mask++ {
+		value := 0.0
+		ok := true
+		for i := 0; i < ins.M && ok; i++ {
+			load := 0.0
+			for j := 0; j < ins.N; j++ {
+				if mask&(1<<j) != 0 {
+					load += ins.Weight[i][j]
+				}
+			}
+			ok = load <= ins.Capacity[i]
+		}
+		if !ok {
+			continue
+		}
+		for j := 0; j < ins.N; j++ {
+			if mask&(1<<j) != 0 {
+				value += ins.Profit[j]
+			}
+		}
+		if value > best {
+			best = value
+		}
+	}
+	return best
+}
+
+func TestReadChuBeasleyRejectsDamage(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"zero-count":    "0",
+		"huge-count":    "2000000",
+		"truncated":     "2\n3 2 22\n10 12 7\n2 3 1\n",
+		"non-numeric":   "1\n3 x 0\n",
+		"bad-dimension": "1\n0 2 0\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadChuBeasley(strings.NewReader(input), name); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

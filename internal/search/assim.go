@@ -1,0 +1,151 @@
+package search
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/mkp"
+	"repro/internal/rng"
+	"repro/internal/tabu"
+	"repro/internal/trace"
+)
+
+// assimBeta is the per-bit probability a differing bit is copied from the
+// incumbent during assimilation. Dzalbs et al. move colonies a fixed fraction
+// of the distance toward their imperialist; ~40% keeps the colony distinct
+// enough to explore while the pull is strong enough that a good incumbent
+// propagates within a few moves.
+const assimBeta = 0.4
+
+// Assim is the assimilation searcher: an ICA-style dynamic where the slave
+// keeps a private "colony" solution and each move pulls it a random fraction
+// of the way toward the cooperative incumbent (the start the master hands out
+// each round — the ISP already substitutes the global best there), mutates a
+// few bits, then repairs and fills back to feasibility. Where the repair
+// searcher is memoryless, this one is all memory: its colony persists across
+// rounds, so it explores the corridor between its own history and whatever
+// the farm currently believes is best.
+//
+// Strategy reinterpretation: NbDrop is the mutation width (bits flipped per
+// move) and NbLocal the non-improving moves tolerated before a revolution
+// replaces the colony with a fresh randomized-greedy build; LtLength is
+// unused.
+type Assim struct {
+	ins    *mkp.Instance
+	r      *rng.Rand
+	st     *mkp.State
+	colony mkp.Solution // persists across rounds; zero until the first Run
+	moves  int64        // lifetime move counter, the heartbeat watermark
+}
+
+// NewAssim returns an assimilation searcher for ins seeded with seed.
+func NewAssim(ins *mkp.Instance, seed uint64) *Assim {
+	return &Assim{ins: ins, r: rng.New(seed), st: mkp.NewState(ins)}
+}
+
+// WarmStart restores the lifetime move counter and re-seeds the colony from
+// the shared pool — the respawned slave resumes from the farm's collective
+// memory instead of a cold random build.
+func (s *Assim) WarmStart(pool []mkp.Solution, moves int64) {
+	s.moves = moves
+	if len(pool) > 0 {
+		s.colony = pool[0].Clone()
+	}
+}
+
+// Run executes one round: budget assimilation moves toward start.
+func (s *Assim) Run(start mkp.Solution, p tabu.Params, budget int64) (*tabu.Result, error) {
+	if err := checkRun(s.ins, start, p, budget); err != nil {
+		return nil, err
+	}
+	if p.Heartbeat != nil {
+		p.Heartbeat(s.moves)
+	}
+	mMoves, mImp := s.metricHandles(p.Metrics)
+
+	// Normalize the incumbent through the evaluator: repair guards against a
+	// hostile or stale start, fill tops up slack the sender left unused.
+	s.st.Load(start.X)
+	mkp.Repair(s.st)
+	mkp.FillGreedy(s.st)
+	incumbent := s.st.Snapshot()
+	startValue := incumbent.Value
+
+	if s.colony.X == nil {
+		s.colony = incumbent.Clone()
+	}
+	best := s.colony
+	if incumbent.Value > best.Value {
+		best = incumbent
+	}
+	best = best.Clone()
+	pool := tabu.NewPool(p.BBest)
+	pool.Offer(best)
+
+	stall := 0
+	var executed int64
+	for executed < budget {
+		// Assimilate: copy each differing bit from the incumbent with
+		// probability assimBeta, then mutate NbDrop random positions.
+		cand := s.colony.X.Clone()
+		for j := 0; j < s.ins.N; j++ {
+			if cand.Get(j) != incumbent.X.Get(j) && s.r.Bool(assimBeta) {
+				cand.SetTo(j, incumbent.X.Get(j))
+			}
+		}
+		for i := 0; i < p.Strategy.NbDrop; i++ {
+			cand.Flip(s.r.Intn(s.ins.N))
+		}
+		s.st.Load(cand)
+		mkp.Repair(s.st)
+		mkp.FillGreedy(s.st)
+		executed++
+		s.moves++
+		mMoves.Inc()
+		if p.Heartbeat != nil && executed&0xff == 0 {
+			p.Heartbeat(s.moves)
+		}
+		if s.st.Value > s.colony.Value {
+			s.colony = s.st.Snapshot()
+			stall = 0
+		} else {
+			stall++
+		}
+		if s.st.Value > best.Value {
+			best = s.st.Snapshot()
+			mImp.Inc()
+			if p.Tracer != nil {
+				p.Tracer.Record(trace.Event{
+					Kind: trace.KindImprovement, Actor: p.TraceID,
+					Round: -1, Move: s.moves, Value: best.Value,
+				})
+			}
+		}
+		pool.Offer(mkp.Solution{X: s.st.X, Value: s.st.Value})
+		if stall > p.Strategy.NbLocal {
+			// Revolution: the colony has orbited the incumbent long enough;
+			// replace it with a fresh randomized-greedy build.
+			s.colony = mkp.RandomizedGreedy(s.ins, s.r, 4)
+			stall = 0
+			if p.Tracer != nil {
+				p.Tracer.Record(trace.Event{
+					Kind: trace.KindDiversify, Actor: p.TraceID,
+					Round: -1, Move: s.moves, Value: s.colony.Value,
+				})
+			}
+		}
+	}
+
+	return &tabu.Result{
+		Best:     best.Clone(),
+		Pool:     pool.Solutions(),
+		Moves:    executed,
+		Improved: best.Value > startValue,
+	}, nil
+}
+
+func (s *Assim) metricHandles(r *metrics.Registry) (*metrics.Counter, *metrics.Counter) {
+	if r == nil {
+		return nil, nil
+	}
+	return r.Counter("search_moves_total", "algo", tabu.AlgoAssim.String()),
+		r.Counter("search_improvements_total", "algo", tabu.AlgoAssim.String())
+}

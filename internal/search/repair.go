@@ -1,0 +1,193 @@
+package search
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/mkp"
+	"repro/internal/rng"
+	"repro/internal/tabu"
+	"repro/internal/trace"
+)
+
+// Repair is the randomized drop-and-repair searcher: each move drops the
+// NbDrop most burdensome packed items (their burden ratio Σ_i a_ij/c_i says
+// they buy the least value per unit of consumed capacity) and refills the
+// knapsack with a GRASP-style randomized greedy over a restricted candidate
+// list. Martins 2024 shows this repair dynamic is competitive on large MKP
+// instances precisely because each move is cheap and strongly randomized —
+// the searcher trades the kernel's memory structures for raw restart volume.
+//
+// Strategy reinterpretation: NbDrop is the dismantling depth per move and
+// NbLocal the non-improving moves tolerated before restarting from a fresh
+// randomized-greedy build; LtLength is unused (there is no tabu list).
+type Repair struct {
+	ins   *mkp.Instance
+	r     *rng.Rand
+	st    *mkp.State
+	rank  []int // items by decreasing pseudo-utility, cached once
+	moves int64 // lifetime move counter, the heartbeat watermark
+
+	packed []int // scratch: packed indices of the current state
+	cands  []int // scratch: restricted candidate list
+}
+
+// NewRepair returns a repair searcher for ins seeded with seed.
+func NewRepair(ins *mkp.Instance, seed uint64) *Repair {
+	return &Repair{
+		ins:  ins,
+		r:    rng.New(seed),
+		st:   mkp.NewState(ins),
+		rank: mkp.RankByUtility(ins),
+	}
+}
+
+// WarmStart restores the lifetime move counter after a respawn. The repair
+// searcher keeps no other long-term state: its pool is rebuilt per round and
+// its randomness is memoryless by design.
+func (s *Repair) WarmStart(pool []mkp.Solution, moves int64) {
+	s.moves = moves
+}
+
+// Run executes one round: budget drop-and-repair moves from start.
+func (s *Repair) Run(start mkp.Solution, p tabu.Params, budget int64) (*tabu.Result, error) {
+	if err := checkRun(s.ins, start, p, budget); err != nil {
+		return nil, err
+	}
+	if p.Heartbeat != nil {
+		p.Heartbeat(s.moves)
+	}
+	mMoves, mImp := s.metricHandles(p.Metrics)
+
+	s.st.Load(start.X)
+	mkp.Repair(s.st)
+	mkp.FillGreedy(s.st)
+	startValue := s.st.Value
+
+	best := s.st.Snapshot()
+	pool := tabu.NewPool(p.BBest)
+	pool.Offer(best)
+
+	stall := 0
+	var executed int64
+	for executed < budget {
+		s.dropWorst(p.Strategy.NbDrop, p.DropNoise)
+		s.randomFill(p)
+		executed++
+		s.moves++
+		mMoves.Inc()
+		if p.Heartbeat != nil && executed&0xff == 0 {
+			p.Heartbeat(s.moves)
+		}
+		if s.st.Value > best.Value {
+			best = s.st.Snapshot()
+			stall = 0
+			mImp.Inc()
+			if p.Tracer != nil {
+				p.Tracer.Record(trace.Event{
+					Kind: trace.KindImprovement, Actor: p.TraceID,
+					Round: -1, Move: s.moves, Value: best.Value,
+				})
+			}
+		} else {
+			stall++
+		}
+		pool.Offer(mkp.Solution{X: s.st.X, Value: s.st.Value})
+		if stall > p.Strategy.NbLocal {
+			// Restart: a fresh randomized-greedy build replaces the orbit
+			// the drops keep reassembling — the repair analogue of the
+			// kernel's diversification.
+			fresh := mkp.RandomizedGreedy(s.ins, s.r, s.rcl(p))
+			s.st.Load(fresh.X)
+			stall = 0
+			if p.Tracer != nil {
+				p.Tracer.Record(trace.Event{
+					Kind: trace.KindDiversify, Actor: p.TraceID,
+					Round: -1, Move: s.moves, Value: fresh.Value,
+				})
+			}
+		}
+	}
+
+	return &tabu.Result{
+		Best:     best.Clone(),
+		Pool:     pool.Solutions(),
+		Moves:    executed,
+		Improved: best.Value > startValue,
+	}, nil
+}
+
+// rcl is the restricted-candidate-list width: CandWidth when the strategy
+// bounds the add phase, else a couple wider than the dismantling depth so the
+// refill can land somewhere new.
+func (s *Repair) rcl(p tabu.Params) int {
+	if p.CandWidth > 0 {
+		return p.CandWidth
+	}
+	w := p.Strategy.NbDrop + 2
+	if w < 3 {
+		w = 3
+	}
+	return w
+}
+
+// dropWorst drops up to k packed items in decreasing burden ratio. DropNoise
+// is the probability a step takes the second-worst item instead of the worst,
+// the same decorrelation role it plays in the kernel's Drop step.
+func (s *Repair) dropWorst(k int, noise float64) {
+	s.packed = s.st.X.Indices(s.packed[:0])
+	if len(s.packed) == 0 {
+		return
+	}
+	sort.SliceStable(s.packed, func(a, b int) bool {
+		return s.ins.BurdenRatio(s.packed[a]) > s.ins.BurdenRatio(s.packed[b])
+	})
+	for i := 0; i < k && len(s.packed) > 0; i++ {
+		pick := 0
+		if len(s.packed) > 1 && noise > 0 && s.r.Bool(noise) {
+			pick = 1
+		}
+		s.st.Drop(s.packed[pick])
+		s.packed = append(s.packed[:pick], s.packed[pick+1:]...)
+	}
+}
+
+// randomFill packs items until nothing fits, each step choosing uniformly
+// among the rcl best-utility fitting items (AddNoise skips a candidate with
+// the kernel's Add-phase probability).
+func (s *Repair) randomFill(p tabu.Params) {
+	rcl := s.rcl(p)
+	for {
+		s.cands = s.cands[:0]
+		maxSlack := s.st.MaxSlack()
+		for _, j := range s.rank {
+			if s.st.X.Get(j) || s.ins.MinWeight[j] > maxSlack {
+				continue
+			}
+			if s.st.Fits(j) {
+				if p.AddNoise > 0 && s.r.Bool(p.AddNoise) {
+					continue
+				}
+				s.cands = append(s.cands, j)
+				if len(s.cands) == rcl {
+					break
+				}
+			}
+		}
+		if len(s.cands) == 0 {
+			return
+		}
+		s.st.Add(s.cands[s.r.Intn(len(s.cands))])
+	}
+}
+
+// metricHandles resolves the per-algorithm telemetry counters. Like the
+// kernel's handles they are nil-safe: a nil registry costs one predictable
+// branch per record and never perturbs the trajectory.
+func (s *Repair) metricHandles(r *metrics.Registry) (*metrics.Counter, *metrics.Counter) {
+	if r == nil {
+		return nil, nil
+	}
+	return r.Counter("search_moves_total", "algo", tabu.AlgoRepair.String()),
+		r.Counter("search_improvements_total", "algo", tabu.AlgoRepair.String())
+}

@@ -1,0 +1,87 @@
+// Package search defines the algorithm-agnostic Searcher seam the parallel
+// farm drives: one round of work given a start, a strategy and a move budget,
+// plus warm-start restoration after a respawn. The paper's homogeneous farm
+// runs the tabu kernel on every slave; this seam lets slaves run *different*
+// algorithms over the same cooperative pool — the hyper-heuristic portfolio —
+// while the master keeps dispatching the same (start, strategy, budget)
+// triples and collecting the same Result shape.
+//
+// Three members ship today, selected by tabu.AlgoID:
+//
+//	tabu    the paper's kernel (internal/tabu), the portfolio's anchor
+//	repair  randomized drop-and-repair (Martins 2024): drop the worst packed
+//	        items by burden ratio, refill with a GRASP-style randomized greedy
+//	assim   ICA-style assimilation (Dzalbs et al.): perturb a private colony
+//	        solution toward the cooperative incumbent, repair, fill
+//
+// All members honor the kernel's determinism contract: given the same seed
+// and inputs the trajectory is bitwise reproducible, heartbeats publish the
+// lifetime move watermark at round start and every 256 moves, and Tracer /
+// Metrics hooks never draw randomness.
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/mkp"
+	"repro/internal/rng"
+	"repro/internal/tabu"
+)
+
+// Searcher is one round-driven search algorithm. *tabu.Searcher satisfies it;
+// the portfolio members in this package provide the other implementations.
+//
+// Run executes one rendezvous round: at most budget compound moves from
+// start under p, returning the round's best, the B-best pool, the executed
+// move count and whether the start was improved. WarmStart restores the
+// lifetime state a respawned slave needs (the shared pool snapshot and the
+// move-counter epoch) without replaying the rounds that produced it.
+type Searcher interface {
+	Run(start mkp.Solution, p tabu.Params, budget int64) (*tabu.Result, error)
+	WarmStart(pool []mkp.Solution, moves int64)
+}
+
+// New builds the Searcher for one portfolio algorithm. The tabu kernel is
+// seeded with exactly the given seed — a slave whose portfolio is all-tabu
+// replays the homogeneous farm bit for bit — and the other members derive
+// their streams through SeedFor.
+func New(algo tabu.AlgoID, ins *mkp.Instance, seed uint64) (Searcher, error) {
+	switch algo {
+	case tabu.AlgoTabu:
+		return tabu.NewSearcher(ins, seed)
+	case tabu.AlgoRepair:
+		return NewRepair(ins, SeedFor(seed, algo)), nil
+	case tabu.AlgoAssim:
+		return NewAssim(ins, SeedFor(seed, algo)), nil
+	default:
+		return nil, fmt.Errorf("search: unknown algorithm id %d", int(algo))
+	}
+}
+
+// SeedFor derives the RNG seed one slave uses for one portfolio algorithm
+// from the slave's node seed. AlgoTabu maps to the node seed itself — the
+// inert contract: an all-tabu portfolio consumes exactly the streams the
+// homogeneous farm consumed — and every other algorithm gets an independent
+// stream mixed through the generator so lazily building a second searcher
+// never perturbs the first one's trajectory. The rule is a pure function, so
+// masters, elastic joiners and warm respawns all agree on it.
+func SeedFor(seed uint64, algo tabu.AlgoID) uint64 {
+	if algo == tabu.AlgoTabu {
+		return seed
+	}
+	return rng.New(seed ^ (uint64(algo) << 48) ^ 0xC2B2AE3D27D4EB4F).Uint64()
+}
+
+// checkRun validates the shared Run preconditions for the portfolio members.
+func checkRun(ins *mkp.Instance, start mkp.Solution, p tabu.Params, budget int64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if budget < 1 {
+		return fmt.Errorf("search: budget %d < 1", budget)
+	}
+	if start.X == nil || start.X.Len() != ins.N {
+		return fmt.Errorf("search: start solution does not match instance size %d", ins.N)
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mkp"
+	"repro/internal/rng"
+	"repro/internal/tabu"
+)
+
+func testInstance(t *testing.T) *mkp.Instance {
+	t.Helper()
+	return gen.GK("search-5x60", 60, 5, 0.25, 7)
+}
+
+func testParams(n int) tabu.Params {
+	p := tabu.DefaultParams(n)
+	p.Strategy = tabu.Strategy{LtLength: 7, NbDrop: 2, NbLocal: 20}
+	return p
+}
+
+// Every portfolio member must satisfy the seam and run a legal round: a
+// feasible best no worse than the greedy start floor, the full budget
+// executed, and a non-empty pool bounded by BBest.
+func TestEveryAlgoRunsALegalRound(t *testing.T) {
+	ins := testInstance(t)
+	start := mkp.Greedy(ins)
+	for a := tabu.AlgoID(0); int(a) < tabu.NumAlgos; a++ {
+		s, err := New(a, ins, 42)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		p := testParams(ins.N)
+		p.Strategy.Algo = a
+		res, err := s.Run(start.Clone(), p, 500)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if res.Moves != 500 {
+			t.Fatalf("%v: executed %d moves, want 500", a, res.Moves)
+		}
+		if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+			t.Fatalf("%v: infeasible best", a)
+		}
+		if got := mkp.ValueOf(ins, res.Best.X); got != res.Best.Value {
+			t.Fatalf("%v: reported value %v but bits evaluate to %v", a, res.Best.Value, got)
+		}
+		if res.Best.Value < start.Value {
+			t.Fatalf("%v: best %v below the start %v it was given", a, res.Best.Value, start.Value)
+		}
+		if len(res.Pool) == 0 || len(res.Pool) > p.BBest {
+			t.Fatalf("%v: pool size %d outside (0,%d]", a, len(res.Pool), p.BBest)
+		}
+	}
+}
+
+// Same seed, same inputs, same trajectory — the determinism contract every
+// member inherits from the kernel.
+func TestPortfolioMembersAreDeterministic(t *testing.T) {
+	ins := testInstance(t)
+	start := mkp.Greedy(ins)
+	for a := tabu.AlgoID(0); int(a) < tabu.NumAlgos; a++ {
+		p := testParams(ins.N)
+		p.Strategy.Algo = a
+		run := func() *tabu.Result {
+			s, err := New(a, ins, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(start.Clone(), p, 600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		r1, r2 := run(), run()
+		if r1.Best.Value != r2.Best.Value || !r1.Best.X.Equal(r2.Best.X) {
+			t.Fatalf("%v: same seed diverged: %v vs %v", a, r1.Best.Value, r2.Best.Value)
+		}
+		if r1.Moves != r2.Moves || r1.Improved != r2.Improved {
+			t.Fatalf("%v: bookkeeping diverged", a)
+		}
+		if len(r1.Pool) != len(r2.Pool) {
+			t.Fatalf("%v: pool size diverged", a)
+		}
+		for i := range r1.Pool {
+			if !r1.Pool[i].X.Equal(r2.Pool[i].X) {
+				t.Fatalf("%v: pool entry %d diverged", a, i)
+			}
+		}
+	}
+}
+
+// The seed rule: tabu maps to the node seed itself (the inert contract) and
+// the other members get distinct streams, stable across calls.
+func TestSeedForIsPureAndInertForTabu(t *testing.T) {
+	if got := SeedFor(12345, tabu.AlgoTabu); got != 12345 {
+		t.Fatalf("tabu seed changed: %d", got)
+	}
+	a := SeedFor(12345, tabu.AlgoRepair)
+	b := SeedFor(12345, tabu.AlgoAssim)
+	if a == 12345 || b == 12345 || a == b {
+		t.Fatalf("derived seeds collide: %d %d", a, b)
+	}
+	if a != SeedFor(12345, tabu.AlgoRepair) {
+		t.Fatal("SeedFor is not a pure function")
+	}
+}
+
+// New rejects ids outside the registered portfolio.
+func TestNewRejectsUnknownAlgo(t *testing.T) {
+	ins := testInstance(t)
+	if _, err := New(tabu.AlgoID(tabu.NumAlgos), ins, 1); err == nil {
+		t.Fatal("out-of-range algorithm id accepted")
+	}
+	if _, err := New(tabu.AlgoID(-1), ins, 1); err == nil {
+		t.Fatal("negative algorithm id accepted")
+	}
+}
+
+// Run preconditions: bad budget, mismatched start and invalid params are
+// rejected by every member, never executed.
+func TestRunRejectsBadInputs(t *testing.T) {
+	ins := testInstance(t)
+	start := mkp.Greedy(ins)
+	for a := tabu.AlgoID(0); int(a) < tabu.NumAlgos; a++ {
+		s, err := New(a, ins, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := testParams(ins.N)
+		if _, err := s.Run(start.Clone(), p, 0); err == nil {
+			t.Fatalf("%v: zero budget accepted", a)
+		}
+		short := mkp.RandomFeasible(gen.GK("short", 10, 3, 0.25, 1), rng.New(1))
+		if _, err := s.Run(short, p, 100); err == nil {
+			t.Fatalf("%v: mismatched start accepted", a)
+		}
+		bad := p
+		bad.Strategy.NbDrop = 0
+		if _, err := s.Run(start.Clone(), bad, 100); err == nil {
+			t.Fatalf("%v: invalid strategy accepted", a)
+		}
+	}
+}
+
+// A hostile (infeasible) start must be repaired, not trusted: the round still
+// returns a feasible best.
+func TestRepairAndAssimSurviveInfeasibleStart(t *testing.T) {
+	ins := testInstance(t)
+	full := mkp.Solution{X: mkp.Greedy(ins).X.Clone()}
+	for j := 0; j < ins.N; j++ {
+		full.X.Set(j)
+	}
+	full.Value = mkp.ValueOf(ins, full.X)
+	for _, a := range []tabu.AlgoID{tabu.AlgoRepair, tabu.AlgoAssim} {
+		s, err := New(a, ins, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(full.Clone(), testParams(ins.N), 200)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if !mkp.IsFeasibleAssignment(ins, res.Best.X) {
+			t.Fatalf("%v: infeasible best from infeasible start", a)
+		}
+	}
+}
+
+// WarmStart restores the lifetime heartbeat watermark: the first heartbeat
+// after a respawn must publish the restored epoch, not zero.
+func TestWarmStartRestoresWatermark(t *testing.T) {
+	ins := testInstance(t)
+	start := mkp.Greedy(ins)
+	pool := []mkp.Solution{start.Clone()}
+	for a := tabu.AlgoID(0); int(a) < tabu.NumAlgos; a++ {
+		s, err := New(a, ins, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.WarmStart(pool, 7777)
+		var first int64 = -1
+		p := testParams(ins.N)
+		p.Heartbeat = func(moves int64) {
+			if first < 0 {
+				first = moves
+			}
+		}
+		if _, err := s.Run(start.Clone(), p, 64); err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if first != 7777 {
+			t.Fatalf("%v: first heartbeat %d, want restored watermark 7777", a, first)
+		}
+	}
+}
+
+// The assimilation searcher's colony persists across rounds: handing it the
+// same incumbent twice must not reset its trajectory (the second round starts
+// from the colony the first round left behind).
+func TestAssimColonyPersistsAcrossRounds(t *testing.T) {
+	ins := testInstance(t)
+	start := mkp.Greedy(ins)
+	p := testParams(ins.N)
+	p.Strategy.Algo = tabu.AlgoAssim
+
+	s := NewAssim(ins, 11)
+	r1, err := s.Run(start.Clone(), p, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(start.Clone(), p, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh searcher re-running round one reproduces r1 exactly; the
+	// persistent one carries its colony and lifetime counters forward.
+	fresh := NewAssim(ins, 11)
+	f1, err := fresh.Run(start.Clone(), p, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Best.Value != r1.Best.Value || !f1.Best.X.Equal(r1.Best.X) {
+		t.Fatalf("fresh searcher did not reproduce round one: %v vs %v", f1.Best.Value, r1.Best.Value)
+	}
+	if s.colony.X == nil {
+		t.Fatal("colony not retained after round one")
+	}
+	if s.moves != 600 || fresh.moves != 300 {
+		t.Fatalf("lifetime counters %d/%d, want 600/300", s.moves, fresh.moves)
+	}
+	if r2.Moves != 300 {
+		t.Fatalf("round two executed %d moves, want 300", r2.Moves)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/metrics"
 	"repro/internal/mkp"
+	"repro/internal/tabu"
 )
 
 // Spec is a job submission: the problem plus the solve parameters. Exactly
@@ -47,6 +48,12 @@ type Spec struct {
 	Alpha float64 `json:"alpha,omitempty"`
 	// Target stops the job early once the best reaches it (0 = disabled).
 	Target float64 `json:"target,omitempty"`
+	// Portfolio is a comma-separated algorithm list ("tabu,repair,assim")
+	// assigned round-robin over the P slots; repetition weights the initial
+	// split. Empty runs every slave on the tabu kernel, bit-identical to a
+	// pre-portfolio job. Rejected at submit time when it names an unknown
+	// algorithm or is combined with SEQ (which runs one tabu slave).
+	Portfolio string `json:"portfolio,omitempty"`
 
 	Instance *InstanceSpec `json:"instance,omitempty"`
 	Gen      *GenSpec      `json:"gen,omitempty"`
@@ -86,6 +93,7 @@ const (
 type Job struct {
 	spec Spec
 	algo core.Algorithm
+	port []tabu.AlgoID // parsed spec.Portfolio; nil for homogeneous tabu
 	ins  *mkp.Instance
 	reg  *metrics.Registry
 	hub  *hub
@@ -130,6 +138,7 @@ type Status struct {
 	ID        string  `json:"id"`
 	State     string  `json:"state"`
 	Algorithm string  `json:"algorithm"`
+	Portfolio string  `json:"portfolio,omitempty"` // canonical form; empty = all tabu
 	P         int     `json:"p"`
 	Seed      uint64  `json:"seed"`
 	Rounds    int     `json:"rounds"`
@@ -160,6 +169,7 @@ func (j *Job) status() Status {
 		ID:          j.spec.ID,
 		State:       j.state,
 		Algorithm:   j.algo.String(),
+		Portfolio:   tabu.FormatPortfolio(j.port),
 		P:           j.spec.P,
 		Seed:        j.spec.Seed,
 		Rounds:      j.spec.Rounds,

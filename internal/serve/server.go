@@ -15,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mkp"
 	"repro/internal/obs"
+	"repro/internal/tabu"
 	"repro/internal/trace"
 )
 
@@ -189,6 +190,15 @@ func (s *Server) admit(spec Spec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	var port []tabu.AlgoID
+	if spec.Portfolio != "" {
+		if algo == core.SEQ {
+			return nil, fmt.Errorf("portfolio %q: SEQ runs one tabu slave, submit a parallel algorithm", spec.Portfolio)
+		}
+		if port, err = tabu.ParsePortfolio(spec.Portfolio); err != nil {
+			return nil, err
+		}
+	}
 	if spec.P <= 0 {
 		spec.P = min(2, s.maxP())
 	}
@@ -217,6 +227,7 @@ func (s *Server) admit(spec Spec) (*Job, error) {
 	j := &Job{
 		spec:        spec,
 		algo:        algo,
+		port:        port,
 		ins:         ins,
 		reg:         metrics.NewRegistry(),
 		hub:         newHub(),
@@ -348,6 +359,7 @@ func (s *Server) runJob(j *Job, lease []string) {
 		RoundMoves: j.spec.Moves,
 		Alpha:      j.spec.Alpha,
 		Target:     j.spec.Target,
+		Portfolio:  j.port,
 		Metrics:    j.reg,
 		Tracer:     trace.Multi{jobTracer{j}, metrics.NewBridge(j.reg)},
 		Stop:       j.stop,

@@ -1,0 +1,95 @@
+package tabu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AlgoID names one member of the hyper-heuristic portfolio: the search
+// algorithm a slave runs for a round. The paper's farm is homogeneous — every
+// slave executes the tabu kernel — so the zero value is AlgoTabu and a
+// zero-filled Strategy reproduces the paper's runs bit for bit. The portfolio
+// members beyond the kernel live in internal/search; the id travels inside
+// Strategy so the master's per-round dispatch, the wire codec, and the
+// checkpoint all carry it without a second channel.
+type AlgoID int
+
+const (
+	// AlgoTabu is the paper's tabu-search kernel (internal/tabu).
+	AlgoTabu AlgoID = iota
+	// AlgoRepair is the randomized drop-and-repair searcher: drop the worst
+	// packed items by pseudo-utility, refill with a GRASP-style randomized
+	// greedy (Martins 2024's heuristic-repair dynamic).
+	AlgoRepair
+	// AlgoAssim is the assimilation searcher: perturb the slave's own colony
+	// solution toward the cooperative incumbent (ICA-style assimilation per
+	// Dzalbs et al.), repair, and fill.
+	AlgoAssim
+
+	// algoCount bounds the valid id range; decode validation rejects ids at
+	// or beyond it.
+	algoCount
+)
+
+// NumAlgos is the number of portfolio algorithms; valid AlgoIDs are
+// [0, NumAlgos).
+const NumAlgos = int(algoCount)
+
+func (a AlgoID) String() string {
+	switch a {
+	case AlgoTabu:
+		return "tabu"
+	case AlgoRepair:
+		return "repair"
+	case AlgoAssim:
+		return "assim"
+	default:
+		return fmt.Sprintf("AlgoID(%d)", int(a))
+	}
+}
+
+// Valid reports whether a names a known portfolio algorithm.
+func (a AlgoID) Valid() bool { return a >= AlgoTabu && a < algoCount }
+
+// ParseAlgo maps a name ("tabu", "repair", "assim") to its AlgoID.
+func ParseAlgo(name string) (AlgoID, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "tabu":
+		return AlgoTabu, nil
+	case "repair":
+		return AlgoRepair, nil
+	case "assim":
+		return AlgoAssim, nil
+	default:
+		return 0, fmt.Errorf("tabu: unknown algorithm %q (want tabu, repair or assim)", name)
+	}
+}
+
+// ParsePortfolio parses a comma-separated algorithm list ("tabu,repair,assim")
+// into AlgoIDs. Repetition is allowed and meaningful — it weights the initial
+// slot assignment — but the list must be non-empty.
+func ParsePortfolio(s string) ([]AlgoID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("tabu: empty portfolio")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]AlgoID, 0, len(parts))
+	for _, p := range parts {
+		a, err := ParseAlgo(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// FormatPortfolio renders a portfolio back into the comma-separated form
+// ParsePortfolio accepts.
+func FormatPortfolio(p []AlgoID) string {
+	names := make([]string, len(p))
+	for i, a := range p {
+		names[i] = a.String()
+	}
+	return strings.Join(names, ",")
+}

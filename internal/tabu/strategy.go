@@ -20,10 +20,24 @@ type Strategy struct {
 	LtLength int // tabu list length (tenure, in moves)
 	NbDrop   int // number of consecutive Drop steps per move
 	NbLocal  int // non-improving moves tolerated before intensification
+
+	// Algo selects which portfolio algorithm the slave runs this round. The
+	// zero value is AlgoTabu, so strategies predating the portfolio — zeroed
+	// structs, v1 checkpoints, the paper's own runs — mean the tabu kernel.
+	// The three tuning knobs above keep their kernel meaning for AlgoTabu;
+	// the other searchers reinterpret the subset they need (NbDrop as the
+	// perturbation depth, NbLocal as the inner patience) so the SGP keeps
+	// tuning one triple regardless of the algorithm behind it. Omitted from
+	// JSON when zero, so a homogeneous run's checkpoints stay byte-identical
+	// to the v1 format.
+	Algo AlgoID `json:"Algo,omitempty"`
 }
 
 // Validate rejects strategies the kernel cannot execute.
 func (s Strategy) Validate() error {
+	if !s.Algo.Valid() {
+		return fmt.Errorf("tabu: unknown algorithm id %d", int(s.Algo))
+	}
 	if s.LtLength < 0 {
 		return fmt.Errorf("tabu: LtLength %d < 0", s.LtLength)
 	}

@@ -64,6 +64,9 @@ const (
 	KindResultReject
 	// KindQuarantine: a worker crossed the strike threshold and was evicted.
 	KindQuarantine
+	// KindRealloc: the portfolio tuner reassigned worker slots between
+	// algorithms toward the current win-rate leader.
+	KindRealloc
 )
 
 var kindNames = [...]string{
@@ -87,6 +90,7 @@ var kindNames = [...]string{
 	KindGossip:        "gossip",
 	KindResultReject:  "result-reject",
 	KindQuarantine:    "quarantine",
+	KindRealloc:       "realloc",
 }
 
 func (k Kind) String() string {

@@ -180,19 +180,26 @@ func (c *cursor) solution(n int, what string) mkp.Solution {
 	return mkp.Solution{X: x, Value: value}
 }
 
-// AppendStrategy encodes the paper's three strategy integers.
+// AppendStrategy encodes the paper's three strategy integers plus the v3
+// portfolio algorithm id.
 func AppendStrategy(dst []byte, s tabu.Strategy) []byte {
 	dst = appendInt(dst, s.LtLength)
 	dst = appendInt(dst, s.NbDrop)
-	return appendInt(dst, s.NbLocal)
+	dst = appendInt(dst, s.NbLocal)
+	return appendInt(dst, int(s.Algo))
 }
 
 func (c *cursor) strategy(what string) tabu.Strategy {
-	return tabu.Strategy{
+	s := tabu.Strategy{
 		LtLength: c.int(what),
 		NbDrop:   c.int(what),
 		NbLocal:  c.int(what),
+		Algo:     tabu.AlgoID(c.int(what)),
 	}
+	if c.err == nil && !s.Algo.Valid() {
+		c.err = fmt.Errorf("proto: %s: unknown algorithm id %d", what, int(s.Algo))
+	}
+	return s
 }
 
 // --- params ------------------------------------------------------------------

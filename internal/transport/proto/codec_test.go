@@ -50,7 +50,7 @@ func randomSolution(n int, seed uint64) mkp.Solution {
 
 func sampleParams() tabu.Params {
 	return tabu.Params{
-		Strategy:  tabu.Strategy{LtLength: 9, NbDrop: 3, NbLocal: 25},
+		Strategy:  tabu.Strategy{LtLength: 9, NbDrop: 3, NbLocal: 25, Algo: tabu.AlgoAssim},
 		Policy:    1,
 		REMDepth:  4,
 		NbInt:     7,
@@ -215,8 +215,8 @@ func TestSilentStopRoundTrip(t *testing.T) {
 // simulated clock and the traffic stats use SolutionSize/StrategySize, so a
 // codec change that shifts an encoded length must show up here.
 func TestWireSizes(t *testing.T) {
-	if s := StrategySize(); s != 24 {
-		t.Fatalf("StrategySize() = %d, want 24", s)
+	if s := StrategySize(); s != 32 {
+		t.Fatalf("StrategySize() = %d, want 32", s)
 	}
 	if s := SolutionSize(100); s != 21 {
 		t.Fatalf("SolutionSize(100) = %d, want 21", s)
@@ -233,8 +233,53 @@ func TestWireSizes(t *testing.T) {
 			t.Fatalf("n=%d: encoded solution is %d bytes, SolutionSize says %d", n, len(data), SolutionSize(n))
 		}
 	}
-	if got := len(AppendStrategy(nil, tabu.Strategy{LtLength: 1, NbDrop: 2, NbLocal: 3})); got != StrategySize() {
+	if got := len(AppendStrategy(nil, tabu.Strategy{LtLength: 1, NbDrop: 2, NbLocal: 3, Algo: tabu.AlgoRepair})); got != StrategySize() {
 		t.Fatalf("encoded strategy is %d bytes, StrategySize says %d", got, StrategySize())
+	}
+}
+
+// TestDecodeRejectsUnknownAlgo pins the v3 validation: the algorithm id in a
+// dispatched strategy must name a registered portfolio member. A forged or
+// future id is structural corruption — rejected at decode, never handed to a
+// slave that would have to guess.
+func TestDecodeRejectsUnknownAlgo(t *testing.T) {
+	const n = 37
+	p := sampleParams()
+	p.Strategy.Algo = tabu.AlgoID(tabu.NumAlgos) // first invalid id
+	data, err := EncodePayload(TagStart, Start{Start: randomSolution(n, 1), Params: p, Budget: 10}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePayload(TagStart, data, n); err == nil {
+		t.Fatal("out-of-range algorithm id accepted")
+	}
+	p.Strategy.Algo = -1
+	data, err = EncodePayload(TagStart, Start{Start: randomSolution(n, 1), Params: p, Budget: 10}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePayload(TagStart, data, n); err == nil {
+		t.Fatal("negative algorithm id accepted")
+	}
+}
+
+// TestDecodeRejectsV2Strategy pins payload-level skew in the other
+// direction: a v2 peer's strategy (three integers, no algorithm id) is eight
+// bytes short, so the cursor must report truncation rather than absorb a
+// following field as the id. The frame-level version gate rejects such peers
+// first (TestFrameRejectsVersionSkew in wire); this guards the codec itself.
+func TestDecodeRejectsV2Strategy(t *testing.T) {
+	const n = 37
+	data, err := EncodePayload(TagStart, Start{Start: randomSolution(n, 1), Params: sampleParams(), Budget: 10}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The strategy triple leads Params; excising the id's 8 bytes yields
+	// exactly what a v2 encoder would have produced for these fields.
+	off := 8 + 8 + 8 + 3*8 // slot + round + budget + triple
+	v2 := append(append([]byte(nil), data[:off]...), data[off+8:]...)
+	if _, err := DecodePayload(TagStart, v2, n); err == nil {
+		t.Fatal("v2-shaped strategy (no algorithm id) accepted")
 	}
 }
 

@@ -23,8 +23,10 @@ import (
 // sees any other value must reject the frame: there is exactly one live
 // version at a time, and skew is an operator error, not a negotiation.
 // Version 2 added the elastic-membership messages (Join/Leave/Gossip/Steal)
-// and extended Hello with the fleet epoch and membership view.
-const Version = 2
+// and extended Hello with the fleet epoch and membership view. Version 3
+// added the portfolio algorithm id to every encoded strategy, so dispatch
+// frames name the search algorithm a slave must run for the round.
+const Version = 3
 
 // Message tags exchanged between the master (node 0) and slaves (nodes 1..P).
 const (
@@ -148,5 +150,6 @@ type Hello struct {
 func SolutionSize(n int) int { return (n+7)/8 + 8 }
 
 // StrategySize returns the encoded size of a strategy: the paper's three
-// integer parameters (§4.2), 8 bytes each.
-func StrategySize() int { return 3 * 8 }
+// integer parameters (§4.2) plus the v3 portfolio algorithm id, 8 bytes
+// each.
+func StrategySize() int { return 4 * 8 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mkp"
 	"repro/internal/rng"
+	"repro/internal/tabu"
 	"repro/internal/transport/wire"
 )
 
@@ -113,6 +114,66 @@ func TestCrossTransportEquivalence(t *testing.T) {
 	}
 	if res.Stats.Messages == 0 || res.Stats.BytesSent == 0 {
 		t.Fatalf("wire run accounted no traffic: %+v", res.Stats)
+	}
+}
+
+// TestCrossTransportPortfolioEquivalence extends the equivalence contract to
+// the hyper-heuristic portfolio: the per-round algorithm id travels inside
+// the strategy frame (wire version 3), so a mixed-portfolio run over TCP
+// must replay the in-process run bitwise — and an all-tabu portfolio over
+// the wire must replay the no-portfolio wire run bitwise (the inert
+// contract, across the process boundary).
+func TestCrossTransportPortfolioEquivalence(t *testing.T) {
+	ins := wireInstance(60, 5, 404)
+	base := core.Options{P: 4, Seed: 21, Rounds: 4, RoundMoves: 250}
+
+	plain, err := core.Solve(ins, core.CTS2, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inert := base
+	inert.Portfolio = []tabu.AlgoID{tabu.AlgoTabu}
+	inert.Workers = startWorkers(t, 4)
+	inert.SlaveTimeout = 20 * time.Second
+	res, err := core.Solve(ins, core.CTS2, inert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value != plain.Best.Value || !res.Best.X.Equal(plain.Best.X) {
+		t.Fatalf("all-tabu wire run found %.0f, plain in-process run found %.0f", res.Best.Value, plain.Best.Value)
+	}
+	if res.Stats.TotalMoves != plain.Stats.TotalMoves {
+		t.Fatalf("all-tabu wire run moves %d, plain %d", res.Stats.TotalMoves, plain.Stats.TotalMoves)
+	}
+
+	mixed := base
+	mixed.Portfolio = []tabu.AlgoID{tabu.AlgoTabu, tabu.AlgoRepair, tabu.AlgoAssim}
+	local, err := core.Solve(ins, core.CTS2, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := mixed
+	remote.Workers = startWorkers(t, 4)
+	remote.SlaveTimeout = 20 * time.Second
+	wres, err := core.Solve(ins, core.CTS2, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Best.Value != local.Best.Value || !wres.Best.X.Equal(local.Best.X) {
+		t.Fatalf("mixed wire run found %.0f, in-process found %.0f", wres.Best.Value, local.Best.Value)
+	}
+	if wres.Stats.TotalMoves != local.Stats.TotalMoves {
+		t.Fatalf("mixed wire run moves %d, in-process %d", wres.Stats.TotalMoves, local.Stats.TotalMoves)
+	}
+	for _, name := range []string{"tabu", "repair", "assim"} {
+		if wres.Stats.AlgoRounds[name] != local.Stats.AlgoRounds[name] {
+			t.Fatalf("%s accounted %d rounds over the wire, %d in-process",
+				name, wres.Stats.AlgoRounds[name], local.Stats.AlgoRounds[name])
+		}
+	}
+	if !mkp.IsFeasibleAssignment(ins, wres.Best.X) {
+		t.Fatal("mixed wire run produced infeasible best")
 	}
 }
 

@@ -1,0 +1,126 @@
+#!/bin/sh
+# CI smoke for the hyper-heuristic portfolio over real processes: boot a
+# mixed-algorithm fleet of mkpworker processes advertising their search
+# algorithms, solve through them with `mkpsolve -portfolio`, and require
+# (a) the run to complete and its solution to pass mkpverify, and (b) a
+# second, live run to expose per-algorithm slot counts on /metrics that sum
+# to the fleet size with every portfolio member holding at least one slot
+# (the reallocation starvation floor, audited end to end).
+# Usage: scripts/portfolio_smoke.sh [mkpsolve] [mkpworker] [mkpgen] [mkpverify]
+set -eu
+
+SOLVE=${1:-./mkpsolve}
+WORKER=${2:-./mkpworker}
+GEN=${3:-./mkpgen}
+VERIFY=${4:-./mkpverify}
+PORT="tabu,repair,assim"
+WORKERS=4
+
+DIR=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "portfolio smoke FAILED: $1" >&2
+    shift
+    for f in "$@"; do
+        echo "---- $f" >&2
+        cat "$f" >&2 || true
+    done
+    exit 1
+}
+
+# Boot $1 workers logging to $DIR/$2N.log and append their addresses to ADDRS.
+boot_fleet() {
+    count=$1
+    tag=$2
+    once=$3
+    ADDRS=""
+    i=0
+    while [ $i -lt "$count" ]; do
+        # shellcheck disable=SC2086
+        "$WORKER" -listen 127.0.0.1:0 $once -algos "$PORT" \
+            2>"$DIR/$tag$i.log" &
+        PIDS="$PIDS $!"
+        i=$((i + 1))
+    done
+    i=0
+    while [ $i -lt "$count" ]; do
+        j=0
+        ADDR=""
+        while [ $j -lt 100 ]; do
+            ADDR=$(sed -n 's/^mkpworker: listening on //p' "$DIR/$tag$i.log" | head -n 1)
+            [ -n "$ADDR" ] && break
+            sleep 0.1
+            j=$((j + 1))
+        done
+        [ -n "$ADDR" ] || fail "$tag worker $i never announced an address" "$DIR/$tag$i.log"
+        grep -q "^mkpworker: algorithms $PORT\$" "$DIR/$tag$i.log" \
+            || fail "$tag worker $i did not advertise its algorithms" "$DIR/$tag$i.log"
+        ADDRS="$ADDRS,$ADDR"
+        i=$((i + 1))
+    done
+    ADDRS=${ADDRS#,}
+}
+
+"$GEN" -family gk -n 100 -m 10 -tightness 0.25 -seed 3 -o "$DIR/instance.txt"
+
+# Phase 1: a mixed-portfolio run over the wire fleet, to completion, and the
+# solution it wrote through mkpverify.
+boot_fleet $WORKERS run -once
+BEST=$("$SOLVE" -workers "$ADDRS" -portfolio "$PORT" -seed 7 -rounds 8 -moves 1000 \
+    -q -sol "$DIR/best.sol" "$DIR/instance.txt" 2>"$DIR/solve.log") \
+    || fail "portfolio wire run failed" "$DIR/solve.log" "$DIR/run0.log"
+"$VERIFY" "$DIR/instance.txt" "$DIR/best.sol" >/dev/null \
+    || fail "mkpverify rejected the portfolio run's solution" "$DIR/solve.log"
+for p in $PIDS; do
+    wait "$p" 2>/dev/null || true
+done
+PIDS=""
+
+# Phase 2: the same fleet shape kept alive under a long run with a live
+# /metrics listener; audit the per-algorithm slot gauges while rounds turn.
+boot_fleet $WORKERS live ""
+"$SOLVE" -workers "$ADDRS" -portfolio "$PORT" -seed 7 -rounds 100000 -moves 2000 \
+    -listen 127.0.0.1:0 "$DIR/instance.txt" >/dev/null 2>"$DIR/live.log" &
+PIDS="$PIDS $!"
+
+MADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    MADDR=$(sed -n 's#.*observability on http://\([^ ]*\).*#\1#p' "$DIR/live.log" | head -n 1)
+    [ -n "$MADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$MADDR" ] || fail "no observability address announced" "$DIR/live.log"
+
+# Poll until the slot gauges are exposed (first round completed), then check
+# them: one gauge per member, together covering every slot in the fleet.
+SLOTS=$DIR/slots.txt
+i=0
+while [ $i -lt 200 ]; do
+    curl -s "http://$MADDR/metrics" 2>/dev/null \
+        | sed -n 's/^core_algo_slots{algo="\([a-z]*\)"} \([0-9][0-9]*\)$/\1 \2/p' \
+        >"$SLOTS" || true
+    [ "$(wc -l <"$SLOTS")" -eq 3 ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ "$(wc -l <"$SLOTS")" -eq 3 ] \
+    || fail "expected 3 core_algo_slots gauges, got: $(cat "$SLOTS")" "$DIR/live.log"
+
+SUM=0
+for a in tabu repair assim; do
+    N=$(awk -v a="$a" '$1 == a { print $2 }' "$SLOTS")
+    [ -n "$N" ] || fail "no core_algo_slots gauge for $a" "$SLOTS"
+    [ "$N" -ge 1 ] || fail "$a starved below the one-slot floor" "$SLOTS"
+    SUM=$((SUM + N))
+done
+[ "$SUM" -eq $WORKERS ] || fail "slot counts sum to $SUM, want $WORKERS" "$SLOTS"
+
+echo "portfolio smoke OK: best $BEST verified over $WORKERS mixed workers; slots $(tr '\n' ' ' <"$SLOTS")sum $SUM"
